@@ -1,0 +1,196 @@
+//! Analytical stationary RTN expressions (Machlup forms) — the
+//! reference curves of the paper's Figs 3 and 7.
+//!
+//! For a single trap under constant bias, with capture rate `λc`,
+//! emission rate `λe`, rate sum `λΣ = λc + λe`, stationary occupancy
+//! `p = λc/λΣ` and single-trap current amplitude `ΔI`:
+//!
+//! * autocovariance: `C(τ) = ΔI²·p·(1−p)·e^{−λΣ|τ|}`,
+//! * uncentred autocorrelation: `R(τ) = C(τ) + (ΔI·p)²`,
+//! * one-sided PSD (of the centred signal):
+//!   `S(f) = 4·ΔI²·p(1−p)·λΣ / (λΣ² + (2πf)²)` — a Lorentzian with
+//!   corner `λΣ/2π`.
+//!
+//! Summing many Lorentzians whose rates are spread log-uniformly (the
+//! consequence of uniform trap depths, Eq 1) yields the classic `1/f`
+//! spectrum; [`one_over_f_psd`] gives the closed form, and
+//! [`one_over_f_limit`] its mid-band simplification. The thermal-noise
+//! floor uses the paper's `S_thermal = (8/3)·kT·gm`.
+
+use samurai_units::constants::BOLTZMANN;
+use samurai_units::Temperature;
+
+/// Autocovariance of a single stationary trap's RTN at lag `tau`:
+/// `ΔI²·p(1−p)·e^{−λΣ|τ|}`.
+pub fn lorentzian_autocovariance(delta_i: f64, p: f64, rate_sum: f64, tau: f64) -> f64 {
+    delta_i * delta_i * p * (1.0 - p) * (-rate_sum * tau.abs()).exp()
+}
+
+/// Uncentred autocorrelation `R(τ) = C(τ) + mean²`, with
+/// `mean = ΔI·p`.
+pub fn machlup_autocorrelation(delta_i: f64, p: f64, rate_sum: f64, tau: f64) -> f64 {
+    lorentzian_autocovariance(delta_i, p, rate_sum, tau) + (delta_i * p).powi(2)
+}
+
+/// One-sided Lorentzian PSD of a single stationary trap at frequency
+/// `f` (Hz): `4·ΔI²·p(1−p)·λΣ/(λΣ² + ω²)`.
+pub fn lorentzian_psd(delta_i: f64, p: f64, rate_sum: f64, f: f64) -> f64 {
+    let omega = core::f64::consts::TAU * f;
+    4.0 * delta_i * delta_i * p * (1.0 - p) * rate_sum / (rate_sum * rate_sum + omega * omega)
+}
+
+/// PSD of `n_traps` independent identical-amplitude traps whose rate
+/// sums are log-uniformly distributed over `[rate_min, rate_max]`
+/// (exact closed form; `p_factor = p(1−p)` averaged over the
+/// population).
+///
+/// ```text
+/// S(f) = 4·ΔI²·p(1−p)·N/ln(λmax/λmin)·(atan(λmax/ω) − atan(λmin/ω))/ω
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < rate_min < rate_max` and `f > 0`.
+pub fn one_over_f_psd(
+    delta_i: f64,
+    p_factor: f64,
+    n_traps: f64,
+    rate_min: f64,
+    rate_max: f64,
+    f: f64,
+) -> f64 {
+    assert!(rate_min > 0.0 && rate_max > rate_min, "need 0 < rate_min < rate_max");
+    assert!(f > 0.0, "frequency must be positive");
+    let omega = core::f64::consts::TAU * f;
+    let log_span = (rate_max / rate_min).ln();
+    4.0 * delta_i * delta_i * p_factor * n_traps / log_span
+        * ((rate_max / omega).atan() - (rate_min / omega).atan())
+        / omega
+}
+
+/// Mid-band (`λmin ≪ ω ≪ λmax`) limit of [`one_over_f_psd`]:
+/// `S(f) = ΔI²·p(1−p)·N / (ln(λmax/λmin)·f)` — a pure `1/f` law.
+///
+/// # Panics
+///
+/// Panics unless `0 < rate_min < rate_max` and `f > 0`.
+pub fn one_over_f_limit(
+    delta_i: f64,
+    p_factor: f64,
+    n_traps: f64,
+    rate_min: f64,
+    rate_max: f64,
+    f: f64,
+) -> f64 {
+    assert!(rate_min > 0.0 && rate_max > rate_min, "need 0 < rate_min < rate_max");
+    assert!(f > 0.0, "frequency must be positive");
+    delta_i * delta_i * p_factor * n_traps / ((rate_max / rate_min).ln() * f)
+}
+
+/// The paper's thermal-noise floor, `S_thermal = (8/3)·kT·gm`, in
+/// A²/Hz for `gm` in siemens.
+pub fn thermal_noise_psd(temperature: Temperature, gm: f64) -> f64 {
+    8.0 / 3.0 * BOLTZMANN * temperature.kelvin() * gm
+}
+
+/// Variance of a single trap's RTN, `ΔI²·p(1−p)` — both `C(0)` and the
+/// full integral of the Lorentzian PSD.
+pub fn rtn_variance(delta_i: f64, p: f64) -> f64 {
+    delta_i * delta_i * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DI: f64 = 2e-6;
+    const P: f64 = 0.3;
+    const LAM: f64 = 500.0;
+
+    #[test]
+    fn autocovariance_at_zero_lag_is_the_variance() {
+        assert!(
+            (lorentzian_autocovariance(DI, P, LAM, 0.0) - rtn_variance(DI, P)).abs() < 1e-24
+        );
+    }
+
+    #[test]
+    fn autocovariance_decays_symmetrically() {
+        let c_pos = lorentzian_autocovariance(DI, P, LAM, 1e-3);
+        let c_neg = lorentzian_autocovariance(DI, P, LAM, -1e-3);
+        assert_eq!(c_pos, c_neg);
+        assert!(c_pos < rtn_variance(DI, P));
+        // Time constant check: C(1/λΣ) = C(0)/e.
+        let c_tc = lorentzian_autocovariance(DI, P, LAM, 1.0 / LAM);
+        assert!((c_tc * core::f64::consts::E - rtn_variance(DI, P)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn uncentred_autocorrelation_tends_to_mean_square() {
+        let far = machlup_autocorrelation(DI, P, LAM, 1e3 / LAM);
+        assert!((far - (DI * P).powi(2)).abs() < 1e-30);
+    }
+
+    #[test]
+    fn psd_integrates_to_the_variance() {
+        // Trapezoid over a wide log grid.
+        let freqs = crate::psd::log_frequency_grid(LAM * 1e-5, LAM * 1e4, 20_000);
+        let mut integral = 0.0;
+        for w in freqs.windows(2) {
+            let s0 = lorentzian_psd(DI, P, LAM, w[0]);
+            let s1 = lorentzian_psd(DI, P, LAM, w[1]);
+            integral += 0.5 * (s0 + s1) * (w[1] - w[0]);
+        }
+        let var = rtn_variance(DI, P);
+        assert!(
+            (integral - var).abs() < 0.01 * var,
+            "integral {integral} vs variance {var}"
+        );
+    }
+
+    #[test]
+    fn psd_corner_behaviour() {
+        let fc = LAM / core::f64::consts::TAU;
+        let low = lorentzian_psd(DI, P, LAM, fc / 100.0);
+        let at = lorentzian_psd(DI, P, LAM, fc);
+        let high = lorentzian_psd(DI, P, LAM, fc * 100.0);
+        assert!((at / low - 0.5).abs() < 0.01, "half power at the corner");
+        // Above the corner: 1/f² rolloff. Exactly S(100fc)/S(fc) =
+        // (λ²+λ²)/(λ²+(100λ)²) = 2/10001.
+        assert!((high / at - 2.0 / 10001.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn one_over_f_matches_its_limit_in_the_midband() {
+        let (lmin, lmax) = (1.0, 1e8);
+        let f = 1e3; // well inside the band
+        let exact = one_over_f_psd(DI, 0.25, 50.0, lmin, lmax, f);
+        let limit = one_over_f_limit(DI, 0.25, 50.0, lmin, lmax, f);
+        assert!((exact / limit - 1.0).abs() < 0.01, "{exact} vs {limit}");
+    }
+
+    #[test]
+    fn one_over_f_slope_is_minus_one_in_midband() {
+        let s1 = one_over_f_psd(DI, 0.25, 50.0, 1.0, 1e8, 1e3);
+        let s2 = one_over_f_psd(DI, 0.25, 50.0, 1.0, 1e8, 1e4);
+        let slope = (s2 / s1).log10();
+        assert!((slope + 1.0).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn one_over_f_flattens_below_the_band() {
+        let s_below = one_over_f_psd(DI, 0.25, 50.0, 1e3, 1e8, 1.0);
+        let s_below2 = one_over_f_psd(DI, 0.25, 50.0, 1e3, 1e8, 2.0);
+        // Below λmin the spectrum is white-ish: much flatter than 1/f.
+        let ratio = s_below / s_below2;
+        assert!(ratio < 1.3, "ratio {ratio} should be near 1");
+    }
+
+    #[test]
+    fn thermal_floor_at_room_temperature() {
+        let gm = 1e-4; // 100 µS
+        let s = thermal_noise_psd(Temperature::ROOM, gm);
+        // (8/3)·kT·gm ≈ 2.67·4.14e-21·1e-4 ≈ 1.1e-24 A²/Hz.
+        assert!(s > 0.9e-24 && s < 1.3e-24, "thermal floor {s}");
+    }
+}

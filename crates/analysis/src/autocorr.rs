@@ -1,0 +1,215 @@
+//! Autocorrelation and autocovariance estimation.
+//!
+//! The paper's Fig 7(a–c) plots `R(τ) = E[I_RTN(t)·I_RTN(t+τ)]` — the
+//! *uncentred* autocorrelation — estimated numerically from generated
+//! traces. Both the uncentred and the centred (autocovariance) flavours
+//! are provided, with the usual biased (`1/N`) normalisation that keeps
+//! the estimated sequence positive semi-definite, plus an unbiased
+//! (`1/(N−k)`) variant and an FFT-accelerated path for long traces.
+
+use crate::fft::{fft_in_place, ifft_in_place, Complex};
+use samurai_waveform::Trace;
+
+/// Uncentred autocorrelation estimate `R[k] ≈ E[x(t)·x(t+kΔt)]` for
+/// lags `0..=max_lag`, biased normalisation (`1/N`).
+///
+/// # Panics
+///
+/// Panics if the signal is empty or `max_lag >= len`.
+pub fn raw_autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!signal.is_empty(), "signal must be non-empty");
+    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    let n = signal.len();
+    (0..=max_lag)
+        .map(|k| {
+            signal[..n - k]
+                .iter()
+                .zip(&signal[k..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// Centred autocovariance estimate `C[k] ≈ E[(x−μ)(x(t+kΔt)−μ)]`,
+/// biased normalisation.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or `max_lag >= len`.
+pub fn autocovariance(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!signal.is_empty(), "signal must be non-empty");
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let centred: Vec<f64> = signal.iter().map(|x| x - mean).collect();
+    raw_autocorrelation(&centred, max_lag)
+}
+
+/// Unbiased (`1/(N−k)`) uncentred autocorrelation.
+///
+/// Larger variance at deep lags, but no bias — useful when comparing
+/// decay constants against analytical forms.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or `max_lag >= len`.
+pub fn raw_autocorrelation_unbiased(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!signal.is_empty(), "signal must be non-empty");
+    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    let n = signal.len();
+    (0..=max_lag)
+        .map(|k| {
+            signal[..n - k]
+                .iter()
+                .zip(&signal[k..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / (n - k) as f64
+        })
+        .collect()
+}
+
+/// FFT-accelerated uncentred autocorrelation (biased), O(N log N).
+///
+/// Zero-pads to avoid circular wrap-around, so it matches
+/// [`raw_autocorrelation`] to rounding error.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or `max_lag >= len`.
+pub fn raw_autocorrelation_fft(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!signal.is_empty(), "signal must be non-empty");
+    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    let n = signal.len();
+    let padded = (2 * n).next_power_of_two();
+    let mut buf = vec![Complex::ZERO; padded];
+    for (slot, &x) in buf.iter_mut().zip(signal) {
+        *slot = Complex::from_real(x);
+    }
+    fft_in_place(&mut buf);
+    for z in buf.iter_mut() {
+        *z = Complex::from_real(z.norm_sqr());
+    }
+    ifft_in_place(&mut buf);
+    (0..=max_lag).map(|k| buf[k].re / n as f64).collect()
+}
+
+/// Autocorrelation of a [`Trace`], returned as `(lags_seconds, R)`.
+///
+/// # Panics
+///
+/// Panics if `max_lag >= trace.len()`.
+pub fn trace_autocorrelation(trace: &Trace, max_lag: usize) -> (Vec<f64>, Vec<f64>) {
+    let r = if trace.len() > 4096 {
+        raw_autocorrelation_fft(trace.values(), max_lag)
+    } else {
+        raw_autocorrelation(trace.values(), max_lag)
+    };
+    let lags = (0..=max_lag).map(|k| k as f64 * trace.dt()).collect();
+    (lags, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lag_zero_is_the_mean_square() {
+        let x = [1.0, -2.0, 3.0, -4.0];
+        let r = raw_autocorrelation(&x, 0);
+        assert!((r[0] - 30.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocovariance_of_constant_signal_is_zero() {
+        let x = [5.0; 32];
+        let c = autocovariance(&x, 4);
+        for v in c {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alternating_signal_has_alternating_correlation() {
+        let x: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = raw_autocorrelation(&x, 3);
+        assert!(r[0] > 0.9);
+        assert!(r[1] < -0.9);
+        assert!(r[2] > 0.9);
+    }
+
+    #[test]
+    fn white_noise_decorrelates_immediately() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x: Vec<f64> = (0..50_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c = autocovariance(&x, 5);
+        let var = c[0];
+        assert!((var - 1.0 / 3.0).abs() < 0.01, "variance {var}");
+        for lag in 1..=5 {
+            assert!(c[lag].abs() < 0.01, "lag {lag}: {}", c[lag]);
+        }
+    }
+
+    #[test]
+    fn fft_path_matches_direct_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x: Vec<f64> = (0..777).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let direct = raw_autocorrelation(&x, 50);
+        let fast = raw_autocorrelation_fft(&x, 50);
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unbiased_equals_biased_scaled() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let n = x.len() as f64;
+        let biased = raw_autocorrelation(&x, 3);
+        let unbiased = raw_autocorrelation_unbiased(&x, 3);
+        for k in 0..=3 {
+            let expected = biased[k] * n / (n - k as f64);
+            assert!((unbiased[k] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_autocorrelation_returns_physical_lags() {
+        let t = Trace::from_fn(0.0, 1e-3, 100, |x| (x * 500.0).sin());
+        let (lags, r) = trace_autocorrelation(&t, 10);
+        assert_eq!(lags.len(), 11);
+        assert_eq!(r.len(), 11);
+        assert!((lags[10] - 1e-2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ar1_correlation_decays_geometrically() {
+        let a = 0.9;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut x = 0.0;
+        let signal: Vec<f64> = (0..200_000)
+            .map(|_| {
+                let xi: f64 = rng.gen_range(-1.0..1.0);
+                x = a * x + xi;
+                x
+            })
+            .collect();
+        let c = autocovariance(&signal, 10);
+        for lag in 1..=10 {
+            let expected = c[0] * a.powi(lag as i32);
+            assert!(
+                (c[lag] - expected).abs() < 0.05 * c[0],
+                "lag {lag}: {} vs {expected}",
+                c[lag]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag")]
+    fn overlong_lag_rejected() {
+        let _ = raw_autocorrelation(&[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! An iterative radix-2 fast Fourier transform.
+//!
+//! Self-contained (no external FFT crate): a minimal complex type and
+//! the classic bit-reversal + butterfly in-place transform. Sufficient
+//! for the power-of-two spectral estimation this toolkit performs.
+
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a pure-real value.
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+/// In-place forward FFT of a power-of-two-length buffer.
+///
+/// Computes `X[k] = Σ_n x[n]·e^{−2πi·kn/N}` (no normalisation).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalisation).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let inv = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(inv);
+    }
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    fft_in_place(&mut buf);
+    buf
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * core::f64::consts::TAU / len as f64;
+        let w_len = Complex::from_polar_unit(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let even = data[start + k];
+                let odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-15);
+        assert!((a.abs() - 5.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::from_real(1.0);
+        fft_in_place(&mut x);
+        for z in &x {
+            assert_close(*z, Complex::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_transforms_to_single_bin() {
+        let x = fft_real(&[1.0; 16]);
+        assert_close(x[0], Complex::new(16.0, 0.0), 1e-12);
+        for z in &x[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_the_right_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (core::f64::consts::TAU * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        // cos splits into bins k and n-k with magnitude n/2 each.
+        assert!((spec[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, z) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(z.abs() < 1e-9, "leakage at bin {i}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal = [0.7, -1.2, 3.0, 0.1, -0.5, 2.2, -0.9, 1.4];
+        let n = signal.len();
+        let spec = fft_real(&signal);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in signal.iter().enumerate() {
+                let theta = -core::f64::consts::TAU * k as f64 * i as f64 / n as f64;
+                acc = acc + Complex::from_polar_unit(theta).scale(x);
+            }
+            assert_close(spec[k], acc, 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = fft_real(&[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_recovers_the_signal(
+            vals in proptest::collection::vec(-100.0f64..100.0, 1..5usize)
+                .prop_map(|v| {
+                    let n = 1usize << v.len(); // 2..32 as power of two
+                    (0..n).map(|i| v[i % v.len()] * (i as f64 * 0.37).sin()).collect::<Vec<_>>()
+                }),
+        ) {
+            let mut buf: Vec<Complex> =
+                vals.iter().map(|&x| Complex::from_real(x)).collect();
+            fft_in_place(&mut buf);
+            ifft_in_place(&mut buf);
+            for (orig, back) in vals.iter().zip(&buf) {
+                prop_assert!((orig - back.re).abs() < 1e-9);
+                prop_assert!(back.im.abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_is_conserved(
+            vals in proptest::collection::vec(-10.0f64..10.0, 1..7usize)
+                .prop_map(|seed| {
+                    let n = 64usize;
+                    (0..n).map(|i| seed[i % seed.len()] * ((i * i) as f64 * 0.11).cos())
+                        .collect::<Vec<_>>()
+                }),
+        ) {
+            let time_energy: f64 = vals.iter().map(|x| x * x).sum();
+            let spec = fft_real(&vals);
+            let freq_energy: f64 =
+                spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / vals.len() as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+        }
+    }
+}

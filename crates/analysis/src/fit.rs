@@ -1,0 +1,163 @@
+//! Least-squares fitting helpers.
+//!
+//! Used to check `1/f` behaviour quantitatively (log–log slope of a
+//! spectrum, paper Fig 3) and to extract exponential decay constants
+//! from autocorrelation estimates (Fig 7).
+
+/// Result of a straight-line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares fit of `y = a + b·x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or hold fewer than 2 points.
+pub fn fit_line(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+        syy += (yi - my) * (yi - my);
+    }
+    assert!(sxx > 0.0, "x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Log–log power-law fit `y = C·x^slope`: returns the fit of
+/// `log10 y` against `log10 x`. Points with non-positive `x` or `y`
+/// are skipped.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 usable points remain.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        if xi > 0.0 && yi > 0.0 {
+            lx.push(xi.log10());
+            ly.push(yi.log10());
+        }
+    }
+    fit_line(&lx, &ly)
+}
+
+/// Fits an exponential decay `y = A·e^{−k·x}` via a log-linear fit,
+/// returning `(A, k)`. Non-positive `y` values are skipped.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 usable points remain.
+pub fn fit_exponential_decay(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let mut xs = Vec::with_capacity(x.len());
+    let mut lys = Vec::with_capacity(y.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        if yi > 0.0 {
+            xs.push(xi);
+            lys.push(yi.ln());
+        }
+    }
+    let fit = fit_line(&xs, &lys);
+    (fit.intercept.exp(), -fit.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = fit_line(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r_squared() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 2.0, 1.0, 3.5, 3.0];
+        let f = fit_line(&x, &y);
+        assert!(f.r_squared < 1.0 && f.r_squared > 0.5);
+        assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    fn power_law_slope_is_recovered() {
+        let x: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 7.0 * xi.powf(-1.0)).collect();
+        let f = fit_power_law(&x, &y);
+        assert!((f.slope + 1.0).abs() < 1e-9, "slope {}", f.slope);
+        assert!((10f64.powf(f.intercept) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let x = [0.0, 1.0, 10.0, 100.0];
+        let y = [-1.0, 1.0, 0.1, 0.01];
+        let f = fit_power_law(&x, &y);
+        assert!((f.slope + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_decay_is_recovered() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 3.0 * (-2.5 * xi).exp()).collect();
+        let (a, k) = fit_exponential_decay(&x, &y);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((k - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = fit_line(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_rejected() {
+        let _ = fit_line(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn fit_recovers_random_lines(
+            slope in -10.0f64..10.0,
+            intercept in -10.0f64..10.0,
+        ) {
+            let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+            let y: Vec<f64> = x.iter().map(|&xi| intercept + slope * xi).collect();
+            let f = fit_line(&x, &y);
+            prop_assert!((f.slope - slope).abs() < 1e-9);
+            prop_assert!((f.intercept - intercept).abs() < 1e-8);
+        }
+    }
+}

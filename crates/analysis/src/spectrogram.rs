@@ -1,0 +1,193 @@
+//! Short-time spectral analysis for *non-stationary* signals.
+//!
+//! A single PSD assumes stationarity — the very assumption the paper
+//! shows fails during SRAM operation. The spectrogram (Hann-windowed
+//! short-time periodograms on a hopping grid) exposes how the RTN
+//! spectrum moves with the bias: trap corner frequencies light up and
+//! vanish as the gate switches.
+
+use crate::fft::fft_real;
+use samurai_waveform::Trace;
+
+/// A time–frequency power map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    /// Centre time of each column, seconds.
+    pub times: Vec<f64>,
+    /// Frequency of each row, Hz (DC excluded).
+    pub freqs: Vec<f64>,
+    /// `power[t][f]`: one-sided PSD (unit²/Hz) of window `t` at
+    /// frequency row `f`.
+    pub power: Vec<Vec<f64>>,
+}
+
+impl Spectrogram {
+    /// Number of time columns.
+    pub fn columns(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Total in-band power of column `t` (trapezoidal over rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn column_power(&self, t: usize) -> f64 {
+        let col = &self.power[t];
+        self.freqs
+            .windows(2)
+            .zip(col.windows(2))
+            .map(|(f, s)| 0.5 * (s[0] + s[1]) * (f[1] - f[0]))
+            .sum()
+    }
+
+    /// The column index whose centre time is closest to `t`.
+    pub fn column_at(&self, t: f64) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &ti) in self.times.iter().enumerate() {
+            let d = (ti - t).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Computes the spectrogram of a trace with Hann windows of
+/// `window_len` samples (a power of two ≥ 16) hopping by
+/// `window_len/2`.
+///
+/// Each column is mean-removed independently, so slow level shifts do
+/// not masquerade as low-frequency power.
+///
+/// # Panics
+///
+/// Panics if `window_len` is not a power of two ≥ 16 or exceeds the
+/// trace length.
+pub fn spectrogram(trace: &Trace, window_len: usize) -> Spectrogram {
+    assert!(
+        window_len.is_power_of_two() && window_len >= 16,
+        "window_len must be a power of two >= 16"
+    );
+    assert!(
+        window_len <= trace.len(),
+        "window_len {window_len} exceeds trace length {}",
+        trace.len()
+    );
+    let x = trace.values();
+    let dt = trace.dt();
+    let hop = window_len / 2;
+    let window: Vec<f64> = (0..window_len)
+        .map(|i| {
+            let w = core::f64::consts::TAU * i as f64 / window_len as f64;
+            0.5 * (1.0 - w.cos())
+        })
+        .collect();
+    let window_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / window_len as f64;
+
+    let df = 1.0 / (window_len as f64 * dt);
+    let half = window_len / 2;
+    let freqs: Vec<f64> = (1..half).map(|k| k as f64 * df).collect();
+
+    let mut times = Vec::new();
+    let mut power = Vec::new();
+    let mut start = 0usize;
+    while start + window_len <= x.len() {
+        let seg = &x[start..start + window_len];
+        let mean = seg.iter().sum::<f64>() / window_len as f64;
+        let tapered: Vec<f64> = seg
+            .iter()
+            .zip(&window)
+            .map(|(v, w)| (v - mean) * w)
+            .collect();
+        let spec = fft_real(&tapered);
+        let col: Vec<f64> = (1..half)
+            .map(|k| 2.0 * spec[k].norm_sqr() * dt / (window_len as f64 * window_power))
+            .collect();
+        times.push(trace.t0() + (start + window_len / 2) as f64 * dt);
+        power.push(col);
+        start += hop;
+    }
+    Spectrogram {
+        times,
+        freqs,
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_tone_fills_every_column_at_its_bin() {
+        let fs = 1024.0;
+        let f0 = 128.0;
+        let t = Trace::from_fn(0.0, 1.0 / fs, 4096, |x| {
+            (core::f64::consts::TAU * f0 * x).sin()
+        });
+        let sg = spectrogram(&t, 256);
+        assert!(sg.columns() > 10);
+        for col in 0..sg.columns() {
+            let peak_row = sg.power[col]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite power"))
+                .expect("non-empty column")
+                .0;
+            assert!(
+                (sg.freqs[peak_row] - f0).abs() < 8.0,
+                "column {col} peaks at {}",
+                sg.freqs[peak_row]
+            );
+        }
+    }
+
+    #[test]
+    fn a_burst_localises_in_time() {
+        // Noise burst only in the middle third of the record.
+        let fs = 1e4;
+        let n = 8192;
+        let t = Trace::from_fn(0.0, 1.0 / fs, n, |x| {
+            let active = x > 0.3 && x < 0.5;
+            if active {
+                (core::f64::consts::TAU * 1.7e3 * x).sin()
+            } else {
+                0.0
+            }
+        });
+        let sg = spectrogram(&t, 512);
+        let quiet = sg.column_power(sg.column_at(0.1));
+        let loud = sg.column_power(sg.column_at(0.4));
+        let quiet_after = sg.column_power(sg.column_at(0.7));
+        assert!(loud > 100.0 * quiet.max(1e-20), "loud {loud} vs quiet {quiet}");
+        assert!(loud > 100.0 * quiet_after.max(1e-20));
+    }
+
+    #[test]
+    fn column_mean_removal_suppresses_dc_leakage() {
+        // A large DC offset must not dominate the low-frequency rows.
+        let fs = 1e3;
+        let with_offset = Trace::from_fn(0.0, 1.0 / fs, 2048, |x| {
+            5.0 + 0.01 * (core::f64::consts::TAU * 100.0 * x).sin()
+        });
+        let sg = spectrogram(&with_offset, 256);
+        let lowest = sg.power[0][0];
+        let peak = sg
+            .power[0]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(peak > 10.0 * lowest, "tone {peak} vs DC-adjacent {lowest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_window_rejected() {
+        let t = Trace::from_fn(0.0, 1.0, 100, |x| x);
+        let _ = spectrogram(&t, 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! Summary statistics and distributional tests.
+//!
+//! The dwell times of a stationary trap are exponentially distributed
+//! (that is what "Markov" means for a two-state chain); the
+//! Kolmogorov–Smirnov helper here lets tests and experiments check that
+//! property quantitatively rather than eyeballing histograms.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population variance (`1/N`).
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Computes summary statistics.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(sample: &[f64]) -> Summary {
+    assert!(!sample.is_empty(), "cannot summarise an empty sample");
+    let n = sample.len() as f64;
+    let mean = sample.iter().sum::<f64>() / n;
+    let variance = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        count: sample.len(),
+        mean,
+        variance,
+        min,
+        max,
+    }
+}
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Observation counts per bin.
+    pub counts: Vec<usize>,
+}
+
+/// Builds a histogram of `bins` equal-width bins spanning the sample
+/// range (the maximum lands in the last bin).
+///
+/// # Panics
+///
+/// Panics on an empty sample or `bins == 0`.
+pub fn histogram(sample: &[f64], bins: usize) -> Histogram {
+    assert!(!sample.is_empty(), "cannot bin an empty sample");
+    assert!(bins > 0, "need at least one bin");
+    let s = summarize(sample);
+    let span = (s.max - s.min).max(f64::MIN_POSITIVE);
+    let width = span / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &x in sample {
+        let idx = (((x - s.min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    Histogram {
+        min: s.min,
+        width,
+        counts,
+    }
+}
+
+/// Kolmogorov–Smirnov statistic of a sample against the exponential
+/// distribution with the given `rate`: `D = sup |F_emp − F_exp|`.
+///
+/// # Panics
+///
+/// Panics on an empty sample or non-positive rate.
+pub fn ks_statistic_exponential(sample: &[f64], rate: f64) -> f64 {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f_exp = 1.0 - (-rate * x).exp();
+        let f_lo = i as f64 / n;
+        let f_hi = (i + 1) as f64 / n;
+        d = d.max((f_exp - f_lo).abs()).max((f_hi - f_exp).abs());
+    }
+    d
+}
+
+/// Critical KS value at 5 % significance for sample size `n`
+/// (asymptotic `1.358/√n` formula).
+pub fn ks_critical_5pct(n: usize) -> f64 {
+    1.358 / (n as f64).sqrt()
+}
+
+/// Root-mean-square *relative* deviation between two curves sampled on
+/// the same grid: `sqrt(mean(((a−b)/b)²))`. Points where `|b|` is
+/// below `floor` are skipped (to ignore regions dominated by noise).
+///
+/// # Panics
+///
+/// Panics if lengths differ or no points survive the floor.
+pub fn rms_relative_error(a: &[f64], b: &[f64], floor: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "curves must share the grid");
+    let mut acc = 0.0;
+    let mut used = 0usize;
+    for (&ai, &bi) in a.iter().zip(b) {
+        if bi.abs() > floor {
+            let rel = (ai - bi) / bi;
+            acc += rel * rel;
+            used += 1;
+        }
+    }
+    assert!(used > 0, "no points above the floor");
+    (acc / used as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let sample = [0.0, 0.1, 0.5, 0.9, 1.0];
+        let h = histogram(&sample, 2);
+        assert_eq!(h.counts.iter().sum::<usize>(), sample.len());
+        assert_eq!(h.counts, vec![2, 3]);
+    }
+
+    #[test]
+    fn ks_accepts_genuine_exponential_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let rate = 3.0;
+        let sample: Vec<f64> = (0..5000)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                -(1.0 - u).ln() / rate
+            })
+            .collect();
+        let d = ks_statistic_exponential(&sample, rate);
+        assert!(
+            d < ks_critical_5pct(sample.len()),
+            "D = {d} vs critical {}",
+            ks_critical_5pct(sample.len())
+        );
+    }
+
+    #[test]
+    fn ks_rejects_wrong_rate_and_wrong_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sample: Vec<f64> = (0..5000)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                -(1.0 - u).ln() / 3.0
+            })
+            .collect();
+        // Wrong rate: clear rejection.
+        assert!(ks_statistic_exponential(&sample, 9.0) > ks_critical_5pct(sample.len()));
+        // Uniform sample is not exponential.
+        let uniform: Vec<f64> = (0..5000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(ks_statistic_exponential(&uniform, 2.0) > ks_critical_5pct(uniform.len()));
+    }
+
+    #[test]
+    fn rms_relative_error_behaves() {
+        let a = [1.1, 2.2, 3.3];
+        let b = [1.0, 2.0, 3.0];
+        let e = rms_relative_error(&a, &b, 0.0);
+        assert!((e - 0.1).abs() < 1e-9);
+        assert_eq!(rms_relative_error(&b, &b, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rms_relative_error_skips_floored_points() {
+        let a = [100.0, 1.1];
+        let b = [1e-12, 1.0];
+        let e = rms_relative_error(&a, &b, 1e-6);
+        assert!((e - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        let _ = summarize(&[]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Time-lag plots and discrete-level detection for RTN traces.
+//!
+//! The *time-lag plot* (TLP) — the 2-D histogram of `x[n]` against
+//! `x[n+1]` — is the standard experimental tool for analysing measured
+//! RTN: a trace switching between `k` discrete levels concentrates its
+//! TLP mass in `k` diagonal blobs (the dwells) plus faint off-diagonal
+//! spots (the transitions). This module provides the TLP itself plus a
+//! simple 1-D k-means level detector, so generated traces can be
+//! analysed exactly the way measured ones are.
+
+use samurai_waveform::Trace;
+
+/// A two-dimensional time-lag histogram over a square grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeLagPlot {
+    /// Lower edge of the value range (both axes).
+    pub min: f64,
+    /// Upper edge of the value range.
+    pub max: f64,
+    /// Grid resolution per axis.
+    pub bins: usize,
+    /// Row-major counts: `counts[i * bins + j]` = occurrences of
+    /// `x[n]` in bin `i` and `x[n+lag]` in bin `j`.
+    pub counts: Vec<u64>,
+}
+
+impl TimeLagPlot {
+    /// Count at grid cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn at(&self, i: usize, j: usize) -> u64 {
+        assert!(i < self.bins && j < self.bins);
+        self.counts[i * self.bins + j]
+    }
+
+    /// Fraction of all mass on the main diagonal (|i − j| ≤ 1) — close
+    /// to 1 for genuine telegraph signals, markedly lower for drifting
+    /// or continuous signals.
+    pub fn diagonal_fraction(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut diag = 0u64;
+        for i in 0..self.bins {
+            for j in i.saturating_sub(1)..=(i + 1).min(self.bins - 1) {
+                diag += self.at(i, j);
+            }
+        }
+        diag as f64 / total as f64
+    }
+}
+
+/// Builds the time-lag histogram of a trace at the given `lag` (in
+/// samples) over a `bins × bins` grid spanning the trace's range.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`, `lag == 0`, or the trace is shorter than
+/// `lag + 1` samples.
+pub fn time_lag_plot(trace: &Trace, lag: usize, bins: usize) -> TimeLagPlot {
+    assert!(bins > 0, "need at least one bin");
+    assert!(lag > 0, "lag must be positive");
+    let x = trace.values();
+    assert!(x.len() > lag, "trace too short for the requested lag");
+    let min = trace.min_value();
+    let max = trace.max_value();
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let index = |v: f64| (((v - min) / span * bins as f64) as usize).min(bins - 1);
+    let mut counts = vec![0u64; bins * bins];
+    for k in 0..x.len() - lag {
+        counts[index(x[k]) * bins + index(x[k + lag])] += 1;
+    }
+    TimeLagPlot {
+        min,
+        max,
+        bins,
+        counts,
+    }
+}
+
+/// Result of the discrete-level detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelFit {
+    /// Detected level values, ascending.
+    pub levels: Vec<f64>,
+    /// Fraction of samples assigned to each level.
+    pub weights: Vec<f64>,
+    /// Mean squared distance of samples to their assigned level.
+    pub distortion: f64,
+}
+
+/// Detects `k` discrete levels in a trace by 1-D k-means (Lloyd's
+/// algorithm with quantile initialisation).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the trace has fewer than `k` samples.
+pub fn detect_levels(trace: &Trace, k: usize) -> LevelFit {
+    assert!(k > 0, "need at least one level");
+    let x = trace.values();
+    assert!(x.len() >= k, "more levels than samples");
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+
+    // Quantile initialisation.
+    let mut levels: Vec<f64> = (0..k)
+        .map(|i| sorted[(i * 2 + 1) * sorted.len() / (2 * k)])
+        .collect();
+
+    let mut assignments = vec![0usize; x.len()];
+    for _ in 0..100 {
+        // Assign.
+        let mut changed = false;
+        for (n, &v) in x.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &level) in levels.iter().enumerate() {
+                let d = (v - level).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[n] != best {
+                assignments[n] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (n, &v) in x.iter().enumerate() {
+            sums[assignments[n]] += v;
+            counts[assignments[n]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                levels[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| levels[a].partial_cmp(&levels[b]).expect("finite levels"));
+    let sorted_levels: Vec<f64> = order.iter().map(|&c| levels[c]).collect();
+    let mut weights = vec![0.0f64; k];
+    let mut distortion = 0.0;
+    for (n, &v) in x.iter().enumerate() {
+        let c = assignments[n];
+        let rank = order.iter().position(|&o| o == c).expect("rank exists");
+        weights[rank] += 1.0;
+        distortion += (v - levels[c]) * (v - levels[c]);
+    }
+    let total = x.len() as f64;
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+    LevelFit {
+        levels: sorted_levels,
+        weights,
+        distortion: distortion / total,
+    }
+}
+
+/// Estimates how many discrete levels a trace has by increasing `k`
+/// until the k-means distortion stops improving by at least
+/// `improvement` (relative), up to `k_max`.
+///
+/// # Panics
+///
+/// Panics if `k_max == 0`.
+pub fn estimate_level_count(trace: &Trace, k_max: usize, improvement: f64) -> usize {
+    assert!(k_max > 0);
+    let mut prev = detect_levels(trace, 1).distortion;
+    for k in 2..=k_max {
+        let d = detect_levels(trace, k).distortion;
+        if prev <= f64::MIN_POSITIVE || (prev - d) / prev < improvement {
+            return k - 1;
+        }
+        prev = d;
+    }
+    k_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// A clean two-level telegraph trace with known levels.
+    fn telegraph_trace(lo: f64, hi: f64, n: usize, seed: u64) -> Trace {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut level = lo;
+        let mut remaining = 0usize;
+        Trace::from_fn(0.0, 1.0, n, |_| {
+            if remaining == 0 {
+                remaining = rng.gen_range(20..120);
+                level = if level == lo { hi } else { lo };
+            }
+            remaining -= 1;
+            level
+        })
+    }
+
+    #[test]
+    fn tlp_of_a_telegraph_signal_is_diagonal() {
+        let t = telegraph_trace(0.0, 1.0, 20_000, 1);
+        let tlp = time_lag_plot(&t, 1, 16);
+        assert!(tlp.diagonal_fraction() > 0.95, "{}", tlp.diagonal_fraction());
+        // The two dwell blobs sit at the diagonal corners.
+        assert!(tlp.at(0, 0) > 1000);
+        assert!(tlp.at(15, 15) > 1000);
+        // Off-diagonal transition mass exists but is small.
+        let transitions = tlp.at(0, 15) + tlp.at(15, 0);
+        assert!(transitions > 0 && transitions < 1000);
+    }
+
+    #[test]
+    fn tlp_of_white_noise_is_spread_out() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = Trace::from_fn(0.0, 1.0, 20_000, |_| rng.gen_range(0.0..1.0));
+        let tlp = time_lag_plot(&t, 1, 16);
+        assert!(tlp.diagonal_fraction() < 0.4, "{}", tlp.diagonal_fraction());
+    }
+
+    #[test]
+    fn detect_levels_recovers_a_two_level_signal() {
+        let t = telegraph_trace(2.0e-6, 5.0e-6, 10_000, 3);
+        let fit = detect_levels(&t, 2);
+        assert!((fit.levels[0] - 2.0e-6).abs() < 1e-8);
+        assert!((fit.levels[1] - 5.0e-6).abs() < 1e-8);
+        assert!(fit.weights.iter().all(|&w| w > 0.2));
+        assert!(fit.distortion < 1e-14);
+    }
+
+    #[test]
+    fn detect_levels_with_noise_still_finds_the_centres() {
+        let clean = telegraph_trace(0.0, 1.0, 20_000, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let noisy = clean.map(|v| v + rng.gen_range(-0.1..0.1));
+        let fit = detect_levels(&noisy, 2);
+        assert!((fit.levels[0] - 0.0).abs() < 0.03, "{:?}", fit.levels);
+        assert!((fit.levels[1] - 1.0).abs() < 0.03, "{:?}", fit.levels);
+    }
+
+    #[test]
+    fn estimate_level_count_matches_the_source() {
+        // Two-level source.
+        let two = telegraph_trace(0.0, 1.0, 10_000, 6);
+        assert_eq!(estimate_level_count(&two, 5, 0.2), 2);
+        // Four-level source: two independent telegraphs summed.
+        let a = telegraph_trace(0.0, 1.0, 10_000, 7);
+        let b = telegraph_trace(0.0, 0.4, 10_000, 8);
+        let four = a.add(&b);
+        let k = estimate_level_count(&four, 6, 0.2);
+        assert!(k >= 3, "expected >= 3 levels for a 4-level signal, got {k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lag must be positive")]
+    fn zero_lag_rejected() {
+        let t = telegraph_trace(0.0, 1.0, 100, 9);
+        let _ = time_lag_plot(&t, 0, 8);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion benches for the analysis substrate: FFT sizes, Welch PSD
+//! estimation and direct-vs-FFT autocorrelation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use samurai_analysis::{autocorr, fft, psd};
+use samurai_waveform::Trace;
+
+fn noisy_trace(n: usize) -> Trace {
+    // Deterministic pseudo-noise (no RNG dependency in the hot loop).
+    Trace::from_fn(0.0, 1e-6, n, |t| {
+        (t * 1.1e6).sin() + 0.3 * (t * 7.7e6).cos() + 0.1 * (t * 311.0e6).sin()
+    })
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &log_n in &[10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let signal: Vec<f64> = noisy_trace(n).into_values();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(fft::fft_real(&signal)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let trace = noisy_trace(1 << 15);
+    c.bench_function("welch_32k_seg1024", |b| {
+        b.iter(|| black_box(psd::welch(&trace, 1024)))
+    });
+}
+
+fn bench_autocorr(c: &mut Criterion) {
+    let trace = noisy_trace(1 << 13);
+    let mut group = c.benchmark_group("autocorrelation_8k_lag256");
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(autocorr::raw_autocorrelation(trace.values(), 256)))
+    });
+    group.bench_function("fft", |b| {
+        b.iter(|| black_box(autocorr::raw_autocorrelation_fft(trace.values(), 256)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_welch, bench_autocorr
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the SPICE substrate: the 6T write transient
+//! under both integrators (the trapezoidal-vs-backward-Euler ablation
+//! of DESIGN.md §6) and the full two-pass methodology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use samurai_sram::{
+    build_write_waveforms, run_methodology, MethodologyConfig, SramCell, SramCellParams,
+    WriteTiming,
+};
+use samurai_spice::{run_transient, Integrator, Source, TransientConfig};
+use samurai_waveform::BitPattern;
+
+fn write_cell(integrator: Integrator) {
+    let timing = WriteTiming::default();
+    let pattern = BitPattern::parse("10").expect("static pattern");
+    let mut cell = SramCell::new(SramCellParams::default());
+    let waves = build_write_waveforms(&pattern, &timing).expect("valid timing");
+    cell.set_wl(Source::Pwl(waves.wl));
+    cell.set_bl(Source::Pwl(waves.bl));
+    cell.set_blb(Source::Pwl(waves.blb));
+    let config = TransientConfig {
+        integrator,
+        ..TransientConfig::default()
+    };
+    let result = run_transient(&cell.circuit, 0.0, timing.duration(2), &config)
+        .expect("write transient converges");
+    black_box(result);
+}
+
+fn bench_write_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_write_transient");
+    group.bench_function("trapezoidal", |b| b.iter(|| write_cell(Integrator::Trapezoidal)));
+    group.bench_function("backward_euler", |b| {
+        b.iter(|| write_cell(Integrator::BackwardEuler))
+    });
+    group.finish();
+}
+
+fn bench_methodology(c: &mut Criterion) {
+    let pattern = BitPattern::parse("1010").expect("static pattern");
+    let config = MethodologyConfig {
+        seed: 3,
+        ..MethodologyConfig::default()
+    };
+    c.bench_function("two_pass_methodology_4bits", |b| {
+        b.iter(|| black_box(run_methodology(&pattern, &config).expect("methodology runs")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_write_transient, bench_methodology
+}
+criterion_main!(benches);

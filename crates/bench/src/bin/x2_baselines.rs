@@ -1,0 +1,147 @@
+//! X2: baseline comparison — uniformisation vs the frozen-rate SSA,
+//! the fixed-Δt Bernoulli discretisation and the Ye-style two-stage
+//! white-noise generator.
+//!
+//! Two axes, matching the paper's critique of prior art (§I-C):
+//!
+//! * **accuracy under switching bias** — the post-step occupancy error
+//!   of each kernel against the master equation;
+//! * **cost** — candidate/sample counts per generated trace (the
+//!   white-noise method pays one sample per Δt; uniformisation pays
+//!   one per candidate event).
+//!
+//! Run with `cargo run --release -p samurai-bench --bin x2_baselines`.
+
+use samurai_bench::{banner, write_tagged_csv};
+use samurai_core::{gillespie, simulate_trap, ye, SeedStream};
+use samurai_trap::{master, DeviceParams, PropensityModel, TrapParams, TrapState};
+use samurai_units::{Energy, Length};
+use samurai_waveform::Pwl;
+use std::time::Instant;
+
+fn balanced_bias(model: &PropensityModel) -> f64 {
+    let (mut lo, mut hi) = (-2.0, 3.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if model.stationary_occupancy(mid) < 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn main() {
+    let device = DeviceParams::nominal_90nm();
+    let trap = TrapParams::new(Length::from_nanometres(1.8), Energy::from_ev(0.4));
+    let model = PropensityModel::new(device, trap);
+    let lambda = model.rate_sum();
+    let v_mid = balanced_bias(&model);
+
+    // A bias step that flips the trap's preference: the pre-step state
+    // is strongly empty, the post-step preference strongly filled.
+    let t_step = 5.0 / lambda;
+    let probe = t_step + 0.5 / lambda;
+    let tf = t_step + 3.0 / lambda;
+    let bias = Pwl::step(v_mid - 0.4, v_mid + 0.4, t_step, 0.001 / lambda)
+        .expect("static step parameters");
+    let exact = master::integrate_occupancy(
+        &model,
+        &bias,
+        TrapState::Empty,
+        0.0,
+        probe / 400.0,
+        401,
+        8,
+    )
+    .value_at(probe);
+
+    let runs = 30_000u64;
+    banner("X2: occupancy shortly after a bias step (exact = master equation)");
+    println!("exact p(probe) = {exact:.4}");
+
+    let mut rows = Vec::new();
+    let mut results: Vec<(&str, f64, f64)> = Vec::new(); // name, estimate, seconds
+
+    // Uniformisation.
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for r in 0..runs {
+        let occ = simulate_trap(&model, &bias, 0.0, tf, &mut SeedStream::new(1).rng(r))
+            .expect("bounded horizon");
+        acc += occ.eval(probe);
+    }
+    results.push(("uniformisation", acc / runs as f64, start.elapsed().as_secs_f64()));
+
+    // Frozen-rate SSA.
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for r in 0..runs {
+        let occ =
+            gillespie::frozen_rate_ssa(&model, &bias, 0.0, tf, &mut SeedStream::new(2).rng(r))
+                .expect("bounded horizon");
+        acc += occ.eval(probe);
+    }
+    results.push(("frozen_ssa", acc / runs as f64, start.elapsed().as_secs_f64()));
+
+    // Bernoulli time-stepping at two resolutions.
+    for (name, frac) in [("bernoulli_coarse", 0.5), ("bernoulli_fine", 0.02)] {
+        let dt = frac / lambda;
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for r in 0..runs / 4 {
+            let occ = gillespie::bernoulli_timestep(
+                &model,
+                &bias,
+                0.0,
+                tf,
+                dt,
+                &mut SeedStream::new(3).rng(r),
+            )
+            .expect("bounded horizon");
+            acc += occ.eval(probe);
+        }
+        results.push((name, acc / (runs / 4) as f64, start.elapsed().as_secs_f64()));
+    }
+
+    // Ye-style generator (calibrated at the pre-step bias, as its
+    // construction requires a single calibration point).
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for r in 0..runs / 4 {
+        let occ = ye::generate(
+            &model,
+            bias.eval(0.0),
+            0.0,
+            tf,
+            &mut SeedStream::new(4).rng(r),
+            &ye::YeConfig::default(),
+        )
+        .expect("bounded horizon");
+        acc += occ.eval(probe);
+    }
+    results.push(("ye_two_stage", acc / (runs / 4) as f64, start.elapsed().as_secs_f64()));
+
+    for (name, estimate, seconds) in &results {
+        let err = (estimate - exact).abs();
+        println!("{name:18}: p = {estimate:.4}, |error| = {err:.4}, wall = {seconds:.2}s");
+        rows.push((name.to_string(), vec![*estimate, err, *seconds]));
+    }
+
+    let path = write_tagged_csv("x2_baselines.csv", "method,estimate,abs_error,seconds", &rows);
+
+    banner("X2 verdict");
+    let unif_err = (results[0].1 - exact).abs();
+    let frozen_err = (results[1].1 - exact).abs();
+    let ye_err = (results.last().expect("non-empty").1 - exact).abs();
+    println!(
+        "verdict: {}",
+        if unif_err < 0.02 && frozen_err > 2.0 * unif_err && ye_err > 5.0 * unif_err {
+            "MATCH — only uniformisation tracks non-stationary statistics"
+        } else {
+            "PARTIAL — inspect the numbers above"
+        }
+    );
+    println!("csv: {}", path.display());
+}

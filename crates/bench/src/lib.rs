@@ -1,0 +1,89 @@
+//! Shared plumbing for the figure-regeneration binaries and the
+//! Criterion benchmarks.
+//!
+//! Each binary `figN_*` / `xN_*` regenerates one evaluation artifact of
+//! the paper (see DESIGN.md §4): it prints a human-readable summary and
+//! writes the underlying series as CSV into [`figures_dir`]
+//! (`target/figures/` by default).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory figure CSVs are written to (created on demand).
+/// Override with the `SAMURAI_FIGURES_DIR` environment variable.
+pub fn figures_dir() -> PathBuf {
+    let dir = std::env::var_os("SAMURAI_FIGURES_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    fs::create_dir_all(&dir).expect("cannot create the figures directory");
+    dir
+}
+
+/// Writes a CSV file with the given header and rows. Returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (these binaries are run interactively; a
+/// failure to write output should abort loudly).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    let path = figures_dir().join(name);
+    let mut file = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(file, "{header}").expect("cannot write CSV header");
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|v| format!("{v:.6e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(file, "{line}").expect("cannot write CSV row");
+    }
+    path
+}
+
+/// Writes a CSV with string-tagged rows (`tag,...numbers`).
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_tagged_csv(name: &str, header: &str, rows: &[(String, Vec<f64>)]) -> PathBuf {
+    let path = figures_dir().join(name);
+    let mut file = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(file, "{header}").expect("cannot write CSV header");
+    for (tag, row) in rows {
+        let nums = row
+            .iter()
+            .map(|v| format!("{v:.6e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(file, "{tag},{nums}").expect("cannot write CSV row");
+    }
+    path
+}
+
+/// Prints a section banner to stdout.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_files_are_written() {
+        std::env::set_var("SAMURAI_FIGURES_DIR", std::env::temp_dir().join("samurai-figs"));
+        let path = write_csv("unit_test.csv", "a,b", &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert_eq!(content.lines().count(), 3);
+        let path = write_tagged_csv(
+            "unit_test_tagged.csv",
+            "tag,x",
+            &[("old".into(), vec![1.0])],
+        );
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("old,1.000000e0"));
+        std::env::remove_var("SAMURAI_FIGURES_DIR");
+    }
+}

@@ -1,0 +1,69 @@
+//! The bias input of Algorithm 1: `{V_gs(t), I_d(t), …}`.
+
+use serde::{Deserialize, Serialize};
+
+use samurai_waveform::Pwl;
+
+/// Time-varying bias conditions for one transistor.
+///
+/// Algorithm 1 needs the gate–source voltage (it drives the trap
+/// propensities through Eq 2) and the nominal drain current (it scales
+/// the RTN current through Eq 3). In the paper's methodology both come
+/// out of the first, RTN-free SPICE pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasWaveforms {
+    /// Gate–source voltage `V_gs(t)`.
+    pub v_gs: Pwl,
+    /// Nominal (RTN-free) drain current `I_d(t)`.
+    pub i_d: Pwl,
+}
+
+impl BiasWaveforms {
+    /// Creates a bias description from the two waveforms.
+    pub fn new(v_gs: Pwl, i_d: Pwl) -> Self {
+        Self { v_gs, i_d }
+    }
+
+    /// A constant-bias description (the validation setting of Fig 7).
+    pub fn constant(v_gs: f64, i_d: f64) -> Self {
+        Self {
+            v_gs: Pwl::constant(v_gs),
+            i_d: Pwl::constant(i_d),
+        }
+    }
+
+    /// All breakpoint times of both waveforms, merged and deduplicated —
+    /// the extra sample points Eq (3) needs to stay exact between trap
+    /// transitions.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .v_gs
+            .breakpoint_times()
+            .chain(self.i_d.breakpoint_times())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoint times"));
+        times.dedup();
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_bias_evaluates_everywhere() {
+        let b = BiasWaveforms::constant(0.8, 5e-6);
+        assert_eq!(b.v_gs.eval(-1.0), 0.8);
+        assert_eq!(b.v_gs.eval(1e9), 0.8);
+        assert_eq!(b.i_d.eval(0.5), 5e-6);
+    }
+
+    #[test]
+    fn breakpoints_are_merged_and_sorted() {
+        let v = Pwl::new(vec![(0.0, 0.0), (2.0, 1.0)]).unwrap();
+        let i = Pwl::new(vec![(1.0, 0.0), (2.0, 1e-6), (3.0, 0.0)]).unwrap();
+        let b = BiasWaveforms::new(v, i);
+        assert_eq!(b.breakpoints(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the SAMURAI core.
+
+use core::fmt;
+
+/// Errors from RTN trace generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The simulation horizon is empty or reversed (`t_f <= t_0`).
+    EmptyHorizon {
+        /// Requested start time.
+        t0: f64,
+        /// Requested end time.
+        tf: f64,
+    },
+    /// A single trap generated more candidate events than the
+    /// configured budget — almost always a mis-scaled horizon (e.g.
+    /// asking for seconds of an interface trap with `λ* ≈ 1e10 s⁻¹`).
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// The trap's uniformisation rate `λ*` in 1/s.
+        rate: f64,
+    },
+    /// The bias waveform drives the generator outside its valid domain
+    /// (non-finite propensity).
+    NonFinitePropensity {
+        /// Time at which the propensity evaluation failed.
+        time: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyHorizon { t0, tf } => {
+                write!(f, "simulation horizon is empty: t0 = {t0}, tf = {tf}")
+            }
+            Self::EventBudgetExceeded { budget, rate } => write!(
+                f,
+                "candidate-event budget of {budget} exceeded for a trap with lambda* = {rate:.3e} /s; shorten the horizon or raise the budget"
+            ),
+            Self::NonFinitePropensity { time } => {
+                write!(f, "propensity evaluation returned a non-finite value at t = {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::CoreError;
+
+    #[test]
+    fn messages_mention_the_key_numbers() {
+        let e = CoreError::EventBudgetExceeded {
+            budget: 1000,
+            rate: 1e10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1000") && msg.contains("1.000e10"), "{msg}");
+        assert!(CoreError::EmptyHorizon { t0: 1.0, tf: 0.0 }
+            .to_string()
+            .contains("empty"));
+    }
+}

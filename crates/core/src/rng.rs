@@ -1,0 +1,136 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic component of the toolkit draws from seeded ChaCha
+//! streams so that figures, tests and benchmarks are exactly
+//! reproducible. [`SeedStream`] derives independent per-trap (or
+//! per-transistor, per-cell…) generators from one master seed using
+//! SplitMix64-style mixing, so adding a trap never perturbs the streams
+//! of the others.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Draws an exponentially distributed waiting time with the given
+/// *mean* — the paper's `exprand(1/λ*)` (Algorithm 1, line 7).
+///
+/// # Panics
+///
+/// Panics in debug builds if `mean` is not positive and finite.
+pub fn exp_rand<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+    // gen::<f64>() is in [0, 1); use 1 - u in (0, 1] so ln never sees 0.
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// SplitMix64 finaliser — a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent, reproducible RNG for stream `index` of a
+/// master `seed`.
+pub fn trap_rng(seed: u64, index: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(index)))
+}
+
+/// A factory of independent random streams derived from one master
+/// seed.
+///
+/// # Examples
+///
+/// ```
+/// use samurai_core::SeedStream;
+/// use rand::Rng;
+///
+/// let stream = SeedStream::new(7);
+/// let mut a = stream.rng(0);
+/// let mut b = stream.rng(1);
+/// // Distinct streams...
+/// assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+/// // ...but reproducible ones.
+/// let mut a2 = SeedStream::new(7).rng(0);
+/// assert_eq!(SeedStream::new(7).rng(0).gen::<u64>(), a2.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    seed: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream factory from a master seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG for stream `index`.
+    pub fn rng(&self, index: u64) -> ChaCha8Rng {
+        trap_rng(self.seed, index)
+    }
+
+    /// A derived sub-factory (e.g. one per transistor, each of which
+    /// then derives one stream per trap).
+    pub fn substream(&self, index: u64) -> SeedStream {
+        SeedStream {
+            seed: splitmix64(self.seed ^ splitmix64(index.wrapping_add(0x5851_f42d_4c95_7f2d))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_rand_has_the_requested_mean() {
+        let mut rng = trap_rng(1, 0);
+        let mean = 2.5;
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exp_rand(&mut rng, mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.03 * mean,
+            "sample mean {sample_mean}"
+        );
+    }
+
+    #[test]
+    fn exp_rand_is_strictly_positive() {
+        let mut rng = trap_rng(2, 0);
+        for _ in 0..10_000 {
+            assert!(exp_rand(&mut rng, 1e-9) > 0.0);
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_reproducible() {
+        let s = SeedStream::new(99);
+        let mut draws = std::collections::HashSet::new();
+        for i in 0..100 {
+            let mut r = s.rng(i);
+            assert!(draws.insert(r.gen::<u64>()), "stream {i} collided");
+        }
+        let mut again = s.rng(42);
+        let mut first = SeedStream::new(99).rng(42);
+        assert_eq!(again.gen::<u64>(), first.gen::<u64>());
+    }
+
+    #[test]
+    fn substreams_differ_from_parent_streams() {
+        let s = SeedStream::new(5);
+        let sub = s.substream(0);
+        let mut a = s.rng(0);
+        let mut b = sub.rng(0);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(s.seed(), sub.seed());
+    }
+}

@@ -1,0 +1,391 @@
+//! Algorithm 1 — non-stationary RTN generation by Markov
+//! uniformisation.
+//!
+//! A trap's two-state Markov chain is time-inhomogeneous because its
+//! capture/emission propensities follow the gate bias. Uniformisation
+//! simulates it *exactly*: candidate events are generated from a
+//! stationary chain at the constant rate `λ* = λc + λe` (constant by
+//! Eq 1 — the paper evaluates it once at `t₀`, line 3), and each
+//! candidate at time `t` is *kept* with probability `λ_next(t)/λ*`,
+//! where `λ_next` is the propensity of leaving the current state. The
+//! thinned process is distributed exactly as the original chain
+//! (Heidelberger & Nicol \[11\], van Dijk \[12\], Shanthikumar \[13\]).
+
+use rand::Rng;
+
+use crate::{exp_rand, CoreError, SeedStream};
+use samurai_trap::{PropensityModel, TrapState};
+use samurai_waveform::{Pwc, Pwl, Trace};
+
+/// Tuning knobs for the uniformisation simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformisationConfig {
+    /// Hard cap on candidate events per trap, guarding against
+    /// accidentally simulating seconds of an interface trap running at
+    /// `λ* ≈ 1e10 s⁻¹`.
+    pub max_candidate_events: usize,
+}
+
+impl Default for UniformisationConfig {
+    fn default() -> Self {
+        Self {
+            max_candidate_events: 100_000_000,
+        }
+    }
+}
+
+/// Simulates one trap over `[t0, tf]` under the time-varying gate bias
+/// `v_gs`, returning its occupancy staircase (values `0.0`/`1.0`).
+///
+/// This is a line-by-line implementation of the paper's Algorithm 1
+/// with the default event budget; see [`simulate_trap_with`] to tune
+/// it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyHorizon`] if `tf <= t0` and
+/// [`CoreError::EventBudgetExceeded`] if the trap is too fast for the
+/// horizon (see [`UniformisationConfig`]).
+pub fn simulate_trap<R: Rng + ?Sized>(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    rng: &mut R,
+) -> Result<Pwc, CoreError> {
+    simulate_trap_with(model, v_gs, t0, tf, rng, &UniformisationConfig::default())
+}
+
+/// [`simulate_trap`] with an explicit configuration.
+///
+/// # Errors
+///
+/// As [`simulate_trap`].
+pub fn simulate_trap_with<R: Rng + ?Sized>(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    rng: &mut R,
+    config: &UniformisationConfig,
+) -> Result<Pwc, CoreError> {
+    if !(tf > t0) {
+        return Err(CoreError::EmptyHorizon { t0, tf });
+    }
+
+    // Line 3: λ* = λc(t0) + λe(t0). By Eq (1) this equals the constant
+    // rate sum, so it is a valid uniformisation rate for all t — the
+    // debug assertion below checks the invariant the algorithm's
+    // correctness rests on.
+    let (lc0, le0) = model.propensities(v_gs.eval(t0));
+    let lambda_star = lc0 + le0;
+    if !lambda_star.is_finite() || lambda_star <= 0.0 {
+        return Err(CoreError::NonFinitePropensity { time: t0 });
+    }
+    let mean_wait = 1.0 / lambda_star;
+
+    // Lines 4–5.
+    let mut curr_time = t0;
+    let mut curr_state = model.trap().initial_state;
+    let mut steps: Vec<(f64, f64)> = vec![(t0, curr_state.occupancy())];
+    let mut candidates = 0usize;
+
+    // Line 6: generate candidates until the horizon is passed.
+    loop {
+        // Lines 7–9: next candidate from the uniformised (stationary,
+        // rate λ*) chain.
+        curr_time += exp_rand(rng, mean_wait);
+        if curr_time > tf {
+            break;
+        }
+        candidates += 1;
+        if candidates > config.max_candidate_events {
+            return Err(CoreError::EventBudgetExceeded {
+                budget: config.max_candidate_events,
+                rate: lambda_star,
+            });
+        }
+
+        // Lines 10–14: the propensity of leaving the current state.
+        let (lc, le) = model.propensities(v_gs.eval(curr_time));
+        let lambda_next = match curr_state {
+            TrapState::Filled => le,
+            TrapState::Empty => lc,
+        };
+        if !lambda_next.is_finite() {
+            return Err(CoreError::NonFinitePropensity { time: curr_time });
+        }
+        debug_assert!(
+            lambda_next <= lambda_star * (1.0 + 1e-9),
+            "uniformisation bound violated: lambda_next = {lambda_next} > lambda* = {lambda_star}"
+        );
+
+        // Lines 15–22: keep the candidate with probability λ_next/λ*.
+        let keep: f64 = rng.gen();
+        if keep < lambda_next / lambda_star {
+            curr_state = curr_state.toggled();
+            steps.push((curr_time, curr_state.occupancy()));
+        }
+    }
+
+    Ok(Pwc::new(steps).expect("event times are strictly increasing"))
+}
+
+/// Simulates every trap of a device independently (Algorithm 1's outer
+/// `foreach`), deriving one RNG stream per trap from `seeds` so the
+/// result is reproducible and insensitive to trap ordering.
+///
+/// Returns one occupancy staircase per trap, in input order.
+///
+/// # Errors
+///
+/// Propagates the first per-trap error (see [`simulate_trap`]).
+pub fn simulate_device(
+    models: &[PropensityModel],
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    seeds: &SeedStream,
+    config: &UniformisationConfig,
+) -> Result<Vec<Pwc>, CoreError> {
+    models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mut rng = seeds.rng(i as u64);
+            simulate_trap_with(m, v_gs, t0, tf, &mut rng, config)
+        })
+        .collect()
+}
+
+/// Ensemble-averaged occupancy of one trap over `runs` independent
+/// simulations, sampled on a uniform grid — the stochastic estimate
+/// whose exact counterpart is `samurai_trap::master::integrate_occupancy`.
+///
+/// # Errors
+///
+/// Propagates simulation errors from [`simulate_trap`].
+pub fn ensemble_occupancy(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    dt: f64,
+    n: usize,
+    runs: usize,
+    seeds: &SeedStream,
+) -> Result<Trace, CoreError> {
+    assert!(runs > 0, "need at least one run");
+    let tf = t0 + dt * n as f64;
+    let mut acc = vec![0.0f64; n];
+    for r in 0..runs {
+        let mut rng = seeds.rng(r as u64);
+        let occ = simulate_trap(model, v_gs, t0, tf, &mut rng)?;
+        for (i, slot) in acc.iter_mut().enumerate() {
+            *slot += occ.eval(t0 + i as f64 * dt);
+        }
+    }
+    let inv = 1.0 / runs as f64;
+    Ok(Trace::new(t0, dt, acc.into_iter().map(|v| v * inv).collect())
+        .expect("grid validated by caller"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samurai_trap::master;
+    use samurai_trap::{DeviceParams, TrapParams};
+    use samurai_units::{Energy, Length};
+
+    /// A slow trap (λΣ ≈ 152 /s) whose dwells we can afford to observe
+    /// many times over.
+    fn slow_model(energy_ev: f64) -> PropensityModel {
+        PropensityModel::new(
+            DeviceParams::nominal_90nm(),
+            TrapParams::new(Length::from_nanometres(1.8), Energy::from_ev(energy_ev)),
+        )
+    }
+
+    /// Finds a gate bias where the stationary occupancy is ~0.5, so
+    /// both dwell populations are well represented.
+    fn balanced_bias(model: &PropensityModel) -> f64 {
+        let (mut lo, mut hi) = (-2.0, 3.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if model.stationary_occupancy(mid) < 0.5 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    #[test]
+    fn constant_bias_occupancy_fraction_matches_stationary_probability() {
+        let m = slow_model(0.4);
+        let v = balanced_bias(&m);
+        let p = m.stationary_occupancy(v);
+        assert!((p - 0.5).abs() < 1e-3);
+
+        let tf = 3000.0 / m.rate_sum();
+        let mut rng = SeedStream::new(11).rng(0);
+        let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, tf, &mut rng).unwrap();
+        let frac = occ.fraction_at(0.0, tf, 1.0, 0.0);
+        assert!((frac - p).abs() < 0.05, "occupancy fraction {frac} vs p {p}");
+    }
+
+    #[test]
+    fn constant_bias_dwell_times_are_exponential_with_correct_means() {
+        let m = slow_model(0.4);
+        let v = balanced_bias(&m);
+        let (lc, le) = m.propensities(v);
+        let tf = 4000.0 / m.rate_sum();
+        let mut rng = SeedStream::new(23).rng(0);
+        let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, tf, &mut rng).unwrap();
+
+        let dwells = occ.dwells();
+        assert!(dwells.len() > 300, "need plenty of dwells, got {}", dwells.len());
+        let filled: Vec<f64> = dwells.iter().filter(|d| d.1 == 1.0).map(|d| d.0).collect();
+        let empty: Vec<f64> = dwells.iter().filter(|d| d.1 == 0.0).map(|d| d.0).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+        // Mean filled dwell = 1/λe, mean empty dwell = 1/λc.
+        let mf = mean(&filled);
+        let me = mean(&empty);
+        assert!((mf * le - 1.0).abs() < 0.15, "filled dwell mean {mf}, 1/le {}", 1.0 / le);
+        assert!((me * lc - 1.0).abs() < 0.15, "empty dwell mean {me}, 1/lc {}", 1.0 / lc);
+    }
+
+    #[test]
+    fn occupancy_values_are_binary_and_alternate() {
+        let m = slow_model(0.3);
+        let v = balanced_bias(&m);
+        let mut rng = SeedStream::new(3).rng(0);
+        let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, 500.0 / m.rate_sum(), &mut rng)
+            .unwrap();
+        let steps = occ.steps();
+        for w in steps.windows(2) {
+            assert!(w[0].1 == 0.0 || w[0].1 == 1.0);
+            assert_ne!(w[0].1, w[1].1, "kept events must toggle the state");
+        }
+    }
+
+    #[test]
+    fn ensemble_mean_tracks_the_master_equation_through_a_bias_step() {
+        let m = slow_model(0.4);
+        let lam = m.rate_sum();
+        let v_lo = balanced_bias(&m) - 0.15;
+        let v_hi = balanced_bias(&m) + 0.15;
+        let t_step = 10.0 / lam;
+        let bias = Pwl::step(v_lo, v_hi, t_step, 0.05 / lam).unwrap();
+
+        let n = 60;
+        let dt = 2.0 * t_step / n as f64;
+        let runs = 3000;
+        let seeds = SeedStream::new(77);
+        let ensemble = ensemble_occupancy(&m, &bias, 0.0, dt, n, runs, &seeds).unwrap();
+        let exact = master::integrate_occupancy(
+            &m,
+            &bias,
+            m.trap().initial_state,
+            0.0,
+            dt,
+            n,
+            8,
+        );
+
+        // Monte-Carlo error of a Bernoulli mean over 3000 runs ≈ 0.009;
+        // allow 4 sigma.
+        for ((_, est), (_, ex)) in ensemble.iter().zip(exact.iter()) {
+            assert!(
+                (est - ex).abs() < 0.04,
+                "ensemble {est} vs master equation {ex}"
+            );
+        }
+    }
+
+    #[test]
+    fn trap_activity_follows_the_gate_like_m5_in_fig8() {
+        // Gate high -> trap mostly filled; gate low -> mostly empty.
+        let m = slow_model(0.4);
+        let lam = m.rate_sum();
+        let v_mid = balanced_bias(&m);
+        let period = 400.0 / lam;
+        let bias = Pwl::clock(v_mid - 0.3, v_mid + 0.3, 0.0, period, 0.5, period / 100.0, 2)
+            .unwrap();
+        let mut rng = SeedStream::new(5).rng(0);
+        let occ = simulate_trap(&m, &bias, 0.0, 2.0 * period, &mut rng).unwrap();
+
+        let high_frac = occ.fraction_at(0.0, period / 2.0, 1.0, 0.0);
+        let low_frac = occ.fraction_at(period / 2.0, period, 1.0, 0.0);
+        assert!(
+            high_frac > 0.7 && low_frac < 0.3,
+            "high-phase occupancy {high_frac}, low-phase {low_frac}"
+        );
+    }
+
+    #[test]
+    fn reproducible_with_the_same_stream() {
+        let m = slow_model(0.35);
+        let v = Pwl::constant(balanced_bias(&m));
+        let a = simulate_trap(&m, &v, 0.0, 100.0 / m.rate_sum(), &mut SeedStream::new(9).rng(0))
+            .unwrap();
+        let b = simulate_trap(&m, &v, 0.0, 100.0 / m.rate_sum(), &mut SeedStream::new(9).rng(0))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_horizon_is_rejected() {
+        let m = slow_model(0.3);
+        let mut rng = SeedStream::new(1).rng(0);
+        let err = simulate_trap(&m, &Pwl::constant(0.5), 1.0, 1.0, &mut rng).unwrap_err();
+        assert!(matches!(err, CoreError::EmptyHorizon { .. }));
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let m = slow_model(0.3);
+        let cfg = UniformisationConfig {
+            max_candidate_events: 10,
+        };
+        let mut rng = SeedStream::new(1).rng(0);
+        let err = simulate_trap_with(
+            &m,
+            &Pwl::constant(0.5),
+            0.0,
+            1e6 / m.rate_sum(),
+            &mut rng,
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EventBudgetExceeded { budget: 10, .. }));
+    }
+
+    #[test]
+    fn simulate_device_returns_one_staircase_per_trap() {
+        let device = DeviceParams::nominal_90nm();
+        let models: Vec<PropensityModel> = [1.4, 1.6, 1.8]
+            .iter()
+            .map(|&d| {
+                PropensityModel::new(
+                    device,
+                    TrapParams::new(Length::from_nanometres(d), Energy::from_ev(0.4)),
+                )
+            })
+            .collect();
+        let slowest = models.iter().map(|m| m.rate_sum()).fold(f64::INFINITY, f64::min);
+        let occs = simulate_device(
+            &models,
+            &Pwl::constant(0.6),
+            0.0,
+            200.0 / slowest,
+            &SeedStream::new(4),
+            &UniformisationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(occs.len(), 3);
+        // Faster traps toggle more.
+        assert!(occs[0].transition_count() >= occs[2].transition_count());
+    }
+}

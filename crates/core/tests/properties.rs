@@ -1,0 +1,125 @@
+//! Property-based tests of the uniformisation kernel over random trap
+//! parameters and bias waveforms.
+
+use proptest::prelude::*;
+
+use samurai_core::{simulate_trap, SeedStream};
+use samurai_trap::{DeviceParams, PropensityModel, TrapParams, TrapState};
+use samurai_units::{Energy, Length};
+use samurai_waveform::Pwl;
+
+fn model(depth_nm: f64, energy_ev: f64, initial: TrapState) -> PropensityModel {
+    PropensityModel::new(
+        DeviceParams::nominal_90nm(),
+        TrapParams::new(Length::from_nanometres(depth_nm), Energy::from_ev(energy_ev))
+            .with_initial_state(initial),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants of every generated trajectory: strictly
+    /// increasing event times inside the horizon, binary alternating
+    /// states, and the configured initial state at t0.
+    #[test]
+    fn trajectories_are_wellformed(
+        depth in 1.4f64..2.0,
+        energy in 0.1f64..0.7,
+        v_lo in 0.0f64..0.6,
+        dv in 0.1f64..0.6,
+        start_filled in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let initial = if start_filled { TrapState::Filled } else { TrapState::Empty };
+        let m = model(depth, energy, initial);
+        let lambda = m.rate_sum();
+        let period = 50.0 / lambda;
+        let bias = Pwl::clock(v_lo, v_lo + dv, 0.0, period, 0.5, period / 50.0, 3).unwrap();
+        let tf = 3.0 * period;
+        let mut rng = SeedStream::new(seed).rng(0);
+        let occ = simulate_trap(&m, &bias, 0.0, tf, &mut rng).unwrap();
+
+        let steps = occ.steps();
+        prop_assert_eq!(steps[0], (0.0, initial.occupancy()));
+        for w in steps.windows(2) {
+            prop_assert!(w[1].0 > w[0].0, "times strictly increase");
+            prop_assert!(w[1].0 <= tf, "no events past the horizon");
+            prop_assert!(w[0].1 == 0.0 || w[0].1 == 1.0);
+            prop_assert_ne!(w[0].1, w[1].1, "states alternate");
+        }
+    }
+
+    /// The first-event time from a fixed state under constant bias is
+    /// exponential with the leave rate: its mean over many runs
+    /// matches 1/λ_leave.
+    #[test]
+    fn first_event_time_is_exponential(
+        depth in 1.6f64..2.0,
+        seed in 0u64..50,
+    ) {
+        let m = model(depth, 0.4, TrapState::Empty);
+        // Bias where capture clearly dominates but is not saturated.
+        let (mut lo, mut hi) = (-2.0, 3.0);
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if m.stationary_occupancy(mid) < 0.7 { lo = mid; } else { hi = mid; }
+        }
+        let v = 0.5 * (lo + hi);
+        let (lc, _) = m.propensities(v);
+        let horizon = 50.0 / lc;
+        let runs: usize = 600;
+        let seeds = SeedStream::new(seed);
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for r in 0..runs {
+            let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, horizon, &mut seeds.rng(r as u64))
+                .unwrap();
+            if let Some(&(t, _)) = occ.steps().get(1) {
+                total += t;
+                counted += 1;
+            }
+        }
+        prop_assert!(counted > runs / 2);
+        let mean = total / counted as f64;
+        // Truncation at the horizon biases the mean slightly low;
+        // allow 15 %.
+        prop_assert!(
+            (mean * lc - 1.0).abs() < 0.15,
+            "mean first-capture time {mean} vs 1/lc {}", 1.0 / lc
+        );
+    }
+
+    /// Raising the bias never lowers the long-run occupancy fraction
+    /// (monotone coupling of the stationary law).
+    #[test]
+    fn occupancy_fraction_is_monotone_in_bias(
+        depth in 1.7f64..1.95,
+        seed in 0u64..20,
+    ) {
+        let m = model(depth, 0.4, TrapState::Empty);
+        let (mut lo, mut hi) = (-2.0, 3.0);
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if m.stationary_occupancy(mid) < 0.5 { lo = mid; } else { hi = mid; }
+        }
+        let v_mid = 0.5 * (lo + hi);
+        let tf = 2000.0 / m.rate_sum();
+        let frac = |v: f64, s: u64| {
+            let occ = simulate_trap(
+                &m,
+                &Pwl::constant(v),
+                0.0,
+                tf,
+                &mut SeedStream::new(s).rng(0),
+            )
+            .unwrap();
+            occ.fraction_at(0.0, tf, 1.0, 0.0)
+        };
+        let low = frac(v_mid - 0.25, seed);
+        let high = frac(v_mid + 0.25, seed);
+        // Strongly separated stationary laws: sampling noise cannot
+        // invert them at this trace length.
+        prop_assert!(high > low, "high-bias fraction {high} vs low-bias {low}");
+    }
+}

@@ -1,0 +1,51 @@
+//! SAMURAI — **S**RAM **A**nalysis by **M**arkov **U**niformisation
+//! with **R**TN **A**wareness **I**ncorporated.
+//!
+//! A from-scratch Rust reproduction of *"SAMURAI: An accurate method
+//! for modelling and simulating non-stationary Random Telegraph Noise
+//! in SRAMs"* (DATE 2011). This facade crate re-exports the whole
+//! toolkit under one roof:
+//!
+//! * [`units`] — physical quantities and constants;
+//! * [`waveform`] — piecewise-linear/constant waveforms, traces and
+//!   bit patterns;
+//! * [`trap`] — oxide-trap physics, statistical trap profiling, the
+//!   exact master equation;
+//! * [`core`] — the Markov-uniformisation RTN generator (Algorithm 1)
+//!   and its baselines;
+//! * [`analysis`] — FFT, autocorrelation, PSD estimation and the
+//!   analytical Machlup/1-over-f noise models;
+//! * [`spice`] — the MNA transient circuit simulator;
+//! * [`sram`] — the 6T cell, the two-pass SPICE↔SAMURAI methodology
+//!   and the paper's future-work extensions.
+//!
+//! # Quickstart
+//!
+//! Generate non-stationary RTN for a two-trap device under a switching
+//! gate bias:
+//!
+//! ```
+//! use samurai::core::{BiasWaveforms, RtnGenerator};
+//! use samurai::trap::{DeviceParams, TrapParams};
+//! use samurai::units::{Energy, Length};
+//! use samurai::waveform::Pwl;
+//!
+//! let traps = vec![
+//!     TrapParams::new(Length::from_nanometres(1.6), Energy::from_ev(0.35)),
+//!     TrapParams::new(Length::from_nanometres(1.8), Energy::from_ev(0.45)),
+//! ];
+//! let generator = RtnGenerator::new(DeviceParams::nominal_90nm(), traps).with_seed(1);
+//! let v_gs = Pwl::clock(0.2, 1.0, 0.0, 2e-2, 0.5, 1e-4, 4)?;
+//! let bias = BiasWaveforms::new(v_gs, Pwl::constant(10e-6));
+//! let rtn = generator.generate(&bias, 0.0, 8e-2)?;
+//! println!("{} capture/emission events", rtn.event_count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use samurai_analysis as analysis;
+pub use samurai_core as core;
+pub use samurai_spice as spice;
+pub use samurai_sram as sram;
+pub use samurai_trap as trap;
+pub use samurai_units as units;
+pub use samurai_waveform as waveform;

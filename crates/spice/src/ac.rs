@@ -1,0 +1,377 @@
+//! AC small-signal analysis.
+//!
+//! Linearises the circuit at its DC operating point (MOSFETs become
+//! their `gm`/`gds` conductance stamps) and solves the complex MNA
+//! system `(G + jωC)·x = b` over a frequency sweep. The complex system
+//! of size `n` is solved as the equivalent real system of size `2n`:
+//!
+//! ```text
+//! [ G  -ωC ] [Re x]   [Re b]
+//! [ ωC   G ] [Im x] = [Im b]
+//! ```
+//!
+//! which reuses the real LU solver. One source is designated the AC
+//! stimulus (unit magnitude, zero phase); every node voltage is then a
+//! complex transfer function relative to it. For the RTN methodology
+//! this answers: *how does a current glitch injected at transistor X
+//! propagate to the storage node, and over what bandwidth?*
+
+use crate::linalg::DenseMatrix;
+use crate::netlist::{Circuit, Element, ElementId, NodeId};
+use crate::{dc_operating_point, DcConfig, SpiceError};
+
+#[inline]
+fn v_of(x: &[f64], n: NodeId) -> f64 {
+    match n.unknown_index() {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// A complex phasor result.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Phasor {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Phasor {
+    /// Magnitude `|H|`.
+    pub fn magnitude(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Phase in radians.
+    pub fn phase(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Magnitude in decibels (`20·log10 |H|`).
+    pub fn db(self) -> f64 {
+        20.0 * self.magnitude().log10()
+    }
+}
+
+/// Result of an AC sweep: node phasors per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    /// Swept frequencies, Hz.
+    pub freqs: Vec<f64>,
+    /// `phasors[k][i]` = node-unknown `i` response at `freqs[k]`.
+    phasors: Vec<Vec<Phasor>>,
+}
+
+impl AcResult {
+    /// Transfer function (vs the unit stimulus) of a named node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for an unknown name.
+    pub fn transfer(&self, ckt: &Circuit, node: &str) -> Result<Vec<Phasor>, SpiceError> {
+        let id = ckt.find_node(node)?;
+        match id.unknown_index() {
+            None => Ok(vec![Phasor::default(); self.freqs.len()]),
+            Some(i) => Ok(self.phasors.iter().map(|row| row[i]).collect()),
+        }
+    }
+
+    /// The −3 dB bandwidth of a node's transfer function relative to
+    /// its lowest-frequency magnitude, or `None` if it never drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for an unknown name.
+    pub fn bandwidth(&self, ckt: &Circuit, node: &str) -> Result<Option<f64>, SpiceError> {
+        let h = self.transfer(ckt, node)?;
+        let reference = h[0].magnitude();
+        let target = reference / f64::sqrt(2.0);
+        for (k, p) in h.iter().enumerate() {
+            if p.magnitude() < target {
+                return Ok(Some(self.freqs[k]));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Builds the linearised `G` (conductance) and `C` (capacitance)
+/// matrices and the stimulus vector at the DC operating point.
+fn linearise(
+    ckt: &Circuit,
+    x_dc: &[f64],
+    stimulus: ElementId,
+) -> Result<(DenseMatrix, DenseMatrix, Vec<f64>), SpiceError> {
+    let n = ckt.unknown_count();
+    let n_nodes = ckt.node_count();
+    let mut g = DenseMatrix::zeros(n, n);
+    let mut c = DenseMatrix::zeros(n, n);
+    let mut b = vec![0.0f64; n];
+
+    let stamp_g = |m: &mut DenseMatrix, a: Option<usize>, bb: Option<usize>, val: f64| {
+        if let Some(i) = a {
+            m.add(i, i, val);
+        }
+        if let Some(j) = bb {
+            m.add(j, j, val);
+        }
+        if let (Some(i), Some(j)) = (a, bb) {
+            m.add(i, j, -val);
+            m.add(j, i, -val);
+        }
+    };
+
+    // gmin keeps the AC matrix regular too.
+    for i in 0..n_nodes {
+        g.add(i, i, ckt.gmin);
+    }
+
+    let mut found_stimulus = false;
+    for (idx, element) in ckt.elements.iter().enumerate() {
+        let is_stimulus = ElementId(idx) == stimulus;
+        match element {
+            Element::Resistor { a, b: bb, conductance } => {
+                stamp_g(&mut g, a.unknown_index(), bb.unknown_index(), *conductance);
+            }
+            Element::Capacitor {
+                a, b: bb, capacitance, ..
+            } => {
+                stamp_g(&mut c, a.unknown_index(), bb.unknown_index(), *capacitance);
+            }
+            Element::Vsource { plus, minus, branch, .. } => {
+                let row = n_nodes + branch;
+                if let Some(i) = plus.unknown_index() {
+                    g.add(i, row, 1.0);
+                    g.add(row, i, 1.0);
+                }
+                if let Some(i) = minus.unknown_index() {
+                    g.add(i, row, -1.0);
+                    g.add(row, i, -1.0);
+                }
+                if is_stimulus {
+                    // Branch equation: v(+) - v(-) = 1.
+                    b[row] = 1.0;
+                    found_stimulus = true;
+                }
+                // Non-stimulus sources are AC shorts (rhs 0).
+            }
+            Element::Isource { from, to, .. } => {
+                if is_stimulus {
+                    // Unit AC current driven out of `from` into `to`:
+                    // KCL rhs gets -(-1)... residual convention aside,
+                    // in `(G + jwC)x = b` the injection enters b.
+                    if let Some(i) = from.unknown_index() {
+                        b[i] -= 1.0;
+                    }
+                    if let Some(i) = to.unknown_index() {
+                        b[i] += 1.0;
+                    }
+                    found_stimulus = true;
+                }
+            }
+            Element::Mosfet {
+                d, g: gate, s, params, ..
+            } => {
+                let (_, dd, dg, ds) = params.eval(
+                    v_of(x_dc, *d),
+                    v_of(x_dc, *gate),
+                    v_of(x_dc, *s),
+                );
+                // Current flows d -> s; stamp the 3-terminal Jacobian.
+                let cols = [d.unknown_index(), gate.unknown_index(), s.unknown_index()];
+                let parts = [dd, dg, ds];
+                for (col, val) in cols.iter().zip(parts) {
+                    if let (Some(r), Some(cc)) = (d.unknown_index(), *col) {
+                        g.add(r, cc, val);
+                    }
+                    if let (Some(r), Some(cc)) = (s.unknown_index(), *col) {
+                        g.add(r, cc, -val);
+                    }
+                }
+                // Charge model.
+                stamp_g(&mut c, gate.unknown_index(), s.unknown_index(), params.cgs);
+                stamp_g(&mut c, gate.unknown_index(), d.unknown_index(), params.cgd);
+                stamp_g(&mut c, d.unknown_index(), None, params.cdb);
+            }
+        }
+    }
+    if !found_stimulus {
+        return Err(SpiceError::InvalidElement {
+            reason: "the AC stimulus id must refer to a voltage or current source",
+        });
+    }
+    Ok((g, c, b))
+}
+
+/// Runs an AC sweep with `stimulus` as the unit source.
+///
+/// # Errors
+///
+/// Propagates DC failures; [`SpiceError::InvalidElement`] if the
+/// stimulus is not a source; [`SpiceError::SingularMatrix`] for
+/// degenerate circuits.
+///
+/// # Panics
+///
+/// Panics if `freqs` is empty or contains non-positive values.
+pub fn run_ac(
+    ckt: &Circuit,
+    stimulus: ElementId,
+    freqs: &[f64],
+    dc: &DcConfig,
+) -> Result<AcResult, SpiceError> {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    assert!(
+        freqs.iter().all(|&f| f > 0.0 && f.is_finite()),
+        "frequencies must be positive"
+    );
+    let x_dc = dc_operating_point(ckt, 0.0, dc)?;
+    let (g, c, b) = linearise(ckt, &x_dc, stimulus)?;
+    let n = ckt.unknown_count();
+
+    let mut phasors = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = core::f64::consts::TAU * f;
+        // Real block system of size 2n.
+        let mut m = DenseMatrix::zeros(2 * n, 2 * n);
+        for r in 0..n {
+            for cc in 0..n {
+                let gv = g.get(r, cc);
+                let cv = c.get(r, cc) * omega;
+                if gv != 0.0 {
+                    m.set(r, cc, gv);
+                    m.set(n + r, n + cc, gv);
+                }
+                if cv != 0.0 {
+                    m.set(r, n + cc, -cv);
+                    m.set(n + r, cc, cv);
+                }
+            }
+        }
+        let mut rhs = vec![0.0; 2 * n];
+        rhs[..n].copy_from_slice(&b);
+        m.solve_in_place(&mut rhs)?;
+        phasors.push(
+            (0..n)
+                .map(|i| Phasor {
+                    re: rhs[i],
+                    im: rhs[n + i],
+                })
+                .collect(),
+        );
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        phasors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MosfetParams, Source};
+
+    fn log_freqs(f0: f64, f1: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| f0 * (f1 / f0).powf(i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn rc_lowpass_matches_the_analytic_transfer_function() {
+        let r = 1e3;
+        let c = 1e-9; // corner ~159 kHz
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let vs = ckt.vsource(a, Circuit::GROUND, Source::Dc(0.0));
+        ckt.resistor(a, b, r);
+        ckt.capacitor(b, Circuit::GROUND, c);
+        let freqs = log_freqs(1e3, 1e8, 40);
+        let ac = run_ac(&ckt, vs, &freqs, &DcConfig::default()).unwrap();
+        let h = ac.transfer(&ckt, "b").unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let wrc = core::f64::consts::TAU * f * r * c;
+            let expected_mag = 1.0 / (1.0 + wrc * wrc).sqrt();
+            let expected_phase = -(wrc).atan();
+            assert!(
+                (h[k].magnitude() - expected_mag).abs() < 1e-6,
+                "f = {f}: |H| = {} vs {expected_mag}",
+                h[k].magnitude()
+            );
+            assert!(
+                (h[k].phase() - expected_phase).abs() < 1e-6,
+                "f = {f}: phase {} vs {expected_phase}",
+                h[k].phase()
+            );
+        }
+        // Bandwidth lands at 1/(2*pi*R*C).
+        let bw = ac.bandwidth(&ckt, "b").unwrap().expect("rolls off");
+        let corner = 1.0 / (core::f64::consts::TAU * r * c);
+        assert!(bw > 0.5 * corner && bw < 2.0 * corner, "bw = {bw} vs corner {corner}");
+    }
+
+    #[test]
+    fn current_stimulus_sees_the_node_impedance() {
+        // 1 A AC into R || C: |V| = |Z| = R/sqrt(1+(wRC)^2).
+        let r = 2e3;
+        let c = 1e-12;
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        let is = ckt.isource(Circuit::GROUND, n, Source::Dc(0.0));
+        ckt.resistor(n, Circuit::GROUND, r);
+        ckt.capacitor(n, Circuit::GROUND, c);
+        let freqs = log_freqs(1e3, 1e10, 30);
+        let ac = run_ac(&ckt, is, &freqs, &DcConfig::default()).unwrap();
+        let h = ac.transfer(&ckt, "n").unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let wrc = core::f64::consts::TAU * f * r * c;
+            let expected = r / (1.0 + wrc * wrc).sqrt();
+            assert!(
+                (h[k].magnitude() - expected).abs() < 1e-3 * expected,
+                "f = {f}: {} vs {expected}",
+                h[k].magnitude()
+            );
+        }
+    }
+
+    #[test]
+    fn common_source_amplifier_has_gain_and_rolls_off() {
+        // NMOS with resistive load biased in saturation: low-frequency
+        // gain ~ gm*(R || ro), rolling off through the load capacitance.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        let g = ckt.node("g");
+        let vin = ckt.vsource(g, Circuit::GROUND, Source::Dc(0.55));
+        let d = ckt.node("d");
+        ckt.resistor(vdd, d, 20e3);
+        ckt.capacitor(d, Circuit::GROUND, 10e-15);
+        ckt.mosfet(d, g, Circuit::GROUND, MosfetParams::nmos_90nm(4.0));
+        let freqs = log_freqs(1e4, 1e12, 50);
+        let ac = run_ac(&ckt, vin, &freqs, &DcConfig::default()).unwrap();
+        let h = ac.transfer(&ckt, "d").unwrap();
+        let low_gain = h[0].magnitude();
+        assert!(low_gain > 2.0, "needs voltage gain, got {low_gain}");
+        // Inverting stage: phase near 180 degrees at low frequency.
+        assert!(
+            (h[0].phase().abs() - core::f64::consts::PI).abs() < 0.2,
+            "phase {}",
+            h[0].phase()
+        );
+        let high_gain = h[h.len() - 1].magnitude();
+        assert!(high_gain < 0.5 * low_gain, "must roll off: {high_gain} vs {low_gain}");
+        assert!(ac.bandwidth(&ckt, "d").unwrap().is_some());
+    }
+
+    #[test]
+    fn stimulus_must_be_a_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor(a, Circuit::GROUND, 1e3);
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        let err = run_ac(&ckt, r, &[1e3], &DcConfig::default()).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidElement { .. }));
+    }
+}

@@ -1,0 +1,82 @@
+//! A minimal command-line front end for the circuit simulator: read a
+//! SPICE-dialect netlist, run the `.tran` analysis, print node
+//! voltages as CSV.
+//!
+//! ```sh
+//! cargo run -p samurai-spice --bin spice_cli -- deck.sp [node ...]
+//! ```
+//!
+//! With no node arguments every node is printed. The deck must contain
+//! a `.tran tstep tstop` directive; `tstep` sets the CSV sampling grid
+//! (the solver's internal steps remain adaptive).
+
+use std::process::ExitCode;
+
+use samurai_spice::{parse_netlist, run_transient, TransientConfig};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        return Err("usage: spice_cli <netlist.sp> [node ...]".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = parse_netlist(&text).map_err(|e| e.to_string())?;
+    let (tstep, tstop) = parsed
+        .tran
+        .ok_or_else(|| "netlist has no .tran directive".to_string())?;
+
+    let result = run_transient(&parsed.circuit, 0.0, tstop, &TransientConfig::default())
+        .map_err(|e| format!("transient failed: {e}"))?;
+
+    // Node selection: explicit list or all nodes in name order.
+    let nodes: Vec<String> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        let mut names: Vec<String> = (1..=parsed.circuit.node_count())
+            .filter_map(|i| {
+                // Reverse lookup by probing every known name is not
+                // exposed; reconstruct from node ids via node_name.
+                let id = samurai_spice::NodeId::from_index_for_cli(i);
+                Some(parsed.circuit.node_name(id).to_string())
+            })
+            .collect();
+        names.sort();
+        names
+    };
+
+    let waveforms: Vec<_> = nodes
+        .iter()
+        .map(|n| {
+            result
+                .voltage(&parsed.circuit, n)
+                .map_err(|e| format!("{e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Header.
+    let mut header = String::from("time_s");
+    for n in &nodes {
+        header.push_str(&format!(",v({n})"));
+    }
+    println!("{header}");
+    let samples = (tstop / tstep).round() as usize;
+    for k in 0..=samples {
+        let t = k as f64 * tstep;
+        let mut line = format!("{t:.6e}");
+        for w in &waveforms {
+            line.push_str(&format!(",{:.6e}", w.eval(t)));
+        }
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

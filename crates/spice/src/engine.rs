@@ -1,0 +1,443 @@
+//! Residual/Jacobian assembly and the damped Newton solver.
+//!
+//! The nonlinear system is written in residual form: for every
+//! non-ground node, `r = Σ currents leaving the node = 0`; for every
+//! voltage source, `r = v(+) − v(−) − V(t) = 0`. Newton solves
+//! `J·δ = −r` with a per-iteration voltage-step clamp that tames the
+//! MOSFET exponentials.
+
+use crate::linalg::DenseMatrix;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::SpiceError;
+
+/// Per-capacitor integration state (voltage across and current through
+/// the capacitor at the last accepted time point).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct CapState {
+    pub v_prev: f64,
+    pub i_prev: f64,
+}
+
+/// How capacitors enter the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum IntegMode {
+    /// DC: capacitors are open circuits.
+    Dc,
+    /// Backward Euler with step `h`.
+    BackwardEuler { h: f64 },
+    /// Trapezoidal with step `h`.
+    Trapezoidal { h: f64 },
+}
+
+impl IntegMode {
+    /// Companion model `(g_eq, i_eq)` such that the capacitor current
+    /// is `i = g_eq·v + i_eq` for the present voltage `v` across it.
+    fn companion(self, c: f64, state: CapState) -> (f64, f64) {
+        match self {
+            IntegMode::Dc => (0.0, 0.0),
+            IntegMode::BackwardEuler { h } => {
+                let g = c / h;
+                (g, -g * state.v_prev)
+            }
+            IntegMode::Trapezoidal { h } => {
+                let g = 2.0 * c / h;
+                (g, -g * state.v_prev - state.i_prev)
+            }
+        }
+    }
+}
+
+/// Numerical controls for the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NewtonConfig {
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest voltage update.
+    pub v_tol: f64,
+    /// Convergence threshold on the largest KCL residual (amperes).
+    pub i_tol: f64,
+    /// Per-iteration clamp on voltage updates (damping).
+    pub v_step_clamp: f64,
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            v_tol: 1e-9,
+            i_tol: 1e-9,
+            v_step_clamp: 0.5,
+        }
+    }
+}
+
+#[inline]
+fn v_of(x: &[f64], n: NodeId) -> f64 {
+    match n.unknown_index() {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Adds `value` to the residual entry of node `n` (no-op for ground).
+#[inline]
+fn stamp_res(res: &mut [f64], n: NodeId, value: f64) {
+    if let Some(i) = n.unknown_index() {
+        res[i] += value;
+    }
+}
+
+/// Adds `value` to the Jacobian entry (∂r[n] / ∂x[col]).
+#[inline]
+fn stamp_jac(jac: &mut DenseMatrix, n: NodeId, col: Option<usize>, value: f64) {
+    if let (Some(r), Some(c)) = (n.unknown_index(), col) {
+        jac.add(r, c, value);
+    }
+}
+
+/// A two-terminal conductance + current stamp: current `i = g·(va−vb) +
+/// i0` flows from `a` to `b`.
+fn stamp_branch(
+    jac: &mut DenseMatrix,
+    res: &mut [f64],
+    x: &[f64],
+    a: NodeId,
+    b: NodeId,
+    g: f64,
+    i0: f64,
+) {
+    let v = v_of(x, a) - v_of(x, b);
+    let i = g * v + i0;
+    stamp_res(res, a, i);
+    stamp_res(res, b, -i);
+    stamp_jac(jac, a, a.unknown_index(), g);
+    stamp_jac(jac, a, b.unknown_index(), -g);
+    stamp_jac(jac, b, a.unknown_index(), -g);
+    stamp_jac(jac, b, b.unknown_index(), g);
+}
+
+/// Assembles the residual and Jacobian at solution `x`, time `t`.
+///
+/// `source_scale` multiplies every independent source (used by
+/// source-stepping homotopy); `gmin_extra` adds a homotopy conductance
+/// from every node to ground on top of the circuit's `gmin`.
+pub(crate) fn assemble(
+    ckt: &Circuit,
+    x: &[f64],
+    t: f64,
+    mode: IntegMode,
+    cap_states: &[CapState],
+    source_scale: f64,
+    gmin_extra: f64,
+    jac: &mut DenseMatrix,
+    res: &mut [f64],
+) {
+    let n_nodes = ckt.node_count();
+    jac.clear();
+    res.iter_mut().for_each(|r| *r = 0.0);
+
+    // gmin to ground from every node.
+    let g_leak = ckt.gmin + gmin_extra;
+    if g_leak > 0.0 {
+        for i in 0..n_nodes {
+            res[i] += g_leak * x[i];
+            jac.add(i, i, g_leak);
+        }
+    }
+
+    for element in &ckt.elements {
+        match element {
+            Element::Resistor { a, b, conductance } => {
+                stamp_branch(jac, res, x, *a, *b, *conductance, 0.0);
+            }
+            Element::Capacitor {
+                a,
+                b,
+                capacitance,
+                state,
+            } => {
+                let (g, i0) = mode.companion(*capacitance, cap_states[*state]);
+                if g != 0.0 || i0 != 0.0 {
+                    stamp_branch(jac, res, x, *a, *b, g, i0);
+                }
+            }
+            Element::Vsource {
+                plus,
+                minus,
+                source,
+                branch,
+            } => {
+                let row = n_nodes + branch;
+                let i_branch = x[row];
+                // Branch current leaves the + node through the source.
+                stamp_res(res, *plus, i_branch);
+                stamp_res(res, *minus, -i_branch);
+                stamp_jac(jac, *plus, Some(row), 1.0);
+                stamp_jac(jac, *minus, Some(row), -1.0);
+                // Branch equation.
+                res[row] = v_of(x, *plus) - v_of(x, *minus) - source_scale * source.eval(t);
+                if let Some(i) = plus.unknown_index() {
+                    jac.add(row, i, 1.0);
+                }
+                if let Some(i) = minus.unknown_index() {
+                    jac.add(row, i, -1.0);
+                }
+            }
+            Element::Isource { from, to, source } => {
+                let i = source_scale * source.eval(t);
+                stamp_res(res, *from, i);
+                stamp_res(res, *to, -i);
+            }
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                params,
+                cap_states: caps,
+            } => {
+                let (id, dd, dg, ds) = params.eval(v_of(x, *d), v_of(x, *g), v_of(x, *s));
+                stamp_res(res, *d, id);
+                stamp_res(res, *s, -id);
+                stamp_jac(jac, *d, d.unknown_index(), dd);
+                stamp_jac(jac, *d, g.unknown_index(), dg);
+                stamp_jac(jac, *d, s.unknown_index(), ds);
+                stamp_jac(jac, *s, d.unknown_index(), -dd);
+                stamp_jac(jac, *s, g.unknown_index(), -dg);
+                stamp_jac(jac, *s, s.unknown_index(), -ds);
+                // Charge model: Cgs, Cgd, Cdb.
+                let (g_gs, i_gs) = mode.companion(params.cgs, cap_states[caps[0]]);
+                if g_gs != 0.0 || i_gs != 0.0 {
+                    stamp_branch(jac, res, x, *g, *s, g_gs, i_gs);
+                }
+                let (g_gd, i_gd) = mode.companion(params.cgd, cap_states[caps[1]]);
+                if g_gd != 0.0 || i_gd != 0.0 {
+                    stamp_branch(jac, res, x, *g, *d, g_gd, i_gd);
+                }
+                let (g_db, i_db) = mode.companion(params.cdb, cap_states[caps[2]]);
+                if g_db != 0.0 || i_db != 0.0 {
+                    stamp_branch(jac, res, x, *d, Circuit::GROUND, g_db, i_db);
+                }
+            }
+        }
+    }
+}
+
+/// After an accepted step, refreshes every capacitor's `(v_prev,
+/// i_prev)` from the converged solution.
+pub(crate) fn update_cap_states(
+    ckt: &Circuit,
+    x: &[f64],
+    mode: IntegMode,
+    cap_states: &mut [CapState],
+) {
+    let mut refresh = |a: NodeId, b: NodeId, c: f64, idx: usize| {
+        let v = v_of(x, a) - v_of(x, b);
+        let (g, i0) = mode.companion(c, cap_states[idx]);
+        let i = g * v + i0;
+        cap_states[idx] = CapState { v_prev: v, i_prev: i };
+    };
+    for element in &ckt.elements {
+        match element {
+            Element::Capacitor {
+                a,
+                b,
+                capacitance,
+                state,
+            } => refresh(*a, *b, *capacitance, *state),
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                params,
+                cap_states: caps,
+            } => {
+                refresh(*g, *s, params.cgs, caps[0]);
+                refresh(*g, *d, params.cgd, caps[1]);
+                refresh(*d, Circuit::GROUND, params.cdb, caps[2]);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Damped Newton iteration. `x` enters as the initial guess and leaves
+/// as the solution.
+///
+/// # Errors
+///
+/// [`SpiceError::SingularMatrix`] if the Jacobian is singular,
+/// [`SpiceError::NonConvergence`] if the iteration stalls.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn newton_solve(
+    ckt: &Circuit,
+    x: &mut [f64],
+    t: f64,
+    mode: IntegMode,
+    cap_states: &[CapState],
+    source_scale: f64,
+    gmin_extra: f64,
+    config: &NewtonConfig,
+) -> Result<(), SpiceError> {
+    let n = ckt.unknown_count();
+    let n_nodes = ckt.node_count();
+    debug_assert_eq!(x.len(), n);
+    let mut jac = DenseMatrix::zeros(n, n);
+    let mut res = vec![0.0f64; n];
+
+    for _iter in 0..config.max_iterations {
+        assemble(
+            ckt,
+            x,
+            t,
+            mode,
+            cap_states,
+            source_scale,
+            gmin_extra,
+            &mut jac,
+            &mut res,
+        );
+
+        // Solve J delta = -res.
+        let mut delta: Vec<f64> = res.iter().map(|r| -r).collect();
+        jac.solve_in_place(&mut delta)?;
+
+        // Damping: clamp node-voltage updates.
+        let max_dv = delta[..n_nodes]
+            .iter()
+            .fold(0.0f64, |m, d| m.max(d.abs()));
+        let scale = if max_dv > config.v_step_clamp {
+            config.v_step_clamp / max_dv
+        } else {
+            1.0
+        };
+        for (xi, di) in x.iter_mut().zip(&delta) {
+            *xi += scale * di;
+        }
+
+        if scale == 1.0 && max_dv < config.v_tol {
+            // Check the residual at the updated point.
+            assemble(
+                ckt,
+                x,
+                t,
+                mode,
+                cap_states,
+                source_scale,
+                gmin_extra,
+                &mut jac,
+                &mut res,
+            );
+            let max_res = res[..n_nodes].iter().fold(0.0f64, |m, r| m.max(r.abs()));
+            if max_res < config.i_tol {
+                return Ok(());
+            }
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        time: t,
+        iterations: config.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Source;
+
+    #[test]
+    fn resistor_divider_solves_exactly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(3.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 2e3);
+        let mut x = vec![0.0; ckt.unknown_count()];
+        newton_solve(
+            &ckt,
+            &mut x,
+            0.0,
+            IntegMode::Dc,
+            &[],
+            1.0,
+            0.0,
+            &NewtonConfig::default(),
+        )
+        .unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6, "source node {x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-6, "divider node {x:?}");
+        // Branch current: 3V across 3k = 1 mA flowing out of +.
+        assert!((x[2] + 1e-3).abs() < 1e-8, "branch current {x:?}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        // 1 mA driven out of ground into node a.
+        ckt.isource(Circuit::GROUND, a, Source::Dc(1e-3));
+        ckt.resistor(a, Circuit::GROUND, 2e3);
+        let mut x = vec![0.0; ckt.unknown_count()];
+        newton_solve(
+            &ckt,
+            &mut x,
+            0.0,
+            IntegMode::Dc,
+            &[],
+            1.0,
+            0.0,
+            &NewtonConfig::default(),
+        )
+        .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6, "node voltage {x:?}");
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("float");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        ckt.resistor(a, b, 1e3);
+        // b only connects through the resistor: gmin keeps the matrix
+        // regular and pulls b to a (no current path).
+        let mut x = vec![0.0; ckt.unknown_count()];
+        newton_solve(
+            &ckt,
+            &mut x,
+            0.0,
+            IntegMode::Dc,
+            &[],
+            1.0,
+            0.0,
+            &NewtonConfig::default(),
+        )
+        .unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_diode_connected_mosfet_converges() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        // Diode-connected NMOS pulled up through a resistor.
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        ckt.resistor(vdd, d, 10e3);
+        ckt.mosfet(d, d, Circuit::GROUND, crate::MosfetParams::nmos_90nm(2.0));
+        let mut x = vec![0.0; ckt.unknown_count()];
+        newton_solve(
+            &ckt,
+            &mut x,
+            0.0,
+            IntegMode::Dc,
+            &[CapState::default(); 3],
+            1.0,
+            0.0,
+            &NewtonConfig::default(),
+        )
+        .unwrap();
+        let vd = x[0];
+        // The gate-drain node settles somewhere above Vth, below Vdd.
+        assert!(vd > 0.3 && vd < 1.0, "diode node {vd}");
+    }
+}

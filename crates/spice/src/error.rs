@@ -1,0 +1,82 @@
+//! Error type for the circuit simulator.
+
+use core::fmt;
+
+/// Errors from netlist construction or simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The system matrix is singular (typically a floating subcircuit
+    /// with gmin disabled, or a voltage-source loop).
+    SingularMatrix,
+    /// Newton–Raphson failed to converge.
+    NonConvergence {
+        /// Simulation time at which convergence failed (NaN for DC).
+        time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The adaptive transient step shrank below the floor.
+    StepUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+        /// The rejected step size.
+        dt: f64,
+    },
+    /// A node name was looked up that does not exist in the circuit.
+    UnknownNode {
+        /// The offending name.
+        name: String,
+    },
+    /// An element id was used with the wrong circuit or element kind.
+    InvalidElement {
+        /// Explanation of the misuse.
+        reason: &'static str,
+    },
+    /// An element parameter is out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SingularMatrix => write!(f, "singular system matrix"),
+            Self::NonConvergence { time, iterations } => {
+                write!(f, "newton iteration failed to converge at t = {time} after {iterations} iterations")
+            }
+            Self::StepUnderflow { time, dt } => {
+                write!(f, "transient step underflow at t = {time} (dt = {dt:.3e})")
+            }
+            Self::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            Self::InvalidElement { reason } => write!(f, "invalid element use: {reason}"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::SpiceError;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
+        let e = SpiceError::NonConvergence {
+            time: 1e-9,
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(SpiceError::UnknownNode { name: "q".into() }
+            .to_string()
+            .contains("`q`"));
+    }
+}

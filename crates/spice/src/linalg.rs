@@ -1,0 +1,237 @@
+//! Dense linear algebra: an LU solver with partial pivoting.
+//!
+//! SRAM cells and the other circuits in this toolkit have tens of
+//! unknowns at most, so a dense solver is both simpler and faster than
+//! a sparse one at this scale.
+
+use crate::SpiceError;
+
+/// A dense row-major square-capable matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)` — the natural MNA stamping operation.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Resets every entry to zero (reusing the allocation).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Solves `A·x = b` in place by LU decomposition with partial
+    /// pivoting, destroying `self` and overwriting `b` with `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if a pivot is (nearly)
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+
+        for col in 0..n {
+            // Partial pivot: the largest magnitude in this column.
+            let mut pivot_row = col;
+            let mut pivot_mag = self.get(col, col).abs();
+            for r in col + 1..n {
+                let mag = self.get(r, col).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = self.get(col, c);
+                    self.set(col, c, self.get(pivot_row, c));
+                    self.set(pivot_row, c, tmp);
+                }
+                b.swap(col, pivot_row);
+            }
+
+            // Eliminate below.
+            let pivot = self.get(col, col);
+            for r in col + 1..n {
+                let factor = self.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.get(r, c) - factor * self.get(col, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= factor * b[col];
+            }
+        }
+
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in col + 1..n {
+                acc -= self.get(col, c) * b[c];
+            }
+            b[col] = acc / self.get(col, col);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_a_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let mut b = vec![5.0, 10.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] -> x = [3; 2]
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let mut b = vec![2.0, 3.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(a.solve_in_place(&mut b), Err(SpiceError::SingularMatrix));
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.add(0, 0, 1.0);
+        a.add(0, 0, 2.5);
+        assert_eq!(a.get(0, 0), 3.5);
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_by_hand() {
+        let mut a = DenseMatrix::zeros(2, 3);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            a.set(i / 3, i % 3, *v);
+        }
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_round_trips(
+            vals in proptest::collection::vec(-5.0f64..5.0, 16),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let n = 4;
+            let mut a = DenseMatrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a.set(r, c, vals[r * n + c]);
+                }
+                // Diagonal dominance guarantees non-singularity.
+                a.add(r, r, 25.0);
+            }
+            let a_copy = a.clone();
+            let mut x = rhs.clone();
+            a.solve_in_place(&mut x).unwrap();
+            let back = a_copy.matvec(&x);
+            for (orig, b) in rhs.iter().zip(&back) {
+                prop_assert!((orig - b).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A single-stepping transient interface for co-simulation.
+//!
+//! [`run_transient`](crate::run_transient) integrates a fixed netlist
+//! over a whole horizon. Bi-directionally coupled RTN simulation (the
+//! paper's future-work item 1) instead interleaves circuit steps with
+//! trap-state updates: after every step the RTN current sources are
+//! rewritten from the *live* node voltages before the next step is
+//! taken. [`TransientStepper`] exposes exactly that loop: construct it
+//! (solves the DC operating point), then alternate
+//! [`step`](TransientStepper::step) with `Circuit::set_source` calls.
+
+use crate::dcop::{dc_operating_point, DcConfig};
+use crate::engine::{newton_solve, update_cap_states, CapState, IntegMode, NewtonConfig};
+use crate::netlist::NodeId;
+use crate::{Circuit, SpiceError};
+
+/// Owns the evolving transient state (solution vector and capacitor
+/// history) between externally driven steps.
+#[derive(Debug, Clone)]
+pub struct TransientStepper {
+    x: Vec<f64>,
+    cap_states: Vec<CapState>,
+    t: f64,
+    newton: NewtonConfig,
+}
+
+impl TransientStepper {
+    /// Initialises the state from the DC operating point at `t0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC convergence failures.
+    pub fn new(ckt: &Circuit, t0: f64, dc: &DcConfig) -> Result<Self, SpiceError> {
+        let x = dc_operating_point(ckt, t0, dc)?;
+        let mut cap_states = vec![CapState::default(); ckt.cap_state_count];
+        update_cap_states(
+            ckt,
+            &x,
+            IntegMode::BackwardEuler { h: 1.0 },
+            &mut cap_states,
+        );
+        for s in cap_states.iter_mut() {
+            s.i_prev = 0.0;
+        }
+        Ok(Self {
+            x,
+            cap_states,
+            t: t0,
+            newton: NewtonConfig::default(),
+        })
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Advances the circuit by `h` using backward Euler (L-stable — the
+    /// right choice when the caller changes sources discontinuously
+    /// between steps). The circuit may have been mutated through
+    /// `Circuit::set_source` since the last step, but its topology must
+    /// be unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Newton failures; the state is left at the last
+    /// accepted step so the caller may retry with a smaller `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not positive, or if the circuit's unknown count
+    /// changed since construction.
+    pub fn step(&mut self, ckt: &Circuit, h: f64) -> Result<(), SpiceError> {
+        assert!(h > 0.0 && h.is_finite(), "step must be positive");
+        assert_eq!(
+            self.x.len(),
+            ckt.unknown_count(),
+            "circuit topology changed under the stepper"
+        );
+        let mode = IntegMode::BackwardEuler { h };
+        let t_new = self.t + h;
+        let mut x_try = self.x.clone();
+        newton_solve(
+            ckt,
+            &mut x_try,
+            t_new,
+            mode,
+            &self.cap_states,
+            1.0,
+            0.0,
+            &self.newton,
+        )?;
+        update_cap_states(ckt, &x_try, mode, &mut self.cap_states);
+        self.x = x_try;
+        self.t = t_new;
+        Ok(())
+    }
+
+    /// The voltage of `node` in the current state.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        match node.unknown_index() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// The drain current of MOSFET `id` in the current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` is not a MOSFET.
+    pub fn mosfet_current(
+        &self,
+        ckt: &Circuit,
+        id: crate::ElementId,
+    ) -> Result<f64, SpiceError> {
+        let (d, g, s) = ckt.mosfet_nodes(id)?;
+        let params = ckt.mosfet_params(id)?;
+        let (i, ..) = params.eval(self.voltage(d), self.voltage(g), self.voltage(s));
+        Ok(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Source, TransientConfig};
+    use samurai_waveform::Pwl;
+
+    #[test]
+    fn stepping_matches_run_transient_for_an_rc() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Source::Pwl(Pwl::step(0.0, 1.0, 1e-9, 1e-12).unwrap()),
+        );
+        ckt.resistor(vin, vout, 1e3);
+        ckt.capacitor(vout, Circuit::GROUND, 1e-12);
+
+        let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
+        let h = 5e-12;
+        while stepper.time() < 8e-9 {
+            stepper.step(&ckt, h).unwrap();
+        }
+        let out_node = ckt.find_node("out").unwrap();
+        let batch = crate::run_transient(&ckt, 0.0, 8e-9, &TransientConfig::default()).unwrap();
+        let reference = batch.voltage(&ckt, "out").unwrap().eval(stepper.time());
+        assert!(
+            (stepper.voltage(out_node) - reference).abs() < 0.02,
+            "stepper {} vs batch {reference}",
+            stepper.voltage(out_node)
+        );
+    }
+
+    #[test]
+    fn sources_can_be_rewritten_between_steps() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let inj = ckt.isource(Circuit::GROUND, a, Source::Dc(0.0));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
+        assert!(stepper.voltage(a).abs() < 1e-9);
+        ckt.set_source(inj, Source::Dc(1e-3)).unwrap();
+        stepper.step(&ckt, 1e-12).unwrap();
+        assert!((stepper.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mosfet_current_readback() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        let g = ckt.node("g");
+        ckt.vsource(g, Circuit::GROUND, Source::Dc(1.1));
+        let d = ckt.node("d");
+        ckt.resistor(vdd, d, 1e4);
+        let m = ckt.mosfet(d, g, Circuit::GROUND, crate::MosfetParams::nmos_90nm(2.0));
+        let stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
+        let i = stepper.mosfet_current(&ckt, m).unwrap();
+        assert!(i > 1e-6, "transistor should conduct: {i}");
+    }
+}

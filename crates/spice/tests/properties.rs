@@ -1,0 +1,162 @@
+//! Property-based tests of the circuit simulator against closed-form
+//! circuit theory.
+
+use proptest::prelude::*;
+
+use samurai_spice::{
+    dc_operating_point, run_transient, Circuit, DcConfig, Source, TransientConfig,
+};
+use samurai_waveform::Pwl;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A series chain of resistors behaves as its analytic sum: the
+    /// current matches V / ΣR and intermediate nodes divide linearly.
+    #[test]
+    fn series_resistor_chain_matches_theory(
+        values in proptest::collection::vec(10.0f64..1e5, 2..7),
+        v_in in 0.5f64..5.0,
+    ) {
+        let mut ckt = Circuit::new();
+        // Exact comparison against theory: disable the gmin safety net
+        // (every node has a galvanic path here, so the matrix stays
+        // regular).
+        ckt.gmin = 0.0;
+        let top = ckt.node("n0");
+        let v = ckt.vsource(top, Circuit::GROUND, Source::Dc(v_in));
+        let mut prev = top;
+        for (i, &r) in values.iter().enumerate() {
+            let next = if i + 1 == values.len() {
+                Circuit::GROUND
+            } else {
+                ckt.node(&format!("n{}", i + 1))
+            };
+            ckt.resistor(prev, next, r);
+            prev = next;
+        }
+        let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap();
+        let r_total: f64 = values.iter().sum();
+        // Branch current of the source = -V/R_total (current flows out
+        // of the + terminal through the external chain).
+        let i_branch = x[ckt.unknown_count() - 1];
+        prop_assert!(
+            (i_branch + v_in / r_total).abs() < 1e-6 * (v_in / r_total),
+            "branch current {i_branch} vs {}", -v_in / r_total
+        );
+        let _ = v;
+        // Each internal node sits at the resistive-divider voltage.
+        let mut remaining = r_total;
+        for (i, &r) in values.iter().enumerate().take(values.len() - 1) {
+            remaining -= r;
+            let node = ckt.find_node(&format!("n{}", i + 1)).unwrap();
+            let expected = v_in * remaining / r_total;
+            let got = x[node.unknown_index().unwrap()];
+            prop_assert!((got - expected).abs() < 1e-6 * (1.0 + expected));
+        }
+    }
+
+    /// Parallel resistors equal their harmonic combination.
+    #[test]
+    fn parallel_resistors_combine_harmonically(
+        values in proptest::collection::vec(10.0f64..1e5, 2..6),
+        i_in in 1e-6f64..1e-3,
+    ) {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.isource(Circuit::GROUND, n, Source::Dc(i_in));
+        for &r in &values {
+            ckt.resistor(n, Circuit::GROUND, r);
+        }
+        let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap();
+        let g_total: f64 = values.iter().map(|r| 1.0 / r).sum();
+        let expected = i_in / g_total;
+        prop_assert!((x[0] - expected).abs() < 1e-6 * expected);
+    }
+
+    /// An RC charging transient hits the analytic exponential at a
+    /// random probe time, for random R, C within two decades.
+    #[test]
+    fn rc_charging_matches_exponential(
+        r_exp in 2.0f64..4.0,
+        c_exp in -14.0f64..-12.0,
+        probe_frac in 0.2f64..0.9,
+    ) {
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let t_step = 0.2 * tau;
+        ckt.vsource(
+            a,
+            Circuit::GROUND,
+            Source::Pwl(Pwl::step(0.0, 1.0, t_step, tau * 1e-4).unwrap()),
+        );
+        ckt.resistor(a, b, r);
+        ckt.capacitor(b, Circuit::GROUND, c);
+        let horizon = t_step + 6.0 * tau;
+        let res = run_transient(&ckt, 0.0, horizon, &TransientConfig::default()).unwrap();
+        let out = res.voltage(&ckt, "b").unwrap();
+        let t_probe = t_step + probe_frac * 5.0 * tau;
+        let expected = 1.0 - (-(t_probe - t_step) / tau).exp();
+        let got = out.eval(t_probe);
+        prop_assert!(
+            (got - expected).abs() < 0.02,
+            "R={r:.0} C={c:.2e}: v={got} expected={expected}"
+        );
+    }
+
+    /// Scaling every source scales every node voltage (linearity) in a
+    /// resistive network.
+    #[test]
+    fn linear_network_scales_with_its_sources(
+        scale in 0.1f64..10.0,
+    ) {
+        let build = |k: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let c = ckt.node("c");
+            ckt.vsource(a, Circuit::GROUND, Source::Dc(1.5 * k));
+            ckt.isource(Circuit::GROUND, c, Source::Dc(1e-4 * k));
+            ckt.resistor(a, b, 2e3);
+            ckt.resistor(b, c, 3e3);
+            ckt.resistor(c, Circuit::GROUND, 4e3);
+            ckt.resistor(b, Circuit::GROUND, 5e3);
+            let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap();
+            (x[ckt.find_node("b").unwrap().unknown_index().unwrap()],
+             x[ckt.find_node("c").unwrap().unknown_index().unwrap()])
+        };
+        let (b1, c1) = build(1.0);
+        let (bk, ck) = build(scale);
+        prop_assert!((bk - scale * b1).abs() < 1e-6 * (1.0 + bk.abs()));
+        prop_assert!((ck - scale * c1).abs() < 1e-6 * (1.0 + ck.abs()));
+    }
+}
+
+#[test]
+fn kcl_holds_at_every_internal_node_of_a_bridge() {
+    // Wheatstone bridge: verify KCL residuals from raw currents.
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    let l = ckt.node("l");
+    let r = ckt.node("r");
+    ckt.vsource(top, Circuit::GROUND, Source::Dc(2.0));
+    ckt.resistor(top, l, 1e3);
+    ckt.resistor(top, r, 2e3);
+    ckt.resistor(l, Circuit::GROUND, 3e3);
+    ckt.resistor(r, Circuit::GROUND, 4e3);
+    ckt.resistor(l, r, 5e3);
+    let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap();
+    let v = |name: &str| x[ckt.find_node(name).unwrap().unknown_index().unwrap()];
+    let (vt, vl, vr) = (v("top"), v("l"), v("r"));
+    // KCL at l.
+    let kcl_l = (vt - vl) / 1e3 - vl / 3e3 + (vr - vl) / 5e3;
+    assert!(kcl_l.abs() < 1e-9, "KCL at l: {kcl_l}");
+    // KCL at r.
+    let kcl_r = (vt - vr) / 2e3 - vr / 4e3 + (vl - vr) / 5e3;
+    assert!(kcl_r.abs() < 1e-9, "KCL at r: {kcl_r}");
+    assert!((vt - 2.0).abs() < 1e-9);
+}

@@ -1,0 +1,157 @@
+//! Accelerated RTN testing (the paper's pointer to Toh et al. \[14\]).
+//!
+//! Instead of scaling `I_RTN` artificially, accelerated testing
+//! stresses the *timing*: the word-line pulse is shortened until the
+//! write barely succeeds, which is exactly where the paper's "critical
+//! moments" live. The RTN-induced **timing margin loss** is the
+//! difference between the minimum word-line window of the clean cell
+//! and that of the cell with RTN injected — a margin statement that
+//! needs no artificial current scaling.
+//!
+//! The paper remarks that SAMURAI "should be run on the SPICE response
+//! predicted for the SRAM cell under the biasses suggested by
+//! accelerated testing techniques"; [`timing_margin`] does precisely
+//! that, re-running the full two-pass methodology at each probed
+//! word-line width.
+
+use samurai_waveform::BitPattern;
+
+use crate::{run_methodology, MethodologyConfig, SramError};
+
+/// Result of the timing-margin bisection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingMargin {
+    /// Minimum word-line duty (fraction of the cycle between WL rise
+    /// and fall) at which the *clean* cell still writes every bit.
+    pub min_window_clean: f64,
+    /// The same minimum with RTN injected.
+    pub min_window_rtn: f64,
+    /// Resolution of the bisection (fraction of the cycle).
+    pub resolution: f64,
+}
+
+impl TimingMargin {
+    /// RTN's cost in word-line window, as a fraction of the cycle
+    /// (positive = RTN needs a longer window).
+    pub fn rtn_penalty(&self) -> f64 {
+        self.min_window_rtn - self.min_window_clean
+    }
+}
+
+/// Whether every write of `pattern` succeeds with the word line
+/// asserted for `window` (fraction of the cycle), in the clean or the
+/// RTN-injected pass.
+fn writes_ok(
+    pattern: &BitPattern,
+    base: &MethodologyConfig,
+    window: f64,
+    with_rtn: bool,
+) -> Result<bool, SramError> {
+    let mut config = base.clone();
+    config.timing.wl_off_frac = (config.timing.wl_on_frac + window).min(0.97);
+    let report = run_methodology(pattern, &config)?;
+    Ok(if with_rtn {
+        report.outcomes.error_count() == 0
+    } else {
+        report.outcomes_clean.error_count() == 0
+    })
+}
+
+/// Bisects the minimum word-line window (fraction of the cycle) for
+/// error-free writes, for both the clean and the RTN-injected cell.
+///
+/// # Errors
+///
+/// Returns [`SramError::InvalidConfig`] if even the widest window
+/// fails, and propagates simulation failures.
+pub fn timing_margin(
+    pattern: &BitPattern,
+    base: &MethodologyConfig,
+    iterations: usize,
+) -> Result<TimingMargin, SramError> {
+    let window_max = 0.97 - base.timing.wl_on_frac;
+    // The narrowest representable strobe: the rise and fall edges must
+    // fit inside the assertion window.
+    let window_min = 2.5 * base.timing.edge / base.timing.period;
+    let bisect = |with_rtn: bool| -> Result<f64, SramError> {
+        if !writes_ok(pattern, base, window_max, with_rtn)? {
+            return Err(SramError::InvalidConfig {
+                reason: "cell fails even with the widest word-line window",
+            });
+        }
+        let (mut bad, mut good) = (window_min, window_max);
+        // Ensure the lower bracket actually fails; if the cell writes
+        // with a sliver of a window, report that sliver.
+        if writes_ok(pattern, base, bad, with_rtn)? {
+            return Ok(bad);
+        }
+        for _ in 0..iterations {
+            let mid = 0.5 * (bad + good);
+            if writes_ok(pattern, base, mid, with_rtn)? {
+                good = mid;
+            } else {
+                bad = mid;
+            }
+        }
+        Ok(good)
+    };
+    let min_window_clean = bisect(false)?;
+    let min_window_rtn = bisect(true)?;
+    Ok(TimingMargin {
+        min_window_clean,
+        min_window_rtn,
+        resolution: (window_max - window_min) / (1 << iterations) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cell_has_a_positive_minimum_window() {
+        let base = MethodologyConfig {
+            traps: Some(Default::default()),
+            ..MethodologyConfig::default()
+        };
+        let pattern = BitPattern::parse("10").expect("valid pattern");
+        let margin = timing_margin(&pattern, &base, 6).unwrap();
+        // Without traps both bisections see the same cell.
+        assert!(
+            (margin.rtn_penalty()).abs() <= margin.resolution + 1e-9,
+            "no-trap penalty should vanish: {margin:?}"
+        );
+        assert!(margin.min_window_clean > 0.01 && margin.min_window_clean < 0.5);
+    }
+
+    #[test]
+    fn heavy_rtn_costs_word_line_window() {
+        // The first acceleration factor at which the cell still writes
+        // with the widest window but needs more window than the clean
+        // cell is the interesting operating point; scan for it.
+        let pattern = BitPattern::parse("10").expect("valid pattern");
+        let mut found = None;
+        for scale in [300.0, 800.0, 1500.0, 2200.0] {
+            let base = MethodologyConfig {
+                seed: 12,
+                density_scale: 2.0,
+                rtn_scale: scale,
+                ..MethodologyConfig::default()
+            };
+            match timing_margin(&pattern, &base, 6) {
+                Ok(margin) if margin.rtn_penalty() > 0.0 => {
+                    found = Some((scale, margin));
+                    break;
+                }
+                Ok(_) => continue,           // RTN too weak at this scale
+                Err(SramError::InvalidConfig { .. }) => break, // too strong
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        let (scale, margin) = found.expect("some scale must cost window without killing the cell");
+        assert!(
+            margin.rtn_penalty() > 0.0 && margin.min_window_rtn < 0.97,
+            "scale x{scale}: {margin:?}"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Array-level Monte-Carlo bit-error analysis (paper future work,
+//! items 2 and 3).
+//!
+//! An SRAM array is thousands of cells, each with its own random trap
+//! population *and* its own random threshold-voltage offsets. The
+//! paper's single-cell study (with its ×30 acceleration) is the
+//! building block; this module iterates it over sampled cells and
+//! aggregates write-error statistics — the "bit-error impact of RTN on
+//! entire SRAM arrays" the authors name as the next step.
+
+use samurai_core::SeedStream;
+use samurai_trap::standard_normal;
+use samurai_waveform::BitPattern;
+
+use crate::{run_methodology, MethodologyConfig, SramError};
+
+/// Configuration of the Monte-Carlo sweep.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Base per-cell methodology settings (the per-cell seed and
+    /// `vth_shift` fields are overwritten per sample).
+    pub base: MethodologyConfig,
+    /// Number of cells to simulate.
+    pub cells: usize,
+    /// Standard deviation of the per-transistor threshold shift, volts.
+    pub vth_sigma: f64,
+    /// Master seed for the sweep.
+    pub seed: u64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self {
+            base: MethodologyConfig::default(),
+            cells: 16,
+            vth_sigma: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-cell result of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Cell index.
+    pub cell: usize,
+    /// Write errors in the RTN pass.
+    pub errors: usize,
+    /// Slow writes in the RTN pass.
+    pub slow: usize,
+    /// Write errors already present without RTN (variation alone).
+    pub baseline_errors: usize,
+    /// Total capture/emission events.
+    pub rtn_events: usize,
+}
+
+/// Aggregated statistics of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayStats {
+    /// Per-cell outcomes.
+    pub cells: Vec<CellResult>,
+    /// Number of write attempts per cell (pattern length).
+    pub writes_per_cell: usize,
+}
+
+impl ArrayStats {
+    /// Total RTN-pass write errors across the array.
+    pub fn total_errors(&self) -> usize {
+        self.cells.iter().map(|c| c.errors).sum()
+    }
+
+    /// Total variation-only (RTN-free) write errors.
+    pub fn total_baseline_errors(&self) -> usize {
+        self.cells.iter().map(|c| c.baseline_errors).sum()
+    }
+
+    /// Write-bit-error rate under RTN: errors / total writes.
+    pub fn error_rate(&self) -> f64 {
+        let writes = self.cells.len() * self.writes_per_cell;
+        if writes == 0 {
+            return 0.0;
+        }
+        self.total_errors() as f64 / writes as f64
+    }
+
+    /// Number of cells with at least one RTN-pass error.
+    pub fn failing_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.errors > 0).count()
+    }
+}
+
+/// Runs the Monte-Carlo array sweep.
+///
+/// # Errors
+///
+/// Propagates the first per-cell simulation failure.
+pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStats, SramError> {
+    let seeds = SeedStream::new(config.seed);
+    let mut cells = Vec::with_capacity(config.cells);
+    for cell_idx in 0..config.cells {
+        let cell_seeds = seeds.substream(cell_idx as u64);
+        let mut rng = cell_seeds.rng(0);
+        let mut cell_params = config.base.cell;
+        for slot in cell_params.vth_shift.iter_mut() {
+            *slot += config.vth_sigma * standard_normal(&mut rng);
+        }
+        let cell_config = MethodologyConfig {
+            cell: cell_params,
+            seed: cell_seeds.rng(1).seed_u64(),
+            traps: None,
+            ..config.base.clone()
+        };
+        let report = run_methodology(pattern, &cell_config)?;
+        cells.push(CellResult {
+            cell: cell_idx,
+            errors: report.outcomes.error_count(),
+            slow: report.outcomes.slow_count(),
+            baseline_errors: report.outcomes_clean.error_count(),
+            rtn_events: report.total_events(),
+        });
+    }
+    Ok(ArrayStats {
+        cells,
+        writes_per_cell: pattern.len(),
+    })
+}
+
+/// Helper extension: derive a `u64` seed from an RNG stream.
+trait SeedU64 {
+    fn seed_u64(&mut self) -> u64;
+}
+
+impl SeedU64 for rand_chacha::ChaCha8Rng {
+    fn seed_u64(&mut self) -> u64 {
+        use rand::Rng;
+        self.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_array_sweep_runs_and_aggregates() {
+        let config = ArrayConfig {
+            cells: 4,
+            vth_sigma: 0.01,
+            seed: 2,
+            base: MethodologyConfig {
+                rtn_scale: 1.0,
+                ..MethodologyConfig::default()
+            },
+        };
+        let pattern = BitPattern::parse("10").unwrap();
+        let stats = run_array(&pattern, &config).unwrap();
+        assert_eq!(stats.cells.len(), 4);
+        assert_eq!(stats.writes_per_cell, 2);
+        // Mild variation + unscaled RTN: healthy cells.
+        assert_eq!(stats.total_errors(), 0, "{:?}", stats.cells);
+        assert_eq!(stats.error_rate(), 0.0);
+        assert_eq!(stats.failing_cells(), 0);
+    }
+
+    #[test]
+    fn sweeps_are_reproducible() {
+        let config = ArrayConfig {
+            cells: 2,
+            seed: 7,
+            ..ArrayConfig::default()
+        };
+        let pattern = BitPattern::parse("1").unwrap();
+        let a = run_array(&pattern, &config).unwrap();
+        let b = run_array(&pattern, &config).unwrap();
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn heavy_scaling_and_variation_break_some_cells() {
+        let config = ArrayConfig {
+            cells: 6,
+            vth_sigma: 0.05,
+            seed: 11,
+            base: MethodologyConfig {
+                rtn_scale: 2000.0,
+                density_scale: 2.0,
+                ..MethodologyConfig::default()
+            },
+        };
+        let pattern = BitPattern::parse("1010").unwrap();
+        let stats = run_array(&pattern, &config).unwrap();
+        assert!(
+            stats.total_errors() > 0 || stats.cells.iter().any(|c| c.slow > 0),
+            "extreme stress should disturb at least one write: {:?}",
+            stats.cells
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! The 6T SRAM cell netlist (paper Fig 1).
+//!
+//! Transistor naming follows the paper: `M1`/`M2` are the pass
+//! transistors on the `BL`/`BLB` sides, `M3`–`M6` form the
+//! cross-coupled inverter pair. `M5` is the pull-down whose *gate is
+//! `Q`* and `M6` the pull-down whose gate is `Q̄` — the pair whose
+//! anti-correlated trap activity the paper plots in Fig 8(b, c).
+//!
+//! Every transistor gets a companion current source between its drain
+//! and source (initially zero) through which the SAMURAI-generated
+//! `I_RTN` is injected for the second pass of the methodology — the
+//! `I_RTN` glitch model of Fig 4 (right).
+
+use samurai_spice::{Circuit, ElementId, MosfetParams, NodeId, Source};
+
+/// The six transistors of the cell, in paper naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transistor {
+    /// Pass transistor between `BL` and `Q` (gate `WL`).
+    M1,
+    /// Pass transistor between `BLB` and `Q̄` (gate `WL`).
+    M2,
+    /// Pull-up PMOS driving `Q` (gate `Q̄`).
+    M3,
+    /// Pull-up PMOS driving `Q̄` (gate `Q`).
+    M4,
+    /// Pull-down NMOS on the `Q̄` side — gate is `Q` (Fig 8b).
+    M5,
+    /// Pull-down NMOS on the `Q` side — gate is `Q̄` (Fig 8c).
+    M6,
+}
+
+impl Transistor {
+    /// All six transistors, in naming order.
+    pub const ALL: [Transistor; 6] = [
+        Transistor::M1,
+        Transistor::M2,
+        Transistor::M3,
+        Transistor::M4,
+        Transistor::M5,
+        Transistor::M6,
+    ];
+
+    /// Stable index 0–5.
+    pub fn index(self) -> usize {
+        match self {
+            Self::M1 => 0,
+            Self::M2 => 1,
+            Self::M3 => 2,
+            Self::M4 => 3,
+            Self::M5 => 4,
+            Self::M6 => 5,
+        }
+    }
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::M1 => "M1",
+            Self::M2 => "M2",
+            Self::M3 => "M3",
+            Self::M4 => "M4",
+            Self::M5 => "M5",
+            Self::M6 => "M6",
+        }
+    }
+}
+
+/// Electrical parameters of the cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramCellParams {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Width multiplier of the pass transistors (`M1`, `M2`).
+    pub pass_w: f64,
+    /// Width multiplier of the pull-down NMOS (`M5`, `M6`).
+    pub pulldown_w: f64,
+    /// Width multiplier of the pull-up PMOS (`M3`, `M4`).
+    pub pullup_w: f64,
+    /// Extra storage-node capacitance on `Q` and `Q̄`, in farads.
+    pub node_cap: f64,
+    /// Per-transistor threshold-voltage shifts (Monte-Carlo variation),
+    /// indexed by [`Transistor::index`].
+    pub vth_shift: [f64; 6],
+}
+
+impl Default for SramCellParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.1,
+            // Classic read-stable sizing: pull-down > pass > pull-up.
+            pass_w: 1.5,
+            pulldown_w: 2.5,
+            pullup_w: 1.0,
+            node_cap: 0.4e-15,
+            vth_shift: [0.0; 6],
+        }
+    }
+}
+
+/// A built 6T cell: the circuit plus handles to every node and element
+/// the methodology needs.
+#[derive(Debug, Clone)]
+pub struct SramCell {
+    /// The netlist (mutated between methodology passes through
+    /// [`SramCell::set_rtn_source`] and the waveform setters).
+    pub circuit: Circuit,
+    /// Cell parameters used at construction.
+    pub params: SramCellParams,
+    /// Storage node `Q`.
+    pub q: NodeId,
+    /// Storage node `Q̄`.
+    pub qb: NodeId,
+    /// Bit line.
+    pub bl: NodeId,
+    /// Complement bit line.
+    pub blb: NodeId,
+    /// Word line.
+    pub wl: NodeId,
+    /// Supply node.
+    pub vdd_node: NodeId,
+    transistors: [ElementId; 6],
+    rtn_sources: [ElementId; 6],
+    wl_source: ElementId,
+    bl_source: ElementId,
+    blb_source: ElementId,
+}
+
+impl SramCell {
+    /// Builds the cell with driven `WL`/`BL`/`BLB` (all initially 0 V)
+    /// and zeroed RTN sources.
+    pub fn new(params: SramCellParams) -> Self {
+        let mut ckt = Circuit::new();
+        let vdd_node = ckt.node("vdd");
+        let q = ckt.node("q");
+        let qb = ckt.node("qb");
+        let bl = ckt.node("bl");
+        let blb = ckt.node("blb");
+        let wl = ckt.node("wl");
+
+        ckt.vsource(vdd_node, Circuit::GROUND, Source::Dc(params.vdd));
+        let wl_source = ckt.vsource(wl, Circuit::GROUND, Source::Dc(0.0));
+        let bl_source = ckt.vsource(bl, Circuit::GROUND, Source::Dc(0.0));
+        let blb_source = ckt.vsource(blb, Circuit::GROUND, Source::Dc(0.0));
+
+        let nmos = |w: f64, dv: f64| MosfetParams::nmos_90nm(w).with_vth_shift(dv);
+        let pmos = |w: f64, dv: f64| MosfetParams::pmos_90nm(w).with_vth_shift(dv);
+        let shift = params.vth_shift;
+
+        // Pass transistors: drain on the bit line, source on the cell
+        // node (the device is symmetric; current direction varies).
+        let m1 = ckt.mosfet(bl, wl, q, nmos(params.pass_w, shift[0]));
+        let m2 = ckt.mosfet(blb, wl, qb, nmos(params.pass_w, shift[1]));
+        // Cross-coupled pair. M3/M6 drive Q (gates on Q̄), M4/M5 drive
+        // Q̄ (gates on Q).
+        let m3 = ckt.mosfet(q, qb, vdd_node, pmos(params.pullup_w, shift[2]));
+        let m4 = ckt.mosfet(qb, q, vdd_node, pmos(params.pullup_w, shift[3]));
+        let m5 = ckt.mosfet(qb, q, Circuit::GROUND, nmos(params.pulldown_w, shift[4]));
+        let m6 = ckt.mosfet(q, qb, Circuit::GROUND, nmos(params.pulldown_w, shift[5]));
+
+        ckt.capacitor(q, Circuit::GROUND, params.node_cap);
+        ckt.capacitor(qb, Circuit::GROUND, params.node_cap);
+
+        // One RTN injection source per transistor, initially silent.
+        // Injecting from source-terminal to drain-terminal *opposes*
+        // the nominal channel current when fed the (signed) Eq (3)
+        // trace — the glitch model of Fig 4.
+        let transistors = [m1, m2, m3, m4, m5, m6];
+        let terminal_pairs = [
+            (q, bl),             // M1: source=q (cell side), drain=bl
+            (qb, blb),           // M2
+            (vdd_node, q),       // M3: PMOS source=vdd, drain=q
+            (vdd_node, qb),      // M4
+            (Circuit::GROUND, qb), // M5: NMOS source=gnd, drain=qb
+            (Circuit::GROUND, q),  // M6
+        ];
+        let mut rtn_sources = [m1; 6];
+        for (i, (s_node, d_node)) in terminal_pairs.into_iter().enumerate() {
+            rtn_sources[i] = ckt.isource(s_node, d_node, Source::Dc(0.0));
+        }
+
+        Self {
+            circuit: ckt,
+            params,
+            q,
+            qb,
+            bl,
+            blb,
+            wl,
+            vdd_node,
+            transistors,
+            rtn_sources,
+            wl_source,
+            bl_source,
+            blb_source,
+        }
+    }
+
+    /// The element id of a transistor.
+    pub fn transistor(&self, t: Transistor) -> ElementId {
+        self.transistors[t.index()]
+    }
+
+    /// The element id of a transistor's RTN injection source.
+    pub fn rtn_source(&self, t: Transistor) -> ElementId {
+        self.rtn_sources[t.index()]
+    }
+
+    /// Drives the word line with a waveform.
+    pub fn set_wl(&mut self, source: Source) {
+        self.circuit
+            .set_source(self.wl_source, source)
+            .expect("wl source id is valid by construction");
+    }
+
+    /// Drives the bit line with a waveform.
+    pub fn set_bl(&mut self, source: Source) {
+        self.circuit
+            .set_source(self.bl_source, source)
+            .expect("bl source id is valid by construction");
+    }
+
+    /// Drives the complement bit line with a waveform.
+    pub fn set_blb(&mut self, source: Source) {
+        self.circuit
+            .set_source(self.blb_source, source)
+            .expect("blb source id is valid by construction");
+    }
+
+    /// Sets a transistor's RTN injection waveform.
+    pub fn set_rtn_source(&mut self, t: Transistor, source: Source) {
+        self.circuit
+            .set_source(self.rtn_sources[t.index()], source)
+            .expect("rtn source id is valid by construction");
+    }
+
+    /// Clears every RTN injection (back to the RTN-free first pass).
+    pub fn clear_rtn_sources(&mut self) {
+        for t in Transistor::ALL {
+            self.set_rtn_source(t, Source::Dc(0.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samurai_spice::{dc_operating_point, DcConfig};
+
+    #[test]
+    fn cell_has_expected_structure() {
+        let cell = SramCell::new(SramCellParams::default());
+        // 6 nodes, 4 vsources, 6 mosfets + 2 caps + 6 isources.
+        assert_eq!(cell.circuit.node_count(), 6);
+        assert_eq!(cell.circuit.element_count(), 18);
+        for t in Transistor::ALL {
+            assert!(cell.circuit.mosfet_params(cell.transistor(t)).is_ok());
+        }
+        assert_eq!(Transistor::M5.label(), "M5");
+    }
+
+    #[test]
+    fn m5_gate_is_q_and_m6_gate_is_qb() {
+        let cell = SramCell::new(SramCellParams::default());
+        let (_, g5, _) = cell.circuit.mosfet_nodes(cell.transistor(Transistor::M5)).unwrap();
+        let (_, g6, _) = cell.circuit.mosfet_nodes(cell.transistor(Transistor::M6)).unwrap();
+        assert_eq!(g5, cell.q, "paper: M5's gate voltage is Q");
+        assert_eq!(g6, cell.qb, "paper: M6's gate voltage is Q-bar");
+    }
+
+    #[test]
+    fn cell_holds_both_states_with_wl_low() {
+        // DC with WL low and a nudge on the initial guess: bistable.
+        for (q0, expect_q_high) in [(1.1, true), (0.0, false)] {
+            let cell = SramCell::new(SramCellParams::default());
+            let mut guess = vec![0.0; cell.circuit.node_count()];
+            guess[cell.vdd_node.unknown_index().unwrap()] = 1.1;
+            guess[cell.q.unknown_index().unwrap()] = q0;
+            guess[cell.qb.unknown_index().unwrap()] = 1.1 - q0;
+            let config = DcConfig {
+                initial_guess: Some(guess),
+                ..DcConfig::default()
+            };
+            let x = dc_operating_point(&cell.circuit, 0.0, &config).unwrap();
+            let vq = x[cell.q.unknown_index().unwrap()];
+            if expect_q_high {
+                assert!(vq > 1.0, "Q should hold high, got {vq}");
+            } else {
+                assert!(vq < 0.1, "Q should hold low, got {vq}");
+            }
+        }
+    }
+
+    #[test]
+    fn vth_shifts_are_applied() {
+        let mut params = SramCellParams::default();
+        params.vth_shift[Transistor::M5.index()] = 0.05;
+        let cell = SramCell::new(params);
+        let m5 = cell.circuit.mosfet_params(cell.transistor(Transistor::M5)).unwrap();
+        let m6 = cell.circuit.mosfet_params(cell.transistor(Transistor::M6)).unwrap();
+        assert!((m5.vth - m6.vth - 0.05).abs() < 1e-12);
+    }
+}

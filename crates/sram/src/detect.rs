@@ -1,0 +1,206 @@
+//! Write-error and write-slowdown detection (the Fig 5 taxonomy).
+//!
+//! The paper distinguishes three per-cycle outcomes:
+//!
+//! * **clean** — `Q` reaches the written value before the word line is
+//!   de-asserted;
+//! * **slow** — `Q` ends up correct, but only settles *after* `WL`
+//!   falls (a read in the interim would return the wrong value);
+//! * **error** — `Q` holds the wrong value at the end of the cycle.
+
+use samurai_waveform::{BitPattern, Pwl};
+
+use crate::WriteTiming;
+
+/// Classification of one write cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleOutcome {
+    /// The value was written within the word-line window.
+    Clean,
+    /// The value settled only after the word line fell (paper Fig 5,
+    /// middle).
+    Slow,
+    /// The value was never written — a write error (paper Fig 5,
+    /// bottom).
+    Error,
+}
+
+/// Per-cycle analysis of a write sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteAnalysis {
+    /// One outcome per pattern bit.
+    pub outcomes: Vec<CycleOutcome>,
+    /// `Q` at the end of each cycle, in volts.
+    pub final_q: Vec<f64>,
+    /// Settle time of each cycle relative to the cycle start (time at
+    /// which `Q` last entered the correct half and stayed), `None` if
+    /// it never settled.
+    pub settle_time: Vec<Option<f64>>,
+}
+
+impl WriteAnalysis {
+    /// Number of write errors in the sequence.
+    pub fn error_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == CycleOutcome::Error)
+            .count()
+    }
+
+    /// Number of slow writes in the sequence.
+    pub fn slow_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == CycleOutcome::Slow)
+            .count()
+    }
+
+    /// `true` when every cycle wrote cleanly.
+    pub fn all_clean(&self) -> bool {
+        self.outcomes.iter().all(|&o| o == CycleOutcome::Clean)
+    }
+}
+
+/// Analyses a simulated `Q` waveform against the written pattern.
+///
+/// `q` must cover `[0, timing.duration(pattern.len())]`. A cycle's
+/// value is read at 99 % of the cycle; "settled" means `Q` is on the
+/// correct side of `V_dd/2` with 20 % noise margin from then backwards.
+///
+/// # Panics
+///
+/// Panics if the pattern is empty.
+pub fn analyze_writes(q: &Pwl, pattern: &BitPattern, timing: &WriteTiming) -> WriteAnalysis {
+    assert!(!pattern.is_empty(), "pattern must be non-empty");
+    let vdd = timing.vdd;
+    let hi_threshold = 0.7 * vdd;
+    let lo_threshold = 0.3 * vdd;
+    let correct = |v: f64, bit: bool| {
+        if bit {
+            v >= hi_threshold
+        } else {
+            v <= lo_threshold
+        }
+    };
+
+    let mut outcomes = Vec::with_capacity(pattern.len());
+    let mut final_q = Vec::with_capacity(pattern.len());
+    let mut settle_time = Vec::with_capacity(pattern.len());
+
+    for (cycle, bit) in pattern.iter().enumerate() {
+        let t_start = cycle as f64 * timing.period;
+        let t_end = timing.cycle_end(cycle) - 0.01 * timing.period;
+        let v_end = q.eval(t_end);
+        final_q.push(v_end);
+
+        if !correct(v_end, bit) {
+            outcomes.push(CycleOutcome::Error);
+            settle_time.push(None);
+            continue;
+        }
+
+        // Scan backwards on a fine grid for the moment Q last became
+        // correct (and stayed correct until the end of the cycle).
+        let steps = 400usize;
+        let dt = (t_end - t_start) / steps as f64;
+        let mut settled_at = t_start;
+        for k in (0..steps).rev() {
+            let t = t_start + k as f64 * dt;
+            if !correct(q.eval(t), bit) {
+                settled_at = t + dt;
+                break;
+            }
+        }
+        settle_time.push(Some(settled_at - t_start));
+
+        // Slow write: settled only after WL fell (plus half an edge of
+        // grace for the falling-edge transient).
+        let wl_deadline = timing.wl_off(cycle) - t_start + 0.5 * timing.edge;
+        if settled_at - t_start > wl_deadline {
+            outcomes.push(CycleOutcome::Slow);
+        } else {
+            outcomes.push(CycleOutcome::Clean);
+        }
+    }
+
+    WriteAnalysis {
+        outcomes,
+        final_q,
+        settle_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> WriteTiming {
+        WriteTiming::default()
+    }
+
+    /// Builds a synthetic Q waveform that transitions to `target` at
+    /// `t_switch` within each cycle described.
+    fn synthetic_q(segments: &[(f64, f64)]) -> Pwl {
+        // segments: (time, value) breakpoints.
+        Pwl::new(segments.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn clean_write_is_detected() {
+        let t = timing();
+        // Q rises to vdd right at WL assertion of cycle 0.
+        let q = synthetic_q(&[(0.0, 0.0), (t.wl_on(0) + 0.1e-9, 0.0), (t.wl_on(0) + 0.2e-9, 1.1)]);
+        let a = analyze_writes(&q, &BitPattern::parse("1").unwrap(), &t);
+        assert_eq!(a.outcomes, vec![CycleOutcome::Clean]);
+        assert!(a.all_clean());
+        assert_eq!(a.error_count(), 0);
+    }
+
+    #[test]
+    fn slow_write_is_detected() {
+        let t = timing();
+        // Q only reaches its value well after WL falls.
+        let late = t.wl_off(0) + 0.4e-9;
+        let q = synthetic_q(&[(0.0, 0.0), (late, 0.0), (late + 0.05e-9, 1.1)]);
+        let a = analyze_writes(&q, &BitPattern::parse("1").unwrap(), &t);
+        assert_eq!(a.outcomes, vec![CycleOutcome::Slow]);
+        assert_eq!(a.slow_count(), 1);
+        assert!(a.settle_time[0].unwrap() > t.wl_off_frac * t.period);
+    }
+
+    #[test]
+    fn write_error_is_detected() {
+        let t = timing();
+        // Q never leaves 0 although a 1 was written.
+        let q = synthetic_q(&[(0.0, 0.05)]);
+        let a = analyze_writes(&q, &BitPattern::parse("1").unwrap(), &t);
+        assert_eq!(a.outcomes, vec![CycleOutcome::Error]);
+        assert_eq!(a.error_count(), 1);
+        assert!(a.settle_time[0].is_none());
+    }
+
+    #[test]
+    fn multi_cycle_pattern_is_classified_per_cycle() {
+        let t = timing();
+        // Cycle 0: clean 1. Cycle 1: should write 0 but stays high -> error.
+        let q = synthetic_q(&[
+            (0.0, 0.0),
+            (t.wl_on(0), 0.0),
+            (t.wl_on(0) + 0.1e-9, 1.1),
+        ]);
+        let a = analyze_writes(&q, &BitPattern::parse("10").unwrap(), &t);
+        assert_eq!(a.outcomes, vec![CycleOutcome::Clean, CycleOutcome::Error]);
+        assert!((a.final_q[1] - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_levels_count_as_errors() {
+        let t = timing();
+        // Q stuck at mid-rail: neither a solid 1 nor a solid 0.
+        let q = synthetic_q(&[(0.0, 0.55)]);
+        let ones = analyze_writes(&q, &BitPattern::parse("1").unwrap(), &t);
+        let zeros = analyze_writes(&q, &BitPattern::parse("0").unwrap(), &t);
+        assert_eq!(ones.outcomes, vec![CycleOutcome::Error]);
+        assert_eq!(zeros.outcomes, vec![CycleOutcome::Error]);
+    }
+}

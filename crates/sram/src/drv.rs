@@ -1,0 +1,159 @@
+//! Data-retention voltage (DRV): how far the supply can droop before a
+//! holding cell loses its state.
+//!
+//! Below the DRV the cross-coupled pair stops being bistable — the two
+//! stored states collapse into one — which is the ultimate limit for
+//! standby-power V_dd scaling. RTN enters the same way it enters the
+//! SNM: trapped charges shift a transistor's threshold, skew the pair,
+//! and raise the DRV. Together with [`crate::snm`] this quantifies, on
+//! an actual cell, the Fig 2 claim that RTN eats the low-V_dd margin.
+
+use samurai_spice::{dc_operating_point, DcConfig};
+
+use crate::{SramCell, SramCellParams, SramError};
+
+/// Result of a bistability probe at one supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldProbe {
+    /// Supply used.
+    pub vdd: f64,
+    /// `Q` when seeded holding 1.
+    pub q_from_one: f64,
+    /// `Q` when seeded holding 0.
+    pub q_from_zero: f64,
+}
+
+impl HoldProbe {
+    /// The cell is bistable if the two seeds settle to distinct states
+    /// separated by at least half the supply.
+    pub fn bistable(&self) -> bool {
+        (self.q_from_one - self.q_from_zero) > 0.5 * self.vdd
+    }
+}
+
+/// Solves the hold state at `vdd` from both initial conditions.
+///
+/// # Errors
+///
+/// Propagates DC convergence failures.
+pub fn probe_hold(params: &SramCellParams, vdd: f64) -> Result<HoldProbe, SramError> {
+    let solve = |q0: f64| -> Result<f64, SramError> {
+        let mut p = *params;
+        p.vdd = vdd;
+        let cell = SramCell::new(p);
+        let mut guess = vec![0.0; cell.circuit.node_count()];
+        guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+        guess[cell.q.unknown_index().expect("q is not ground")] = q0;
+        guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0;
+        let config = DcConfig {
+            initial_guess: Some(guess),
+            ..DcConfig::default()
+        };
+        let x = dc_operating_point(&cell.circuit, 0.0, &config)?;
+        Ok(x[cell.q.unknown_index().expect("q is not ground")])
+    };
+    Ok(HoldProbe {
+        vdd,
+        q_from_one: solve(vdd)?,
+        q_from_zero: solve(0.0)?,
+    })
+}
+
+/// Bisects the data-retention voltage: the lowest supply at which the
+/// cell is still bistable, to `resolution` volts.
+///
+/// # Errors
+///
+/// Returns [`SramError::InvalidConfig`] if the cell is not even
+/// bistable at `vdd_max`; propagates DC failures.
+///
+/// # Panics
+///
+/// Panics if `resolution` or `vdd_max` is not positive.
+pub fn retention_voltage(
+    params: &SramCellParams,
+    vdd_max: f64,
+    resolution: f64,
+) -> Result<f64, SramError> {
+    assert!(vdd_max > 0.0 && resolution > 0.0);
+    if !probe_hold(params, vdd_max)?.bistable() {
+        return Err(SramError::InvalidConfig {
+            reason: "cell is not bistable even at the maximum supply",
+        });
+    }
+    let (mut lo, mut hi) = (0.0f64, vdd_max);
+    while hi - lo > resolution {
+        let mid = 0.5 * (lo + hi);
+        if mid <= 0.0 {
+            break;
+        }
+        if probe_hold(params, mid)?.bistable() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// DRV penalty of RTN: trapped charges shifting the given transistor's
+/// threshold by `delta_vth` raise the retention voltage by the
+/// returned amount (volts).
+///
+/// # Errors
+///
+/// Propagates failures from [`retention_voltage`].
+pub fn drv_penalty(
+    params: &SramCellParams,
+    victim: crate::Transistor,
+    delta_vth: f64,
+    vdd_max: f64,
+) -> Result<f64, SramError> {
+    let clean = retention_voltage(params, vdd_max, 1e-3)?;
+    let mut skewed = *params;
+    skewed.vth_shift[victim.index()] += delta_vth;
+    let with_rtn = retention_voltage(&skewed, vdd_max, 1e-3)?;
+    Ok(with_rtn - clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transistor;
+
+    #[test]
+    fn cell_is_bistable_at_nominal_and_monostable_near_zero() {
+        let params = SramCellParams::default();
+        assert!(probe_hold(&params, 1.1).unwrap().bistable());
+        assert!(!probe_hold(&params, 0.05).unwrap().bistable());
+    }
+
+    #[test]
+    fn drv_is_a_small_fraction_of_nominal_vdd() {
+        let params = SramCellParams::default();
+        let drv = retention_voltage(&params, 1.1, 1e-3).unwrap();
+        // Ideal matched cells hold state down to very low supplies;
+        // the DRV must be positive but well below nominal.
+        assert!(drv > 0.01 && drv < 0.6, "DRV = {drv}");
+        // Consistency: bistable just above, not bistable just below.
+        assert!(probe_hold(&params, drv + 5e-3).unwrap().bistable());
+        assert!(!probe_hold(&params, (drv - 5e-3).max(1e-3)).unwrap().bistable());
+    }
+
+    #[test]
+    fn threshold_skew_raises_the_drv() {
+        let params = SramCellParams::default();
+        let penalty = drv_penalty(&params, Transistor::M5, 0.12, 1.1).unwrap();
+        assert!(penalty > 0.0, "a skewed cell must lose retention margin: {penalty}");
+    }
+
+    #[test]
+    fn unbistable_configuration_is_reported() {
+        // Absurd mismatch destroys bistability at any supply <= vdd_max.
+        let mut params = SramCellParams::default();
+        params.vth_shift[Transistor::M5.index()] = 1.2;
+        params.vth_shift[Transistor::M3.index()] = -0.6;
+        let result = retention_voltage(&params, 0.3, 1e-3);
+        assert!(matches!(result, Err(SramError::InvalidConfig { .. })));
+    }
+}

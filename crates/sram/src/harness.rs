@@ -1,0 +1,401 @@
+//! The paper's simulation-driven methodology (Fig 8, left):
+//! SPICE pass 1 → SAMURAI per transistor → SPICE pass 2 → verdict.
+
+use rand::Rng;
+
+use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
+use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState};
+use samurai_waveform::{BitPattern, Pwc, Pwl};
+
+use samurai_spice::{run_transient, Source, TransientConfig};
+
+use crate::{
+    analyze_writes, build_write_waveforms, SramCell, SramCellParams, SramError, Transistor,
+    WriteAnalysis, WriteTiming,
+};
+
+/// Configuration of the two-pass methodology.
+#[derive(Debug, Clone)]
+pub struct MethodologyConfig {
+    /// Cell sizing and supply.
+    pub cell: SramCellParams,
+    /// Write-cycle timing.
+    pub timing: WriteTiming,
+    /// Technology whose trap statistics profile each transistor.
+    pub technology: Technology,
+    /// Multiplier on the sampled trap density (1.0 = the technology's
+    /// nominal value).
+    pub density_scale: f64,
+    /// The paper's accelerated-RTN scale factor (×30 in Fig 8e; 1.0 for
+    /// unscaled RTN).
+    pub rtn_scale: f64,
+    /// Master random seed (trap profiles and trap dynamics).
+    pub seed: u64,
+    /// Explicit per-transistor trap profiles; when `None` the profiles
+    /// are sampled from the technology.
+    pub traps: Option<[Vec<TrapParams>; 6]>,
+    /// Draw each trap's initial state from its stationary distribution
+    /// at the pass-1 initial bias (otherwise all traps start empty).
+    pub equilibrate_initial_state: bool,
+    /// Uniform refinement of the Eq (3) current between trap events.
+    pub current_oversample: usize,
+}
+
+impl Default for MethodologyConfig {
+    fn default() -> Self {
+        Self {
+            cell: SramCellParams::default(),
+            timing: WriteTiming::default(),
+            technology: Technology::node_90nm(),
+            density_scale: 1.0,
+            rtn_scale: 1.0,
+            seed: 0,
+            traps: None,
+            equilibrate_initial_state: true,
+            current_oversample: 64,
+        }
+    }
+}
+
+/// The RTN data generated for one transistor.
+#[derive(Debug, Clone)]
+pub struct TransistorRtn {
+    /// Which transistor.
+    pub transistor: Transistor,
+    /// The bias extracted from pass 1 (gate overdrive magnitude and
+    /// signed drain current).
+    pub bias: BiasWaveforms,
+    /// Trap parameters used.
+    pub traps: Vec<TrapParams>,
+    /// Per-trap occupancy staircases.
+    pub occupancies: Vec<Pwc>,
+    /// Filled-trap count `N_filled(t)` (paper Fig 8 b, c).
+    pub n_filled: Pwc,
+    /// The unscaled Eq (3) RTN current (paper Fig 8 d).
+    pub i_rtn: Pwc,
+}
+
+/// Everything the methodology produced.
+#[derive(Debug, Clone)]
+pub struct MethodologyReport {
+    /// `Q` from the RTN-free pass (paper Fig 8 a).
+    pub q_clean: Pwl,
+    /// `Q̄` from the RTN-free pass.
+    pub qb_clean: Pwl,
+    /// `Q` from the RTN-injected pass (paper Fig 8 e).
+    pub q_rtn: Pwl,
+    /// `Q̄` from the RTN-injected pass.
+    pub qb_rtn: Pwl,
+    /// Per-transistor RTN data, indexed by [`Transistor::index`].
+    pub rtn: Vec<TransistorRtn>,
+    /// Write analysis of the RTN-free pass (must be all clean for a
+    /// meaningful experiment).
+    pub outcomes_clean: WriteAnalysis,
+    /// Write analysis of the RTN-injected pass — the verdict.
+    pub outcomes: WriteAnalysis,
+}
+
+impl MethodologyReport {
+    /// Total capture/emission events across all transistors.
+    pub fn total_events(&self) -> usize {
+        self.rtn
+            .iter()
+            .flat_map(|t| t.occupancies.iter())
+            .map(Pwc::transition_count)
+            .sum()
+    }
+
+    /// `true` if RTN caused at least one write error that the clean
+    /// pass did not have.
+    pub fn rtn_induced_error(&self) -> bool {
+        self.outcomes.error_count() > self.outcomes_clean.error_count()
+    }
+}
+
+/// Builds the trap-physics device description for one transistor of
+/// the cell, combining the cell's electrical sizing with the
+/// technology's oxide/trap parameters.
+pub(crate) fn trap_device(cell: &SramCell, t: Transistor, tech: &Technology) -> DeviceParams {
+    let params = cell
+        .circuit
+        .mosfet_params(cell.transistor(t))
+        .expect("cell transistor ids are valid");
+    DeviceParams {
+        width: samurai_units::Length::from_metres(params.width),
+        length: samurai_units::Length::from_metres(params.length),
+        t_ox: tech.device.t_ox,
+        v_th: samurai_units::Voltage::from_volts(params.vth),
+        v_fb: tech.device.v_fb,
+        doping: tech.device.doping,
+        temperature: tech.device.temperature,
+    }
+}
+
+/// Thins staircase steps closer than `min_gap` to their predecessor so
+/// the PWL conversion always has room for its edges.
+fn sanitize_steps(pwc: &Pwc, min_gap: f64) -> Pwc {
+    let mut steps: Vec<(f64, f64)> = Vec::with_capacity(pwc.steps().len());
+    for &(t, v) in pwc.steps() {
+        match steps.last_mut() {
+            Some(last) if t - last.0 < min_gap => last.1 = v,
+            _ => steps.push((t, v)),
+        }
+    }
+    Pwc::new(steps).expect("thinned steps remain strictly increasing")
+}
+
+/// Converts an RTN staircase to a PWL source waveform.
+pub(crate) fn pwc_to_source(pwc: &Pwc, scale: f64) -> Source {
+    let clean = sanitize_steps(&pwc.scaled(scale), 1e-15);
+    if clean.steps().len() < 2 {
+        return Source::Dc(clean.steps()[0].1);
+    }
+    Source::Pwl(clean.to_pwl(0.9e-16))
+}
+
+/// Runs the full Fig 8 methodology for one cell and one bit pattern.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either SPICE pass or from the
+/// RTN generator.
+pub fn run_methodology(
+    pattern: &BitPattern,
+    config: &MethodologyConfig,
+) -> Result<MethodologyReport, SramError> {
+    let mut cell = SramCell::new(config.cell);
+    let waves = build_write_waveforms(pattern, &config.timing)?;
+    cell.set_wl(Source::Pwl(waves.wl.clone()));
+    cell.set_bl(Source::Pwl(waves.bl.clone()));
+    cell.set_blb(Source::Pwl(waves.blb.clone()));
+
+    let t0 = 0.0;
+    let tf = config.timing.duration(pattern.len());
+    let spice_config = TransientConfig::default();
+
+    // Pass 1: RTN-free.
+    let pass1 = run_transient(&cell.circuit, t0, tf, &spice_config)?;
+    let q_clean = pass1.voltage(&cell.circuit, "q")?;
+    let qb_clean = pass1.voltage(&cell.circuit, "qb")?;
+    let outcomes_clean = analyze_writes(&q_clean, pattern, &config.timing);
+
+    // SAMURAI per transistor.
+    let seeds = SeedStream::new(config.seed);
+    let mut rtn_data = Vec::with_capacity(6);
+    for t in Transistor::ALL {
+        let element = cell.transistor(t);
+
+        // Bias extraction: effective gate drive (relative to the
+        // terminal currently acting as the source — pass transistors
+        // conduct both ways) for the trap physics, signed drain
+        // current for Eq (3).
+        let v_gs = pass1.mosfet_gate_drive(&cell.circuit, element)?;
+        let i_d = pass1.mosfet_current(&cell.circuit, element)?;
+        let bias = BiasWaveforms::new(v_gs, i_d);
+
+        // Trap profile.
+        let device = trap_device(&cell, t, &config.technology);
+        let mut tech = config.technology.clone();
+        tech.device = device;
+        tech.trap_density *= config.density_scale;
+        let profile_seeds = seeds.substream(t.index() as u64);
+        let mut traps = match &config.traps {
+            Some(explicit) => explicit[t.index()].clone(),
+            None => TrapProfiler::new(tech).sample(&mut profile_seeds.rng(0)),
+        };
+
+        // Optionally equilibrate initial occupancies at the t0 bias.
+        if config.equilibrate_initial_state {
+            let mut rng = profile_seeds.rng(1);
+            let v0 = bias.v_gs.eval(t0);
+            for trap in traps.iter_mut() {
+                let model = samurai_trap::PropensityModel::new(device, *trap);
+                if rng.gen::<f64>() < model.stationary_occupancy(v0) {
+                    trap.initial_state = TrapState::Filled;
+                }
+            }
+        }
+
+        let generator = RtnGenerator::new(device, traps.clone())
+            .with_seed(profile_seeds.substream(7).seed())
+            .with_current_oversample(config.current_oversample);
+        let rtn = generator.generate(&bias, t0, tf)?;
+
+        rtn_data.push(TransistorRtn {
+            transistor: t,
+            bias,
+            traps,
+            occupancies: rtn.occupancies,
+            n_filled: rtn.n_filled,
+            i_rtn: rtn.i_rtn,
+        });
+    }
+
+    // Pass 2: inject the (scaled) RTN currents and re-simulate.
+    for data in &rtn_data {
+        cell.set_rtn_source(data.transistor, pwc_to_source(&data.i_rtn, config.rtn_scale));
+    }
+    let pass2 = run_transient(&cell.circuit, t0, tf, &spice_config)?;
+    let q_rtn = pass2.voltage(&cell.circuit, "q")?;
+    let qb_rtn = pass2.voltage(&cell.circuit, "qb")?;
+    let outcomes = analyze_writes(&q_rtn, pattern, &config.timing);
+
+    Ok(MethodologyReport {
+        q_clean,
+        qb_clean,
+        q_rtn,
+        qb_rtn,
+        rtn: rtn_data,
+        outcomes_clean,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CycleOutcome;
+
+    #[test]
+    fn clean_pass_writes_the_paper_pattern() {
+        let config = MethodologyConfig {
+            // No traps at all: both passes must be identical and clean.
+            traps: Some(Default::default()),
+            ..MethodologyConfig::default()
+        };
+        let report = run_methodology(&BitPattern::paper_fig8(), &config).unwrap();
+        assert!(
+            report.outcomes_clean.all_clean(),
+            "RTN-free pass must write cleanly: {:?} (final Q {:?})",
+            report.outcomes_clean.outcomes,
+            report.outcomes_clean.final_q
+        );
+        assert!(report.outcomes.all_clean());
+        assert_eq!(report.total_events(), 0);
+        assert!(!report.rtn_induced_error());
+    }
+
+    #[test]
+    fn trap_activity_follows_the_stored_bit() {
+        // With sampled traps, M5 (gate = Q) should be more active when
+        // Q is high; M6 (gate = Q-bar) the opposite — Fig 8 b/c.
+        let config = MethodologyConfig {
+            seed: 3,
+            density_scale: 2.0,
+            ..MethodologyConfig::default()
+        };
+        let pattern = BitPattern::parse("111100001").unwrap();
+        let report = run_methodology(&pattern, &config).unwrap();
+
+        let timing = config.timing;
+        let q_high_window = (0.2 * timing.period, 3.8 * timing.period);
+        let q_low_window = (4.2 * timing.period, 7.8 * timing.period);
+
+        let m5 = &report.rtn[Transistor::M5.index()].n_filled;
+        let m6 = &report.rtn[Transistor::M6.index()].n_filled;
+        let m5_high = m5.mean(q_high_window.0, q_high_window.1);
+        let m5_low = m5.mean(q_low_window.0, q_low_window.1);
+        let m6_high = m6.mean(q_high_window.0, q_high_window.1);
+        let m6_low = m6.mean(q_low_window.0, q_low_window.1);
+
+        // M5 sees gate high while Q is high; M6 while Q is low.
+        assert!(
+            m5_high >= m5_low,
+            "M5 filled-trap mean should be higher while Q=1: {m5_high} vs {m5_low}"
+        );
+        assert!(
+            m6_low >= m6_high,
+            "M6 filled-trap mean should be higher while Q=0: {m6_low} vs {m6_high}"
+        );
+    }
+
+    #[test]
+    fn unscaled_rtn_rarely_upsets_the_cell() {
+        let config = MethodologyConfig {
+            seed: 1,
+            rtn_scale: 1.0,
+            ..MethodologyConfig::default()
+        };
+        let report = run_methodology(&BitPattern::parse("1010").unwrap(), &config).unwrap();
+        assert!(report.outcomes_clean.all_clean());
+        assert_eq!(
+            report.outcomes.error_count(),
+            0,
+            "unscaled 90nm RTN should not flip writes: {:?}",
+            report.outcomes.outcomes
+        );
+    }
+
+    #[test]
+    fn heavily_scaled_rtn_eventually_causes_errors() {
+        // The paper needed x30 at 90 nm; our substrate differs in
+        // absolute drive strengths, so scan upwards until the cell
+        // breaks and check the factor is in a plausible band.
+        let mut breaking_scale = None;
+        for scale in [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0] {
+            let config = MethodologyConfig {
+                seed: 12,
+                rtn_scale: scale,
+                density_scale: 2.0,
+                ..MethodologyConfig::default()
+            };
+            let report =
+                run_methodology(&BitPattern::paper_fig8(), &config).unwrap();
+            assert!(report.outcomes_clean.all_clean(), "clean pass broke at x{scale}");
+            if !report.outcomes.all_clean() {
+                breaking_scale = Some(scale);
+                break;
+            }
+        }
+        let scale = breaking_scale.expect("some scale must disturb the write");
+        assert!(
+            (10.0..=3000.0).contains(&scale),
+            "breaking scale {scale} out of band"
+        );
+    }
+
+    #[test]
+    fn reports_are_reproducible_per_seed() {
+        let config = MethodologyConfig {
+            seed: 9,
+            ..MethodologyConfig::default()
+        };
+        let a = run_methodology(&BitPattern::parse("101").unwrap(), &config).unwrap();
+        let b = run_methodology(&BitPattern::parse("101").unwrap(), &config).unwrap();
+        assert_eq!(a.total_events(), b.total_events());
+        assert_eq!(a.outcomes.outcomes, b.outcomes.outcomes);
+        for (x, y) in a.rtn.iter().zip(&b.rtn) {
+            assert_eq!(x.n_filled, y.n_filled);
+        }
+    }
+
+    #[test]
+    fn explicit_trap_profiles_are_respected() {
+        use samurai_units::{Energy, Length};
+        let mut traps: [Vec<TrapParams>; 6] = Default::default();
+        traps[Transistor::M1.index()] = vec![TrapParams::new(
+            Length::from_nanometres(0.1),
+            Energy::from_ev(0.2),
+        )];
+        let config = MethodologyConfig {
+            traps: Some(traps),
+            equilibrate_initial_state: false,
+            ..MethodologyConfig::default()
+        };
+        let report = run_methodology(&BitPattern::parse("1010").unwrap(), &config).unwrap();
+        assert_eq!(report.rtn[Transistor::M1.index()].traps.len(), 1);
+        for t in [Transistor::M2, Transistor::M3, Transistor::M4] {
+            assert!(report.rtn[t.index()].traps.is_empty());
+        }
+        // A 0.1 nm trap runs at lambda* ~ 3.7e9/s: it must actually
+        // toggle during 8 ns.
+        assert!(report.rtn[Transistor::M1.index()].occupancies[0].transition_count() > 0);
+    }
+
+    #[test]
+    fn cycle_outcome_types_are_exposed() {
+        // Compile-time surface check used by downstream crates.
+        let o = CycleOutcome::Clean;
+        assert_ne!(o, CycleOutcome::Error);
+    }
+}

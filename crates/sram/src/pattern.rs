@@ -1,0 +1,150 @@
+//! Write test patterns: bit lines and word-line strobes.
+
+use samurai_waveform::{BitPattern, DigitalTiming, Pwl};
+
+use crate::SramError;
+
+/// Timing of a sequence of write cycles.
+///
+/// Each cycle: the bit lines settle to the bit value early in the
+/// cycle, the word line is asserted between `wl_on_frac` and
+/// `wl_off_frac` of the cycle, and the cell must hold the value after
+/// `WL` falls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteTiming {
+    /// Cycle period in seconds.
+    pub period: f64,
+    /// Edge (rise/fall) time of every driven waveform, in seconds.
+    pub edge: f64,
+    /// Fraction of the period at which `WL` rises.
+    pub wl_on_frac: f64,
+    /// Fraction of the period at which `WL` falls.
+    pub wl_off_frac: f64,
+    /// Logic-high level (the cell's `V_dd`).
+    pub vdd: f64,
+}
+
+impl Default for WriteTiming {
+    fn default() -> Self {
+        Self {
+            period: 2e-9,
+            edge: 50e-12,
+            wl_on_frac: 0.25,
+            wl_off_frac: 0.7,
+            vdd: 1.1,
+        }
+    }
+}
+
+impl WriteTiming {
+    /// Absolute time at which `WL` rises in cycle `i`.
+    pub fn wl_on(&self, cycle: usize) -> f64 {
+        (cycle as f64 + self.wl_on_frac) * self.period
+    }
+
+    /// Absolute time at which `WL` starts falling in cycle `i`.
+    pub fn wl_off(&self, cycle: usize) -> f64 {
+        (cycle as f64 + self.wl_off_frac) * self.period
+    }
+
+    /// End of cycle `i`.
+    pub fn cycle_end(&self, cycle: usize) -> f64 {
+        (cycle as f64 + 1.0) * self.period
+    }
+
+    /// Total duration of `n` cycles.
+    pub fn duration(&self, cycles: usize) -> f64 {
+        cycles as f64 * self.period
+    }
+}
+
+/// The three driven waveforms of a write sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteWaveforms {
+    /// Word line (strobed every cycle).
+    pub wl: Pwl,
+    /// Bit line (NRZ of the pattern).
+    pub bl: Pwl,
+    /// Complement bit line (NRZ of the inverted pattern).
+    pub blb: Pwl,
+}
+
+/// Builds the `WL`/`BL`/`BLB` waveforms that write `pattern` with the
+/// given `timing` (paper Fig 4, left, generalised to a pattern).
+///
+/// # Errors
+///
+/// Returns [`SramError::InvalidConfig`] for empty patterns or timing
+/// whose edges do not fit.
+pub fn build_write_waveforms(
+    pattern: &BitPattern,
+    timing: &WriteTiming,
+) -> Result<WriteWaveforms, SramError> {
+    if pattern.is_empty() {
+        return Err(SramError::InvalidConfig {
+            reason: "bit pattern must be non-empty",
+        });
+    }
+    if !(0.0 < timing.wl_on_frac
+        && timing.wl_on_frac < timing.wl_off_frac
+        && timing.wl_off_frac < 1.0)
+    {
+        return Err(SramError::InvalidConfig {
+            reason: "need 0 < wl_on_frac < wl_off_frac < 1",
+        });
+    }
+    let digital = DigitalTiming::new(timing.period, timing.edge, 0.0, timing.vdd)
+        .map_err(SramError::from)?;
+    let inverted = BitPattern::new(pattern.iter().map(|b| !b).collect());
+    let wl = digital.strobe(0.0, pattern.len(), timing.wl_on_frac, timing.wl_off_frac);
+    let bl = digital.nrz(pattern, 0.0);
+    let blb = digital.nrz(&inverted, 0.0);
+    Ok(WriteWaveforms { wl, bl, blb })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveforms_encode_the_pattern() {
+        let pattern = BitPattern::parse("101").unwrap();
+        let timing = WriteTiming::default();
+        let w = build_write_waveforms(&pattern, &timing).unwrap();
+        for (i, bit) in pattern.iter().enumerate() {
+            let mid = (i as f64 + 0.5) * timing.period;
+            let expected = if bit { timing.vdd } else { 0.0 };
+            assert!((w.bl.eval(mid) - expected).abs() < 1e-9, "cycle {i} BL");
+            assert!(
+                (w.blb.eval(mid) - (timing.vdd - expected)).abs() < 1e-9,
+                "cycle {i} BLB"
+            );
+            assert!((w.wl.eval(mid) - timing.vdd).abs() < 1e-9, "cycle {i} WL high");
+            // WL low at the start of each cycle.
+            let early = (i as f64 + 0.1) * timing.period;
+            assert!(w.wl.eval(early) < 1e-9, "cycle {i} WL low early");
+        }
+    }
+
+    #[test]
+    fn timing_helpers_are_consistent() {
+        let t = WriteTiming::default();
+        assert!(t.wl_on(0) < t.wl_off(0));
+        assert!(t.wl_off(0) < t.cycle_end(0));
+        assert!((t.duration(9) - 18e-9).abs() < 1e-18);
+        assert!((t.wl_on(3) - t.wl_on(2) - t.period).abs() < 1e-18);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let pattern = BitPattern::parse("1").unwrap();
+        let bad_fracs = WriteTiming {
+            wl_on_frac: 0.8,
+            wl_off_frac: 0.2,
+            ..WriteTiming::default()
+        };
+        assert!(build_write_waveforms(&pattern, &bad_fracs).is_err());
+        let empty = BitPattern::new(vec![]);
+        assert!(build_write_waveforms(&empty, &WriteTiming::default()).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Read-disturb analysis (paper footnote 2).
+//!
+//! During a read both bit lines sit precharged at `V_dd` while the word
+//! line opens the pass transistors. The storage node holding `0` is
+//! briefly pulled up through the pass device; if the pull-down cannot
+//! win the ratioed fight — and RTN can sap exactly that pull-down
+//! current at exactly that moment — the cell flips. The paper notes
+//! SAMURAI predicts these failures too; this module implements the
+//! scenario.
+
+use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
+use samurai_waveform::{Pwl, Pwc};
+
+use samurai_spice::{run_transient, Source, TransientConfig};
+
+use crate::harness::{pwc_to_source, trap_device, MethodologyConfig};
+use crate::{SramCell, SramError, Transistor, WriteTiming};
+
+/// Result of a read-disturb experiment.
+#[derive(Debug, Clone)]
+pub struct ReadDisturbReport {
+    /// `Q` over the whole experiment (store phase then reads).
+    pub q: Pwl,
+    /// `Q̄` over the whole experiment.
+    pub qb: Pwl,
+    /// Was the stored value lost by the end?
+    pub disturbed: bool,
+    /// `Q` at the end of the run, volts.
+    pub final_q: f64,
+    /// Per-transistor RTN currents injected (unscaled), indexed by
+    /// [`Transistor::index`].
+    pub i_rtn: Vec<Pwc>,
+}
+
+/// Runs a store-then-read experiment: the cell is initialised holding
+/// `bit`, then `reads` consecutive read cycles hammer it with both bit
+/// lines at `V_dd`. RTN is generated with the two-pass methodology and
+/// injected at `config.rtn_scale`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_read_disturb(
+    bit: bool,
+    reads: usize,
+    config: &MethodologyConfig,
+) -> Result<ReadDisturbReport, SramError> {
+    if reads == 0 {
+        return Err(SramError::InvalidConfig {
+            reason: "need at least one read cycle",
+        });
+    }
+    let timing = config.timing;
+    let vdd = config.cell.vdd;
+    let cycles = reads + 1; // cycle 0 writes the initial value
+    let tf = timing.duration(cycles);
+
+    let mut cell = SramCell::new(config.cell);
+    cell.set_wl(Source::Pwl(read_wl(&timing, cycles)));
+    let (bl, blb) = read_bitlines(&timing, bit, cycles, vdd);
+    cell.set_bl(Source::Pwl(bl));
+    cell.set_blb(Source::Pwl(blb));
+
+    let spice_config = TransientConfig::default();
+
+    // Pass 1: RTN-free (bias extraction).
+    let pass1 = run_transient(&cell.circuit, 0.0, tf, &spice_config)?;
+
+    // SAMURAI per transistor, as in the write methodology.
+    let seeds = SeedStream::new(config.seed);
+    let mut injected = Vec::with_capacity(6);
+    for t in Transistor::ALL {
+        let element = cell.transistor(t);
+        let v_gs = pass1.mosfet_gate_drive(&cell.circuit, element)?;
+        let i_d = pass1.mosfet_current(&cell.circuit, element)?;
+        let bias = BiasWaveforms::new(v_gs, i_d);
+
+        let device = trap_device(&cell, t, &config.technology);
+        let mut tech = config.technology.clone();
+        tech.device = device;
+        tech.trap_density *= config.density_scale;
+        let profile_seeds = seeds.substream(t.index() as u64);
+        let traps = match &config.traps {
+            Some(explicit) => explicit[t.index()].clone(),
+            None => samurai_trap::TrapProfiler::new(tech).sample(&mut profile_seeds.rng(0)),
+        };
+        let generator = RtnGenerator::new(device, traps)
+            .with_seed(profile_seeds.substream(7).seed())
+            .with_current_oversample(config.current_oversample);
+        let rtn = generator.generate(&bias, 0.0, tf)?;
+        cell.set_rtn_source(t, pwc_to_source(&rtn.i_rtn, config.rtn_scale));
+        injected.push(rtn.i_rtn);
+    }
+
+    // Pass 2: with RTN.
+    let pass2 = run_transient(&cell.circuit, 0.0, tf, &spice_config)?;
+    let q = pass2.voltage(&cell.circuit, "q")?;
+    let qb = pass2.voltage(&cell.circuit, "qb")?;
+    let final_q = q.eval(tf * (1.0 - 1e-6));
+    let held = if bit {
+        final_q > 0.7 * vdd
+    } else {
+        final_q < 0.3 * vdd
+    };
+
+    Ok(ReadDisturbReport {
+        q,
+        qb,
+        disturbed: !held,
+        final_q,
+        i_rtn: injected,
+    })
+}
+
+/// WL strobed every cycle (write in cycle 0, reads after).
+fn read_wl(timing: &WriteTiming, cycles: usize) -> Pwl {
+    let digital = samurai_waveform::DigitalTiming::new(
+        timing.period,
+        timing.edge,
+        0.0,
+        timing.vdd,
+    )
+    .expect("write timing was validated by the caller");
+    digital.strobe(0.0, cycles, timing.wl_on_frac, timing.wl_off_frac)
+}
+
+/// BL/BLB: drive the stored value in cycle 0, both precharged high
+/// afterwards.
+fn read_bitlines(timing: &WriteTiming, bit: bool, cycles: usize, vdd: f64) -> (Pwl, Pwl) {
+    let t1 = timing.period;
+    let e = timing.edge;
+    let level = |b: bool| if b { vdd } else { 0.0 };
+    let mk = |v0: f64| {
+        let mut pts = vec![(0.0, v0)];
+        if (v0 - vdd).abs() > 1e-12 {
+            pts.push((t1, v0));
+            pts.push((t1 + e, vdd));
+        } else {
+            pts.push((t1 + e, vdd));
+        }
+        pts.push((cycles as f64 * timing.period, vdd));
+        Pwl::new(pts).expect("times are strictly increasing")
+    };
+    (mk(level(bit)), mk(level(!bit)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_cell_survives_reads_of_both_values() {
+        for bit in [false, true] {
+            let config = MethodologyConfig {
+                traps: Some(Default::default()), // no RTN at all
+                ..MethodologyConfig::default()
+            };
+            let report = run_read_disturb(bit, 3, &config).unwrap();
+            assert!(
+                !report.disturbed,
+                "clean cell lost bit {bit}: final Q = {}",
+                report.final_q
+            );
+        }
+    }
+
+    #[test]
+    fn unscaled_rtn_does_not_flip_reads() {
+        let config = MethodologyConfig {
+            seed: 4,
+            rtn_scale: 1.0,
+            ..MethodologyConfig::default()
+        };
+        let report = run_read_disturb(false, 3, &config).unwrap();
+        assert!(!report.disturbed, "final Q = {}", report.final_q);
+        assert_eq!(report.i_rtn.len(), 6);
+    }
+
+    #[test]
+    fn zero_reads_is_rejected() {
+        let config = MethodologyConfig::default();
+        assert!(matches!(
+            run_read_disturb(true, 0, &config),
+            Err(SramError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! DRAM Variable Retention Time (VRT) under RTN — the paper's
+//! future-work item 4 (its refs \[22, 23\]).
+//!
+//! A DRAM cell stores charge on a capacitor behind an access
+//! transistor. The cell leaks; the time until the stored level decays
+//! to the sense threshold is the *retention time*. Measurements show
+//! some cells toggling between two (or more) retention times over
+//! minutes — Variable Retention Time — and the accepted explanation is
+//! a single trap (the same defect that causes RTN) switching the
+//! dominant junction/GIDL leakage between two levels.
+//!
+//! This module models exactly that: the cell's leakage current takes
+//! the value `i_leak_base·(1 + contrast·occupancy)` where the occupancy
+//! is a SAMURAI-simulated trap trajectory, and each refresh cycle's
+//! retention time follows by integrating the charge decay. A slow trap
+//! yields the characteristic *bimodal* retention-time histogram.
+
+use samurai_core::{simulate_trap, SeedStream};
+use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
+use samurai_waveform::{Pwc, Pwl};
+
+use crate::SramError;
+
+/// Parameters of the 1T1C retention experiment.
+#[derive(Debug, Clone)]
+pub struct VrtConfig {
+    /// Storage capacitance, farads.
+    pub c_storage: f64,
+    /// Stored high level, volts.
+    pub v_stored: f64,
+    /// Sense threshold: the cell fails once it decays below this.
+    pub v_sense: f64,
+    /// Baseline (trap-empty) leakage current, amperes.
+    pub i_leak_base: f64,
+    /// Leakage multiplier contrast when the trap is filled
+    /// (`i_filled = i_base·(1 + contrast)`).
+    pub leak_contrast: f64,
+    /// The trap controlling the leakage.
+    pub trap: TrapParams,
+    /// Device context of the trap (the access transistor).
+    pub device: DeviceParams,
+    /// Gate bias of the access transistor while holding (off state).
+    pub v_hold: f64,
+    /// Number of refresh cycles to measure.
+    pub cycles: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for VrtConfig {
+    fn default() -> Self {
+        Self {
+            c_storage: 25e-15,
+            v_stored: 1.1,
+            v_sense: 0.55,
+            i_leak_base: 40e-12,
+            leak_contrast: 3.0,
+            trap: TrapParams::new(
+                samurai_units::Length::from_nanometres(1.9),
+                samurai_units::Energy::from_ev(0.05),
+            ),
+            device: DeviceParams::nominal_90nm(),
+            v_hold: 0.35,
+            cycles: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of the retention experiment.
+#[derive(Debug, Clone)]
+pub struct VrtReport {
+    /// Retention time of each refresh cycle, seconds.
+    pub retention_times: Vec<f64>,
+    /// The trap occupancy trajectory used.
+    pub occupancy: Pwc,
+    /// Retention time with the trap pinned empty (the "good" mode).
+    pub t_good: f64,
+    /// Retention time with the trap pinned filled (the "bad" mode).
+    pub t_bad: f64,
+}
+
+impl VrtReport {
+    /// Fraction of cycles whose retention is closer to the bad mode.
+    pub fn bad_mode_fraction(&self) -> f64 {
+        let mid = 0.5 * (self.t_good + self.t_bad);
+        self.retention_times
+            .iter()
+            .filter(|&&t| t < mid)
+            .count() as f64
+            / self.retention_times.len().max(1) as f64
+    }
+
+    /// `true` when the retention-time population is visibly bimodal:
+    /// both modes occupied and separated by more than `gap_factor`
+    /// times the within-mode spread.
+    pub fn is_bimodal(&self, gap_factor: f64) -> bool {
+        let mid = 0.5 * (self.t_good + self.t_bad);
+        let (low, high): (Vec<f64>, Vec<f64>) =
+            self.retention_times.iter().partition(|&&t| t < mid);
+        if low.len() < 3 || high.len() < 3 {
+            return false;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let spread = |v: &[f64]| {
+            let m = mean(v);
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let gap = mean(&high) - mean(&low);
+        gap > gap_factor * (spread(&low) + spread(&high)).max(1e-12)
+    }
+}
+
+/// Retention time for a *constant* leakage current.
+fn constant_retention(config: &VrtConfig, i_leak: f64) -> f64 {
+    config.c_storage * (config.v_stored - config.v_sense) / i_leak
+}
+
+/// Runs the retention experiment: for each refresh cycle, the cell is
+/// recharged to `v_stored` and the decay to `v_sense` is integrated
+/// against the (trap-modulated) leakage.
+///
+/// # Errors
+///
+/// Propagates trap-simulation failures.
+pub fn run_vrt(config: &VrtConfig) -> Result<VrtReport, SramError> {
+    let t_good = constant_retention(config, config.i_leak_base);
+    let t_bad = constant_retention(config, config.i_leak_base * (1.0 + config.leak_contrast));
+
+    // Simulate the trap over the whole experiment horizon (generously
+    // bounded by all-good retention).
+    let horizon = (config.cycles + 1) as f64 * t_good;
+    let model = PropensityModel::new(config.device, config.trap);
+    let mut rng = SeedStream::new(config.seed).rng(0);
+    let occupancy = simulate_trap(
+        &model,
+        &Pwl::constant(config.v_hold),
+        0.0,
+        horizon,
+        &mut rng,
+    )?;
+
+    // Walk refresh cycles: integrate charge decay with the piecewise
+    // constant leakage until the sense threshold.
+    let dq_fail = config.c_storage * (config.v_stored - config.v_sense);
+    let mut t = 0.0;
+    let mut retention_times = Vec::with_capacity(config.cycles);
+    for _ in 0..config.cycles {
+        let mut charge_lost = 0.0;
+        let mut now = t;
+        loop {
+            let occ = occupancy.eval(now);
+            let i_leak = config.i_leak_base * (1.0 + config.leak_contrast * occ);
+            // Time to the next trap transition (or failure, whichever
+            // is first).
+            let next_transition = occupancy
+                .steps()
+                .iter()
+                .map(|&(st, _)| st)
+                .find(|&st| st > now)
+                .unwrap_or(f64::INFINITY);
+            let t_fail = now + (dq_fail - charge_lost) / i_leak;
+            if t_fail <= next_transition {
+                retention_times.push(t_fail - t);
+                t = t_fail;
+                break;
+            }
+            charge_lost += i_leak * (next_transition - now);
+            now = next_transition;
+        }
+    }
+
+    Ok(VrtReport {
+        retention_times,
+        occupancy,
+        t_good,
+        t_bad,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samurai_units::{Energy, Length};
+
+    #[test]
+    fn constant_modes_bound_every_retention_time() {
+        let config = VrtConfig::default();
+        let report = run_vrt(&config).unwrap();
+        assert_eq!(report.retention_times.len(), config.cycles);
+        for &t in &report.retention_times {
+            assert!(
+                t >= report.t_bad * (1.0 - 1e-9) && t <= report.t_good * (1.0 + 1e-9),
+                "retention {t} outside [{}, {}]",
+                report.t_bad,
+                report.t_good
+            );
+        }
+    }
+
+    #[test]
+    fn slow_trap_produces_bimodal_retention() {
+        // A trap much slower than the retention time: whole stretches
+        // of cycles see one leakage mode, then the other.
+        let mut config = VrtConfig::default();
+        config.trap = TrapParams::new(Length::from_nanometres(1.75), Energy::from_ev(0.02));
+        config.seed = 3;
+        let report = run_vrt(&config).unwrap();
+        let model = PropensityModel::new(config.device, config.trap);
+        // Sanity: the trap really is slow relative to retention.
+        assert!(model.rate_sum() * report.t_good < 0.5);
+        assert!(
+            report.is_bimodal(2.0),
+            "retention histogram should be bimodal; bad-mode fraction {}",
+            report.bad_mode_fraction()
+        );
+        assert!(report.bad_mode_fraction() > 0.02 && report.bad_mode_fraction() < 0.98);
+    }
+
+    #[test]
+    fn pinned_trap_gives_constant_retention() {
+        // A trap pinned strongly empty (large positive energy at the
+        // hold bias): every cycle retains for t_good.
+        let mut config = VrtConfig::default();
+        config.trap = TrapParams::new(Length::from_nanometres(1.9), Energy::from_ev(0.8));
+        config.cycles = 50;
+        let report = run_vrt(&config).unwrap();
+        for &t in &report.retention_times {
+            assert!((t - report.t_good).abs() < 1e-6 * report.t_good);
+        }
+        assert!(!report.is_bimodal(1.0));
+    }
+
+    #[test]
+    fn fast_trap_averages_out_the_modes() {
+        // A fast trap (many toggles per retention) produces retention
+        // times clustered between the two modes — not bimodal.
+        let mut config = VrtConfig::default();
+        config.trap = TrapParams::new(Length::from_nanometres(1.05), Energy::from_ev(0.02));
+        config.cycles = 100;
+        config.seed = 5;
+        let report = run_vrt(&config).unwrap();
+        let model = PropensityModel::new(config.device, config.trap);
+        assert!(model.rate_sum() * report.t_good > 50.0);
+        assert!(!report.is_bimodal(2.0), "fast trap must not look bimodal");
+        // Mean retention sits strictly between the pinned modes.
+        let mean: f64 =
+            report.retention_times.iter().sum::<f64>() / report.retention_times.len() as f64;
+        assert!(mean > report.t_bad * 1.05 && mean < report.t_good * 0.95, "mean {mean}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Parameters and state of a single oxide trap.
+
+use serde::{Deserialize, Serialize};
+
+use samurai_units::constants::{DEFAULT_TAU0_S, DEFAULT_TUNNELLING_COEFFICIENT};
+use samurai_units::{Energy, Length};
+
+/// The two states of an oxide trap (paper Fig 6, right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TrapState {
+    /// The trap holds no electron (state `0` in the Markov chain).
+    #[default]
+    Empty,
+    /// The trap has captured an electron (state `1`).
+    Filled,
+}
+
+impl TrapState {
+    /// The opposite state.
+    #[must_use]
+    pub fn toggled(self) -> Self {
+        match self {
+            Self::Empty => Self::Filled,
+            Self::Filled => Self::Empty,
+        }
+    }
+
+    /// `1.0` for filled, `0.0` for empty — the trap's contribution to
+    /// `N_filled(t)` in Eq (3).
+    pub fn occupancy(self) -> f64 {
+        match self {
+            Self::Empty => 0.0,
+            Self::Filled => 1.0,
+        }
+    }
+}
+
+/// Static parameters of one oxide trap.
+///
+/// Following the paper (§II-B), a trap is characterised by its depth
+/// `y_tr` into the oxide (measured from the Si/SiO₂ interface) and its
+/// energy level `E_tr`. Together with the Kirton–Uren constants `τ₀`
+/// and `γ` these determine the Eq (1) rate sum; `E_tr` and the bias
+/// determine the Eq (2) rate ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrapParams {
+    /// Depth into the oxide from the Si/SiO₂ interface, `y_tr`.
+    pub depth: Length,
+    /// Trap energy level `E_tr`, expressed as the offset `E_T − E_F` at
+    /// flat band (positive = above the Fermi level, i.e. the trap
+    /// prefers to be empty at low bias).
+    pub energy: Energy,
+    /// Interface time constant `τ₀` (seconds).
+    pub tau0: f64,
+    /// Tunnelling attenuation coefficient `γ` (1/m).
+    pub gamma: f64,
+    /// Trap degeneracy factor `g` of Eq (2).
+    pub degeneracy: f64,
+    /// State of the trap at the start of a simulation.
+    pub initial_state: TrapState,
+}
+
+impl TrapParams {
+    /// Creates a trap with the Kirton–Uren default `τ₀`, `γ` and unit
+    /// degeneracy, initially empty.
+    pub fn new(depth: Length, energy: Energy) -> Self {
+        Self {
+            depth,
+            energy,
+            tau0: DEFAULT_TAU0_S,
+            gamma: DEFAULT_TUNNELLING_COEFFICIENT,
+            degeneracy: 1.0,
+            initial_state: TrapState::Empty,
+        }
+    }
+
+    /// Sets the initial state (builder style).
+    #[must_use]
+    pub fn with_initial_state(mut self, state: TrapState) -> Self {
+        self.initial_state = state;
+        self
+    }
+
+    /// Sets the degeneracy factor (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not positive and finite.
+    #[must_use]
+    pub fn with_degeneracy(mut self, g: f64) -> Self {
+        assert!(g > 0.0 && g.is_finite(), "degeneracy must be positive");
+        self.degeneracy = g;
+        self
+    }
+
+    /// The bias-independent rate sum of Eq (1):
+    /// `λc + λe = 1 / (τ₀ · e^{γ·y_tr})`, in 1/s.
+    ///
+    /// This is also the exact uniformisation rate `λ*` used by
+    /// Algorithm 1 (see `samurai-core`).
+    pub fn rate_sum(&self) -> f64 {
+        1.0 / (self.tau0 * (self.gamma * self.depth.metres()).exp())
+    }
+
+    /// The corner (characteristic) frequency of the trap's Lorentzian
+    /// under stationary bias, `f_c = λΣ / (2π)`, in Hz.
+    pub fn corner_frequency(&self) -> f64 {
+        self.rate_sum() / core::f64::consts::TAU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn state_toggling() {
+        assert_eq!(TrapState::Empty.toggled(), TrapState::Filled);
+        assert_eq!(TrapState::Filled.toggled(), TrapState::Empty);
+        assert_eq!(TrapState::Empty.toggled().toggled(), TrapState::Empty);
+        assert_eq!(TrapState::Filled.occupancy(), 1.0);
+        assert_eq!(TrapState::Empty.occupancy(), 0.0);
+        assert_eq!(TrapState::default(), TrapState::Empty);
+    }
+
+    #[test]
+    fn interface_trap_rate_sum_is_1_over_tau0() {
+        let t = TrapParams::new(Length::from_metres(0.0), Energy::from_ev(0.0));
+        assert!((t.rate_sum() - 1.0 / DEFAULT_TAU0_S).abs() < 1.0);
+    }
+
+    #[test]
+    fn deeper_traps_are_exponentially_slower() {
+        let shallow = TrapParams::new(Length::from_nanometres(0.5), Energy::from_ev(0.0));
+        let deep = TrapParams::new(Length::from_nanometres(1.5), Energy::from_ev(0.0));
+        let ratio = shallow.rate_sum() / deep.rate_sum();
+        let expected = (DEFAULT_TUNNELLING_COEFFICIENT * 1.0e-9).exp();
+        assert!((ratio / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_frequency_definition() {
+        let t = TrapParams::new(Length::from_nanometres(1.0), Energy::from_ev(0.1));
+        assert!((t.corner_frequency() * core::f64::consts::TAU - t.rate_sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "degeneracy")]
+    fn zero_degeneracy_rejected() {
+        let _ = TrapParams::new(Length::from_nanometres(1.0), Energy::from_ev(0.1))
+            .with_degeneracy(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_sum_is_positive_and_decreasing_in_depth(y in 0.0f64..2.5) {
+            let a = TrapParams::new(Length::from_nanometres(y), Energy::from_ev(0.0));
+            let b = TrapParams::new(Length::from_nanometres(y + 0.1), Energy::from_ev(0.0));
+            prop_assert!(a.rate_sum() > 0.0);
+            prop_assert!(a.rate_sum() > b.rate_sum());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fundamental physical constants used throughout the toolkit, in SI units.
+
+/// Boltzmann constant `k_B` in joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge `q` in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// One electron-volt expressed in joules.
+pub const ELECTRON_VOLT: f64 = ELEMENTARY_CHARGE;
+
+/// Vacuum permittivity `ε₀` in farads per metre.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+/// Relative permittivity of thermally grown SiO₂.
+pub const SIO2_RELATIVE_PERMITTIVITY: f64 = 3.9;
+
+/// Relative permittivity of bulk silicon.
+pub const SILICON_RELATIVE_PERMITTIVITY: f64 = 11.7;
+
+/// Absolute permittivity of SiO₂ in farads per metre.
+pub const SIO2_PERMITTIVITY: f64 = SIO2_RELATIVE_PERMITTIVITY * VACUUM_PERMITTIVITY;
+
+/// Absolute permittivity of silicon in farads per metre.
+pub const SILICON_PERMITTIVITY: f64 = SILICON_RELATIVE_PERMITTIVITY * VACUUM_PERMITTIVITY;
+
+/// Silicon band gap at 300 K, in electron-volts.
+pub const SILICON_BANDGAP_EV: f64 = 1.12;
+
+/// Intrinsic carrier concentration of silicon at 300 K, per cubic metre.
+pub const SILICON_NI: f64 = 1.0e16;
+
+/// Standard simulation temperature in kelvin (27 °C).
+pub const ROOM_TEMPERATURE_K: f64 = 300.15;
+
+/// Kirton–Uren time constant `τ₀` for traps at the Si/SiO₂ interface,
+/// in seconds. Together with [`DEFAULT_TUNNELLING_COEFFICIENT`] it sets
+/// the Eq (1) rate sum `λc + λe = 1/(τ₀·e^{γ·y_tr})`.
+pub const DEFAULT_TAU0_S: f64 = 1.0e-10;
+
+/// Elastic-tunnelling attenuation coefficient `γ` in inverse metres.
+/// `γ = 2·√(2·m*·Φ_B)/ħ ≈ 1e10 m⁻¹` for the Si/SiO₂ barrier.
+pub const DEFAULT_TUNNELLING_COEFFICIENT: f64 = 1.0e10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_energy_at_room_temperature_is_about_26_mev() {
+        let kt_ev = BOLTZMANN * 300.0 / ELECTRON_VOLT;
+        assert!((kt_ev - 0.02585).abs() < 1e-4, "kT = {kt_ev} eV");
+    }
+
+    #[test]
+    fn oxide_permittivity_is_consistent() {
+        assert!((SIO2_PERMITTIVITY / VACUUM_PERMITTIVITY - 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_trap_rate_sum_spans_many_decades() {
+        // A trap 2 nm into the oxide is ~5e8 times slower than an
+        // interface trap: this is what gives RTN its huge spread of
+        // corner frequencies.
+        let ratio = (DEFAULT_TUNNELLING_COEFFICIENT * 2.0e-9).exp();
+        assert!(ratio > 1.0e8 && ratio < 1.0e9, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Engineering (SI-prefix) formatting for physical quantities.
+
+/// Formats `value` with an SI prefix and the given unit symbol.
+///
+/// Values are rendered with three significant decimals and the closest
+/// thousands-based prefix between `a` (atto, 1e-18) and `T` (tera, 1e12).
+/// Zero, NaN and infinities are rendered without a prefix.
+///
+/// # Examples
+///
+/// ```
+/// use samurai_units::format_si;
+///
+/// assert_eq!(format_si(1.5e-9, "A"), "1.500 nA");
+/// assert_eq!(format_si(-3.3e3, "V"), "-3.300 kV");
+/// assert_eq!(format_si(0.0, "s"), "0.000 s");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.3} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 11] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1e0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ];
+    let magnitude = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if magnitude >= scale {
+            return format!("{:.3} {}{}", value / scale, prefix, unit);
+        }
+    }
+    // Below 1e-18: fall back to scientific notation.
+    format!("{value:.3e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_si;
+
+    #[test]
+    fn picks_closest_prefix() {
+        assert_eq!(format_si(2.5e-6, "A"), "2.500 uA");
+        assert_eq!(format_si(999.0, "V"), "999.000 V");
+        assert_eq!(format_si(1000.0, "V"), "1.000 kV");
+        assert_eq!(format_si(1.0e-15, "s"), "1.000 fs");
+    }
+
+    #[test]
+    fn handles_negatives_and_tiny_values() {
+        assert_eq!(format_si(-4.7e-12, "F"), "-4.700 pF");
+        assert!(format_si(1.0e-21, "A").contains('e'));
+    }
+
+    #[test]
+    fn handles_non_finite() {
+        assert!(format_si(f64::NAN, "V").contains("NaN"));
+        assert!(format_si(f64::INFINITY, "V").contains("inf"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Physical units and constants for the SAMURAI RTN simulation toolkit.
+//!
+//! Everything in this workspace computes in SI base units (`f64`), but the
+//! public APIs pass quantities through thin newtypes so that a gate voltage
+//! cannot be confused with a trap energy or a time constant. The newtypes
+//! are deliberately minimal: construction, extraction, the arithmetic that
+//! makes dimensional sense, and human-readable `Display` with engineering
+//! (SI-prefix) formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use samurai_units::{Voltage, Temperature, constants};
+//!
+//! let vdd = Voltage::from_volts(1.1);
+//! let half = vdd * 0.5;
+//! assert!((half.volts() - 0.55).abs() < 1e-12);
+//!
+//! let t = Temperature::from_kelvin(300.0);
+//! // Thermal voltage kT/q at room temperature is about 25.85 mV.
+//! assert!((t.thermal_voltage().volts() - 0.02585).abs() < 1e-4);
+//! let _ = constants::BOLTZMANN;
+//! ```
+
+pub mod constants;
+mod format;
+mod quantity;
+mod temperature;
+
+pub use format::format_si;
+pub use quantity::{
+    Capacitance, Charge, Conductance, Current, Energy, Frequency, Length, Resistance, Time,
+    Voltage,
+};
+pub use temperature::Temperature;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Voltage>();
+        assert_send_sync::<Current>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<Temperature>();
+    }
+}

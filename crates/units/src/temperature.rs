@@ -1,0 +1,123 @@
+//! Absolute temperature and derived thermal quantities.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::constants::{BOLTZMANN, ELEMENTARY_CHARGE};
+use crate::{Energy, Voltage};
+
+/// An absolute temperature in kelvin.
+///
+/// Provides the two derived quantities the RTN physics needs constantly:
+/// the thermal energy `kT` and the thermal voltage `kT/q`.
+///
+/// # Examples
+///
+/// ```
+/// use samurai_units::Temperature;
+///
+/// let t = Temperature::from_celsius(27.0);
+/// assert!((t.kelvin() - 300.15).abs() < 1e-9);
+/// assert!((t.thermal_energy().ev() - 0.02586).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Standard 300.15 K (27 °C) simulation temperature.
+    pub const ROOM: Self = Self(crate::constants::ROOM_TEMPERATURE_K);
+
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is not finite or is negative.
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        assert!(
+            kelvin.is_finite() && kelvin >= 0.0,
+            "temperature must be finite and non-negative, got {kelvin}"
+        );
+        Self(kelvin)
+    }
+
+    /// Creates a temperature from degrees Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting absolute temperature is negative.
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + 273.15)
+    }
+
+    /// Returns the temperature in kelvin.
+    #[inline]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub fn celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// Thermal energy `kT`.
+    #[inline]
+    pub fn thermal_energy(self) -> Energy {
+        Energy::from_joules(BOLTZMANN * self.0)
+    }
+
+    /// Thermal voltage `kT/q` (≈ 25.85 mV at 300 K).
+    #[inline]
+    pub fn thermal_voltage(self) -> Voltage {
+        Voltage::from_volts(BOLTZMANN * self.0 / ELEMENTARY_CHARGE)
+    }
+}
+
+impl Default for Temperature {
+    fn default() -> Self {
+        Self::ROOM
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Temperature::from_celsius(85.0);
+        assert!((t.celsius() - 85.0).abs() < 1e-12);
+        assert!((t.kelvin() - 358.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn room_temperature_thermal_quantities() {
+        let t = Temperature::ROOM;
+        assert!((t.thermal_voltage().volts() - 0.02586).abs() < 2e-4);
+        assert!((t.thermal_energy().ev() - t.thermal_voltage().volts()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_kelvin_panics() {
+        let _ = Temperature::from_kelvin(-1.0);
+    }
+
+    #[test]
+    fn default_is_room() {
+        assert_eq!(Temperature::default(), Temperature::ROOM);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Temperature::from_kelvin(300.0).to_string(), "300.00 K");
+    }
+}

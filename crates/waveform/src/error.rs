@@ -1,0 +1,79 @@
+//! Error type for waveform construction.
+
+use core::fmt;
+
+/// Error returned when constructing a malformed waveform.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Breakpoint times are not strictly increasing at the given index.
+    NonMonotonicTime {
+        /// Index of the offending breakpoint.
+        index: usize,
+        /// Time at `index - 1`.
+        previous: f64,
+        /// Time at `index`.
+        current: f64,
+    },
+    /// The waveform has no breakpoints.
+    Empty,
+    /// A breakpoint value or time is NaN or infinite.
+    NonFinite {
+        /// Index of the offending breakpoint.
+        index: usize,
+    },
+    /// A duration parameter (rise/fall/width/period) is invalid.
+    InvalidDuration {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonMonotonicTime {
+                index,
+                previous,
+                current,
+            } => write!(
+                f,
+                "breakpoint times must be strictly increasing: t[{}] = {} <= t[{}] = {}",
+                index, current, index - 1, previous
+            ),
+            Self::Empty => write!(f, "waveform must have at least one breakpoint"),
+            Self::NonFinite { index } => {
+                write!(f, "breakpoint {index} has a non-finite time or value")
+            }
+            Self::InvalidDuration { name, value } => {
+                write!(f, "duration parameter `{name}` must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::WaveformError;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WaveformError::NonMonotonicTime {
+            index: 3,
+            previous: 2.0,
+            current: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("strictly increasing"), "{msg}");
+        assert!(WaveformError::Empty.to_string().contains("at least one"));
+        let d = WaveformError::InvalidDuration {
+            name: "rise",
+            value: -1.0,
+        };
+        assert!(d.to_string().contains("rise"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Piecewise waveforms and uniformly sampled traces.
+//!
+//! This crate is the data-representation substrate of the SAMURAI
+//! toolkit. Three representations cover everything the paper needs:
+//!
+//! * [`Pwl`] — a piecewise-*linear* waveform. Bias voltages (word line,
+//!   bit lines, node voltages extracted from a SPICE pass) are PWL. The
+//!   type doubles as the value format of SPICE PWL sources.
+//! * [`Pwc`] — a piecewise-*constant*, right-continuous waveform. Trap
+//!   occupancy functions and RTN current traces are PWC by construction:
+//!   they change value only at capture/emission instants.
+//! * [`Trace`] — a uniformly sampled signal, the form the spectral
+//!   estimators in `samurai-analysis` consume.
+//!
+//! # Examples
+//!
+//! Build a write-enable pulse and sample it:
+//!
+//! ```
+//! use samurai_waveform::Pwl;
+//!
+//! let wl = Pwl::pulse(0.0, 1.1, 2e-9, 6e-9, 0.1e-9, 0.1e-9)?;
+//! assert_eq!(wl.eval(0.0), 0.0);
+//! assert!((wl.eval(4e-9) - 1.1).abs() < 1e-12);
+//! let trace = wl.sample(0.0, 1e-10, 100);
+//! assert_eq!(trace.len(), 100);
+//! # Ok::<(), samurai_waveform::WaveformError>(())
+//! ```
+
+mod error;
+mod pattern;
+mod pwc;
+mod pwl;
+mod trace;
+
+pub use error::WaveformError;
+pub use pattern::{BitPattern, DigitalTiming};
+pub use pwc::Pwc;
+pub use pwl::Pwl;
+pub use trace::Trace;

@@ -1,0 +1,62 @@
+//! Quickstart: generate non-stationary RTN for a small device and look
+//! at its statistics.
+//!
+//! Run with `cargo run --release -p samurai --example quickstart`.
+
+use samurai::core::{BiasWaveforms, RtnGenerator};
+use samurai::trap::{DeviceParams, TrapParams};
+use samurai::units::{format_si, Energy, Length};
+use samurai::waveform::Pwl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 90 nm NFET with three hand-placed oxide traps: two slow deep
+    // ones and one fast shallow one.
+    let device = DeviceParams::nominal_90nm();
+    let traps = vec![
+        TrapParams::new(Length::from_nanometres(1.8), Energy::from_ev(0.40)),
+        TrapParams::new(Length::from_nanometres(1.6), Energy::from_ev(0.35)),
+        TrapParams::new(Length::from_nanometres(1.4), Energy::from_ev(0.45)),
+    ];
+    println!("device: W = {}, L = {}", device.width, device.length);
+    for (i, t) in traps.iter().enumerate() {
+        println!(
+            "trap {i}: depth {:.2} nm, corner frequency {}",
+            t.depth.nanometres(),
+            format_si(t.corner_frequency(), "Hz"),
+        );
+    }
+
+    // A gate bias that switches between a trap-emptying and a
+    // trap-filling level — the non-stationary setting the paper is
+    // about. The drain current is held at 10 uA.
+    let slowest = traps.iter().map(TrapParams::rate_sum).fold(f64::INFINITY, f64::min);
+    let period = 100.0 / slowest;
+    let v_gs = Pwl::clock(0.6, 1.0, 0.0, period, 0.5, period / 100.0, 4)?;
+    let bias = BiasWaveforms::new(v_gs, Pwl::constant(10e-6));
+
+    let generator = RtnGenerator::new(device, traps).with_seed(42);
+    let rtn = generator.generate(&bias, 0.0, 4.0 * period)?;
+
+    println!("\ngenerated {} capture/emission events", rtn.event_count());
+    println!(
+        "peak RTN current: {}",
+        format_si(rtn.i_rtn.max_value(), "A")
+    );
+    println!(
+        "filled traps, time-averaged while gate high vs low: {:.2} vs {:.2}",
+        rtn.n_filled.mean(0.0, period / 2.0),
+        rtn.n_filled.mean(period / 2.0, period),
+    );
+
+    // Print a coarse ASCII strip chart of N_filled(t).
+    println!("\nN_filled(t) over the four clock periods:");
+    let samples = 72;
+    let tf = 4.0 * period;
+    let mut line = String::new();
+    for i in 0..samples {
+        let v = rtn.n_filled.eval(tf * i as f64 / samples as f64) as usize;
+        line.push(char::from_digit(v.min(9) as u32, 10).unwrap_or('#'));
+    }
+    println!("{line}");
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Integration tests of the SPICE substrate against circuit theory,
+//! exercised through the facade crate the way a downstream user would.
+
+use samurai::spice::{
+    dc_operating_point, run_transient, Circuit, DcConfig, Integrator, MosfetParams, Source,
+    TransientConfig,
+};
+use samurai::waveform::Pwl;
+
+#[test]
+fn rc_divider_and_thevenin_equivalence() {
+    // A loaded divider must match its Thevenin equivalent at DC.
+    let mut full = Circuit::new();
+    let a = full.node("a");
+    let b = full.node("b");
+    full.vsource(a, Circuit::GROUND, Source::Dc(2.0));
+    full.resistor(a, b, 1e3);
+    full.resistor(b, Circuit::GROUND, 1e3);
+    full.resistor(b, Circuit::GROUND, 2e3); // load
+    let x = dc_operating_point(&full, 0.0, &DcConfig::default()).expect("solves");
+    let v_full = x[b.unknown_index().expect("non-ground")];
+
+    let mut thevenin = Circuit::new();
+    let t = thevenin.node("t");
+    let o = thevenin.node("o");
+    thevenin.vsource(t, Circuit::GROUND, Source::Dc(1.0)); // open-circuit V
+    thevenin.resistor(t, o, 500.0); // parallel source resistance
+    thevenin.resistor(o, Circuit::GROUND, 2e3);
+    let y = dc_operating_point(&thevenin, 0.0, &DcConfig::default()).expect("solves");
+    let v_thev = y[o.unknown_index().expect("non-ground")];
+    assert!((v_full - v_thev).abs() < 1e-9, "{v_full} vs {v_thev}");
+}
+
+#[test]
+fn rc_time_constant_is_accurate_with_both_integrators() {
+    for integrator in [Integrator::Trapezoidal, Integrator::BackwardEuler] {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(
+            a,
+            Circuit::GROUND,
+            Source::Pwl(Pwl::step(0.0, 1.0, 0.5e-9, 1e-12).expect("static step")),
+        );
+        ckt.resistor(a, b, 10e3);
+        ckt.capacitor(b, Circuit::GROUND, 100e-15); // tau = 1 ns
+        let config = TransientConfig {
+            integrator,
+            ..TransientConfig::default()
+        };
+        let res = run_transient(&ckt, 0.0, 6e-9, &config).expect("converges");
+        let out = res.voltage(&ckt, "b").expect("node exists");
+        // At t = tau past the step: 1 - 1/e.
+        let v_tau = out.eval(1.5e-9);
+        assert!(
+            (v_tau - 0.632).abs() < 0.02,
+            "{integrator:?}: v(tau) = {v_tau}"
+        );
+    }
+}
+
+#[test]
+fn cmos_nand_gate_truth_table() {
+    // Build a NAND from scratch to exercise stacked/parallel devices.
+    let table = [
+        ((0.0, 0.0), true),
+        ((0.0, 1.1), true),
+        ((1.1, 0.0), true),
+        ((1.1, 1.1), false),
+    ];
+    for ((va, vb), out_high) in table {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(va));
+        ckt.vsource(b, Circuit::GROUND, Source::Dc(vb));
+        let y = ckt.node("y");
+        let mid = ckt.node("mid");
+        // Series NMOS pull-down.
+        ckt.mosfet(y, a, mid, MosfetParams::nmos_90nm(2.0));
+        ckt.mosfet(mid, b, Circuit::GROUND, MosfetParams::nmos_90nm(2.0));
+        // Parallel PMOS pull-up.
+        ckt.mosfet(y, a, vdd, MosfetParams::pmos_90nm(2.0));
+        ckt.mosfet(y, b, vdd, MosfetParams::pmos_90nm(2.0));
+        let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).expect("solves");
+        let vy = x[y.unknown_index().expect("non-ground")];
+        if out_high {
+            assert!(vy > 1.0, "NAND({va},{vb}) should be high, got {vy}");
+        } else {
+            assert!(vy < 0.1, "NAND(1,1) should be low, got {vy}");
+        }
+    }
+}
+
+#[test]
+fn charge_is_conserved_through_a_switched_capacitor() {
+    // Charge sharing: C1 at 1 V dumped onto C2 (equal size) through an
+    // NMOS switch must settle near the charge-sharing value; the pass
+    // device's threshold drop limits it to min(Vshare, Vg - Vth).
+    let mut ckt = Circuit::new();
+    let g = ckt.node("g");
+    ckt.vsource(
+        g,
+        Circuit::GROUND,
+        Source::Pwl(Pwl::step(0.0, 1.1, 1e-9, 0.05e-9).expect("static step")),
+    );
+    let c1 = ckt.node("c1");
+    let c2 = ckt.node("c2");
+    // Precharge c1 via a source that disconnects... simpler: start the
+    // transient from a DC where a charging source holds c1, then the
+    // switch opens it. Instead: drive c1 from a high-impedance source.
+    let src = ckt.node("src");
+    ckt.resistor(src, c1, 1e3);
+    ckt.vsource(src, Circuit::GROUND, Source::Dc(1.0));
+    ckt.mosfet(c1, g, c2, MosfetParams::nmos_90nm(2.0));
+    ckt.capacitor(c1, Circuit::GROUND, 10e-15);
+    ckt.capacitor(c2, Circuit::GROUND, 10e-15);
+    let res = run_transient(&ckt, 0.0, 30e-9, &TransientConfig::default()).expect("converges");
+    let v2 = res.voltage(&ckt, "c2").expect("node exists").eval(30e-9);
+    // With the source topping c1 back up, c2 eventually reaches about
+    // min(1.0, Vg - Vth) ~ 0.75 V, certainly within (0.5, 1.0).
+    assert!(v2 > 0.5 && v2 < 1.01, "charge-shared node at {v2}");
+}
+
+#[test]
+fn transient_respects_superposition_for_linear_circuits() {
+    // Two current sources into a linear RC: response to both equals the
+    // sum of individual responses.
+    let build = |i1: f64, i2: f64| {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.isource(Circuit::GROUND, n, Source::Dc(i1));
+        ckt.isource(
+            Circuit::GROUND,
+            n,
+            Source::Pwl(Pwl::step(0.0, i2, 1e-9, 1e-12).expect("static step")),
+        );
+        ckt.resistor(n, Circuit::GROUND, 1e4);
+        ckt.capacitor(n, Circuit::GROUND, 50e-15);
+        let res = run_transient(&ckt, 0.0, 5e-9, &TransientConfig::default())
+            .expect("converges");
+        res.voltage(&ckt, "n").expect("node exists")
+    };
+    let both = build(10e-6, 20e-6);
+    let only1 = build(10e-6, 0.0);
+    let only2 = build(0.0, 20e-6);
+    for &t in &[0.5e-9, 2e-9, 4.5e-9] {
+        let sum = only1.eval(t) + only2.eval(t);
+        assert!(
+            (both.eval(t) - sum).abs() < 2e-3,
+            "superposition violated at t = {t}: {} vs {sum}",
+            both.eval(t)
+        );
+    }
+}
