@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, lint wall, formatting.
+# Hermetic — the workspace vendors all external crates, so this runs
+# without network access.
+set -eux
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

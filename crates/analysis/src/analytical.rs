@@ -59,7 +59,10 @@ pub fn one_over_f_psd(
     rate_max: f64,
     f: f64,
 ) -> f64 {
-    assert!(rate_min > 0.0 && rate_max > rate_min, "need 0 < rate_min < rate_max");
+    assert!(
+        rate_min > 0.0 && rate_max > rate_min,
+        "need 0 < rate_min < rate_max"
+    );
     assert!(f > 0.0, "frequency must be positive");
     let omega = core::f64::consts::TAU * f;
     let log_span = (rate_max / rate_min).ln();
@@ -82,7 +85,10 @@ pub fn one_over_f_limit(
     rate_max: f64,
     f: f64,
 ) -> f64 {
-    assert!(rate_min > 0.0 && rate_max > rate_min, "need 0 < rate_min < rate_max");
+    assert!(
+        rate_min > 0.0 && rate_max > rate_min,
+        "need 0 < rate_min < rate_max"
+    );
     assert!(f > 0.0, "frequency must be positive");
     delta_i * delta_i * p_factor * n_traps / ((rate_max / rate_min).ln() * f)
 }
@@ -109,9 +115,7 @@ mod tests {
 
     #[test]
     fn autocovariance_at_zero_lag_is_the_variance() {
-        assert!(
-            (lorentzian_autocovariance(DI, P, LAM, 0.0) - rtn_variance(DI, P)).abs() < 1e-24
-        );
+        assert!((lorentzian_autocovariance(DI, P, LAM, 0.0) - rtn_variance(DI, P)).abs() < 1e-24);
     }
 
     #[test]

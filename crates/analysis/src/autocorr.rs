@@ -18,7 +18,10 @@ use samurai_waveform::Trace;
 /// Panics if the signal is empty or `max_lag >= len`.
 pub fn raw_autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
     assert!(!signal.is_empty(), "signal must be non-empty");
-    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    assert!(
+        max_lag < signal.len(),
+        "max_lag must be below the signal length"
+    );
     let n = signal.len();
     (0..=max_lag)
         .map(|k| {
@@ -55,7 +58,10 @@ pub fn autocovariance(signal: &[f64], max_lag: usize) -> Vec<f64> {
 /// Panics if the signal is empty or `max_lag >= len`.
 pub fn raw_autocorrelation_unbiased(signal: &[f64], max_lag: usize) -> Vec<f64> {
     assert!(!signal.is_empty(), "signal must be non-empty");
-    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    assert!(
+        max_lag < signal.len(),
+        "max_lag must be below the signal length"
+    );
     let n = signal.len();
     (0..=max_lag)
         .map(|k| {
@@ -79,7 +85,10 @@ pub fn raw_autocorrelation_unbiased(signal: &[f64], max_lag: usize) -> Vec<f64> 
 /// Panics if the signal is empty or `max_lag >= len`.
 pub fn raw_autocorrelation_fft(signal: &[f64], max_lag: usize) -> Vec<f64> {
     assert!(!signal.is_empty(), "signal must be non-empty");
-    assert!(max_lag < signal.len(), "max_lag must be below the signal length");
+    assert!(
+        max_lag < signal.len(),
+        "max_lag must be below the signal length"
+    );
     let n = signal.len();
     let padded = (2 * n).next_power_of_two();
     let mut buf = vec![Complex::ZERO; padded];
@@ -133,7 +142,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_has_alternating_correlation() {
-        let x: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = raw_autocorrelation(&x, 3);
         assert!(r[0] > 0.9);
         assert!(r[1] < -0.9);
@@ -147,8 +158,8 @@ mod tests {
         let c = autocovariance(&x, 5);
         let var = c[0];
         assert!((var - 1.0 / 3.0).abs() < 0.01, "variance {var}");
-        for lag in 1..=5 {
-            assert!(c[lag].abs() < 0.01, "lag {lag}: {}", c[lag]);
+        for (lag, &cv) in c.iter().enumerate().skip(1) {
+            assert!(cv.abs() < 0.01, "lag {lag}: {cv}");
         }
     }
 

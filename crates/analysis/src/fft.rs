@@ -134,7 +134,10 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         return;
     }
@@ -235,13 +238,13 @@ mod tests {
         let signal = [0.7, -1.2, 3.0, 0.1, -0.5, 2.2, -0.9, 1.4];
         let n = signal.len();
         let spec = fft_real(&signal);
-        for k in 0..n {
+        for (k, &s) in spec.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (i, &x) in signal.iter().enumerate() {
                 let theta = -core::f64::consts::TAU * k as f64 * i as f64 / n as f64;
                 acc = acc + Complex::from_polar_unit(theta).scale(x);
             }
-            assert_close(spec[k], acc, 1e-10);
+            assert_close(s, acc, 1e-10);
         }
     }
 

@@ -37,7 +37,11 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "x values are all identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         slope,
         intercept,

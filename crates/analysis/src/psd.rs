@@ -93,8 +93,7 @@ pub fn welch(trace: &Trace, segment_len: usize) -> Spectrum {
             0.5 * (1.0 - w.cos())
         })
         .collect();
-    let window_power: f64 =
-        window.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+    let window_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
 
     let mut acc = vec![0.0f64; segment_len];
     let mut segments = 0usize;
@@ -170,19 +169,14 @@ pub fn log_frequency_grid(f_min: f64, f_max: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn spectrum_from_fft(
-    spec: &[crate::fft::Complex],
-    n: usize,
-    dt: f64,
-    extra_norm: f64,
-) -> Spectrum {
+fn spectrum_from_fft(spec: &[crate::fft::Complex], n: usize, dt: f64, extra_norm: f64) -> Spectrum {
     let df = 1.0 / (n as f64 * dt);
     let half = n / 2;
     let mut freqs = Vec::with_capacity(half - 1);
     let mut values = Vec::with_capacity(half - 1);
-    for k in 1..half {
+    for (k, s) in spec.iter().enumerate().take(half).skip(1) {
         freqs.push(k as f64 * df);
-        values.push(2.0 * spec[k].norm_sqr() * dt / n as f64 * extra_norm);
+        values.push(2.0 * s.norm_sqr() * dt / n as f64 * extra_norm);
     }
     Spectrum { freqs, values }
 }
@@ -194,7 +188,9 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn sine_trace(f0: f64, fs: f64, n: usize, amp: f64) -> Trace {
-        Trace::from_fn(0.0, 1.0 / fs, n, |t| amp * (core::f64::consts::TAU * f0 * t).sin())
+        Trace::from_fn(0.0, 1.0 / fs, n, |t| {
+            amp * (core::f64::consts::TAU * f0 * t).sin()
+        })
     }
 
     #[test]
@@ -210,7 +206,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!((s.freqs[peak_idx] - f0).abs() < 1.0, "peak at {}", s.freqs[peak_idx]);
+        assert!(
+            (s.freqs[peak_idx] - f0).abs() < 1.0,
+            "peak at {}",
+            s.freqs[peak_idx]
+        );
     }
 
     #[test]

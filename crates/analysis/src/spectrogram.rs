@@ -163,7 +163,10 @@ mod tests {
         let quiet = sg.column_power(sg.column_at(0.1));
         let loud = sg.column_power(sg.column_at(0.4));
         let quiet_after = sg.column_power(sg.column_at(0.7));
-        assert!(loud > 100.0 * quiet.max(1e-20), "loud {loud} vs quiet {quiet}");
+        assert!(
+            loud > 100.0 * quiet.max(1e-20),
+            "loud {loud} vs quiet {quiet}"
+        );
         assert!(loud > 100.0 * quiet_after.max(1e-20));
     }
 
@@ -176,11 +179,7 @@ mod tests {
         });
         let sg = spectrogram(&with_offset, 256);
         let lowest = sg.power[0][0];
-        let peak = sg
-            .power[0]
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let peak = sg.power[0].iter().copied().fold(0.0f64, f64::max);
         assert!(peak > 10.0 * lowest, "tone {peak} vs DC-adjacent {lowest}");
     }
 

@@ -213,7 +213,11 @@ mod tests {
     fn tlp_of_a_telegraph_signal_is_diagonal() {
         let t = telegraph_trace(0.0, 1.0, 20_000, 1);
         let tlp = time_lag_plot(&t, 1, 16);
-        assert!(tlp.diagonal_fraction() > 0.95, "{}", tlp.diagonal_fraction());
+        assert!(
+            tlp.diagonal_fraction() > 0.95,
+            "{}",
+            tlp.diagonal_fraction()
+        );
         // The two dwell blobs sit at the diagonal corners.
         assert!(tlp.at(0, 0) > 1000);
         assert!(tlp.at(15, 15) > 1000);

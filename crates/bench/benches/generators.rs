@@ -68,8 +68,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = SeedStream::new(1).rng(0);
             black_box(
-                ye::generate(&m, v, 0.0, tf, &mut rng, &ye::YeConfig::default())
-                    .expect("runs"),
+                ye::generate(&m, v, 0.0, tf, &mut rng, &ye::YeConfig::default()).expect("runs"),
             )
         })
     });

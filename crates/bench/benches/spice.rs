@@ -5,11 +5,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use samurai_spice::{run_transient, Integrator, Source, TransientConfig};
 use samurai_sram::{
     build_write_waveforms, run_methodology, MethodologyConfig, SramCell, SramCellParams,
     WriteTiming,
 };
-use samurai_spice::{run_transient, Integrator, Source, TransientConfig};
 use samurai_waveform::BitPattern;
 
 fn write_cell(integrator: Integrator) {
@@ -31,7 +31,9 @@ fn write_cell(integrator: Integrator) {
 
 fn bench_write_transient(c: &mut Criterion) {
     let mut group = c.benchmark_group("sram_write_transient");
-    group.bench_function("trapezoidal", |b| b.iter(|| write_cell(Integrator::Trapezoidal)));
+    group.bench_function("trapezoidal", |b| {
+        b.iter(|| write_cell(Integrator::Trapezoidal))
+    });
     group.bench_function("backward_euler", |b| {
         b.iter(|| write_cell(Integrator::BackwardEuler))
     });

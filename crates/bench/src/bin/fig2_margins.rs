@@ -18,7 +18,11 @@ fn main() {
     );
     let mut csv_rows = Vec::new();
     for row in &rows {
-        let status = if row.total() > row.vdd_scaling { "FAILS" } else { "ok" };
+        let status = if row.total() > row.vdd_scaling {
+            "FAILS"
+        } else {
+            "ok"
+        };
         println!(
             "{:>6} | {:>6.3} {:>9.3} {:>6.3} {:>6.3} | {:>6.3} vs {:>6.3} | {:>8.1}% | {:>7.3} {}",
             row.node,

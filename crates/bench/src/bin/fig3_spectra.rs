@@ -120,10 +120,7 @@ fn main() {
                 println!("  device {dev}: silent (0/{total} traps in band)");
                 continue;
             }
-            let fit = fit::fit_power_law(
-                &spectrum.freqs[lo..hi],
-                &spectrum.values[lo..hi],
-            );
+            let fit = fit::fit_power_law(&spectrum.freqs[lo..hi], &spectrum.values[lo..hi]);
             slopes.push(fit.slope);
             // Log deviation from the analytic 1/f line.
             let mut acc = 0.0;

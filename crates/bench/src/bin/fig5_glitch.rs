@@ -9,11 +9,11 @@
 //! Run with `cargo run --release -p samurai-bench --bin fig5_glitch`.
 
 use samurai_bench::{banner, write_tagged_csv};
+use samurai_spice::{run_transient, Source, TransientConfig};
 use samurai_sram::{
     analyze_writes, build_write_waveforms, CycleOutcome, SramCell, SramCellParams, Transistor,
     WriteTiming,
 };
-use samurai_spice::{run_transient, Source, TransientConfig};
 use samurai_waveform::{BitPattern, Pwl};
 
 struct Scenario {

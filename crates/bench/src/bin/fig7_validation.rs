@@ -12,8 +12,9 @@
 //! Run with `cargo run --release -p samurai-bench --bin fig7_validation`.
 
 use samurai_analysis::{analytical, autocorr, psd, stats};
-use samurai_bench::{banner, write_tagged_csv};
-use samurai_core::{simulate_trap, single_trap_amplitude, SeedStream};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
+use samurai_core::ensemble::{run_ensemble, IndexedResults};
+use samurai_core::{simulate_trap, single_trap_amplitude, CoreError, SeedStream};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_units::{Energy, Length, Temperature};
 use samurai_waveform::Pwl;
@@ -62,79 +63,112 @@ fn main() {
         });
     }
 
+    // Each configuration seeds its own RNG stream by index, so this
+    // sweep shards over the ensemble engine with bit-identical output
+    // at every worker count.
+    let parallelism = parallelism_from_args();
+    println!(
+        "workers: {} (--threads N / SAMURAI_THREADS to change)",
+        parallelism.workers()
+    );
+    struct PanelResult {
+        autocorr_rows: Vec<(String, Vec<f64>)>,
+        psd_rows: Vec<(String, Vec<f64>)>,
+        summary: (String, f64, f64, f64),
+        report: String,
+    }
+    let panels: Vec<PanelResult> = run_ensemble(
+        configs.len(),
+        parallelism,
+        IndexedResults::new,
+        |idx| -> Result<PanelResult, CoreError> {
+            let config = &configs[idx];
+            let trap = TrapParams::new(
+                Length::from_nanometres(config.y_tr_nm),
+                Energy::from_ev(config.e_tr_ev),
+            );
+            let model = PropensityModel::new(device, trap);
+            let lambda = model.rate_sum();
+            let p = model.stationary_occupancy(config.v_gs);
+            let delta_i = single_trap_amplitude(&device, config.v_gs, i_d);
+
+            // Long stationary trace sampled at 20x the corner rate. The
+            // expected transition rate is 2·λΣ·p(1−p), so the sample count
+            // adapts to keep ~5000 transitions even at extreme duty cycles.
+            let dt = 0.05 / lambda;
+            let n = ((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23);
+            let tf = dt * n as f64;
+            let mut rng = SeedStream::new(1000 + idx as u64).rng(0);
+            let occupancy =
+                simulate_trap(&model, &Pwl::constant(config.v_gs), 0.0, tf, &mut rng)?;
+            let current = occupancy.scaled(delta_i).sample(0.0, dt, n);
+
+            // Time domain: uncentred autocorrelation vs Machlup.
+            let max_lag = 80usize;
+            let (lags, measured_r) = autocorr::trace_autocorrelation(&current, max_lag);
+            let analytic_r: Vec<f64> = lags
+                .iter()
+                .map(|&tau| analytical::machlup_autocorrelation(delta_i, p, lambda, tau))
+                .collect();
+            // Floor at 2 % of R(0): below that the estimator variance of a
+            // strongly skewed telegraph signal dominates and a *relative*
+            // error is not meaningful.
+            let r_err = stats::rms_relative_error(
+                &measured_r,
+                &analytic_r,
+                analytic_r[0] * 0.02,
+            );
+            let mut autocorr_rows = Vec::with_capacity(lags.len());
+            for (k, &tau) in lags.iter().enumerate() {
+                autocorr_rows.push((
+                    config.label.clone(),
+                    vec![tau, measured_r[k], analytic_r[k]],
+                ));
+            }
+
+            // Frequency domain: Welch PSD vs the Lorentzian.
+            let spectrum = psd::welch(&current, 4096);
+            let corner = lambda / std::f64::consts::TAU;
+            let gm = 2.0 * i_d / 0.3; // crude gm = 2 I_d / V_ov for the floor
+            let thermal = analytical::thermal_noise_psd(Temperature::ROOM, gm);
+            let mut log_err_acc = 0.0;
+            let mut log_err_n = 0usize;
+            let mut psd_rows = Vec::with_capacity(spectrum.freqs.len());
+            for (f, s) in spectrum.freqs.iter().zip(&spectrum.values) {
+                let analytic = analytical::lorentzian_psd(delta_i, p, lambda, *f);
+                if *f < 10.0 * corner && *s > 0.0 && analytic > 0.0 {
+                    log_err_acc += (s / analytic).ln().powi(2);
+                    log_err_n += 1;
+                }
+                psd_rows.push((
+                    config.label.clone(),
+                    vec![*f, *s, analytic, thermal],
+                ));
+            }
+            let psd_log_rms = (log_err_acc / log_err_n.max(1) as f64).sqrt();
+
+            Ok(PanelResult {
+                autocorr_rows,
+                psd_rows,
+                summary: (config.label.clone(), r_err, psd_log_rms, p),
+                report: format!(
+                    "{:8} {:12}  lambda={:.3e}/s  p={:.3}  R(tau) rms rel err={:.3}  S(f) log-rms={:.3}",
+                    config.sweep, config.label, lambda, p, r_err, psd_log_rms
+                ),
+            })
+        },
+    )
+    .expect("horizon scaled to the trap rate")
+    .into_vec();
+
     let mut autocorr_rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut psd_rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut summary: Vec<(String, f64, f64, f64)> = Vec::new();
-
-    for (idx, config) in configs.iter().enumerate() {
-        let trap = TrapParams::new(
-            Length::from_nanometres(config.y_tr_nm),
-            Energy::from_ev(config.e_tr_ev),
-        );
-        let model = PropensityModel::new(device, trap);
-        let lambda = model.rate_sum();
-        let p = model.stationary_occupancy(config.v_gs);
-        let delta_i = single_trap_amplitude(&device, config.v_gs, i_d);
-
-        // Long stationary trace sampled at 20x the corner rate. The
-        // expected transition rate is 2·λΣ·p(1−p), so the sample count
-        // adapts to keep ~5000 transitions even at extreme duty cycles.
-        let dt = 0.05 / lambda;
-        let n = ((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23);
-        let tf = dt * n as f64;
-        let mut rng = SeedStream::new(1000 + idx as u64).rng(0);
-        let occupancy =
-            simulate_trap(&model, &Pwl::constant(config.v_gs), 0.0, tf, &mut rng)
-                .expect("horizon scaled to the trap rate");
-        let current = occupancy.scaled(delta_i).sample(0.0, dt, n);
-
-        // Time domain: uncentred autocorrelation vs Machlup.
-        let max_lag = 80usize;
-        let (lags, measured_r) = autocorr::trace_autocorrelation(&current, max_lag);
-        let analytic_r: Vec<f64> = lags
-            .iter()
-            .map(|&tau| analytical::machlup_autocorrelation(delta_i, p, lambda, tau))
-            .collect();
-        // Floor at 2 % of R(0): below that the estimator variance of a
-        // strongly skewed telegraph signal dominates and a *relative*
-        // error is not meaningful.
-        let r_err = stats::rms_relative_error(
-            &measured_r,
-            &analytic_r,
-            analytic_r[0] * 0.02,
-        );
-        for (k, &tau) in lags.iter().enumerate() {
-            autocorr_rows.push((
-                config.label.clone(),
-                vec![tau, measured_r[k], analytic_r[k]],
-            ));
-        }
-
-        // Frequency domain: Welch PSD vs the Lorentzian.
-        let spectrum = psd::welch(&current, 4096);
-        let corner = lambda / std::f64::consts::TAU;
-        let gm = 2.0 * i_d / 0.3; // crude gm = 2 I_d / V_ov for the floor
-        let thermal = analytical::thermal_noise_psd(Temperature::ROOM, gm);
-        let mut log_err_acc = 0.0;
-        let mut log_err_n = 0usize;
-        for (f, s) in spectrum.freqs.iter().zip(&spectrum.values) {
-            let analytic = analytical::lorentzian_psd(delta_i, p, lambda, *f);
-            if *f < 10.0 * corner && *s > 0.0 && analytic > 0.0 {
-                log_err_acc += (s / analytic).ln().powi(2);
-                log_err_n += 1;
-            }
-            psd_rows.push((
-                config.label.clone(),
-                vec![*f, *s, analytic, thermal],
-            ));
-        }
-        let psd_log_rms = (log_err_acc / log_err_n.max(1) as f64).sqrt();
-
-        summary.push((config.label.clone(), r_err, psd_log_rms, p));
-        println!(
-            "{:8} {:12}  lambda={:.3e}/s  p={:.3}  R(tau) rms rel err={:.3}  S(f) log-rms={:.3}",
-            config.sweep, config.label, lambda, p, r_err, psd_log_rms
-        );
+    for panel in panels {
+        autocorr_rows.extend(panel.autocorr_rows);
+        psd_rows.extend(panel.psd_rows);
+        summary.push(panel.summary);
+        println!("{}", panel.report);
     }
 
     let ac_path = write_tagged_csv(

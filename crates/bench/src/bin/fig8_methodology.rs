@@ -60,8 +60,14 @@ fn main() {
         }
     }
     let (m5_q1, m5_q0, m6_q1, m6_q0) = (m5_q1 / n1, m5_q0 / n0, m6_q1 / n1, m6_q0 / n0);
-    println!("M5 ({} traps): mean filled while Q=1: {m5_q1:.2}, while Q=0: {m5_q0:.2}", m5.traps.len());
-    println!("M6 ({} traps): mean filled while Q=1: {m6_q1:.2}, while Q=0: {m6_q0:.2}", m6.traps.len());
+    println!(
+        "M5 ({} traps): mean filled while Q=1: {m5_q1:.2}, while Q=0: {m5_q0:.2}",
+        m5.traps.len()
+    );
+    println!(
+        "M6 ({} traps): mean filled while Q=1: {m6_q1:.2}, while Q=0: {m6_q0:.2}",
+        m6.traps.len()
+    );
     let anticorrelated = m5_q1 >= m5_q0 && m6_q0 >= m6_q1;
     println!(
         "anti-correlation (paper: M5 active when Q high, M6 when Q low): {}",
@@ -73,7 +79,10 @@ fn main() {
     println!(
         "M2: {} traps, {} events, peak |I_RTN| = {:.3} uA",
         m2.traps.len(),
-        m2.occupancies.iter().map(|o| o.transition_count()).sum::<usize>(),
+        m2.occupancies
+            .iter()
+            .map(|o| o.transition_count())
+            .sum::<usize>(),
         m2.i_rtn.max_value().abs().max(m2.i_rtn.min_value().abs()) * 1e6
     );
 
@@ -138,7 +147,11 @@ fn main() {
         ));
         rows.push((
             "panel_e".into(),
-            vec![t * 1e9, error_report.q_rtn.eval(t), error_report.qb_rtn.eval(t)],
+            vec![
+                t * 1e9,
+                error_report.q_rtn.eval(t),
+                error_report.qb_rtn.eval(t),
+            ],
         ));
     }
     let path = write_tagged_csv("fig8_panels.csv", "panel,time_ns,v1,v2", &rows);

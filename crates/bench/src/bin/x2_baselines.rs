@@ -46,16 +46,9 @@ fn main() {
     let tf = t_step + 3.0 / lambda;
     let bias = Pwl::step(v_mid - 0.4, v_mid + 0.4, t_step, 0.001 / lambda)
         .expect("static step parameters");
-    let exact = master::integrate_occupancy(
-        &model,
-        &bias,
-        TrapState::Empty,
-        0.0,
-        probe / 400.0,
-        401,
-        8,
-    )
-    .value_at(probe);
+    let exact =
+        master::integrate_occupancy(&model, &bias, TrapState::Empty, 0.0, probe / 400.0, 401, 8)
+            .value_at(probe);
 
     let runs = 30_000u64;
     banner("X2: occupancy shortly after a bias step (exact = master equation)");
@@ -72,7 +65,11 @@ fn main() {
             .expect("bounded horizon");
         acc += occ.eval(probe);
     }
-    results.push(("uniformisation", acc / runs as f64, start.elapsed().as_secs_f64()));
+    results.push((
+        "uniformisation",
+        acc / runs as f64,
+        start.elapsed().as_secs_f64(),
+    ));
 
     // Frozen-rate SSA.
     let start = Instant::now();
@@ -83,7 +80,11 @@ fn main() {
                 .expect("bounded horizon");
         acc += occ.eval(probe);
     }
-    results.push(("frozen_ssa", acc / runs as f64, start.elapsed().as_secs_f64()));
+    results.push((
+        "frozen_ssa",
+        acc / runs as f64,
+        start.elapsed().as_secs_f64(),
+    ));
 
     // Bernoulli time-stepping at two resolutions.
     for (name, frac) in [("bernoulli_coarse", 0.5), ("bernoulli_fine", 0.02)] {
@@ -121,7 +122,11 @@ fn main() {
         .expect("bounded horizon");
         acc += occ.eval(probe);
     }
-    results.push(("ye_two_stage", acc / (runs / 4) as f64, start.elapsed().as_secs_f64()));
+    results.push((
+        "ye_two_stage",
+        acc / (runs / 4) as f64,
+        start.elapsed().as_secs_f64(),
+    ));
 
     for (name, estimate, seconds) in &results {
         let err = (estimate - exact).abs();
@@ -129,7 +134,11 @@ fn main() {
         rows.push((name.to_string(), vec![*estimate, err, *seconds]));
     }
 
-    let path = write_tagged_csv("x2_baselines.csv", "method,estimate,abs_error,seconds", &rows);
+    let path = write_tagged_csv(
+        "x2_baselines.csv",
+        "method,estimate,abs_error,seconds",
+        &rows,
+    );
 
     banner("X2 verdict");
     let unif_err = (results[0].1 - exact).abs();

@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x3_array_ber`.
 
-use samurai_bench::{banner, write_csv};
+use samurai_bench::{banner, parallelism_from_args, timed, write_csv};
+use samurai_core::Parallelism;
 use samurai_sram::array::{run_array, ArrayConfig};
 use samurai_sram::MethodologyConfig;
 use samurai_waveform::BitPattern;
@@ -13,8 +14,13 @@ fn main() {
     let pattern = BitPattern::parse("1010").expect("static pattern");
     let cells = 24;
     let vth_sigma = 0.04;
+    let parallelism = parallelism_from_args();
 
     banner("X3: write-BER vs RTN acceleration (24 cells, sigma_VT = 40 mV)");
+    println!(
+        "workers: {} (--threads N / SAMURAI_THREADS to change)",
+        parallelism.workers()
+    );
     let mut rows = Vec::new();
     let mut prev_rate = 0.0;
     let mut monotone = true;
@@ -26,6 +32,7 @@ fn main() {
             base: MethodologyConfig {
                 rtn_scale: scale,
                 density_scale: 1.5,
+                parallelism,
                 ..MethodologyConfig::default()
             },
         };
@@ -70,4 +77,31 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+
+    // Speedup check: the same sweep, sequential vs the worker pool.
+    // The ensemble engine guarantees bit-identical statistics, so the
+    // only thing allowed to differ is the wall-clock.
+    banner("Parallel ensemble speedup (same seeds, same answers)");
+    let speedup_config = |parallelism: Parallelism| ArrayConfig {
+        cells: 8,
+        vth_sigma,
+        seed: 17,
+        base: MethodologyConfig {
+            rtn_scale: 1000.0,
+            density_scale: 1.5,
+            parallelism,
+            ..MethodologyConfig::default()
+        },
+    };
+    let (seq, t_seq) = timed(|| {
+        run_array(&pattern, &speedup_config(Parallelism::Fixed(1))).expect("sequential sweep")
+    });
+    let (par, t_par) =
+        timed(|| run_array(&pattern, &speedup_config(parallelism)).expect("parallel sweep"));
+    assert_eq!(seq.cells, par.cells, "parallel sweep must be bit-identical");
+    println!(
+        "8 cells sequential: {t_seq:.2} s | {} workers: {t_par:.2} s | speedup {:.2}x | results identical: yes",
+        parallelism.workers(),
+        t_seq / t_par
+    );
 }

@@ -61,10 +61,7 @@ fn main() {
         if (a - b).abs() > 0.35 * (a + b).max(1.0) {
             activity_close = false;
         }
-        rows.push((
-            format!("nfilled_{}", t.label()),
-            vec![a, b, 0.0],
-        ));
+        rows.push((format!("nfilled_{}", t.label()), vec![a, b, 0.0]));
     }
     println!("max |Q_two_pass - Q_coupled| = {max_dq:.3} V");
 

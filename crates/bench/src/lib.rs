@@ -9,6 +9,44 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
+
+use samurai_core::Parallelism;
+
+/// Parses `--threads N` from the binary's command line: `N = 0` (or an
+/// absent flag with `SAMURAI_THREADS` unset) means all available cores,
+/// `N = 1` the legacy sequential path. The environment variable
+/// `SAMURAI_THREADS` is the fallback when the flag is absent.
+///
+/// Results are bit-identical at every setting — the ensemble engine
+/// guarantees it — so this knob trades wall-clock only.
+pub fn parallelism_from_args() -> Parallelism {
+    let mut args = std::env::args().skip(1);
+    let mut requested: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            requested = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            requested = v.parse().ok();
+        }
+    }
+    let requested = requested.or_else(|| {
+        std::env::var("SAMURAI_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    match requested {
+        None | Some(0) => Parallelism::Auto,
+        Some(n) => Parallelism::Fixed(n),
+    }
+}
+
+/// Times `f` and returns `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
 
 /// Directory figure CSVs are written to (created on demand).
 /// Override with the `SAMURAI_FIGURES_DIR` environment variable.
@@ -72,7 +110,10 @@ mod tests {
 
     #[test]
     fn csv_files_are_written() {
-        std::env::set_var("SAMURAI_FIGURES_DIR", std::env::temp_dir().join("samurai-figs"));
+        std::env::set_var(
+            "SAMURAI_FIGURES_DIR",
+            std::env::temp_dir().join("samurai-figs"),
+        );
         let path = write_csv("unit_test.csv", "a,b", &[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.starts_with("a,b\n"));

@@ -1,0 +1,512 @@
+//! Deterministic parallel Monte-Carlo ensembles.
+//!
+//! The paper's headline workloads — Fig 7 stationary validation, the
+//! §V write-error and write-slowdown studies, and accelerated-testing
+//! sweeps à la Toh et al. — are embarrassingly parallel over traps,
+//! cells and seeds. This module is the throughput substrate for all of
+//! them: a scoped worker pool that shards jobs over threads while
+//! keeping results **bit-identical for every worker count**.
+//!
+//! # The determinism contract
+//!
+//! Three rules make parallel results reproducible:
+//!
+//! 1. **Per-job seeding.** Every job derives its RNG from a
+//!    [`SeedStream`](crate::SeedStream) by its *stable job index*
+//!    (`seeds.rng(job as u64)` or a `substream(job)`), never from a
+//!    shared or thread-local generator. Which thread runs a job can
+//!    therefore not change what the job computes.
+//! 2. **Thread-count-independent sharding.** Jobs are grouped into
+//!    fixed shards of consecutive indices whose size depends only on
+//!    the job count ([`shard_size`]). Workers *race for shards*
+//!    (dynamic self-scheduling over an atomic queue — the same
+//!    load-balancing effect as work stealing), but the shard
+//!    boundaries themselves never move.
+//! 3. **Ordered reduction.** Each shard folds its jobs, in index
+//!    order, into a fresh [`EnsembleAccumulator`]; finished shards are
+//!    merged strictly in shard order after all workers join. Floating
+//!    point addition is not associative, so the merge *tree shape*
+//!    must be fixed — and it is: `((s₀ ⊕ s₁) ⊕ s₂) ⊕ …` regardless of
+//!    completion order or worker count.
+//!
+//! Together these give the guarantee the determinism test suite pins:
+//! `run_ensemble` returns bit-identical results at `Parallelism` 1, 2
+//! and 8 (and any other worker count).
+//!
+//! On failure the engine reports the error of the lowest-indexed shard
+//! that failed among those that ran; workers stop claiming new shards
+//! once an error is recorded, so *which* error surfaces can vary with
+//! scheduling when several shards fail — the success/failure verdict
+//! and every successful result remain deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use samurai_core::ensemble::{run_ensemble, MeanTrace, Parallelism};
+//! use samurai_core::SeedStream;
+//! use rand::Rng;
+//!
+//! // Estimate E[U] for U ~ Uniform[0, 1) over 1000 seeded draws.
+//! let seeds = SeedStream::new(7);
+//! let run = |p: Parallelism| {
+//!     run_ensemble::<MeanTrace, _, ()>(
+//!         1000,
+//!         p,
+//!         || MeanTrace::zeros(1),
+//!         |job| Ok(vec![seeds.rng(job as u64).gen::<f64>()]),
+//!     )
+//!     .unwrap()
+//!     .mean()[0]
+//! };
+//! let sequential = run(Parallelism::Fixed(1));
+//! let parallel = run(Parallelism::Fixed(8));
+//! assert_eq!(sequential.to_bits(), parallel.to_bits()); // bit-identical
+//! assert!((sequential - 0.5).abs() < 0.02);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// How many workers an ensemble runs on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available CPU core (as reported by
+    /// [`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// Exactly this many workers. `Fixed(1)` is the legacy sequential
+    /// path: jobs run on the calling thread and no threads are
+    /// spawned. `Fixed(0)` is treated as `Fixed(1)`.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The worker count this policy resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Self::Auto => thread::available_parallelism().map_or(1, |n| n.get()),
+            Self::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// `true` if this policy runs on the calling thread only.
+    pub fn is_sequential(self) -> bool {
+        self.workers() == 1
+    }
+}
+
+/// A mergeable reduction state for ensemble results.
+///
+/// Implementations must make `merge` act as if `other`'s jobs had been
+/// absorbed directly after `self`'s — the engine merges shard
+/// accumulators strictly in shard order, so an associative-over-
+/// concatenation `merge` yields results independent of the worker
+/// count.
+pub trait EnsembleAccumulator: Send {
+    /// What one job produces.
+    type Item;
+
+    /// Folds one job's result in. Jobs arrive in increasing index
+    /// order within a shard.
+    fn absorb(&mut self, job: usize, item: Self::Item);
+
+    /// Appends another accumulator holding the results of the jobs
+    /// immediately after this one's.
+    fn merge(&mut self, other: Self);
+}
+
+/// The shard width used for `jobs` jobs: fixed by the job count alone
+/// (never by the worker count), so the reduction tree — and therefore
+/// the bit-exact result — is the same on every machine configuration.
+///
+/// Small ensembles shard per job for load balancing; large ensembles
+/// cap the shard count at 1024 to bound queue traffic and merge state.
+pub fn shard_size(jobs: usize) -> usize {
+    const MAX_SHARDS: usize = 1024;
+    jobs.div_ceil(MAX_SHARDS).max(1)
+}
+
+/// What one worker brings home: its finished `(shard index,
+/// accumulator)` pairs, plus the first failure it hit (if any).
+type WorkerOutcome<A, E> = (Vec<(usize, A)>, Option<(usize, E)>);
+
+/// Runs `jobs` independent jobs and reduces their results.
+///
+/// `make_acc` creates one fresh accumulator per shard; `job(i)`
+/// computes the result of job `i` (deriving any randomness from `i` —
+/// see the module docs). Results are bit-identical for every
+/// [`Parallelism`] value.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing shard among those
+/// that ran (always the overall-lowest when sequential).
+pub fn run_ensemble<A, F, E>(
+    jobs: usize,
+    parallelism: Parallelism,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<A, E>
+where
+    A: EnsembleAccumulator,
+    F: Fn(usize) -> Result<A::Item, E> + Sync,
+    E: Send,
+{
+    if jobs == 0 {
+        return Ok(make_acc());
+    }
+    let width = shard_size(jobs);
+    let shards = jobs.div_ceil(width);
+    let workers = parallelism.workers().min(shards);
+
+    // One shard's fold: jobs [shard*width, ...) in index order.
+    let fold_shard = |shard: usize| -> Result<A, E> {
+        let lo = shard * width;
+        let hi = (lo + width).min(jobs);
+        let mut acc = make_acc();
+        for j in lo..hi {
+            acc.absorb(j, job(j)?);
+        }
+        Ok(acc)
+    };
+
+    if workers <= 1 {
+        // Legacy sequential path: same shard structure and merge order
+        // as the threaded path, so the two agree bit-for-bit.
+        let mut total: Option<A> = None;
+        for shard in 0..shards {
+            let acc = fold_shard(shard)?;
+            match &mut total {
+                None => total = Some(acc),
+                Some(t) => t.merge(acc),
+            }
+        }
+        return Ok(total.expect("jobs > 0 implies at least one shard"));
+    }
+
+    // Threaded path: workers race for shard indices on an atomic
+    // queue; each returns its (shard, accumulator) pairs for the
+    // ordered merge below.
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let outcome: Vec<WorkerOutcome<A, E>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, A)> = Vec::new();
+                    let mut error: Option<(usize, E)> = None;
+                    while !failed.load(Ordering::Relaxed) {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        match fold_shard(shard) {
+                            Ok(acc) => done.push((shard, acc)),
+                            Err(e) => {
+                                error = Some((shard, e));
+                                failed.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    (done, error)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ensemble worker panicked"))
+            .collect()
+    });
+
+    let mut completed: Vec<(usize, A)> = Vec::with_capacity(shards);
+    let mut first_error: Option<(usize, E)> = None;
+    for (done, error) in outcome {
+        completed.extend(done);
+        if let Some((shard, e)) = error {
+            match &first_error {
+                Some((s, _)) if *s <= shard => {}
+                _ => first_error = Some((shard, e)),
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    debug_assert_eq!(completed.len(), shards, "every shard reduced exactly once");
+    completed.sort_by_key(|(shard, _)| *shard);
+    let mut iter = completed.into_iter();
+    let (_, mut total) = iter.next().expect("jobs > 0 implies at least one shard");
+    for (_, acc) in iter {
+        total.merge(acc);
+    }
+    Ok(total)
+}
+
+/// Accumulates a per-grid-point running sum — the parallel form of an
+/// ensemble-averaged occupancy (or any sampled trace statistic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanTrace {
+    sums: Vec<f64>,
+    count: usize,
+}
+
+impl MeanTrace {
+    /// An empty accumulator over `n` grid points.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            sums: vec![0.0; n],
+            count: 0,
+        }
+    }
+
+    /// Number of absorbed traces.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The per-point mean (empty accumulator ⇒ zeros).
+    pub fn mean(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return self.sums.clone();
+        }
+        let inv = 1.0 / self.count as f64;
+        self.sums.iter().map(|s| s * inv).collect()
+    }
+}
+
+impl EnsembleAccumulator for MeanTrace {
+    type Item = Vec<f64>;
+
+    fn absorb(&mut self, _job: usize, item: Vec<f64>) {
+        assert_eq!(item.len(), self.sums.len(), "grid size mismatch");
+        for (slot, v) in self.sums.iter_mut().zip(item) {
+            *slot += v;
+        }
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(other.sums.len(), self.sums.len(), "grid size mismatch");
+        for (slot, v) in self.sums.iter_mut().zip(other.sums) {
+            *slot += v;
+        }
+        self.count += other.count;
+    }
+}
+
+/// Collects each job's result into its job-indexed slot — for
+/// ensembles whose reduction is "keep everything, in order" (per-cell
+/// sweep records, per-trap staircases, per-config figure rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedResults<T> {
+    slots: Vec<(usize, T)>,
+}
+
+impl<T> Default for IndexedResults<T> {
+    fn default() -> Self {
+        Self { slots: Vec::new() }
+    }
+}
+
+impl<T> IndexedResults<T> {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The results in job order.
+    pub fn into_vec(self) -> Vec<T> {
+        debug_assert!(
+            self.slots.windows(2).all(|w| w[0].0 < w[1].0),
+            "job indices are strictly increasing after the ordered merge"
+        );
+        self.slots.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+impl<T: Send> EnsembleAccumulator for IndexedResults<T> {
+    type Item = T;
+
+    fn absorb(&mut self, job: usize, item: T) {
+        self.slots.push((job, item));
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.slots.extend(other.slots);
+    }
+}
+
+/// A mergeable histogram of small non-negative integer outcomes
+/// (events per trap, errors per cell, …): bin `i` counts jobs whose
+/// outcome was `i`, with one overflow bin at the top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountHistogram {
+    bins: Vec<u64>,
+}
+
+impl CountHistogram {
+    /// A histogram with `bins` regular bins plus an overflow bin.
+    pub fn with_bins(bins: usize) -> Self {
+        Self {
+            bins: vec![0; bins + 1],
+        }
+    }
+
+    /// The counts, overflow bin last.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total absorbed outcomes.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+impl EnsembleAccumulator for CountHistogram {
+    type Item = usize;
+
+    fn absorb(&mut self, _job: usize, outcome: usize) {
+        let idx = outcome.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        assert_eq!(other.bins.len(), self.bins.len(), "bin count mismatch");
+        for (slot, v) in self.bins.iter_mut().zip(other.bins) {
+            *slot += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedStream;
+    use rand::Rng;
+
+    fn mean_of(jobs: usize, p: Parallelism, seed: u64) -> Vec<f64> {
+        let seeds = SeedStream::new(seed);
+        run_ensemble::<MeanTrace, _, ()>(
+            jobs,
+            p,
+            || MeanTrace::zeros(4),
+            |job| {
+                let mut rng = seeds.rng(job as u64);
+                Ok((0..4).map(|_| rng.gen::<f64>()).collect())
+            },
+        )
+        .unwrap()
+        .mean()
+    }
+
+    #[test]
+    fn bit_identical_across_worker_counts() {
+        let reference = mean_of(997, Parallelism::Fixed(1), 3);
+        for workers in [2, 3, 8, 32] {
+            let par = mean_of(997, Parallelism::Fixed(workers), 3);
+            for (a, b) in reference.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_results() {
+        assert_ne!(
+            mean_of(100, Parallelism::Auto, 1),
+            mean_of(100, Parallelism::Auto, 2)
+        );
+    }
+
+    #[test]
+    fn zero_jobs_yield_the_empty_accumulator() {
+        let acc = run_ensemble::<CountHistogram, _, ()>(
+            0,
+            Parallelism::Auto,
+            || CountHistogram::with_bins(4),
+            |_| Ok(0),
+        )
+        .unwrap();
+        assert_eq!(acc.total(), 0);
+    }
+
+    #[test]
+    fn indexed_results_preserve_job_order() {
+        for p in [Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+            let acc =
+                run_ensemble::<IndexedResults<usize>, _, ()>(257, p, IndexedResults::new, |job| {
+                    Ok(job * job)
+                })
+                .unwrap();
+            let v = acc.into_vec();
+            assert_eq!(v.len(), 257);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_job_once() {
+        for p in [Parallelism::Fixed(1), Parallelism::Fixed(8)] {
+            let acc = run_ensemble::<CountHistogram, _, ()>(
+                5000,
+                p,
+                || CountHistogram::with_bins(10),
+                |job| Ok(job % 13), // some outcomes overflow the top bin
+            )
+            .unwrap();
+            assert_eq!(acc.total(), 5000);
+            // Outcomes 10, 11, 12 land in the overflow bin.
+            let overflow = acc.bins()[10];
+            assert!(overflow > 1000, "overflow bin {overflow}");
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_name_the_lowest_failing_shard_when_sequential() {
+        let err = run_ensemble::<CountHistogram, _, usize>(
+            100,
+            Parallelism::Fixed(1),
+            || CountHistogram::with_bins(2),
+            |job| if job >= 40 { Err(job) } else { Ok(0) },
+        )
+        .unwrap_err();
+        assert_eq!(err, 40);
+    }
+
+    #[test]
+    fn errors_propagate_in_parallel_too() {
+        let err = run_ensemble::<CountHistogram, _, usize>(
+            100,
+            Parallelism::Fixed(4),
+            || CountHistogram::with_bins(2),
+            |job| if job == 63 { Err(job) } else { Ok(0) },
+        )
+        .unwrap_err();
+        assert_eq!(err, 63);
+    }
+
+    #[test]
+    fn shard_size_depends_only_on_job_count() {
+        assert_eq!(shard_size(1), 1);
+        assert_eq!(shard_size(1024), 1);
+        assert_eq!(shard_size(1025), 2);
+        assert_eq!(shard_size(10_000), 10);
+        // Monotone-ish sanity: shard count never exceeds the cap.
+        for jobs in [1usize, 7, 1000, 4096, 1_000_000] {
+            assert!(jobs.div_ceil(shard_size(jobs)) <= 1024);
+        }
+    }
+
+    #[test]
+    fn mean_trace_merge_matches_direct_absorption() {
+        let mut a = MeanTrace::zeros(2);
+        a.absorb(0, vec![1.0, 2.0]);
+        let mut b = MeanTrace::zeros(2);
+        b.absorb(1, vec![3.0, 4.0]);
+        a.merge(b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), vec![2.0, 3.0]);
+    }
+}

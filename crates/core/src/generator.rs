@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::ensemble::{run_ensemble, IndexedResults, Parallelism};
 use crate::{
     gillespie, rtn_current, simulate_trap_with, AmplitudeModel, BiasWaveforms, CoreError,
     SeedStream, UniformisationConfig,
@@ -86,6 +87,7 @@ pub struct RtnGenerator {
     config: UniformisationConfig,
     current_oversample: usize,
     amplitude: AmplitudeModel,
+    parallelism: Parallelism,
 }
 
 impl RtnGenerator {
@@ -103,6 +105,7 @@ impl RtnGenerator {
             config: UniformisationConfig::default(),
             current_oversample: 256,
             amplitude: AmplitudeModel::Uniform,
+            parallelism: Parallelism::Fixed(1),
         }
     }
 
@@ -143,6 +146,16 @@ impl RtnGenerator {
         self
     }
 
+    /// Shards the per-trap simulations over a worker pool (builder
+    /// style; default sequential). Trap `i` always draws from stream
+    /// `i` of the master seed, so the generated traces are
+    /// bit-identical for every worker count.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// The device parameters.
     pub fn device(&self) -> &DeviceParams {
         &self.device
@@ -167,21 +180,17 @@ impl RtnGenerator {
         if !(tf > t0) {
             return Err(CoreError::EmptyHorizon { t0, tf });
         }
-        let occupancies: Vec<Pwc> = self
-            .models
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
+        let occupancies: Vec<Pwc> = run_ensemble(
+            self.models.len(),
+            self.parallelism,
+            IndexedResults::new,
+            |i| {
+                let m = &self.models[i];
                 let mut rng = self.seeds.rng(i as u64);
                 match self.method {
-                    TraceMethod::Uniformisation => simulate_trap_with(
-                        m,
-                        &bias.v_gs,
-                        t0,
-                        tf,
-                        &mut rng,
-                        &self.config,
-                    ),
+                    TraceMethod::Uniformisation => {
+                        simulate_trap_with(m, &bias.v_gs, t0, tf, &mut rng, &self.config)
+                    }
                     TraceMethod::FrozenRateSsa => {
                         gillespie::frozen_rate_ssa(m, &bias.v_gs, t0, tf, &mut rng)
                     }
@@ -194,8 +203,9 @@ impl RtnGenerator {
                         &crate::ye::YeConfig::default(),
                     ),
                 }
-            })
-            .collect::<Result<_, _>>()?;
+            },
+        )?
+        .into_vec();
 
         let trap_params: Vec<_> = self.models.iter().map(|m| *m.trap()).collect();
         let n_filled = self.amplitude.effective_filled(&trap_params, &occupancies);
@@ -282,8 +292,7 @@ mod tests {
     fn deterministic_per_seed_and_divergent_across_seeds() {
         let bias = BiasWaveforms::constant(0.9, 10e-6);
         let mk = |seed| {
-            let gen = RtnGenerator::new(DeviceParams::nominal_90nm(), slow_traps())
-                .with_seed(seed);
+            let gen = RtnGenerator::new(DeviceParams::nominal_90nm(), slow_traps()).with_seed(seed);
             let tf = horizon(&gen);
             gen.generate(&bias, 0.0, tf).unwrap()
         };
@@ -306,8 +315,7 @@ mod tests {
     fn depth_weighted_amplitudes_shrink_the_current() {
         let traps = slow_traps(); // depths 1.7, 1.8, 1.9 nm
         let bias = BiasWaveforms::constant(0.9, 10e-6);
-        let uniform = RtnGenerator::new(DeviceParams::nominal_90nm(), traps.clone())
-            .with_seed(6);
+        let uniform = RtnGenerator::new(DeviceParams::nominal_90nm(), traps.clone()).with_seed(6);
         let tf = horizon(&uniform);
         let base = uniform.generate(&bias, 0.0, tf).unwrap();
         let weighted = RtnGenerator::new(DeviceParams::nominal_90nm(), traps)

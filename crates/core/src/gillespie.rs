@@ -193,14 +193,22 @@ mod tests {
         let p = m.stationary_occupancy(v);
 
         let ssa = stationary_ssa(&m, v, 0.0, tf, &mut SeedStream::new(1).rng(0)).unwrap();
-        let unif =
-            simulate_trap(&m, &Pwl::constant(v), 0.0, tf, &mut SeedStream::new(2).rng(0))
-                .unwrap();
+        let unif = simulate_trap(
+            &m,
+            &Pwl::constant(v),
+            0.0,
+            tf,
+            &mut SeedStream::new(2).rng(0),
+        )
+        .unwrap();
 
         let f_ssa = ssa.fraction_at(0.0, tf, 1.0, 0.0);
         let f_unif = unif.fraction_at(0.0, tf, 1.0, 0.0);
         assert!((f_ssa - p).abs() < 0.05, "SSA fraction {f_ssa} vs p {p}");
-        assert!((f_ssa - f_unif).abs() < 0.07, "SSA {f_ssa} vs uniformisation {f_unif}");
+        assert!(
+            (f_ssa - f_unif).abs() < 0.07,
+            "SSA {f_ssa} vs uniformisation {f_unif}"
+        );
     }
 
     #[test]
@@ -209,8 +217,14 @@ mod tests {
         let v = balanced_bias(&m);
         let tf = 500.0 / m.rate_sum();
         let a = stationary_ssa(&m, v, 0.0, tf, &mut SeedStream::new(7).rng(0)).unwrap();
-        let b = frozen_rate_ssa(&m, &Pwl::constant(v), 0.0, tf, &mut SeedStream::new(7).rng(0))
-            .unwrap();
+        let b = frozen_rate_ssa(
+            &m,
+            &Pwl::constant(v),
+            0.0,
+            tf,
+            &mut SeedStream::new(7).rng(0),
+        )
+        .unwrap();
         // Identical RNG stream + identical rates = identical trajectory.
         assert_eq!(a, b);
     }
@@ -234,10 +248,8 @@ mod tests {
         let mut sum_frozen = 0.0;
         let mut sum_unif = 0.0;
         for r in 0..runs {
-            let f = frozen_rate_ssa(&m, &bias, 0.0, tf, &mut SeedStream::new(100).rng(r))
-                .unwrap();
-            let u = simulate_trap(&m, &bias, 0.0, tf, &mut SeedStream::new(200).rng(r))
-                .unwrap();
+            let f = frozen_rate_ssa(&m, &bias, 0.0, tf, &mut SeedStream::new(100).rng(r)).unwrap();
+            let u = simulate_trap(&m, &bias, 0.0, tf, &mut SeedStream::new(200).rng(r)).unwrap();
             sum_frozen += f.eval(probe);
             sum_unif += u.eval(probe);
         }
@@ -304,8 +316,6 @@ mod tests {
         let mut rng = SeedStream::new(0).rng(0);
         assert!(stationary_ssa(&m, 0.5, 1.0, 0.5, &mut rng).is_err());
         assert!(frozen_rate_ssa(&m, &Pwl::constant(0.5), 1.0, 0.5, &mut rng).is_err());
-        assert!(
-            bernoulli_timestep(&m, &Pwl::constant(0.5), 1.0, 0.5, 1e-3, &mut rng).is_err()
-        );
+        assert!(bernoulli_timestep(&m, &Pwl::constant(0.5), 1.0, 0.5, 1e-3, &mut rng).is_err());
     }
 }

@@ -1,3 +1,7 @@
+// `!(tf > t0)`-style horizon guards are deliberate: unlike `tf <= t0`,
+// the negated comparison also rejects NaN bounds.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 //! The SAMURAI core: non-stationary RTN trace generation by Markov
 //! uniformisation.
 //!
@@ -15,6 +19,10 @@
 //!   `N_filled(t)` staircase and the Eq (3) RTN current;
 //! * validation utilities ([`ensemble_occupancy`]) comparing ensemble
 //!   statistics against the exact master equation;
+//! * the deterministic parallel Monte-Carlo engine
+//!   ([`ensemble`](crate::ensemble)) that shards trap/seed/cell sweeps
+//!   over a worker pool with bit-identical results at any
+//!   [`Parallelism`];
 //! * **baselines**: an exact stationary Gillespie SSA, a naive
 //!   frozen-rate SSA, a fixed-time-step Bernoulli discretisation
 //!   ([`gillespie`]), and a Ye-et-al.-style white-noise two-stage
@@ -43,6 +51,7 @@
 //! ```
 
 mod bias;
+pub mod ensemble;
 mod error;
 mod generator;
 pub mod gillespie;
@@ -52,11 +61,12 @@ mod uniformisation;
 pub mod ye;
 
 pub use bias::BiasWaveforms;
+pub use ensemble::{run_ensemble, EnsembleAccumulator, Parallelism};
 pub use error::CoreError;
 pub use generator::{DeviceRtn, RtnGenerator, TraceMethod};
 pub use rng::{exp_rand, trap_rng, SeedStream};
 pub use rtn_current::{rtn_current, single_trap_amplitude, AmplitudeModel};
 pub use uniformisation::{
-    ensemble_occupancy, simulate_device, simulate_trap, simulate_trap_with,
-    UniformisationConfig,
+    ensemble_occupancy, ensemble_occupancy_with, simulate_device, simulate_device_with,
+    simulate_trap, simulate_trap_with, UniformisationConfig,
 };

@@ -175,8 +175,10 @@ mod tests {
     #[test]
     fn amplitude_models_weight_traps_as_documented() {
         use samurai_units::{Energy, Length};
-        let shallow = samurai_trap::TrapParams::new(Length::from_nanometres(0.5), Energy::from_ev(0.3));
-        let deep = samurai_trap::TrapParams::new(Length::from_nanometres(1.5), Energy::from_ev(0.3));
+        let shallow =
+            samurai_trap::TrapParams::new(Length::from_nanometres(0.5), Energy::from_ev(0.3));
+        let deep =
+            samurai_trap::TrapParams::new(Length::from_nanometres(1.5), Energy::from_ev(0.3));
 
         let uniform = AmplitudeModel::Uniform;
         assert_eq!(uniform.weight(&shallow), 1.0);
@@ -188,7 +190,10 @@ mod tests {
         let ws = weighted.weight(&shallow);
         let wd = weighted.weight(&deep);
         assert!(ws > wd, "shallow traps must dominate: {ws} vs {wd}");
-        assert!((ws / wd - (1.0f64).exp()).abs() < 1e-9, "1 nm apart = one e-fold");
+        assert!(
+            (ws / wd - (1.0f64).exp()).abs() < 1e-9,
+            "1 nm apart = one e-fold"
+        );
 
         // Effective filled count under full occupancy equals the
         // weight sum.

@@ -13,6 +13,7 @@
 
 use rand::Rng;
 
+use crate::ensemble::{run_ensemble, MeanTrace, Parallelism};
 use crate::{exp_rand, CoreError, SeedStream};
 use samurai_trap::{PropensityModel, TrapState};
 use samurai_waveform::{Pwc, Pwl, Trace};
@@ -148,19 +149,45 @@ pub fn simulate_device(
     seeds: &SeedStream,
     config: &UniformisationConfig,
 ) -> Result<Vec<Pwc>, CoreError> {
-    models
-        .iter()
-        .enumerate()
-        .map(|(i, m)| {
+    simulate_device_with(models, v_gs, t0, tf, seeds, config, Parallelism::Fixed(1))
+}
+
+/// [`simulate_device`] sharded over a worker pool: trap `i` always
+/// draws from `seeds.rng(i)`, so the staircases are bit-identical for
+/// every worker count.
+///
+/// # Errors
+///
+/// As [`simulate_device`].
+pub fn simulate_device_with(
+    models: &[PropensityModel],
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    seeds: &SeedStream,
+    config: &UniformisationConfig,
+    parallelism: Parallelism,
+) -> Result<Vec<Pwc>, CoreError> {
+    let acc = run_ensemble(
+        models.len(),
+        parallelism,
+        crate::ensemble::IndexedResults::new,
+        |i| {
             let mut rng = seeds.rng(i as u64);
-            simulate_trap_with(m, v_gs, t0, tf, &mut rng, config)
-        })
-        .collect()
+            simulate_trap_with(&models[i], v_gs, t0, tf, &mut rng, config)
+        },
+    )?;
+    Ok(acc.into_vec())
 }
 
 /// Ensemble-averaged occupancy of one trap over `runs` independent
 /// simulations, sampled on a uniform grid — the stochastic estimate
 /// whose exact counterpart is `samurai_trap::master::integrate_occupancy`.
+///
+/// Runs on all available cores; see [`ensemble_occupancy_with`] for an
+/// explicit [`Parallelism`]. Run `r` draws its trajectory from
+/// `seeds.rng(r)`, so the result is bit-identical for every worker
+/// count.
 ///
 /// # Errors
 ///
@@ -174,19 +201,39 @@ pub fn ensemble_occupancy(
     runs: usize,
     seeds: &SeedStream,
 ) -> Result<Trace, CoreError> {
+    ensemble_occupancy_with(model, v_gs, t0, dt, n, runs, seeds, Parallelism::Auto)
+}
+
+/// [`ensemble_occupancy`] with an explicit worker policy
+/// (`Parallelism::Fixed(1)` is the legacy sequential path).
+///
+/// # Errors
+///
+/// As [`ensemble_occupancy`].
+#[allow(clippy::too_many_arguments)]
+pub fn ensemble_occupancy_with(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    dt: f64,
+    n: usize,
+    runs: usize,
+    seeds: &SeedStream,
+    parallelism: Parallelism,
+) -> Result<Trace, CoreError> {
     assert!(runs > 0, "need at least one run");
     let tf = t0 + dt * n as f64;
-    let mut acc = vec![0.0f64; n];
-    for r in 0..runs {
-        let mut rng = seeds.rng(r as u64);
-        let occ = simulate_trap(model, v_gs, t0, tf, &mut rng)?;
-        for (i, slot) in acc.iter_mut().enumerate() {
-            *slot += occ.eval(t0 + i as f64 * dt);
-        }
-    }
-    let inv = 1.0 / runs as f64;
-    Ok(Trace::new(t0, dt, acc.into_iter().map(|v| v * inv).collect())
-        .expect("grid validated by caller"))
+    let acc = run_ensemble(
+        runs,
+        parallelism,
+        || MeanTrace::zeros(n),
+        |run| {
+            let mut rng = seeds.rng(run as u64);
+            let occ = simulate_trap(model, v_gs, t0, tf, &mut rng)?;
+            Ok((0..n).map(|i| occ.eval(t0 + i as f64 * dt)).collect())
+        },
+    )?;
+    Ok(Trace::new(t0, dt, acc.mean()).expect("grid validated by caller"))
 }
 
 #[cfg(test)]
@@ -231,7 +278,10 @@ mod tests {
         let mut rng = SeedStream::new(11).rng(0);
         let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, tf, &mut rng).unwrap();
         let frac = occ.fraction_at(0.0, tf, 1.0, 0.0);
-        assert!((frac - p).abs() < 0.05, "occupancy fraction {frac} vs p {p}");
+        assert!(
+            (frac - p).abs() < 0.05,
+            "occupancy fraction {frac} vs p {p}"
+        );
     }
 
     #[test]
@@ -244,7 +294,11 @@ mod tests {
         let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, tf, &mut rng).unwrap();
 
         let dwells = occ.dwells();
-        assert!(dwells.len() > 300, "need plenty of dwells, got {}", dwells.len());
+        assert!(
+            dwells.len() > 300,
+            "need plenty of dwells, got {}",
+            dwells.len()
+        );
         let filled: Vec<f64> = dwells.iter().filter(|d| d.1 == 1.0).map(|d| d.0).collect();
         let empty: Vec<f64> = dwells.iter().filter(|d| d.1 == 0.0).map(|d| d.0).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -252,8 +306,16 @@ mod tests {
         // Mean filled dwell = 1/λe, mean empty dwell = 1/λc.
         let mf = mean(&filled);
         let me = mean(&empty);
-        assert!((mf * le - 1.0).abs() < 0.15, "filled dwell mean {mf}, 1/le {}", 1.0 / le);
-        assert!((me * lc - 1.0).abs() < 0.15, "empty dwell mean {me}, 1/lc {}", 1.0 / lc);
+        assert!(
+            (mf * le - 1.0).abs() < 0.15,
+            "filled dwell mean {mf}, 1/le {}",
+            1.0 / le
+        );
+        assert!(
+            (me * lc - 1.0).abs() < 0.15,
+            "empty dwell mean {me}, 1/lc {}",
+            1.0 / lc
+        );
     }
 
     #[test]
@@ -261,8 +323,8 @@ mod tests {
         let m = slow_model(0.3);
         let v = balanced_bias(&m);
         let mut rng = SeedStream::new(3).rng(0);
-        let occ = simulate_trap(&m, &Pwl::constant(v), 0.0, 500.0 / m.rate_sum(), &mut rng)
-            .unwrap();
+        let occ =
+            simulate_trap(&m, &Pwl::constant(v), 0.0, 500.0 / m.rate_sum(), &mut rng).unwrap();
         let steps = occ.steps();
         for w in steps.windows(2) {
             assert!(w[0].1 == 0.0 || w[0].1 == 1.0);
@@ -284,15 +346,7 @@ mod tests {
         let runs = 3000;
         let seeds = SeedStream::new(77);
         let ensemble = ensemble_occupancy(&m, &bias, 0.0, dt, n, runs, &seeds).unwrap();
-        let exact = master::integrate_occupancy(
-            &m,
-            &bias,
-            m.trap().initial_state,
-            0.0,
-            dt,
-            n,
-            8,
-        );
+        let exact = master::integrate_occupancy(&m, &bias, m.trap().initial_state, 0.0, dt, n, 8);
 
         // Monte-Carlo error of a Bernoulli mean over 3000 runs ≈ 0.009;
         // allow 4 sigma.
@@ -311,8 +365,16 @@ mod tests {
         let lam = m.rate_sum();
         let v_mid = balanced_bias(&m);
         let period = 400.0 / lam;
-        let bias = Pwl::clock(v_mid - 0.3, v_mid + 0.3, 0.0, period, 0.5, period / 100.0, 2)
-            .unwrap();
+        let bias = Pwl::clock(
+            v_mid - 0.3,
+            v_mid + 0.3,
+            0.0,
+            period,
+            0.5,
+            period / 100.0,
+            2,
+        )
+        .unwrap();
         let mut rng = SeedStream::new(5).rng(0);
         let occ = simulate_trap(&m, &bias, 0.0, 2.0 * period, &mut rng).unwrap();
 
@@ -328,10 +390,22 @@ mod tests {
     fn reproducible_with_the_same_stream() {
         let m = slow_model(0.35);
         let v = Pwl::constant(balanced_bias(&m));
-        let a = simulate_trap(&m, &v, 0.0, 100.0 / m.rate_sum(), &mut SeedStream::new(9).rng(0))
-            .unwrap();
-        let b = simulate_trap(&m, &v, 0.0, 100.0 / m.rate_sum(), &mut SeedStream::new(9).rng(0))
-            .unwrap();
+        let a = simulate_trap(
+            &m,
+            &v,
+            0.0,
+            100.0 / m.rate_sum(),
+            &mut SeedStream::new(9).rng(0),
+        )
+        .unwrap();
+        let b = simulate_trap(
+            &m,
+            &v,
+            0.0,
+            100.0 / m.rate_sum(),
+            &mut SeedStream::new(9).rng(0),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
@@ -359,7 +433,10 @@ mod tests {
             &cfg,
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::EventBudgetExceeded { budget: 10, .. }));
+        assert!(matches!(
+            err,
+            CoreError::EventBudgetExceeded { budget: 10, .. }
+        ));
     }
 
     #[test]
@@ -374,7 +451,10 @@ mod tests {
                 )
             })
             .collect();
-        let slowest = models.iter().map(|m| m.rate_sum()).fold(f64::INFINITY, f64::min);
+        let slowest = models
+            .iter()
+            .map(|m| m.rate_sum())
+            .fold(f64::INFINITY, f64::min);
         let occs = simulate_device(
             &models,
             &Pwl::constant(0.6),

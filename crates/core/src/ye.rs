@@ -101,12 +101,15 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must be in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use samurai_core::{simulate_trap, SeedStream};
+use samurai_core::{
+    simulate_trap, simulate_trap_with, CoreError, SeedStream, UniformisationConfig,
+};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams, TrapState};
 use samurai_units::{Energy, Length};
 use samurai_waveform::Pwl;
@@ -11,8 +13,11 @@ use samurai_waveform::Pwl;
 fn model(depth_nm: f64, energy_ev: f64, initial: TrapState) -> PropensityModel {
     PropensityModel::new(
         DeviceParams::nominal_90nm(),
-        TrapParams::new(Length::from_nanometres(depth_nm), Energy::from_ev(energy_ev))
-            .with_initial_state(initial),
+        TrapParams::new(
+            Length::from_nanometres(depth_nm),
+            Energy::from_ev(energy_ev),
+        )
+        .with_initial_state(initial),
     )
 }
 
@@ -121,5 +126,65 @@ proptest! {
         // Strongly separated stationary laws: sampling noise cannot
         // invert them at this trace length.
         prop_assert!(high > low, "high-bias fraction {high} vs low-bias {low}");
+    }
+
+    /// `EmptyHorizon` fires for every reversed or empty horizon — and
+    /// echoes the offending bounds — while any positive span succeeds.
+    #[test]
+    fn empty_horizon_fires_exactly_when_documented(
+        t0 in -1.0f64..1.0,
+        span in 0.0f64..1e-3,
+        seed in 0u64..100,
+    ) {
+        let m = model(1.7, 0.4, TrapState::Empty);
+        let bias = Pwl::constant(0.8);
+
+        // tf <= t0 (including tf == t0) must refuse with the bounds.
+        let tf_bad = t0 - span;
+        let err = simulate_trap(&m, &bias, t0, tf_bad, &mut SeedStream::new(seed).rng(0))
+            .expect_err("empty horizon must not simulate");
+        prop_assert_eq!(err, CoreError::EmptyHorizon { t0, tf: tf_bad });
+
+        // Any strictly positive span simulates.
+        let ok = simulate_trap(&m, &bias, t0, t0 + span + 1e-9, &mut SeedStream::new(seed).rng(0));
+        prop_assert!(ok.is_ok(), "positive span must simulate: {:?}", ok);
+    }
+
+    /// `EventBudgetExceeded` fires exactly when the candidate count
+    /// would pass the configured budget — and reports that budget and
+    /// the trap's `λ*` — while a generous budget lets the same horizon
+    /// through.
+    #[test]
+    fn event_budget_fires_exactly_when_documented(
+        depth in 1.5f64..1.9,
+        seed in 0u64..100,
+        budget in 1usize..16,
+    ) {
+        let m = model(depth, 0.4, TrapState::Empty);
+        let lambda = m.rate_sum();
+        // ~500 expected candidates: a budget under 16 is essentially
+        // certain to trip, one of 100_000 essentially certain not to.
+        let tf = 500.0 / lambda;
+        let bias = Pwl::constant(0.8);
+
+        let tight = UniformisationConfig { max_candidate_events: budget };
+        let err = simulate_trap_with(&m, &bias, 0.0, tf, &mut SeedStream::new(seed).rng(0), &tight)
+            .expect_err("budget far below the candidate count must trip");
+        match err {
+            CoreError::EventBudgetExceeded { budget: b, rate } => {
+                prop_assert_eq!(b, budget, "the error must echo the configured budget");
+                // The kernel may sum the propensities in a different
+                // association than rate_sum(): allow the last ulps.
+                prop_assert!(
+                    (rate - lambda).abs() <= 1e-12 * lambda,
+                    "reported rate {rate} vs lambda* {lambda}"
+                );
+            }
+            other => return Err(TestCaseError::fail(format!("wrong error: {other}"))),
+        }
+
+        let roomy = UniformisationConfig { max_candidate_events: 100_000 };
+        let occ = simulate_trap_with(&m, &bias, 0.0, tf, &mut SeedStream::new(seed).rng(0), &roomy);
+        prop_assert!(occ.is_ok(), "roomy budget must succeed: {:?}", occ);
     }
 }

@@ -11,8 +11,9 @@
 //!   bit patterns;
 //! * [`trap`] — oxide-trap physics, statistical trap profiling, the
 //!   exact master equation;
-//! * [`core`] — the Markov-uniformisation RTN generator (Algorithm 1)
-//!   and its baselines;
+//! * [`core`] — the Markov-uniformisation RTN generator (Algorithm 1),
+//!   its baselines, and the deterministic parallel ensemble engine
+//!   (`core::ensemble`, bit-identical at any worker count);
 //! * [`analysis`] — FFT, autocorrelation, PSD estimation and the
 //!   analytical Machlup/1-over-f noise models;
 //! * [`spice`] — the MNA transient circuit simulator;

@@ -131,15 +131,27 @@ fn linearise(
     for (idx, element) in ckt.elements.iter().enumerate() {
         let is_stimulus = ElementId(idx) == stimulus;
         match element {
-            Element::Resistor { a, b: bb, conductance } => {
+            Element::Resistor {
+                a,
+                b: bb,
+                conductance,
+            } => {
                 stamp_g(&mut g, a.unknown_index(), bb.unknown_index(), *conductance);
             }
             Element::Capacitor {
-                a, b: bb, capacitance, ..
+                a,
+                b: bb,
+                capacitance,
+                ..
             } => {
                 stamp_g(&mut c, a.unknown_index(), bb.unknown_index(), *capacitance);
             }
-            Element::Vsource { plus, minus, branch, .. } => {
+            Element::Vsource {
+                plus,
+                minus,
+                branch,
+                ..
+            } => {
                 let row = n_nodes + branch;
                 if let Some(i) = plus.unknown_index() {
                     g.add(i, row, 1.0);
@@ -171,13 +183,14 @@ fn linearise(
                 }
             }
             Element::Mosfet {
-                d, g: gate, s, params, ..
+                d,
+                g: gate,
+                s,
+                params,
+                ..
             } => {
-                let (_, dd, dg, ds) = params.eval(
-                    v_of(x_dc, *d),
-                    v_of(x_dc, *gate),
-                    v_of(x_dc, *s),
-                );
+                let (_, dd, dg, ds) =
+                    params.eval(v_of(x_dc, *d), v_of(x_dc, *gate), v_of(x_dc, *s));
                 // Current flows d -> s; stamp the 3-terminal Jacobian.
                 let cols = [d.unknown_index(), gate.unknown_index(), s.unknown_index()];
                 let parts = [dd, dg, ds];
@@ -309,7 +322,10 @@ mod tests {
         // Bandwidth lands at 1/(2*pi*R*C).
         let bw = ac.bandwidth(&ckt, "b").unwrap().expect("rolls off");
         let corner = 1.0 / (core::f64::consts::TAU * r * c);
-        assert!(bw > 0.5 * corner && bw < 2.0 * corner, "bw = {bw} vs corner {corner}");
+        assert!(
+            bw > 0.5 * corner && bw < 2.0 * corner,
+            "bw = {bw} vs corner {corner}"
+        );
     }
 
     #[test]
@@ -361,7 +377,10 @@ mod tests {
             h[0].phase()
         );
         let high_gain = h[h.len() - 1].magnitude();
-        assert!(high_gain < 0.5 * low_gain, "must roll off: {high_gain} vs {low_gain}");
+        assert!(
+            high_gain < 0.5 * low_gain,
+            "must roll off: {high_gain} vs {low_gain}"
+        );
         assert!(ac.bandwidth(&ckt, "d").unwrap().is_some());
     }
 

@@ -33,11 +33,11 @@ fn run() -> Result<(), String> {
         args[1..].to_vec()
     } else {
         let mut names: Vec<String> = (1..=parsed.circuit.node_count())
-            .filter_map(|i| {
+            .map(|i| {
                 // Reverse lookup by probing every known name is not
                 // exposed; reconstruct from node ids via node_name.
                 let id = samurai_spice::NodeId::from_index_for_cli(i);
-                Some(parsed.circuit.node_name(id).to_string())
+                parsed.circuit.node_name(id).to_string()
             })
             .collect();
         names.sort();

@@ -56,7 +56,18 @@ pub fn dc_operating_point(
 
     // Plain Newton first — cheap when it works.
     let mut attempt = x.clone();
-    if newton_solve(ckt, &mut attempt, t, IntegMode::Dc, &cap_states, 1.0, 0.0, &newton).is_ok() {
+    if newton_solve(
+        ckt,
+        &mut attempt,
+        t,
+        IntegMode::Dc,
+        &cap_states,
+        1.0,
+        0.0,
+        &newton,
+    )
+    .is_ok()
+    {
         return Ok(attempt);
     }
 
@@ -64,16 +75,34 @@ pub fn dc_operating_point(
     let mut homotopy = x.clone();
     let mut gmin_ok = true;
     for &g in &config.gmin_steps {
-        if newton_solve(ckt, &mut homotopy, t, IntegMode::Dc, &cap_states, 1.0, g, &newton)
-            .is_err()
+        if newton_solve(
+            ckt,
+            &mut homotopy,
+            t,
+            IntegMode::Dc,
+            &cap_states,
+            1.0,
+            g,
+            &newton,
+        )
+        .is_err()
         {
             gmin_ok = false;
             break;
         }
     }
     if gmin_ok
-        && newton_solve(ckt, &mut homotopy, t, IntegMode::Dc, &cap_states, 1.0, 0.0, &newton)
-            .is_ok()
+        && newton_solve(
+            ckt,
+            &mut homotopy,
+            t,
+            IntegMode::Dc,
+            &cap_states,
+            1.0,
+            0.0,
+            &newton,
+        )
+        .is_ok()
     {
         return Ok(homotopy);
     }

@@ -120,6 +120,7 @@ fn stamp_branch(
 /// `source_scale` multiplies every independent source (used by
 /// source-stepping homotopy); `gmin_extra` adds a homotopy conductance
 /// from every node to ground on top of the circuit's `gmin`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     ckt: &Circuit,
     x: &[f64],
@@ -233,7 +234,10 @@ pub(crate) fn update_cap_states(
         let v = v_of(x, a) - v_of(x, b);
         let (g, i0) = mode.companion(c, cap_states[idx]);
         let i = g * v + i0;
-        cap_states[idx] = CapState { v_prev: v, i_prev: i };
+        cap_states[idx] = CapState {
+            v_prev: v,
+            i_prev: i,
+        };
     };
     for element in &ckt.elements {
         match element {
@@ -301,9 +305,7 @@ pub(crate) fn newton_solve(
         jac.solve_in_place(&mut delta)?;
 
         // Damping: clamp node-voltage updates.
-        let max_dv = delta[..n_nodes]
-            .iter()
-            .fold(0.0f64, |m, d| m.max(d.abs()));
+        let max_dv = delta[..n_nodes].iter().fold(0.0f64, |m, d| m.max(d.abs()));
         let scale = if max_dv > config.v_step_clamp {
             config.v_step_clamp / max_dv
         } else {

@@ -140,8 +140,8 @@ impl DenseMatrix {
         // Back substitution.
         for col in (0..n).rev() {
             let mut acc = b[col];
-            for c in col + 1..n {
-                acc -= self.get(col, c) * b[c];
+            for (c, &bc) in b.iter().enumerate().take(n).skip(col + 1) {
+                acc -= self.get(col, c) * bc;
             }
             b[col] = acc / self.get(col, col);
         }

@@ -196,7 +196,10 @@ mod tests {
             let h = 1e-6;
             let (f1, df) = big_f(x);
             let (f2, _) = big_f(x + h);
-            assert!(((f2 - f1) / h - df).abs() < 1e-4 * (1.0 + df.abs()), "x = {x}");
+            assert!(
+                ((f2 - f1) / h - df).abs() < 1e-4 * (1.0 + df.abs()),
+                "x = {x}"
+            );
         }
     }
 
@@ -242,7 +245,10 @@ mod tests {
         // Swap drain and source: the same channel carries the current
         // the other way.
         let (rev, ..) = m.eval(0.0, 1.0, 0.6);
-        assert!((fwd + rev).abs() < 1e-12 * fwd.abs().max(1e-12), "{fwd} vs {rev}");
+        assert!(
+            (fwd + rev).abs() < 1e-12 * fwd.abs().max(1e-12),
+            "{fwd} vs {rev}"
+        );
     }
 
     #[test]

@@ -199,7 +199,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.push(Element::Resistor {
             a,
             b,
@@ -213,7 +216,10 @@ impl Circuit {
     ///
     /// Panics if `farads` is not positive and finite.
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> ElementId {
-        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
         let state = self.cap_state_count;
         self.cap_state_count += 1;
         self.push(Element::Capacitor {

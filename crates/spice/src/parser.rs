@@ -120,14 +120,13 @@ fn parse_source(tokens: &[&str], line: usize) -> Result<Source, ParseNetlistErro
     let joined = tokens.join(" ");
     let upper = joined.to_ascii_uppercase();
     if let Some(rest) = upper.strip_prefix("DC") {
-        let value =
-            parse_value(rest.trim()).map_err(|m| err(format!("bad DC value: {m}")))?;
+        let value = parse_value(rest.trim()).map_err(|m| err(format!("bad DC value: {m}")))?;
         return Ok(Source::Dc(value));
     }
     if upper.starts_with("PWL") {
-        let inner = extract_parens(&joined)
-            .ok_or_else(|| err("PWL needs a parenthesised list".into()))?;
-        let nums = split_numbers(&inner).map_err(|m| err(m))?;
+        let inner =
+            extract_parens(&joined).ok_or_else(|| err("PWL needs a parenthesised list".into()))?;
+        let nums = split_numbers(&inner).map_err(&err)?;
         if nums.len() < 2 || nums.len() % 2 != 0 {
             return Err(err("PWL needs an even number of values (t v pairs)".into()));
         }
@@ -138,14 +137,15 @@ fn parse_source(tokens: &[&str], line: usize) -> Result<Source, ParseNetlistErro
     if upper.starts_with("PULSE") {
         let inner = extract_parens(&joined)
             .ok_or_else(|| err("PULSE needs a parenthesised list".into()))?;
-        let nums = split_numbers(&inner).map_err(|m| err(m))?;
+        let nums = split_numbers(&inner).map_err(&err)?;
         if nums.len() != 7 {
             return Err(err(
                 "PULSE needs 7 values: v1 v2 delay rise fall width period".into(),
             ));
         }
-        let (v1, v2, delay, rise, fall, width, period) =
-            (nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], nums[6]);
+        let (v1, v2, delay, rise, fall, width, period) = (
+            nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], nums[6],
+        );
         if period <= 0.0 || width <= 0.0 || rise <= 0.0 || fall <= 0.0 {
             return Err(err("PULSE durations must be positive".into()));
         }
@@ -299,9 +299,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                         "W" => params.width = v,
                         "L" => params.length = v,
                         "VTH" => params.vth = v,
-                        other => {
-                            return Err(err(format!("unknown MOSFET parameter `{other}`")))
-                        }
+                        other => return Err(err(format!("unknown MOSFET parameter `{other}`"))),
                     }
                 }
                 if params.width <= 0.0 || params.length <= 0.0 {
@@ -397,7 +395,11 @@ mod tests {
         assert!((params.width - 240e-9).abs() < 1e-15);
         let x = dc_operating_point(&net.circuit, 0.0, &DcConfig::default()).unwrap();
         let y = net.circuit.find_node("y").unwrap().unknown_index().unwrap();
-        assert!(x[y] > 1.0, "inverter output high for low input, got {}", x[y]);
+        assert!(
+            x[y] > 1.0,
+            "inverter output high for low input, got {}",
+            x[y]
+        );
     }
 
     #[test]

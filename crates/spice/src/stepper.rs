@@ -109,11 +109,7 @@ impl TransientStepper {
     /// # Errors
     ///
     /// Returns [`SpiceError::InvalidElement`] if `id` is not a MOSFET.
-    pub fn mosfet_current(
-        &self,
-        ckt: &Circuit,
-        id: crate::ElementId,
-    ) -> Result<f64, SpiceError> {
+    pub fn mosfet_current(&self, ckt: &Circuit, id: crate::ElementId) -> Result<f64, SpiceError> {
         let (d, g, s) = ckt.mosfet_nodes(id)?;
         let params = ckt.mosfet_params(id)?;
         let (i, ..) = params.eval(self.voltage(d), self.voltage(g), self.voltage(s));

@@ -272,16 +272,7 @@ pub fn run_transient(
 
         let mut x_try = x.clone();
         let t_new = t + h;
-        let solved = newton_solve(
-            ckt,
-            &mut x_try,
-            t_new,
-            mode,
-            &cap_states,
-            1.0,
-            0.0,
-            &newton,
-        );
+        let solved = newton_solve(ckt, &mut x_try, t_new, mode, &cap_states, 1.0, 0.0, &newton);
 
         let accepted = match solved {
             Ok(()) => {

@@ -14,9 +14,15 @@
 //! that, re-running the full two-pass methodology at each probed
 //! word-line width.
 
+use samurai_core::ensemble::{run_ensemble, IndexedResults, Parallelism};
 use samurai_waveform::BitPattern;
 
 use crate::{run_methodology, MethodologyConfig, SramError};
+
+/// Interior probes evaluated per multisection round. Fixed (not a
+/// function of the worker count) so the search visits the same windows
+/// — and lands on the same margins — at every [`Parallelism`].
+const PROBES_PER_ROUND: usize = 4;
 
 /// Result of the timing-margin bisection.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,8 +63,18 @@ fn writes_ok(
     })
 }
 
-/// Bisects the minimum word-line window (fraction of the cycle) for
+/// Multisects the minimum word-line window (fraction of the cycle) for
 /// error-free writes, for both the clean and the RTN-injected cell.
+///
+/// Each round places [`PROBES_PER_ROUND`] equispaced windows inside the
+/// current bracket and evaluates them concurrently according to
+/// `base.parallelism` — every probe is a full two-pass SPICE run, so
+/// this is where the wall-clock goes. The probe grid depends only on
+/// the bracket (never on the worker count), which keeps the returned
+/// margins bit-identical at any [`Parallelism`]. `iterations` is the
+/// requested *binary-search-equivalent* depth: the number of
+/// multisection rounds is chosen so the final bracket is at least as
+/// tight as `iterations` classic bisection steps.
 ///
 /// # Errors
 ///
@@ -73,8 +89,21 @@ pub fn timing_margin(
     // The narrowest representable strobe: the rise and fall edges must
     // fit inside the assertion window.
     let window_min = 2.5 * base.timing.edge / base.timing.period;
-    let bisect = |with_rtn: bool| -> Result<f64, SramError> {
-        if !writes_ok(pattern, base, window_max, with_rtn)? {
+
+    // Each round shrinks the bracket by (PROBES_PER_ROUND + 1)x; match
+    // or beat the 2^iterations shrink of a classic bisection.
+    let shrink = (PROBES_PER_ROUND + 1) as f64;
+    let rounds = ((iterations as f64) * 2f64.ln() / shrink.ln()).ceil() as u32;
+
+    // The probes themselves are the parallel grain; force each probe's
+    // inner trap simulations sequential to avoid nested pools.
+    let probe_base = MethodologyConfig {
+        parallelism: Parallelism::Fixed(1),
+        ..base.clone()
+    };
+
+    let search = |with_rtn: bool| -> Result<f64, SramError> {
+        if !writes_ok(pattern, &probe_base, window_max, with_rtn)? {
             return Err(SramError::InvalidConfig {
                 reason: "cell fails even with the widest word-line window",
             });
@@ -82,25 +111,37 @@ pub fn timing_margin(
         let (mut bad, mut good) = (window_min, window_max);
         // Ensure the lower bracket actually fails; if the cell writes
         // with a sliver of a window, report that sliver.
-        if writes_ok(pattern, base, bad, with_rtn)? {
+        if writes_ok(pattern, &probe_base, bad, with_rtn)? {
             return Ok(bad);
         }
-        for _ in 0..iterations {
-            let mid = 0.5 * (bad + good);
-            if writes_ok(pattern, base, mid, with_rtn)? {
-                good = mid;
-            } else {
-                bad = mid;
+        for _ in 0..rounds {
+            let step = (good - bad) / shrink;
+            let ok: Vec<bool> = run_ensemble(
+                PROBES_PER_ROUND,
+                base.parallelism,
+                IndexedResults::new,
+                |i| writes_ok(pattern, &probe_base, bad + (i + 1) as f64 * step, with_rtn),
+            )?
+            .into_vec();
+            // The lowest passing probe bounds the minimum from above;
+            // the probe just below it (or the old lower bracket) from
+            // below — the same bracket a serial scan would keep.
+            match ok.iter().position(|&w| w) {
+                Some(first) => {
+                    good = bad + (first + 1) as f64 * step;
+                    bad += first as f64 * step;
+                }
+                None => bad += PROBES_PER_ROUND as f64 * step,
             }
         }
         Ok(good)
     };
-    let min_window_clean = bisect(false)?;
-    let min_window_rtn = bisect(true)?;
+    let min_window_clean = search(false)?;
+    let min_window_rtn = search(true)?;
     Ok(TimingMargin {
         min_window_clean,
         min_window_rtn,
-        resolution: (window_max - window_min) / (1 << iterations) as f64,
+        resolution: (window_max - window_min) / shrink.powi(rounds as i32),
     })
 }
 
@@ -143,7 +184,7 @@ mod tests {
                     found = Some((scale, margin));
                     break;
                 }
-                Ok(_) => continue,           // RTN too weak at this scale
+                Ok(_) => continue, // RTN too weak at this scale
                 Err(SramError::InvalidConfig { .. }) => break, // too strong
                 Err(e) => panic!("unexpected failure: {e}"),
             }

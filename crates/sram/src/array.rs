@@ -8,6 +8,7 @@
 //! aggregates write-error statistics — the "bit-error impact of RTN on
 //! entire SRAM arrays" the authors name as the next step.
 
+use samurai_core::ensemble::{run_ensemble, IndexedResults, Parallelism};
 use samurai_core::SeedStream;
 use samurai_trap::standard_normal;
 use samurai_waveform::BitPattern;
@@ -91,34 +92,48 @@ impl ArrayStats {
 
 /// Runs the Monte-Carlo array sweep.
 ///
+/// Cells are sharded over the ensemble engine according to
+/// `config.base.parallelism`; each cell's seeds derive from the master
+/// seed by cell index, so the statistics are bit-identical at every
+/// worker count. Inside each cell the per-trap simulations run
+/// sequentially (the cell level is the natural grain — nesting pools
+/// would only oversubscribe).
+///
 /// # Errors
 ///
-/// Propagates the first per-cell simulation failure.
+/// Propagates the per-cell simulation failure with the lowest cell
+/// index.
 pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStats, SramError> {
     let seeds = SeedStream::new(config.seed);
-    let mut cells = Vec::with_capacity(config.cells);
-    for cell_idx in 0..config.cells {
-        let cell_seeds = seeds.substream(cell_idx as u64);
-        let mut rng = cell_seeds.rng(0);
-        let mut cell_params = config.base.cell;
-        for slot in cell_params.vth_shift.iter_mut() {
-            *slot += config.vth_sigma * standard_normal(&mut rng);
-        }
-        let cell_config = MethodologyConfig {
-            cell: cell_params,
-            seed: cell_seeds.rng(1).seed_u64(),
-            traps: None,
-            ..config.base.clone()
-        };
-        let report = run_methodology(pattern, &cell_config)?;
-        cells.push(CellResult {
-            cell: cell_idx,
-            errors: report.outcomes.error_count(),
-            slow: report.outcomes.slow_count(),
-            baseline_errors: report.outcomes_clean.error_count(),
-            rtn_events: report.total_events(),
-        });
-    }
+    let cells = run_ensemble(
+        config.cells,
+        config.base.parallelism,
+        IndexedResults::new,
+        |cell_idx| -> Result<CellResult, SramError> {
+            let cell_seeds = seeds.substream(cell_idx as u64);
+            let mut rng = cell_seeds.rng(0);
+            let mut cell_params = config.base.cell;
+            for slot in cell_params.vth_shift.iter_mut() {
+                *slot += config.vth_sigma * standard_normal(&mut rng);
+            }
+            let cell_config = MethodologyConfig {
+                cell: cell_params,
+                seed: cell_seeds.rng(1).seed_u64(),
+                traps: None,
+                parallelism: Parallelism::Fixed(1),
+                ..config.base.clone()
+            };
+            let report = run_methodology(pattern, &cell_config)?;
+            Ok(CellResult {
+                cell: cell_idx,
+                errors: report.outcomes.error_count(),
+                slow: report.outcomes.slow_count(),
+                baseline_errors: report.outcomes_clean.error_count(),
+                rtn_events: report.total_events(),
+            })
+        },
+    )?
+    .into_vec();
     Ok(ArrayStats {
         cells,
         writes_per_cell: pattern.len(),

@@ -167,10 +167,10 @@ impl SramCell {
         // trace — the glitch model of Fig 4.
         let transistors = [m1, m2, m3, m4, m5, m6];
         let terminal_pairs = [
-            (q, bl),             // M1: source=q (cell side), drain=bl
-            (qb, blb),           // M2
-            (vdd_node, q),       // M3: PMOS source=vdd, drain=q
-            (vdd_node, qb),      // M4
+            (q, bl),               // M1: source=q (cell side), drain=bl
+            (qb, blb),             // M2
+            (vdd_node, q),         // M3: PMOS source=vdd, drain=q
+            (vdd_node, qb),        // M4
             (Circuit::GROUND, qb), // M5: NMOS source=gnd, drain=qb
             (Circuit::GROUND, q),  // M6
         ];
@@ -262,8 +262,14 @@ mod tests {
     #[test]
     fn m5_gate_is_q_and_m6_gate_is_qb() {
         let cell = SramCell::new(SramCellParams::default());
-        let (_, g5, _) = cell.circuit.mosfet_nodes(cell.transistor(Transistor::M5)).unwrap();
-        let (_, g6, _) = cell.circuit.mosfet_nodes(cell.transistor(Transistor::M6)).unwrap();
+        let (_, g5, _) = cell
+            .circuit
+            .mosfet_nodes(cell.transistor(Transistor::M5))
+            .unwrap();
+        let (_, g6, _) = cell
+            .circuit
+            .mosfet_nodes(cell.transistor(Transistor::M6))
+            .unwrap();
         assert_eq!(g5, cell.q, "paper: M5's gate voltage is Q");
         assert_eq!(g6, cell.qb, "paper: M6's gate voltage is Q-bar");
     }
@@ -296,8 +302,14 @@ mod tests {
         let mut params = SramCellParams::default();
         params.vth_shift[Transistor::M5.index()] = 0.05;
         let cell = SramCell::new(params);
-        let m5 = cell.circuit.mosfet_params(cell.transistor(Transistor::M5)).unwrap();
-        let m6 = cell.circuit.mosfet_params(cell.transistor(Transistor::M6)).unwrap();
+        let m5 = cell
+            .circuit
+            .mosfet_params(cell.transistor(Transistor::M5))
+            .unwrap();
+        let m6 = cell
+            .circuit
+            .mosfet_params(cell.transistor(Transistor::M6))
+            .unwrap();
         assert!((m5.vth - m6.vth - 0.05).abs() < 1e-12);
     }
 }

@@ -20,7 +20,9 @@ use samurai_waveform::{BitPattern, Pwc, Pwl};
 use samurai_spice::{DcConfig, MosType, Source, TransientStepper};
 
 use crate::harness::MethodologyConfig;
-use crate::{analyze_writes, build_write_waveforms, SramCell, SramError, Transistor, WriteAnalysis};
+use crate::{
+    analyze_writes, build_write_waveforms, SramCell, SramError, Transistor, WriteAnalysis,
+};
 
 /// Configuration of the coupled simulation.
 #[derive(Debug, Clone)]
@@ -135,11 +137,7 @@ pub fn run_coupled(
             let element = cell.transistor(tr);
             let (d, g, s) = cell.circuit.mosfet_nodes(element)?;
             let params = *cell.circuit.mosfet_params(element)?;
-            let (vd, vg, vs) = (
-                stepper.voltage(d),
-                stepper.voltage(g),
-                stepper.voltage(s),
-            );
+            let (vd, vg, vs) = (stepper.voltage(d), stepper.voltage(g), stepper.voltage(s));
             let v0 = match params.mos_type {
                 MosType::Nmos => vg - vd.min(vs),
                 MosType::Pmos => vd.max(vs) - vg,
@@ -156,7 +154,8 @@ pub fn run_coupled(
     let n_steps = (tf / config.dt).ceil() as usize;
     let mut q_points = Vec::with_capacity(n_steps + 1);
     let mut qb_points = Vec::with_capacity(n_steps + 1);
-    let mut filled_steps: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(n_steps + 1); 6];
+    let mut filled_steps: Vec<Vec<(f64, f64)>> =
+        (0..6).map(|_| Vec::with_capacity(n_steps + 1)).collect();
     q_points.push((0.0, stepper.voltage(cell.q)));
     qb_points.push((0.0, stepper.voltage(cell.qb)));
 
@@ -171,11 +170,7 @@ pub fn run_coupled(
             // Effective gate drive: relative to whichever terminal is
             // acting as the source right now (pass transistors conduct
             // both ways).
-            let (vd, vg, vs) = (
-                stepper.voltage(d),
-                stepper.voltage(g),
-                stepper.voltage(s),
-            );
+            let (vd, vg, vs) = (stepper.voltage(d), stepper.voltage(g), stepper.voltage(s));
             let v_gs = match params.mos_type {
                 MosType::Nmos => vg - vd.min(vs),
                 MosType::Pmos => vd.max(vs) - vg,

@@ -149,7 +149,11 @@ mod tests {
     fn clean_write_is_detected() {
         let t = timing();
         // Q rises to vdd right at WL assertion of cycle 0.
-        let q = synthetic_q(&[(0.0, 0.0), (t.wl_on(0) + 0.1e-9, 0.0), (t.wl_on(0) + 0.2e-9, 1.1)]);
+        let q = synthetic_q(&[
+            (0.0, 0.0),
+            (t.wl_on(0) + 0.1e-9, 0.0),
+            (t.wl_on(0) + 0.2e-9, 1.1),
+        ]);
         let a = analyze_writes(&q, &BitPattern::parse("1").unwrap(), &t);
         assert_eq!(a.outcomes, vec![CycleOutcome::Clean]);
         assert!(a.all_clean());
@@ -183,11 +187,7 @@ mod tests {
     fn multi_cycle_pattern_is_classified_per_cycle() {
         let t = timing();
         // Cycle 0: clean 1. Cycle 1: should write 0 but stays high -> error.
-        let q = synthetic_q(&[
-            (0.0, 0.0),
-            (t.wl_on(0), 0.0),
-            (t.wl_on(0) + 0.1e-9, 1.1),
-        ]);
+        let q = synthetic_q(&[(0.0, 0.0), (t.wl_on(0), 0.0), (t.wl_on(0) + 0.1e-9, 1.1)]);
         let a = analyze_writes(&q, &BitPattern::parse("10").unwrap(), &t);
         assert_eq!(a.outcomes, vec![CycleOutcome::Clean, CycleOutcome::Error]);
         assert!((a.final_q[1] - 1.1).abs() < 1e-9);

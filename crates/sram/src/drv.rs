@@ -137,14 +137,19 @@ mod tests {
         assert!(drv > 0.01 && drv < 0.6, "DRV = {drv}");
         // Consistency: bistable just above, not bistable just below.
         assert!(probe_hold(&params, drv + 5e-3).unwrap().bistable());
-        assert!(!probe_hold(&params, (drv - 5e-3).max(1e-3)).unwrap().bistable());
+        assert!(!probe_hold(&params, (drv - 5e-3).max(1e-3))
+            .unwrap()
+            .bistable());
     }
 
     #[test]
     fn threshold_skew_raises_the_drv() {
         let params = SramCellParams::default();
         let penalty = drv_penalty(&params, Transistor::M5, 0.12, 1.1).unwrap();
-        assert!(penalty > 0.0, "a skewed cell must lose retention margin: {penalty}");
+        assert!(
+            penalty > 0.0,
+            "a skewed cell must lose retention margin: {penalty}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
+use samurai_core::{BiasWaveforms, Parallelism, RtnGenerator, SeedStream};
 use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState};
 use samurai_waveform::{BitPattern, Pwc, Pwl};
 
@@ -39,6 +39,10 @@ pub struct MethodologyConfig {
     pub equilibrate_initial_state: bool,
     /// Uniform refinement of the Eq (3) current between trap events.
     pub current_oversample: usize,
+    /// Worker pool for the per-trap RTN simulations. Results are
+    /// bit-identical at every setting (see [`samurai_core::ensemble`]);
+    /// `Parallelism::Fixed(1)` is the legacy sequential path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MethodologyConfig {
@@ -53,6 +57,7 @@ impl Default for MethodologyConfig {
             traps: None,
             equilibrate_initial_state: true,
             current_oversample: 64,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -218,7 +223,8 @@ pub fn run_methodology(
 
         let generator = RtnGenerator::new(device, traps.clone())
             .with_seed(profile_seeds.substream(7).seed())
-            .with_current_oversample(config.current_oversample);
+            .with_current_oversample(config.current_oversample)
+            .with_parallelism(config.parallelism);
         let rtn = generator.generate(&bias, t0, tf)?;
 
         rtn_data.push(TransistorRtn {
@@ -233,7 +239,10 @@ pub fn run_methodology(
 
     // Pass 2: inject the (scaled) RTN currents and re-simulate.
     for data in &rtn_data {
-        cell.set_rtn_source(data.transistor, pwc_to_source(&data.i_rtn, config.rtn_scale));
+        cell.set_rtn_source(
+            data.transistor,
+            pwc_to_source(&data.i_rtn, config.rtn_scale),
+        );
     }
     let pass2 = run_transient(&cell.circuit, t0, tf, &spice_config)?;
     let q_rtn = pass2.voltage(&cell.circuit, "q")?;
@@ -339,9 +348,11 @@ mod tests {
                 density_scale: 2.0,
                 ..MethodologyConfig::default()
             };
-            let report =
-                run_methodology(&BitPattern::paper_fig8(), &config).unwrap();
-            assert!(report.outcomes_clean.all_clean(), "clean pass broke at x{scale}");
+            let report = run_methodology(&BitPattern::paper_fig8(), &config).unwrap();
+            assert!(
+                report.outcomes_clean.all_clean(),
+                "clean pass broke at x{scale}"
+            );
             if !report.outcomes.all_clean() {
                 breaking_scale = Some(scale);
                 break;

@@ -51,10 +51,8 @@ impl MarginRow {
     /// linearly (the paper's §I-B observation, `ρ → 1` recovers the
     /// linear sum, `ρ = 0` full independence).
     pub fn total_with_correlation(&self, rho: f64) -> f64 {
-        let combined = (self.nbti * self.nbti
-            + self.rtn * self.rtn
-            + 2.0 * rho * self.nbti * self.rtn)
-            .sqrt();
+        let combined =
+            (self.nbti * self.nbti + self.rtn * self.rtn + 2.0 * rho * self.nbti * self.rtn).sqrt();
         self.static_noise + self.variation + combined
     }
 

@@ -93,8 +93,8 @@ pub fn build_write_waveforms(
             reason: "need 0 < wl_on_frac < wl_off_frac < 1",
         });
     }
-    let digital = DigitalTiming::new(timing.period, timing.edge, 0.0, timing.vdd)
-        .map_err(SramError::from)?;
+    let digital =
+        DigitalTiming::new(timing.period, timing.edge, 0.0, timing.vdd).map_err(SramError::from)?;
     let inverted = BitPattern::new(pattern.iter().map(|b| !b).collect());
     let wl = digital.strobe(0.0, pattern.len(), timing.wl_on_frac, timing.wl_off_frac);
     let bl = digital.nrz(pattern, 0.0);
@@ -119,7 +119,10 @@ mod tests {
                 (w.blb.eval(mid) - (timing.vdd - expected)).abs() < 1e-9,
                 "cycle {i} BLB"
             );
-            assert!((w.wl.eval(mid) - timing.vdd).abs() < 1e-9, "cycle {i} WL high");
+            assert!(
+                (w.wl.eval(mid) - timing.vdd).abs() < 1e-9,
+                "cycle {i} WL high"
+            );
             // WL low at the start of each cycle.
             let early = (i as f64 + 0.1) * timing.period;
             assert!(w.wl.eval(early) < 1e-9, "cycle {i} WL low early");

@@ -9,7 +9,7 @@
 //! scenario.
 
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
-use samurai_waveform::{Pwl, Pwc};
+use samurai_waveform::{Pwc, Pwl};
 
 use samurai_spice::{run_transient, Source, TransientConfig};
 
@@ -114,13 +114,8 @@ pub fn run_read_disturb(
 
 /// WL strobed every cycle (write in cycle 0, reads after).
 fn read_wl(timing: &WriteTiming, cycles: usize) -> Pwl {
-    let digital = samurai_waveform::DigitalTiming::new(
-        timing.period,
-        timing.edge,
-        0.0,
-        timing.vdd,
-    )
-    .expect("write timing was validated by the caller");
+    let digital = samurai_waveform::DigitalTiming::new(timing.period, timing.edge, 0.0, timing.vdd)
+        .expect("write timing was validated by the caller");
     digital.strobe(0.0, cycles, timing.wl_on_frac, timing.wl_off_frac)
 }
 

@@ -9,9 +9,7 @@
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
 use samurai_waveform::Pwl;
 
-use samurai_spice::{
-    run_transient, Circuit, ElementId, MosfetParams, Source, TransientConfig,
-};
+use samurai_spice::{run_transient, Circuit, ElementId, MosfetParams, Source, TransientConfig};
 
 use crate::harness::pwc_to_source;
 use crate::SramError;
@@ -100,7 +98,10 @@ struct Ring {
 
 /// Builds the ring with a kick-start current pulse on stage 0.
 fn build_ring(config: &RingConfig) -> Ring {
-    assert!(config.stages >= 3 && config.stages % 2 == 1, "stages must be odd and >= 3");
+    assert!(
+        config.stages >= 3 && config.stages % 2 == 1,
+        "stages must be odd and >= 3"
+    );
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     ckt.vsource(vdd, Circuit::GROUND, Source::Dc(config.vdd));
@@ -176,17 +177,12 @@ pub fn run_ring(config: &RingConfig) -> Result<RingReport, SramError> {
     let level = config.vdd / 2.0;
     let scan_dt = config.horizon / 20_000.0;
     let settle = config.horizon * 0.2;
-    let crossings_clean =
-        rising_crossings(&v0_clean, level, 0.0, config.horizon, scan_dt, settle);
+    let crossings_clean = rising_crossings(&v0_clean, level, 0.0, config.horizon, scan_dt, settle);
     let periods_clean = periods_from_crossings(&crossings_clean);
 
     // RTN per transistor from the extracted biases.
     let seeds = SeedStream::new(config.seed);
-    for (idx, (&element, &source_id)) in ring
-        .transistors
-        .iter()
-        .zip(&ring.rtn_sources)
-        .enumerate()
+    for (idx, (&element, &source_id)) in ring.transistors.iter().zip(&ring.rtn_sources).enumerate()
     {
         let params = *ring.circuit.mosfet_params(element)?;
         let v_gs = pass1.mosfet_gate_drive(&ring.circuit, element)?;

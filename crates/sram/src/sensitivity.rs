@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn all_ports_have_finite_nonnegative_sensitivity() {
-        let report =
-            rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e12, 25).unwrap();
+        let report = rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e12, 25).unwrap();
         assert_eq!(report.ports.len(), 6);
         assert!(report.ports.iter().all(|p| p.dc_transimpedance.is_finite()));
         assert!(report.ports.iter().any(|p| p.dc_transimpedance > 1.0));
@@ -129,8 +128,7 @@ mod tests {
 
     #[test]
     fn coupling_rolls_off_at_high_frequency() {
-        let report =
-            rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e13, 30).unwrap();
+        let report = rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e13, 30).unwrap();
         for p in &report.ports {
             let low = p.transfer[0].magnitude();
             let high = p.transfer[p.transfer.len() - 1].magnitude();
@@ -151,11 +149,8 @@ mod tests {
         // move the stored voltage directly. Node Q-bar is clamped hard
         // by the strongly-ON pull-down M5 (impedance ~1/gm), so M5's
         // port barely couples.
-        let report =
-            rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e10, 10).unwrap();
-        let z = |t: Transistor| {
-            report.ports[t.index()].dc_transimpedance
-        };
+        let report = rtn_sensitivity(&SramCellParams::default(), true, 1e6, 1e10, 10).unwrap();
+        let z = |t: Transistor| report.ports[t.index()].dc_transimpedance;
         assert!(
             z(Transistor::M6) > 100.0 * z(Transistor::M5),
             "M6 {} should dwarf M5 {}",
@@ -180,8 +175,12 @@ mod tests {
         for bit in [true, false] {
             let r = rtn_sensitivity(&SramCellParams::default(), bit, 1e6, 1e10, 8).unwrap();
             let z = |t: Transistor| r.ports[t.index()].dc_transimpedance;
-            let direct = z(Transistor::M6).min(z(Transistor::M3)).min(z(Transistor::M1));
-            let cross = z(Transistor::M5).max(z(Transistor::M4)).max(z(Transistor::M2));
+            let direct = z(Transistor::M6)
+                .min(z(Transistor::M3))
+                .min(z(Transistor::M1));
+            let cross = z(Transistor::M5)
+                .max(z(Transistor::M4))
+                .max(z(Transistor::M2));
             assert!(
                 direct > 100.0 * cross,
                 "bit={bit}: direct {direct} vs cross {cross}"

@@ -308,7 +308,10 @@ mod tests {
             read < hold,
             "the pass transistor degrades the read margin: read {read} vs hold {hold}"
         );
-        assert!(read > 0.02, "a read-stable sizing keeps a positive margin: {read}");
+        assert!(
+            read > 0.02,
+            "a read-stable sizing keeps a positive margin: {read}"
+        );
     }
 
     #[test]
@@ -317,7 +320,12 @@ mod tests {
         let balanced = compute_snm(&params, SnmMode::Hold, 48).unwrap();
         params.vth_shift[Transistor::M5.index()] = 0.1;
         let skewed = compute_snm(&params, SnmMode::Hold, 48).unwrap();
-        assert!(skewed.snm() < balanced.snm(), "{} vs {}", skewed.snm(), balanced.snm());
+        assert!(
+            skewed.snm() < balanced.snm(),
+            "{} vs {}",
+            skewed.snm(),
+            balanced.snm()
+        );
         assert!(skewed.asymmetry() > balanced.asymmetry());
     }
 
@@ -327,7 +335,13 @@ mod tests {
         // Three trapped charges at 10 mV each on the critical pull-down.
         let (clean, with_rtn) =
             snm_under_rtn(&params, SnmMode::Read, Transistor::M5, 3.0, 0.010).unwrap();
-        assert!(with_rtn < clean, "RTN must cost margin: {with_rtn} vs {clean}");
-        assert!(clean - with_rtn < 0.1, "but a few traps cost tens of mV, not the cell");
+        assert!(
+            with_rtn < clean,
+            "RTN must cost margin: {with_rtn} vs {clean}"
+        );
+        assert!(
+            clean - with_rtn < 0.1,
+            "but a few traps cost tens of mV, not the cell"
+        );
     }
 }

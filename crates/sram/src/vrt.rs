@@ -84,10 +84,7 @@ impl VrtReport {
     /// Fraction of cycles whose retention is closer to the bad mode.
     pub fn bad_mode_fraction(&self) -> f64 {
         let mid = 0.5 * (self.t_good + self.t_bad);
-        self.retention_times
-            .iter()
-            .filter(|&&t| t < mid)
-            .count() as f64
+        self.retention_times.iter().filter(|&&t| t < mid).count() as f64
             / self.retention_times.len().max(1) as f64
     }
 
@@ -202,9 +199,11 @@ mod tests {
     fn slow_trap_produces_bimodal_retention() {
         // A trap much slower than the retention time: whole stretches
         // of cycles see one leakage mode, then the other.
-        let mut config = VrtConfig::default();
-        config.trap = TrapParams::new(Length::from_nanometres(1.75), Energy::from_ev(0.02));
-        config.seed = 3;
+        let config = VrtConfig {
+            trap: TrapParams::new(Length::from_nanometres(1.75), Energy::from_ev(0.02)),
+            seed: 3,
+            ..VrtConfig::default()
+        };
         let report = run_vrt(&config).unwrap();
         let model = PropensityModel::new(config.device, config.trap);
         // Sanity: the trap really is slow relative to retention.
@@ -221,9 +220,11 @@ mod tests {
     fn pinned_trap_gives_constant_retention() {
         // A trap pinned strongly empty (large positive energy at the
         // hold bias): every cycle retains for t_good.
-        let mut config = VrtConfig::default();
-        config.trap = TrapParams::new(Length::from_nanometres(1.9), Energy::from_ev(0.8));
-        config.cycles = 50;
+        let config = VrtConfig {
+            trap: TrapParams::new(Length::from_nanometres(1.9), Energy::from_ev(0.8)),
+            cycles: 50,
+            ..VrtConfig::default()
+        };
         let report = run_vrt(&config).unwrap();
         for &t in &report.retention_times {
             assert!((t - report.t_good).abs() < 1e-6 * report.t_good);
@@ -235,10 +236,12 @@ mod tests {
     fn fast_trap_averages_out_the_modes() {
         // A fast trap (many toggles per retention) produces retention
         // times clustered between the two modes — not bimodal.
-        let mut config = VrtConfig::default();
-        config.trap = TrapParams::new(Length::from_nanometres(1.05), Energy::from_ev(0.02));
-        config.cycles = 100;
-        config.seed = 5;
+        let config = VrtConfig {
+            trap: TrapParams::new(Length::from_nanometres(1.05), Energy::from_ev(0.02)),
+            cycles: 100,
+            seed: 5,
+            ..VrtConfig::default()
+        };
         let report = run_vrt(&config).unwrap();
         let model = PropensityModel::new(config.device, config.trap);
         assert!(model.rate_sum() * report.t_good > 50.0);
@@ -246,6 +249,9 @@ mod tests {
         // Mean retention sits strictly between the pinned modes.
         let mean: f64 =
             report.retention_times.iter().sum::<f64>() / report.retention_times.len() as f64;
-        assert!(mean > report.t_bad * 1.05 && mean < report.t_good * 0.95, "mean {mean}");
+        assert!(
+            mean > report.t_bad * 1.05 && mean < report.t_good * 0.95,
+            "mean {mean}"
+        );
     }
 }

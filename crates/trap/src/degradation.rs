@@ -92,7 +92,10 @@ pub fn rtn_nbti_correlation<R: Rng + ?Sized>(
     stress_time: f64,
     rng: &mut R,
 ) -> CorrelationStudy {
-    assert!(devices >= 3, "need at least three devices for a correlation");
+    assert!(
+        devices >= 3,
+        "need at least three devices for a correlation"
+    );
     let profiler = crate::TrapProfiler::new(tech.clone());
     let samples: Vec<(f64, f64)> = (0..devices)
         .map(|_| {
@@ -152,9 +155,7 @@ pub fn recovery_transient(
             let t = recovery_time * k as f64 / (n - 1) as f64;
             let shift: f64 = models
                 .iter()
-                .map(|(model, p0)| {
-                    master::constant_bias_occupancy(model, v_recovery, *p0, t)
-                })
+                .map(|(model, p0)| master::constant_bias_occupancy(model, v_recovery, *p0, t))
                 .sum::<f64>()
                 * dv;
             (t, shift)

@@ -123,23 +123,21 @@ mod tests {
         let bias = Pwl::step(0.2, 1.0, t_step, 0.01 / lam).unwrap();
         let horizon = 2.0 * t_step;
         let n = 400;
-        let trace = integrate_occupancy(
-            &m,
-            &bias,
-            TrapState::Empty,
-            0.0,
-            horizon / n as f64,
-            n,
-            4,
-        );
+        let trace = integrate_occupancy(&m, &bias, TrapState::Empty, 0.0, horizon / n as f64, n, 4);
         let p_low = m.stationary_occupancy(0.2);
         let p_high = m.stationary_occupancy(1.0);
         // Just before the step: settled to the low-bias stationary value.
         let before = trace.value_at(t_step * 0.95);
-        assert!((before - p_low).abs() < 1e-3, "before = {before}, p_low = {p_low}");
+        assert!(
+            (before - p_low).abs() < 1e-3,
+            "before = {before}, p_low = {p_low}"
+        );
         // Long after the step: settled to the high-bias value.
         let after = trace.value_at(horizon * 0.99);
-        assert!((after - p_high).abs() < 1e-3, "after = {after}, p_high = {p_high}");
+        assert!(
+            (after - p_high).abs() < 1e-3,
+            "after = {after}, p_high = {p_high}"
+        );
         assert!(p_high > p_low);
     }
 

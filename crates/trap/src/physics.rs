@@ -75,9 +75,8 @@ impl PropensityModel {
     /// nominal biases.
     pub fn et_minus_ef(&self, v_gs: f64) -> f64 {
         let depth_frac = self.trap.depth.metres() / self.device.t_ox.metres();
-        let level = |v: f64| {
-            self.device.surface_potential(v) + self.device.oxide_drop(v) * depth_frac
-        };
+        let level =
+            |v: f64| self.device.surface_potential(v) + self.device.oxide_drop(v) * depth_frac;
         let shift = level(v_gs) - level(self.device.v_th.volts());
         self.trap.energy.joules() - ELEMENTARY_CHARGE * shift
     }
@@ -148,7 +147,10 @@ mod tests {
     fn model(depth_nm: f64, energy_ev: f64) -> PropensityModel {
         PropensityModel::new(
             DeviceParams::nominal_90nm(),
-            TrapParams::new(Length::from_nanometres(depth_nm), Energy::from_ev(energy_ev)),
+            TrapParams::new(
+                Length::from_nanometres(depth_nm),
+                Energy::from_ev(energy_ev),
+            ),
         )
     }
 
@@ -178,7 +180,10 @@ mod tests {
         let m = model(1.0, 0.4);
         let lo = m.stationary_occupancy(0.0);
         let hi = m.stationary_occupancy(1.1);
-        assert!(hi > lo, "occupancy should rise with gate bias: {lo} -> {hi}");
+        assert!(
+            hi > lo,
+            "occupancy should rise with gate bias: {lo} -> {hi}"
+        );
         assert!(lo >= 0.0 && hi <= 1.0);
     }
 

@@ -245,7 +245,11 @@ mod tests {
     fn node_presets_scale_as_expected() {
         let old = Technology::node_180nm();
         let new = Technology::node_45nm();
-        assert!(old.mean_trap_count() > 50.0, "old node should have many traps: {}", old.mean_trap_count());
+        assert!(
+            old.mean_trap_count() > 50.0,
+            "old node should have many traps: {}",
+            old.mean_trap_count()
+        );
         assert!(
             new.mean_trap_count() > 2.0 && new.mean_trap_count() < 15.0,
             "new node should have ~5-10 traps: {}",

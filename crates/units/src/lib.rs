@@ -29,8 +29,7 @@ mod temperature;
 
 pub use format::format_si;
 pub use quantity::{
-    Capacitance, Charge, Conductance, Current, Energy, Frequency, Length, Resistance, Time,
-    Voltage,
+    Capacitance, Charge, Conductance, Current, Energy, Frequency, Length, Resistance, Time, Voltage,
 };
 pub use temperature::Temperature;
 

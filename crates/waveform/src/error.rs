@@ -41,14 +41,20 @@ impl fmt::Display for WaveformError {
             } => write!(
                 f,
                 "breakpoint times must be strictly increasing: t[{}] = {} <= t[{}] = {}",
-                index, current, index - 1, previous
+                index,
+                current,
+                index - 1,
+                previous
             ),
             Self::Empty => write!(f, "waveform must have at least one breakpoint"),
             Self::NonFinite { index } => {
                 write!(f, "breakpoint {index} has a non-finite time or value")
             }
             Self::InvalidDuration { name, value } => {
-                write!(f, "duration parameter `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "duration parameter `{name}` must be positive and finite, got {value}"
+                )
             }
         }
     }

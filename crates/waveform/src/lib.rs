@@ -1,3 +1,7 @@
+// `!(x > 0.0)`-style guards are deliberate throughout: unlike
+// `x <= 0.0`, the negated comparison also rejects NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 //! Piecewise waveforms and uniformly sampled traces.
 //!
 //! This crate is the data-representation substrate of the SAMURAI

@@ -55,7 +55,9 @@ impl BitPattern {
     /// The bit pattern `[1,1,0,1,0,1,0,0,1]` used throughout the paper's
     /// Fig 8 methodology demonstration.
     pub fn paper_fig8() -> Self {
-        Self::new(vec![true, true, false, true, false, true, false, false, true])
+        Self::new(vec![
+            true, true, false, true, false, true, false, false, true,
+        ])
     }
 
     /// A reproducible pseudo-random pattern of `len` bits derived from
@@ -188,7 +190,10 @@ impl DigitalTiming {
     ///
     /// Panics if the pattern is empty.
     pub fn nrz(&self, pattern: &BitPattern, t0: f64) -> Pwl {
-        assert!(!pattern.is_empty(), "cannot build a waveform from an empty pattern");
+        assert!(
+            !pattern.is_empty(),
+            "cannot build a waveform from an empty pattern"
+        );
         let mut points = Vec::with_capacity(2 * pattern.len() + 2);
         let first = self.level(pattern.bit(0));
         points.push((t0, first));
@@ -285,7 +290,7 @@ mod tests {
         assert!((w.eval(5e-9) - 1.0).abs() < 1e-12); // cycle 0, bit 1
         assert!((w.eval(15e-9) - 0.0).abs() < 1e-12); // cycle 1, bit 0
         assert!((w.eval(25e-9) - 1.0).abs() < 1e-12); // cycle 2, bit 1
-        // Transition in progress just after the cycle-1 boundary.
+                                                      // Transition in progress just after the cycle-1 boundary.
         let mid_edge = w.eval(10.1e-9);
         assert!(mid_edge > 0.0 && mid_edge < 1.0);
     }
@@ -304,9 +309,15 @@ mod tests {
         let w = t.strobe(0.0, 3, 0.2, 0.8);
         for c in 0..3 {
             let mid = (c as f64 + 0.5) * 10e-9;
-            assert!((w.eval(mid) - 1.0).abs() < 1e-12, "cycle {c} should be asserted");
+            assert!(
+                (w.eval(mid) - 1.0).abs() < 1e-12,
+                "cycle {c} should be asserted"
+            );
             let gap = (c as f64 + 0.95) * 10e-9;
-            assert!((w.eval(gap) - 0.0).abs() < 1e-12, "cycle {c} gap should be low");
+            assert!(
+                (w.eval(gap) - 0.0).abs() < 1e-12,
+                "cycle {c} gap should be low"
+            );
         }
         assert_eq!(w.eval(31e-9), 0.0);
     }
@@ -328,7 +339,7 @@ mod tests {
             let w = t.nrz(&p, 0.0);
             let probe = frac * bits.len() as f64 * t.period;
             let v = w.eval(probe);
-            prop_assert!(v >= -1e-12 && v <= 1.0 + 1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
         }
 
         #[test]

@@ -124,7 +124,10 @@ impl Pwc {
 
     /// Minimum value over all steps.
     pub fn min_value(&self) -> f64 {
-        self.steps.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+        self.steps
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum value over all steps.
@@ -359,14 +362,11 @@ mod tests {
         let w = telegraph();
         let p = w.to_pwl(1e-3);
         for &t in &[0.5, 1.5, 2.5, 3.5, 4.5] {
-            assert!(
-                (p.eval(t) - w.eval(t)).abs() < 1e-12,
-                "mismatch at t = {t}"
-            );
+            assert!((p.eval(t) - w.eval(t)).abs() < 1e-12, "mismatch at t = {t}");
         }
         // Mid-edge the PWL is between the two levels.
         let mid = p.eval(1.0 - 0.5e-3);
-        assert!(mid >= 0.0 && mid <= 1.0);
+        assert!((0.0..=1.0).contains(&mid));
     }
 
     #[test]

@@ -248,7 +248,10 @@ impl Pwl {
     /// Minimum value over all breakpoints (the PWL extremum is always at
     /// a breakpoint).
     pub fn min_value(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum value over all breakpoints.
@@ -336,11 +339,7 @@ impl Pwl {
     /// at the *left* edge of each breakpoint interval. Used to feed PWL
     /// biases into solvers that want a staircase.
     pub fn to_pwc(&self) -> Pwc {
-        let steps = self
-            .points
-            .iter()
-            .map(|&(t, v)| (t, v))
-            .collect::<Vec<_>>();
+        let steps = self.points.iter().map(|&(t, v)| (t, v)).collect::<Vec<_>>();
         Pwc::new(steps).expect("Pwl invariants imply valid Pwc")
     }
 }

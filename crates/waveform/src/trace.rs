@@ -163,7 +163,10 @@ impl Trace {
 
     /// Maximum sample value.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns a copy with the mean removed (used before spectral

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A gate bias that switches between a trap-emptying and a
     // trap-filling level — the non-stationary setting the paper is
     // about. The drain current is held at 10 uA.
-    let slowest = traps.iter().map(TrapParams::rate_sum).fold(f64::INFINITY, f64::min);
+    let slowest = traps
+        .iter()
+        .map(TrapParams::rate_sum)
+        .fold(f64::INFINITY, f64::min);
     let period = 100.0 / slowest;
     let v_gs = Pwl::clock(0.6, 1.0, 0.0, period, 0.5, period / 100.0, 4)?;
     let bias = BiasWaveforms::new(v_gs, Pwl::constant(10e-6));

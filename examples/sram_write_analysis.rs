@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = run_methodology(&pattern, &config)?;
 
         println!("--- RTN scale x{rtn_scale} ---");
-        println!(
-            "clean pass:  {:?}",
-            report.outcomes_clean.outcomes
-        );
+        println!("clean pass:  {:?}", report.outcomes_clean.outcomes);
         println!("RTN pass:    {:?}", report.outcomes.outcomes);
         println!(
             "events: {}, RTN-induced error: {}",
@@ -39,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 t.label(),
                 data.traps.len(),
                 format_si(
-                    data.i_rtn.max_value().abs().max(data.i_rtn.min_value().abs()),
+                    data.i_rtn
+                        .max_value()
+                        .abs()
+                        .max(data.i_rtn.min_value().abs()),
                     "A"
                 ),
             );

@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  filled-dwell KS:   {ks:.4} vs critical {ks_crit:.4}  ({} at 5%)",
-        if ks < ks_crit { "exponential" } else { "NOT exponential" },
+        if ks < ks_crit {
+            "exponential"
+        } else {
+            "NOT exponential"
+        },
     );
     println!(
         "  S(fc)/S(0) = {:.2}  (Lorentzian half-power: 0.50)",
@@ -73,8 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  analytic S(fc) = {}",
-        format_si(analytical::lorentzian_psd(delta_i, p_true, lambda_true, corner_true), "A^2/Hz"),
+        format_si(
+            analytical::lorentzian_psd(delta_i, p_true, lambda_true, corner_true),
+            "A^2/Hz"
+        ),
     );
-    println!("  capture rate 1/mean(empty dwell) vs lc: check passes when close: lc = {}", format_si(lc, "Hz"));
+    println!(
+        "  capture rate 1/mean(empty dwell) vs lc: check passes when close: lc = {}",
+        format_si(lc, "Hz")
+    );
     Ok(())
 }

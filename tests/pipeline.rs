@@ -17,8 +17,14 @@ fn paper_pattern_full_pipeline_is_clean_at_unit_scale() {
         ..MethodologyConfig::default()
     };
     let report = run_methodology(&BitPattern::paper_fig8(), &config).expect("pipeline runs");
-    assert!(report.outcomes_clean.all_clean(), "clean pass must write the pattern");
-    assert!(report.outcomes.all_clean(), "unit-scale RTN must not break a healthy cell");
+    assert!(
+        report.outcomes_clean.all_clean(),
+        "clean pass must write the pattern"
+    );
+    assert!(
+        report.outcomes.all_clean(),
+        "unit-scale RTN must not break a healthy cell"
+    );
     assert!(report.total_events() > 0, "trap activity must be present");
 }
 
@@ -73,14 +79,7 @@ fn coupled_and_two_pass_agree_on_outcomes_at_unit_scale() {
     };
     let pattern = BitPattern::parse("1011").expect("valid pattern");
     let two_pass = run_methodology(&pattern, &base).expect("two-pass runs");
-    let coupled = run_coupled(
-        &pattern,
-        &CoupledConfig {
-            base,
-            dt: 10e-12,
-        },
-    )
-    .expect("coupled runs");
+    let coupled = run_coupled(&pattern, &CoupledConfig { base, dt: 10e-12 }).expect("coupled runs");
     assert_eq!(two_pass.outcomes.outcomes, coupled.outcomes.outcomes);
 }
 

@@ -139,8 +139,7 @@ fn transient_respects_superposition_for_linear_circuits() {
         );
         ckt.resistor(n, Circuit::GROUND, 1e4);
         ckt.capacitor(n, Circuit::GROUND, 50e-15);
-        let res = run_transient(&ckt, 0.0, 5e-9, &TransientConfig::default())
-            .expect("converges");
+        let res = run_transient(&ckt, 0.0, 5e-9, &TransientConfig::default()).expect("converges");
         res.voltage(&ckt, "n").expect("node exists")
     };
     let both = build(10e-6, 20e-6);

@@ -11,7 +11,10 @@ use samurai::waveform::Pwl;
 fn model(depth_nm: f64, energy_ev: f64) -> PropensityModel {
     PropensityModel::new(
         DeviceParams::nominal_90nm(),
-        TrapParams::new(Length::from_nanometres(depth_nm), Energy::from_ev(energy_ev)),
+        TrapParams::new(
+            Length::from_nanometres(depth_nm),
+            Energy::from_ev(energy_ev),
+        ),
     )
 }
 
@@ -21,7 +24,10 @@ fn fig7_style_autocorrelation_matches_machlup() {
     let lambda = m.rate_sum();
     let v = 0.82;
     let p = m.stationary_occupancy(v);
-    assert!(p > 0.1 && p < 0.9, "pick a bias with real two-level activity, p = {p}");
+    assert!(
+        p > 0.1 && p < 0.9,
+        "pick a bias with real two-level activity, p = {p}"
+    );
 
     let delta_i = single_trap_amplitude(m.device(), v, 10e-6);
     let dt = 0.05 / lambda;
@@ -37,7 +43,10 @@ fn fig7_style_autocorrelation_matches_machlup() {
         .map(|&tau| analytical::machlup_autocorrelation(delta_i, p, lambda, tau))
         .collect();
     let err = stats::rms_relative_error(&measured, &analytic, analytic[0] * 0.02);
-    assert!(err < 0.15, "R(tau) deviates from Machlup: rms rel err {err}");
+    assert!(
+        err < 0.15,
+        "R(tau) deviates from Machlup: rms rel err {err}"
+    );
 }
 
 #[test]
@@ -66,7 +75,10 @@ fn fig7_style_psd_matches_the_lorentzian() {
         }
     }
     let log_rms = (log_acc / count as f64).sqrt();
-    assert!(log_rms < 0.3, "S(f) deviates from the Lorentzian: log-rms {log_rms}");
+    assert!(
+        log_rms < 0.3,
+        "S(f) deviates from the Lorentzian: log-rms {log_rms}"
+    );
 }
 
 #[test]
@@ -85,8 +97,14 @@ fn dwell_times_are_exponential() {
     assert!(filled.len() > 200 && empty.len() > 200);
     let ks_f = stats::ks_statistic_exponential(&filled, le);
     let ks_e = stats::ks_statistic_exponential(&empty, lc);
-    assert!(ks_f < stats::ks_critical_5pct(filled.len()) * 1.5, "filled dwells: D = {ks_f}");
-    assert!(ks_e < stats::ks_critical_5pct(empty.len()) * 1.5, "empty dwells: D = {ks_e}");
+    assert!(
+        ks_f < stats::ks_critical_5pct(filled.len()) * 1.5,
+        "filled dwells: D = {ks_f}"
+    );
+    assert!(
+        ks_e < stats::ks_critical_5pct(empty.len()) * 1.5,
+        "empty dwells: D = {ks_e}"
+    );
 }
 
 #[test]
@@ -115,17 +133,22 @@ fn multi_trap_psd_is_the_sum_of_lorentzians() {
     let v = 0.82;
     let models: Vec<PropensityModel> = depths.iter().map(|&d| model(d, 0.4)).collect();
     let delta_i = single_trap_amplitude(models[0].device(), v, 10e-6);
-    let slowest = models.iter().map(|m| m.rate_sum()).fold(f64::INFINITY, f64::min);
+    let slowest = models
+        .iter()
+        .map(|m| m.rate_sum())
+        .fold(f64::INFINITY, f64::min);
     let dt = 0.02 / models.iter().map(|m| m.rate_sum()).fold(0.0, f64::max);
     let n = 1 << 18;
     let tf = dt * n as f64;
-    assert!(tf * slowest > 100.0, "record long enough for the slowest trap");
+    assert!(
+        tf * slowest > 100.0,
+        "record long enough for the slowest trap"
+    );
 
     let mut current = samurai::waveform::Trace::from_fn(0.0, dt, n, |_| 0.0);
     for (i, m) in models.iter().enumerate() {
         let mut rng = SeedStream::new(60 + i as u64).rng(0);
-        let occ = simulate_trap(m, &Pwl::constant(v), 0.0, tf, &mut rng)
-            .expect("bounded horizon");
+        let occ = simulate_trap(m, &Pwl::constant(v), 0.0, tf, &mut rng).expect("bounded horizon");
         current = current.add(&occ.scaled(delta_i).sample(0.0, dt, n));
     }
     let spectrum = psd::welch(&current, 2048);

@@ -1,0 +1,221 @@
+//! Offline mini `criterion`: just enough harness to compile and run
+//! the workspace's benches hermetically.
+//!
+//! Each benchmark runs `sample_size` timed iterations after one warm-up
+//! iteration and prints the per-iteration median, min and max. There is
+//! no statistical analysis, HTML report or regression store — this is a
+//! smoke-and-stopwatch harness so `cargo bench` works without crates.io
+//! access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with the real crate (benches may use either
+/// this or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iterations: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (prefixes each benchmark's label).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(label, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the mini harness; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (the mini harness keeps only the label).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labelled by a parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        self.samples.clear();
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples (Bencher::iter never called)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = *self.samples.last().expect("non-empty");
+        println!(
+            "{name}: median {} (min {}, max {}, n = {})",
+            format_duration(median),
+            format_duration(min),
+            format_duration(max),
+            self.samples.len(),
+        );
+    }
+}
+
+/// Declares a benchmark group function, in either the positional or the
+/// `name/config/targets` form of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_prefix_labels_and_accept_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

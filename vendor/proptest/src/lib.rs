@@ -1,0 +1,392 @@
+//! Offline mini `proptest`: the macro surface the workspace's property
+//! tests use, backed by deterministic ChaCha8 case generation.
+//!
+//! Differences from upstream, deliberately accepted for a hermetic
+//! build:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   verbatim; cases are derived deterministically from the test name
+//!   and case index, so a failure reproduces exactly on re-run.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * Strategies implemented: numeric ranges, [`any`] for primitives,
+//!   [`Just`], [`collection::vec`], and [`Strategy::prop_map`] — the
+//!   full set used by this workspace.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property inside a test case (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the cases of one property-test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name_hash: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            config,
+            name_hash: h,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The deterministic RNG for case `case`.
+    pub fn case_rng(&self, case: u32) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.name_hash ^ ((case as u64) << 32 | 0x9e37))
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type (printable on failure, clonable for the
+    /// report).
+    type Value: Debug + Clone;
+
+    /// Draws one value.
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Maps generated values through `f` (no shrinking, so this is a
+    /// plain functor map).
+    fn prop_map<O: Debug + Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug + Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types [`any`] can produce.
+pub trait Arbitrary: Debug + Clone + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.gen::<u32>() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Finite, sign-symmetric, wide dynamic range — useful defaults
+        // for numeric properties without NaN/inf noise.
+        let mag = 10f64.powf(rng.gen_range(-9.0f64..9.0));
+        if rng.gen::<u32>() & 1 == 1 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// The strategy behind [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any")
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Debug + Clone>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate<R: RngCore + ?Sized>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Acceptable length specifications for [`vec`]: a half-open range
+    /// or an exact length.
+    pub trait IntoSizeRange {
+        /// The equivalent half-open range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// A `Vec` of `elem`-generated values with length drawn from
+    /// `size` (a half-open range, or an exact length).
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { elem, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs once per generated case, with `prop_assert!` failures reported
+/// alongside the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = [
+                    $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
+                ].join(", ");
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} case {}/{} failed: {}\n  inputs: {}",
+                        stringify!($name), case, runner.cases(), e, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..2.5, n in 3usize..9) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_the_range(
+            v in collection::vec(0.0f64..1.0, 2..6),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!(u8::from(flag) <= 1, "bool generation stays binary");
+        }
+
+        #[test]
+        fn prop_map_transforms(v in (1u64..5).prop_map(|n| n * 10), j in Just(7u8)) {
+            prop_assert!((10..50).contains(&v));
+            prop_assert_eq!(j, 7u8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let r = TestRunner::new(ProptestConfig::default(), "some_test");
+        let s = TestRunner::new(ProptestConfig::default(), "some_test");
+        let mut a = r.case_rng(3);
+        let mut b = s.case_rng(3);
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! See `serde_derive` in this vendor tree: the workspace builds
+//! hermetically, nothing serialises data yet, and the derives expand to
+//! nothing. The `Serialize`/`Deserialize` *traits* are declared so the
+//! names resolve in both the type and macro namespaces, exactly as with
+//! the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the
+/// stand-in; the no-op derive never implements it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the
+/// stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, and nothing in the toolkit actually serialises anything
+//! yet — the `#[derive(Serialize, Deserialize)]` annotations exist so
+//! the public types are serde-ready once the real dependency is
+//! available. These derive macros accept the same surface syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted and discarded.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted and discarded.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
