@@ -8,3 +8,9 @@ cargo build --workspace --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+cargo bench --workspace --no-run
+# Doc lint wall over the first-party crates (vendored stubs excluded).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p samurai-units -p samurai-waveform -p samurai-trap -p samurai-core \
+    -p samurai-analysis -p samurai-spice -p samurai-sram -p samurai-bench \
+    -p samurai

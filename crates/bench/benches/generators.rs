@@ -1,7 +1,7 @@
 //! Criterion benches for the RTN trace generators: the uniformisation
 //! kernel (Algorithm 1) against the Gillespie SSA, the fixed-Δt
 //! Bernoulli discretisation and the Ye-style white-noise generator,
-//! plus scaling in trap count — the ablation called out in DESIGN.md §6.
+//! plus scaling in trap count — the ablation called out in DESIGN.md §7.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

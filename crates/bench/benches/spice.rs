@@ -1,11 +1,13 @@
 //! Criterion benches for the SPICE substrate: the 6T write transient
 //! under both integrators (the trapezoidal-vs-backward-Euler ablation
-//! of DESIGN.md §6) and the full two-pass methodology.
+//! of DESIGN.md §7) and the full two-pass methodology.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use samurai_spice::{run_transient, Integrator, Source, TransientConfig};
+use samurai_spice::{
+    run_transient, CompiledCircuit, Integrator, NewtonWorkspace, Source, TransientConfig,
+};
 use samurai_sram::{
     build_write_waveforms, run_methodology, MethodologyConfig, SramCell, SramCellParams,
     WriteTiming,
@@ -40,6 +42,46 @@ fn bench_write_transient(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compiled path vs the compile-per-call wrapper on the 6T write
+/// transient. `per_call_compile` is what the seed engine did on every
+/// run (string-keyed lowering + fresh buffers each call);
+/// `compiled_reused_workspace` compiles once and reuses one
+/// [`NewtonWorkspace`] across runs — the allocation-free hot loop the
+/// refactor promises. Both produce bit-identical results (pinned by
+/// tests/spice_golden.rs); this group pins the *cost* relationship.
+fn bench_compiled_vs_seed(c: &mut Criterion) {
+    let timing = WriteTiming::default();
+    let pattern = BitPattern::parse("10").expect("static pattern");
+    let mut cell = SramCell::new(SramCellParams::default());
+    let waves = build_write_waveforms(&pattern, &timing).expect("valid timing");
+    cell.set_wl(Source::Pwl(waves.wl));
+    cell.set_bl(Source::Pwl(waves.bl));
+    cell.set_blb(Source::Pwl(waves.blb));
+    let tf = timing.duration(2);
+    let config = TransientConfig::default();
+
+    let mut group = c.benchmark_group("compiled_vs_seed_write_transient");
+    group.bench_function("per_call_compile", |b| {
+        b.iter(|| {
+            black_box(
+                run_transient(&cell.circuit, 0.0, tf, &config).expect("write transient converges"),
+            )
+        })
+    });
+    let compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    group.bench_function("compiled_reused_workspace", |b| {
+        b.iter(|| {
+            black_box(
+                compiled
+                    .run_transient(&mut ws, 0.0, tf, &config)
+                    .expect("write transient converges"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_methodology(c: &mut Criterion) {
     let pattern = BitPattern::parse("1010").expect("static pattern");
     let config = MethodologyConfig {
@@ -54,6 +96,6 @@ fn bench_methodology(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_write_transient, bench_methodology
+    targets = bench_write_transient, bench_compiled_vs_seed, bench_methodology
 }
 criterion_main!(benches);

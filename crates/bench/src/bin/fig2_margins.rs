@@ -4,12 +4,28 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin fig2_margins`.
 
-use samurai_bench::{banner, write_tagged_csv};
-use samurai_sram::margin::MarginModel;
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
+use samurai_core::ensemble::{run_ensemble, IndexedResults};
+use samurai_sram::margin::{MarginModel, MarginRow};
+use samurai_trap::Technology;
 
 fn main() {
     let model = MarginModel::default();
-    let rows = model.rows();
+    let parallelism = parallelism_from_args();
+    let nodes = Technology::all_nodes();
+    println!(
+        "evaluating {} nodes on {} workers (--threads N / SAMURAI_THREADS)",
+        nodes.len(),
+        parallelism.workers()
+    );
+    let rows: Vec<MarginRow> = run_ensemble::<IndexedResults<MarginRow>, _, ()>(
+        nodes.len(),
+        parallelism,
+        IndexedResults::new,
+        |i| Ok(model.row(&nodes[i], i)),
+    )
+    .expect("margin model evaluation is total")
+    .into_vec();
 
     banner("Fig 2: stacked minimum-V_dd contributions per node");
     println!(

@@ -11,19 +11,25 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin fig8_methodology`.
 
-use samurai_bench::{banner, write_tagged_csv};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
 use samurai_sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai_waveform::BitPattern;
 
 fn main() {
     let pattern = BitPattern::paper_fig8();
     println!("bit pattern: {pattern}");
+    let parallelism = parallelism_from_args();
+    println!(
+        "RTN generation on {} workers (--threads N / SAMURAI_THREADS)",
+        parallelism.workers()
+    );
 
     // Panels a-d at unit scale.
     let base_config = MethodologyConfig {
         seed: 12,
         density_scale: 2.0,
         rtn_scale: 1.0,
+        parallelism,
         ..MethodologyConfig::default()
     };
     let report = run_methodology(&pattern, &base_config).expect("methodology runs");

@@ -12,12 +12,27 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x2_baselines`.
 
-use samurai_bench::{banner, write_tagged_csv};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
+use samurai_core::ensemble::{run_ensemble, MeanTrace, Parallelism};
 use samurai_core::{gillespie, simulate_trap, ye, SeedStream};
 use samurai_trap::{master, DeviceParams, PropensityModel, TrapParams, TrapState};
 use samurai_units::{Energy, Length};
 use samurai_waveform::Pwl;
 use std::time::Instant;
+
+/// Mean of `f(job)` over `jobs` seeded draws: a deterministic parallel
+/// ensemble, bit-identical at every worker count (each job derives its
+/// randomness from its index alone).
+fn mc_mean<F: Fn(u64) -> f64 + Sync>(jobs: u64, parallelism: Parallelism, f: F) -> f64 {
+    run_ensemble::<MeanTrace, _, ()>(
+        jobs as usize,
+        parallelism,
+        || MeanTrace::zeros(1),
+        |job| Ok(vec![f(job as u64)]),
+    )
+    .expect("bounded-horizon kernels are total")
+    .mean()[0]
+}
 
 fn balanced_bias(model: &PropensityModel) -> f64 {
     let (mut lo, mut hi) = (-2.0, 3.0);
@@ -51,48 +66,41 @@ fn main() {
             .value_at(probe);
 
     let runs = 30_000u64;
+    let parallelism = parallelism_from_args();
     banner("X2: occupancy shortly after a bias step (exact = master equation)");
     println!("exact p(probe) = {exact:.4}");
+    println!(
+        "{runs} runs per kernel on {} workers (--threads N / SAMURAI_THREADS)",
+        parallelism.workers()
+    );
 
     let mut rows = Vec::new();
     let mut results: Vec<(&str, f64, f64)> = Vec::new(); // name, estimate, seconds
 
     // Uniformisation.
     let start = Instant::now();
-    let mut acc = 0.0;
-    for r in 0..runs {
-        let occ = simulate_trap(&model, &bias, 0.0, tf, &mut SeedStream::new(1).rng(r))
-            .expect("bounded horizon");
-        acc += occ.eval(probe);
-    }
-    results.push((
-        "uniformisation",
-        acc / runs as f64,
-        start.elapsed().as_secs_f64(),
-    ));
+    let estimate = mc_mean(runs, parallelism, |r| {
+        simulate_trap(&model, &bias, 0.0, tf, &mut SeedStream::new(1).rng(r))
+            .expect("bounded horizon")
+            .eval(probe)
+    });
+    results.push(("uniformisation", estimate, start.elapsed().as_secs_f64()));
 
     // Frozen-rate SSA.
     let start = Instant::now();
-    let mut acc = 0.0;
-    for r in 0..runs {
-        let occ =
-            gillespie::frozen_rate_ssa(&model, &bias, 0.0, tf, &mut SeedStream::new(2).rng(r))
-                .expect("bounded horizon");
-        acc += occ.eval(probe);
-    }
-    results.push((
-        "frozen_ssa",
-        acc / runs as f64,
-        start.elapsed().as_secs_f64(),
-    ));
+    let estimate = mc_mean(runs, parallelism, |r| {
+        gillespie::frozen_rate_ssa(&model, &bias, 0.0, tf, &mut SeedStream::new(2).rng(r))
+            .expect("bounded horizon")
+            .eval(probe)
+    });
+    results.push(("frozen_ssa", estimate, start.elapsed().as_secs_f64()));
 
     // Bernoulli time-stepping at two resolutions.
     for (name, frac) in [("bernoulli_coarse", 0.5), ("bernoulli_fine", 0.02)] {
         let dt = frac / lambda;
         let start = Instant::now();
-        let mut acc = 0.0;
-        for r in 0..runs / 4 {
-            let occ = gillespie::bernoulli_timestep(
+        let estimate = mc_mean(runs / 4, parallelism, |r| {
+            gillespie::bernoulli_timestep(
                 &model,
                 &bias,
                 0.0,
@@ -100,18 +108,17 @@ fn main() {
                 dt,
                 &mut SeedStream::new(3).rng(r),
             )
-            .expect("bounded horizon");
-            acc += occ.eval(probe);
-        }
-        results.push((name, acc / (runs / 4) as f64, start.elapsed().as_secs_f64()));
+            .expect("bounded horizon")
+            .eval(probe)
+        });
+        results.push((name, estimate, start.elapsed().as_secs_f64()));
     }
 
     // Ye-style generator (calibrated at the pre-step bias, as its
     // construction requires a single calibration point).
     let start = Instant::now();
-    let mut acc = 0.0;
-    for r in 0..runs / 4 {
-        let occ = ye::generate(
+    let estimate = mc_mean(runs / 4, parallelism, |r| {
+        ye::generate(
             &model,
             bias.eval(0.0),
             0.0,
@@ -119,14 +126,10 @@ fn main() {
             &mut SeedStream::new(4).rng(r),
             &ye::YeConfig::default(),
         )
-        .expect("bounded horizon");
-        acc += occ.eval(probe);
-    }
-    results.push((
-        "ye_two_stage",
-        acc / (runs / 4) as f64,
-        start.elapsed().as_secs_f64(),
-    ));
+        .expect("bounded horizon")
+        .eval(probe)
+    });
+    results.push(("ye_two_stage", estimate, start.elapsed().as_secs_f64()));
 
     for (name, estimate, seconds) in &results {
         let err = (estimate - exact).abs();

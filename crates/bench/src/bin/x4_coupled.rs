@@ -9,17 +9,23 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x4_coupled`.
 
-use samurai_bench::{banner, write_tagged_csv};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
 use samurai_sram::coupled::{run_coupled, CoupledConfig};
 use samurai_sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai_waveform::BitPattern;
 
 fn main() {
     let pattern = BitPattern::paper_fig8();
+    let parallelism = parallelism_from_args();
+    println!(
+        "RTN generation on {} workers (--threads N / SAMURAI_THREADS)",
+        parallelism.workers()
+    );
     let base = MethodologyConfig {
         seed: 21,
         density_scale: 1.5,
         rtn_scale: 1.0,
+        parallelism,
         ..MethodologyConfig::default()
     };
 

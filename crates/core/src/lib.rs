@@ -20,7 +20,7 @@
 //! * validation utilities ([`ensemble_occupancy`]) comparing ensemble
 //!   statistics against the exact master equation;
 //! * the deterministic parallel Monte-Carlo engine
-//!   ([`ensemble`](crate::ensemble)) that shards trap/seed/cell sweeps
+//!   ([`ensemble`]) that shards trap/seed/cell sweeps
 //!   over a worker pool with bit-identical results at any
 //!   [`Parallelism`];
 //! * **baselines**: an exact stationary Gillespie SSA, a naive

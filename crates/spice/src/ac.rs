@@ -15,14 +15,22 @@
 //! complex transfer function relative to it. For the RTN methodology
 //! this answers: *how does a current glitch injected at transistor X
 //! propagate to the storage node, and over what bandwidth?*
+//!
+//! The linearisation walks the [`CompiledCircuit`]'s index-resolved
+//! stamps — the same lowered representation DC and transient solve
+//! through — and the operating point comes from
+//! [`CompiledCircuit::dc_operating_point`] on the caller's workspace,
+//! so repeated sweeps (e.g. one per transistor) reuse all solver
+//! storage.
 
+use crate::compiled::{CompiledCircuit, DeviceStamp, NewtonWorkspace};
 use crate::linalg::DenseMatrix;
-use crate::netlist::{Circuit, Element, ElementId, NodeId};
-use crate::{dc_operating_point, DcConfig, SpiceError};
+use crate::netlist::{Circuit, ElementId};
+use crate::{DcConfig, SpiceError};
 
 #[inline]
-fn v_of(x: &[f64], n: NodeId) -> f64 {
-    match n.unknown_index() {
+fn v_of(x: &[f64], n: Option<usize>) -> f64 {
+    match n {
         Some(i) => x[i],
         None => 0.0,
     }
@@ -97,14 +105,15 @@ impl AcResult {
 }
 
 /// Builds the linearised `G` (conductance) and `C` (capacitance)
-/// matrices and the stimulus vector at the DC operating point.
+/// matrices and the stimulus vector at the DC operating point, from
+/// the compiled stamps.
 fn linearise(
-    ckt: &Circuit,
+    compiled: &CompiledCircuit,
     x_dc: &[f64],
     stimulus: ElementId,
 ) -> Result<(DenseMatrix, DenseMatrix, Vec<f64>), SpiceError> {
-    let n = ckt.unknown_count();
-    let n_nodes = ckt.node_count();
+    let n = compiled.unknown_count();
+    let n_nodes = compiled.node_count();
     let mut g = DenseMatrix::zeros(n, n);
     let mut c = DenseMatrix::zeros(n, n);
     let mut b = vec![0.0f64; n];
@@ -124,40 +133,26 @@ fn linearise(
 
     // gmin keeps the AC matrix regular too.
     for i in 0..n_nodes {
-        g.add(i, i, ckt.gmin);
+        g.add(i, i, compiled.gmin);
     }
 
     let mut found_stimulus = false;
-    for (idx, element) in ckt.elements.iter().enumerate() {
+    for (idx, stamp) in compiled.stamps.iter().enumerate() {
         let is_stimulus = ElementId(idx) == stimulus;
-        match element {
-            Element::Resistor {
-                a,
-                b: bb,
-                conductance,
-            } => {
-                stamp_g(&mut g, a.unknown_index(), bb.unknown_index(), *conductance);
+        match stamp {
+            DeviceStamp::Resistor(r) => {
+                stamp_g(&mut g, r.a, r.b, r.g);
             }
-            Element::Capacitor {
-                a,
-                b: bb,
-                capacitance,
-                ..
-            } => {
-                stamp_g(&mut c, a.unknown_index(), bb.unknown_index(), *capacitance);
+            DeviceStamp::Capacitor(cap) => {
+                stamp_g(&mut c, cap.a, cap.b, cap.c);
             }
-            Element::Vsource {
-                plus,
-                minus,
-                branch,
-                ..
-            } => {
-                let row = n_nodes + branch;
-                if let Some(i) = plus.unknown_index() {
+            DeviceStamp::Vsource(v) => {
+                let row = v.row;
+                if let Some(i) = v.plus {
                     g.add(i, row, 1.0);
                     g.add(row, i, 1.0);
                 }
-                if let Some(i) = minus.unknown_index() {
+                if let Some(i) = v.minus {
                     g.add(i, row, -1.0);
                     g.add(row, i, -1.0);
                 }
@@ -168,44 +163,39 @@ fn linearise(
                 }
                 // Non-stimulus sources are AC shorts (rhs 0).
             }
-            Element::Isource { from, to, .. } => {
+            DeviceStamp::Isource(src) => {
                 if is_stimulus {
                     // Unit AC current driven out of `from` into `to`:
                     // KCL rhs gets -(-1)... residual convention aside,
                     // in `(G + jwC)x = b` the injection enters b.
-                    if let Some(i) = from.unknown_index() {
+                    if let Some(i) = src.from {
                         b[i] -= 1.0;
                     }
-                    if let Some(i) = to.unknown_index() {
+                    if let Some(i) = src.to {
                         b[i] += 1.0;
                     }
                     found_stimulus = true;
                 }
             }
-            Element::Mosfet {
-                d,
-                g: gate,
-                s,
-                params,
-                ..
-            } => {
+            DeviceStamp::Mosfet(m) => {
                 let (_, dd, dg, ds) =
-                    params.eval(v_of(x_dc, *d), v_of(x_dc, *gate), v_of(x_dc, *s));
+                    m.params
+                        .eval(v_of(x_dc, m.d), v_of(x_dc, m.g), v_of(x_dc, m.s));
                 // Current flows d -> s; stamp the 3-terminal Jacobian.
-                let cols = [d.unknown_index(), gate.unknown_index(), s.unknown_index()];
+                let cols = [m.d, m.g, m.s];
                 let parts = [dd, dg, ds];
                 for (col, val) in cols.iter().zip(parts) {
-                    if let (Some(r), Some(cc)) = (d.unknown_index(), *col) {
+                    if let (Some(r), Some(cc)) = (m.d, *col) {
                         g.add(r, cc, val);
                     }
-                    if let (Some(r), Some(cc)) = (s.unknown_index(), *col) {
+                    if let (Some(r), Some(cc)) = (m.s, *col) {
                         g.add(r, cc, -val);
                     }
                 }
                 // Charge model.
-                stamp_g(&mut c, gate.unknown_index(), s.unknown_index(), params.cgs);
-                stamp_g(&mut c, gate.unknown_index(), d.unknown_index(), params.cgd);
-                stamp_g(&mut c, d.unknown_index(), None, params.cdb);
+                stamp_g(&mut c, m.g, m.s, m.params.cgs);
+                stamp_g(&mut c, m.g, m.d, m.params.cgd);
+                stamp_g(&mut c, m.d, None, m.params.cdb);
             }
         }
     }
@@ -217,7 +207,80 @@ fn linearise(
     Ok((g, c, b))
 }
 
+impl CompiledCircuit {
+    /// Runs an AC sweep with `stimulus` as the unit source, reusing
+    /// `ws` for the operating-point solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC failures; [`SpiceError::InvalidElement`] if the
+    /// stimulus is not a source; [`SpiceError::SingularMatrix`] for
+    /// degenerate circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty or contains non-positive values.
+    pub fn run_ac(
+        &self,
+        ws: &mut NewtonWorkspace,
+        stimulus: ElementId,
+        freqs: &[f64],
+        dc: &DcConfig,
+    ) -> Result<AcResult, SpiceError> {
+        assert!(!freqs.is_empty(), "need at least one frequency");
+        assert!(
+            freqs.iter().all(|&f| f > 0.0 && f.is_finite()),
+            "frequencies must be positive"
+        );
+        self.dc_operating_point(ws, 0.0, dc)?;
+        let (g, c, b) = linearise(self, ws.solution(), stimulus)?;
+        let n = self.unknown_count();
+
+        // One block system and rhs reused across the whole sweep.
+        let mut m = DenseMatrix::zeros(2 * n, 2 * n);
+        let mut rhs = vec![0.0; 2 * n];
+        let mut phasors = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let omega = core::f64::consts::TAU * f;
+            m.clear();
+            for r in 0..n {
+                for cc in 0..n {
+                    let gv = g.get(r, cc);
+                    let cv = c.get(r, cc) * omega;
+                    if gv != 0.0 {
+                        m.set(r, cc, gv);
+                        m.set(n + r, n + cc, gv);
+                    }
+                    if cv != 0.0 {
+                        m.set(r, n + cc, -cv);
+                        m.set(n + r, cc, cv);
+                    }
+                }
+            }
+            rhs[..n].copy_from_slice(&b);
+            rhs[n..].iter_mut().for_each(|v| *v = 0.0);
+            m.solve_in_place(&mut rhs)?;
+            phasors.push(
+                (0..n)
+                    .map(|i| Phasor {
+                        re: rhs[i],
+                        im: rhs[n + i],
+                    })
+                    .collect(),
+            );
+        }
+        Ok(AcResult {
+            freqs: freqs.to_vec(),
+            phasors,
+        })
+    }
+}
+
 /// Runs an AC sweep with `stimulus` as the unit source.
+///
+/// Compiles the circuit on the fly; callers sweeping many stimuli on
+/// the same circuit should compile once and use
+/// [`CompiledCircuit::run_ac`] with a persistent workspace.
 ///
 /// # Errors
 ///
@@ -234,50 +297,9 @@ pub fn run_ac(
     freqs: &[f64],
     dc: &DcConfig,
 ) -> Result<AcResult, SpiceError> {
-    assert!(!freqs.is_empty(), "need at least one frequency");
-    assert!(
-        freqs.iter().all(|&f| f > 0.0 && f.is_finite()),
-        "frequencies must be positive"
-    );
-    let x_dc = dc_operating_point(ckt, 0.0, dc)?;
-    let (g, c, b) = linearise(ckt, &x_dc, stimulus)?;
-    let n = ckt.unknown_count();
-
-    let mut phasors = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let omega = core::f64::consts::TAU * f;
-        // Real block system of size 2n.
-        let mut m = DenseMatrix::zeros(2 * n, 2 * n);
-        for r in 0..n {
-            for cc in 0..n {
-                let gv = g.get(r, cc);
-                let cv = c.get(r, cc) * omega;
-                if gv != 0.0 {
-                    m.set(r, cc, gv);
-                    m.set(n + r, n + cc, gv);
-                }
-                if cv != 0.0 {
-                    m.set(r, n + cc, -cv);
-                    m.set(n + r, cc, cv);
-                }
-            }
-        }
-        let mut rhs = vec![0.0; 2 * n];
-        rhs[..n].copy_from_slice(&b);
-        m.solve_in_place(&mut rhs)?;
-        phasors.push(
-            (0..n)
-                .map(|i| Phasor {
-                    re: rhs[i],
-                    im: rhs[n + i],
-                })
-                .collect(),
-        );
-    }
-    Ok(AcResult {
-        freqs: freqs.to_vec(),
-        phasors,
-    })
+    let compiled = CompiledCircuit::compile(ckt);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled.run_ac(&mut ws, stimulus, freqs, dc)
 }
 
 #[cfg(test)]
@@ -392,5 +414,28 @@ mod tests {
         ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
         let err = run_ac(&ckt, r, &[1e3], &DcConfig::default()).unwrap_err();
         assert!(matches!(err, SpiceError::InvalidElement { .. }));
+    }
+
+    #[test]
+    fn repeated_sweeps_on_one_workspace_match_fresh_runs() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let vs = ckt.vsource(a, Circuit::GROUND, Source::Dc(0.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-9);
+        let freqs = log_freqs(1e3, 1e8, 10);
+
+        let reference = run_ac(&ckt, vs, &freqs, &DcConfig::default()).unwrap();
+        let compiled = CompiledCircuit::compile(&ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        for _ in 0..2 {
+            let ac = compiled
+                .run_ac(&mut ws, vs, &freqs, &DcConfig::default())
+                .unwrap();
+            let h0 = reference.transfer(&ckt, "b").unwrap();
+            let h1 = ac.transfer(&ckt, "b").unwrap();
+            assert_eq!(h0, h1);
+        }
     }
 }

@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use samurai_spice::{parse_netlist, run_transient, TransientConfig};
+use samurai_spice::{parse_netlist, CompiledCircuit, NewtonWorkspace, TransientConfig};
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +25,10 @@ fn run() -> Result<(), String> {
         .tran
         .ok_or_else(|| "netlist has no .tran directive".to_string())?;
 
-    let result = run_transient(&parsed.circuit, 0.0, tstop, &TransientConfig::default())
+    let compiled = CompiledCircuit::compile(&parsed.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    let result = compiled
+        .run_transient(&mut ws, 0.0, tstop, &TransientConfig::default())
         .map_err(|e| format!("transient failed: {e}"))?;
 
     // Node selection: explicit list or all nodes in name order.

@@ -1,0 +1,976 @@
+//! The compile-once circuit engine: index-resolved device stamps, a
+//! persistent Newton workspace, and the single assembly/solve path
+//! shared by DC, AC and transient analysis.
+//!
+//! A [`Circuit`] is a *description*: elements refer to nodes through
+//! [`NodeId`]s and every analysis used to re-match on the element enum
+//! and re-allocate Jacobian/solution buffers per Newton iteration.
+//! [`CompiledCircuit::compile`] lowers that description once:
+//!
+//! * every node reference becomes a dense `Option<usize>` unknown
+//!   index (`None` = ground),
+//! * every element becomes a concrete device stamp behind the
+//!   [`Stamp`] trait,
+//! * the Jacobian fill pattern (the set of matrix entries any stamp
+//!   can ever write) is precomputed, so re-assembly clears only the
+//!   touched entries.
+//!
+//! All per-solve storage lives in a [`NewtonWorkspace`] that is reused
+//! across Newton iterations, timesteps and whole transient runs; after
+//! construction the Newton/timestep loop performs no heap allocation
+//! (the only allocation on the accepted-step path is the one
+//! exact-sized solution snapshot a transient result must own).
+//!
+//! The nonlinear system is written in residual form: for every
+//! non-ground node, `r = Σ currents leaving the node = 0`; for every
+//! voltage source, `r = v(+) − v(−) − V(t) = 0`. Newton solves
+//! `J·δ = −r` with a per-iteration voltage-step clamp that tames the
+//! MOSFET exponentials. The LU factorisation is computed in a scratch
+//! copy of the Jacobian (`solve_in_place` destroys its matrix), which
+//! is what keeps fill-pattern clearing of the assembled Jacobian
+//! valid.
+
+use crate::linalg::DenseMatrix;
+use crate::netlist::{Circuit, Element, ElementId, Source};
+use crate::{MosfetParams, SpiceError};
+
+/// Per-capacitor integration state (voltage across and current through
+/// the capacitor at the last accepted time point).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct CapState {
+    pub v_prev: f64,
+    pub i_prev: f64,
+}
+
+/// How capacitors enter the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum IntegMode {
+    /// DC: capacitors are open circuits.
+    Dc,
+    /// Backward Euler with step `h`.
+    BackwardEuler { h: f64 },
+    /// Trapezoidal with step `h`.
+    Trapezoidal { h: f64 },
+}
+
+impl IntegMode {
+    /// Companion model `(g_eq, i_eq)` such that the capacitor current
+    /// is `i = g_eq·v + i_eq` for the present voltage `v` across it.
+    fn companion(self, c: f64, state: CapState) -> (f64, f64) {
+        match self {
+            IntegMode::Dc => (0.0, 0.0),
+            IntegMode::BackwardEuler { h } => {
+                let g = c / h;
+                (g, -g * state.v_prev)
+            }
+            IntegMode::Trapezoidal { h } => {
+                let g = 2.0 * c / h;
+                (g, -g * state.v_prev - state.i_prev)
+            }
+        }
+    }
+}
+
+/// Numerical controls for the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct NewtonConfig {
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest voltage update.
+    pub v_tol: f64,
+    /// Convergence threshold on the largest KCL residual (amperes).
+    pub i_tol: f64,
+    /// Per-iteration clamp on voltage updates (damping).
+    pub v_step_clamp: f64,
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            v_tol: 1e-9,
+            i_tol: 1e-9,
+            v_step_clamp: 0.5,
+        }
+    }
+}
+
+/// Persistent solver state: every buffer the Newton iteration and the
+/// transient loop need, allocated once per compiled circuit and reused
+/// across solves.
+///
+/// A workspace is tied to the dimensions of the [`CompiledCircuit`]
+/// it was created for; reusing it across solves (or across whole
+/// transient runs) is bit-identical to using a fresh one, because
+/// every analysis fully re-seeds the state it reads.
+#[derive(Debug, Clone)]
+pub struct NewtonWorkspace {
+    /// The assembled Jacobian. Entries outside the fill pattern are
+    /// zero forever; entries inside it are cleared before each
+    /// assembly.
+    pub(crate) jac: DenseMatrix,
+    /// LU scratch: `solve_in_place` overwrites its matrix with the
+    /// factors, so the factorisation runs in this copy and `jac`
+    /// survives for the next fill-pattern clear.
+    pub(crate) lu: DenseMatrix,
+    /// KCL/branch residual.
+    pub(crate) res: Vec<f64>,
+    /// Newton update `δ` (the negated residual before the LU solve).
+    pub(crate) delta: Vec<f64>,
+    /// Current accepted solution.
+    pub(crate) x: Vec<f64>,
+    /// Trial solution for in-flight steps; promoted with a swap.
+    pub(crate) x_try: Vec<f64>,
+    /// Per-capacitor companion-model history.
+    pub(crate) cap_states: Vec<CapState>,
+    /// Stamp context: evaluation time.
+    pub(crate) t: f64,
+    /// Stamp context: capacitor integration mode.
+    pub(crate) mode: IntegMode,
+    /// Stamp context: homotopy scale on independent sources.
+    pub(crate) source_scale: f64,
+    /// Stamp context: homotopy conductance added to the circuit gmin.
+    pub(crate) gmin_extra: f64,
+}
+
+impl NewtonWorkspace {
+    /// Allocates every buffer for `compiled`'s dimensions.
+    pub fn new(compiled: &CompiledCircuit) -> Self {
+        let n = compiled.n_unknowns;
+        Self {
+            jac: DenseMatrix::zeros(n, n),
+            lu: DenseMatrix::zeros(n, n),
+            res: vec![0.0; n],
+            delta: Vec::with_capacity(n),
+            x: vec![0.0; n],
+            x_try: Vec::with_capacity(n),
+            cap_states: vec![CapState::default(); compiled.cap_state_count],
+            t: 0.0,
+            mode: IntegMode::Dc,
+            source_scale: 1.0,
+            gmin_extra: 0.0,
+        }
+    }
+
+    /// The most recent accepted solution (node voltages, then
+    /// voltage-source branch currents).
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Promotes the trial solution without copying.
+    pub(crate) fn accept_trial(&mut self) {
+        std::mem::swap(&mut self.x, &mut self.x_try);
+    }
+
+    /// Zeroes the capacitor histories (fresh-analysis semantics).
+    pub(crate) fn reset_states(&mut self) {
+        self.cap_states
+            .iter_mut()
+            .for_each(|s| *s = CapState::default());
+    }
+}
+
+/// The value of unknown `n` in `x` (`None` = ground = 0 V).
+#[inline]
+fn v_at(x: &[f64], n: Option<usize>) -> f64 {
+    match n {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Adds `value` to the residual entry of unknown `n` (no-op for
+/// ground).
+#[inline]
+fn add_res(res: &mut [f64], n: Option<usize>, value: f64) {
+    if let Some(i) = n {
+        res[i] += value;
+    }
+}
+
+/// Adds `value` to the Jacobian entry (∂r[row] / ∂x[col]).
+#[inline]
+fn add_jac(jac: &mut DenseMatrix, row: Option<usize>, col: Option<usize>, value: f64) {
+    if let (Some(r), Some(c)) = (row, col) {
+        jac.add(r, c, value);
+    }
+}
+
+/// A two-terminal conductance + current stamp: current `i = g·(va−vb) +
+/// i0` flows from `a` to `b`.
+fn stamp_branch(
+    jac: &mut DenseMatrix,
+    res: &mut [f64],
+    x: &[f64],
+    a: Option<usize>,
+    b: Option<usize>,
+    g: f64,
+    i0: f64,
+) {
+    let v = v_at(x, a) - v_at(x, b);
+    let i = g * v + i0;
+    add_res(res, a, i);
+    add_res(res, b, -i);
+    add_jac(jac, a, a, g);
+    add_jac(jac, a, b, -g);
+    add_jac(jac, b, a, -g);
+    add_jac(jac, b, b, g);
+}
+
+/// Records the fill positions a two-terminal branch stamp can write.
+fn fill_branch(fill: &mut Vec<(usize, usize)>, a: Option<usize>, b: Option<usize>) {
+    for (r, c) in [(a, a), (a, b), (b, a), (b, b)] {
+        if let (Some(r), Some(c)) = (r, c) {
+            fill.push((r, c));
+        }
+    }
+}
+
+/// An index-resolved device: how one element contributes to the
+/// compiled system.
+///
+/// Implementations receive the candidate solution `x` and the
+/// workspace, whose context fields (`t`, integration mode, homotopy
+/// scales, capacitor histories) parameterise the evaluation; they
+/// accumulate into the workspace residual and Jacobian.
+pub trait Stamp {
+    /// Accumulates this device's residual and Jacobian contributions
+    /// at the candidate solution `x`.
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace);
+
+    /// Records every Jacobian entry this device can ever write (over
+    /// all integration modes), so assembly can clear exactly the
+    /// touched entries.
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>);
+
+    /// Refreshes this device's integration state from an accepted
+    /// solution (capacitor companion histories); default: stateless.
+    fn update_state(&self, _x: &[f64], _ws: &mut NewtonWorkspace) {}
+
+    /// Appends the time points a transient run must land on exactly
+    /// (PWL source corners); default: none.
+    fn append_breakpoints(&self, _out: &mut Vec<f64>) {}
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ResistorStamp {
+    pub a: Option<usize>,
+    pub b: Option<usize>,
+    pub g: f64,
+}
+
+impl Stamp for ResistorStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        stamp_branch(&mut ws.jac, &mut ws.res, x, self.a, self.b, self.g, 0.0);
+    }
+
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
+        fill_branch(fill, self.a, self.b);
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CapacitorStamp {
+    pub a: Option<usize>,
+    pub b: Option<usize>,
+    pub c: f64,
+    /// Index into the workspace capacitor-history table.
+    pub state: usize,
+}
+
+impl Stamp for CapacitorStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let (g, i0) = ws.mode.companion(self.c, ws.cap_states[self.state]);
+        if g != 0.0 || i0 != 0.0 {
+            stamp_branch(&mut ws.jac, &mut ws.res, x, self.a, self.b, g, i0);
+        }
+    }
+
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
+        fill_branch(fill, self.a, self.b);
+    }
+
+    fn update_state(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let v = v_at(x, self.a) - v_at(x, self.b);
+        let (g, i0) = ws.mode.companion(self.c, ws.cap_states[self.state]);
+        ws.cap_states[self.state] = CapState {
+            v_prev: v,
+            i_prev: g * v + i0,
+        };
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VsourceStamp {
+    pub plus: Option<usize>,
+    pub minus: Option<usize>,
+    /// The branch-current unknown / branch-equation row.
+    pub row: usize,
+    pub source: Source,
+}
+
+impl Stamp for VsourceStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let i_branch = x[self.row];
+        // Branch current leaves the + node through the source.
+        add_res(&mut ws.res, self.plus, i_branch);
+        add_res(&mut ws.res, self.minus, -i_branch);
+        add_jac(&mut ws.jac, self.plus, Some(self.row), 1.0);
+        add_jac(&mut ws.jac, self.minus, Some(self.row), -1.0);
+        // Branch equation.
+        ws.res[self.row] =
+            v_at(x, self.plus) - v_at(x, self.minus) - ws.source_scale * self.source.eval(ws.t);
+        if let Some(i) = self.plus {
+            ws.jac.add(self.row, i, 1.0);
+        }
+        if let Some(i) = self.minus {
+            ws.jac.add(self.row, i, -1.0);
+        }
+    }
+
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
+        for i in [self.plus, self.minus].into_iter().flatten() {
+            fill.push((i, self.row));
+            fill.push((self.row, i));
+        }
+    }
+
+    fn append_breakpoints(&self, out: &mut Vec<f64>) {
+        out.extend(self.source.breakpoints());
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct IsourceStamp {
+    pub from: Option<usize>,
+    pub to: Option<usize>,
+    pub source: Source,
+}
+
+impl Stamp for IsourceStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let _ = x;
+        let i = ws.source_scale * self.source.eval(ws.t);
+        add_res(&mut ws.res, self.from, i);
+        add_res(&mut ws.res, self.to, -i);
+    }
+
+    fn register_fill(&self, _fill: &mut Vec<(usize, usize)>) {
+        // Current sources contribute to the residual only.
+    }
+
+    fn append_breakpoints(&self, out: &mut Vec<f64>) {
+        out.extend(self.source.breakpoints());
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MosfetStamp {
+    pub d: Option<usize>,
+    pub g: Option<usize>,
+    pub s: Option<usize>,
+    pub params: MosfetParams,
+    /// Workspace history slots for the Cgs, Cgd, Cdb charge model.
+    pub caps: [usize; 3],
+}
+
+impl Stamp for MosfetStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let (id, dd, dg, ds) = self
+            .params
+            .eval(v_at(x, self.d), v_at(x, self.g), v_at(x, self.s));
+        add_res(&mut ws.res, self.d, id);
+        add_res(&mut ws.res, self.s, -id);
+        add_jac(&mut ws.jac, self.d, self.d, dd);
+        add_jac(&mut ws.jac, self.d, self.g, dg);
+        add_jac(&mut ws.jac, self.d, self.s, ds);
+        add_jac(&mut ws.jac, self.s, self.d, -dd);
+        add_jac(&mut ws.jac, self.s, self.g, -dg);
+        add_jac(&mut ws.jac, self.s, self.s, -ds);
+        // Charge model: Cgs, Cgd, Cdb.
+        let (g_gs, i_gs) = ws
+            .mode
+            .companion(self.params.cgs, ws.cap_states[self.caps[0]]);
+        if g_gs != 0.0 || i_gs != 0.0 {
+            stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.s, g_gs, i_gs);
+        }
+        let (g_gd, i_gd) = ws
+            .mode
+            .companion(self.params.cgd, ws.cap_states[self.caps[1]]);
+        if g_gd != 0.0 || i_gd != 0.0 {
+            stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.d, g_gd, i_gd);
+        }
+        let (g_db, i_db) = ws
+            .mode
+            .companion(self.params.cdb, ws.cap_states[self.caps[2]]);
+        if g_db != 0.0 || i_db != 0.0 {
+            stamp_branch(&mut ws.jac, &mut ws.res, x, self.d, None, g_db, i_db);
+        }
+    }
+
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
+        for row in [self.d, self.s] {
+            for col in [self.d, self.g, self.s] {
+                if let (Some(r), Some(c)) = (row, col) {
+                    fill.push((r, c));
+                }
+            }
+        }
+        fill_branch(fill, self.g, self.s);
+        fill_branch(fill, self.g, self.d);
+        fill_branch(fill, self.d, None);
+    }
+
+    fn update_state(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        let mut refresh = |a: Option<usize>, b: Option<usize>, c: f64, idx: usize| {
+            let v = v_at(x, a) - v_at(x, b);
+            let (g, i0) = ws.mode.companion(c, ws.cap_states[idx]);
+            ws.cap_states[idx] = CapState {
+                v_prev: v,
+                i_prev: g * v + i0,
+            };
+        };
+        refresh(self.g, self.s, self.params.cgs, self.caps[0]);
+        refresh(self.g, self.d, self.params.cgd, self.caps[1]);
+        refresh(self.d, None, self.params.cdb, self.caps[2]);
+    }
+}
+
+/// One lowered element. Static dispatch over the concrete stamps: the
+/// assembly loop is a jump table, not a vtable walk.
+#[derive(Debug, Clone)]
+pub(crate) enum DeviceStamp {
+    Resistor(ResistorStamp),
+    Capacitor(CapacitorStamp),
+    Vsource(VsourceStamp),
+    Isource(IsourceStamp),
+    Mosfet(MosfetStamp),
+}
+
+impl DeviceStamp {
+    /// Lowers one netlist element into its index-resolved stamp.
+    fn lower(element: &Element, n_nodes: usize) -> Self {
+        match element {
+            Element::Resistor { a, b, conductance } => Self::Resistor(ResistorStamp {
+                a: a.unknown_index(),
+                b: b.unknown_index(),
+                g: *conductance,
+            }),
+            Element::Capacitor {
+                a,
+                b,
+                capacitance,
+                state,
+            } => Self::Capacitor(CapacitorStamp {
+                a: a.unknown_index(),
+                b: b.unknown_index(),
+                c: *capacitance,
+                state: *state,
+            }),
+            Element::Vsource {
+                plus,
+                minus,
+                source,
+                branch,
+            } => Self::Vsource(VsourceStamp {
+                plus: plus.unknown_index(),
+                minus: minus.unknown_index(),
+                row: n_nodes + branch,
+                source: source.clone(),
+            }),
+            Element::Isource { from, to, source } => Self::Isource(IsourceStamp {
+                from: from.unknown_index(),
+                to: to.unknown_index(),
+                source: source.clone(),
+            }),
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                params,
+                cap_states,
+            } => Self::Mosfet(MosfetStamp {
+                d: d.unknown_index(),
+                g: g.unknown_index(),
+                s: s.unknown_index(),
+                params: *params,
+                caps: *cap_states,
+            }),
+        }
+    }
+
+    /// The rewritable source waveform, for source-bearing devices.
+    fn source_mut(&mut self) -> Option<&mut Source> {
+        match self {
+            Self::Vsource(v) => Some(&mut v.source),
+            Self::Isource(i) => Some(&mut i.source),
+            _ => None,
+        }
+    }
+}
+
+impl Stamp for DeviceStamp {
+    fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        match self {
+            Self::Resistor(d) => d.stamp(x, ws),
+            Self::Capacitor(d) => d.stamp(x, ws),
+            Self::Vsource(d) => d.stamp(x, ws),
+            Self::Isource(d) => d.stamp(x, ws),
+            Self::Mosfet(d) => d.stamp(x, ws),
+        }
+    }
+
+    fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
+        match self {
+            Self::Resistor(d) => d.register_fill(fill),
+            Self::Capacitor(d) => d.register_fill(fill),
+            Self::Vsource(d) => d.register_fill(fill),
+            Self::Isource(d) => d.register_fill(fill),
+            Self::Mosfet(d) => d.register_fill(fill),
+        }
+    }
+
+    fn update_state(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        match self {
+            Self::Resistor(d) => d.update_state(x, ws),
+            Self::Capacitor(d) => d.update_state(x, ws),
+            Self::Vsource(d) => d.update_state(x, ws),
+            Self::Isource(d) => d.update_state(x, ws),
+            Self::Mosfet(d) => d.update_state(x, ws),
+        }
+    }
+
+    fn append_breakpoints(&self, out: &mut Vec<f64>) {
+        match self {
+            Self::Resistor(d) => d.append_breakpoints(out),
+            Self::Capacitor(d) => d.append_breakpoints(out),
+            Self::Vsource(d) => d.append_breakpoints(out),
+            Self::Isource(d) => d.append_breakpoints(out),
+            Self::Mosfet(d) => d.append_breakpoints(out),
+        }
+    }
+}
+
+/// A [`Circuit`] lowered for repeated solving: node names resolved to
+/// dense indices, elements lowered to [`Stamp`]s, Jacobian fill
+/// pattern precomputed.
+///
+/// Stamps keep the element order (and therefore the floating-point
+/// accumulation order) of the source circuit, so compiled results are
+/// bit-identical to the per-run engine this replaced. [`ElementId`]s
+/// of the source circuit address the same device here (stamp `k`
+/// lowers element `k`), which is what [`CompiledCircuit::set_source`]
+/// relies on.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    pub(crate) n_nodes: usize,
+    pub(crate) n_unknowns: usize,
+    pub(crate) cap_state_count: usize,
+    pub(crate) gmin: f64,
+    pub(crate) stamps: Vec<DeviceStamp>,
+    /// Sorted, deduplicated Jacobian entries any stamp (or the gmin
+    /// leak) can write.
+    pub(crate) fill: Vec<(usize, usize)>,
+}
+
+impl CompiledCircuit {
+    /// Lowers `ckt` into its compiled form.
+    pub fn compile(ckt: &Circuit) -> Self {
+        let n_nodes = ckt.node_count();
+        let stamps: Vec<DeviceStamp> = ckt
+            .elements
+            .iter()
+            .map(|e| DeviceStamp::lower(e, n_nodes))
+            .collect();
+        let mut fill: Vec<(usize, usize)> = (0..n_nodes).map(|i| (i, i)).collect();
+        for stamp in &stamps {
+            stamp.register_fill(&mut fill);
+        }
+        fill.sort_unstable();
+        fill.dedup();
+        Self {
+            n_nodes,
+            n_unknowns: ckt.unknown_count(),
+            cap_state_count: ckt.cap_state_count,
+            gmin: ckt.gmin,
+            stamps,
+            fill,
+        }
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// System size: node voltages plus voltage-source branch currents.
+    pub fn unknown_count(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Rewrites the waveform of voltage/current source `id` (the
+    /// [`ElementId`] from the source [`Circuit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` does not name a
+    /// voltage or current source.
+    pub fn set_source(&mut self, id: ElementId, new_source: Source) -> Result<(), SpiceError> {
+        match self.stamps.get_mut(id.0).and_then(DeviceStamp::source_mut) {
+            Some(slot) => {
+                *slot = new_source;
+                Ok(())
+            }
+            None => Err(SpiceError::InvalidElement {
+                reason: "set_source requires a voltage or current source id",
+            }),
+        }
+    }
+
+    /// All PWL-source breakpoint times, sorted and deduplicated
+    /// (reflects any [`set_source`](Self::set_source) rewrites).
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut times = Vec::new();
+        for stamp in &self.stamps {
+            stamp.append_breakpoints(&mut times);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        times.dedup();
+        times
+    }
+
+    /// The MOSFET stamp for `id`, for state readback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` is not a MOSFET.
+    pub(crate) fn mosfet(&self, id: ElementId) -> Result<&MosfetStamp, SpiceError> {
+        match self.stamps.get(id.0) {
+            Some(DeviceStamp::Mosfet(m)) => Ok(m),
+            _ => Err(SpiceError::InvalidElement {
+                reason: "expected a MOSFET id",
+            }),
+        }
+    }
+
+    /// Assembles the residual and Jacobian at solution `x`, under the
+    /// workspace's stamp context (`t`, mode, homotopy scales).
+    pub(crate) fn assemble(&self, x: &[f64], ws: &mut NewtonWorkspace) {
+        for &(r, c) in &self.fill {
+            ws.jac.set(r, c, 0.0);
+        }
+        ws.res.iter_mut().for_each(|r| *r = 0.0);
+
+        // gmin to ground from every node.
+        let g_leak = self.gmin + ws.gmin_extra;
+        if g_leak > 0.0 {
+            for (i, &v) in x.iter().enumerate().take(self.n_nodes) {
+                ws.res[i] += g_leak * v;
+                ws.jac.add(i, i, g_leak);
+            }
+        }
+
+        for stamp in &self.stamps {
+            stamp.stamp(x, ws);
+        }
+    }
+
+    /// Damped Newton iteration on `x` under the current workspace
+    /// context. `x` enters as the initial guess and leaves as the
+    /// solution.
+    fn newton(
+        &self,
+        x: &mut [f64],
+        ws: &mut NewtonWorkspace,
+        config: &NewtonConfig,
+    ) -> Result<(), SpiceError> {
+        let n_nodes = self.n_nodes;
+        debug_assert_eq!(x.len(), self.n_unknowns);
+
+        for _iter in 0..config.max_iterations {
+            self.assemble(x, ws);
+
+            // Solve J delta = -res; the LU runs in the scratch copy.
+            ws.delta.clear();
+            ws.delta.extend(ws.res.iter().map(|r| -r));
+            ws.lu.copy_from(&ws.jac);
+            ws.lu.solve_in_place(&mut ws.delta)?;
+
+            // Damping: clamp node-voltage updates.
+            let max_dv = ws.delta[..n_nodes]
+                .iter()
+                .fold(0.0f64, |m, d| m.max(d.abs()));
+            let scale = if max_dv > config.v_step_clamp {
+                config.v_step_clamp / max_dv
+            } else {
+                1.0
+            };
+            for (xi, di) in x.iter_mut().zip(&ws.delta) {
+                *xi += scale * di;
+            }
+
+            if scale == 1.0 && max_dv < config.v_tol {
+                // Check the residual at the updated point.
+                self.assemble(x, ws);
+                let max_res = ws.res[..n_nodes].iter().fold(0.0f64, |m, r| m.max(r.abs()));
+                if max_res < config.i_tol {
+                    return Ok(());
+                }
+            }
+        }
+        Err(SpiceError::NonConvergence {
+            time: ws.t,
+            iterations: config.max_iterations,
+        })
+    }
+
+    /// Newton-solves in place on the workspace's accepted solution
+    /// `x`, under the given stamp context.
+    pub(crate) fn solve(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t: f64,
+        mode: IntegMode,
+        source_scale: f64,
+        gmin_extra: f64,
+        config: &NewtonConfig,
+    ) -> Result<(), SpiceError> {
+        ws.t = t;
+        ws.mode = mode;
+        ws.source_scale = source_scale;
+        ws.gmin_extra = gmin_extra;
+        let mut x = std::mem::take(&mut ws.x);
+        let outcome = self.newton(&mut x, ws, config);
+        ws.x = x;
+        outcome
+    }
+
+    /// Newton-solves into the trial buffer, starting from the accepted
+    /// solution; `ws.x` is untouched, so a failed step can be retried.
+    pub(crate) fn solve_trial(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t: f64,
+        mode: IntegMode,
+        config: &NewtonConfig,
+    ) -> Result<(), SpiceError> {
+        ws.t = t;
+        ws.mode = mode;
+        ws.source_scale = 1.0;
+        ws.gmin_extra = 0.0;
+        let mut x_try = std::mem::take(&mut ws.x_try);
+        x_try.clear();
+        x_try.extend_from_slice(&ws.x);
+        let outcome = self.newton(&mut x_try, ws, config);
+        ws.x_try = x_try;
+        outcome
+    }
+
+    /// After an accepted step, refreshes every capacitor's `(v_prev,
+    /// i_prev)` from the converged solution (the trial buffer when
+    /// `from_trial`, the accepted one otherwise) under the workspace's
+    /// current integration mode.
+    pub(crate) fn refresh_states(&self, ws: &mut NewtonWorkspace, from_trial: bool) {
+        let x = std::mem::take(if from_trial { &mut ws.x_try } else { &mut ws.x });
+        for stamp in &self.stamps {
+            stamp.update_state(&x, ws);
+        }
+        if from_trial {
+            ws.x_try = x;
+        } else {
+            ws.x = x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Source;
+
+    fn solve_dc(ckt: &Circuit) -> Vec<f64> {
+        let compiled = CompiledCircuit::compile(ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        compiled
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap();
+        ws.solution().to_vec()
+    }
+
+    #[test]
+    fn resistor_divider_solves_exactly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(3.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 2e3);
+        let x = solve_dc(&ckt);
+        assert!((x[0] - 3.0).abs() < 1e-6, "source node {x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-6, "divider node {x:?}");
+        // Branch current: 3V across 3k = 1 mA flowing out of +.
+        assert!((x[2] + 1e-3).abs() < 1e-8, "branch current {x:?}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        // 1 mA driven out of ground into node a.
+        ckt.isource(Circuit::GROUND, a, Source::Dc(1e-3));
+        ckt.resistor(a, Circuit::GROUND, 2e3);
+        let x = solve_dc(&ckt);
+        assert!((x[0] - 2.0).abs() < 1e-6, "node voltage {x:?}");
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("float");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        ckt.resistor(a, b, 1e3);
+        // b only connects through the resistor: gmin keeps the matrix
+        // regular and pulls b to a (no current path).
+        let x = solve_dc(&ckt);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_diode_connected_mosfet_converges() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        // Diode-connected NMOS pulled up through a resistor.
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        ckt.resistor(vdd, d, 10e3);
+        ckt.mosfet(d, d, Circuit::GROUND, crate::MosfetParams::nmos_90nm(2.0));
+        let x = solve_dc(&ckt);
+        let vd = x[0];
+        // The gate-drain node settles somewhere above Vth, below Vdd.
+        assert!(vd > 0.3 && vd < 1.0, "diode node {vd}");
+    }
+
+    #[test]
+    fn fill_pattern_is_sorted_deduplicated_and_covers_assembly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-12);
+        ckt.mosfet(b, a, Circuit::GROUND, crate::MosfetParams::nmos_90nm(1.0));
+        let compiled = CompiledCircuit::compile(&ckt);
+        assert!(
+            compiled.fill.windows(2).all(|w| w[0] < w[1]),
+            "fill must be strictly sorted (deduplicated)"
+        );
+
+        // Assemble under the transient mode (widest stamp footprint)
+        // and check no nonzero escaped the registered pattern.
+        let mut ws = NewtonWorkspace::new(&compiled);
+        ws.mode = IntegMode::Trapezoidal { h: 1e-12 };
+        for s in ws.cap_states.iter_mut() {
+            *s = CapState {
+                v_prev: 0.3,
+                i_prev: 1e-6,
+            };
+        }
+        let x = vec![0.7; compiled.unknown_count()];
+        compiled.assemble(&x, &mut ws);
+        for r in 0..compiled.unknown_count() {
+            for c in 0..compiled.unknown_count() {
+                if ws.jac.get(r, c) != 0.0 {
+                    assert!(
+                        compiled.fill.binary_search(&(r, c)).is_ok(),
+                        "({r}, {c}) written outside the fill pattern"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_source_rejects_non_source_elements() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor(a, Circuit::GROUND, 1e3);
+        let v = ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        let mut compiled = CompiledCircuit::compile(&ckt);
+        assert!(matches!(
+            compiled.set_source(r, Source::Dc(2.0)),
+            Err(SpiceError::InvalidElement { .. })
+        ));
+        compiled.set_source(v, Source::Dc(2.0)).unwrap();
+        let mut ws = NewtonWorkspace::new(&compiled);
+        compiled
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap();
+        assert!((ws.solution()[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_a_fresh_workspace() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        ckt.resistor(vdd, d, 10e3);
+        ckt.mosfet(d, d, Circuit::GROUND, crate::MosfetParams::nmos_90nm(2.0));
+        let compiled = CompiledCircuit::compile(&ckt);
+        let newton = NewtonConfig::default();
+
+        let mut fresh = NewtonWorkspace::new(&compiled);
+        compiled
+            .solve(&mut fresh, 0.0, IntegMode::Dc, 1.0, 0.0, &newton)
+            .unwrap();
+        let reference: Vec<u64> = fresh.solution().iter().map(|v| v.to_bits()).collect();
+
+        // Dirty the same workspace, re-seed, solve again.
+        let mut reused = fresh;
+        reused.x.iter_mut().for_each(|v| *v = 0.0);
+        compiled
+            .solve(&mut reused, 0.0, IntegMode::Dc, 1.0, 0.0, &newton)
+            .unwrap();
+        let again: Vec<u64> = reused.solution().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(reference, again);
+    }
+
+    #[test]
+    fn singular_circuit_reports_singular_matrix() {
+        // Two nodes joined only by a resistor, gmin disabled: the
+        // conductance matrix is rank deficient.
+        let mut ckt = Circuit::new();
+        ckt.gmin = 0.0;
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, 1e3);
+        let compiled = CompiledCircuit::compile(&ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        let err = compiled
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::SingularMatrix));
+    }
+}

@@ -1,6 +1,6 @@
 //! DC operating-point analysis with gmin and source stepping.
 
-use crate::engine::{newton_solve, CapState, IntegMode, NewtonConfig};
+use crate::compiled::{CompiledCircuit, IntegMode, NewtonConfig, NewtonWorkspace};
 use crate::{Circuit, SpiceError};
 
 /// Controls for [`dc_operating_point`].
@@ -27,11 +27,73 @@ impl Default for DcConfig {
     }
 }
 
+impl CompiledCircuit {
+    /// Solves the DC operating point at time `t` (sources evaluated at
+    /// `t`; capacitors open) into the workspace: on success
+    /// `ws.solution()` holds the full unknown vector (node voltages
+    /// then voltage-source branch currents).
+    ///
+    /// The workspace is fully re-seeded (capacitor histories zeroed,
+    /// solution re-initialised from the guess), so a reused workspace
+    /// gives bit-identical results to a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NonConvergence`] if both gmin stepping and
+    /// source stepping fail, or [`SpiceError::SingularMatrix`] for a
+    /// structurally singular circuit.
+    pub fn dc_operating_point(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t: f64,
+        config: &DcConfig,
+    ) -> Result<(), SpiceError> {
+        let newton = NewtonConfig::default();
+        ws.reset_states();
+        let seed_guess = |ws: &mut NewtonWorkspace| {
+            ws.x.iter_mut().for_each(|v| *v = 0.0);
+            if let Some(guess) = &config.initial_guess {
+                for (i, v) in guess.iter().enumerate().take(self.node_count()) {
+                    ws.x[i] = *v;
+                }
+            }
+        };
+
+        // Plain Newton first — cheap when it works.
+        seed_guess(ws);
+        if self.solve(ws, t, IntegMode::Dc, 1.0, 0.0, &newton).is_ok() {
+            return Ok(());
+        }
+
+        // gmin stepping, restarted from the pristine guess.
+        seed_guess(ws);
+        let mut gmin_ok = true;
+        for &g in &config.gmin_steps {
+            if self.solve(ws, t, IntegMode::Dc, 1.0, g, &newton).is_err() {
+                gmin_ok = false;
+                break;
+            }
+        }
+        if gmin_ok && self.solve(ws, t, IntegMode::Dc, 1.0, 0.0, &newton).is_ok() {
+            return Ok(());
+        }
+
+        // Source stepping, from zero.
+        ws.x.iter_mut().for_each(|v| *v = 0.0);
+        for &scale in &config.source_steps {
+            self.solve(ws, t, IntegMode::Dc, scale, 0.0, &newton)?;
+        }
+        Ok(())
+    }
+}
+
 /// Solves the DC operating point at time `t` (sources evaluated at
 /// `t`; capacitors open).
 ///
 /// Returns the full unknown vector (node voltages then voltage-source
-/// branch currents).
+/// branch currents). Compiles the circuit on the fly; callers with a
+/// [`CompiledCircuit`] at hand should use
+/// [`CompiledCircuit::dc_operating_point`] to reuse their workspace.
 ///
 /// # Errors
 ///
@@ -43,85 +105,10 @@ pub fn dc_operating_point(
     t: f64,
     config: &DcConfig,
 ) -> Result<Vec<f64>, SpiceError> {
-    let n = ckt.unknown_count();
-    let cap_states = vec![CapState::default(); ckt.cap_state_count];
-    let newton = NewtonConfig::default();
-
-    let mut x = vec![0.0f64; n];
-    if let Some(guess) = &config.initial_guess {
-        for (i, v) in guess.iter().enumerate().take(ckt.node_count()) {
-            x[i] = *v;
-        }
-    }
-
-    // Plain Newton first — cheap when it works.
-    let mut attempt = x.clone();
-    if newton_solve(
-        ckt,
-        &mut attempt,
-        t,
-        IntegMode::Dc,
-        &cap_states,
-        1.0,
-        0.0,
-        &newton,
-    )
-    .is_ok()
-    {
-        return Ok(attempt);
-    }
-
-    // gmin stepping.
-    let mut homotopy = x.clone();
-    let mut gmin_ok = true;
-    for &g in &config.gmin_steps {
-        if newton_solve(
-            ckt,
-            &mut homotopy,
-            t,
-            IntegMode::Dc,
-            &cap_states,
-            1.0,
-            g,
-            &newton,
-        )
-        .is_err()
-        {
-            gmin_ok = false;
-            break;
-        }
-    }
-    if gmin_ok
-        && newton_solve(
-            ckt,
-            &mut homotopy,
-            t,
-            IntegMode::Dc,
-            &cap_states,
-            1.0,
-            0.0,
-            &newton,
-        )
-        .is_ok()
-    {
-        return Ok(homotopy);
-    }
-
-    // Source stepping.
-    x.iter_mut().for_each(|v| *v = 0.0);
-    for &scale in &config.source_steps {
-        newton_solve(
-            ckt,
-            &mut x,
-            t,
-            IntegMode::Dc,
-            &cap_states,
-            scale,
-            0.0,
-            &newton,
-        )?;
-    }
-    Ok(x)
+    let compiled = CompiledCircuit::compile(ckt);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled.dc_operating_point(&mut ws, t, config)?;
+    Ok(ws.solution().to_vec())
 }
 
 #[cfg(test)]
@@ -158,20 +145,28 @@ mod tests {
     #[test]
     fn inverter_switching_threshold_is_interior() {
         // Sweep the input and find where the output crosses Vdd/2: it
-        // must be somewhere strictly inside the rails.
+        // must be somewhere strictly inside the rails. One compiled
+        // circuit and workspace serve the whole sweep: only the input
+        // source is rewritten between points.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+        let a = ckt.node("a");
+        let vin_src = ckt.vsource(a, Circuit::GROUND, Source::Dc(0.0));
+        inverter(&mut ckt, "a", "y", vdd);
+        let y = ckt.find_node("y").unwrap().unknown_index().unwrap();
+
+        let mut compiled = CompiledCircuit::compile(&ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
         let mut crossing = None;
         let mut prev_high = true;
         for k in 0..=22 {
             let v_in = k as f64 * 0.05;
-            let mut ckt = Circuit::new();
-            let vdd = ckt.node("vdd");
-            ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
-            let a = ckt.node("a");
-            ckt.vsource(a, Circuit::GROUND, Source::Dc(v_in));
-            inverter(&mut ckt, "a", "y", vdd);
-            let x = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap();
-            let y = x[ckt.find_node("y").unwrap().unknown_index().unwrap()];
-            let high = y > 0.55;
+            compiled.set_source(vin_src, Source::Dc(v_in)).unwrap();
+            compiled
+                .dc_operating_point(&mut ws, 0.0, &DcConfig::default())
+                .unwrap();
+            let high = ws.solution()[y] > 0.55;
             if prev_high && !high {
                 crossing = Some(v_in);
             }

@@ -13,12 +13,22 @@
 //!   (exponential subthreshold, square-law strong inversion, smooth
 //!   saturation, channel-length modulation) with analytic derivatives
 //!   and a simple constant-capacitance charge model;
+//! * [`CompiledCircuit`] / [`NewtonWorkspace`] — the compile-once
+//!   engine: node names resolved to dense indices, elements lowered to
+//!   [`Stamp`]s, Jacobian fill pattern precomputed, and every solver
+//!   buffer owned by a persistent workspace so the Newton/timestep
+//!   loop allocates nothing;
 //! * [`dc_operating_point`] — Newton–Raphson with per-step damping and
 //!   gmin stepping;
 //! * [`run_transient`] — backward-Euler or trapezoidal integration with
 //!   adaptive step control and PWL-source breakpoints, returning every
 //!   node voltage as a [`samurai_waveform::Pwl`] ready to feed the RTN
 //!   generator.
+//!
+//! DC, AC and transient analysis all run through the single compiled
+//! assembly/solve path: the free functions compile on the fly, while
+//! the methods on [`CompiledCircuit`] reuse one workspace across runs
+//! (see `CompiledCircuit::run_transient` and friends).
 //!
 //! # Example: an RC low-pass step response
 //!
@@ -39,8 +49,8 @@
 //! ```
 
 pub mod ac;
+mod compiled;
 mod dcop;
-mod engine;
 mod error;
 mod linalg;
 mod mosfet;
@@ -49,6 +59,7 @@ pub mod parser;
 mod stepper;
 mod transient;
 
+pub use compiled::{CompiledCircuit, NewtonWorkspace, Stamp};
 pub use dcop::{dc_operating_point, DcConfig};
 pub use error::SpiceError;
 pub use linalg::DenseMatrix;

@@ -65,6 +65,23 @@ impl DenseMatrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Overwrites this matrix with the contents of `other` (no
+    /// allocation) — used to refresh the LU scratch from the assembled
+    /// Jacobian, since [`solve_in_place`](Self::solve_in_place)
+    /// destroys the matrix it factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "dimension mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Panics

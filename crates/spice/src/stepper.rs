@@ -6,45 +6,42 @@
 //! trap-state updates: after every step the RTN current sources are
 //! rewritten from the *live* node voltages before the next step is
 //! taken. [`TransientStepper`] exposes exactly that loop: construct it
-//! (solves the DC operating point), then alternate
-//! [`step`](TransientStepper::step) with `Circuit::set_source` calls.
+//! (compiles the circuit and solves the DC operating point), then
+//! alternate [`step`](TransientStepper::step) with
+//! [`set_source`](TransientStepper::set_source) calls. All solver
+//! storage lives in the stepper's persistent workspace, so the
+//! step/rewrite loop is allocation-free.
 
-use crate::dcop::{dc_operating_point, DcConfig};
-use crate::engine::{newton_solve, update_cap_states, CapState, IntegMode, NewtonConfig};
-use crate::netlist::NodeId;
+use crate::compiled::{CompiledCircuit, IntegMode, NewtonConfig, NewtonWorkspace};
+use crate::dcop::DcConfig;
+use crate::netlist::{NodeId, Source};
 use crate::{Circuit, SpiceError};
 
-/// Owns the evolving transient state (solution vector and capacitor
-/// history) between externally driven steps.
+/// Owns the compiled circuit and the evolving transient state
+/// (solution vector and capacitor history) between externally driven
+/// steps.
 #[derive(Debug, Clone)]
 pub struct TransientStepper {
-    x: Vec<f64>,
-    cap_states: Vec<CapState>,
+    compiled: CompiledCircuit,
+    ws: NewtonWorkspace,
     t: f64,
     newton: NewtonConfig,
 }
 
 impl TransientStepper {
-    /// Initialises the state from the DC operating point at `t0`.
+    /// Compiles `ckt` and initialises the state from the DC operating
+    /// point at `t0`.
     ///
     /// # Errors
     ///
     /// Propagates DC convergence failures.
     pub fn new(ckt: &Circuit, t0: f64, dc: &DcConfig) -> Result<Self, SpiceError> {
-        let x = dc_operating_point(ckt, t0, dc)?;
-        let mut cap_states = vec![CapState::default(); ckt.cap_state_count];
-        update_cap_states(
-            ckt,
-            &x,
-            IntegMode::BackwardEuler { h: 1.0 },
-            &mut cap_states,
-        );
-        for s in cap_states.iter_mut() {
-            s.i_prev = 0.0;
-        }
+        let compiled = CompiledCircuit::compile(ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        compiled.init_transient(&mut ws, t0, dc)?;
         Ok(Self {
-            x,
-            cap_states,
+            compiled,
+            ws,
             t: t0,
             newton: NewtonConfig::default(),
         })
@@ -55,11 +52,20 @@ impl TransientStepper {
         self.t
     }
 
+    /// Rewrites the waveform of voltage/current source `id`, effective
+    /// from the next [`step`](Self::step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidElement`] if `id` does not name a
+    /// voltage or current source.
+    pub fn set_source(&mut self, id: crate::ElementId, source: Source) -> Result<(), SpiceError> {
+        self.compiled.set_source(id, source)
+    }
+
     /// Advances the circuit by `h` using backward Euler (L-stable — the
     /// right choice when the caller changes sources discontinuously
-    /// between steps). The circuit may have been mutated through
-    /// `Circuit::set_source` since the last step, but its topology must
-    /// be unchanged.
+    /// between steps).
     ///
     /// # Errors
     ///
@@ -68,30 +74,15 @@ impl TransientStepper {
     ///
     /// # Panics
     ///
-    /// Panics if `h` is not positive, or if the circuit's unknown count
-    /// changed since construction.
-    pub fn step(&mut self, ckt: &Circuit, h: f64) -> Result<(), SpiceError> {
+    /// Panics if `h` is not positive.
+    pub fn step(&mut self, h: f64) -> Result<(), SpiceError> {
         assert!(h > 0.0 && h.is_finite(), "step must be positive");
-        assert_eq!(
-            self.x.len(),
-            ckt.unknown_count(),
-            "circuit topology changed under the stepper"
-        );
         let mode = IntegMode::BackwardEuler { h };
         let t_new = self.t + h;
-        let mut x_try = self.x.clone();
-        newton_solve(
-            ckt,
-            &mut x_try,
-            t_new,
-            mode,
-            &self.cap_states,
-            1.0,
-            0.0,
-            &self.newton,
-        )?;
-        update_cap_states(ckt, &x_try, mode, &mut self.cap_states);
-        self.x = x_try;
+        self.compiled
+            .solve_trial(&mut self.ws, t_new, mode, &self.newton)?;
+        self.compiled.refresh_states(&mut self.ws, true);
+        self.ws.accept_trial();
         self.t = t_new;
         Ok(())
     }
@@ -99,7 +90,7 @@ impl TransientStepper {
     /// The voltage of `node` in the current state.
     pub fn voltage(&self, node: NodeId) -> f64 {
         match node.unknown_index() {
-            Some(i) => self.x[i],
+            Some(i) => self.ws.solution()[i],
             None => 0.0,
         }
     }
@@ -109,10 +100,11 @@ impl TransientStepper {
     /// # Errors
     ///
     /// Returns [`SpiceError::InvalidElement`] if `id` is not a MOSFET.
-    pub fn mosfet_current(&self, ckt: &Circuit, id: crate::ElementId) -> Result<f64, SpiceError> {
-        let (d, g, s) = ckt.mosfet_nodes(id)?;
-        let params = ckt.mosfet_params(id)?;
-        let (i, ..) = params.eval(self.voltage(d), self.voltage(g), self.voltage(s));
+    pub fn mosfet_current(&self, id: crate::ElementId) -> Result<f64, SpiceError> {
+        let m = self.compiled.mosfet(id)?;
+        let x = self.ws.solution();
+        let v = |n: Option<usize>| n.map_or(0.0, |i| x[i]);
+        let (i, ..) = m.params.eval(v(m.d), v(m.g), v(m.s));
         Ok(i)
     }
 }
@@ -139,7 +131,7 @@ mod tests {
         let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
         let h = 5e-12;
         while stepper.time() < 8e-9 {
-            stepper.step(&ckt, h).unwrap();
+            stepper.step(h).unwrap();
         }
         let out_node = ckt.find_node("out").unwrap();
         let batch = crate::run_transient(&ckt, 0.0, 8e-9, &TransientConfig::default()).unwrap();
@@ -159,9 +151,22 @@ mod tests {
         ckt.resistor(a, Circuit::GROUND, 1e3);
         let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
         assert!(stepper.voltage(a).abs() < 1e-9);
-        ckt.set_source(inj, Source::Dc(1e-3)).unwrap();
-        stepper.step(&ckt, 1e-12).unwrap();
+        stepper.set_source(inj, Source::Dc(1e-3)).unwrap();
+        stepper.step(1e-12).unwrap();
         assert!((stepper.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_source_rejects_non_sources() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor(a, Circuit::GROUND, 1e3);
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+        let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
+        assert!(matches!(
+            stepper.set_source(r, Source::Dc(0.0)),
+            Err(SpiceError::InvalidElement { .. })
+        ));
     }
 
     #[test]
@@ -175,7 +180,7 @@ mod tests {
         ckt.resistor(vdd, d, 1e4);
         let m = ckt.mosfet(d, g, Circuit::GROUND, crate::MosfetParams::nmos_90nm(2.0));
         let stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).unwrap();
-        let i = stepper.mosfet_current(&ckt, m).unwrap();
+        let i = stepper.mosfet_current(m).unwrap();
         assert!(i > 1e-6, "transistor should conduct: {i}");
     }
 }

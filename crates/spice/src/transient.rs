@@ -2,8 +2,8 @@
 
 use samurai_waveform::Pwl;
 
-use crate::dcop::{dc_operating_point, DcConfig};
-use crate::engine::{newton_solve, update_cap_states, CapState, IntegMode, NewtonConfig};
+use crate::compiled::{CompiledCircuit, IntegMode, NewtonConfig, NewtonWorkspace};
+use crate::dcop::DcConfig;
 use crate::netlist::{Circuit, Element, ElementId};
 use crate::SpiceError;
 
@@ -195,12 +195,144 @@ impl TransientResult {
     }
 }
 
+impl CompiledCircuit {
+    /// Seeds the workspace for integration from `t0`: DC operating
+    /// point, then capacitor voltages from the DC solution with zero
+    /// current.
+    pub(crate) fn init_transient(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t0: f64,
+        dc: &DcConfig,
+    ) -> Result<(), SpiceError> {
+        self.dc_operating_point(ws, t0, dc)?;
+        ws.mode = IntegMode::BackwardEuler { h: 1.0 };
+        self.refresh_states(ws, false);
+        for s in ws.cap_states.iter_mut() {
+            s.i_prev = 0.0;
+        }
+        Ok(())
+    }
+
+    /// Runs a transient analysis over `[t0, tf]`, reusing `ws` for all
+    /// solver storage.
+    ///
+    /// The initial condition is the DC operating point at `t0`. Steps
+    /// are chosen adaptively: halved on Newton failure or on
+    /// node-voltage jumps beyond `dv_max`, grown gently after
+    /// successes, and always landing exactly on every PWL-source
+    /// breakpoint. The hot loop is allocation-free except for the one
+    /// exact-sized snapshot stored per accepted step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC/Newton failures; returns
+    /// [`SpiceError::StepUnderflow`] if the step collapses below
+    /// `dt_min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tf > t0`.
+    pub fn run_transient(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t0: f64,
+        tf: f64,
+        config: &TransientConfig,
+    ) -> Result<TransientResult, SpiceError> {
+        assert!(tf > t0, "transient horizon must be non-empty");
+        let span = tf - t0;
+        let dt_max = config.dt_max.unwrap_or(span / 50.0);
+        let mut dt = config.dt_init.unwrap_or(span / 1000.0).min(dt_max);
+
+        // Breakpoints inside the horizon.
+        let mut breakpoints: Vec<f64> = self
+            .breakpoints()
+            .into_iter()
+            .filter(|&t| t > t0 && t < tf)
+            .collect();
+        breakpoints.push(tf);
+        let mut next_bp = 0usize;
+
+        // Initial condition.
+        self.init_transient(ws, t0, &config.dc)?;
+
+        let newton = NewtonConfig::default();
+        // Pre-reserve for the common no-rejection trajectory: the step
+        // ramps from dt to dt_max, then cruises at dt_max between
+        // breakpoints.
+        let estimate = (span / dt_max).ceil() as usize + breakpoints.len() + 16;
+        let mut result = TransientResult {
+            times: Vec::with_capacity(estimate),
+            solutions: Vec::with_capacity(estimate),
+        };
+        result.times.push(t0);
+        result.solutions.push(ws.solution().to_vec());
+
+        let mut t = t0;
+        // Force a BE step right after t0 and after every breakpoint
+        // when using the trapezoidal rule.
+        let mut be_restart = true;
+
+        while t < tf - 1e-15 * span {
+            // Do not step over the next breakpoint.
+            while breakpoints[next_bp] <= t + 1e-15 * span {
+                next_bp += 1;
+            }
+            let target = breakpoints[next_bp];
+            let mut h = dt.min(target - t).min(dt_max);
+            let hits_breakpoint = t + h >= target - 1e-15 * span;
+            if hits_breakpoint {
+                h = target - t;
+            }
+
+            let mode = match (config.integrator, be_restart) {
+                (Integrator::BackwardEuler, _) | (Integrator::Trapezoidal, true) => {
+                    IntegMode::BackwardEuler { h }
+                }
+                (Integrator::Trapezoidal, false) => IntegMode::Trapezoidal { h },
+            };
+
+            let t_new = t + h;
+            let solved = self.solve_trial(ws, t_new, mode, &newton);
+
+            let accepted = match solved {
+                Ok(()) => {
+                    let max_dv = ws.x_try[..self.n_nodes]
+                        .iter()
+                        .zip(&ws.x[..self.n_nodes])
+                        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+                    max_dv <= config.dv_max || h <= config.dt_min * 4.0
+                }
+                Err(SpiceError::SingularMatrix) => return Err(SpiceError::SingularMatrix),
+                Err(_) => false,
+            };
+
+            if accepted {
+                self.refresh_states(ws, true);
+                ws.accept_trial();
+                t = t_new;
+                result.times.push(t);
+                result.solutions.push(ws.solution().to_vec());
+                be_restart = hits_breakpoint && config.integrator == Integrator::Trapezoidal;
+                dt = (dt * 1.4).min(dt_max);
+            } else {
+                dt = h / 2.0;
+                if dt < config.dt_min {
+                    return Err(SpiceError::StepUnderflow { time: t, dt });
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
 /// Runs a transient analysis over `[t0, tf]`.
 ///
-/// The initial condition is the DC operating point at `t0`. Steps are
-/// chosen adaptively: halved on Newton failure or on node-voltage
-/// jumps beyond `dv_max`, grown gently after successes, and always
-/// landing exactly on every PWL-source breakpoint.
+/// Compiles the circuit on the fly; callers running the same circuit
+/// repeatedly should compile once and use
+/// [`CompiledCircuit::run_transient`] with a persistent
+/// [`NewtonWorkspace`].
 ///
 /// # Errors
 ///
@@ -212,96 +344,9 @@ pub fn run_transient(
     tf: f64,
     config: &TransientConfig,
 ) -> Result<TransientResult, SpiceError> {
-    assert!(tf > t0, "transient horizon must be non-empty");
-    let span = tf - t0;
-    let dt_max = config.dt_max.unwrap_or(span / 50.0);
-    let mut dt = config.dt_init.unwrap_or(span / 1000.0).min(dt_max);
-
-    // Breakpoints inside the horizon.
-    let mut breakpoints: Vec<f64> = ckt
-        .breakpoints()
-        .into_iter()
-        .filter(|&t| t > t0 && t < tf)
-        .collect();
-    breakpoints.push(tf);
-    let mut next_bp = 0usize;
-
-    // Initial condition.
-    let mut x = dc_operating_point(ckt, t0, &config.dc)?;
-    let mut cap_states = vec![CapState::default(); ckt.cap_state_count];
-    // Seed capacitor voltages from the DC solution (zero current).
-    update_cap_states(
-        ckt,
-        &x,
-        IntegMode::BackwardEuler { h: 1.0 },
-        &mut cap_states,
-    );
-    for s in cap_states.iter_mut() {
-        s.i_prev = 0.0;
-    }
-
-    let newton = NewtonConfig::default();
-    let mut result = TransientResult {
-        times: vec![t0],
-        solutions: vec![x.clone()],
-    };
-
-    let mut t = t0;
-    // Force a BE step right after t0 and after every breakpoint when
-    // using the trapezoidal rule.
-    let mut be_restart = true;
-
-    while t < tf - 1e-15 * span {
-        // Do not step over the next breakpoint.
-        while breakpoints[next_bp] <= t + 1e-15 * span {
-            next_bp += 1;
-        }
-        let target = breakpoints[next_bp];
-        let mut h = dt.min(target - t).min(dt_max);
-        let hits_breakpoint = t + h >= target - 1e-15 * span;
-        if hits_breakpoint {
-            h = target - t;
-        }
-
-        let mode = match (config.integrator, be_restart) {
-            (Integrator::BackwardEuler, _) | (Integrator::Trapezoidal, true) => {
-                IntegMode::BackwardEuler { h }
-            }
-            (Integrator::Trapezoidal, false) => IntegMode::Trapezoidal { h },
-        };
-
-        let mut x_try = x.clone();
-        let t_new = t + h;
-        let solved = newton_solve(ckt, &mut x_try, t_new, mode, &cap_states, 1.0, 0.0, &newton);
-
-        let accepted = match solved {
-            Ok(()) => {
-                let max_dv = x_try[..ckt.node_count()]
-                    .iter()
-                    .zip(&x[..ckt.node_count()])
-                    .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
-                max_dv <= config.dv_max || h <= config.dt_min * 4.0
-            }
-            Err(SpiceError::SingularMatrix) => return Err(SpiceError::SingularMatrix),
-            Err(_) => false,
-        };
-
-        if accepted {
-            update_cap_states(ckt, &x_try, mode, &mut cap_states);
-            x = x_try;
-            t = t_new;
-            result.times.push(t);
-            result.solutions.push(x.clone());
-            be_restart = hits_breakpoint && config.integrator == Integrator::Trapezoidal;
-            dt = (dt * 1.4).min(dt_max);
-        } else {
-            dt = h / 2.0;
-            if dt < config.dt_min {
-                return Err(SpiceError::StepUnderflow { time: t, dt });
-            }
-        }
-    }
-    Ok(result)
+    let compiled = CompiledCircuit::compile(ckt);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled.run_transient(&mut ws, t0, tf, config)
 }
 
 #[cfg(test)]
@@ -452,5 +497,29 @@ mod tests {
         assert!(id.eval(1e-9).abs() < 1e-9, "off before the step");
         assert!(id.eval(5e-9) > 1e-5, "conducting after the step");
         assert!((vgs.eval(5e-9) - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compiled_rerun_on_a_reused_workspace_is_bit_identical() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Source::Pwl(Pwl::step(0.0, 1.0, 1e-9, 1e-12).unwrap()),
+        );
+        ckt.resistor(vin, vout, 1e3);
+        ckt.capacitor(vout, Circuit::GROUND, 1e-12);
+        let config = TransientConfig::default();
+        let reference = run_transient(&ckt, 0.0, 4e-9, &config).unwrap();
+
+        let compiled = CompiledCircuit::compile(&ckt);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        let first = compiled.run_transient(&mut ws, 0.0, 4e-9, &config).unwrap();
+        // Second run on the now-dirty workspace must match exactly.
+        let second = compiled.run_transient(&mut ws, 0.0, 4e-9, &config).unwrap();
+        assert_eq!(reference, first);
+        assert_eq!(reference, second);
     }
 }

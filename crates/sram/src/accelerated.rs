@@ -66,7 +66,7 @@ fn writes_ok(
 /// Multisects the minimum word-line window (fraction of the cycle) for
 /// error-free writes, for both the clean and the RTN-injected cell.
 ///
-/// Each round places [`PROBES_PER_ROUND`] equispaced windows inside the
+/// Each round places `PROBES_PER_ROUND` equispaced windows inside the
 /// current bracket and evaluates them concurrently according to
 /// `base.parallelism` — every probe is a full two-pass SPICE run, so
 /// this is where the wall-clock goes. The probe grid depends only on

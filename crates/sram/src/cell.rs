@@ -245,7 +245,7 @@ impl SramCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samurai_spice::{dc_operating_point, DcConfig};
+    use samurai_spice::{CompiledCircuit, DcConfig, NewtonWorkspace};
 
     #[test]
     fn cell_has_expected_structure() {
@@ -277,8 +277,11 @@ mod tests {
     #[test]
     fn cell_holds_both_states_with_wl_low() {
         // DC with WL low and a nudge on the initial guess: bistable.
+        // One compiled circuit and workspace solve both states.
+        let cell = SramCell::new(SramCellParams::default());
+        let compiled = CompiledCircuit::compile(&cell.circuit);
+        let mut ws = NewtonWorkspace::new(&compiled);
         for (q0, expect_q_high) in [(1.1, true), (0.0, false)] {
-            let cell = SramCell::new(SramCellParams::default());
             let mut guess = vec![0.0; cell.circuit.node_count()];
             guess[cell.vdd_node.unknown_index().unwrap()] = 1.1;
             guess[cell.q.unknown_index().unwrap()] = q0;
@@ -287,8 +290,8 @@ mod tests {
                 initial_guess: Some(guess),
                 ..DcConfig::default()
             };
-            let x = dc_operating_point(&cell.circuit, 0.0, &config).unwrap();
-            let vq = x[cell.q.unknown_index().unwrap()];
+            compiled.dc_operating_point(&mut ws, 0.0, &config).unwrap();
+            let vq = ws.solution()[cell.q.unknown_index().unwrap()];
             if expect_q_high {
                 assert!(vq > 1.0, "Q should hold high, got {vq}");
             } else {

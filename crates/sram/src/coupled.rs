@@ -175,7 +175,7 @@ pub fn run_coupled(
                 MosType::Nmos => vg - vd.min(vs),
                 MosType::Pmos => vd.max(vs) - vg,
             };
-            let i_d = stepper.mosfet_current(&cell.circuit, element)?;
+            let i_d = stepper.mosfet_current(element)?;
 
             let rng = &mut rngs[tr.index()];
             let mut filled = 0.0;
@@ -192,11 +192,13 @@ pub fn run_coupled(
             let n_tot = device.carrier_count(v_gs).max(1.0);
             let fraction = (filled / n_tot).min(1.0);
             let i_rtn = i_d * fraction * base.rtn_scale;
-            cell.set_rtn_source(tr, Source::Dc(i_rtn));
+            // Write into the stepper's compiled circuit: the stepper
+            // owns its own lowered copy of the netlist.
+            stepper.set_source(cell.rtn_source(tr), Source::Dc(i_rtn))?;
         }
 
         // 2. Advance the circuit.
-        stepper.step(&cell.circuit, config.dt)?;
+        stepper.step(config.dt)?;
         q_points.push((stepper.time(), stepper.voltage(cell.q)));
         qb_points.push((stepper.time(), stepper.voltage(cell.qb)));
     }

@@ -8,7 +8,7 @@
 //! and raise the DRV. Together with [`crate::snm`] this quantifies, on
 //! an actual cell, the Fig 2 claim that RTN eats the low-V_dd margin.
 
-use samurai_spice::{dc_operating_point, DcConfig};
+use samurai_spice::{CompiledCircuit, DcConfig, NewtonWorkspace};
 
 use crate::{SramCell, SramCellParams, SramError};
 
@@ -37,20 +37,24 @@ impl HoldProbe {
 ///
 /// Propagates DC convergence failures.
 pub fn probe_hold(params: &SramCellParams, vdd: f64) -> Result<HoldProbe, SramError> {
-    let solve = |q0: f64| -> Result<f64, SramError> {
-        let mut p = *params;
-        p.vdd = vdd;
-        let cell = SramCell::new(p);
+    // One cell, one compiled circuit, one workspace for both seeds.
+    let mut p = *params;
+    p.vdd = vdd;
+    let cell = SramCell::new(p);
+    let compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    let q_idx = cell.q.unknown_index().expect("q is not ground");
+    let mut solve = |q0: f64| -> Result<f64, SramError> {
         let mut guess = vec![0.0; cell.circuit.node_count()];
         guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
-        guess[cell.q.unknown_index().expect("q is not ground")] = q0;
+        guess[q_idx] = q0;
         guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0;
         let config = DcConfig {
             initial_guess: Some(guess),
             ..DcConfig::default()
         };
-        let x = dc_operating_point(&cell.circuit, 0.0, &config)?;
-        Ok(x[cell.q.unknown_index().expect("q is not ground")])
+        compiled.dc_operating_point(&mut ws, 0.0, &config)?;
+        Ok(ws.solution()[q_idx])
     };
     Ok(HoldProbe {
         vdd,

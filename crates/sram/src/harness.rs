@@ -7,7 +7,7 @@ use samurai_core::{BiasWaveforms, Parallelism, RtnGenerator, SeedStream};
 use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState};
 use samurai_waveform::{BitPattern, Pwc, Pwl};
 
-use samurai_spice::{run_transient, Source, TransientConfig};
+use samurai_spice::{CompiledCircuit, NewtonWorkspace, Source, TransientConfig};
 
 use crate::{
     analyze_writes, build_write_waveforms, SramCell, SramCellParams, SramError, Transistor,
@@ -178,8 +178,13 @@ pub fn run_methodology(
     let tf = config.timing.duration(pattern.len());
     let spice_config = TransientConfig::default();
 
+    // One compiled circuit and workspace serve both SPICE passes; only
+    // the RTN sources are rewritten in between.
+    let mut compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+
     // Pass 1: RTN-free.
-    let pass1 = run_transient(&cell.circuit, t0, tf, &spice_config)?;
+    let pass1 = compiled.run_transient(&mut ws, t0, tf, &spice_config)?;
     let q_clean = pass1.voltage(&cell.circuit, "q")?;
     let qb_clean = pass1.voltage(&cell.circuit, "qb")?;
     let outcomes_clean = analyze_writes(&q_clean, pattern, &config.timing);
@@ -239,12 +244,14 @@ pub fn run_methodology(
 
     // Pass 2: inject the (scaled) RTN currents and re-simulate.
     for data in &rtn_data {
-        cell.set_rtn_source(
-            data.transistor,
-            pwc_to_source(&data.i_rtn, config.rtn_scale),
-        );
+        compiled
+            .set_source(
+                cell.rtn_source(data.transistor),
+                pwc_to_source(&data.i_rtn, config.rtn_scale),
+            )
+            .expect("rtn source id is valid by construction");
     }
-    let pass2 = run_transient(&cell.circuit, t0, tf, &spice_config)?;
+    let pass2 = compiled.run_transient(&mut ws, t0, tf, &spice_config)?;
     let q_rtn = pass2.voltage(&cell.circuit, "q")?;
     let qb_rtn = pass2.voltage(&cell.circuit, "qb")?;
     let outcomes = analyze_writes(&q_rtn, pattern, &config.timing);

@@ -11,7 +11,7 @@
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
 use samurai_waveform::{Pwc, Pwl};
 
-use samurai_spice::{run_transient, Source, TransientConfig};
+use samurai_spice::{CompiledCircuit, NewtonWorkspace, Source, TransientConfig};
 
 use crate::harness::{pwc_to_source, trap_device, MethodologyConfig};
 use crate::{SramCell, SramError, Transistor, WriteTiming};
@@ -63,8 +63,12 @@ pub fn run_read_disturb(
 
     let spice_config = TransientConfig::default();
 
+    // Compile once; both passes share the workspace.
+    let mut compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+
     // Pass 1: RTN-free (bias extraction).
-    let pass1 = run_transient(&cell.circuit, 0.0, tf, &spice_config)?;
+    let pass1 = compiled.run_transient(&mut ws, 0.0, tf, &spice_config)?;
 
     // SAMURAI per transistor, as in the write methodology.
     let seeds = SeedStream::new(config.seed);
@@ -88,12 +92,17 @@ pub fn run_read_disturb(
             .with_seed(profile_seeds.substream(7).seed())
             .with_current_oversample(config.current_oversample);
         let rtn = generator.generate(&bias, 0.0, tf)?;
-        cell.set_rtn_source(t, pwc_to_source(&rtn.i_rtn, config.rtn_scale));
+        compiled
+            .set_source(
+                cell.rtn_source(t),
+                pwc_to_source(&rtn.i_rtn, config.rtn_scale),
+            )
+            .expect("rtn source id is valid by construction");
         injected.push(rtn.i_rtn);
     }
 
     // Pass 2: with RTN.
-    let pass2 = run_transient(&cell.circuit, 0.0, tf, &spice_config)?;
+    let pass2 = compiled.run_transient(&mut ws, 0.0, tf, &spice_config)?;
     let q = pass2.voltage(&cell.circuit, "q")?;
     let qb = pass2.voltage(&cell.circuit, "qb")?;
     let final_q = q.eval(tf * (1.0 - 1e-6));

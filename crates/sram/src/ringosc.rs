@@ -9,7 +9,9 @@
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
 use samurai_waveform::Pwl;
 
-use samurai_spice::{run_transient, Circuit, ElementId, MosfetParams, Source, TransientConfig};
+use samurai_spice::{
+    Circuit, CompiledCircuit, ElementId, MosfetParams, NewtonWorkspace, Source, TransientConfig,
+};
 
 use crate::harness::pwc_to_source;
 use crate::SramError;
@@ -165,14 +167,19 @@ fn periods_from_crossings(crossings: &[f64]) -> Vec<f64> {
 ///
 /// Propagates simulation failures.
 pub fn run_ring(config: &RingConfig) -> Result<RingReport, SramError> {
-    let mut ring = build_ring(config);
+    let ring = build_ring(config);
     let spice_config = TransientConfig {
         dt_max: Some(config.horizon / 600.0),
         ..TransientConfig::default()
     };
 
+    // Compile once; both passes share the workspace and only the RTN
+    // sources change in between.
+    let mut compiled = CompiledCircuit::compile(&ring.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+
     // Pass 1: clean ring.
-    let pass1 = run_transient(&ring.circuit, 0.0, config.horizon, &spice_config)?;
+    let pass1 = compiled.run_transient(&mut ws, 0.0, config.horizon, &spice_config)?;
     let v0_clean = pass1.voltage(&ring.circuit, "n0")?;
     let level = config.vdd / 2.0;
     let scan_dt = config.horizon / 20_000.0;
@@ -200,12 +207,11 @@ pub fn run_ring(config: &RingConfig) -> Result<RingReport, SramError> {
             .with_seed(stream.substream(7).seed())
             .with_current_oversample(64);
         let rtn = generator.generate(&bias, 0.0, config.horizon)?;
-        ring.circuit
-            .set_source(source_id, pwc_to_source(&rtn.i_rtn, config.rtn_scale))?;
+        compiled.set_source(source_id, pwc_to_source(&rtn.i_rtn, config.rtn_scale))?;
     }
 
     // Pass 2: ring with RTN.
-    let pass2 = run_transient(&ring.circuit, 0.0, config.horizon, &spice_config)?;
+    let pass2 = compiled.run_transient(&mut ws, 0.0, config.horizon, &spice_config)?;
     let v0 = pass2.voltage(&ring.circuit, "n0")?;
     let crossings_rtn = rising_crossings(&v0, level, 0.0, config.horizon, scan_dt, settle);
     let periods_rtn = periods_from_crossings(&crossings_rtn);

@@ -10,8 +10,8 @@
 //! designer would ask for ("harden M5 first"), complementing the
 //! transient methodology's pass/fail verdicts.
 
-use samurai_spice::ac::{run_ac, Phasor};
-use samurai_spice::DcConfig;
+use samurai_spice::ac::Phasor;
+use samurai_spice::{CompiledCircuit, DcConfig, NewtonWorkspace};
 
 use crate::{SramCell, SramCellParams, SramError, Transistor};
 
@@ -93,9 +93,12 @@ pub fn rtn_sensitivity(
         .map(|i| f_min * (f_max / f_min).powf(i as f64 / (n - 1) as f64))
         .collect();
 
+    // One compiled circuit and workspace serve all six port sweeps.
+    let compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
     let mut ports = Vec::with_capacity(6);
     for t in Transistor::ALL {
-        let ac = run_ac(&cell.circuit, cell.rtn_source(t), &freqs, &dc)?;
+        let ac = compiled.run_ac(&mut ws, cell.rtn_source(t), &freqs, &dc)?;
         let transfer = ac.transfer(&cell.circuit, "q")?;
         let dc_transimpedance = transfer[0].magnitude();
         let bandwidth = ac.bandwidth(&cell.circuit, "q")?;

@@ -16,7 +16,7 @@
 //! each butterfly lobe (the standard 45°-rotation construction), taking
 //! the smaller lobe.
 
-use samurai_spice::{dc_operating_point, Circuit, DcConfig, MosfetParams, Source};
+use samurai_spice::{Circuit, CompiledCircuit, DcConfig, MosfetParams, NewtonWorkspace, Source};
 
 use crate::{SramCellParams, SramError, Transistor};
 
@@ -111,51 +111,62 @@ fn sweep_vtc(
         )
     };
 
+    // Build the half-cell once; the sweep rewrites only the input
+    // source on the compiled circuit and warm-starts each point from
+    // the previous solution in one shared workspace.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource(vdd, Circuit::GROUND, Source::Dc(vdd_v));
+    let a = ckt.node("in");
+    let vin_src = ckt.vsource(a, Circuit::GROUND, Source::Dc(0.0));
+    let y = ckt.node("out");
+    ckt.mosfet(
+        y,
+        a,
+        Circuit::GROUND,
+        MosfetParams::nmos_90nm(params.pulldown_w).with_vth_shift(pd_shift),
+    );
+    ckt.mosfet(
+        y,
+        a,
+        vdd,
+        MosfetParams::pmos_90nm(params.pullup_w).with_vth_shift(pu_shift),
+    );
+    if mode == SnmMode::Read {
+        // Pass transistor to a V_dd-precharged bit line, gate high.
+        let bl = ckt.node("bl");
+        ckt.vsource(bl, Circuit::GROUND, Source::Dc(vdd_v));
+        let wl = ckt.node("wl");
+        ckt.vsource(wl, Circuit::GROUND, Source::Dc(vdd_v));
+        ckt.mosfet(
+            bl,
+            wl,
+            y,
+            MosfetParams::nmos_90nm(params.pass_w).with_vth_shift(pass_shift),
+        );
+    }
+    let out_idx = ckt
+        .find_node("out")?
+        .unknown_index()
+        .expect("out is not ground");
+
+    let mut compiled = CompiledCircuit::compile(&ckt);
+    let mut ws = NewtonWorkspace::new(&compiled);
     let mut input = Vec::with_capacity(points);
     let mut output = Vec::with_capacity(points);
     let mut guess: Option<Vec<f64>> = None;
     for i in 0..points {
         let vin = vdd_v * i as f64 / (points - 1) as f64;
-        let mut ckt = Circuit::new();
-        let vdd = ckt.node("vdd");
-        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(vdd_v));
-        let a = ckt.node("in");
-        ckt.vsource(a, Circuit::GROUND, Source::Dc(vin));
-        let y = ckt.node("out");
-        ckt.mosfet(
-            y,
-            a,
-            Circuit::GROUND,
-            MosfetParams::nmos_90nm(params.pulldown_w).with_vth_shift(pd_shift),
-        );
-        ckt.mosfet(
-            y,
-            a,
-            vdd,
-            MosfetParams::pmos_90nm(params.pullup_w).with_vth_shift(pu_shift),
-        );
-        if mode == SnmMode::Read {
-            // Pass transistor to a V_dd-precharged bit line, gate high.
-            let bl = ckt.node("bl");
-            ckt.vsource(bl, Circuit::GROUND, Source::Dc(vdd_v));
-            let wl = ckt.node("wl");
-            ckt.vsource(wl, Circuit::GROUND, Source::Dc(vdd_v));
-            ckt.mosfet(
-                bl,
-                wl,
-                y,
-                MosfetParams::nmos_90nm(params.pass_w).with_vth_shift(pass_shift),
-            );
-        }
+        compiled
+            .set_source(vin_src, Source::Dc(vin))
+            .expect("vin source id is valid by construction");
         let config = DcConfig {
             initial_guess: guess.clone(),
             ..DcConfig::default()
         };
-        let x = dc_operating_point(&ckt, 0.0, &config)?;
-        let vy = x[ckt
-            .find_node("out")?
-            .unknown_index()
-            .expect("out is not ground")];
+        compiled.dc_operating_point(&mut ws, 0.0, &config)?;
+        let x = ws.solution();
+        let vy = x[out_idx];
         // Warm-start the next sweep point for monotone convergence.
         guess = Some(x[..ckt.node_count()].to_vec());
         input.push(vin);

@@ -1,0 +1,221 @@
+//! Golden-equivalence suite: the compiled-circuit engine must be
+//! bit-identical to the pre-refactor per-run engine on the 6T cell and
+//! ring-oscillator netlists. The reference hashes below were captured
+//! from the seed engine at commit 9b7ccb3, before the compile-once
+//! refactor landed — any single-bit drift in solver behaviour fails
+//! these tests.
+
+use samurai::spice::{
+    dc_operating_point, run_transient, Circuit, CompiledCircuit, DcConfig, DenseMatrix,
+    MosfetParams, NewtonWorkspace, NodeId, Source, SpiceError, TransientConfig,
+};
+use samurai::sram::{SramCell, SramCellParams};
+use samurai::waveform::Pwl;
+
+/// FNV-1a over the little-endian bytes of each word: a stable
+/// fingerprint of an f64 sequence, sensitive to any single-bit change.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn hash_vec(x: &[f64]) -> u64 {
+    fnv1a(x.iter().map(|v| v.to_bits()))
+}
+
+/// Hash of every node waveform of a transient result, in the given
+/// node-name order (covers both the time base and every sample).
+fn hash_voltages(res: &samurai::spice::TransientResult, ckt: &Circuit, names: &[&str]) -> u64 {
+    let mut words: Vec<u64> = Vec::new();
+    for name in names {
+        let w = res.voltage(ckt, name).expect("node exists");
+        for &(_, v) in w.points() {
+            words.push(v.to_bits());
+        }
+    }
+    fnv1a(words)
+}
+
+/// The 6T cell holding a 1, with the DC guess the cell tests use.
+fn holding_cell() -> (SramCell, DcConfig) {
+    let vdd = SramCellParams::default().vdd;
+    let cell = SramCell::new(SramCellParams::default());
+    let mut guess = vec![0.0; cell.circuit.node_count()];
+    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+    guess[cell.q.unknown_index().expect("q is not ground")] = vdd;
+    let dc = DcConfig {
+        initial_guess: Some(guess),
+        ..DcConfig::default()
+    };
+    (cell, dc)
+}
+
+/// The 6T cell set up for a "write 1 into a stored 0" transient.
+fn write_cell() -> (SramCell, TransientConfig) {
+    let vdd = SramCellParams::default().vdd;
+    let mut cell = SramCell::new(SramCellParams::default());
+    cell.set_wl(Source::Pwl(
+        Pwl::pulse(0.0, vdd, 0.2e-9, 1.2e-9, 0.05e-9, 0.05e-9).expect("static pulse"),
+    ));
+    cell.set_bl(Source::Dc(vdd));
+    cell.set_blb(Source::Dc(0.0));
+    let mut guess = vec![0.0; cell.circuit.node_count()];
+    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+    guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd;
+    let config = TransientConfig {
+        dc: DcConfig {
+            initial_guess: Some(guess),
+            ..DcConfig::default()
+        },
+        ..TransientConfig::default()
+    };
+    (cell, config)
+}
+
+/// A 3-stage ring oscillator with a kick-start current pulse.
+fn ring_oscillator() -> (Circuit, Vec<NodeId>) {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+    let nodes: Vec<NodeId> = (0..3).map(|i| ckt.node(&format!("n{i}"))).collect();
+    for i in 0..3 {
+        let input = nodes[(i + 2) % 3];
+        let output = nodes[i];
+        ckt.mosfet(output, input, Circuit::GROUND, MosfetParams::nmos_90nm(2.0));
+        ckt.mosfet(output, input, vdd, MosfetParams::pmos_90nm(4.0));
+        ckt.capacitor(output, Circuit::GROUND, 2e-15);
+    }
+    ckt.isource(
+        Circuit::GROUND,
+        nodes[0],
+        Source::Pwl(Pwl::pulse(0.0, 50e-6, 0.1e-9, 0.3e-9, 0.02e-9, 0.02e-9).expect("kick")),
+    );
+    (ckt, nodes)
+}
+
+const WRITE_NODES: [&str; 6] = ["vdd", "wl", "bl", "blb", "q", "qb"];
+const RING_NODES: [&str; 4] = ["vdd", "n0", "n1", "n2"];
+
+#[test]
+fn dcop_matches_the_seed_engine_golden() {
+    let (cell, dc) = holding_cell();
+    let x = dc_operating_point(&cell.circuit, 0.0, &dc).expect("6T dcop solves");
+    assert_eq!(x.len(), 10, "unknown count changed");
+    assert_eq!(
+        hash_vec(&x),
+        0x0a7e_7c8d_f9d7_5441,
+        "6T hold dcop drifted from the seed engine"
+    );
+
+    // The compiled path on a reused (dirty) workspace must agree
+    // bit-for-bit with the compile-per-call wrapper.
+    let compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled.dc_operating_point(&mut ws, 0.0, &dc).unwrap();
+    let first = ws.solution().to_vec();
+    compiled.dc_operating_point(&mut ws, 0.0, &dc).unwrap();
+    assert_eq!(first, x, "compiled dcop differs from the wrapper");
+    assert_eq!(ws.solution(), &x[..], "dirty-workspace rerun drifted");
+}
+
+#[test]
+fn write_transient_matches_the_seed_engine_golden() {
+    let (cell, config) = write_cell();
+    let res = run_transient(&cell.circuit, 0.0, 2e-9, &config).expect("6T write solves");
+    assert_eq!(res.len(), 94, "accepted-step count changed");
+    let q = res.voltage(&cell.circuit, "q").expect("q exists");
+    assert_eq!(
+        q.eval(2e-9).to_bits(),
+        0x3ff1_9999_0f25_86b7,
+        "final Q voltage drifted from the seed engine"
+    );
+    assert_eq!(
+        fnv1a(res.times().iter().map(|t| t.to_bits())),
+        0x7b31_3015_203c_e760,
+        "time base drifted from the seed engine"
+    );
+    assert_eq!(
+        hash_voltages(&res, &cell.circuit, &WRITE_NODES),
+        0x1e9a_e930_5a35_303b,
+        "node waveforms drifted from the seed engine"
+    );
+}
+
+#[test]
+fn ring_transient_matches_the_seed_engine_golden() {
+    let (ring, _) = ring_oscillator();
+    let res = run_transient(&ring, 0.0, 5e-9, &TransientConfig::default()).expect("ring solves");
+    assert_eq!(res.len(), 640, "accepted-step count changed");
+    assert_eq!(
+        fnv1a(res.times().iter().map(|t| t.to_bits())),
+        0x58c3_dcb8_4a99_545d,
+        "time base drifted from the seed engine"
+    );
+    assert_eq!(
+        hash_voltages(&res, &ring, &RING_NODES),
+        0x3be0_f436_a669_0dda,
+        "node waveforms drifted from the seed engine"
+    );
+}
+
+#[test]
+fn compiled_transients_on_a_reused_workspace_match_the_wrapper() {
+    // Write cell and ring: the compile-once path, run twice on one
+    // workspace (the second run starts dirty), must equal the
+    // compile-per-call wrapper exactly.
+    let (cell, config) = write_cell();
+    let reference = run_transient(&cell.circuit, 0.0, 2e-9, &config).unwrap();
+    let compiled = CompiledCircuit::compile(&cell.circuit);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    let first = compiled.run_transient(&mut ws, 0.0, 2e-9, &config).unwrap();
+    let second = compiled.run_transient(&mut ws, 0.0, 2e-9, &config).unwrap();
+    assert_eq!(first, reference, "compiled write differs from the wrapper");
+    assert_eq!(second, reference, "dirty-workspace write rerun drifted");
+
+    let (ring, _) = ring_oscillator();
+    let config = TransientConfig::default();
+    let reference = run_transient(&ring, 0.0, 5e-9, &config).unwrap();
+    let compiled = CompiledCircuit::compile(&ring);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    let first = compiled.run_transient(&mut ws, 0.0, 5e-9, &config).unwrap();
+    let second = compiled.run_transient(&mut ws, 0.0, 5e-9, &config).unwrap();
+    assert_eq!(first, reference, "compiled ring differs from the wrapper");
+    assert_eq!(second, reference, "dirty-workspace ring rerun drifted");
+}
+
+#[test]
+fn singular_lu_reports_singular_matrix() {
+    // A rank-deficient 2x2 system must be rejected by the LU kernel.
+    let mut m = DenseMatrix::zeros(2, 2);
+    m.set(0, 0, 1.0);
+    m.set(0, 1, 2.0);
+    m.set(1, 0, 2.0);
+    m.set(1, 1, 4.0);
+    let mut rhs = [1.0, 0.0];
+    assert_eq!(m.solve_in_place(&mut rhs), Err(SpiceError::SingularMatrix));
+}
+
+#[test]
+fn structurally_singular_circuit_reports_singular_matrix() {
+    // Two voltage sources in parallel on one node: the two branch rows
+    // of the MNA system are identical, so every homotopy stage hits a
+    // singular Jacobian and the dcop must surface SingularMatrix (not
+    // NonConvergence, and not a bogus solution).
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
+    ckt.vsource(a, Circuit::GROUND, Source::Dc(2.0));
+    let err = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap_err();
+    assert_eq!(err, SpiceError::SingularMatrix);
+
+    // The transient path initialises through the same dcop and must
+    // propagate the same error.
+    let err = run_transient(&ckt, 0.0, 1e-9, &TransientConfig::default()).unwrap_err();
+    assert_eq!(err, SpiceError::SingularMatrix);
+}
