@@ -7,10 +7,15 @@ set -eux
 cargo build --workspace --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# Project invariants (determinism / hot-loop purity / hygiene / unsafe
+# audit): any finding fails the build, and the fixture self-check
+# proves the analyzer itself still trips on every rule.
+cargo run -q -p samurai-lint --release -- --deny
+cargo run -q -p samurai-lint --release -- --self-check
 cargo fmt --check
 cargo bench --workspace --no-run
 # Doc lint wall over the first-party crates (vendored stubs excluded).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p samurai-units -p samurai-waveform -p samurai-trap -p samurai-core \
     -p samurai-analysis -p samurai-spice -p samurai-sram -p samurai-bench \
-    -p samurai
+    -p samurai -p samurai-lint

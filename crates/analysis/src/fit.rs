@@ -37,6 +37,7 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "x values are all identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
+    // lint: allow(HYG004): exact zero variance selects the degenerate-fit sentinel
     let r_squared = if syy == 0.0 {
         1.0
     } else {

@@ -86,7 +86,7 @@ pub fn ks_statistic_exponential(sample: &[f64], rate: f64) -> f64 {
     assert!(!sample.is_empty(), "empty sample");
     assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {

@@ -103,7 +103,7 @@ pub fn detect_levels(trace: &Trace, k: usize) -> LevelFit {
     let x = trace.values();
     assert!(x.len() >= k, "more levels than samples");
     let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
 
     // Quantile initialisation.
     let mut levels: Vec<f64> = (0..k)
@@ -147,13 +147,13 @@ pub fn detect_levels(trace: &Trace, k: usize) -> LevelFit {
     }
 
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| levels[a].partial_cmp(&levels[b]).expect("finite levels"));
+    order.sort_by(|&a, &b| levels[a].total_cmp(&levels[b]));
     let sorted_levels: Vec<f64> = order.iter().map(|&c| levels[c]).collect();
     let mut weights = vec![0.0f64; k];
     let mut distortion = 0.0;
     for (n, &v) in x.iter().enumerate() {
         let c = assignments[n];
-        let rank = order.iter().position(|&o| o == c).expect("rank exists");
+        let rank = order.iter().position(|&o| o == c).expect("rank exists"); // lint: allow(HYG002): `order` is a permutation of the cluster ids
         weights[rank] += 1.0;
         distortion += (v - levels[c]) * (v - levels[c]);
     }

@@ -41,7 +41,7 @@ impl BiasWaveforms {
             .breakpoint_times()
             .chain(self.i_d.breakpoint_times())
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoint times"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         times
     }

@@ -160,6 +160,10 @@ where
     let workers = parallelism.workers().min(shards);
 
     // One shard's fold: jobs [shard*width, ...) in index order.
+    // lint: hot-loop
+    // Runs once per Monte-Carlo job on every worker thread; the
+    // accumulator is the only storage and is made exactly once per
+    // shard.
     let fold_shard = |shard: usize| -> Result<A, E> {
         let lo = shard * width;
         let hi = (lo + width).min(jobs);
@@ -169,6 +173,7 @@ where
         }
         Ok(acc)
     };
+    // lint: end-hot-loop
 
     if workers <= 1 {
         // Legacy sequential path: same shard structure and merge order
@@ -181,7 +186,7 @@ where
                 Some(t) => t.merge(acc),
             }
         }
-        return Ok(total.expect("jobs > 0 implies at least one shard"));
+        return Ok(total.expect("jobs > 0 implies at least one shard")); // lint: allow(HYG002): guarded by the jobs > 0 check above
     }
 
     // Threaded path: workers race for shard indices on an atomic
@@ -215,7 +220,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("ensemble worker panicked"))
+            .map(|h| h.join().expect("ensemble worker panicked")) // lint: allow(HYG002): worker panics are deliberately propagated
             .collect()
     });
 
@@ -236,7 +241,7 @@ where
     debug_assert_eq!(completed.len(), shards, "every shard reduced exactly once");
     completed.sort_by_key(|(shard, _)| *shard);
     let mut iter = completed.into_iter();
-    let (_, mut total) = iter.next().expect("jobs > 0 implies at least one shard");
+    let (_, mut total) = iter.next().expect("jobs > 0 implies at least one shard"); // lint: allow(HYG002): jobs > 0 implies at least one shard
     for (_, acc) in iter {
         total.merge(acc);
     }

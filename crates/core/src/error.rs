@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use samurai_waveform::WaveformError;
+
 /// Errors from RTN trace generation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -28,6 +30,9 @@ pub enum CoreError {
         /// Time at which the propensity evaluation failed.
         time: f64,
     },
+    /// A generated event sequence failed waveform construction (e.g.
+    /// duplicate or non-monotonic event times from degenerate rates).
+    Waveform(WaveformError),
 }
 
 impl fmt::Display for CoreError {
@@ -43,7 +48,14 @@ impl fmt::Display for CoreError {
             Self::NonFinitePropensity { time } => {
                 write!(f, "propensity evaluation returned a non-finite value at t = {time}")
             }
+            Self::Waveform(e) => write!(f, "generated trace is not a valid waveform: {e}"),
         }
+    }
+}
+
+impl From<WaveformError> for CoreError {
+    fn from(e: WaveformError) -> Self {
+        Self::Waveform(e)
     }
 }
 

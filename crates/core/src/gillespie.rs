@@ -69,7 +69,7 @@ pub fn stationary_ssa<R: Rng + ?Sized>(
         state = state.toggled();
         steps.push((t, state.occupancy()));
     }
-    Ok(Pwc::new(steps).expect("event times are strictly increasing"))
+    Ok(Pwc::new(steps)?)
 }
 
 /// Naive non-stationary SSA: the propensity is evaluated at the moment
@@ -109,7 +109,7 @@ pub fn frozen_rate_ssa<R: Rng + ?Sized>(
         state = state.toggled();
         steps.push((t, state.occupancy()));
     }
-    Ok(Pwc::new(steps).expect("event times are strictly increasing"))
+    Ok(Pwc::new(steps)?)
 }
 
 /// Fixed-time-step Bernoulli discretisation: at each step of length
@@ -155,7 +155,7 @@ pub fn bernoulli_timestep<R: Rng + ?Sized>(
             }
         }
     }
-    Ok(Pwc::new(steps).expect("step times are strictly increasing"))
+    Ok(Pwc::new(steps)?)
 }
 
 #[cfg(test)]

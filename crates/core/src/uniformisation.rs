@@ -92,6 +92,10 @@ pub fn simulate_trap_with<R: Rng + ?Sized>(
     let mut candidates = 0usize;
 
     // Line 6: generate candidates until the horizon is passed.
+    // lint: hot-loop
+    // One iteration per uniformised candidate event — the inner loop of
+    // Algorithm 1. The only permitted growth is the accepted-event
+    // staircase itself.
     loop {
         // Lines 7–9: next candidate from the uniformised (stationary,
         // rate λ*) chain.
@@ -122,14 +126,21 @@ pub fn simulate_trap_with<R: Rng + ?Sized>(
         );
 
         // Lines 15–22: keep the candidate with probability λ_next/λ*.
+        let accept_p = lambda_next / lambda_star;
+        debug_assert!(
+            (0.0..=1.0 + 1e-9).contains(&accept_p),
+            "acceptance probability left [0, 1]: {accept_p} at t = {curr_time}"
+        );
         let keep: f64 = rng.gen();
-        if keep < lambda_next / lambda_star {
+        if keep < accept_p {
             curr_state = curr_state.toggled();
+            // lint: allow(HOT003): the staircase IS the output; amortised O(1)
             steps.push((curr_time, curr_state.occupancy()));
         }
     }
+    // lint: end-hot-loop
 
-    Ok(Pwc::new(steps).expect("event times are strictly increasing"))
+    Ok(Pwc::new(steps)?)
 }
 
 /// Simulates every trap of a device independently (Algorithm 1's outer
@@ -230,10 +241,10 @@ pub fn ensemble_occupancy_with(
         |run| {
             let mut rng = seeds.rng(run as u64);
             let occ = simulate_trap(model, v_gs, t0, tf, &mut rng)?;
-            Ok((0..n).map(|i| occ.eval(t0 + i as f64 * dt)).collect())
+            Ok::<_, CoreError>((0..n).map(|i| occ.eval(t0 + i as f64 * dt)).collect())
         },
     )?;
-    Ok(Trace::new(t0, dt, acc.mean()).expect("grid validated by caller"))
+    Ok(Trace::new(t0, dt, acc.mean())?)
 }
 
 #[cfg(test)]

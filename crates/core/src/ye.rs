@@ -85,7 +85,7 @@ pub fn generate<R: Rng + ?Sized>(
             }
         }
     }
-    Ok(Pwc::new(steps).expect("step times are strictly increasing"))
+    Ok(Pwc::new(steps)?)
 }
 
 fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {

@@ -1,0 +1,10 @@
+//! Allowed counterpart: DET001 suppressed with a justified escape.
+
+// lint: allow(DET001): coarse progress display only, never in results
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_wall_clock() -> f64 {
+    let start = Instant::now(); // lint: allow(DET001): progress display only
+    let _stamp = SystemTime::now(); // lint: allow(DET001): progress display only
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! Allowed counterpart: DET002 suppressed with a justified escape.
+
+pub fn ambient_draw() -> u64 {
+    let mut rng = rand::thread_rng(); // lint: allow(DET002): demo path, results unrecorded
+    rng.gen()
+}

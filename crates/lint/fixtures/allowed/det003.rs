@@ -1,0 +1,8 @@
+//! Allowed counterpart: DET003 suppressed with a justified escape.
+
+pub fn threads_from_env() -> usize {
+    std::env::var("SAMURAI_THREADS") // lint: allow(DET003): worker count only, never results
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

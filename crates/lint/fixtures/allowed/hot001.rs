@@ -1,0 +1,10 @@
+//! Allowed counterpart: HOT001 suppressed with a justified escape.
+
+pub fn residual_labels(rows: usize) -> Vec<f64> {
+    // lint: hot-loop
+    let out = Vec::new(); // lint: allow(HOT001): one-time setup hoisted next refactor
+    let label = format!("rows = {rows}"); // lint: allow(HOT001): cold error path
+    // lint: end-hot-loop
+    drop(label);
+    out
+}

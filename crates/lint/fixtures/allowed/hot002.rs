@@ -1,0 +1,9 @@
+//! Allowed counterpart: HOT002 suppressed with a justified escape.
+
+pub fn copy_per_iteration(xs: &[f64], scratch: &mut Vec<f64>) {
+    // lint: hot-loop
+    *scratch = xs.to_vec(); // lint: allow(HOT002): runs once per shard, not per job
+    let again = scratch.clone(); // lint: allow(HOT002): runs once per shard, not per job
+    // lint: end-hot-loop
+    drop(again);
+}

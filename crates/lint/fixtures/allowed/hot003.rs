@@ -1,0 +1,9 @@
+//! Allowed counterpart: HOT003 suppressed with a justified escape.
+
+pub fn grow(xs: &[f64], out: &mut Vec<f64>) {
+    // lint: hot-loop
+    for &x in xs {
+        out.push(x * 2.0); // lint: allow(HOT003): amortised output accumulation
+    }
+    // lint: end-hot-loop
+}

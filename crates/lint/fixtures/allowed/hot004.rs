@@ -1,0 +1,8 @@
+//! Allowed counterpart: HOT004 suppressed with a justified escape.
+
+pub fn materialise(xs: &[f64]) -> Vec<f64> {
+    // lint: hot-loop
+    let doubled = xs.iter().map(|x| x * 2.0).collect(); // lint: allow(HOT004): output buffer, sized once
+    // lint: end-hot-loop
+    doubled
+}

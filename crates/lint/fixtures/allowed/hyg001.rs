@@ -1,0 +1,5 @@
+//! Allowed counterpart: HYG001 suppressed with a justified escape.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap() // lint: allow(HYG001): caller contract guarantees non-empty
+}

@@ -1,0 +1,5 @@
+//! Allowed counterpart: HYG002 suppressed with a justified escape.
+
+pub fn parse(s: &str) -> f64 {
+    s.parse().expect("caller passes digits") // lint: allow(HYG002): input validated upstream
+}

@@ -1,0 +1,5 @@
+//! Allowed counterpart: HYG004 suppressed with a justified escape.
+
+pub fn is_disabled(gmin: f64) -> bool {
+    gmin == 0.0 // lint: allow(HYG004): exact zero is the disabled sentinel
+}

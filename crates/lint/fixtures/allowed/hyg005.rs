@@ -1,0 +1,5 @@
+//! Allowed counterpart: HYG005 suppressed with a justified escape.
+
+pub fn sort_times(ts: &mut [f64]) {
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)); // lint: allow(HYG005): NaN handled by unwrap_or
+}

@@ -1,0 +1,8 @@
+//! Allowed counterpart: UNS001 satisfied by a SAFETY comment.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    // SAFETY: the caller contract (and the debug_assert above)
+    // guarantees at least one element.
+    unsafe { *xs.get_unchecked(0) }
+}

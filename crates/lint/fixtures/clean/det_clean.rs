@@ -1,0 +1,24 @@
+//! Clean counterpart for the determinism family: ordered collections,
+//! seeded randomness threaded in as a parameter, typed configuration.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn draw(rng: &mut impl rand::Rng) -> u64 {
+    rng.gen()
+}
+
+pub struct Config {
+    pub threads: usize,
+}
+
+pub fn workers(config: &Config) -> usize {
+    config.threads.max(1)
+}

@@ -1,0 +1,15 @@
+//! Clean counterpart for the hot-loop family: the region touches only
+//! preallocated storage; setup and teardown sit outside it.
+
+pub fn axpy_into(alpha: f64, xs: &[f64], ys: &mut [f64]) {
+    // lint: hot-loop
+    for (y, &x) in ys.iter_mut().zip(xs) {
+        *y += alpha * x;
+    }
+    // lint: end-hot-loop
+}
+
+pub fn doubled(xs: &[f64]) -> Vec<f64> {
+    // Allocation outside any hot region is fine.
+    xs.iter().map(|x| x * 2.0).collect()
+}

@@ -1,0 +1,26 @@
+//! Clean counterpart for the hygiene family: errors propagate, float
+//! comparisons use tolerances, ordering uses total_cmp.
+
+pub fn mean(xs: &[f64]) -> Result<f64, &'static str> {
+    if xs.is_empty() {
+        return Err("empty input");
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+pub fn nearly(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() < tol
+}
+
+pub fn sort_times(ts: &mut [f64]) {
+    ts.sort_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules may unwrap freely.
+    #[test]
+    fn mean_of_two() {
+        assert!((super::mean(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

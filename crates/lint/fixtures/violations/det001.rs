@@ -1,0 +1,10 @@
+//! Seeded violation: DET001 — wall-clock reads in library code.
+//! The tilde markers declare the expected findings per line.
+
+use std::time::{Instant, SystemTime}; //~ DET001 //~ DET001
+
+pub fn elapsed_wall_clock() -> f64 {
+    let start = Instant::now(); //~ DET001
+    let _stamp = SystemTime::now(); //~ DET001
+    start.elapsed().as_secs_f64()
+}

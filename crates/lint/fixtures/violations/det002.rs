@@ -1,0 +1,6 @@
+//! Seeded violation: DET002 — ambient randomness in library code.
+
+pub fn ambient_draw() -> u64 {
+    let mut rng = rand::thread_rng(); //~ DET002
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: DET003 — environment access in library code.
+
+pub fn threads_from_env() -> usize {
+    std::env::var("SAMURAI_THREADS") //~ DET003
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: DET004 — unordered collections in a numeric crate.
+
+use std::collections::HashMap; //~ DET004
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, usize> { //~ DET004
+    let mut m = HashMap::new(); //~ DET004
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: HOT001 — heap construction in a hot-loop region.
+
+pub fn residual_labels(rows: usize) -> Vec<f64> {
+    // lint: hot-loop
+    let out = Vec::new(); //~ HOT001
+    let label = format!("rows = {rows}"); //~ HOT001
+    // lint: end-hot-loop
+    drop(label);
+    out
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: HOT002 — buffer copies in a hot-loop region.
+
+pub fn copy_per_iteration(xs: &[f64], scratch: &mut Vec<f64>) {
+    // lint: hot-loop
+    *scratch = xs.to_vec(); //~ HOT002
+    let again = scratch.clone(); //~ HOT002
+    // lint: end-hot-loop
+    drop(again);
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: HOT003 — container growth in a hot-loop region.
+
+pub fn grow(xs: &[f64], out: &mut Vec<f64>) {
+    // lint: hot-loop
+    for &x in xs {
+        out.push(x * 2.0); //~ HOT003
+    }
+    // lint: end-hot-loop
+}

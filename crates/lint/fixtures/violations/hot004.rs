@@ -1,0 +1,8 @@
+//! Seeded violation: HOT004 — collect in a hot-loop region.
+
+pub fn materialise(xs: &[f64]) -> Vec<f64> {
+    // lint: hot-loop
+    let doubled = xs.iter().map(|x| x * 2.0).collect(); //~ HOT004
+    // lint: end-hot-loop
+    doubled
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: HYG001 — unwrap in library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap() //~ HYG001
+}

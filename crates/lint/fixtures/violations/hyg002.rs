@@ -1,0 +1,5 @@
+//! Seeded violation: HYG002 — expect in library code.
+
+pub fn parse(s: &str) -> f64 {
+    s.parse().expect("caller passes digits") //~ HYG002
+}

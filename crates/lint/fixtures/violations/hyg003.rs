@@ -1,0 +1,9 @@
+//! Seeded violation: HYG003 — panicking macro in library code.
+
+pub fn stage(kind: u8) -> &'static str {
+    match kind {
+        0 => "capture",
+        1 => "emission",
+        _ => unreachable!("callers pass 0 or 1"), //~ HYG003
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: HYG004 — float-literal equality.
+
+pub fn is_disabled(gmin: f64) -> bool {
+    gmin == 0.0 //~ HYG004
+}

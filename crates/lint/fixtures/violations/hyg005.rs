@@ -1,0 +1,5 @@
+//! Seeded violation: HYG005 — partial_cmp on floats.
+
+pub fn sort_times(ts: &mut [f64]) {
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)); //~ HYG005
+}

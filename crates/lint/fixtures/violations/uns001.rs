@@ -1,0 +1,5 @@
+//! Seeded violation: UNS001 — unsafe without its audit comment.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) } //~ UNS001
+}

@@ -1,0 +1,300 @@
+//! Per-file lint context: directives, test regions, hot-loop regions.
+//!
+//! Three comment-borne mechanisms parameterise the rule engine:
+//!
+//! * **Allow escapes** — `// lint: allow(RULE1, RULE2): reason`
+//!   suppresses the named rules on exactly one line: a trailing
+//!   directive covers the code on its own line, a standalone comment
+//!   line covers the line immediately after it. The reason after the
+//!   colon is free text but strongly encouraged; the catalog treats an
+//!   allow as a reviewed, justified exception.
+//! * **Hot-loop regions** — `// lint: hot-loop` opens a region in
+//!   which the allocation-freedom rules (`HOT…`) apply;
+//!   `// lint: end-hot-loop` closes it. An unclosed region extends to
+//!   the end of the file (which makes the mistake self-revealing: the
+//!   rest of the file starts tripping HOT rules).
+//! * **SAFETY comments** — any comment containing `SAFETY` (or a
+//!   `# Safety` doc section) within three lines above an `unsafe`
+//!   token satisfies the unsafe-audit rule.
+//!
+//! Test regions are detected from the token stream: `#[cfg(test)]` and
+//! `#[test]` attributes mark the following item (brace-matched) as
+//! test code, where the hygiene and determinism rules do not apply.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::tokenizer::{Comment, Tok, TokKind};
+
+/// Everything the rule engine needs to know about one file beyond its
+/// tokens.
+#[derive(Debug, Default)]
+pub struct FileContext {
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Inclusive line ranges between hot-loop directives.
+    hot_ranges: Vec<(usize, usize)>,
+    /// Lines directly covered by an allow directive, per rule id.
+    allows: BTreeMap<String, BTreeSet<usize>>,
+    /// Lines bearing a SAFETY (or `# Safety`) comment.
+    safety_lines: BTreeSet<usize>,
+}
+
+impl FileContext {
+    /// Builds the context from a file's tokens and comments.
+    pub fn build(toks: &[Tok], comments: &[Comment]) -> Self {
+        let mut ctx = Self::default();
+        let code_lines: BTreeSet<usize> = toks.iter().map(|t| t.line).collect();
+        ctx.scan_comments(comments, &code_lines);
+        ctx.scan_test_regions(toks);
+        ctx
+    }
+
+    /// `true` if `line` is inside test-gated code.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// `true` if `line` is inside a declared hot-loop region.
+    pub fn in_hot(&self, line: usize) -> bool {
+        self.hot_ranges.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// `true` if an allow directive for `rule` covers `line`: a
+    /// trailing directive covers its own line, a standalone comment
+    /// line covers the next line.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// `true` if a SAFETY comment sits on `line` or up to three lines
+    /// above it.
+    pub fn has_safety_near(&self, line: usize) -> bool {
+        (line.saturating_sub(3)..=line).any(|l| self.safety_lines.contains(&l))
+    }
+
+    /// `true` if the file declares at least one hot-loop region.
+    pub fn has_hot_regions(&self) -> bool {
+        !self.hot_ranges.is_empty()
+    }
+
+    fn scan_comments(&mut self, comments: &[Comment], code_lines: &BTreeSet<usize>) {
+        let mut open_hot: Option<usize> = None;
+        for c in comments {
+            let text = c.text.trim();
+            if text.contains("SAFETY") || text.contains("# Safety") {
+                self.safety_lines.insert(c.line);
+            }
+            let Some(rest) = text.strip_prefix("lint:") else {
+                continue;
+            };
+            let directive = rest.trim();
+            if directive == "hot-loop" {
+                if open_hot.is_none() {
+                    open_hot = Some(c.line);
+                }
+            } else if directive == "end-hot-loop" {
+                if let Some(start) = open_hot.take() {
+                    self.hot_ranges.push((start, c.line));
+                }
+            } else if let Some(args) = directive.strip_prefix("allow") {
+                let args = args.trim_start();
+                if let Some(inner) = args.strip_prefix('(').and_then(|a| a.split(')').next()) {
+                    // Trailing directive: covers the code on its own
+                    // line. Standalone comment line: covers the next.
+                    let covered = if code_lines.contains(&c.line) {
+                        c.line
+                    } else {
+                        c.line + 1
+                    };
+                    for rule in inner.split(',') {
+                        let rule = rule.trim();
+                        if !rule.is_empty() {
+                            self.allows
+                                .entry(rule.to_string())
+                                .or_default()
+                                .insert(covered);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(start) = open_hot {
+            // Unclosed region: runs to end of file.
+            self.hot_ranges.push((start, usize::MAX));
+        }
+    }
+
+    /// Finds `#[cfg(test)]` / `#[test]` attributes and brace-matches
+    /// the item that follows each.
+    fn scan_test_regions(&mut self, toks: &[Tok]) {
+        let mut k = 0usize;
+        while k < toks.len() {
+            if !(toks[k].kind == TokKind::Punct && toks[k].text == "#") {
+                k += 1;
+                continue;
+            }
+            let Some(open) = toks.get(k + 1).filter(|t| t.text == "[") else {
+                k += 1;
+                continue;
+            };
+            let _ = open;
+            // Collect the attribute tokens up to the matching `]`.
+            let mut depth = 0usize;
+            let mut end = k + 1;
+            while end < toks.len() {
+                match toks[end].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+            if end >= toks.len() {
+                break;
+            }
+            let attr: Vec<&str> = toks[k + 2..end].iter().map(|t| t.text.as_str()).collect();
+            if is_test_attribute(&attr) {
+                let region_start = toks[k].line;
+                let region_end = item_end_line(toks, end + 1);
+                self.test_ranges.push((region_start, region_end));
+            }
+            k = end + 1;
+        }
+    }
+}
+
+/// `true` for `#[test]`, `#[cfg(test)]` and `#[cfg(all(test, …))]` —
+/// but not `#[cfg(not(test))]`.
+fn is_test_attribute(attr: &[&str]) -> bool {
+    if attr == ["test"] {
+        return true;
+    }
+    if attr.first() != Some(&"cfg") {
+        return false;
+    }
+    // Look for `test` not immediately preceded by `not (`.
+    for (i, t) in attr.iter().enumerate() {
+        if *t == "test" {
+            let negated = i >= 2 && attr[i - 2] == "not" && attr[i - 1] == "(";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The last line of the item starting at token `k` (after an
+/// attribute): either the statement's `;` or the brace-matched body.
+fn item_end_line(toks: &[Tok], k: usize) -> usize {
+    let mut j = k;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            ";" => return toks[j].line,
+            "{" => {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return toks[j].line;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    toks.last().map_or(k, |t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn ctx_of(src: &str) -> FileContext {
+        let (toks, comments) = tokenize(src);
+        FileContext::build(&toks, &comments)
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "// lint: allow(HYG001): reason\nlet a = x.unwrap();\nlet b = y.unwrap(); // lint: allow(HYG001)\nlet c = z.unwrap();\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.allowed(2, "HYG001"));
+        assert!(ctx.allowed(3, "HYG001"));
+        assert!(!ctx.allowed(4, "HYG001"));
+        assert!(!ctx.allowed(2, "HYG002"));
+    }
+
+    #[test]
+    fn allow_parses_multiple_rules() {
+        let ctx = ctx_of("// lint: allow(DET001, DET002)\nx();\n");
+        assert!(ctx.allowed(2, "DET001"));
+        assert!(ctx.allowed(2, "DET002"));
+    }
+
+    #[test]
+    fn hot_regions_are_delimited() {
+        let src = "a();\n// lint: hot-loop\nb();\nc();\n// lint: end-hot-loop\nd();\n";
+        let ctx = ctx_of(src);
+        assert!(!ctx.in_hot(1));
+        assert!(ctx.in_hot(3));
+        assert!(ctx.in_hot(4));
+        assert!(!ctx.in_hot(6));
+    }
+
+    #[test]
+    fn unclosed_hot_region_extends_to_eof() {
+        let ctx = ctx_of("// lint: hot-loop\nx();\ny();\n");
+        assert!(ctx.in_hot(3));
+        assert!(ctx.in_hot(1000));
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn tail() {}\n";
+        let ctx = ctx_of(src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(2));
+        assert!(ctx.in_test(4));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let ctx = ctx_of("#[cfg(not(test))]\nfn prod() {\n    body();\n}\n");
+        assert!(!ctx.in_test(3));
+    }
+
+    #[test]
+    fn cfg_test_statement_without_braces() {
+        let ctx = ctx_of("#[cfg(test)]\nuse helper::thing;\nfn lib() {}\n");
+        assert!(ctx.in_test(2));
+        assert!(!ctx.in_test(3));
+    }
+
+    #[test]
+    fn safety_comment_is_found_nearby() {
+        let src = "// SAFETY: index checked above\nlet v = unsafe { get(i) };\n\n\n\nlet w = unsafe { get(j) };\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.has_safety_near(2));
+        assert!(!ctx.has_safety_near(6));
+    }
+}

@@ -1,0 +1,169 @@
+//! Workspace discovery, file classification and the analysis driver.
+//!
+//! The analyzer walks the *first-party* crates only (`crates/*/src`),
+//! never `vendor/` (offline API stubs we do not own) and never
+//! `target/`. Classification is by crate directory name:
+//!
+//! | crates        | class                 | rule families            |
+//! |---------------|-----------------------|--------------------------|
+//! | core, spice, sram, trap | numeric library | DET (incl. DET004), HOT, HYG, UNS |
+//! | units, waveform, analysis, samurai, (new crates) | library | DET, HOT, HYG, UNS |
+//! | bench, lint, any `src/bin/` file | tool   | HOT, UNS                 |
+//!
+//! Integration tests (`tests/`), benches and examples are not scanned:
+//! panicking and ad-hoc comparison are legitimate there, and the
+//! in-file `#[cfg(test)]` regions are already exempted by the context.
+//! Unknown new crates default to the (non-numeric) library class, so a
+//! freshly added crate is linted strictly from its first commit.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::FileContext;
+use crate::rules::{check_tokens, FileClass, Finding};
+use crate::tokenizer::tokenize;
+
+/// Crates on the numeric result path: unordered collections banned.
+const NUMERIC_CRATES: &[&str] = &["core", "spice", "sram", "trap"];
+
+/// Developer tooling: only hot-loop and unsafe rules apply.
+const TOOL_CRATES: &[&str] = &["bench", "lint"];
+
+/// Analyzes one source string under an explicit classification.
+pub fn analyze_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
+    let (toks, comments) = tokenize(src);
+    let ctx = FileContext::build(&toks, &comments);
+    check_tokens(path, class, &toks, &ctx)
+}
+
+/// Analyzes one file on disk under an explicit classification.
+pub fn analyze_file(path: &Path, class: FileClass) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    Ok(analyze_source(&path.display().to_string(), &src, class))
+}
+
+/// The classification of crate `name`.
+pub fn classify_crate(name: &str) -> FileClass {
+    if TOOL_CRATES.contains(&name) {
+        FileClass::Tool
+    } else {
+        FileClass::Library {
+            numeric: NUMERIC_CRATES.contains(&name),
+        }
+    }
+}
+
+/// Walks `root/crates/*/src` and analyzes every `.rs` file, in
+/// deterministic (sorted) order — the analyzer holds itself to the
+/// determinism contract it enforces.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for dir in crate_dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let crate_class = classify_crate(&name);
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            // Binary targets are tooling even inside library crates.
+            let class = if file
+                .strip_prefix(&src_dir)
+                .ok()
+                .is_some_and(|rel| rel.starts_with("bin"))
+            {
+                FileClass::Tool
+            } else {
+                crate_class
+            };
+            let src = fs::read_to_string(&file)?;
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            findings.extend(analyze_source(&label, &src, class));
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_table() {
+        assert_eq!(classify_crate("core"), FileClass::Library { numeric: true });
+        assert_eq!(
+            classify_crate("spice"),
+            FileClass::Library { numeric: true }
+        );
+        assert_eq!(
+            classify_crate("units"),
+            FileClass::Library { numeric: false }
+        );
+        assert_eq!(classify_crate("bench"), FileClass::Tool);
+        assert_eq!(classify_crate("lint"), FileClass::Tool);
+        // Unknown crates are linted as libraries from day one.
+        assert_eq!(
+            classify_crate("brand-new"),
+            FileClass::Library { numeric: false }
+        );
+    }
+
+    #[test]
+    fn analyze_source_is_deterministic() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); }\n";
+        let class = FileClass::Library { numeric: false };
+        let a = analyze_source("f.rs", src, class);
+        let b = analyze_source("f.rs", src, class);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! `samurai-lint` — the workspace invariant analyzer.
+//!
+//! SAMURAI's two load-bearing guarantees — bit-identical parallel
+//! Monte-Carlo ensembles and an allocation-free compiled
+//! Newton/timestep hot loop — are contracts that a single stray
+//! `thread_rng()`, `HashMap` iteration or `clone()` can silently
+//! destroy. This crate checks them mechanically on every commit: a
+//! from-scratch, dependency-free static analyzer (hand-rolled lexer +
+//! rule engine, no `syn` — the vendor tree is offline) that walks
+//! every first-party crate and reports violations as deny-by-default
+//! diagnostics with `file:line` spans and stable rule ids.
+//!
+//! The rule catalog ([`rules::RULES`]) covers four families:
+//!
+//! * `DET…` — determinism: no wall clocks, ambient randomness or
+//!   environment reads in library code; no unordered collections in
+//!   numeric crates.
+//! * `HOT…` — hot-loop purity: no allocation, cloning, growth or
+//!   collection inside declared `// lint: hot-loop` regions.
+//! * `HYG…` — numeric hygiene: no `unwrap`/`expect`/`panic!` outside
+//!   tests, no float-literal equality, `total_cmp` over `partial_cmp`.
+//! * `UNS…` — unsafe audit: every `unsafe` carries a `SAFETY:`
+//!   comment.
+//!
+//! Reviewed exceptions are recorded in-source with
+//! `// lint: allow(RULE): reason`. See DESIGN.md §"Invariants & lint
+//! catalog" for the full policy, and `samurai-lint --explain <RULE>`
+//! for any single rule.
+
+pub mod context;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+
+pub use engine::{analyze_file, analyze_source, analyze_workspace, classify_crate};
+pub use rules::{FileClass, Finding, Rule, RULES};

@@ -1,0 +1,183 @@
+//! The `samurai-lint` command-line interface.
+//!
+//! ```text
+//! samurai-lint                      # report findings, exit 0
+//! samurai-lint --deny               # CI mode: exit 2 on any finding
+//! samurai-lint --json               # machine-readable findings
+//! samurai-lint --explain HYG005     # the catalog page for one rule
+//! samurai-lint --self-check         # prove the fixture corpus still
+//!                                   # trips every rule (CI guard
+//!                                   # against the analyzer going blind)
+//! samurai-lint path/to/file.rs …    # lint explicit paths under the
+//!                                   # strictest (numeric-library) class
+//! samurai-lint --root DIR           # workspace root override
+//! ```
+#![allow(clippy::print_stdout, clippy::print_stderr)] // a CLI's output IS stdout
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use samurai_lint::report::{render_explain, render_json, render_report};
+use samurai_lint::rules::{rule_by_id, RULES};
+use samurai_lint::{analyze_file, analyze_workspace, engine, FileClass, Finding};
+
+struct Options {
+    deny: bool,
+    json: bool,
+    self_check: bool,
+    explain: Option<String>,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        self_check: false,
+        explain: None,
+        root: None,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--self-check" => opts.self_check = true,
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain requires a rule id")?);
+            }
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root requires a directory")?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err("usage: samurai-lint [--deny] [--json] [--explain RULE] \
+                            [--self-check] [--root DIR] [paths...]"
+                    .into())
+            }
+            p if !p.starts_with('-') => opts.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn workspace_root(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(root) = &opts.root {
+        return Ok(root.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    engine::find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace root found (run inside the repo or pass --root)".into())
+}
+
+/// Runs the analyzer over the seeded fixture corpus and verifies that
+/// every rule both fires (violations/) and is suppressible (allowed/),
+/// and that the clean counterparts are silent. This is the CI guard
+/// against the analyzer silently going blind.
+fn self_check(root: &Path) -> Result<(), String> {
+    let fixtures = root.join("crates/lint/fixtures");
+    let class = FileClass::Library { numeric: true };
+    let scan = |sub: &str| -> Result<Vec<Finding>, String> {
+        let dir = fixtures.join(sub);
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        let mut all = Vec::new();
+        for f in files {
+            all.extend(analyze_file(&f, class).map_err(|e| format!("{}: {e}", f.display()))?);
+        }
+        Ok(all)
+    };
+
+    let fired: BTreeSet<&str> = scan("violations")?.iter().map(|f| f.rule).collect();
+    let mut failures = Vec::new();
+    for rule in RULES {
+        if !fired.contains(rule.id) {
+            failures.push(format!(
+                "rule {} no longer fires on its violation fixture",
+                rule.id
+            ));
+        }
+    }
+    for sub in ["allowed", "clean"] {
+        for f in scan(sub)? {
+            failures.push(format!(
+                "{} fixture should be silent but {} fired at {}:{}",
+                sub, f.rule, f.path, f.line
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "samurai-lint self-check: all {} rules fire and are suppressible",
+            RULES.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+
+    if let Some(id) = &opts.explain {
+        let rule = rule_by_id(id).ok_or_else(|| {
+            let known: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+            format!("unknown rule `{id}`; known rules: {}", known.join(", "))
+        })?;
+        print!("{}", render_explain(rule));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.self_check {
+        let root = workspace_root(&opts)?;
+        self_check(&root)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let findings = if opts.paths.is_empty() {
+        let root = workspace_root(&opts)?;
+        analyze_workspace(&root).map_err(|e| e.to_string())?
+    } else {
+        // Explicit paths are linted under the strictest class.
+        let mut all = Vec::new();
+        for p in &opts.paths {
+            all.extend(
+                analyze_file(p, FileClass::Library { numeric: true })
+                    .map_err(|e| format!("{}: {e}", p.display()))?,
+            );
+        }
+        all
+    };
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_report(&findings));
+    }
+
+    if opts.deny && !findings.is_empty() {
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("samurai-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The invariant catalog and the token-level rule engine.
+//!
+//! Every rule protects one of the project's three load-bearing
+//! contracts (see DESIGN.md §"Invariants & lint catalog"):
+//!
+//! * **Determinism** (`DET…`) — bit-identical results for any worker
+//!   count and across runs: no wall clocks, no ambient randomness, no
+//!   environment reads in library code, no unordered-collection use in
+//!   numeric crates.
+//! * **Hot-loop purity** (`HOT…`) — the compiled Newton/timestep and
+//!   uniformisation loops stay allocation-free: no constructors,
+//!   clones, pushes or collects inside declared `// lint: hot-loop`
+//!   regions.
+//! * **Numeric hygiene & unsafe audit** (`HYG…`, `UNS…`) — library
+//!   code propagates errors instead of panicking, compares floats
+//!   deliberately, orders with `total_cmp`, and justifies every
+//!   `unsafe` with a `SAFETY:` comment.
+//!
+//! The engine is lexical by design (no type information): rules are
+//! written so that their token patterns have near-zero false-negative
+//! rates on this codebase, and the `// lint: allow(RULE): reason`
+//! escape hatch turns the residual false positives into reviewed,
+//! self-documenting exceptions.
+
+use crate::context::FileContext;
+use crate::tokenizer::{Tok, TokKind};
+
+/// How a first-party file is classified, which decides the applicable
+/// rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a library crate. `numeric` marks the crates whose
+    /// results feed numeric outputs (`core`, `spice`, `sram`, `trap`),
+    /// where unordered iteration is banned outright.
+    Library {
+        /// Crate participates in numeric result paths.
+        numeric: bool,
+    },
+    /// Binaries and developer tooling (`bench`, `lint`, `src/bin/`):
+    /// wall clocks, env access and stdout are their job, so only the
+    /// hot-loop and unsafe-audit rules apply.
+    Tool,
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `DET002`.
+    pub rule: &'static str,
+    /// Path as reported (workspace-relative in workspace mode).
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A catalog entry: one enforced invariant.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier (`DET001`, …) used in findings and allows.
+    pub id: &'static str,
+    /// One-line summary.
+    pub title: &'static str,
+    /// The contract family the rule protects.
+    pub contract: &'static str,
+    /// Long-form explanation for `--explain`.
+    pub explain: &'static str,
+}
+
+/// Every rule the analyzer enforces, in catalog order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "DET001",
+        title: "no wall-clock time in library code",
+        contract: "determinism",
+        explain: "SystemTime and Instant make results depend on when the simulation ran. \
+                  Library crates must be pure functions of their inputs and seeds; timing \
+                  belongs in the bench/ tooling. Fix: thread explicit parameters, or move \
+                  the measurement out of the library.",
+    },
+    Rule {
+        id: "DET002",
+        title: "no ambient randomness in library code",
+        contract: "determinism",
+        explain: "thread_rng, OsRng and from_entropy draw from process-global or OS entropy, \
+                  which breaks bit-identical reproduction and the worker-count-independence \
+                  contract of the ensemble engine. Fix: derive every stream from a SeedStream \
+                  job index (seeds.rng(job)).",
+    },
+    Rule {
+        id: "DET003",
+        title: "no environment access in library code",
+        contract: "determinism",
+        explain: "std::env reads make library results depend on ambient process state. \
+                  Configuration must arrive through typed config structs; only binaries \
+                  (bench/, src/bin/) may parse the environment and pass values down.",
+    },
+    Rule {
+        id: "DET004",
+        title: "no HashMap/HashSet in numeric crates",
+        contract: "determinism",
+        explain: "std HashMap/HashSet iteration order is randomized per process. In the \
+                  numeric crates (core, spice, sram, trap) any iteration feeding a float \
+                  accumulation would destroy bit-identical results, so unordered \
+                  collections are banned outright there. Fix: use BTreeMap/BTreeSet, or \
+                  justify a lookup-only map with `// lint: allow(DET004): reason`.",
+    },
+    Rule {
+        id: "HOT001",
+        title: "no heap construction in hot loops",
+        contract: "no-alloc",
+        explain: "Inside `// lint: hot-loop` regions (compiled Newton/timestep loop, \
+                  uniformisation candidate loop, ensemble shard fold), constructors that \
+                  allocate — Vec::new, vec![], Box::new, String::new/from, format!, \
+                  with_capacity, to_string, to_owned — are banned. Buffers live in the \
+                  persistent workspace and are reused across iterations.",
+    },
+    Rule {
+        id: "HOT002",
+        title: "no clone/to_vec in hot loops",
+        contract: "no-alloc",
+        explain: ".clone() and .to_vec() inside a hot region copy a buffer per iteration. \
+                  Reuse workspace buffers (copy_from, clear + extend into retained \
+                  capacity) or promote results with mem::swap, as the Newton workspace \
+                  does for trial acceptance.",
+    },
+    Rule {
+        id: "HOT003",
+        title: "no container growth in hot loops",
+        contract: "no-alloc",
+        explain: ".push() inside a hot region may reallocate. Either pre-size the buffer \
+                  outside the region, or — for genuinely unbounded output accumulation \
+                  like the RTN staircase — add `// lint: allow(HOT003): reason` to record \
+                  that amortised growth is the algorithm's contract.",
+    },
+    Rule {
+        id: "HOT004",
+        title: "no collect in hot loops",
+        contract: "no-alloc",
+        explain: ".collect() materialises a fresh container per iteration. Fold into a \
+                  pre-allocated workspace buffer instead.",
+    },
+    Rule {
+        id: "HYG001",
+        title: "no unwrap in library code",
+        contract: "hygiene",
+        explain: "unwrap()/unwrap_err() turn recoverable conditions into panics that kill \
+                  whole ensemble runs. Library code must propagate Result via the crate \
+                  error types (CoreError, SpiceError, SramError, WaveformError). Test \
+                  modules are exempt. For locally-provable invariants, prefer restructuring; \
+                  otherwise record the proof with `// lint: allow(HYG001): reason`.",
+    },
+    Rule {
+        id: "HYG002",
+        title: "no expect in library code",
+        contract: "hygiene",
+        explain: "expect() is unwrap() with a message; the failure mode is still a panic. \
+                  Propagate Result instead, or justify a construction-guaranteed invariant \
+                  with `// lint: allow(HYG002): reason`.",
+    },
+    Rule {
+        id: "HYG003",
+        title: "no panicking macros in library code",
+        contract: "hygiene",
+        explain: "panic!/unreachable!/todo!/unimplemented! abort the caller's whole \
+                  computation. Return an error variant instead. assert!/debug_assert! are \
+                  permitted: they document invariants and (debug_assert) vanish in release.",
+    },
+    Rule {
+        id: "HYG004",
+        title: "no float literal equality",
+        contract: "hygiene",
+        explain: "== / != against a float literal is almost always a rounding bug; compare \
+                  against a tolerance. Exact-sentinel comparisons (e.g. a companion-model \
+                  conductance that is exactly 0.0 in DC mode) are legitimate — record them \
+                  with `// lint: allow(HYG004): reason`. The lexical rule only fires when \
+                  one operand is a float literal.",
+    },
+    Rule {
+        id: "HYG005",
+        title: "use total_cmp, not partial_cmp",
+        contract: "hygiene",
+        explain: "partial_cmp on floats returns None for NaN, which every call site then \
+                  unwraps — a latent panic. f64::total_cmp is total, NaN-safe, and agrees \
+                  with partial_cmp on all ordered values: sort_by(f64::total_cmp) or \
+                  a.total_cmp(&b).",
+    },
+    Rule {
+        id: "UNS001",
+        title: "unsafe requires a SAFETY comment",
+        contract: "hygiene",
+        explain: "Every `unsafe` keyword (block, fn, impl) must be preceded (within three \
+                  lines) by a `// SAFETY:` comment stating why the invariants hold. This \
+                  applies everywhere, including tests and tools.",
+    },
+];
+
+/// Looks up a catalog entry by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Constructors whose `Type::method` form allocates (HOT001).
+const HOT_ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Method names that allocate regardless of receiver (HOT001).
+const HOT_ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "with_capacity"];
+
+/// Macros that allocate (HOT001).
+const HOT_ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Identifiers that reach ambient entropy (DET002).
+const AMBIENT_RNG: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy"];
+
+/// Panicking macros (HYG003).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs every applicable rule over one file's tokens.
+pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let is_library = matches!(class, FileClass::Library { .. });
+    let is_numeric = matches!(class, FileClass::Library { numeric: true });
+
+    let mut emit = |rule: &'static str, tok: &Tok, message: String| {
+        // UNS001 applies even in test code; everything else is exempt
+        // there. Allows silence any rule.
+        if ctx.in_test(tok.line) && rule != "UNS001" {
+            return;
+        }
+        if ctx.allowed(tok.line, rule) {
+            return;
+        }
+        out.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: tok.line,
+            message,
+        });
+    };
+
+    let text_at = |k: isize| -> &str {
+        if k < 0 {
+            return "";
+        }
+        toks.get(k as usize).map_or("", |t| t.text.as_str())
+    };
+
+    for (k, t) in toks.iter().enumerate() {
+        let ki = k as isize;
+        let prev = text_at(ki - 1);
+        let prev2 = text_at(ki - 2);
+        let next = text_at(ki + 1);
+        let hot = ctx.in_hot(t.line);
+
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+
+                // --- determinism -------------------------------------
+                if is_library && matches!(name, "SystemTime" | "Instant") {
+                    emit(
+                        "DET001",
+                        t,
+                        format!("`{name}` reads the wall clock; library results must not depend on when they run"),
+                    );
+                }
+                if is_library && AMBIENT_RNG.contains(&name) {
+                    emit(
+                        "DET002",
+                        t,
+                        format!("`{name}` draws ambient entropy; derive streams from a SeedStream job index"),
+                    );
+                }
+                if is_library && name == "env" && prev == "::" && prev2 == "std" {
+                    emit(
+                        "DET003",
+                        t,
+                        "`std::env` read in library code; configuration must arrive through typed parameters".into(),
+                    );
+                }
+                if is_numeric && matches!(name, "HashMap" | "HashSet") {
+                    emit(
+                        "DET004",
+                        t,
+                        format!("`{name}` has randomized iteration order; use BTreeMap/BTreeSet in numeric crates"),
+                    );
+                }
+
+                // --- hot-loop purity ---------------------------------
+                if hot {
+                    if prev == "::"
+                        && HOT_ALLOC_PATHS
+                            .iter()
+                            .any(|(ty, m)| *ty == prev2 && *m == name)
+                    {
+                        emit(
+                            "HOT001",
+                            t,
+                            format!("`{prev2}::{name}` allocates inside a hot-loop region"),
+                        );
+                    } else if prev == "." && HOT_ALLOC_METHODS.contains(&name) {
+                        emit(
+                            "HOT001",
+                            t,
+                            format!("`.{name}()` allocates inside a hot-loop region"),
+                        );
+                    }
+                    if next == "!" && HOT_ALLOC_MACROS.contains(&name) {
+                        emit(
+                            "HOT001",
+                            t,
+                            format!("`{name}!` allocates inside a hot-loop region"),
+                        );
+                    }
+                    if prev == "." && matches!(name, "clone" | "to_vec") {
+                        emit(
+                            "HOT002",
+                            t,
+                            format!("`.{name}()` copies a buffer inside a hot-loop region"),
+                        );
+                    }
+                    if prev == "." && name == "push" {
+                        emit(
+                            "HOT003",
+                            t,
+                            "`.push()` may reallocate inside a hot-loop region".into(),
+                        );
+                    }
+                    if prev == "." && name == "collect" {
+                        emit(
+                            "HOT004",
+                            t,
+                            "`.collect()` materialises a container inside a hot-loop region".into(),
+                        );
+                    }
+                }
+
+                // --- numeric hygiene ---------------------------------
+                if is_library && prev == "." && matches!(name, "unwrap" | "unwrap_err") {
+                    emit(
+                        "HYG001",
+                        t,
+                        format!(
+                            "`.{name}()` panics on the error path; propagate the crate error type"
+                        ),
+                    );
+                }
+                if is_library && prev == "." && name == "expect" {
+                    emit(
+                        "HYG002",
+                        t,
+                        "`.expect()` panics on the error path; propagate the crate error type"
+                            .into(),
+                    );
+                }
+                if is_library && next == "!" && PANIC_MACROS.contains(&name) {
+                    emit(
+                        "HYG003",
+                        t,
+                        format!("`{name}!` aborts the caller; return an error variant instead"),
+                    );
+                }
+                if is_library && name == "partial_cmp" {
+                    emit(
+                        "HYG005",
+                        t,
+                        "`partial_cmp` is partial over NaN; use `f64::total_cmp`".into(),
+                    );
+                }
+
+                // --- unsafe audit ------------------------------------
+                if name == "unsafe" && !ctx.has_safety_near(t.line) {
+                    emit(
+                        "UNS001",
+                        t,
+                        "`unsafe` without a preceding `// SAFETY:` comment".into(),
+                    );
+                }
+            }
+            TokKind::Punct if is_library && (t.text == "==" || t.text == "!=") => {
+                let float_operand = toks
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|p| p.kind == TokKind::Float)
+                    || toks.get(k + 1).is_some_and(|p| p.kind == TokKind::Float);
+                if float_operand {
+                    emit(
+                        "HYG004",
+                        t,
+                        format!("float literal compared with `{}`; use a tolerance or justify exact-sentinel semantics", t.text),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::tokenizer::tokenize;
+
+    fn findings(src: &str, class: FileClass) -> Vec<Finding> {
+        let (toks, comments) = tokenize(src);
+        let ctx = FileContext::build(&toks, &comments);
+        check_tokens("mem.rs", class, &toks, &ctx)
+    }
+
+    const LIB: FileClass = FileClass::Library { numeric: true };
+
+    #[test]
+    fn rule_ids_are_unique_and_well_formed() {
+        let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate rule id");
+        for r in RULES {
+            assert_eq!(r.id.len(), 6, "{} must be FAMnnn", r.id);
+            assert!(!r.explain.is_empty() && !r.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn unwrap_fires_only_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let f = findings(src, LIB);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "HYG001");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(id); z.unwrap_or_default(); }\n";
+        assert!(findings(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn tool_class_skips_library_rules() {
+        let src = "fn main() { let t = Instant::now(); std::env::var(\"X\"); x.unwrap(); }\n";
+        assert!(findings(src, FileClass::Tool).is_empty());
+    }
+
+    #[test]
+    fn hot_rules_require_a_region() {
+        let src = "fn f() { v.push(1); }\n";
+        assert!(findings(src, LIB).is_empty());
+        let src = "// lint: hot-loop\nfn f() { v.push(1); }\n// lint: end-hot-loop\n";
+        let f = findings(src, LIB);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "HOT003");
+    }
+
+    #[test]
+    fn float_equality_needs_a_literal_operand() {
+        assert_eq!(
+            findings("fn f() { if x == 0.0 {} }\n", LIB)[0].rule,
+            "HYG004"
+        );
+        // Two variables: lexically invisible, documented limitation.
+        assert!(findings("fn f() { if x == y {} }\n", LIB).is_empty());
+        // Integer comparison is fine.
+        assert!(findings("fn f() { if x == 0 {} }\n", LIB).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_satisfies_unsafe_audit() {
+        assert_eq!(
+            findings("fn f() { unsafe { g() } }\n", LIB)[0].rule,
+            "UNS001"
+        );
+        assert!(findings(
+            "// SAFETY: g is infallible here\nfn f() { unsafe { g() } }\n",
+            LIB
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        let src = "fn f() { let s = \"thread_rng unwrap() HashMap\"; }\n";
+        assert!(findings(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn allows_silence_exactly_the_named_rule() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(HYG001): proven above\n";
+        assert!(findings(src, LIB).is_empty());
+        let src = "fn f() { x.unwrap(); } // lint: allow(HYG002): wrong rule\n";
+        assert_eq!(findings(src, LIB).len(), 1);
+    }
+}

@@ -1,0 +1,501 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! The analyzer must run in a hermetic workspace with no access to
+//! crates.io, so it cannot use `syn` or `proc-macro2`. This lexer
+//! produces the token classes the rule engine needs — identifiers,
+//! number literals (with float detection), string/char literals,
+//! lifetimes and punctuation — plus a side-channel of comments, which
+//! carry the lint directives (`// lint: ...`) and `// SAFETY:`
+//! justifications.
+//!
+//! It understands the full literal grammar that matters for not
+//! mis-lexing real code: nested block comments, raw strings
+//! (`r#"…"#`), byte and C strings, raw identifiers (`r#type`), char
+//! literals vs lifetimes, and numeric literals with underscores,
+//! exponents and type suffixes. Tokens inside string literals are
+//! *not* tokens — `"thread_rng"` in a string never trips a rule.
+
+/// The classes of tokens the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `unsafe`, `fn`, …).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, exponent or f32/f64
+    /// suffix) — the operand class the float-equality rule keys on.
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Punctuation, possibly multi-character (`==`, `::`, `..=`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text exactly as written (raw identifiers keep their
+    /// `r#` prefix stripped so rules match on the plain name).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment (line, block or doc) with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: usize,
+    /// Comment body without the delimiters.
+    pub text: String,
+}
+
+/// Multi-character punctuation, longest first so greedy matching is
+/// correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into code tokens and comments.
+pub fn tokenize(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    let mut line = 1;
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (incl. `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment, nested per the Rust grammar.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+
+        // String-family literals, including prefixed and raw forms.
+        if let Some((end, end_line)) = scan_string(&chars, i, line) {
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: chars[i..end].iter().collect(),
+                line,
+            });
+            line = end_line;
+            i = end;
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            if let Some(end) = scan_char_literal(&chars, i) {
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i..end].iter().collect(),
+                    line,
+                });
+                i = end;
+            } else {
+                // Lifetime: `'` followed by an identifier run.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j.max(i + 1);
+            }
+            continue;
+        }
+
+        // Raw identifier `r#name` (scan_string above already took
+        // `r#"…"` forms).
+        if c == 'r' && i + 1 < n && chars[i + 1] == '#' && i + 2 < n && is_ident_start(chars[i + 2])
+        {
+            let mut j = i + 2;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i + 2..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let (end, is_float) = scan_number(&chars, i);
+            toks.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: chars[i..end].iter().collect(),
+                line,
+            });
+            i = end;
+            continue;
+        }
+
+        // Punctuation, multi-char first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if i + pc.len() <= n && chars[i..i + pc.len()] == pc[..] {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).into(),
+                    line,
+                });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+
+    (toks, comments)
+}
+
+/// If a string literal starts at `i`, returns `(end_index, end_line)`.
+///
+/// Handles `"…"`, `b"…"`, `c"…"`, `r"…"`, `r#"…"#` (any hash count) and
+/// the `br`/`cr` combinations. Returns `None` for raw identifiers and
+/// anything else.
+fn scan_string(chars: &[char], i: usize, line: usize) -> Option<(usize, usize)> {
+    let n = chars.len();
+    let mut j = i;
+    // Optional one-letter prefix (b or c), optionally followed by r.
+    if j < n && (chars[j] == 'b' || chars[j] == 'c') {
+        j += 1;
+    }
+    let raw =
+        j < n && chars[j] == 'r' && (j + 1 < n && (chars[j + 1] == '"' || chars[j + 1] == '#'));
+    if raw {
+        j += 1;
+    }
+    // Count hashes of a raw string.
+    let mut hashes = 0usize;
+    if raw {
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= n || chars[j] != '"' {
+        return None;
+    }
+    // A bare identifier like `balance` must not match off its leading
+    // `b`: the prefix path is only valid if something was consumed
+    // before the quote or the literal starts with the quote itself.
+    if j > i && !raw && !(j == i + 1 && (chars[i] == 'b' || chars[i] == 'c')) {
+        return None;
+    }
+    j += 1; // opening quote
+    let mut end_line = line;
+    if raw {
+        while j < n {
+            if chars[j] == '\n' {
+                end_line += 1;
+            }
+            if chars[j] == '"' {
+                let mut k = 0;
+                while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((j + 1 + hashes, end_line));
+                }
+            }
+            j += 1;
+        }
+    } else {
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\n' => {
+                    end_line += 1;
+                    j += 1;
+                }
+                '"' => return Some((j + 1, end_line)),
+                _ => j += 1,
+            }
+        }
+    }
+    Some((n, end_line))
+}
+
+/// If a char (or byte-char) literal starts at `i`, returns its end
+/// index; `None` means the quote starts a lifetime.
+fn scan_char_literal(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    debug_assert!(chars[i] == '\'');
+    if i + 1 >= n {
+        return None;
+    }
+    if chars[i + 1] == '\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(n);
+    }
+    // `'x'` is a char, `'x` (no closing quote right after one scalar)
+    // is a lifetime.
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// Scans a numeric literal starting at digit `i`; returns `(end,
+/// is_float)`.
+fn scan_number(chars: &[char], i: usize) -> (usize, bool) {
+    let n = chars.len();
+    let mut j = i;
+    let mut is_float = false;
+
+    // Radix-prefixed integers are never floats.
+    if chars[i] == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'X' | 'b' | 'o') {
+        j = i + 2;
+        while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: a dot followed by a digit, or a trailing dot
+    // that is not a range/method/field access.
+    if j < n && chars[j] == '.' {
+        if j + 1 < n && chars[j + 1].is_ascii_digit() {
+            is_float = true;
+            j += 1;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        } else if !(j + 1 < n && (chars[j + 1] == '.' || is_ident_start(chars[j + 1]))) {
+            is_float = true;
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < n && matches!(chars[j], 'e' | 'E') {
+        let mut k = j + 1;
+        if k < n && matches!(chars[k], '+' | '-') {
+            k += 1;
+        }
+        if k < n && chars[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix.
+    let suffix_start = j;
+    while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .0
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let t = texts("let x = a.partial_cmp(&b);");
+        assert!(t.contains(&(TokKind::Ident, "partial_cmp".into())));
+        let t = texts("x == 0.0 && y != 1e-9");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "==".into()),
+                (TokKind::Float, "0.0".into()),
+                (TokKind::Punct, "&&".into()),
+                (TokKind::Ident, "y".into()),
+                (TokKind::Punct, "!=".into()),
+                (TokKind::Float, "1e-9".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_on_literal() {
+        assert_eq!(texts("1.max(2)")[0], (TokKind::Int, "1".into()));
+        assert_eq!(texts("1.5f32")[0], (TokKind::Float, "1.5f32".into()));
+        assert_eq!(texts("3f64")[0], (TokKind::Float, "3f64".into()));
+        assert_eq!(texts("0x1E")[0], (TokKind::Int, "0x1E".into()));
+        assert_eq!(texts("0..10")[0], (TokKind::Int, "0".into()));
+        assert_eq!(texts("2.")[0], (TokKind::Float, "2.".into()));
+        assert_eq!(texts("1_000.5")[0], (TokKind::Float, "1_000.5".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = texts(r##"let s = "thread_rng()"; let r = r#"unwrap()"#;"##);
+        assert!(!t.iter().any(|(_, x)| x == "thread_rng" || x == "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_raw_idents() {
+        let t = texts(r##"let a = b"bytes"; let b = c"cstr"; let c = br#"raw"#; let r#type = 1;"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        assert!(t.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let t = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(t.contains(&(TokKind::Char, "'x'".into())));
+        let t = texts(r"let c = '\n'; let q = '\'';");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let (toks, comments) = tokenize("a\n// lint: allow(X)\nb /* block\nstill */ c");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("lint: allow(X)"));
+        assert_eq!(comments[1].line, 3);
+        // Lines survive multi-line block comments.
+        assert_eq!(toks.last().map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = tokenize("/* outer /* inner */ tail */ x");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "x");
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let (toks, _) = tokenize("let s = \"a\nb\nc\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").expect("next token");
+        assert_eq!(next.line, 4);
+    }
+}

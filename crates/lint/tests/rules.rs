@@ -1,0 +1,160 @@
+//! Fixture-corpus integration tests: every rule fires where the
+//! `//~ RULE` markers say it does, every rule is suppressible with an
+//! inline allow, and the clean counterparts are silent.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use samurai_lint::{analyze_file, analyze_source, FileClass, RULES};
+
+const STRICT: FileClass = FileClass::Library { numeric: true };
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+fn fixture_files(sub: &str) -> Vec<PathBuf> {
+    let dir = fixture_dir(sub);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures in {}", dir.display());
+    files
+}
+
+/// Parses the `//~ RULE` markers of a fixture into the expected
+/// multiset of `(line, rule)` findings.
+fn expected_markers(src: &str) -> Vec<(usize, String)> {
+    let mut expected = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        for piece in line.split("//~").skip(1) {
+            let rule = piece
+                .split_whitespace()
+                .next()
+                .expect("marker names a rule")
+                .to_string();
+            expected.push((i + 1, rule));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+#[test]
+fn violation_fixtures_fire_exactly_the_marked_findings() {
+    for path in fixture_files("violations") {
+        let src = fs::read_to_string(&path).unwrap();
+        let expected = expected_markers(&src);
+        assert!(
+            !expected.is_empty(),
+            "{}: violation fixture carries no //~ markers",
+            path.display()
+        );
+        let mut got: Vec<(usize, String)> = analyze_file(&path, STRICT)
+            .unwrap()
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            expected,
+            "{}: findings do not match the //~ markers",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_rule_in_the_catalog_has_a_firing_fixture() {
+    let mut fired = BTreeSet::new();
+    for path in fixture_files("violations") {
+        for f in analyze_file(&path, STRICT).unwrap() {
+            fired.insert(f.rule);
+        }
+    }
+    for rule in RULES {
+        assert!(
+            fired.contains(rule.id),
+            "rule {} has no violation fixture that trips it",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_fully_suppressed() {
+    for path in fixture_files("allowed") {
+        let findings = analyze_file(&path, STRICT).unwrap();
+        assert!(
+            findings.is_empty(),
+            "{}: allow directives failed to suppress {:?}",
+            path.display(),
+            findings
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for path in fixture_files("clean") {
+        let findings = analyze_file(&path, STRICT).unwrap();
+        assert!(
+            findings.is_empty(),
+            "{}: clean fixture is not clean: {:?}",
+            path.display(),
+            findings
+        );
+    }
+}
+
+/// Allow-suppression round trip, mechanically: inserting a standalone
+/// `// lint: allow(RULE)` line above each marked line of each
+/// violation fixture silences exactly that fixture's findings.
+#[test]
+fn inserting_allows_suppresses_each_violation_fixture() {
+    for path in fixture_files("violations") {
+        let src = fs::read_to_string(&path).unwrap();
+        let suppressed: String = src
+            .lines()
+            .map(|line| {
+                let mut rules: Vec<&str> = line
+                    .split("//~")
+                    .skip(1)
+                    .filter_map(|p| p.split_whitespace().next())
+                    .collect();
+                rules.dedup();
+                if rules.is_empty() {
+                    format!("{line}\n")
+                } else {
+                    format!("// lint: allow({}): fixture\n{line}\n", rules.join(", "))
+                }
+            })
+            .collect();
+        let findings = analyze_source("fixture.rs", &suppressed, STRICT);
+        assert!(
+            findings.is_empty(),
+            "{}: inserted allows left {:?}",
+            path.display(),
+            findings
+        );
+    }
+}
+
+/// The marker comments themselves must never produce findings (rule
+/// names inside comments are not code).
+#[test]
+fn markers_alone_are_inert() {
+    let findings = analyze_source(
+        "markers.rs",
+        "pub fn ok() {} //~ HYG001 //~ DET004\n",
+        STRICT,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}

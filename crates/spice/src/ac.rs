@@ -247,10 +247,12 @@ impl CompiledCircuit {
                 for cc in 0..n {
                     let gv = g.get(r, cc);
                     let cv = c.get(r, cc) * omega;
+                    // lint: allow(HYG004): exact-zero sparsity test on stamped entries
                     if gv != 0.0 {
                         m.set(r, cc, gv);
                         m.set(n + r, n + cc, gv);
                     }
+                    // lint: allow(HYG004): exact-zero sparsity test on stamped entries
                     if cv != 0.0 {
                         m.set(r, n + cc, -cv);
                         m.set(n + r, cc, cv);

@@ -10,6 +10,7 @@
 //! a `.tran tstep tstop` directive; `tstep` sets the CSV sampling grid
 //! (the solver's internal steps remain adaptive).
 
+#![allow(clippy::print_stdout, clippy::print_stderr)] // terminal output is the deliverable
 use std::process::ExitCode;
 
 use samurai_spice::{parse_netlist, CompiledCircuit, NewtonWorkspace, TransientConfig};

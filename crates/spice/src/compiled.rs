@@ -281,6 +281,7 @@ pub(crate) struct CapacitorStamp {
 impl Stamp for CapacitorStamp {
     fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
         let (g, i0) = ws.mode.companion(self.c, ws.cap_states[self.state]);
+        // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g != 0.0 || i0 != 0.0 {
             stamp_branch(&mut ws.jac, &mut ws.res, x, self.a, self.b, g, i0);
         }
@@ -391,18 +392,21 @@ impl Stamp for MosfetStamp {
         let (g_gs, i_gs) = ws
             .mode
             .companion(self.params.cgs, ws.cap_states[self.caps[0]]);
+        // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_gs != 0.0 || i_gs != 0.0 {
             stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.s, g_gs, i_gs);
         }
         let (g_gd, i_gd) = ws
             .mode
             .companion(self.params.cgd, ws.cap_states[self.caps[1]]);
+        // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_gd != 0.0 || i_gd != 0.0 {
             stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.d, g_gd, i_gd);
         }
         let (g_db, i_db) = ws
             .mode
             .companion(self.params.cdb, ws.cap_states[self.caps[2]]);
+        // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_db != 0.0 || i_db != 0.0 {
             stamp_branch(&mut ws.jac, &mut ws.res, x, self.d, None, g_db, i_db);
         }
@@ -634,7 +638,7 @@ impl CompiledCircuit {
         for stamp in &self.stamps {
             stamp.append_breakpoints(&mut times);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         times
     }
@@ -652,6 +656,13 @@ impl CompiledCircuit {
             }),
         }
     }
+
+    // lint: hot-loop
+    //
+    // `assemble` and `newton` run once per Newton iteration per
+    // timestep — the innermost engine loop. They must stay
+    // allocation-free: everything they touch is preallocated in the
+    // `NewtonWorkspace`.
 
     /// Assembles the residual and Jacobian at solution `x`, under the
     /// workspace's stamp context (`t`, mode, homotopy scales).
@@ -709,6 +720,7 @@ impl CompiledCircuit {
                 *xi += scale * di;
             }
 
+            // lint: allow(HYG004): exact 1.0 means "no scaling requested"
             if scale == 1.0 && max_dv < config.v_tol {
                 // Check the residual at the updated point.
                 self.assemble(x, ws);
@@ -723,6 +735,7 @@ impl CompiledCircuit {
             iterations: config.max_iterations,
         })
     }
+    // lint: end-hot-loop
 
     /// Newton-solves in place on the workspace's accepted solution
     /// `x`, under the given stamp context.

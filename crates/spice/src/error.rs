@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use samurai_waveform::WaveformError;
+
 /// Errors from netlist construction or simulation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -40,6 +42,9 @@ pub enum SpiceError {
         /// Supplied value.
         value: f64,
     },
+    /// Simulation output failed waveform construction (e.g. a
+    /// degenerate time grid).
+    Waveform(WaveformError),
 }
 
 impl fmt::Display for SpiceError {
@@ -57,7 +62,14 @@ impl fmt::Display for SpiceError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "parameter `{name}` is out of range: {value}")
             }
+            Self::Waveform(e) => write!(f, "simulation output is not a valid waveform: {e}"),
         }
+    }
+}
+
+impl From<WaveformError> for SpiceError {
+    fn from(e: WaveformError) -> Self {
+        Self::Waveform(e)
     }
 }
 

@@ -143,6 +143,7 @@ impl DenseMatrix {
             let pivot = self.get(col, col);
             for r in col + 1..n {
                 let factor = self.get(r, col) / pivot;
+                // lint: allow(HYG004): exact-zero factor makes elimination a no-op
                 if factor == 0.0 {
                     continue;
                 }

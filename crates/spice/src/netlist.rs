@@ -1,6 +1,6 @@
 //! Netlist construction: named nodes and circuit elements.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use samurai_waveform::Pwl;
 
@@ -114,7 +114,7 @@ pub(crate) enum Element {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Circuit {
-    names: HashMap<String, NodeId>,
+    names: BTreeMap<String, NodeId>,
     node_count: usize,
     pub(crate) elements: Vec<Element>,
     pub(crate) vsource_count: usize,
@@ -325,7 +325,7 @@ impl Circuit {
                 _ => Vec::new(),
             })
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         times
     }

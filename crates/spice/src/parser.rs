@@ -27,7 +27,7 @@
 
 use crate::{Circuit, ElementId, MosfetParams, Source, SpiceError};
 use samurai_waveform::Pwl;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A parsed netlist: the circuit plus name → element-id lookup.
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ pub struct ParsedNetlist {
     /// The constructed circuit.
     pub circuit: Circuit,
     /// Element ids by (upper-cased) element name.
-    pub elements: HashMap<String, ElementId>,
+    pub elements: BTreeMap<String, ElementId>,
     /// A `.tran tstep tstop` directive, if present (suggested output
     /// step and stop time, both in seconds).
     pub tran: Option<(f64, f64)>,
@@ -88,7 +88,7 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
     let (digits, scale) = if let Some(stripped) = lower.strip_suffix("meg") {
         (stripped, 1e6)
     } else {
-        let last = lower.chars().last().expect("non-empty token");
+        let last = lower.chars().last().expect("non-empty token"); // lint: allow(HYG002): token verified non-empty above
         let scale = match last {
             'f' => Some(1e-15),
             'p' => Some(1e-12),
@@ -196,7 +196,7 @@ fn split_numbers(s: &str) -> Result<Vec<f64>, String> {
 /// Returns the first syntax error with its line number.
 pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, ParseNetlistError> {
     let mut circuit = Circuit::new();
-    let mut elements = HashMap::new();
+    let mut elements = BTreeMap::new();
     let mut tran = None;
 
     for (idx, raw_line) in text.lines().enumerate() {
@@ -228,7 +228,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, ParseNetlistError> {
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let name = tokens[0].to_ascii_uppercase();
-        let kind = name.chars().next().expect("non-empty token");
+        let kind = name.chars().next().expect("non-empty token"); // lint: allow(HYG002): blank lines are skipped by the loop guard
 
         let id = match kind {
             'R' => {

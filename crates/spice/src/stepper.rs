@@ -75,6 +75,10 @@ impl TransientStepper {
     /// # Panics
     ///
     /// Panics if `h` is not positive.
+    // lint: hot-loop
+    // Callers drive `step` once per coupled-simulation timestep; it
+    // must not allocate (the compiled circuit and workspace own all
+    // the storage).
     pub fn step(&mut self, h: f64) -> Result<(), SpiceError> {
         assert!(h > 0.0 && h.is_finite(), "step must be positive");
         let mode = IntegMode::BackwardEuler { h };
@@ -86,6 +90,7 @@ impl TransientStepper {
         self.t = t_new;
         Ok(())
     }
+    // lint: end-hot-loop
 
     /// The voltage of `node` in the current state.
     pub fn voltage(&self, node: NodeId) -> f64 {

@@ -90,7 +90,7 @@ impl TransientResult {
                 .map(|(&t, x)| (t, x[i]))
                 .collect(),
         };
-        Ok(Pwl::new(points).expect("accepted times are strictly increasing"))
+        Ok(Pwl::new(points)?)
     }
 
     /// The current through a voltage source (positive current flows
@@ -116,7 +116,7 @@ impl TransientResult {
             .zip(&self.solutions)
             .map(|(&t, x)| (t, x[col]))
             .collect();
-        Ok(Pwl::new(points).expect("accepted times are strictly increasing"))
+        Ok(Pwl::new(points)?)
     }
 
     /// The drain current waveform of MOSFET `id`, reconstructed from
@@ -138,7 +138,7 @@ impl TransientResult {
                 (t, i)
             })
             .collect();
-        Ok(Pwl::new(points).expect("accepted times are strictly increasing"))
+        Ok(Pwl::new(points)?)
     }
 
     /// The gate–source voltage waveform of MOSFET `id` (relative to the
@@ -156,7 +156,7 @@ impl TransientResult {
             .zip(&self.solutions)
             .map(|(&t, x)| (t, v(x, g) - v(x, s)))
             .collect();
-        Ok(Pwl::new(points).expect("accepted times are strictly increasing"))
+        Ok(Pwl::new(points)?)
     }
 
     /// The *effective* gate drive of MOSFET `id`: the gate voltage
@@ -191,7 +191,7 @@ impl TransientResult {
                 (t, drive)
             })
             .collect();
-        Ok(Pwl::new(points).expect("accepted times are strictly increasing"))
+        Ok(Pwl::new(points)?)
     }
 }
 

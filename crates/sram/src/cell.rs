@@ -210,28 +210,28 @@ impl SramCell {
     pub fn set_wl(&mut self, source: Source) {
         self.circuit
             .set_source(self.wl_source, source)
-            .expect("wl source id is valid by construction");
+            .expect("wl source id is valid by construction"); // lint: allow(HYG002): source id minted by the constructor
     }
 
     /// Drives the bit line with a waveform.
     pub fn set_bl(&mut self, source: Source) {
         self.circuit
             .set_source(self.bl_source, source)
-            .expect("bl source id is valid by construction");
+            .expect("bl source id is valid by construction"); // lint: allow(HYG002): source id minted by the constructor
     }
 
     /// Drives the complement bit line with a waveform.
     pub fn set_blb(&mut self, source: Source) {
         self.circuit
             .set_source(self.blb_source, source)
-            .expect("blb source id is valid by construction");
+            .expect("blb source id is valid by construction"); // lint: allow(HYG002): source id minted by the constructor
     }
 
     /// Sets a transistor's RTN injection waveform.
     pub fn set_rtn_source(&mut self, t: Transistor, source: Source) {
         self.circuit
             .set_source(self.rtn_sources[t.index()], source)
-            .expect("rtn source id is valid by construction");
+            .expect("rtn source id is valid by construction"); // lint: allow(HYG002): source id minted by the constructor
     }
 
     /// Clears every RTN injection (back to the RTN-free first pass).

@@ -203,18 +203,16 @@ pub fn run_coupled(
         qb_points.push((stepper.time(), stepper.voltage(cell.qb)));
     }
 
-    let q = Pwl::new(q_points).expect("step times are strictly increasing");
-    let qb = Pwl::new(qb_points).expect("step times are strictly increasing");
-    let n_filled = filled_steps
-        .into_iter()
-        .map(|steps| {
-            if steps.is_empty() {
-                Pwc::constant(0.0)
-            } else {
-                Pwc::new(steps).expect("step times are strictly increasing")
-            }
-        })
-        .collect();
+    let q = Pwl::new(q_points)?;
+    let qb = Pwl::new(qb_points)?;
+    let mut n_filled = Vec::with_capacity(filled_steps.len());
+    for steps in filled_steps {
+        n_filled.push(if steps.is_empty() {
+            Pwc::constant(0.0)
+        } else {
+            Pwc::new(steps)?
+        });
+    }
     let outcomes = analyze_writes(&q, pattern, &base.timing);
     Ok(CoupledReport {
         q,

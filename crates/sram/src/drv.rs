@@ -43,12 +43,12 @@ pub fn probe_hold(params: &SramCellParams, vdd: f64) -> Result<HoldProbe, SramEr
     let cell = SramCell::new(p);
     let compiled = CompiledCircuit::compile(&cell.circuit);
     let mut ws = NewtonWorkspace::new(&compiled);
-    let q_idx = cell.q.unknown_index().expect("q is not ground");
+    let q_idx = cell.q.unknown_index().expect("q is not ground"); // lint: allow(HYG002): cell nodes are never ground by construction
     let mut solve = |q0: f64| -> Result<f64, SramError> {
         let mut guess = vec![0.0; cell.circuit.node_count()];
-        guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+        guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd; // lint: allow(HYG002): cell nodes are never ground by construction
         guess[q_idx] = q0;
-        guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0;
+        guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0; // lint: allow(HYG002): cell nodes are never ground by construction
         let config = DcConfig {
             initial_guess: Some(guess),
             ..DcConfig::default()

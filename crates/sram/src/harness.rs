@@ -124,7 +124,7 @@ pub(crate) fn trap_device(cell: &SramCell, t: Transistor, tech: &Technology) -> 
     let params = cell
         .circuit
         .mosfet_params(cell.transistor(t))
-        .expect("cell transistor ids are valid");
+        .expect("cell transistor ids are valid"); // lint: allow(HYG002): transistor ids come from the same cell
     DeviceParams {
         width: samurai_units::Length::from_metres(params.width),
         length: samurai_units::Length::from_metres(params.length),
@@ -146,7 +146,7 @@ fn sanitize_steps(pwc: &Pwc, min_gap: f64) -> Pwc {
             _ => steps.push((t, v)),
         }
     }
-    Pwc::new(steps).expect("thinned steps remain strictly increasing")
+    Pwc::new(steps).expect("thinned steps remain strictly increasing") // lint: allow(HYG002): thinning preserves strict monotonicity
 }
 
 /// Converts an RTN staircase to a PWL source waveform.
@@ -249,7 +249,7 @@ pub fn run_methodology(
                 cell.rtn_source(data.transistor),
                 pwc_to_source(&data.i_rtn, config.rtn_scale),
             )
-            .expect("rtn source id is valid by construction");
+            .expect("rtn source id is valid by construction"); // lint: allow(HYG002): source id minted by the cell constructor
     }
     let pass2 = compiled.run_transient(&mut ws, t0, tf, &spice_config)?;
     let q_rtn = pass2.voltage(&cell.circuit, "q")?;

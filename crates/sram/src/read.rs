@@ -92,12 +92,10 @@ pub fn run_read_disturb(
             .with_seed(profile_seeds.substream(7).seed())
             .with_current_oversample(config.current_oversample);
         let rtn = generator.generate(&bias, 0.0, tf)?;
-        compiled
-            .set_source(
-                cell.rtn_source(t),
-                pwc_to_source(&rtn.i_rtn, config.rtn_scale),
-            )
-            .expect("rtn source id is valid by construction");
+        compiled.set_source(
+            cell.rtn_source(t),
+            pwc_to_source(&rtn.i_rtn, config.rtn_scale),
+        )?;
         injected.push(rtn.i_rtn);
     }
 
@@ -124,7 +122,7 @@ pub fn run_read_disturb(
 /// WL strobed every cycle (write in cycle 0, reads after).
 fn read_wl(timing: &WriteTiming, cycles: usize) -> Pwl {
     let digital = samurai_waveform::DigitalTiming::new(timing.period, timing.edge, 0.0, timing.vdd)
-        .expect("write timing was validated by the caller");
+        .expect("write timing was validated by the caller"); // lint: allow(HYG002): timing validated by the public entry point
     digital.strobe(0.0, cycles, timing.wl_on_frac, timing.wl_off_frac)
 }
 
@@ -143,7 +141,7 @@ fn read_bitlines(timing: &WriteTiming, bit: bool, cycles: usize, vdd: f64) -> (P
             pts.push((t1 + e, vdd));
         }
         pts.push((cycles as f64 * timing.period, vdd));
-        Pwl::new(pts).expect("times are strictly increasing")
+        Pwl::new(pts).expect("times are strictly increasing") // lint: allow(HYG002): breakpoints are built strictly increasing here
     };
     (mk(level(bit)), mk(level(!bit)))
 }

@@ -128,7 +128,7 @@ fn build_ring(config: &RingConfig) -> Ring {
     // Kick-start: a brief current pulse knocks stage 0 off the
     // metastable all-at-Vm equilibrium.
     let kick = Pwl::pulse(0.0, 50e-6, 0.05e-9, 0.3e-9, 0.02e-9, 0.02e-9)
-        .expect("kick pulse parameters are static");
+        .expect("kick pulse parameters are static"); // lint: allow(HYG002): static pulse parameters are known-valid
     ckt.isource(Circuit::GROUND, nodes[0], Source::Pwl(kick));
 
     Ring {

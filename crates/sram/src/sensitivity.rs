@@ -45,11 +45,7 @@ impl SensitivityReport {
     /// low-frequency transimpedance).
     pub fn ranking(&self) -> Vec<Transistor> {
         let mut order: Vec<&PortSensitivity> = self.ports.iter().collect();
-        order.sort_by(|a, b| {
-            b.dc_transimpedance
-                .partial_cmp(&a.dc_transimpedance)
-                .expect("finite transimpedances")
-        });
+        order.sort_by(|a, b| b.dc_transimpedance.total_cmp(&a.dc_transimpedance));
         order.iter().map(|p| p.transistor).collect()
     }
 }
@@ -81,9 +77,9 @@ pub fn rtn_sensitivity(
     // the state on its own).
     let q0 = if bit { vdd } else { 0.0 };
     let mut guess = vec![0.0; cell.circuit.node_count()];
-    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
-    guess[cell.q.unknown_index().expect("q is not ground")] = q0;
-    guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0;
+    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd; // lint: allow(HYG002): cell nodes are never ground by construction
+    guess[cell.q.unknown_index().expect("q is not ground")] = q0; // lint: allow(HYG002): cell nodes are never ground by construction
+    guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd - q0; // lint: allow(HYG002): cell nodes are never ground by construction
     let dc = DcConfig {
         initial_guess: Some(guess),
         ..DcConfig::default()

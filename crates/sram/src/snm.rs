@@ -148,7 +148,7 @@ fn sweep_vtc(
     let out_idx = ckt
         .find_node("out")?
         .unknown_index()
-        .expect("out is not ground");
+        .expect("out is not ground"); // lint: allow(HYG002): `out` was created above and is never ground
 
     let mut compiled = CompiledCircuit::compile(&ckt);
     let mut ws = NewtonWorkspace::new(&compiled);
@@ -157,9 +157,7 @@ fn sweep_vtc(
     let mut guess: Option<Vec<f64>> = None;
     for i in 0..points {
         let vin = vdd_v * i as f64 / (points - 1) as f64;
-        compiled
-            .set_source(vin_src, Source::Dc(vin))
-            .expect("vin source id is valid by construction");
+        compiled.set_source(vin_src, Source::Dc(vin))?;
         let config = DcConfig {
             initial_guess: guess.clone(),
             ..DcConfig::default()
@@ -205,7 +203,7 @@ pub fn compute_snm(
         .zip(&vtc_reverse.output)
         .map(|(&x, &y)| (y, x))
         .collect();
-    inv.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite voltages"));
+    inv.sort_by(|p, q| p.0.total_cmp(&q.0));
     inv.dedup_by(|p, q| (p.0 - q.0).abs() < 1e-12);
     let b_curve = TransferCurve {
         input: inv.iter().map(|p| p.0).collect(),

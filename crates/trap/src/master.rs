@@ -64,10 +64,14 @@ pub fn integrate_occupancy(
             let p_inf = model.stationary_occupancy(bias.eval(t_mid));
             // Exact relaxation towards p_inf over the substep.
             p = p_inf + (p - p_inf) * (-lam * h).exp();
+            debug_assert!(
+                (0.0..=1.0).contains(&p),
+                "occupancy probability left [0, 1]: p = {p} at t = {t_mid}"
+            );
         }
         values.push(p);
     }
-    Trace::new(t0, dt, values).expect("grid validated above")
+    Trace::new(t0, dt, values).expect("grid validated above") // lint: allow(HYG002): grid validated at function entry
 }
 
 #[cfg(test)]

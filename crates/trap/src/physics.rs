@@ -107,7 +107,12 @@ impl PropensityModel {
     pub fn propensities(&self, v_gs: f64) -> (f64, f64) {
         let lb = self.ln_beta(v_gs);
         let sum = self.rate_sum();
-        (sum * sigmoid(-lb), sum * sigmoid(lb))
+        let (lc, le) = (sum * sigmoid(-lb), sum * sigmoid(lb));
+        debug_assert!(
+            lc >= 0.0 && le >= 0.0,
+            "propensities must be non-negative: lambda_c = {lc}, lambda_e = {le} at v_gs = {v_gs}"
+        );
+        (lc, le)
     }
 
     /// The capture propensity `λc(v_gs)` alone.

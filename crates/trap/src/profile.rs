@@ -209,6 +209,7 @@ impl TrapProfiler {
 /// where the Knuth loop would need ~mean iterations.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     assert!(mean >= 0.0 && mean.is_finite(), "Poisson mean must be >= 0");
+    // lint: allow(HYG004): exact zero mean is the empty-distribution sentinel
     if mean == 0.0 {
         return 0;
     }

@@ -16,6 +16,7 @@
 /// assert_eq!(format_si(0.0, "s"), "0.000 s");
 /// ```
 pub fn format_si(value: f64, unit: &str) -> String {
+    // lint: allow(HYG004): exact zero picks the unscaled format path
     if value == 0.0 || !value.is_finite() {
         return format!("{value:.3} {unit}");
     }

@@ -209,6 +209,7 @@ impl DigitalTiming {
         }
         let t_end = t0 + pattern.len() as f64 * self.period;
         points.push((t_end, prev));
+        // lint: allow(HYG002): constructor-validated timing is monotonic
         Pwl::new(points).expect("timing invariants guarantee monotonic breakpoints")
     }
 
@@ -242,6 +243,7 @@ impl DigitalTiming {
             points.push((start + t_off_rel + self.edge, self.low));
         }
         points.push((t0 + cycles as f64 * self.period, self.low));
+        // lint: allow(HYG002): constructor-validated timing is monotonic
         Pwl::new(points).expect("timing invariants guarantee monotonic breakpoints")
     }
 }

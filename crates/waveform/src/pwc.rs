@@ -164,7 +164,7 @@ impl Pwc {
             .map(|&(t, _)| t)
             .chain(other.steps.iter().map(|&(t, _)| t))
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         let steps = times
             .into_iter()
@@ -194,7 +194,7 @@ impl Pwc {
             .map(|&(t, _)| t)
             .chain(extra_times.iter().copied())
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         let steps = times
             .into_iter()
@@ -273,6 +273,7 @@ impl Pwc {
             points.push((t, v));
             prev_value = v;
         }
+        // lint: allow(HYG002): edge < min_gap keeps times strictly increasing
         crate::Pwl::new(points).expect("edge < min_gap keeps times strictly increasing")
     }
 }

@@ -192,6 +192,7 @@ impl Pwl {
                 (t, f(t))
             })
             .collect();
+        // lint: allow(HYG002): a uniform grid is strictly increasing
         Self::new(points).expect("uniform sampling yields strictly increasing times")
     }
 
@@ -294,7 +295,7 @@ impl Pwl {
             .breakpoint_times()
             .chain(other.breakpoint_times())
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         let points = times
             .into_iter()
@@ -340,7 +341,7 @@ impl Pwl {
     /// biases into solvers that want a staircase.
     pub fn to_pwc(&self) -> Pwc {
         let steps = self.points.iter().map(|&(t, v)| (t, v)).collect::<Vec<_>>();
-        Pwc::new(steps).expect("Pwl invariants imply valid Pwc")
+        Pwc::new(steps).expect("Pwl invariants imply valid Pwc") // lint: allow(HYG002): Pwl monotonicity implies a valid Pwc
     }
 }
 

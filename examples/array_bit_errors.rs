@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p samurai --example array_bit_errors`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)] // terminal output is the deliverable
 use samurai::sram::array::{run_array, ArrayConfig};
 use samurai::sram::MethodologyConfig;
 use samurai::waveform::BitPattern;

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run --release -p samurai --example quickstart`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)] // terminal output is the deliverable
 use samurai::core::{BiasWaveforms, RtnGenerator};
 use samurai::trap::{DeviceParams, TrapParams};
 use samurai::units::{format_si, Energy, Length};

@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p samurai --example sram_write_analysis`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)] // terminal output is the deliverable
 use samurai::sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai::units::format_si;
 use samurai::waveform::BitPattern;

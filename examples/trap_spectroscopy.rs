@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p samurai --example trap_spectroscopy`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)] // terminal output is the deliverable
 use samurai::analysis::{analytical, autocorr, fit, psd, stats};
 use samurai::core::{simulate_trap, single_trap_amplitude, SeedStream};
 use samurai::trap::{DeviceParams, PropensityModel, TrapParams};
