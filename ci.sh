@@ -6,6 +6,12 @@ set -eux
 
 cargo build --workspace --release
 cargo test -q --workspace
+# Fault-injection suite: rescue ladders, failure policies, and the
+# deterministic FaultPlan machinery (also runs as part of the
+# workspace tests above; pinned here so a test-filter change can
+# never silently drop it from the gate).
+cargo test -q -p samurai --test fault_injection
+cargo test -q -p samurai-core --test properties
 cargo clippy --workspace --all-targets -- -D warnings
 # Project invariants (determinism / hot-loop purity / hygiene / unsafe
 # audit): any finding fails the build, and the fixture self-check

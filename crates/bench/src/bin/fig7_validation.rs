@@ -12,8 +12,9 @@
 //! Run with `cargo run --release -p samurai-bench --bin fig7_validation`.
 
 use samurai_analysis::{analytical, autocorr, psd, stats};
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble, IndexedResults};
+use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, write_tagged_csv};
+use samurai_core::ensemble::{run_ensemble_resilient, ExecutionPolicy, IndexedResults};
+use samurai_core::faults::FaultPlan;
 use samurai_core::{simulate_trap, single_trap_amplitude, CoreError, SeedStream};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_units::{Energy, Length, Temperature};
@@ -67,9 +68,18 @@ fn main() {
     // sweep shards over the ensemble engine with bit-identical output
     // at every worker count.
     let parallelism = parallelism_from_args();
+    let policy = ExecutionPolicy {
+        failure: failure_policy_from_args(),
+        faults: FaultPlan::none(),
+        seed: 1000,
+    };
     println!(
         "workers: {} (--threads N / SAMURAI_THREADS to change)",
         parallelism.workers()
+    );
+    println!(
+        "failure policy: {:?} (--failure-policy fail-fast|retry[:R]|quarantine[:M[:R]])",
+        policy.failure
     );
     struct PanelResult {
         autocorr_rows: Vec<(String, Vec<f64>)>,
@@ -77,11 +87,12 @@ fn main() {
         summary: (String, f64, f64, f64),
         report: String,
     }
-    let panels: Vec<PanelResult> = run_ensemble(
+    let outcome = run_ensemble_resilient(
         configs.len(),
         parallelism,
+        &policy,
         IndexedResults::new,
-        |idx| -> Result<PanelResult, CoreError> {
+        |idx, rung| -> Result<PanelResult, CoreError> {
             let config = &configs[idx];
             let trap = TrapParams::new(
                 Length::from_nanometres(config.y_tr_nm),
@@ -96,7 +107,12 @@ fn main() {
             // expected transition rate is 2·λΣ·p(1−p), so the sample count
             // adapts to keep ~5000 transitions even at extreme duty cycles.
             let dt = 0.05 / lambda;
-            let n = ((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23);
+            // On rescue rungs the trace shortens geometrically — the
+            // conservative retreat when the nominal horizon blows the
+            // trap-event budget.
+            let n = (((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23)
+                >> rung.min(8))
+            .max(1 << 14);
             let tf = dt * n as f64;
             let mut rng = SeedStream::new(1000 + idx as u64).rng(0);
             let occupancy =
@@ -158,8 +174,16 @@ fn main() {
             })
         },
     )
-    .expect("horizon scaled to the trap rate")
-    .into_vec();
+    .expect("horizon scaled to the trap rate");
+    if !outcome.report.is_clean() {
+        println!(
+            "rescue report: {} rescued, {} quarantined of {} panels",
+            outcome.report.rescued.len(),
+            outcome.report.quarantined.len(),
+            outcome.report.jobs,
+        );
+    }
+    let panels: Vec<PanelResult> = outcome.acc.into_vec();
 
     let mut autocorr_rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut psd_rows: Vec<(String, Vec<f64>)> = Vec::new();

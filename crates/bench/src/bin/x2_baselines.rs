@@ -12,9 +12,9 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x2_baselines`.
 
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble, MeanTrace, Parallelism};
-use samurai_core::{gillespie, simulate_trap, ye, SeedStream};
+use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, write_tagged_csv};
+use samurai_core::ensemble::{run_ensemble_resilient, ExecutionPolicy, MeanTrace, Parallelism};
+use samurai_core::{gillespie, simulate_trap, ye, CoreError, SeedStream};
 use samurai_trap::{master, DeviceParams, PropensityModel, TrapParams, TrapState};
 use samurai_units::{Energy, Length};
 use samurai_waveform::Pwl;
@@ -22,15 +22,24 @@ use std::time::Instant;
 
 /// Mean of `f(job)` over `jobs` seeded draws: a deterministic parallel
 /// ensemble, bit-identical at every worker count (each job derives its
-/// randomness from its index alone).
-fn mc_mean<F: Fn(u64) -> f64 + Sync>(jobs: u64, parallelism: Parallelism, f: F) -> f64 {
-    run_ensemble::<MeanTrace, _, ()>(
+/// randomness from its index alone). The failure policy only matters
+/// under fault injection — these kernels are total — but threading it
+/// keeps every ensemble in the binary on the one policy knob.
+fn mc_mean<F: Fn(u64) -> f64 + Sync>(
+    jobs: u64,
+    parallelism: Parallelism,
+    policy: &ExecutionPolicy,
+    f: F,
+) -> f64 {
+    run_ensemble_resilient::<MeanTrace, _, CoreError>(
         jobs as usize,
         parallelism,
+        policy,
         || MeanTrace::zeros(1),
-        |job| Ok(vec![f(job as u64)]),
+        |job, _rung| Ok(vec![f(job as u64)]),
     )
     .expect("bounded-horizon kernels are total")
+    .acc
     .mean()[0]
 }
 
@@ -67,11 +76,19 @@ fn main() {
 
     let runs = 30_000u64;
     let parallelism = parallelism_from_args();
+    let policy = ExecutionPolicy {
+        failure: failure_policy_from_args(),
+        ..ExecutionPolicy::default()
+    };
     banner("X2: occupancy shortly after a bias step (exact = master equation)");
     println!("exact p(probe) = {exact:.4}");
     println!(
         "{runs} runs per kernel on {} workers (--threads N / SAMURAI_THREADS)",
         parallelism.workers()
+    );
+    println!(
+        "failure policy: {:?} (--failure-policy fail-fast|retry[:R]|quarantine[:M[:R]])",
+        policy.failure
     );
 
     let mut rows = Vec::new();
@@ -79,7 +96,7 @@ fn main() {
 
     // Uniformisation.
     let start = Instant::now();
-    let estimate = mc_mean(runs, parallelism, |r| {
+    let estimate = mc_mean(runs, parallelism, &policy, |r| {
         simulate_trap(&model, &bias, 0.0, tf, &mut SeedStream::new(1).rng(r))
             .expect("bounded horizon")
             .eval(probe)
@@ -88,7 +105,7 @@ fn main() {
 
     // Frozen-rate SSA.
     let start = Instant::now();
-    let estimate = mc_mean(runs, parallelism, |r| {
+    let estimate = mc_mean(runs, parallelism, &policy, |r| {
         gillespie::frozen_rate_ssa(&model, &bias, 0.0, tf, &mut SeedStream::new(2).rng(r))
             .expect("bounded horizon")
             .eval(probe)
@@ -99,7 +116,7 @@ fn main() {
     for (name, frac) in [("bernoulli_coarse", 0.5), ("bernoulli_fine", 0.02)] {
         let dt = frac / lambda;
         let start = Instant::now();
-        let estimate = mc_mean(runs / 4, parallelism, |r| {
+        let estimate = mc_mean(runs / 4, parallelism, &policy, |r| {
             gillespie::bernoulli_timestep(
                 &model,
                 &bias,
@@ -117,7 +134,7 @@ fn main() {
     // Ye-style generator (calibrated at the pre-step bias, as its
     // construction requires a single calibration point).
     let start = Instant::now();
-    let estimate = mc_mean(runs / 4, parallelism, |r| {
+    let estimate = mc_mean(runs / 4, parallelism, &policy, |r| {
         ye::generate(
             &model,
             bias.eval(0.0),

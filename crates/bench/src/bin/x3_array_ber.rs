@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x3_array_ber`.
 
-use samurai_bench::{banner, parallelism_from_args, timed, write_csv};
+use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, timed, write_csv};
 use samurai_core::Parallelism;
 use samurai_sram::array::{run_array, ArrayConfig};
 use samurai_sram::MethodologyConfig;
@@ -15,11 +15,15 @@ fn main() {
     let cells = 24;
     let vth_sigma = 0.04;
     let parallelism = parallelism_from_args();
+    let failure = failure_policy_from_args();
 
     banner("X3: write-BER vs RTN acceleration (24 cells, sigma_VT = 40 mV)");
     println!(
         "workers: {} (--threads N / SAMURAI_THREADS to change)",
         parallelism.workers()
+    );
+    println!(
+        "failure policy: {failure:?} (--failure-policy fail-fast|retry[:R]|quarantine[:M[:R]])"
     );
     let mut rows = Vec::new();
     let mut prev_rate = 0.0;
@@ -29,12 +33,14 @@ fn main() {
             cells,
             vth_sigma,
             seed: 17,
+            failure,
             base: MethodologyConfig {
                 rtn_scale: scale,
                 density_scale: 1.5,
                 parallelism,
                 ..MethodologyConfig::default()
             },
+            ..ArrayConfig::default()
         };
         let stats = run_array(&pattern, &config).expect("array sweep runs");
         let rate = stats.error_rate();
@@ -42,11 +48,19 @@ fn main() {
         println!(
             "scale x{scale:>6}: BER {rate:.3} ({} errors / {} writes), {} slow, {} failing cells, {} baseline errors",
             stats.total_errors(),
-            cells * pattern.len(),
+            stats.effective_cells() * pattern.len(),
             slow,
             stats.failing_cells(),
             stats.total_baseline_errors(),
         );
+        if !stats.report.is_clean() {
+            println!(
+                "         rescue report: {} rescued, {} quarantined of {} cells",
+                stats.report.rescued.len(),
+                stats.report.quarantined.len(),
+                stats.report.jobs,
+            );
+        }
         if rate < prev_rate {
             monotone = false;
         }
@@ -86,12 +100,14 @@ fn main() {
         cells: 8,
         vth_sigma,
         seed: 17,
+        failure,
         base: MethodologyConfig {
             rtn_scale: 1000.0,
             density_scale: 1.5,
             parallelism,
             ..MethodologyConfig::default()
         },
+        ..ArrayConfig::default()
     };
     let (seq, t_seq) = timed(|| {
         run_array(&pattern, &speedup_config(Parallelism::Fixed(1))).expect("sequential sweep")

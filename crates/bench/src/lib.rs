@@ -11,7 +11,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use samurai_core::Parallelism;
+use samurai_core::{FailurePolicy, Parallelism};
 
 /// Parses `--threads N` from the binary's command line: `N = 0` (or an
 /// absent flag with `SAMURAI_THREADS` unset) means all available cores,
@@ -38,6 +38,54 @@ pub fn parallelism_from_args() -> Parallelism {
     match requested {
         None | Some(0) => Parallelism::Auto,
         Some(n) => Parallelism::Fixed(n),
+    }
+}
+
+/// Parses `--failure-policy SPEC` from the binary's command line, with
+/// the `SAMURAI_FAILURE_POLICY` environment variable as fallback.
+///
+/// `SPEC` is one of:
+///
+/// * `fail-fast` — abort on the first failed job (the default);
+/// * `retry` or `retry:RUNGS` — climb the rescue ladder per failing
+///   job (`RUNGS` defaults to 2);
+/// * `quarantine`, `quarantine:MAX` or `quarantine:MAX:RUNGS` — retry,
+///   then drop up to `MAX` irrecoverable jobs (default 1) from the
+///   statistics.
+///
+/// Results under every policy are bit-identical at every worker count;
+/// unparsable specs fall back to `fail-fast` rather than aborting a
+/// long run over a typo'd diagnostic knob.
+pub fn failure_policy_from_args() -> FailurePolicy {
+    let mut args = std::env::args().skip(1);
+    let mut spec: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--failure-policy" {
+            spec = args.next();
+        } else if let Some(v) = arg.strip_prefix("--failure-policy=") {
+            spec = Some(v.to_string());
+        }
+    }
+    let spec = spec.or_else(|| std::env::var("SAMURAI_FAILURE_POLICY").ok());
+    parse_failure_policy(spec.as_deref().unwrap_or("fail-fast"))
+}
+
+/// The parser behind [`failure_policy_from_args`], split out for
+/// testing.
+pub fn parse_failure_policy(spec: &str) -> FailurePolicy {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or("");
+    let first: Option<usize> = parts.next().and_then(|v| v.parse().ok());
+    let second: Option<usize> = parts.next().and_then(|v| v.parse().ok());
+    match head {
+        "retry" => FailurePolicy::Retry {
+            rungs: first.unwrap_or(2),
+        },
+        "quarantine" => FailurePolicy::Quarantine {
+            rungs: second.unwrap_or(2),
+            max_failures: first.unwrap_or(1),
+        },
+        _ => FailurePolicy::FailFast,
     }
 }
 
@@ -107,6 +155,35 @@ pub fn banner(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failure_policy_specs_parse() {
+        assert_eq!(parse_failure_policy("fail-fast"), FailurePolicy::FailFast);
+        assert_eq!(
+            parse_failure_policy("retry"),
+            FailurePolicy::Retry { rungs: 2 }
+        );
+        assert_eq!(
+            parse_failure_policy("retry:5"),
+            FailurePolicy::Retry { rungs: 5 }
+        );
+        assert_eq!(
+            parse_failure_policy("quarantine"),
+            FailurePolicy::Quarantine {
+                rungs: 2,
+                max_failures: 1
+            }
+        );
+        assert_eq!(
+            parse_failure_policy("quarantine:8:3"),
+            FailurePolicy::Quarantine {
+                rungs: 3,
+                max_failures: 8
+            }
+        );
+        // Typos degrade to the safe default instead of panicking.
+        assert_eq!(parse_failure_policy("retyr"), FailurePolicy::FailFast);
+    }
 
     #[test]
     fn csv_files_are_written() {

@@ -12,7 +12,7 @@
 //! Three rules make parallel results reproducible:
 //!
 //! 1. **Per-job seeding.** Every job derives its RNG from a
-//!    [`SeedStream`](crate::SeedStream) by its *stable job index*
+//!    [`SeedStream`] by its *stable job index*
 //!    (`seeds.rng(job as u64)` or a `substream(job)`), never from a
 //!    shared or thread-local generator. Which thread runs a job can
 //!    therefore not change what the job computes.
@@ -38,6 +38,20 @@
 //! once an error is recorded, so *which* error surfaces can vary with
 //! scheduling when several shards fail — the success/failure verdict
 //! and every successful result remain deterministic.
+//!
+//! # Failure policies
+//!
+//! [`run_ensemble`] is strictly fail-fast. [`run_ensemble_resilient`]
+//! layers a [`FailurePolicy`] on the same engine: `Retry` re-runs a
+//! failed job through a deterministic rescue ladder (the job closure
+//! receives the rung index and is expected to use a progressively
+//! more conservative solver config), and `Quarantine` additionally
+//! drops jobs that fail on every rung, returning the partial
+//! accumulator plus a structured [`FailureReport`]. Under
+//! `Quarantine` no early abort happens — every shard runs — so the
+//! quarantined-job set is itself bit-identical at any worker count.
+//! Deterministic fault injection ([`crate::FaultPlan`], carried by
+//! [`ExecutionPolicy`]) makes all of these paths testable on demand.
 //!
 //! # Example
 //!
@@ -66,6 +80,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
+
+use crate::faults::{FaultPlan, InjectedFault};
+use crate::rng::SeedStream;
 
 /// How many workers an ensemble runs on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -126,16 +143,327 @@ pub fn shard_size(jobs: usize) -> usize {
     jobs.div_ceil(MAX_SHARDS).max(1)
 }
 
-/// What one worker brings home: its finished `(shard index,
-/// accumulator)` pairs, plus the first failure it hit (if any).
-type WorkerOutcome<A, E> = (Vec<(usize, A)>, Option<(usize, E)>);
+/// How the engine responds when a job fails.
+///
+/// All three policies keep the determinism contract: results — and for
+/// [`FailurePolicy::Quarantine`], *which jobs are dropped* — are
+/// bit-identical at every worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Abort the ensemble on the first failure (legacy behaviour and
+    /// the default): the error of the lowest-indexed failing shard
+    /// among those that ran is returned.
+    #[default]
+    FailFast,
+    /// Re-run a failed job up to `rungs` more times, passing the rung
+    /// index (1, 2, …) to the job closure so it can climb a rescue
+    /// ladder of progressively conservative solver configs. A job that
+    /// fails on every rung aborts the ensemble like `FailFast`.
+    Retry {
+        /// Rescue rungs after the nominal attempt (rung 0).
+        rungs: usize,
+    },
+    /// Retry like [`FailurePolicy::Retry`], then *quarantine* jobs
+    /// that fail on every rung: drop them from the accumulator, record
+    /// them in the [`FailureReport`], and keep going. All shards
+    /// always run to completion (no early abort), so the quarantined
+    /// set is worker-count independent. If more than `max_failures`
+    /// jobs end up quarantined the ensemble fails after the ordered
+    /// merge with the error of the first failure past the budget in
+    /// job order.
+    Quarantine {
+        /// Rescue rungs after the nominal attempt (rung 0).
+        rungs: usize,
+        /// Largest acceptable number of quarantined jobs.
+        max_failures: usize,
+    },
+}
+
+impl FailurePolicy {
+    /// Rescue rungs granted after the nominal attempt.
+    #[must_use]
+    pub fn rungs(&self) -> usize {
+        match self {
+            Self::FailFast => 0,
+            Self::Retry { rungs } | Self::Quarantine { rungs, .. } => *rungs,
+        }
+    }
+}
+
+/// Everything [`run_ensemble_resilient`] needs beyond the jobs
+/// themselves: the failure policy, the (normally empty) fault plan,
+/// and the ensemble master seed recorded in failure reports so a
+/// quarantined job can be reproduced in isolation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionPolicy {
+    /// Response to job failures.
+    pub failure: FailurePolicy,
+    /// Injected-failure schedule (empty outside tests and drills).
+    pub faults: FaultPlan,
+    /// The master seed the ensemble's jobs derive their RNG from;
+    /// echoed into [`JobFailure::seed`] as
+    /// `SeedStream::new(seed).substream(job).seed()`.
+    pub seed: u64,
+}
+
+impl ExecutionPolicy {
+    /// A policy with the given failure response and no fault plan.
+    #[must_use]
+    pub fn with_failure(failure: FailurePolicy) -> Self {
+        Self {
+            failure,
+            ..Self::default()
+        }
+    }
+}
+
+/// A job that failed at least once and then succeeded on a rescue
+/// rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RescuedJob {
+    /// The job index.
+    pub job: usize,
+    /// The rung (≥ 1) on which it finally succeeded.
+    pub rung: usize,
+}
+
+/// One irrecoverably failed job, with everything needed to reproduce
+/// it in isolation: re-run job `job` with the RNG stream derived from
+/// `seed` under the rung-`rungs_attempted - 1` solver config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure<E> {
+    /// The job index.
+    pub job: usize,
+    /// The job's derived seed
+    /// (`SeedStream::new(master).substream(job).seed()`).
+    pub seed: u64,
+    /// Attempts made (1 = nominal only, 1 + rungs when a ladder ran).
+    pub rungs_attempted: usize,
+    /// The error of the *last* attempt.
+    pub error: E,
+}
+
+/// The failure accounting of a resilient ensemble run, alongside the
+/// partial accumulator in [`EnsembleOutcome`]. Both lists are sorted
+/// by job index and bit-identical at every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureReport<E> {
+    /// Jobs the ensemble was asked to run.
+    pub jobs: usize,
+    /// Jobs that needed the rescue ladder but succeeded.
+    pub rescued: Vec<RescuedJob>,
+    /// Jobs dropped from the accumulator (always empty outside
+    /// [`FailurePolicy::Quarantine`]).
+    pub quarantined: Vec<JobFailure<E>>,
+}
+
+impl<E> FailureReport<E> {
+    /// The effective sample count: jobs whose results are actually in
+    /// the accumulator. Downstream statistics must divide by this,
+    /// not by [`FailureReport::jobs`].
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs - self.quarantined.len()
+    }
+
+    /// True when every job succeeded on its nominal attempt.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rescued.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+/// A resilient ensemble's result: the accumulator over the surviving
+/// jobs plus the failure accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleOutcome<A, E> {
+    /// The merged accumulator (over all jobs under `FailFast`/`Retry`,
+    /// over the survivors under `Quarantine`).
+    pub acc: A,
+    /// Rescue and quarantine accounting.
+    pub report: FailureReport<E>,
+}
+
+/// How one job ended, as seen by the shard fold.
+enum JobRun<T, E> {
+    /// The job produced an item (possibly after rescue rungs).
+    Done { item: T, rescued: Option<usize> },
+    /// The job failed on every permitted attempt.
+    Failed { rungs_attempted: usize, error: E },
+}
+
+/// One reduced shard: its accumulator plus failure bookkeeping.
+struct ShardOutcome<A, E> {
+    shard: usize,
+    acc: A,
+    rescued: Vec<RescuedJob>,
+    quarantined: Vec<JobFailure<E>>,
+}
+
+/// What one worker brings home: its finished shards, plus the first
+/// abort it hit (if any).
+type WorkerOutcome<A, E> = (Vec<ShardOutcome<A, E>>, Option<(usize, E)>);
+
+/// The shared sharded engine under both public entry points.
+///
+/// `run_job` decides each job's fate (including retries — the engine
+/// never re-invokes it). With `quarantine` false, a failed job aborts
+/// the run: workers stop claiming shards and the error of the
+/// lowest-indexed failing shard among those that ran is returned.
+/// With `quarantine` true, failures are folded into the shard's
+/// quarantine list, every shard runs, and the lists are concatenated
+/// in shard order — making the quarantined set itself deterministic.
+fn run_engine<A, E, R, S>(
+    jobs: usize,
+    parallelism: Parallelism,
+    quarantine: bool,
+    make_acc: impl Fn() -> A + Sync,
+    run_job: R,
+    seed_of: S,
+) -> Result<(A, FailureReport<E>), E>
+where
+    A: EnsembleAccumulator,
+    R: Fn(usize) -> JobRun<A::Item, E> + Sync,
+    S: Fn(usize) -> u64 + Sync,
+    E: Send,
+{
+    let mut report = FailureReport {
+        jobs,
+        rescued: Vec::new(),
+        quarantined: Vec::new(),
+    };
+    if jobs == 0 {
+        return Ok((make_acc(), report));
+    }
+    let width = shard_size(jobs);
+    let shards = jobs.div_ceil(width);
+    let workers = parallelism.workers().min(shards);
+
+    // One shard's fold: jobs [shard*width, ...) in index order.
+    // lint: hot-loop
+    // Runs once per Monte-Carlo job on every worker thread; the
+    // accumulator is the only storage on the success path, and the
+    // bookkeeping vectors start empty (no allocation until a job
+    // actually needs rescue or quarantine — the cold path).
+    let fold_shard = |shard: usize| -> Result<ShardOutcome<A, E>, E> {
+        let lo = shard * width;
+        let hi = (lo + width).min(jobs);
+        let mut out = ShardOutcome {
+            shard,
+            acc: make_acc(),
+            rescued: Vec::new(), // lint: allow(HOT001): Vec::new is allocation-free until first push
+            quarantined: Vec::new(), // lint: allow(HOT001): Vec::new is allocation-free until first push
+        };
+        for j in lo..hi {
+            match run_job(j) {
+                JobRun::Done { item, rescued } => {
+                    out.acc.absorb(j, item);
+                    if let Some(rung) = rescued {
+                        out.rescued.push(RescuedJob { job: j, rung }); // lint: allow(HOT003): cold path, only on rescue
+                    }
+                }
+                JobRun::Failed {
+                    rungs_attempted,
+                    error,
+                } => {
+                    if !quarantine {
+                        return Err(error);
+                    }
+                    // lint: allow(HOT003): cold path, only on quarantine
+                    out.quarantined.push(JobFailure {
+                        job: j,
+                        seed: seed_of(j),
+                        rungs_attempted,
+                        error,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    };
+    // lint: end-hot-loop
+
+    let mut completed: Vec<ShardOutcome<A, E>> = Vec::with_capacity(shards);
+    if workers <= 1 {
+        // Legacy sequential path: same shard structure and merge order
+        // as the threaded path, so the two agree bit-for-bit.
+        for shard in 0..shards {
+            completed.push(fold_shard(shard)?);
+        }
+    } else {
+        // Threaded path: workers race for shard indices on an atomic
+        // queue; each returns its shard outcomes for the ordered
+        // merge below.
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let outcome: Vec<WorkerOutcome<A, E>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<ShardOutcome<A, E>> = Vec::new();
+                        let mut error: Option<(usize, E)> = None;
+                        while !failed.load(Ordering::Relaxed) {
+                            let shard = next.fetch_add(1, Ordering::Relaxed);
+                            if shard >= shards {
+                                break;
+                            }
+                            match fold_shard(shard) {
+                                Ok(out) => done.push(out),
+                                Err(e) => {
+                                    error = Some((shard, e));
+                                    failed.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        (done, error)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ensemble worker panicked")) // lint: allow(HYG002): worker panics are deliberately propagated
+                .collect()
+        });
+
+        let mut first_error: Option<(usize, E)> = None;
+        for (done, error) in outcome {
+            completed.extend(done);
+            if let Some((shard, e)) = error {
+                match &first_error {
+                    Some((s, _)) if *s <= shard => {}
+                    _ => first_error = Some((shard, e)),
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        debug_assert_eq!(completed.len(), shards, "every shard reduced exactly once");
+        completed.sort_by_key(|out| out.shard);
+    }
+
+    let mut iter = completed.into_iter();
+    let first = iter.next().expect("jobs > 0 implies at least one shard"); // lint: allow(HYG002): jobs > 0 implies at least one shard
+    let mut total = first.acc;
+    report.rescued = first.rescued;
+    report.quarantined = first.quarantined;
+    for out in iter {
+        total.merge(out.acc);
+        report.rescued.extend(out.rescued);
+        report.quarantined.extend(out.quarantined);
+    }
+    Ok((total, report))
+}
 
 /// Runs `jobs` independent jobs and reduces their results.
 ///
 /// `make_acc` creates one fresh accumulator per shard; `job(i)`
 /// computes the result of job `i` (deriving any randomness from `i` —
 /// see the module docs). Results are bit-identical for every
-/// [`Parallelism`] value.
+/// [`Parallelism`] value. This is the strict fail-fast entry point;
+/// see [`run_ensemble_resilient`] for retry/quarantine policies and
+/// fault injection.
 ///
 /// # Errors
 ///
@@ -152,100 +480,93 @@ where
     F: Fn(usize) -> Result<A::Item, E> + Sync,
     E: Send,
 {
-    if jobs == 0 {
-        return Ok(make_acc());
-    }
-    let width = shard_size(jobs);
-    let shards = jobs.div_ceil(width);
-    let workers = parallelism.workers().min(shards);
-
-    // One shard's fold: jobs [shard*width, ...) in index order.
-    // lint: hot-loop
-    // Runs once per Monte-Carlo job on every worker thread; the
-    // accumulator is the only storage and is made exactly once per
-    // shard.
-    let fold_shard = |shard: usize| -> Result<A, E> {
-        let lo = shard * width;
-        let hi = (lo + width).min(jobs);
-        let mut acc = make_acc();
-        for j in lo..hi {
-            acc.absorb(j, job(j)?);
-        }
-        Ok(acc)
+    let run_job = |j: usize| match job(j) {
+        Ok(item) => JobRun::Done {
+            item,
+            rescued: None,
+        },
+        Err(error) => JobRun::Failed {
+            rungs_attempted: 1,
+            error,
+        },
     };
-    // lint: end-hot-loop
+    run_engine(jobs, parallelism, false, make_acc, run_job, |_| 0).map(|(acc, _)| acc)
+}
 
-    if workers <= 1 {
-        // Legacy sequential path: same shard structure and merge order
-        // as the threaded path, so the two agree bit-for-bit.
-        let mut total: Option<A> = None;
-        for shard in 0..shards {
-            let acc = fold_shard(shard)?;
-            match &mut total {
-                None => total = Some(acc),
-                Some(t) => t.merge(acc),
-            }
+/// Runs `jobs` independent jobs under an explicit [`ExecutionPolicy`]:
+/// fault injection, rescue-ladder retries, and quarantine with
+/// structured failure accounting.
+///
+/// `job(i, rung)` computes job `i` on rescue rung `rung` (0 = the
+/// nominal config; policies with a ladder re-invoke the job at rungs
+/// 1..=`rungs` after a failure, each expected to use a more
+/// conservative solver config). Jobs named by a
+/// [`FaultPlan::fail_job`] trigger fail irrecoverably with an
+/// [`InjectedFault`] converted via `E: From<InjectedFault>`.
+///
+/// The determinism contract extends to failure handling: the
+/// accumulator, the rescued list and the quarantined list (jobs,
+/// order, seeds, errors) are bit-identical at every worker count.
+///
+/// # Errors
+///
+/// Under `FailFast`/`Retry`, the error of a job that failed on every
+/// permitted attempt (lowest-indexed failing shard among those that
+/// ran). Under `Quarantine`, the error of the first failure past the
+/// `max_failures` budget in job order.
+pub fn run_ensemble_resilient<A, F, E>(
+    jobs: usize,
+    parallelism: Parallelism,
+    policy: &ExecutionPolicy,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<EnsembleOutcome<A, E>, E>
+where
+    A: EnsembleAccumulator,
+    F: Fn(usize, usize) -> Result<A::Item, E> + Sync,
+    E: Send + From<InjectedFault>,
+{
+    let rungs = policy.failure.rungs();
+    let quarantine = matches!(policy.failure, FailurePolicy::Quarantine { .. });
+    let run_job = |j: usize| -> JobRun<A::Item, E> {
+        if let Some(fault) = policy.faults.job_fault(j) {
+            // Job-site faults model irrecoverable samples: they fire
+            // on every rung, so no attempt is even made.
+            return JobRun::Failed {
+                rungs_attempted: rungs + 1,
+                error: E::from(fault),
+            };
         }
-        return Ok(total.expect("jobs > 0 implies at least one shard")); // lint: allow(HYG002): guarded by the jobs > 0 check above
-    }
-
-    // Threaded path: workers race for shard indices on an atomic
-    // queue; each returns its (shard, accumulator) pairs for the
-    // ordered merge below.
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let outcome: Vec<WorkerOutcome<A, E>> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, A)> = Vec::new();
-                    let mut error: Option<(usize, E)> = None;
-                    while !failed.load(Ordering::Relaxed) {
-                        let shard = next.fetch_add(1, Ordering::Relaxed);
-                        if shard >= shards {
-                            break;
-                        }
-                        match fold_shard(shard) {
-                            Ok(acc) => done.push((shard, acc)),
-                            Err(e) => {
-                                error = Some((shard, e));
-                                failed.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                        }
+        let mut rung = 0;
+        loop {
+            match job(j, rung) {
+                Ok(item) => {
+                    return JobRun::Done {
+                        item,
+                        rescued: (rung > 0).then_some(rung),
                     }
-                    (done, error)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ensemble worker panicked")) // lint: allow(HYG002): worker panics are deliberately propagated
-            .collect()
-    });
-
-    let mut completed: Vec<(usize, A)> = Vec::with_capacity(shards);
-    let mut first_error: Option<(usize, E)> = None;
-    for (done, error) in outcome {
-        completed.extend(done);
-        if let Some((shard, e)) = error {
-            match &first_error {
-                Some((s, _)) if *s <= shard => {}
-                _ => first_error = Some((shard, e)),
+                }
+                Err(error) if rung >= rungs => {
+                    return JobRun::Failed {
+                        rungs_attempted: rung + 1,
+                        error,
+                    }
+                }
+                Err(_) => rung += 1,
             }
         }
+    };
+    let seed_of = |j: usize| SeedStream::new(policy.seed).substream(j as u64).seed();
+    let (acc, mut report) = run_engine(jobs, parallelism, quarantine, make_acc, run_job, seed_of)?;
+    if let FailurePolicy::Quarantine { max_failures, .. } = policy.failure {
+        if report.quarantined.len() > max_failures {
+            // The budget is checked after the ordered merge so the
+            // verdict (and the reported error) is deterministic.
+            let over = report.quarantined.swap_remove(max_failures);
+            return Err(over.error);
+        }
     }
-    if let Some((_, e)) = first_error {
-        return Err(e);
-    }
-    debug_assert_eq!(completed.len(), shards, "every shard reduced exactly once");
-    completed.sort_by_key(|(shard, _)| *shard);
-    let mut iter = completed.into_iter();
-    let (_, mut total) = iter.next().expect("jobs > 0 implies at least one shard"); // lint: allow(HYG002): jobs > 0 implies at least one shard
-    for (_, acc) in iter {
-        total.merge(acc);
-    }
-    Ok(total)
+    Ok(EnsembleOutcome { acc, report })
 }
 
 /// Accumulates a per-grid-point running sum — the parallel form of an
@@ -502,6 +823,211 @@ mod tests {
         for jobs in [1usize, 7, 1000, 4096, 1_000_000] {
             assert!(jobs.div_ceil(shard_size(jobs)) <= 1024);
         }
+    }
+
+    use crate::faults::{FaultKind, FaultPlan, FaultSite, InjectedFault};
+
+    /// A minimal error type for policy tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum TestError {
+        Job(usize),
+        Injected(InjectedFault),
+    }
+
+    impl From<InjectedFault> for TestError {
+        fn from(f: InjectedFault) -> Self {
+            TestError::Injected(f)
+        }
+    }
+
+    #[test]
+    fn failfast_resilient_matches_run_ensemble_bit_for_bit() {
+        let seeds = SeedStream::new(11);
+        let job = |j: usize| -> Result<Vec<f64>, TestError> {
+            let mut rng = seeds.rng(j as u64);
+            Ok((0..3).map(|_| rng.gen::<f64>()).collect())
+        };
+        let legacy = run_ensemble::<MeanTrace, _, TestError>(
+            500,
+            Parallelism::Fixed(4),
+            || MeanTrace::zeros(3),
+            job,
+        )
+        .unwrap();
+        let policy = ExecutionPolicy::default();
+        let outcome = run_ensemble_resilient::<MeanTrace, _, TestError>(
+            500,
+            Parallelism::Fixed(4),
+            &policy,
+            || MeanTrace::zeros(3),
+            |j, _rung| job(j),
+        )
+        .unwrap();
+        assert!(outcome.report.is_clean());
+        assert_eq!(outcome.report.effective_jobs(), 500);
+        for (a, b) in legacy.mean().iter().zip(outcome.acc.mean()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn retry_climbs_the_ladder_and_records_the_rescue() {
+        let policy = ExecutionPolicy::with_failure(FailurePolicy::Retry { rungs: 2 });
+        let outcome = run_ensemble_resilient::<CountHistogram, _, TestError>(
+            50,
+            Parallelism::Fixed(3),
+            &policy,
+            || CountHistogram::with_bins(4),
+            |j, rung| {
+                // Job 17 needs rung 2; job 30 needs rung 1.
+                let needed = match j {
+                    17 => 2,
+                    30 => 1,
+                    _ => 0,
+                };
+                if rung >= needed {
+                    Ok(rung)
+                } else {
+                    Err(TestError::Job(j))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.acc.total(), 50);
+        assert_eq!(
+            outcome.report.rescued,
+            vec![
+                RescuedJob { job: 17, rung: 2 },
+                RescuedJob { job: 30, rung: 1 }
+            ]
+        );
+        assert!(outcome.report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn retry_exhaustion_aborts_like_failfast() {
+        let policy = ExecutionPolicy::with_failure(FailurePolicy::Retry { rungs: 1 });
+        let err = run_ensemble_resilient::<CountHistogram, _, TestError>(
+            20,
+            Parallelism::Fixed(1),
+            &policy,
+            || CountHistogram::with_bins(2),
+            |j, _rung| {
+                if j == 5 {
+                    Err(TestError::Job(j))
+                } else {
+                    Ok(0)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TestError::Job(5));
+    }
+
+    #[test]
+    fn quarantine_drops_failures_and_reports_them_deterministically() {
+        let run = |workers: usize| {
+            let policy = ExecutionPolicy {
+                failure: FailurePolicy::Quarantine {
+                    rungs: 0,
+                    max_failures: 10,
+                },
+                faults: FaultPlan::none(),
+                seed: 99,
+            };
+            run_ensemble_resilient::<MeanTrace, _, TestError>(
+                1100, // > 1024 so shards hold several jobs
+                Parallelism::Fixed(workers),
+                &policy,
+                || MeanTrace::zeros(2),
+                |j, _rung| {
+                    if j % 167 == 3 {
+                        Err(TestError::Job(j))
+                    } else {
+                        let mut rng = SeedStream::new(99).rng(j as u64);
+                        Ok(vec![rng.gen(), rng.gen()])
+                    }
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        let failing: Vec<usize> = reference.report.quarantined.iter().map(|q| q.job).collect();
+        assert_eq!(failing, vec![3, 170, 337, 504, 671, 838, 1005]);
+        assert_eq!(reference.report.effective_jobs(), 1100 - 7);
+        assert_eq!(reference.acc.count(), 1100 - 7);
+        // Reproduction seeds follow the documented derivation.
+        for q in &reference.report.quarantined {
+            assert_eq!(q.seed, SeedStream::new(99).substream(q.job as u64).seed());
+            assert_eq!(q.rungs_attempted, 1);
+        }
+        for workers in [2, 8] {
+            let par = run(workers);
+            assert_eq!(par.report, reference.report, "workers = {workers}");
+            for (a, b) in reference.acc.mean().iter().zip(par.acc.mean()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_budget_overflow_fails_with_the_first_excess_job() {
+        let policy = ExecutionPolicy::with_failure(FailurePolicy::Quarantine {
+            rungs: 0,
+            max_failures: 2,
+        });
+        for workers in [1, 4] {
+            let err = run_ensemble_resilient::<CountHistogram, _, TestError>(
+                100,
+                Parallelism::Fixed(workers),
+                &policy,
+                || CountHistogram::with_bins(2),
+                |j, _rung| {
+                    if j % 10 == 0 {
+                        Err(TestError::Job(j))
+                    } else {
+                        Ok(0)
+                    }
+                },
+            )
+            .unwrap_err();
+            // Failures land at 0, 10, 20, ...; the budget admits two,
+            // so job 20 is the first past it.
+            assert_eq!(err, TestError::Job(20), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn injected_job_faults_are_irrecoverable_and_quarantined() {
+        let policy = ExecutionPolicy {
+            failure: FailurePolicy::Quarantine {
+                rungs: 3,
+                max_failures: 1,
+            },
+            faults: FaultPlan::none().fail_job(7, FaultKind::NonConvergence),
+            seed: 0,
+        };
+        let outcome = run_ensemble_resilient::<CountHistogram, _, TestError>(
+            20,
+            Parallelism::Fixed(2),
+            &policy,
+            || CountHistogram::with_bins(2),
+            |_j, _rung| Ok(0),
+        )
+        .unwrap();
+        assert_eq!(outcome.acc.total(), 19);
+        let q = &outcome.report.quarantined[0];
+        assert_eq!(q.job, 7);
+        // The ladder is not climbed for job-site faults, but the
+        // report still accounts for every rung being unavailable.
+        assert_eq!(q.rungs_attempted, 4);
+        assert_eq!(
+            q.error,
+            TestError::Injected(InjectedFault {
+                kind: FaultKind::NonConvergence,
+                site: FaultSite::Job,
+            })
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@ use core::fmt;
 
 use samurai_waveform::WaveformError;
 
+use crate::faults::InjectedFault;
+
 /// Errors from RTN trace generation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -33,6 +35,9 @@ pub enum CoreError {
     /// A generated event sequence failed waveform construction (e.g.
     /// duplicate or non-monotonic event times from degenerate rates).
     Waveform(WaveformError),
+    /// A planned fault from a [`crate::FaultPlan`] fired (tests and
+    /// rescue-path drills only; never raised in unfaulted runs).
+    Injected(InjectedFault),
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +54,7 @@ impl fmt::Display for CoreError {
                 write!(f, "propensity evaluation returned a non-finite value at t = {time}")
             }
             Self::Waveform(e) => write!(f, "generated trace is not a valid waveform: {e}"),
+            Self::Injected(fault) => write!(f, "{fault}"),
         }
     }
 }
@@ -56,6 +62,12 @@ impl fmt::Display for CoreError {
 impl From<WaveformError> for CoreError {
     fn from(e: WaveformError) -> Self {
         Self::Waveform(e)
+    }
+}
+
+impl From<InjectedFault> for CoreError {
+    fn from(fault: InjectedFault) -> Self {
+        Self::Injected(fault)
     }
 }
 

@@ -53,6 +53,7 @@
 mod bias;
 pub mod ensemble;
 mod error;
+pub mod faults;
 mod generator;
 pub mod gillespie;
 mod rng;
@@ -61,8 +62,12 @@ mod uniformisation;
 pub mod ye;
 
 pub use bias::BiasWaveforms;
-pub use ensemble::{run_ensemble, EnsembleAccumulator, Parallelism};
+pub use ensemble::{
+    run_ensemble, run_ensemble_resilient, EnsembleAccumulator, EnsembleOutcome, ExecutionPolicy,
+    FailurePolicy, FailureReport, JobFailure, Parallelism, RescuedJob,
+};
 pub use error::CoreError;
+pub use faults::{FaultArm, FaultKind, FaultPlan, FaultSite, InjectedFault};
 pub use generator::{DeviceRtn, RtnGenerator, TraceMethod};
 pub use rng::{exp_rand, trap_rng, SeedStream};
 pub use rtn_current::{rtn_current, single_trap_amplitude, AmplitudeModel};

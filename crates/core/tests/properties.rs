@@ -1,8 +1,13 @@
 //! Property-based tests of the uniformisation kernel over random trap
-//! parameters and bias waveforms.
+//! parameters and bias waveforms, and of the failure-policy contracts
+//! of the resilient ensemble engine.
 
 use proptest::prelude::*;
 
+use samurai_core::ensemble::{
+    run_ensemble_resilient, ExecutionPolicy, FailurePolicy, IndexedResults, Parallelism,
+};
+use samurai_core::faults::{FaultKind, FaultPlan};
 use samurai_core::{
     simulate_trap, simulate_trap_with, CoreError, SeedStream, UniformisationConfig,
 };
@@ -186,5 +191,116 @@ proptest! {
         let roomy = UniformisationConfig { max_candidate_events: 100_000 };
         let occ = simulate_trap_with(&m, &bias, 0.0, tf, &mut SeedStream::new(seed).rng(0), &roomy);
         prop_assert!(occ.is_ok(), "roomy budget must succeed: {:?}", occ);
+    }
+
+    /// `Quarantine` is bit-identical at every worker count: the
+    /// surviving items, the quarantined set (with seeds and attempt
+    /// counts) and their order are all functions of `(seed, plan)`
+    /// alone, never of the shard race.
+    #[test]
+    fn quarantine_is_bit_identical_at_any_worker_count(
+        jobs in 4usize..40,
+        bad_a in 0usize..40,
+        bad_b in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let bad_a = bad_a % jobs;
+        let bad_b = bad_b % jobs;
+        let faults = FaultPlan::none()
+            .fail_job(bad_a, FaultKind::NonConvergence)
+            .fail_job(bad_b, FaultKind::SingularMatrix);
+        let run = |workers: usize| {
+            let policy = ExecutionPolicy {
+                failure: FailurePolicy::Quarantine { rungs: 1, max_failures: 2 },
+                faults: faults.clone(),
+                seed,
+            };
+            run_ensemble_resilient::<IndexedResults<u64>, _, CoreError>(
+                jobs,
+                Parallelism::Fixed(workers),
+                &policy,
+                IndexedResults::new,
+                |job, rung| Ok((job as u64) * 1000 + rung as u64),
+            )
+            .expect("quarantine absorbs the planned failures")
+        };
+
+        let reference = run(1);
+        let ref_items = reference.acc.into_vec();
+        let ref_bad: Vec<(usize, u64, usize)> = reference
+            .report
+            .quarantined
+            .iter()
+            .map(|f| (f.job, f.seed, f.rungs_attempted))
+            .collect();
+        let mut expect_bad = vec![bad_a, bad_b];
+        expect_bad.sort_unstable();
+        expect_bad.dedup();
+        prop_assert_eq!(
+            ref_bad.iter().map(|q| q.0).collect::<Vec<_>>(),
+            expect_bad.clone()
+        );
+        prop_assert_eq!(ref_items.len(), jobs - expect_bad.len());
+        prop_assert_eq!(reference.report.effective_jobs(), ref_items.len());
+
+        for workers in [2usize, 8] {
+            let out = run(workers);
+            prop_assert_eq!(out.acc.into_vec(), ref_items.clone(), "{} workers", workers);
+            let bad: Vec<(usize, u64, usize)> = out
+                .report
+                .quarantined
+                .iter()
+                .map(|f| (f.job, f.seed, f.rungs_attempted))
+                .collect();
+            prop_assert_eq!(bad, ref_bad.clone(), "{} workers", workers);
+        }
+    }
+
+    /// `Retry` touches only the jobs that actually failed: every job
+    /// that succeeds on its nominal attempt contributes exactly the
+    /// item it would have contributed under `FailFast`, and the rescue
+    /// report names the failing job alone.
+    #[test]
+    fn retry_never_changes_jobs_that_succeed_on_the_nominal_attempt(
+        jobs in 2usize..32,
+        bad in 0usize..32,
+        rungs in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let bad = bad % jobs;
+        let run = |failure: FailurePolicy, fail_bad: bool| {
+            run_ensemble_resilient::<IndexedResults<(usize, usize)>, _, CoreError>(
+                jobs,
+                Parallelism::Fixed(4),
+                &ExecutionPolicy { failure, faults: FaultPlan::none(), seed },
+                IndexedResults::new,
+                move |job, rung| {
+                    if fail_bad && job == bad && rung == 0 {
+                        Err(CoreError::EmptyHorizon { t0: 0.0, tf: 0.0 })
+                    } else {
+                        Ok((job, rung))
+                    }
+                },
+            )
+        };
+
+        let clean = run(FailurePolicy::FailFast, false)
+            .expect("nothing fails")
+            .acc
+            .into_vec();
+        let outcome = run(FailurePolicy::Retry { rungs }, true).expect("retry rescues");
+        let items = outcome.acc.into_vec();
+        prop_assert_eq!(items.len(), jobs);
+        for (got, want) in items.iter().zip(&clean) {
+            if got.0 == bad {
+                prop_assert_eq!(got.1, 1, "the failing job succeeds on rung 1");
+            } else {
+                prop_assert_eq!(got, want, "rung-0 successes are untouched");
+            }
+        }
+        prop_assert_eq!(outcome.report.rescued.len(), 1);
+        prop_assert_eq!(outcome.report.rescued[0].job, bad);
+        prop_assert_eq!(outcome.report.rescued[0].rung, 1);
+        prop_assert!(outcome.report.quarantined.is_empty());
     }
 }

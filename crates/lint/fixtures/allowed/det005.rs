@@ -1,0 +1,10 @@
+//! Allowed counterpart: DET005 suppressed with a justified escape.
+
+use samurai_core::faults::{FaultKind, FaultPlan};
+
+pub fn diagnostic_plan() -> FaultPlan {
+    FaultPlan::none()
+        .fail_nth_solve(3, FaultKind::SingularMatrix) // lint: allow(DET005): diagnostic harness, opt-in via config
+        .fail_nth_step(7, FaultKind::TimestepFloor) // lint: allow(DET005): diagnostic harness, opt-in via config
+        .fail_job(2, FaultKind::NonConvergence) // lint: allow(DET005): diagnostic harness, opt-in via config
+}

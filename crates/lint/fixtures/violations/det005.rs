@@ -1,0 +1,10 @@
+//! Seeded violation: DET005 — fault-plan construction in production code.
+
+use samurai_core::faults::{FaultKind, FaultPlan};
+
+pub fn sabotaged_plan() -> FaultPlan {
+    FaultPlan::none()
+        .fail_nth_solve(3, FaultKind::SingularMatrix) //~ DET005
+        .fail_nth_step(7, FaultKind::TimestepFloor) //~ DET005
+        .fail_job(2, FaultKind::NonConvergence) //~ DET005
+}

@@ -107,6 +107,17 @@ pub const RULES: &[Rule] = &[
                   justify a lookup-only map with `// lint: allow(DET004): reason`.",
     },
     Rule {
+        id: "DET005",
+        title: "no fault-plan construction in production code",
+        contract: "determinism",
+        explain: "FaultPlan builder calls (fail_nth_solve, fail_nth_step, fail_job) schedule \
+                  deliberate solver failures. They belong in #[cfg(test)] modules, the \
+                  fault-injection suite and the faults module itself; a plan built in \
+                  production library code would silently corrupt ensemble results. Fix: move \
+                  the construction into a test, or thread a plan in from the caller's \
+                  configuration (carrying and arming plans is always allowed).",
+    },
+    Rule {
         id: "HOT001",
         title: "no heap construction in hot loops",
         contract: "no-alloc",
@@ -223,11 +234,19 @@ const AMBIENT_RNG: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy
 /// Panicking macros (HYG003).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// FaultPlan builder methods that schedule injected failures (DET005).
+const FAULT_PLAN_BUILDERS: &[&str] = &["fail_nth_solve", "fail_nth_step", "fail_job"];
+
 /// Runs every applicable rule over one file's tokens.
 pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
     let mut out = Vec::new();
     let is_library = matches!(class, FileClass::Library { .. });
     let is_numeric = matches!(class, FileClass::Library { numeric: true });
+    // The faults module defines the builders; its own (non-test) code
+    // is the one legitimate construction site.
+    let is_faults_module = std::path::Path::new(path)
+        .file_name()
+        .is_some_and(|f| f == "faults.rs");
 
     let mut emit = |rule: &'static str, tok: &Tok, message: String| {
         // UNS001 applies even in test code; everything else is exempt
@@ -291,6 +310,17 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
                         "DET004",
                         t,
                         format!("`{name}` has randomized iteration order; use BTreeMap/BTreeSet in numeric crates"),
+                    );
+                }
+                if is_library
+                    && !is_faults_module
+                    && prev == "."
+                    && FAULT_PLAN_BUILDERS.contains(&name)
+                {
+                    emit(
+                        "DET005",
+                        t,
+                        format!("`.{name}()` builds a fault plan in production code; construct plans only in tests"),
                     );
                 }
 
@@ -486,6 +516,30 @@ mod tests {
             LIB
         )
         .is_empty());
+    }
+
+    #[test]
+    fn fault_plan_builders_fire_outside_tests_and_the_faults_module() {
+        let src =
+            "fn f(p: FaultPlan) -> FaultPlan { p.fail_nth_solve(3, FaultKind::NanResidual) }\n";
+        let f = findings(src, LIB);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "DET005");
+
+        // Test modules may build plans freely.
+        let src = "#[cfg(test)]\nmod tests { fn g() { let p = FaultPlan::none().fail_nth_step(1, FaultKind::TimestepFloor); } }\n";
+        assert!(findings(src, LIB).is_empty());
+
+        // The faults module is the defining (and one legitimate
+        // production) construction site.
+        let src = "fn f(p: FaultPlan) -> FaultPlan { p.fail_job(2, FaultKind::NonConvergence) }\n";
+        let (toks, comments) = tokenize(src);
+        let ctx = FileContext::build(&toks, &comments);
+        assert!(check_tokens("crates/core/src/faults.rs", LIB, &toks, &ctx).is_empty());
+
+        // Carrying or arming a plan is not construction.
+        let src = "fn f(p: &FaultPlan) { let a = p.arm(FaultSite::Solve); }\n";
+        assert!(findings(src, LIB).is_empty());
     }
 
     #[test]

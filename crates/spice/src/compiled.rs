@@ -30,6 +30,8 @@
 //! is what keeps fill-pattern clearing of the assembled Jacobian
 //! valid.
 
+use samurai_core::faults::{FaultArm, FaultKind};
+
 use crate::linalg::DenseMatrix;
 use crate::netlist::{Circuit, Element, ElementId, Source};
 use crate::{MosfetParams, SpiceError};
@@ -73,7 +75,8 @@ impl IntegMode {
 
 /// Numerical controls for the Newton iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct NewtonConfig {
+pub struct NewtonConfig {
+    /// Iteration budget before `NonConvergence` is reported.
     pub max_iterations: usize,
     /// Convergence threshold on the largest voltage update.
     pub v_tol: f64,
@@ -130,6 +133,18 @@ pub struct NewtonWorkspace {
     pub(crate) source_scale: f64,
     /// Stamp context: homotopy conductance added to the circuit gmin.
     pub(crate) gmin_extra: f64,
+    /// Pre-resolved fault triggers counting Newton solves.
+    pub(crate) solve_arm: FaultArm,
+    /// Pre-resolved fault triggers counting transient step attempts
+    /// (consulted by the transient loop and the stepper, not here).
+    pub(crate) step_arm: FaultArm,
+    /// Newton solves attempted on this workspace (each `newton()`
+    /// entry: homotopy rungs, trial steps, rescue rungs all count).
+    pub(crate) solve_attempts: u64,
+    /// Transient-rescue gmin-ramp rungs that have fired.
+    pub(crate) rescue_gmin_rungs: u64,
+    /// Transient-rescue config-ladder rungs that have fired.
+    pub(crate) rescue_config_rungs: u64,
 }
 
 impl NewtonWorkspace {
@@ -148,6 +163,11 @@ impl NewtonWorkspace {
             mode: IntegMode::Dc,
             source_scale: 1.0,
             gmin_extra: 0.0,
+            solve_arm: FaultArm::disarmed(),
+            step_arm: FaultArm::disarmed(),
+            solve_attempts: 0,
+            rescue_gmin_rungs: 0,
+            rescue_config_rungs: 0,
         }
     }
 
@@ -155,6 +175,30 @@ impl NewtonWorkspace {
     /// voltage-source branch currents).
     pub fn solution(&self) -> &[f64] {
         &self.x
+    }
+
+    /// Arms deterministic fault injection on this workspace: `solve`
+    /// triggers count Newton solves, `step` triggers count transient
+    /// step attempts. Arms persist across analyses on the same
+    /// workspace (counters are not reset by a new run), so the N-th
+    /// solve is the N-th since arming.
+    pub fn arm_faults(&mut self, solve: FaultArm, step: FaultArm) {
+        self.solve_arm = solve;
+        self.step_arm = step;
+    }
+
+    /// Newton solves attempted since construction — one per
+    /// `newton()` entry, so dcop homotopy rungs, transient trials and
+    /// rescue rungs all count. Rescue-ladder coverage tests and
+    /// failure diagnostics read this.
+    pub fn solve_attempts(&self) -> u64 {
+        self.solve_attempts
+    }
+
+    /// `(gmin_ramp, config_ladder)` transient-rescue rungs that have
+    /// fired on this workspace.
+    pub fn rescue_rungs_fired(&self) -> (u64, u64) {
+        (self.rescue_gmin_rungs, self.rescue_config_rungs)
     }
 
     /// Promotes the trial solution without copying.
@@ -697,20 +741,54 @@ impl CompiledCircuit {
     ) -> Result<(), SpiceError> {
         let n_nodes = self.n_nodes;
         debug_assert_eq!(x.len(), self.n_unknowns);
+        ws.solve_attempts += 1;
+        // Fault injection resolves to one pre-armed branch per solve
+        // (a counter bump and an integer compare); the per-iteration
+        // cost below is untouched. Injected failures are driven
+        // through the *real* error paths: a genuinely zeroed LU row, a
+        // genuinely poisoned residual, a genuinely exhausted loop.
+        let injected = ws.solve_arm.check();
+        let force_nonconvergence = matches!(
+            injected,
+            Some(FaultKind::NonConvergence | FaultKind::TimestepFloor)
+        );
 
-        for _iter in 0..config.max_iterations {
+        let mut last_max_dv = f64::NAN;
+        for iter in 0..config.max_iterations {
             self.assemble(x, ws);
+            if iter == 0 && injected == Some(FaultKind::NanResidual) {
+                if let Some(r) = ws.res.first_mut() {
+                    *r = f64::NAN;
+                }
+            }
 
             // Solve J delta = -res; the LU runs in the scratch copy.
             ws.delta.clear();
             ws.delta.extend(ws.res.iter().map(|r| -r));
             ws.lu.copy_from(&ws.jac);
+            if iter == 0 && injected == Some(FaultKind::SingularMatrix) {
+                for c in 0..self.n_unknowns {
+                    ws.lu.set(0, c, 0.0);
+                }
+            }
             ws.lu.solve_in_place(&mut ws.delta)?;
+
+            // A non-finite update poisons every later iterate, and —
+            // because `f64::max` ignores NaN — would otherwise slip
+            // through the max-fold convergence checks below as an
+            // apparent 0.0. Bail out immediately instead.
+            if ws.delta.iter().any(|d| !d.is_finite()) {
+                return Err(SpiceError::NumericalBreakdown {
+                    time: ws.t,
+                    iteration: iter,
+                });
+            }
 
             // Damping: clamp node-voltage updates.
             let max_dv = ws.delta[..n_nodes]
                 .iter()
                 .fold(0.0f64, |m, d| m.max(d.abs()));
+            last_max_dv = max_dv;
             let scale = if max_dv > config.v_step_clamp {
                 config.v_step_clamp / max_dv
             } else {
@@ -721,7 +799,7 @@ impl CompiledCircuit {
             }
 
             // lint: allow(HYG004): exact 1.0 means "no scaling requested"
-            if scale == 1.0 && max_dv < config.v_tol {
+            if scale == 1.0 && max_dv < config.v_tol && !force_nonconvergence {
                 // Check the residual at the updated point.
                 self.assemble(x, ws);
                 let max_res = ws.res[..n_nodes].iter().fold(0.0f64, |m, r| m.max(r.abs()));
@@ -730,9 +808,15 @@ impl CompiledCircuit {
                 }
             }
         }
+        // Cold failure path: one extra assembly buys the diagnostic
+        // residual for the report.
+        self.assemble(x, ws);
+        let max_res = ws.res[..n_nodes].iter().fold(0.0f64, |m, r| m.max(r.abs()));
         Err(SpiceError::NonConvergence {
             time: ws.t,
             iterations: config.max_iterations,
+            max_delta: last_max_dv,
+            max_residual: max_res,
         })
     }
     // lint: end-hot-loop
@@ -767,13 +851,31 @@ impl CompiledCircuit {
         mode: IntegMode,
         config: &NewtonConfig,
     ) -> Result<(), SpiceError> {
+        self.solve_trial_with(ws, t, mode, 0.0, false, config)
+    }
+
+    /// [`solve_trial`](Self::solve_trial) with rescue-ladder controls:
+    /// `gmin_extra` adds homotopy conductance, and `warm` keeps the
+    /// current trial buffer as the initial guess (for gmin-ramp
+    /// continuation) instead of re-seeding from the accepted solution.
+    pub(crate) fn solve_trial_with(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t: f64,
+        mode: IntegMode,
+        gmin_extra: f64,
+        warm: bool,
+        config: &NewtonConfig,
+    ) -> Result<(), SpiceError> {
         ws.t = t;
         ws.mode = mode;
         ws.source_scale = 1.0;
-        ws.gmin_extra = 0.0;
+        ws.gmin_extra = gmin_extra;
         let mut x_try = std::mem::take(&mut ws.x_try);
-        x_try.clear();
-        x_try.extend_from_slice(&ws.x);
+        if !warm {
+            x_try.clear();
+            x_try.extend_from_slice(&ws.x);
+        }
         let outcome = self.newton(&mut x_try, ws, config);
         ws.x_try = x_try;
         outcome

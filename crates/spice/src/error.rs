@@ -17,6 +17,10 @@ pub enum SpiceError {
         time: f64,
         /// Iterations attempted.
         iterations: usize,
+        /// Largest node-voltage update of the final iteration.
+        max_delta: f64,
+        /// Largest KCL residual at the final iterate (amperes).
+        max_residual: f64,
     },
     /// The adaptive transient step shrank below the floor.
     StepUnderflow {
@@ -24,6 +28,19 @@ pub enum SpiceError {
         time: f64,
         /// The rejected step size.
         dt: f64,
+        /// Rescue-ladder rungs attempted on the failing step before
+        /// giving up (0 when the ladder is disabled).
+        rescue_rungs: usize,
+    },
+    /// A non-finite value (NaN/∞) appeared in the Newton update: the
+    /// iteration is numerically destroyed and cannot recover by
+    /// iterating further.
+    NumericalBreakdown {
+        /// Simulation time at which the breakdown occurred (NaN for
+        /// DC).
+        time: f64,
+        /// The iteration that produced the non-finite update.
+        iteration: usize,
     },
     /// A node name was looked up that does not exist in the circuit.
     UnknownNode {
@@ -51,11 +68,32 @@ impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::SingularMatrix => write!(f, "singular system matrix"),
-            Self::NonConvergence { time, iterations } => {
-                write!(f, "newton iteration failed to converge at t = {time} after {iterations} iterations")
+            Self::NonConvergence {
+                time,
+                iterations,
+                max_delta,
+                max_residual,
+            } => {
+                write!(
+                    f,
+                    "newton iteration failed to converge at t = {time} after {iterations} iterations (final max |dV| = {max_delta:.3e} V, max |residual| = {max_residual:.3e} A)"
+                )
             }
-            Self::StepUnderflow { time, dt } => {
-                write!(f, "transient step underflow at t = {time} (dt = {dt:.3e})")
+            Self::StepUnderflow {
+                time,
+                dt,
+                rescue_rungs,
+            } => {
+                write!(
+                    f,
+                    "transient step underflow at t = {time} (dt = {dt:.3e}, {rescue_rungs} rescue rungs attempted)"
+                )
+            }
+            Self::NumericalBreakdown { time, iteration } => {
+                write!(
+                    f,
+                    "numerical breakdown (non-finite newton update) at t = {time}, iteration {iteration}"
+                )
             }
             Self::UnknownNode { name } => write!(f, "unknown node `{name}`"),
             Self::InvalidElement { reason } => write!(f, "invalid element use: {reason}"),
@@ -85,10 +123,34 @@ mod tests {
         let e = SpiceError::NonConvergence {
             time: 1e-9,
             iterations: 100,
+            max_delta: 2.5e-3,
+            max_residual: 4.0e-7,
         };
-        assert!(e.to_string().contains("100"));
+        let msg = e.to_string();
+        assert!(msg.contains("100"), "{msg}");
+        assert!(msg.contains("2.500e-3"), "{msg}");
+        assert!(msg.contains("4.000e-7"), "{msg}");
         assert!(SpiceError::UnknownNode { name: "q".into() }
             .to_string()
             .contains("`q`"));
+    }
+
+    #[test]
+    fn underflow_and_breakdown_carry_their_diagnostics() {
+        let e = SpiceError::StepUnderflow {
+            time: 3e-9,
+            dt: 1e-19,
+            rescue_rungs: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1.000e-19"), "{msg}");
+        assert!(msg.contains("5 rescue rungs"), "{msg}");
+        let b = SpiceError::NumericalBreakdown {
+            time: 2e-9,
+            iteration: 7,
+        };
+        let msg = b.to_string();
+        assert!(msg.contains("non-finite"), "{msg}");
+        assert!(msg.contains('7'), "{msg}");
     }
 }

@@ -59,7 +59,7 @@ pub mod parser;
 mod stepper;
 mod transient;
 
-pub use compiled::{CompiledCircuit, NewtonWorkspace, Stamp};
+pub use compiled::{CompiledCircuit, NewtonConfig, NewtonWorkspace, Stamp};
 pub use dcop::{dc_operating_point, DcConfig};
 pub use error::SpiceError;
 pub use linalg::DenseMatrix;
@@ -67,4 +67,4 @@ pub use mosfet::{MosType, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Source};
 pub use parser::{parse_netlist, ParsedNetlist};
 pub use stepper::TransientStepper;
-pub use transient::{run_transient, Integrator, TransientConfig, TransientResult};
+pub use transient::{run_transient, Integrator, RescueConfig, TransientConfig, TransientResult};

@@ -12,6 +12,8 @@
 //! storage lives in the stepper's persistent workspace, so the
 //! step/rewrite loop is allocation-free.
 
+use samurai_core::faults::{FaultArm, FaultKind};
+
 use crate::compiled::{CompiledCircuit, IntegMode, NewtonConfig, NewtonWorkspace};
 use crate::dcop::DcConfig;
 use crate::netlist::{NodeId, Source};
@@ -52,6 +54,14 @@ impl TransientStepper {
         self.t
     }
 
+    /// Arms fault injection on this stepper's workspace: `solve`
+    /// triggers inside the Newton loop, `step` triggers at each
+    /// [`step`](Self::step) call. Used by the fault-injection suite;
+    /// disarmed arms are free.
+    pub fn arm_faults(&mut self, solve: FaultArm, step: FaultArm) {
+        self.ws.arm_faults(solve, step);
+    }
+
     /// Rewrites the waveform of voltage/current source `id`, effective
     /// from the next [`step`](Self::step).
     ///
@@ -83,6 +93,26 @@ impl TransientStepper {
         assert!(h > 0.0 && h.is_finite(), "step must be positive");
         let mode = IntegMode::BackwardEuler { h };
         let t_new = self.t + h;
+        if let Some(kind) = self.ws.step_arm.check() {
+            return Err(match kind {
+                FaultKind::SingularMatrix => SpiceError::SingularMatrix,
+                FaultKind::NanResidual => SpiceError::NumericalBreakdown {
+                    time: t_new,
+                    iteration: 0,
+                },
+                FaultKind::NonConvergence => SpiceError::NonConvergence {
+                    time: t_new,
+                    iterations: 0,
+                    max_delta: f64::INFINITY,
+                    max_residual: f64::INFINITY,
+                },
+                FaultKind::TimestepFloor => SpiceError::StepUnderflow {
+                    time: self.t,
+                    dt: h,
+                    rescue_rungs: 0,
+                },
+            });
+        }
         self.compiled
             .solve_trial(&mut self.ws, t_new, mode, &self.newton)?;
         self.compiled.refresh_states(&mut self.ws, true);

@@ -1,5 +1,6 @@
 //! Adaptive transient analysis.
 
+use samurai_core::faults::FaultKind;
 use samurai_waveform::Pwl;
 
 use crate::compiled::{CompiledCircuit, IntegMode, NewtonConfig, NewtonWorkspace};
@@ -34,6 +35,10 @@ pub struct TransientConfig {
     pub dv_max: f64,
     /// DC operating-point controls for the initial solution.
     pub dc: DcConfig,
+    /// Newton controls for every trial step.
+    pub newton: NewtonConfig,
+    /// The step-level rescue ladder tried when halving bottoms out.
+    pub rescue: RescueConfig,
 }
 
 impl Default for TransientConfig {
@@ -45,6 +50,76 @@ impl Default for TransientConfig {
             dt_min: 1e-18,
             dv_max: 0.12,
             dc: DcConfig::default(),
+            newton: NewtonConfig::default(),
+            rescue: RescueConfig::default(),
+        }
+    }
+}
+
+impl TransientConfig {
+    /// The progressively conservative config for ensemble rescue rung
+    /// `rung` (the job-level ladder used by
+    /// `samurai_core::ensemble::FailurePolicy::Retry`): rung 0 is
+    /// `self` unchanged; each higher rung halves the acceptance
+    /// threshold `dv_max` and the Newton damping clamp (forcing
+    /// smaller, safer steps), quarters any explicit `dt_init`/`dt_max`,
+    /// doubles the Newton iteration budget, and prepends a larger gmin
+    /// rung to the dcop homotopy.
+    #[must_use]
+    pub fn rescue_rung(&self, rung: usize) -> TransientConfig {
+        if rung == 0 {
+            return self.clone();
+        }
+        let shrink = 2f64.powi(rung.min(32) as i32);
+        let mut out = self.clone();
+        out.dv_max = self.dv_max / shrink;
+        out.dt_init = self.dt_init.map(|d| d / (shrink * shrink));
+        out.dt_max = self.dt_max.map(|d| d / (shrink * shrink));
+        out.newton.max_iterations = self.newton.max_iterations.saturating_mul(1 << rung.min(16));
+        out.newton.v_step_clamp = self.newton.v_step_clamp / shrink;
+        let head = self.dc.gmin_steps.first().copied().unwrap_or(1e-2);
+        let mut steps = vec![head * 10f64.powi(rung.min(32) as i32)];
+        steps.extend(self.dc.gmin_steps.iter().copied());
+        out.dc.gmin_steps = steps;
+        out
+    }
+}
+
+/// The step-level rescue ladder: what [`run_transient`] tries, on the
+/// failing step only, after timestep halving has bottomed out at
+/// `dt_min` — mirroring the dcop gmin/source-stepping homotopy.
+///
+/// Stage 1 ramps an extra gmin down `gmin_ramp` (warm-starting each
+/// rung from the previous one) and finishes with a gmin-free solve;
+/// stage 2 retries the step under progressively patient Newton
+/// configs (doubled iteration budget, halved damping clamp per rung).
+/// Runs that never bottom out never enter the ladder, so enabling it
+/// (the default) cannot change a previously succeeding result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescueConfig {
+    /// Extra-gmin homotopy values, tried in order (decreasing).
+    pub gmin_ramp: Vec<f64>,
+    /// Newton-config retry rungs after the gmin ramp.
+    pub config_rungs: usize,
+}
+
+impl Default for RescueConfig {
+    fn default() -> Self {
+        Self {
+            gmin_ramp: vec![1e-3, 1e-6, 1e-9],
+            config_rungs: 2,
+        }
+    }
+}
+
+impl RescueConfig {
+    /// No rescue: halving to the floor fails the run immediately
+    /// (the pre-ladder behaviour).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            gmin_ramp: Vec::new(),
+            config_rungs: 0,
         }
     }
 }
@@ -257,7 +332,6 @@ impl CompiledCircuit {
         // Initial condition.
         self.init_transient(ws, t0, &config.dc)?;
 
-        let newton = NewtonConfig::default();
         // Pre-reserve for the common no-rejection trajectory: the step
         // ramps from dt to dt_max, then cruises at dt_max between
         // breakpoints.
@@ -294,9 +368,30 @@ impl CompiledCircuit {
             };
 
             let t_new = t + h;
-            let solved = self.solve_trial(ws, t_new, mode, &newton);
+            // Step-site fault injection: one pre-armed check per step
+            // attempt. Injected faults surface as the solver errors
+            // they model; `TimestepFloor` instead routes this step
+            // straight to the bottomed-out rescue path below.
+            let step_fault = ws.step_arm.check();
+            let floor_forced = step_fault == Some(FaultKind::TimestepFloor);
+            let solved = match step_fault {
+                None => self.solve_trial(ws, t_new, mode, &config.newton),
+                Some(FaultKind::SingularMatrix) => Err(SpiceError::SingularMatrix),
+                Some(FaultKind::NanResidual) => Err(SpiceError::NumericalBreakdown {
+                    time: t_new,
+                    iteration: 0,
+                }),
+                Some(FaultKind::NonConvergence | FaultKind::TimestepFloor) => {
+                    Err(SpiceError::NonConvergence {
+                        time: t_new,
+                        iterations: 0,
+                        max_delta: f64::INFINITY,
+                        max_residual: f64::INFINITY,
+                    })
+                }
+            };
 
-            let accepted = match solved {
+            let mut accepted = match solved {
                 Ok(()) => {
                     let max_dv = ws.x_try[..self.n_nodes]
                         .iter()
@@ -308,6 +403,27 @@ impl CompiledCircuit {
                 Err(_) => false,
             };
 
+            if !accepted {
+                // Reject: halve the step. When halving bottoms out at
+                // the floor (or an injected fault says it has), climb
+                // the rescue ladder on this failing step before giving
+                // up — exactly where the pre-ladder engine returned
+                // `StepUnderflow`, so unaffected runs are untouched.
+                let bottomed = if floor_forced {
+                    true
+                } else {
+                    dt = h / 2.0;
+                    dt < config.dt_min
+                };
+                if bottomed {
+                    self.rescue_step(ws, t, t_new, mode, dt.min(h), config)?;
+                    accepted = true;
+                    // The rescue converged under homotopy; re-enter
+                    // the adaptive ramp cautiously.
+                    dt = config.dt_init.unwrap_or(span / 1000.0).min(dt_max);
+                }
+            }
+
             if accepted {
                 self.refresh_states(ws, true);
                 ws.accept_trial();
@@ -316,14 +432,75 @@ impl CompiledCircuit {
                 result.solutions.push(ws.solution().to_vec());
                 be_restart = hits_breakpoint && config.integrator == Integrator::Trapezoidal;
                 dt = (dt * 1.4).min(dt_max);
-            } else {
-                dt = h / 2.0;
-                if dt < config.dt_min {
-                    return Err(SpiceError::StepUnderflow { time: t, dt });
-                }
             }
         }
         Ok(result)
+    }
+
+    /// The step-level rescue ladder (see [`RescueConfig`]): called only
+    /// after timestep halving has bottomed out on the step to `t_new`.
+    /// On success the trial buffer holds a converged solution; on
+    /// failure returns [`SpiceError::StepUnderflow`] with the number of
+    /// rungs attempted.
+    fn rescue_step(
+        &self,
+        ws: &mut NewtonWorkspace,
+        t: f64,
+        t_new: f64,
+        mode: IntegMode,
+        dt_floor: f64,
+        config: &TransientConfig,
+    ) -> Result<(), SpiceError> {
+        let mut rungs = 0usize;
+
+        // Stage 1: gmin ramp on the failing step. The first rung cold-
+        // starts from the last accepted solution; later rungs (and the
+        // final gmin-free solve) warm-start from the previous rung.
+        let mut ramp_ok = !config.rescue.gmin_ramp.is_empty();
+        let mut warm = false;
+        for &gmin in &config.rescue.gmin_ramp {
+            rungs += 1;
+            ws.rescue_gmin_rungs += 1;
+            if self
+                .solve_trial_with(ws, t_new, mode, gmin, warm, &config.newton)
+                .is_ok()
+            {
+                warm = true;
+            } else {
+                ramp_ok = false;
+                break;
+            }
+        }
+        if ramp_ok
+            && self
+                .solve_trial_with(ws, t_new, mode, 0.0, true, &config.newton)
+                .is_ok()
+        {
+            return Ok(());
+        }
+
+        // Stage 2: retry under progressively patient Newton configs.
+        for k in 1..=config.rescue.config_rungs {
+            rungs += 1;
+            ws.rescue_config_rungs += 1;
+            let cfg = NewtonConfig {
+                max_iterations: config.newton.max_iterations.saturating_mul(1 << k.min(16)),
+                v_step_clamp: config.newton.v_step_clamp / 2f64.powi(k.min(32) as i32),
+                ..config.newton
+            };
+            if self
+                .solve_trial_with(ws, t_new, mode, 0.0, false, &cfg)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+
+        Err(SpiceError::StepUnderflow {
+            time: t,
+            dt: dt_floor,
+            rescue_rungs: rungs,
+        })
     }
 }
 

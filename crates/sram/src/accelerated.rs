@@ -14,7 +14,7 @@
 //! that, re-running the full two-pass methodology at each probed
 //! word-line width.
 
-use samurai_core::ensemble::{run_ensemble, IndexedResults, Parallelism};
+use samurai_core::ensemble::{run_ensemble, FailurePolicy, IndexedResults, Parallelism};
 use samurai_waveform::BitPattern;
 
 use crate::{run_methodology, MethodologyConfig, SramError};
@@ -46,21 +46,37 @@ impl TimingMargin {
 
 /// Whether every write of `pattern` succeeds with the word line
 /// asserted for `window` (fraction of the cycle), in the clean or the
-/// RTN-injected pass.
+/// RTN-injected pass. `rungs > 0` retries a *failing* probe up the
+/// rescue ladder (each rung re-simulates under
+/// `TransientConfig::rescue_rung`) before propagating the error; the
+/// probe's verdict is unchanged whenever rung 0 succeeds.
 fn writes_ok(
     pattern: &BitPattern,
     base: &MethodologyConfig,
     window: f64,
     with_rtn: bool,
+    rungs: usize,
 ) -> Result<bool, SramError> {
-    let mut config = base.clone();
-    config.timing.wl_off_frac = (config.timing.wl_on_frac + window).min(0.97);
-    let report = run_methodology(pattern, &config)?;
-    Ok(if with_rtn {
-        report.outcomes.error_count() == 0
-    } else {
-        report.outcomes_clean.error_count() == 0
-    })
+    let mut rung = 0;
+    loop {
+        let mut config = base.clone();
+        if rung > 0 {
+            config.spice = base.spice.rescue_rung(rung);
+            config.faults = config.faults.for_job(0, rung);
+        }
+        config.timing.wl_off_frac = (config.timing.wl_on_frac + window).min(0.97);
+        match run_methodology(pattern, &config) {
+            Ok(report) => {
+                return Ok(if with_rtn {
+                    report.outcomes.error_count() == 0
+                } else {
+                    report.outcomes_clean.error_count() == 0
+                })
+            }
+            Err(e) if rung >= rungs => return Err(e),
+            Err(_) => rung += 1,
+        }
+    }
 }
 
 /// Multisects the minimum word-line window (fraction of the cycle) for
@@ -85,6 +101,28 @@ pub fn timing_margin(
     base: &MethodologyConfig,
     iterations: usize,
 ) -> Result<TimingMargin, SramError> {
+    timing_margin_with_policy(pattern, base, iterations, FailurePolicy::FailFast)
+}
+
+/// [`timing_margin`] with an explicit [`FailurePolicy`].
+///
+/// `Retry { rungs }` makes each probe climb the rescue ladder before
+/// its failure aborts the search; probes whose nominal run succeeds
+/// are untouched, so the margins match `FailFast` whenever `FailFast`
+/// would have succeeded. A bisection cannot tolerate a missing probe
+/// verdict, so `Quarantine` degrades to `Retry` with the same rung
+/// count here.
+///
+/// # Errors
+///
+/// As [`timing_margin`], once the rescue ladder is exhausted.
+pub fn timing_margin_with_policy(
+    pattern: &BitPattern,
+    base: &MethodologyConfig,
+    iterations: usize,
+    policy: FailurePolicy,
+) -> Result<TimingMargin, SramError> {
+    let rungs = policy.rungs();
     let window_max = 0.97 - base.timing.wl_on_frac;
     // The narrowest representable strobe: the rise and fall edges must
     // fit inside the assertion window.
@@ -103,7 +141,7 @@ pub fn timing_margin(
     };
 
     let search = |with_rtn: bool| -> Result<f64, SramError> {
-        if !writes_ok(pattern, &probe_base, window_max, with_rtn)? {
+        if !writes_ok(pattern, &probe_base, window_max, with_rtn, rungs)? {
             return Err(SramError::InvalidConfig {
                 reason: "cell fails even with the widest word-line window",
             });
@@ -111,7 +149,7 @@ pub fn timing_margin(
         let (mut bad, mut good) = (window_min, window_max);
         // Ensure the lower bracket actually fails; if the cell writes
         // with a sliver of a window, report that sliver.
-        if writes_ok(pattern, &probe_base, bad, with_rtn)? {
+        if writes_ok(pattern, &probe_base, bad, with_rtn, rungs)? {
             return Ok(bad);
         }
         for _ in 0..rounds {
@@ -120,7 +158,15 @@ pub fn timing_margin(
                 PROBES_PER_ROUND,
                 base.parallelism,
                 IndexedResults::new,
-                |i| writes_ok(pattern, &probe_base, bad + (i + 1) as f64 * step, with_rtn),
+                |i| {
+                    writes_ok(
+                        pattern,
+                        &probe_base,
+                        bad + (i + 1) as f64 * step,
+                        with_rtn,
+                        rungs,
+                    )
+                },
             )?
             .into_vec();
             // The lowest passing probe bounds the minimum from above;

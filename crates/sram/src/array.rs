@@ -8,7 +8,11 @@
 //! aggregates write-error statistics — the "bit-error impact of RTN on
 //! entire SRAM arrays" the authors name as the next step.
 
-use samurai_core::ensemble::{run_ensemble, IndexedResults, Parallelism};
+use samurai_core::ensemble::{
+    run_ensemble_resilient, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
+    Parallelism,
+};
+use samurai_core::faults::FaultPlan;
 use samurai_core::SeedStream;
 use samurai_trap::standard_normal;
 use samurai_waveform::BitPattern;
@@ -18,8 +22,9 @@ use crate::{run_methodology, MethodologyConfig, SramError};
 /// Configuration of the Monte-Carlo sweep.
 #[derive(Debug, Clone)]
 pub struct ArrayConfig {
-    /// Base per-cell methodology settings (the per-cell seed and
-    /// `vth_shift` fields are overwritten per sample).
+    /// Base per-cell methodology settings (the per-cell seed,
+    /// `vth_shift`, `spice` rescue rung and `faults` fields are
+    /// overwritten per sample).
     pub base: MethodologyConfig,
     /// Number of cells to simulate.
     pub cells: usize,
@@ -27,6 +32,14 @@ pub struct ArrayConfig {
     pub vth_sigma: f64,
     /// Master seed for the sweep.
     pub seed: u64,
+    /// What to do when a cell's simulation fails (see
+    /// [`samurai_core::ensemble::FailurePolicy`]). The default,
+    /// `FailFast`, aborts the sweep on the lowest-indexed failure.
+    pub failure: FailurePolicy,
+    /// Deterministic fault plan for the sweep: `fail_job` targets whole
+    /// cells, `in_job`-scoped solve/step triggers reach into one cell's
+    /// SPICE passes. Overrides `base.faults`. Empty in production.
+    pub faults: FaultPlan,
 }
 
 impl Default for ArrayConfig {
@@ -36,6 +49,8 @@ impl Default for ArrayConfig {
             cells: 16,
             vth_sigma: 0.02,
             seed: 0,
+            failure: FailurePolicy::FailFast,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -58,10 +73,14 @@ pub struct CellResult {
 /// Aggregated statistics of the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayStats {
-    /// Per-cell outcomes.
+    /// Per-cell outcomes. Under `Quarantine` this holds only the cells
+    /// that completed; quarantined cells are in [`ArrayStats::report`].
     pub cells: Vec<CellResult>,
     /// Number of write attempts per cell (pattern length).
     pub writes_per_cell: usize,
+    /// Rescue/quarantine accounting for the sweep; clean runs carry an
+    /// empty report.
+    pub report: FailureReport<SramError>,
 }
 
 impl ArrayStats {
@@ -75,9 +94,16 @@ impl ArrayStats {
         self.cells.iter().map(|c| c.baseline_errors).sum()
     }
 
-    /// Write-bit-error rate under RTN: errors / total writes.
+    /// Cells that actually contributed statistics (requested cells
+    /// minus quarantined ones).
+    pub fn effective_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Write-bit-error rate under RTN: errors / *effective* writes, so
+    /// quarantined cells do not dilute the estimate.
     pub fn error_rate(&self) -> f64 {
-        let writes = self.cells.len() * self.writes_per_cell;
+        let writes = self.effective_cells() * self.writes_per_cell;
         if writes == 0 {
             return 0.0;
         }
@@ -99,28 +125,49 @@ impl ArrayStats {
 /// sequentially (the cell level is the natural grain — nesting pools
 /// would only oversubscribe).
 ///
+/// Failed cells are handled per `config.failure`: `FailFast`
+/// propagates the failure with the lowest cell index; `Retry` re-runs
+/// a failing cell up the rescue ladder (each rung re-simulates under
+/// `TransientConfig::rescue_rung(rung)`); `Quarantine` additionally
+/// drops irrecoverable cells — their identities and errors are in
+/// [`ArrayStats::report`] — as long as no more than `max_failures`
+/// drop out.
+///
 /// # Errors
 ///
 /// Propagates the per-cell simulation failure with the lowest cell
-/// index.
+/// index once the failure policy is exhausted.
 pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStats, SramError> {
     let seeds = SeedStream::new(config.seed);
-    let cells = run_ensemble(
+    let policy = ExecutionPolicy {
+        failure: config.failure,
+        faults: config.faults.clone(),
+        seed: config.seed,
+    };
+    let outcome = run_ensemble_resilient(
         config.cells,
         config.base.parallelism,
+        &policy,
         IndexedResults::new,
-        |cell_idx| -> Result<CellResult, SramError> {
+        |cell_idx, rung| -> Result<CellResult, SramError> {
             let cell_seeds = seeds.substream(cell_idx as u64);
             let mut rng = cell_seeds.rng(0);
             let mut cell_params = config.base.cell;
             for slot in cell_params.vth_shift.iter_mut() {
                 *slot += config.vth_sigma * standard_normal(&mut rng);
             }
+            let spice = if rung == 0 {
+                config.base.spice.clone()
+            } else {
+                config.base.spice.rescue_rung(rung)
+            };
             let cell_config = MethodologyConfig {
                 cell: cell_params,
                 seed: cell_seeds.rng(1).seed_u64(),
                 traps: None,
                 parallelism: Parallelism::Fixed(1),
+                spice,
+                faults: config.faults.for_job(cell_idx, rung),
                 ..config.base.clone()
             };
             let report = run_methodology(pattern, &cell_config)?;
@@ -132,11 +179,11 @@ pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStat
                 rtn_events: report.total_events(),
             })
         },
-    )?
-    .into_vec();
+    )?;
     Ok(ArrayStats {
-        cells,
+        cells: outcome.acc.into_vec(),
         writes_per_cell: pattern.len(),
+        report: outcome.report,
     })
 }
 
@@ -166,6 +213,7 @@ mod tests {
                 rtn_scale: 1.0,
                 ..MethodologyConfig::default()
             },
+            ..ArrayConfig::default()
         };
         let pattern = BitPattern::parse("10").unwrap();
         let stats = run_array(&pattern, &config).unwrap();
@@ -201,6 +249,7 @@ mod tests {
                 density_scale: 2.0,
                 ..MethodologyConfig::default()
             },
+            ..ArrayConfig::default()
         };
         let pattern = BitPattern::parse("1010").unwrap();
         let stats = run_array(&pattern, &config).unwrap();

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use samurai_core::faults::InjectedFault;
 use samurai_core::CoreError;
 use samurai_spice::SpiceError;
 use samurai_waveform::WaveformError;
@@ -60,6 +61,12 @@ impl From<CoreError> for SramError {
 impl From<WaveformError> for SramError {
     fn from(e: WaveformError) -> Self {
         Self::Waveform(e)
+    }
+}
+
+impl From<InjectedFault> for SramError {
+    fn from(e: InjectedFault) -> Self {
+        Self::Rtn(CoreError::Injected(e))
     }
 }
 

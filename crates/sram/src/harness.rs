@@ -3,6 +3,7 @@
 
 use rand::Rng;
 
+use samurai_core::faults::{FaultPlan, FaultSite};
 use samurai_core::{BiasWaveforms, Parallelism, RtnGenerator, SeedStream};
 use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState};
 use samurai_waveform::{BitPattern, Pwc, Pwl};
@@ -43,6 +44,12 @@ pub struct MethodologyConfig {
     /// bit-identical at every setting (see [`samurai_core::ensemble`]);
     /// `Parallelism::Fixed(1)` is the legacy sequential path.
     pub parallelism: Parallelism,
+    /// SPICE solver configuration for both transient passes (step
+    /// control, Newton tolerances and the step-level rescue ladder).
+    pub spice: TransientConfig,
+    /// Deterministic fault plan armed on the shared SPICE workspace
+    /// (solve- and step-site triggers). Empty in production.
+    pub faults: FaultPlan,
 }
 
 impl Default for MethodologyConfig {
@@ -58,6 +65,8 @@ impl Default for MethodologyConfig {
             equilibrate_initial_state: true,
             current_oversample: 64,
             parallelism: Parallelism::Auto,
+            spice: TransientConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -176,15 +185,21 @@ pub fn run_methodology(
 
     let t0 = 0.0;
     let tf = config.timing.duration(pattern.len());
-    let spice_config = TransientConfig::default();
+    let spice_config = &config.spice;
 
     // One compiled circuit and workspace serve both SPICE passes; only
-    // the RTN sources are rewritten in between.
+    // the RTN sources are rewritten in between. The fault arms cover
+    // the whole two-pass run: solve/step counters carry from pass 1
+    // into pass 2.
     let mut compiled = CompiledCircuit::compile(&cell.circuit);
     let mut ws = NewtonWorkspace::new(&compiled);
+    ws.arm_faults(
+        config.faults.arm(FaultSite::Solve),
+        config.faults.arm(FaultSite::Step),
+    );
 
     // Pass 1: RTN-free.
-    let pass1 = compiled.run_transient(&mut ws, t0, tf, &spice_config)?;
+    let pass1 = compiled.run_transient(&mut ws, t0, tf, spice_config)?;
     let q_clean = pass1.voltage(&cell.circuit, "q")?;
     let qb_clean = pass1.voltage(&cell.circuit, "qb")?;
     let outcomes_clean = analyze_writes(&q_clean, pattern, &config.timing);
@@ -251,7 +266,7 @@ pub fn run_methodology(
             )
             .expect("rtn source id is valid by construction"); // lint: allow(HYG002): source id minted by the cell constructor
     }
-    let pass2 = compiled.run_transient(&mut ws, t0, tf, &spice_config)?;
+    let pass2 = compiled.run_transient(&mut ws, t0, tf, spice_config)?;
     let q_rtn = pass2.voltage(&cell.circuit, "q")?;
     let qb_rtn = pass2.voltage(&cell.circuit, "qb")?;
     let outcomes = analyze_writes(&q_rtn, pattern, &config.timing);

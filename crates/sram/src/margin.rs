@@ -60,6 +60,19 @@ impl MarginRow {
     pub fn rtn_share(&self) -> f64 {
         self.rtn / self.total()
     }
+
+    /// Standard error of the RTN increment when it is calibrated from
+    /// `effective_samples` Monte-Carlo cells (e.g. the survivor count
+    /// of a quarantined array sweep, [`crate::array::ArrayStats::effective_cells`]).
+    /// Uses the finite-sample standard-deviation estimator error
+    /// `σ/√(2(N−1))`; with fewer than two samples the increment is
+    /// pure prior, so the whole increment is returned as uncertainty.
+    pub fn rtn_uncertainty(&self, effective_samples: usize) -> f64 {
+        if effective_samples < 2 {
+            return self.rtn;
+        }
+        self.rtn / (2.0 * (effective_samples as f64 - 1.0)).sqrt()
+    }
 }
 
 /// Model coefficients (documented synthetic stand-ins for the Renesas
@@ -184,6 +197,20 @@ mod tests {
         assert!((last.total_with_correlation(1.0) - last.total()).abs() < 1e-12);
         // Monotone in rho.
         assert!(last.total_with_correlation(0.3) < last.total_with_correlation(0.8));
+    }
+
+    #[test]
+    fn rtn_uncertainty_shrinks_with_effective_samples() {
+        let rows = MarginModel::default().rows();
+        let row = &rows[0];
+        // Degenerate sample counts return the full increment.
+        assert_eq!(row.rtn_uncertainty(0), row.rtn);
+        assert_eq!(row.rtn_uncertainty(1), row.rtn);
+        // More surviving cells → tighter margin bars, at the 1/√N rate.
+        let coarse = row.rtn_uncertainty(17);
+        let fine = row.rtn_uncertainty(65);
+        assert!(fine < coarse);
+        assert!((coarse / fine - 2.0).abs() < 1e-12, "{coarse} vs {fine}");
     }
 
     #[test]

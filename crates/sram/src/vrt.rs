@@ -15,7 +15,7 @@
 //! retention time follows by integrating the charge decay. A slow trap
 //! yields the characteristic *bimodal* retention-time histogram.
 
-use samurai_core::{simulate_trap, SeedStream};
+use samurai_core::{simulate_trap_with, CoreError, SeedStream, UniformisationConfig};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_waveform::{Pwc, Pwl};
 
@@ -45,6 +45,12 @@ pub struct VrtConfig {
     pub cycles: usize,
     /// Random seed.
     pub seed: u64,
+    /// Cap on candidate trap events for the whole experiment; `None`
+    /// uses the [`UniformisationConfig`] default. When the trap is too
+    /// fast for the requested horizon, the experiment rescues itself by
+    /// halving the cycle count until the budget suffices (see
+    /// [`VrtReport::effective_cycles`]).
+    pub event_budget: Option<usize>,
 }
 
 impl Default for VrtConfig {
@@ -63,6 +69,7 @@ impl Default for VrtConfig {
             v_hold: 0.35,
             cycles: 200,
             seed: 0,
+            event_budget: None,
         }
     }
 }
@@ -78,9 +85,23 @@ pub struct VrtReport {
     pub t_good: f64,
     /// Retention time with the trap pinned filled (the "bad" mode).
     pub t_bad: f64,
+    /// Cycles asked for in [`VrtConfig::cycles`].
+    pub requested_cycles: usize,
 }
 
 impl VrtReport {
+    /// Cycles actually measured — smaller than
+    /// [`VrtReport::requested_cycles`] when the event-budget rescue
+    /// had to shorten the experiment.
+    pub fn effective_cycles(&self) -> usize {
+        self.retention_times.len()
+    }
+
+    /// `true` when the event-budget rescue shortened the experiment.
+    pub fn was_truncated(&self) -> bool {
+        self.effective_cycles() < self.requested_cycles
+    }
+
     /// Fraction of cycles whose retention is closer to the bad mode.
     pub fn bad_mode_fraction(&self) -> f64 {
         let mid = 0.5 * (self.t_good + self.t_bad);
@@ -119,30 +140,49 @@ fn constant_retention(config: &VrtConfig, i_leak: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates trap-simulation failures.
+/// Propagates trap-simulation failures. An
+/// [`CoreError::EventBudgetExceeded`] is first rescued by halving the
+/// cycle count (each halving restarts the trap simulation from the
+/// same seed, so the shortened trajectory is a prefix-deterministic
+/// re-run); it only propagates once a single cycle still blows the
+/// budget.
 pub fn run_vrt(config: &VrtConfig) -> Result<VrtReport, SramError> {
     let t_good = constant_retention(config, config.i_leak_base);
     let t_bad = constant_retention(config, config.i_leak_base * (1.0 + config.leak_contrast));
 
-    // Simulate the trap over the whole experiment horizon (generously
-    // bounded by all-good retention).
-    let horizon = (config.cycles + 1) as f64 * t_good;
     let model = PropensityModel::new(config.device, config.trap);
-    let mut rng = SeedStream::new(config.seed).rng(0);
-    let occupancy = simulate_trap(
-        &model,
-        &Pwl::constant(config.v_hold),
-        0.0,
-        horizon,
-        &mut rng,
-    )?;
+    let mut uniformisation = UniformisationConfig::default();
+    if let Some(budget) = config.event_budget {
+        uniformisation.max_candidate_events = budget;
+    }
+
+    // Simulate the trap over the whole experiment horizon (generously
+    // bounded by all-good retention), halving the horizon while the
+    // event budget does not suffice.
+    let mut cycles = config.cycles;
+    let occupancy = loop {
+        let horizon = (cycles + 1) as f64 * t_good;
+        let mut rng = SeedStream::new(config.seed).rng(0);
+        match simulate_trap_with(
+            &model,
+            &Pwl::constant(config.v_hold),
+            0.0,
+            horizon,
+            &mut rng,
+            &uniformisation,
+        ) {
+            Ok(occ) => break occ,
+            Err(CoreError::EventBudgetExceeded { .. }) if cycles > 1 => cycles /= 2,
+            Err(e) => return Err(e.into()),
+        }
+    };
 
     // Walk refresh cycles: integrate charge decay with the piecewise
     // constant leakage until the sense threshold.
     let dq_fail = config.c_storage * (config.v_stored - config.v_sense);
     let mut t = 0.0;
-    let mut retention_times = Vec::with_capacity(config.cycles);
-    for _ in 0..config.cycles {
+    let mut retention_times = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
         let mut charge_lost = 0.0;
         let mut now = t;
         loop {
@@ -172,6 +212,7 @@ pub fn run_vrt(config: &VrtConfig) -> Result<VrtReport, SramError> {
         occupancy,
         t_good,
         t_bad,
+        requested_cycles: config.cycles,
     })
 }
 
@@ -230,6 +271,38 @@ mod tests {
             assert!((t - report.t_good).abs() < 1e-6 * report.t_good);
         }
         assert!(!report.is_bimodal(1.0));
+    }
+
+    #[test]
+    fn event_budget_rescue_halves_the_experiment() {
+        // A fast trap under a tight budget: the full 100-cycle horizon
+        // blows the cap, but some halving of it fits.
+        let config = VrtConfig {
+            trap: TrapParams::new(Length::from_nanometres(1.05), Energy::from_ev(0.02)),
+            cycles: 100,
+            seed: 5,
+            event_budget: Some(2_000),
+            ..VrtConfig::default()
+        };
+        let report = run_vrt(&config).unwrap();
+        assert!(report.was_truncated(), "budget should force truncation");
+        assert_eq!(report.requested_cycles, 100);
+        // The effective count is the requested count halved some
+        // integral number of times.
+        let n = report.effective_cycles();
+        assert!([50, 25, 12, 6, 3, 1].contains(&n), "{n}");
+        // The shortened run is itself deterministic.
+        let again = run_vrt(&config).unwrap();
+        assert_eq!(report.retention_times, again.retention_times);
+        // A hopeless budget (too small even for one cycle) propagates.
+        let hopeless = VrtConfig {
+            event_budget: Some(3),
+            ..config
+        };
+        assert!(matches!(
+            run_vrt(&hopeless),
+            Err(SramError::Rtn(CoreError::EventBudgetExceeded { .. }))
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             density_scale: 1.5,
             ..MethodologyConfig::default()
         },
+        ..ArrayConfig::default()
     };
 
     println!(

@@ -121,6 +121,7 @@ fn array_sweep_is_bit_identical_across_worker_counts() {
                 parallelism: Parallelism::Fixed(workers),
                 ..MethodologyConfig::default()
             },
+            ..ArrayConfig::default()
         };
         run_array(&BitPattern::parse("10").unwrap(), &config).expect("sweep runs")
     };

@@ -1,0 +1,347 @@
+//! Integration tests of the deterministic fault-injection machinery.
+//!
+//! Every rescue ladder in the stack — dcop gmin/source stepping, the
+//! transient step-level ladder, the ensemble retry/quarantine policies
+//! — is forced through the public API to demonstrably reach each rung,
+//! and the rescued results are checked against the unassisted path.
+
+use samurai::core::ensemble::{FailurePolicy, Parallelism};
+use samurai::core::faults::{FaultKind, FaultPlan, FaultSite};
+use samurai::spice::{
+    run_transient, Circuit, CompiledCircuit, DcConfig, NewtonWorkspace, RescueConfig, Source,
+    SpiceError, TransientConfig, TransientStepper,
+};
+use samurai::sram::array::{run_array, ArrayConfig};
+use samurai::sram::MethodologyConfig;
+use samurai::waveform::{BitPattern, Pwl};
+
+/// A linear divider: one plain Newton solve suffices unassisted.
+fn divider() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Source::Dc(2.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 1e3);
+    ckt
+}
+
+/// The RC step circuit the transient suite uses.
+fn rc_step() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let vout = ckt.node("out");
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Source::Pwl(Pwl::step(0.0, 1.0, 1e-9, 1e-12).expect("static step")),
+    );
+    ckt.resistor(vin, vout, 1e3);
+    ckt.capacitor(vout, Circuit::GROUND, 1e-12);
+    ckt
+}
+
+fn armed_ws(compiled: &CompiledCircuit, plan: &FaultPlan) -> NewtonWorkspace {
+    let mut ws = NewtonWorkspace::new(compiled);
+    ws.arm_faults(plan.arm(FaultSite::Solve), plan.arm(FaultSite::Step));
+    ws
+}
+
+#[test]
+fn dcop_gmin_ladder_is_reached_and_agrees_with_plain_newton() {
+    let ckt = divider();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let dc = DcConfig::default();
+
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled
+        .dc_operating_point(&mut ws, 0.0, &dc)
+        .expect("unassisted solve");
+    assert_eq!(ws.solve_attempts(), 1, "plain Newton should do it alone");
+    let reference = ws.solution().to_vec();
+
+    // Failing the plain attempt forces the gmin ladder: every homotopy
+    // rung runs, then the final gmin-free solve.
+    let plan = FaultPlan::none().fail_nth_solve(1, FaultKind::NonConvergence);
+    let mut ws = armed_ws(&compiled, &plan);
+    compiled
+        .dc_operating_point(&mut ws, 0.0, &dc)
+        .expect("gmin ladder rescues");
+    assert_eq!(ws.solve_attempts(), 1 + dc.gmin_steps.len() as u64 + 1);
+    for (got, want) in ws.solution().iter().zip(&reference) {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "laddered solution diverged: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn dcop_source_stepping_is_reached_when_gmin_also_fails() {
+    let ckt = divider();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let dc = DcConfig::default();
+
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled
+        .dc_operating_point(&mut ws, 0.0, &dc)
+        .expect("unassisted solve");
+    let reference = ws.solution().to_vec();
+
+    // Plain attempt and the first gmin rung both fail: the ladder is
+    // abandoned and every source-stepping fraction runs.
+    let plan = FaultPlan::none()
+        .fail_nth_solve(1, FaultKind::NonConvergence)
+        .fail_nth_solve(2, FaultKind::NonConvergence);
+    let mut ws = armed_ws(&compiled, &plan);
+    compiled
+        .dc_operating_point(&mut ws, 0.0, &dc)
+        .expect("source stepping rescues");
+    assert_eq!(ws.solve_attempts(), 2 + dc.source_steps.len() as u64);
+    for (got, want) in ws.solution().iter().zip(&reference) {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "source-stepped solution diverged: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn injected_singular_matrix_drives_the_real_lu_error_path() {
+    // The injection zeroes an actual LU row, so the rescue is of a
+    // genuine SingularMatrix error, not a synthetic marker.
+    let ckt = divider();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let dc = DcConfig::default();
+    let plan = FaultPlan::none().fail_nth_solve(1, FaultKind::SingularMatrix);
+    let mut ws = armed_ws(&compiled, &plan);
+    compiled
+        .dc_operating_point(&mut ws, 0.0, &dc)
+        .expect("gmin ladder rescues a singular first attempt");
+    assert_eq!(ws.solve_attempts(), 1 + dc.gmin_steps.len() as u64 + 1);
+}
+
+#[test]
+fn injected_nan_residual_aborts_the_solve_on_its_first_iteration() {
+    // A poisoned residual must surface as NumericalBreakdown from the
+    // iteration it appears in — not stall to the iteration cap and
+    // come back as NonConvergence.
+    let ckt = divider();
+    let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).expect("dc solves");
+    let plan = FaultPlan::none().fail_nth_solve(1, FaultKind::NanResidual);
+    stepper.arm_faults(plan.arm(FaultSite::Solve), plan.arm(FaultSite::Step));
+    let err = stepper.step(1e-12).expect_err("poisoned residual");
+    assert!(
+        matches!(err, SpiceError::NumericalBreakdown { iteration: 0, .. }),
+        "expected an immediate NumericalBreakdown, got {err:?}"
+    );
+}
+
+#[test]
+fn step_site_faults_surface_as_the_errors_they_model() {
+    let ckt = divider();
+    let mut stepper = TransientStepper::new(&ckt, 0.0, &DcConfig::default()).expect("dc solves");
+    let plan = FaultPlan::none()
+        .fail_nth_step(1, FaultKind::SingularMatrix)
+        .fail_nth_step(2, FaultKind::NanResidual)
+        .fail_nth_step(3, FaultKind::NonConvergence)
+        .fail_nth_step(4, FaultKind::TimestepFloor);
+    stepper.arm_faults(plan.arm(FaultSite::Solve), plan.arm(FaultSite::Step));
+
+    assert!(matches!(
+        stepper.step(1e-12),
+        Err(SpiceError::SingularMatrix)
+    ));
+    assert!(matches!(
+        stepper.step(1e-12),
+        Err(SpiceError::NumericalBreakdown { .. })
+    ));
+    match stepper.step(1e-12) {
+        Err(SpiceError::NonConvergence {
+            max_delta,
+            max_residual,
+            ..
+        }) => {
+            assert!(max_delta.is_infinite() && max_residual.is_infinite());
+        }
+        other => panic!("expected NonConvergence, got {other:?}"),
+    }
+    match stepper.step(1e-12) {
+        Err(SpiceError::StepUnderflow {
+            dt, rescue_rungs, ..
+        }) => {
+            assert_eq!(rescue_rungs, 0);
+            assert!(dt > 0.0);
+        }
+        other => panic!("expected StepUnderflow, got {other:?}"),
+    }
+    // The plan is exhausted: the fifth step runs clean.
+    stepper.step(1e-12).expect("plan exhausted");
+}
+
+#[test]
+fn transient_gmin_ramp_rescues_a_forced_timestep_floor() {
+    let ckt = rc_step();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let config = TransientConfig::default();
+    let reference = run_transient(&ckt, 0.0, 4e-9, &config).expect("healthy run");
+
+    // Step 3 is told its halving has bottomed out; the default gmin
+    // ramp (3 rungs) plus the final gmin-free solve converge it.
+    let plan = FaultPlan::none().fail_nth_step(3, FaultKind::TimestepFloor);
+    let mut ws = armed_ws(&compiled, &plan);
+    let rescued = compiled
+        .run_transient(&mut ws, 0.0, 4e-9, &config)
+        .expect("gmin ramp rescues the step");
+    assert_eq!(
+        ws.rescue_rungs_fired(),
+        (config.rescue.gmin_ramp.len() as u64, 0)
+    );
+
+    // The rescued trajectory still tracks the healthy one.
+    let want = reference.voltage(&ckt, "out").expect("node").eval(4e-9);
+    let got = rescued.voltage(&ckt, "out").expect("node").eval(4e-9);
+    assert!((got - want).abs() < 0.01, "rescued {got} vs healthy {want}");
+}
+
+#[test]
+fn transient_config_ladder_is_reached_when_the_ramp_is_disabled() {
+    let ckt = rc_step();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let config = TransientConfig {
+        rescue: RescueConfig {
+            gmin_ramp: Vec::new(),
+            config_rungs: 2,
+        },
+        ..TransientConfig::default()
+    };
+    let plan = FaultPlan::none().fail_nth_step(2, FaultKind::TimestepFloor);
+    let mut ws = armed_ws(&compiled, &plan);
+    compiled
+        .run_transient(&mut ws, 0.0, 4e-9, &config)
+        .expect("config ladder rescues the step");
+    // No gmin rungs exist; the first patient-Newton rung converges.
+    assert_eq!(ws.rescue_rungs_fired(), (0, 1));
+}
+
+#[test]
+fn exhausted_rescue_reports_every_rung_attempted() {
+    // The dcop takes solve 1. The forced-floor step then fails every
+    // rescue solve: gmin rung 1 (solve 2, abandoning the ramp) and
+    // both config rungs (solves 3 and 4).
+    let ckt = rc_step();
+    let compiled = CompiledCircuit::compile(&ckt);
+    let config = TransientConfig::default();
+    let plan = FaultPlan::none()
+        .fail_nth_step(1, FaultKind::TimestepFloor)
+        .fail_nth_solve(2, FaultKind::NonConvergence)
+        .fail_nth_solve(3, FaultKind::NonConvergence)
+        .fail_nth_solve(4, FaultKind::NonConvergence);
+    let mut ws = armed_ws(&compiled, &plan);
+    let err = compiled
+        .run_transient(&mut ws, 0.0, 4e-9, &config)
+        .expect_err("every rung sabotaged");
+    match err {
+        SpiceError::StepUnderflow {
+            dt, rescue_rungs, ..
+        } => {
+            assert_eq!(rescue_rungs, 3, "1 gmin rung + 2 config rungs");
+            assert!(dt > 0.0);
+        }
+        other => panic!("expected StepUnderflow, got {other:?}"),
+    }
+    assert_eq!(ws.rescue_rungs_fired(), (1, 2));
+}
+
+#[test]
+fn rescue_ladder_never_changes_a_healthy_run() {
+    // Runs that never bottom out never enter the ladder, so enabling
+    // it (the default) is bit-identical to the pre-ladder engine.
+    let ckt = rc_step();
+    let with_ladder = run_transient(&ckt, 0.0, 6e-9, &TransientConfig::default()).expect("runs");
+    let config = TransientConfig {
+        rescue: RescueConfig::disabled(),
+        ..TransientConfig::default()
+    };
+    let without = run_transient(&ckt, 0.0, 6e-9, &config).expect("runs");
+    assert_eq!(with_ladder, without);
+}
+
+#[test]
+fn quarantined_array_sweeps_are_bit_identical_at_any_worker_count() {
+    let pattern = BitPattern::parse("1").expect("static pattern");
+    let run = |workers: usize| {
+        let config = ArrayConfig {
+            cells: 4,
+            vth_sigma: 0.01,
+            seed: 9,
+            failure: FailurePolicy::Quarantine {
+                rungs: 1,
+                max_failures: 1,
+            },
+            faults: FaultPlan::none().fail_job(2, FaultKind::NonConvergence),
+            base: MethodologyConfig {
+                parallelism: Parallelism::Fixed(workers),
+                ..MethodologyConfig::default()
+            },
+        };
+        run_array(&pattern, &config).expect("quarantine absorbs the loss")
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.effective_cells(), 3);
+    assert_eq!(reference.report.quarantined.len(), 1);
+    assert_eq!(reference.report.quarantined[0].job, 2);
+    assert!(
+        reference.cells.iter().all(|c| c.cell != 2),
+        "the quarantined cell contributes no statistics"
+    );
+
+    for workers in [2, 8] {
+        let stats = run(workers);
+        assert_eq!(stats.cells, reference.cells, "{workers} workers");
+        let quarantined: Vec<usize> = stats.report.quarantined.iter().map(|f| f.job).collect();
+        assert_eq!(quarantined, vec![2], "{workers} workers");
+    }
+}
+
+#[test]
+fn retry_rescues_a_scoped_fault_and_leaves_other_cells_untouched() {
+    let pattern = BitPattern::parse("1").expect("static pattern");
+    let sweep = |failure: FailurePolicy, faults: FaultPlan| {
+        let config = ArrayConfig {
+            cells: 3,
+            vth_sigma: 0.01,
+            seed: 9,
+            failure,
+            faults,
+            base: MethodologyConfig::default(),
+        };
+        run_array(&pattern, &config)
+    };
+
+    let clean = sweep(FailurePolicy::FailFast, FaultPlan::none()).expect("healthy sweep");
+
+    // A SingularMatrix forced into cell 1's SPICE passes is fatal on
+    // the nominal attempt (the transient engine does not retry it);
+    // rung 1 re-runs that cell under the rescue config with the plan
+    // spent, so the sweep completes.
+    let faults = FaultPlan::none()
+        .fail_nth_step(5, FaultKind::SingularMatrix)
+        .in_job(1);
+    let err = sweep(FailurePolicy::FailFast, faults.clone()).expect_err("fatal under fail-fast");
+    let text = format!("{err}");
+    assert!(text.contains("singular"), "unexpected error: {text}");
+
+    let rescued = sweep(FailurePolicy::Retry { rungs: 2 }, faults).expect("retry rescues");
+    assert_eq!(rescued.report.rescued.len(), 1);
+    assert_eq!(rescued.report.rescued[0].job, 1);
+    assert_eq!(rescued.report.rescued[0].rung, 1);
+    assert!(rescued.report.quarantined.is_empty());
+    // Cells that never failed are bit-identical to the clean sweep.
+    for (got, want) in rescued.cells.iter().zip(&clean.cells) {
+        if got.cell != 1 {
+            assert_eq!(got, want);
+        }
+    }
+}

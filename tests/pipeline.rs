@@ -101,7 +101,7 @@ fn array_sweep_is_deterministic_and_healthy_unaccelerated() {
         cells: 3,
         vth_sigma: 0.02,
         seed: 5,
-        base: MethodologyConfig::default(),
+        ..ArrayConfig::default()
     };
     let pattern = BitPattern::parse("10").expect("valid pattern");
     let a = run_array(&pattern, &config).expect("array runs");
