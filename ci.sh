@@ -12,6 +12,10 @@ cargo test -q --workspace
 # never silently drop it from the gate).
 cargo test -q -p samurai --test fault_injection
 cargo test -q -p samurai-core --test properties
+# Telemetry suite: observed runs bit-identical to NoopSink runs,
+# journal byte-identical across worker counts (pinned for the same
+# reason as the fault-injection suite).
+cargo test -q -p samurai --test telemetry
 cargo clippy --workspace --all-targets -- -D warnings
 # Project invariants (determinism / hot-loop purity / hygiene / unsafe
 # audit): any finding fails the build, and the fixture self-check
@@ -20,8 +24,15 @@ cargo run -q -p samurai-lint --release -- --deny
 cargo run -q -p samurai-lint --release -- --self-check
 cargo fmt --check
 cargo bench --workspace --no-run
+# Telemetry artifact gate: regenerate the fig7 metrics in smoke mode
+# and schema-validate both the fresh artifact and the committed
+# golden copy (missing keys / non-finite numbers fail the build).
+cargo run -q --release -p samurai-bench --bin fig7_validation -- \
+    --smoke --metrics target/metrics
+cargo run -q --release -p samurai-bench --bin validate_metrics -- \
+    target/metrics/BENCH_fig7.json metrics/BENCH_fig7.json
 # Doc lint wall over the first-party crates (vendored stubs excluded).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
-    -p samurai-units -p samurai-waveform -p samurai-trap -p samurai-core \
-    -p samurai-analysis -p samurai-spice -p samurai-sram -p samurai-bench \
-    -p samurai -p samurai-lint
+    -p samurai-units -p samurai-telemetry -p samurai-waveform \
+    -p samurai-trap -p samurai-core -p samurai-analysis -p samurai-spice \
+    -p samurai-sram -p samurai-bench -p samurai -p samurai-lint

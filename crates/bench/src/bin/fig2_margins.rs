@@ -4,25 +4,27 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin fig2_margins`.
 
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble, IndexedResults};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv, BenchSession};
+use samurai_core::ensemble::{run_ensemble_observed, IndexedResults};
 use samurai_sram::margin::{MarginModel, MarginRow};
 use samurai_trap::Technology;
 
 fn main() {
     let model = MarginModel::default();
     let parallelism = parallelism_from_args();
+    let mut session = BenchSession::from_args("fig2");
     let nodes = Technology::all_nodes();
     println!(
         "evaluating {} nodes on {} workers (--threads N / SAMURAI_THREADS)",
         nodes.len(),
         parallelism.workers()
     );
-    let rows: Vec<MarginRow> = run_ensemble::<IndexedResults<MarginRow>, _, ()>(
+    let rows: Vec<MarginRow> = run_ensemble_observed::<IndexedResults<MarginRow>, _, (), _>(
         nodes.len(),
         parallelism,
+        session.recorder_mut(),
         IndexedResults::new,
-        |i| Ok(model.row(&nodes[i], i)),
+        |i, _probe| Ok(model.row(&nodes[i], i)),
     )
     .expect("margin model evaluation is total")
     .into_vec();
@@ -91,4 +93,5 @@ fn main() {
         (last.total() - last.total_with_correlation(0.5)) * 1e3
     );
     println!("csv: {}", path.display());
+    session.finish(rows.len());
 }

@@ -16,8 +16,9 @@
 //! Run with `cargo run --release -p samurai-bench --bin fig3_spectra`.
 
 use samurai_analysis::{analytical, fit, psd};
-use samurai_bench::{banner, write_tagged_csv};
-use samurai_core::{simulate_trap, single_trap_amplitude, SeedStream};
+use samurai_bench::{banner, write_tagged_csv, BenchSession};
+use samurai_core::telemetry::{JobProbe, JobRecord, Stopwatch};
+use samurai_core::{simulate_trap_probed, single_trap_amplitude, SeedStream, UniformisationConfig};
 use samurai_trap::{PropensityModel, Technology, TrapProfiler};
 use samurai_waveform::{Pwc, Pwl, Trace};
 
@@ -30,6 +31,7 @@ fn device_spectrum(
     tech: &Technology,
     device_idx: u64,
     seeds: &SeedStream,
+    probe: &mut JobProbe,
 ) -> (psd::Spectrum, usize, usize) {
     let stream = seeds.substream(device_idx);
     let profiler = TrapProfiler::new(tech.clone());
@@ -54,8 +56,16 @@ fn device_spectrum(
         }
         simulated += 1;
         let mut rng = stream.rng(1000 + k as u64);
-        let occ: Pwc = simulate_trap(&model, &Pwl::constant(v_bias), 0.0, tf, &mut rng)
-            .expect("trap rate is bounded by the band filter");
+        let occ: Pwc = simulate_trap_probed(
+            &model,
+            &Pwl::constant(v_bias),
+            0.0,
+            tf,
+            &mut rng,
+            &UniformisationConfig::default(),
+            probe,
+        )
+        .expect("trap rate is bounded by the band filter");
         let sampled = occ.sample(0.0, DT, N);
         current = current.add(&sampled.map(|x| x * delta_i));
     }
@@ -90,6 +100,8 @@ fn analytic_one_over_f(tech: &Technology, f: f64) -> f64 {
 
 fn main() {
     let seeds = SeedStream::new(33);
+    let mut session = BenchSession::from_args("fig3");
+    let mut jobs = 0usize;
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut summaries = Vec::new();
 
@@ -104,7 +116,17 @@ fn main() {
         let mut slopes = Vec::new();
         let mut deviations = Vec::new();
         for dev in 0..25u64 {
-            let (spectrum, simulated, total) = device_spectrum(&tech, dev, &seeds);
+            let mut probe = JobProbe::new(true);
+            let watch = Stopwatch::start();
+            let (spectrum, simulated, total) = device_spectrum(&tech, dev, &seeds, &mut probe);
+            session.recorder_mut().absorb_job(&JobRecord {
+                job: jobs,
+                seconds: watch.elapsed_seconds(),
+                rescued: None,
+                solver: probe.solver(),
+                trap: probe.trap(),
+            });
+            jobs += 1;
             // Keep a decimated copy of the spectrum for the CSV.
             for (f, s) in spectrum.freqs.iter().zip(&spectrum.values).step_by(8) {
                 rows.push((
@@ -173,4 +195,5 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    session.finish(jobs);
 }

@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin fig5_glitch`.
 
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble, IndexedResults};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv, BenchSession};
+use samurai_core::ensemble::{run_ensemble_observed, IndexedResults};
 use samurai_spice::{run_transient, Source, TransientConfig};
 use samurai_sram::{
     analyze_writes, build_write_waveforms, CycleOutcome, SramCell, SramCellParams, Transistor,
@@ -58,6 +58,7 @@ fn main() {
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut all_match = true;
     let parallelism = parallelism_from_args();
+    let mut session = BenchSession::from_args("fig5");
 
     banner("Fig 5: glitch-timing taxonomy");
     println!(
@@ -69,11 +70,12 @@ fn main() {
     // Each scenario is an independent write transient; run them as a
     // deterministic ensemble (bit-identical at any worker count).
     type ScenarioRun = (CycleOutcome, Option<f64>, Vec<(String, Vec<f64>)>);
-    let runs: Vec<ScenarioRun> = run_ensemble::<IndexedResults<ScenarioRun>, _, ()>(
+    let runs: Vec<ScenarioRun> = run_ensemble_observed::<IndexedResults<ScenarioRun>, _, (), _>(
         scenarios.len(),
         parallelism,
+        session.recorder_mut(),
         IndexedResults::new,
-        |idx| {
+        |idx, _probe| {
             let scenario = &scenarios[idx];
             let mut cell = SramCell::new(SramCellParams::default());
             let waves = build_write_waveforms(&pattern, &timing).expect("valid timing");
@@ -141,4 +143,5 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    session.finish(scenarios.len());
 }

@@ -12,10 +12,16 @@
 //! Run with `cargo run --release -p samurai-bench --bin fig7_validation`.
 
 use samurai_analysis::{analytical, autocorr, psd, stats};
-use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble_resilient, ExecutionPolicy, IndexedResults};
+use samurai_bench::{
+    banner, failure_policy_from_args, parallelism_from_args, smoke_from_args, write_tagged_csv,
+    BenchSession,
+};
+use samurai_core::ensemble::{run_ensemble_resilient_observed, ExecutionPolicy, IndexedResults};
 use samurai_core::faults::FaultPlan;
-use samurai_core::{simulate_trap, single_trap_amplitude, CoreError, SeedStream};
+use samurai_core::telemetry::JobProbe;
+use samurai_core::{
+    simulate_trap_probed, single_trap_amplitude, CoreError, SeedStream, UniformisationConfig,
+};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_units::{Energy, Length, Temperature};
 use samurai_waveform::Pwl;
@@ -68,6 +74,8 @@ fn main() {
     // sweep shards over the ensemble engine with bit-identical output
     // at every worker count.
     let parallelism = parallelism_from_args();
+    let smoke = smoke_from_args();
+    let mut session = BenchSession::from_args("fig7");
     let policy = ExecutionPolicy {
         failure: failure_policy_from_args(),
         faults: FaultPlan::none(),
@@ -81,18 +89,22 @@ fn main() {
         "failure policy: {:?} (--failure-policy fail-fast|retry[:R]|quarantine[:M[:R]])",
         policy.failure
     );
+    if smoke {
+        println!("smoke mode: traces shortened to the validation minimum");
+    }
     struct PanelResult {
         autocorr_rows: Vec<(String, Vec<f64>)>,
         psd_rows: Vec<(String, Vec<f64>)>,
         summary: (String, f64, f64, f64),
         report: String,
     }
-    let outcome = run_ensemble_resilient(
+    let outcome = run_ensemble_resilient_observed(
         configs.len(),
         parallelism,
         &policy,
+        session.recorder_mut(),
         IndexedResults::new,
-        |idx, rung| -> Result<PanelResult, CoreError> {
+        |idx, rung, probe: &mut JobProbe| -> Result<PanelResult, CoreError> {
             let config = &configs[idx];
             let trap = TrapParams::new(
                 Length::from_nanometres(config.y_tr_nm),
@@ -110,13 +122,23 @@ fn main() {
             // On rescue rungs the trace shortens geometrically — the
             // conservative retreat when the nominal horizon blows the
             // trap-event budget.
-            let n = (((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23)
+            let n_full = (((5.0e4 / (p * (1.0 - p))) as usize).clamp(1 << 17, 1 << 23)
                 >> rung.min(8))
             .max(1 << 14);
+            // Smoke mode trades statistical tightness for a seconds-scale
+            // end-to-end pass; the estimators and artifacts are unchanged.
+            let n = if smoke { 1 << 14 } else { n_full };
             let tf = dt * n as f64;
             let mut rng = SeedStream::new(1000 + idx as u64).rng(0);
-            let occupancy =
-                simulate_trap(&model, &Pwl::constant(config.v_gs), 0.0, tf, &mut rng)?;
+            let occupancy = simulate_trap_probed(
+                &model,
+                &Pwl::constant(config.v_gs),
+                0.0,
+                tf,
+                &mut rng,
+                &UniformisationConfig::default(),
+                probe,
+            )?;
             let current = occupancy.scaled(delta_i).sample(0.0, dt, n);
 
             // Time domain: uncentred autocorrelation vs Machlup.
@@ -182,6 +204,7 @@ fn main() {
             outcome.report.quarantined.len(),
             outcome.report.jobs,
         );
+        print!("{}", outcome.report.journal().to_jsonl());
     }
     let panels: Vec<PanelResult> = outcome.acc.into_vec();
 
@@ -220,4 +243,5 @@ fn main() {
         }
     );
     println!("csv: {} and {}", ac_path.display(), psd_path.display());
+    session.finish(configs.len());
 }

@@ -11,14 +11,29 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin fig8_methodology`.
 
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv, BenchSession};
+use samurai_core::telemetry::{JobRecord, SolverStats, Stopwatch, TrapStats};
 use samurai_sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai_waveform::BitPattern;
+
+/// Record one two-pass methodology run as a telemetry job: its
+/// wall-clock and the Newton effort read off the shared workspace.
+fn absorb(session: &mut BenchSession, job: usize, seconds: f64, solver: SolverStats) {
+    session.recorder_mut().absorb_job(&JobRecord {
+        job,
+        seconds,
+        rescued: None,
+        solver,
+        trap: TrapStats::default(),
+    });
+}
 
 fn main() {
     let pattern = BitPattern::paper_fig8();
     println!("bit pattern: {pattern}");
     let parallelism = parallelism_from_args();
+    let mut session = BenchSession::from_args("fig8");
+    let mut jobs = 0usize;
     println!(
         "RTN generation on {} workers (--threads N / SAMURAI_THREADS)",
         parallelism.workers()
@@ -32,7 +47,10 @@ fn main() {
         parallelism,
         ..MethodologyConfig::default()
     };
+    let watch = Stopwatch::start();
     let report = run_methodology(&pattern, &base_config).expect("methodology runs");
+    absorb(&mut session, jobs, watch.elapsed_seconds(), report.solver);
+    jobs += 1;
 
     banner("Fig 8a: clean write pass");
     println!(
@@ -111,7 +129,10 @@ fn main() {
                 timing,
                 ..base_config.clone()
             };
+            let watch = Stopwatch::start();
             let r = run_methodology(&pattern, &config).expect("methodology runs");
+            absorb(&mut session, jobs, watch.elapsed_seconds(), r.solver);
+            jobs += 1;
             let errors = r.outcomes.error_count();
             let slow = r.outcomes.slow_count();
             if !r.outcomes_clean.all_clean() {
@@ -181,4 +202,5 @@ fn main() {
         None => println!("verdict: MISMATCH — no scale produced an error"),
     }
     println!("csv: {}", path.display());
+    session.finish(jobs);
 }

@@ -1,0 +1,48 @@
+//! CI gate for telemetry artifacts: parse a `BENCH_*.json` summary and
+//! reject missing keys, non-numeric fields and non-finite numbers.
+//!
+//! Run with
+//! `cargo run -p samurai-bench --bin validate_metrics -- <path>...`;
+//! exits non-zero listing every violation, so `ci.sh` can validate both
+//! the freshly emitted artifact and the committed golden copy.
+
+use samurai_bench::validate_bench_summary;
+use samurai_core::telemetry::json;
+use std::process::ExitCode;
+
+fn validate_file(path: &str) -> Result<(), Vec<String>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+    let doc = json::parse(&text).map_err(|e| vec![format!("invalid JSON in {path}: {e}")])?;
+    let errors = validate_bench_summary(&doc);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_metrics <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(errors) => {
+                failed = true;
+                for error in errors {
+                    eprintln!("{path}: {error}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -11,8 +11,8 @@
 //! Run with `cargo run --release -p samurai-bench --bin x1_nonstationary`.
 
 use samurai_analysis::stats;
-use samurai_bench::{banner, write_tagged_csv};
-use samurai_core::{ensemble_occupancy, SeedStream};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv, BenchSession};
+use samurai_core::{ensemble_occupancy_observed, SeedStream};
 use samurai_trap::{master, DeviceParams, PropensityModel, TrapParams, TrapState};
 use samurai_units::{Energy, Length};
 use samurai_waveform::Pwl;
@@ -42,6 +42,12 @@ fn main() {
     let n = 120;
     let horizon = 30.0 / lambda;
     let dt = horizon / n as f64;
+    let parallelism = parallelism_from_args();
+    let mut session = BenchSession::from_args("x1");
+    println!(
+        "{runs} runs per scenario on {} workers (--threads N / SAMURAI_THREADS)",
+        parallelism.workers()
+    );
 
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     let mut worst_overall: f64 = 0.0;
@@ -69,8 +75,18 @@ fn main() {
     banner("X1: ensemble mean vs master equation");
     for (name, bias) in &scenarios {
         let seeds = SeedStream::new(777);
-        let ensemble = ensemble_occupancy(&model, bias, 0.0, dt, n, runs, &seeds)
-            .expect("horizon scaled to the trap rate");
+        let ensemble = ensemble_occupancy_observed(
+            &model,
+            bias,
+            0.0,
+            dt,
+            n,
+            runs,
+            &seeds,
+            parallelism,
+            session.recorder_mut(),
+        )
+        .expect("horizon scaled to the trap rate");
         let exact = master::integrate_occupancy(&model, bias, TrapState::Empty, 0.0, dt, n, 8);
 
         let mut worst: f64 = 0.0;
@@ -115,4 +131,6 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    let jobs = session.recorder().sink().counter_value("jobs.completed") as usize;
+    session.finish(jobs);
 }

@@ -12,8 +12,13 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x2_baselines`.
 
-use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, write_tagged_csv};
-use samurai_core::ensemble::{run_ensemble_resilient, ExecutionPolicy, MeanTrace, Parallelism};
+use samurai_bench::{
+    banner, failure_policy_from_args, parallelism_from_args, write_tagged_csv, BenchSession,
+};
+use samurai_core::ensemble::{
+    run_ensemble_resilient_observed, ExecutionPolicy, MeanTrace, Parallelism,
+};
+use samurai_core::telemetry::MemoryRecorder;
 use samurai_core::{gillespie, simulate_trap, ye, CoreError, SeedStream};
 use samurai_trap::{master, DeviceParams, PropensityModel, TrapParams, TrapState};
 use samurai_units::{Energy, Length};
@@ -24,23 +29,29 @@ use std::time::Instant;
 /// ensemble, bit-identical at every worker count (each job derives its
 /// randomness from its index alone). The failure policy only matters
 /// under fault injection — these kernels are total — but threading it
-/// keeps every ensemble in the binary on the one policy knob.
+/// keeps every ensemble in the binary on the one policy knob. Rescue
+/// and quarantine outcomes are routed through the journal serializer:
+/// printed as JSON-Lines and carried into the recorder's artifact.
 fn mc_mean<F: Fn(u64) -> f64 + Sync>(
     jobs: u64,
     parallelism: Parallelism,
     policy: &ExecutionPolicy,
+    recorder: &mut MemoryRecorder,
     f: F,
 ) -> f64 {
-    run_ensemble_resilient::<MeanTrace, _, CoreError>(
+    let outcome = run_ensemble_resilient_observed::<MeanTrace, _, CoreError, _>(
         jobs as usize,
         parallelism,
         policy,
+        recorder,
         || MeanTrace::zeros(1),
-        |job, _rung| Ok(vec![f(job as u64)]),
+        |job, _rung, _probe| Ok(vec![f(job as u64)]),
     )
-    .expect("bounded-horizon kernels are total")
-    .acc
-    .mean()[0]
+    .expect("bounded-horizon kernels are total");
+    if !outcome.report.is_clean() {
+        print!("{}", outcome.report.journal().to_jsonl());
+    }
+    outcome.acc.mean()[0]
 }
 
 fn balanced_bias(model: &PropensityModel) -> f64 {
@@ -76,6 +87,7 @@ fn main() {
 
     let runs = 30_000u64;
     let parallelism = parallelism_from_args();
+    let mut session = BenchSession::from_args("x2");
     let policy = ExecutionPolicy {
         failure: failure_policy_from_args(),
         ..ExecutionPolicy::default()
@@ -96,7 +108,7 @@ fn main() {
 
     // Uniformisation.
     let start = Instant::now();
-    let estimate = mc_mean(runs, parallelism, &policy, |r| {
+    let estimate = mc_mean(runs, parallelism, &policy, session.recorder_mut(), |r| {
         simulate_trap(&model, &bias, 0.0, tf, &mut SeedStream::new(1).rng(r))
             .expect("bounded horizon")
             .eval(probe)
@@ -105,7 +117,7 @@ fn main() {
 
     // Frozen-rate SSA.
     let start = Instant::now();
-    let estimate = mc_mean(runs, parallelism, &policy, |r| {
+    let estimate = mc_mean(runs, parallelism, &policy, session.recorder_mut(), |r| {
         gillespie::frozen_rate_ssa(&model, &bias, 0.0, tf, &mut SeedStream::new(2).rng(r))
             .expect("bounded horizon")
             .eval(probe)
@@ -116,36 +128,48 @@ fn main() {
     for (name, frac) in [("bernoulli_coarse", 0.5), ("bernoulli_fine", 0.02)] {
         let dt = frac / lambda;
         let start = Instant::now();
-        let estimate = mc_mean(runs / 4, parallelism, &policy, |r| {
-            gillespie::bernoulli_timestep(
-                &model,
-                &bias,
-                0.0,
-                tf,
-                dt,
-                &mut SeedStream::new(3).rng(r),
-            )
-            .expect("bounded horizon")
-            .eval(probe)
-        });
+        let estimate = mc_mean(
+            runs / 4,
+            parallelism,
+            &policy,
+            session.recorder_mut(),
+            |r| {
+                gillespie::bernoulli_timestep(
+                    &model,
+                    &bias,
+                    0.0,
+                    tf,
+                    dt,
+                    &mut SeedStream::new(3).rng(r),
+                )
+                .expect("bounded horizon")
+                .eval(probe)
+            },
+        );
         results.push((name, estimate, start.elapsed().as_secs_f64()));
     }
 
     // Ye-style generator (calibrated at the pre-step bias, as its
     // construction requires a single calibration point).
     let start = Instant::now();
-    let estimate = mc_mean(runs / 4, parallelism, &policy, |r| {
-        ye::generate(
-            &model,
-            bias.eval(0.0),
-            0.0,
-            tf,
-            &mut SeedStream::new(4).rng(r),
-            &ye::YeConfig::default(),
-        )
-        .expect("bounded horizon")
-        .eval(probe)
-    });
+    let estimate = mc_mean(
+        runs / 4,
+        parallelism,
+        &policy,
+        session.recorder_mut(),
+        |r| {
+            ye::generate(
+                &model,
+                bias.eval(0.0),
+                0.0,
+                tf,
+                &mut SeedStream::new(4).rng(r),
+                &ye::YeConfig::default(),
+            )
+            .expect("bounded horizon")
+            .eval(probe)
+        },
+    );
     results.push(("ye_two_stage", estimate, start.elapsed().as_secs_f64()));
 
     for (name, estimate, seconds) in &results {
@@ -173,4 +197,6 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    let jobs = session.recorder().sink().counter_value("jobs.completed") as usize;
+    session.finish(jobs);
 }

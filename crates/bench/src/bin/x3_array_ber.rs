@@ -4,9 +4,11 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x3_array_ber`.
 
-use samurai_bench::{banner, failure_policy_from_args, parallelism_from_args, timed, write_csv};
+use samurai_bench::{
+    banner, failure_policy_from_args, parallelism_from_args, timed, write_csv, BenchSession,
+};
 use samurai_core::Parallelism;
-use samurai_sram::array::{run_array, ArrayConfig};
+use samurai_sram::array::{run_array, run_array_observed, ArrayConfig};
 use samurai_sram::MethodologyConfig;
 use samurai_waveform::BitPattern;
 
@@ -16,6 +18,7 @@ fn main() {
     let vth_sigma = 0.04;
     let parallelism = parallelism_from_args();
     let failure = failure_policy_from_args();
+    let mut session = BenchSession::from_args("x3");
 
     banner("X3: write-BER vs RTN acceleration (24 cells, sigma_VT = 40 mV)");
     println!(
@@ -42,7 +45,8 @@ fn main() {
             },
             ..ArrayConfig::default()
         };
-        let stats = run_array(&pattern, &config).expect("array sweep runs");
+        let stats = run_array_observed(&pattern, &config, session.recorder_mut())
+            .expect("array sweep runs");
         let rate = stats.error_rate();
         let slow: usize = stats.cells.iter().map(|c| c.slow).sum();
         println!(
@@ -60,6 +64,7 @@ fn main() {
                 stats.report.quarantined.len(),
                 stats.report.jobs,
             );
+            print!("{}", stats.report.journal().to_jsonl());
         }
         if rate < prev_rate {
             monotone = false;
@@ -120,4 +125,6 @@ fn main() {
         parallelism.workers(),
         t_seq / t_par
     );
+    let jobs = session.recorder().sink().counter_value("jobs.completed") as usize;
+    session.finish(jobs);
 }

@@ -9,7 +9,8 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x4_coupled`.
 
-use samurai_bench::{banner, parallelism_from_args, write_tagged_csv};
+use samurai_bench::{banner, parallelism_from_args, write_tagged_csv, BenchSession};
+use samurai_core::telemetry::{JobRecord, SolverStats, Stopwatch, TrapStats};
 use samurai_sram::coupled::{run_coupled, CoupledConfig};
 use samurai_sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai_waveform::BitPattern;
@@ -29,8 +30,18 @@ fn main() {
         ..MethodologyConfig::default()
     };
 
+    let mut session = BenchSession::from_args("x4");
     banner("X4: two-pass methodology vs bi-directionally coupled simulation");
+    let watch = Stopwatch::start();
     let two_pass = run_methodology(&pattern, &base).expect("two-pass runs");
+    session.recorder_mut().absorb_job(&JobRecord {
+        job: 0,
+        seconds: watch.elapsed_seconds(),
+        rescued: None,
+        solver: two_pass.solver,
+        trap: TrapStats::default(),
+    });
+    let watch = Stopwatch::start();
     let coupled = run_coupled(
         &pattern,
         &CoupledConfig {
@@ -39,6 +50,15 @@ fn main() {
         },
     )
     .expect("coupled run completes");
+    // The coupled integrator runs its own fixed-step loop outside the
+    // shared Newton workspace, so only its wall-clock is journalled.
+    session.recorder_mut().absorb_job(&JobRecord {
+        job: 1,
+        seconds: watch.elapsed_seconds(),
+        rescued: None,
+        solver: SolverStats::default(),
+        trap: TrapStats::default(),
+    });
 
     println!("two-pass outcomes: {:?}", two_pass.outcomes.outcomes);
     println!("coupled  outcomes: {:?}", coupled.outcomes.outcomes);
@@ -82,4 +102,5 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    session.finish(2);
 }

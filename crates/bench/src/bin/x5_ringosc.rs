@@ -8,7 +8,8 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x5_ringosc`.
 
-use samurai_bench::{banner, write_csv};
+use samurai_bench::{banner, write_csv, BenchSession};
+use samurai_core::telemetry::{JobRecord, SolverStats, Stopwatch, TrapStats};
 use samurai_sram::ringosc::{run_ring, RingConfig};
 
 fn pooled_jitter(periods: &[f64]) -> f64 {
@@ -19,6 +20,8 @@ fn pooled_jitter(periods: &[f64]) -> f64 {
 
 fn main() {
     banner("X5: 5-stage ring oscillator under RTN (pooled over 3 seeds)");
+    let mut session = BenchSession::from_args("x5");
+    let mut jobs = 0usize;
     let mut rows = Vec::new();
     let mut jitter_by_scale = Vec::new();
     for scale in [0.0, 30.0, 300.0] {
@@ -31,7 +34,18 @@ fn main() {
                 seed,
                 ..RingConfig::default()
             };
+            let watch = Stopwatch::start();
             let report = run_ring(&config).expect("ring simulates");
+            // The ring integrator owns its own solver state; each
+            // (scale, seed) run is journalled as a wall-clock-only job.
+            session.recorder_mut().absorb_job(&JobRecord {
+                job: jobs,
+                seconds: watch.elapsed_seconds(),
+                rescued: None,
+                solver: SolverStats::default(),
+                trap: TrapStats::default(),
+            });
+            jobs += 1;
             clean_mean = report.mean_period_clean();
             all_periods.extend(report.periods_rtn.iter().copied());
         }
@@ -74,4 +88,5 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    session.finish(jobs);
 }

@@ -4,14 +4,16 @@
 //!
 //! Run with `cargo run --release -p samurai-bench --bin x6_accelerated`.
 
-use samurai_bench::{banner, write_csv};
-use samurai_sram::accelerated::timing_margin;
+use samurai_bench::{banner, write_csv, BenchSession};
+use samurai_core::FailurePolicy;
+use samurai_sram::accelerated::timing_margin_observed;
 use samurai_sram::MethodologyConfig;
 use samurai_waveform::BitPattern;
 
 fn main() {
     let pattern = BitPattern::parse("10").expect("static pattern");
     banner("X6: minimum word-line window (fraction of cycle) vs RTN scale");
+    let mut session = BenchSession::from_args("x6");
 
     let mut rows = Vec::new();
     let mut penalties = Vec::new();
@@ -22,7 +24,13 @@ fn main() {
             rtn_scale: scale,
             ..MethodologyConfig::default()
         };
-        match timing_margin(&pattern, &base, 7) {
+        match timing_margin_observed(
+            &pattern,
+            &base,
+            7,
+            FailurePolicy::FailFast,
+            session.recorder_mut(),
+        ) {
             Ok(margin) => {
                 println!(
                     "scale x{scale:>6}: clean min window {:.3}, RTN min window {:.3}, penalty {:+.3} (+- {:.3})",
@@ -66,4 +74,6 @@ fn main() {
         }
     );
     println!("csv: {}", path.display());
+    let jobs = session.recorder().sink().counter_value("jobs.completed") as usize;
+    session.finish(jobs);
 }

@@ -11,6 +11,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use samurai_core::telemetry::{JsonValue, MemoryRecorder};
 use samurai_core::{FailurePolicy, Parallelism};
 
 /// Parses `--threads N` from the binary's command line: `N = 0` (or an
@@ -152,6 +153,159 @@ pub fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Parses `--metrics DIR` from the binary's command line, with the
+/// `SAMURAI_METRICS` environment variable as fallback. `None` means
+/// telemetry artifacts are not written.
+pub fn metrics_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            dir = args.next().map(PathBuf::from);
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            dir = Some(PathBuf::from(v));
+        }
+    }
+    dir.or_else(|| std::env::var_os("SAMURAI_METRICS").map(PathBuf::from))
+}
+
+/// `true` when `--smoke` is on the command line or `SAMURAI_SMOKE` is
+/// set: binaries shrink their workloads to a seconds-scale sanity pass
+/// (used by `ci.sh` to validate the telemetry pipeline end to end).
+pub fn smoke_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke") || std::env::var_os("SAMURAI_SMOKE").is_some()
+}
+
+/// One binary's telemetry session: a [`MemoryRecorder`] to thread
+/// through the `*_observed` entry points, plus the wall clock and the
+/// output directory resolved from `--metrics`/`SAMURAI_METRICS`.
+///
+/// The recorder is always live (these are tool binaries; the zero-cost
+/// [`samurai_core::telemetry::NoopSink`] path is for library defaults),
+/// but [`BenchSession::finish`] only writes artifacts when a metrics
+/// directory was requested.
+#[derive(Debug)]
+pub struct BenchSession {
+    name: String,
+    dir: Option<PathBuf>,
+    recorder: MemoryRecorder,
+    watch: Instant,
+}
+
+impl BenchSession {
+    /// Starts a session for the binary `name` (the artifact stem:
+    /// `BENCH_<name>.json` / `JOURNAL_<name>.jsonl`).
+    #[must_use]
+    pub fn from_args(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            dir: metrics_dir_from_args(),
+            recorder: MemoryRecorder::recording(),
+            watch: Instant::now(),
+        }
+    }
+
+    /// Whether artifacts will be written at [`BenchSession::finish`].
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The recorder, to pass into `*_observed` entry points.
+    pub fn recorder_mut(&mut self) -> &mut MemoryRecorder {
+        &mut self.recorder
+    }
+
+    /// The recorder, for reads.
+    #[must_use]
+    pub fn recorder(&self) -> &MemoryRecorder {
+        &self.recorder
+    }
+
+    /// Writes `BENCH_<name>.json` (throughput, latency percentiles,
+    /// solver/sampler totals) and `JOURNAL_<name>.jsonl` (the ordered
+    /// event journal) into the metrics directory, and returns the
+    /// summary path. No-op (returns `None`) when metrics are disabled.
+    ///
+    /// `jobs` is the number of ensemble jobs the run completed — the
+    /// denominator of the throughput figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like the CSV writers: losing the artifact
+    /// of a long run silently would be worse.
+    pub fn finish(self, jobs: usize) -> Option<PathBuf> {
+        let dir = self.dir?;
+        fs::create_dir_all(&dir).expect("cannot create the metrics directory");
+        let wall = self.watch.elapsed().as_secs_f64();
+        let summary = self.recorder.summary(&self.name, jobs, wall);
+        let bench_path = dir.join(format!("BENCH_{}.json", self.name));
+        fs::write(&bench_path, summary.to_json() + "\n").expect("cannot write the bench summary");
+        let journal_path = dir.join(format!("JOURNAL_{}.jsonl", self.name));
+        fs::write(&journal_path, self.recorder.journal().to_jsonl())
+            .expect("cannot write the event journal");
+        println!("metrics: {}", bench_path.display());
+        println!("journal: {}", journal_path.display());
+        Some(bench_path)
+    }
+}
+
+/// Validates a `BENCH_<name>.json` document: every required key
+/// present, every number finite. Returns the error list (empty =
+/// valid). Used by `ci.sh` via the `validate_metrics` binary.
+pub fn validate_bench_summary(doc: &JsonValue) -> Vec<String> {
+    fn check_num(errors: &mut Vec<String>, v: Option<&JsonValue>, path: &str) {
+        if v.and_then(JsonValue::as_f64).is_none() {
+            errors.push(format!("missing or non-finite number: {path}"));
+        }
+    }
+    let mut errors = Vec::new();
+    if doc.get("name").and_then(JsonValue::as_str).is_none() {
+        errors.push("missing string: name".to_owned());
+    }
+    check_num(&mut errors, doc.get("jobs"), "jobs");
+    check_num(&mut errors, doc.get("wall_seconds"), "wall_seconds");
+    check_num(
+        &mut errors,
+        doc.get("throughput_jobs_per_s"),
+        "throughput_jobs_per_s",
+    );
+    match doc.get("latency") {
+        Some(latency) => {
+            for key in ["mean_s", "p50_s", "p95_s", "p99_s"] {
+                check_num(&mut errors, latency.get(key), &format!("latency.{key}"));
+            }
+        }
+        None => errors.push("missing object: latency".to_owned()),
+    }
+    match doc.get("solver") {
+        Some(solver) => {
+            for key in [
+                "solve_attempts",
+                "newton_iterations",
+                "steps_accepted",
+                "timestep_rejections",
+                "rescue_gmin_rungs",
+                "rescue_config_rungs",
+                "faults_injected",
+            ] {
+                check_num(&mut errors, solver.get(key), &format!("solver.{key}"));
+            }
+        }
+        None => errors.push("missing object: solver".to_owned()),
+    }
+    match doc.get("trap") {
+        Some(trap) => {
+            for key in ["candidates", "accepted"] {
+                check_num(&mut errors, trap.get(key), &format!("trap.{key}"));
+            }
+        }
+        None => errors.push("missing object: trap".to_owned()),
+    }
+    check_num(&mut errors, doc.get("journal_events"), "journal_events");
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +357,27 @@ mod tests {
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.contains("old,1.000000e0"));
         std::env::remove_var("SAMURAI_FIGURES_DIR");
+    }
+
+    #[test]
+    fn bench_summaries_validate_and_reject_gaps() {
+        let recorder = MemoryRecorder::recording();
+        let good = recorder.summary("unit", 0, 0.5);
+        assert!(validate_bench_summary(&good).is_empty());
+
+        let bad = JsonValue::obj(vec![("name", JsonValue::Str("unit".into()))]);
+        let errors = validate_bench_summary(&bad);
+        assert!(errors.iter().any(|e| e.contains("jobs")));
+        assert!(errors.iter().any(|e| e.contains("latency")));
+        assert!(errors.iter().any(|e| e.contains("solver")));
+    }
+
+    #[test]
+    fn disabled_session_writes_nothing() {
+        // No --metrics flag and no SAMURAI_METRICS in the test env.
+        std::env::remove_var("SAMURAI_METRICS");
+        let session = BenchSession::from_args("unit");
+        assert!(!session.enabled());
+        assert!(session.finish(3).is_none());
     }
 }

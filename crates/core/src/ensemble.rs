@@ -81,6 +81,10 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 
+use samurai_telemetry::{
+    JobProbe, JobRecord, Journal, JournalEvent, MetricsSink, Recorder, Stopwatch,
+};
+
 use crate::faults::{FaultPlan, InjectedFault};
 use crate::rng::SeedStream;
 
@@ -273,6 +277,34 @@ impl<E> FailureReport<E> {
     }
 }
 
+impl<E: std::fmt::Debug> FailureReport<E> {
+    /// The report as a standalone telemetry [`Journal`]: one
+    /// `rescued` event per ladder survivor and one `quarantined`
+    /// event per dropped job, in job order. Bench bins print these
+    /// lines to stdout and merge them into their `--metrics`
+    /// artifacts, so rescue/quarantine outcomes are machine-readable
+    /// instead of free text.
+    #[must_use]
+    pub fn journal(&self) -> Journal {
+        let mut journal = Journal::new();
+        for r in &self.rescued {
+            journal.push(JournalEvent::Rescued {
+                job: r.job,
+                rung: r.rung,
+            });
+        }
+        for q in &self.quarantined {
+            journal.push(JournalEvent::Quarantined {
+                job: q.job,
+                seed: q.seed,
+                rungs_attempted: q.rungs_attempted,
+                error: format!("{:?}", q.error),
+            });
+        }
+        journal
+    }
+}
+
 /// A resilient ensemble's result: the accumulator over the surviving
 /// jobs plus the failure accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -292,12 +324,14 @@ enum JobRun<T, E> {
     Failed { rungs_attempted: usize, error: E },
 }
 
-/// One reduced shard: its accumulator plus failure bookkeeping.
+/// One reduced shard: its accumulator plus failure bookkeeping and
+/// (when a recorder is live) per-job telemetry records.
 struct ShardOutcome<A, E> {
     shard: usize,
     acc: A,
     rescued: Vec<RescuedJob>,
     quarantined: Vec<JobFailure<E>>,
+    records: Vec<JobRecord>,
 }
 
 /// What one worker brings home: its finished shards, plus the first
@@ -313,17 +347,23 @@ type WorkerOutcome<A, E> = (Vec<ShardOutcome<A, E>>, Option<(usize, E)>);
 /// With `quarantine` true, failures are folded into the shard's
 /// quarantine list, every shard runs, and the lists are concatenated
 /// in shard order — making the quarantined set itself deterministic.
+///
+/// With `observing` true each job additionally runs under a
+/// [`JobProbe`] and a [`Stopwatch`], and the per-job [`JobRecord`]s
+/// come back concatenated in job order (telemetry is strictly
+/// job-local state, so observation cannot perturb results).
 fn run_engine<A, E, R, S>(
     jobs: usize,
     parallelism: Parallelism,
     quarantine: bool,
+    observing: bool,
     make_acc: impl Fn() -> A + Sync,
     run_job: R,
     seed_of: S,
-) -> Result<(A, FailureReport<E>), E>
+) -> Result<(A, FailureReport<E>, Vec<JobRecord>), E>
 where
     A: EnsembleAccumulator,
-    R: Fn(usize) -> JobRun<A::Item, E> + Sync,
+    R: Fn(usize, &mut JobProbe) -> JobRun<A::Item, E> + Sync,
     S: Fn(usize) -> u64 + Sync,
     E: Send,
 {
@@ -333,7 +373,7 @@ where
         quarantined: Vec::new(),
     };
     if jobs == 0 {
-        return Ok((make_acc(), report));
+        return Ok((make_acc(), report, Vec::new()));
     }
     let width = shard_size(jobs);
     let shards = jobs.div_ceil(width);
@@ -353,13 +393,31 @@ where
             acc: make_acc(),
             rescued: Vec::new(), // lint: allow(HOT001): Vec::new is allocation-free until first push
             quarantined: Vec::new(), // lint: allow(HOT001): Vec::new is allocation-free until first push
+            records: Vec::new(), // lint: allow(HOT001): Vec::new is allocation-free until first push
         };
         for j in lo..hi {
-            match run_job(j) {
+            // With a live recorder: a probe for the job closure to fill
+            // and a wall-clock around the job. Both are job-local (no
+            // shared state), so which thread runs the job still cannot
+            // change what it computes; with `observing` false the probe
+            // is dead and the stopwatch is never started.
+            let mut probe = JobProbe::new(observing);
+            let watch = observing.then(Stopwatch::start);
+            match run_job(j, &mut probe) {
                 JobRun::Done { item, rescued } => {
                     out.acc.absorb(j, item);
                     if let Some(rung) = rescued {
                         out.rescued.push(RescuedJob { job: j, rung }); // lint: allow(HOT003): cold path, only on rescue
+                    }
+                    if let Some(watch) = watch {
+                        // lint: allow(HOT003): telemetry path, runs only under a live recorder
+                        out.records.push(JobRecord {
+                            job: j,
+                            seconds: watch.elapsed_seconds(),
+                            rescued,
+                            solver: probe.solver(),
+                            trap: probe.trap(),
+                        });
                     }
                 }
                 JobRun::Failed {
@@ -448,12 +506,14 @@ where
     let mut total = first.acc;
     report.rescued = first.rescued;
     report.quarantined = first.quarantined;
+    let mut records = first.records;
     for out in iter {
         total.merge(out.acc);
         report.rescued.extend(out.rescued);
         report.quarantined.extend(out.quarantined);
+        records.extend(out.records);
     }
-    Ok((total, report))
+    Ok((total, report, records))
 }
 
 /// Runs `jobs` independent jobs and reduces their results.
@@ -480,7 +540,41 @@ where
     F: Fn(usize) -> Result<A::Item, E> + Sync,
     E: Send,
 {
-    let run_job = |j: usize| match job(j) {
+    run_ensemble_observed(
+        jobs,
+        parallelism,
+        &mut Recorder::noop(),
+        make_acc,
+        |j, _probe: &mut JobProbe| job(j),
+    )
+}
+
+/// [`run_ensemble`] with telemetry: each job closure receives a
+/// [`JobProbe`] to fill with solver/sampler counters, and the
+/// `recorder` absorbs per-job records (journal lines, sink counters,
+/// wall-clock latency samples) after the ordered merge — in job
+/// order, so journals and counters are bit-identical at every worker
+/// count. With a [`samurai_telemetry::NoopRecorder`] this is exactly
+/// [`run_ensemble`]: probes are dead, no stopwatch starts, and the
+/// accumulator result is bit-identical either way.
+///
+/// # Errors
+///
+/// As [`run_ensemble`].
+pub fn run_ensemble_observed<A, F, E, S>(
+    jobs: usize,
+    parallelism: Parallelism,
+    recorder: &mut Recorder<S>,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<A, E>
+where
+    A: EnsembleAccumulator,
+    F: Fn(usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
+    E: Send,
+    S: MetricsSink,
+{
+    let run_job = |j: usize, probe: &mut JobProbe| match job(j, probe) {
         Ok(item) => JobRun::Done {
             item,
             rescued: None,
@@ -490,7 +584,19 @@ where
             error,
         },
     };
-    run_engine(jobs, parallelism, false, make_acc, run_job, |_| 0).map(|(acc, _)| acc)
+    let (acc, _report, records) = run_engine(
+        jobs,
+        parallelism,
+        false,
+        recorder.live(),
+        make_acc,
+        run_job,
+        |_| 0,
+    )?;
+    for rec in &records {
+        recorder.absorb_job(rec);
+    }
+    Ok(acc)
 }
 
 /// Runs `jobs` independent jobs under an explicit [`ExecutionPolicy`]:
@@ -526,9 +632,78 @@ where
     F: Fn(usize, usize) -> Result<A::Item, E> + Sync,
     E: Send + From<InjectedFault>,
 {
+    resilient_impl(
+        jobs,
+        parallelism,
+        policy,
+        false,
+        make_acc,
+        |j, rung, _probe: &mut JobProbe| job(j, rung),
+    )
+    .map(|(acc, report, _)| EnsembleOutcome { acc, report })
+}
+
+/// [`run_ensemble_resilient`] with telemetry: the job closure gains a
+/// [`JobProbe`] (filled across *all* its rescue-rung attempts), and
+/// after the ordered merge the `recorder` absorbs per-job records
+/// plus `rescued`/`quarantined` journal summary events — everything
+/// in job order, so the journal is byte-identical at every worker
+/// count. Quarantined jobs produce no job record (their work was
+/// discarded); they appear as `quarantined` events with the error
+/// rendered via `Debug`.
+///
+/// # Errors
+///
+/// As [`run_ensemble_resilient`].
+pub fn run_ensemble_resilient_observed<A, F, E, S>(
+    jobs: usize,
+    parallelism: Parallelism,
+    policy: &ExecutionPolicy,
+    recorder: &mut Recorder<S>,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<EnsembleOutcome<A, E>, E>
+where
+    A: EnsembleAccumulator,
+    F: Fn(usize, usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
+    E: Send + std::fmt::Debug + From<InjectedFault>,
+    S: MetricsSink,
+{
+    let (acc, report, records) =
+        resilient_impl(jobs, parallelism, policy, recorder.live(), make_acc, job)?;
+    if recorder.live() {
+        for rec in &records {
+            recorder.absorb_job(rec);
+        }
+        for r in &report.rescued {
+            recorder.record_rescue(r.job, r.rung);
+        }
+        for q in &report.quarantined {
+            recorder.record_quarantine(q.job, q.seed, q.rungs_attempted, &format!("{:?}", q.error));
+        }
+    }
+    Ok(EnsembleOutcome { acc, report })
+}
+
+/// The shared body of the resilient entry points: the rescue-rung
+/// loop around each job, quarantine bookkeeping, and the post-merge
+/// budget check.
+fn resilient_impl<A, F, E>(
+    jobs: usize,
+    parallelism: Parallelism,
+    policy: &ExecutionPolicy,
+    observing: bool,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<(A, FailureReport<E>, Vec<JobRecord>), E>
+where
+    A: EnsembleAccumulator,
+    F: Fn(usize, usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
+    E: Send + From<InjectedFault>,
+{
     let rungs = policy.failure.rungs();
     let quarantine = matches!(policy.failure, FailurePolicy::Quarantine { .. });
-    let run_job = |j: usize| -> JobRun<A::Item, E> {
+    let run_job = |j: usize, probe: &mut JobProbe| -> JobRun<A::Item, E> {
         if let Some(fault) = policy.faults.job_fault(j) {
             // Job-site faults model irrecoverable samples: they fire
             // on every rung, so no attempt is even made.
@@ -539,7 +714,7 @@ where
         }
         let mut rung = 0;
         loop {
-            match job(j, rung) {
+            match job(j, rung, probe) {
                 Ok(item) => {
                     return JobRun::Done {
                         item,
@@ -557,7 +732,15 @@ where
         }
     };
     let seed_of = |j: usize| SeedStream::new(policy.seed).substream(j as u64).seed();
-    let (acc, mut report) = run_engine(jobs, parallelism, quarantine, make_acc, run_job, seed_of)?;
+    let (acc, mut report, records) = run_engine(
+        jobs,
+        parallelism,
+        quarantine,
+        observing,
+        make_acc,
+        run_job,
+        seed_of,
+    )?;
     if let FailurePolicy::Quarantine { max_failures, .. } = policy.failure {
         if report.quarantined.len() > max_failures {
             // The budget is checked after the ordered merge so the
@@ -566,7 +749,7 @@ where
             return Err(over.error);
         }
     }
-    Ok(EnsembleOutcome { acc, report })
+    Ok((acc, report, records))
 }
 
 /// Accumulates a per-grid-point running sum — the parallel form of an

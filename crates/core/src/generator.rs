@@ -2,11 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ensemble::{run_ensemble, IndexedResults, Parallelism};
+use crate::ensemble::{run_ensemble_observed, IndexedResults, Parallelism};
 use crate::{
-    gillespie, rtn_current, simulate_trap_with, AmplitudeModel, BiasWaveforms, CoreError,
+    gillespie, rtn_current, simulate_trap_probed, AmplitudeModel, BiasWaveforms, CoreError,
     SeedStream, UniformisationConfig,
 };
+use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_waveform::{Pwc, Trace};
 
@@ -177,19 +178,37 @@ impl RtnGenerator {
     ///
     /// Propagates per-trap simulation errors ([`CoreError`]).
     pub fn generate(&self, bias: &BiasWaveforms, t0: f64, tf: f64) -> Result<DeviceRtn, CoreError> {
+        self.generate_observed(bias, t0, tf, &mut Recorder::noop())
+    }
+
+    /// [`generate`](Self::generate) reporting per-trap event counts and
+    /// timings into a telemetry [`Recorder`]; the traces are
+    /// bit-identical to the unobserved path.
+    ///
+    /// # Errors
+    ///
+    /// As [`generate`](Self::generate).
+    pub fn generate_observed<S: MetricsSink>(
+        &self,
+        bias: &BiasWaveforms,
+        t0: f64,
+        tf: f64,
+        recorder: &mut Recorder<S>,
+    ) -> Result<DeviceRtn, CoreError> {
         if !(tf > t0) {
             return Err(CoreError::EmptyHorizon { t0, tf });
         }
-        let occupancies: Vec<Pwc> = run_ensemble(
+        let occupancies: Vec<Pwc> = run_ensemble_observed(
             self.models.len(),
             self.parallelism,
+            recorder,
             IndexedResults::new,
-            |i| {
+            |i, probe: &mut JobProbe| {
                 let m = &self.models[i];
                 let mut rng = self.seeds.rng(i as u64);
                 match self.method {
                     TraceMethod::Uniformisation => {
-                        simulate_trap_with(m, &bias.v_gs, t0, tf, &mut rng, &self.config)
+                        simulate_trap_probed(m, &bias.v_gs, t0, tf, &mut rng, &self.config, probe)
                     }
                     TraceMethod::FrozenRateSsa => {
                         gillespie::frozen_rate_ssa(m, &bias.v_gs, t0, tf, &mut rng)

@@ -63,15 +63,18 @@ pub mod ye;
 
 pub use bias::BiasWaveforms;
 pub use ensemble::{
-    run_ensemble, run_ensemble_resilient, EnsembleAccumulator, EnsembleOutcome, ExecutionPolicy,
-    FailurePolicy, FailureReport, JobFailure, Parallelism, RescuedJob,
+    run_ensemble, run_ensemble_observed, run_ensemble_resilient, run_ensemble_resilient_observed,
+    EnsembleAccumulator, EnsembleOutcome, ExecutionPolicy, FailurePolicy, FailureReport,
+    JobFailure, Parallelism, RescuedJob,
 };
 pub use error::CoreError;
 pub use faults::{FaultArm, FaultKind, FaultPlan, FaultSite, InjectedFault};
 pub use generator::{DeviceRtn, RtnGenerator, TraceMethod};
 pub use rng::{exp_rand, trap_rng, SeedStream};
 pub use rtn_current::{rtn_current, single_trap_amplitude, AmplitudeModel};
+pub use samurai_telemetry as telemetry;
 pub use uniformisation::{
-    ensemble_occupancy, ensemble_occupancy_with, simulate_device, simulate_device_with,
-    simulate_trap, simulate_trap_with, UniformisationConfig,
+    ensemble_occupancy, ensemble_occupancy_observed, ensemble_occupancy_with, simulate_device,
+    simulate_device_observed, simulate_device_with, simulate_trap, simulate_trap_probed,
+    simulate_trap_with, UniformisationConfig,
 };

@@ -13,8 +13,9 @@
 
 use rand::Rng;
 
-use crate::ensemble::{run_ensemble, MeanTrace, Parallelism};
+use crate::ensemble::{run_ensemble_observed, MeanTrace, Parallelism};
 use crate::{exp_rand, CoreError, SeedStream};
+use samurai_telemetry::{JobProbe, MetricsSink, Recorder, TrapStats};
 use samurai_trap::{PropensityModel, TrapState};
 use samurai_waveform::{Pwc, Pwl, Trace};
 
@@ -69,6 +70,29 @@ pub fn simulate_trap_with<R: Rng + ?Sized>(
     tf: f64,
     rng: &mut R,
     config: &UniformisationConfig,
+) -> Result<Pwc, CoreError> {
+    simulate_trap_probed(model, v_gs, t0, tf, rng, config, &mut JobProbe::disabled())
+}
+
+/// [`simulate_trap_with`] that additionally reports candidate/accepted
+/// event counts into a telemetry [`JobProbe`].
+///
+/// The probe is consulted strictly *outside* the candidate loop: the
+/// accepted count is recovered from the staircase length and the
+/// candidate count is already maintained for the event-budget guard, so
+/// the hot loop is byte-for-byte the unobserved one.
+///
+/// # Errors
+///
+/// As [`simulate_trap`].
+pub fn simulate_trap_probed<R: Rng + ?Sized>(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    rng: &mut R,
+    config: &UniformisationConfig,
+    probe: &mut JobProbe,
 ) -> Result<Pwc, CoreError> {
     if !(tf > t0) {
         return Err(CoreError::EmptyHorizon { t0, tf });
@@ -140,6 +164,13 @@ pub fn simulate_trap_with<R: Rng + ?Sized>(
     }
     // lint: end-hot-loop
 
+    // `steps` starts with the initial state, so accepted events are
+    // everything after it.
+    probe.record_trap(TrapStats {
+        candidates: candidates as u64,
+        accepted: (steps.len() - 1) as u64,
+    });
+
     Ok(Pwc::new(steps)?)
 }
 
@@ -179,13 +210,46 @@ pub fn simulate_device_with(
     config: &UniformisationConfig,
     parallelism: Parallelism,
 ) -> Result<Vec<Pwc>, CoreError> {
-    let acc = run_ensemble(
+    simulate_device_observed(
+        models,
+        v_gs,
+        t0,
+        tf,
+        seeds,
+        config,
+        parallelism,
+        &mut Recorder::noop(),
+    )
+}
+
+/// [`simulate_device_with`] reporting per-trap candidate/accepted event
+/// counts and job timings into a telemetry [`Recorder`].
+///
+/// The staircases are bit-identical to the unobserved path for every
+/// worker count and every sink.
+///
+/// # Errors
+///
+/// As [`simulate_device`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_device_observed<S: MetricsSink>(
+    models: &[PropensityModel],
+    v_gs: &Pwl,
+    t0: f64,
+    tf: f64,
+    seeds: &SeedStream,
+    config: &UniformisationConfig,
+    parallelism: Parallelism,
+    recorder: &mut Recorder<S>,
+) -> Result<Vec<Pwc>, CoreError> {
+    let acc = run_ensemble_observed(
         models.len(),
         parallelism,
+        recorder,
         crate::ensemble::IndexedResults::new,
-        |i| {
+        |i, probe: &mut JobProbe| {
             let mut rng = seeds.rng(i as u64);
-            simulate_trap_with(&models[i], v_gs, t0, tf, &mut rng, config)
+            simulate_trap_probed(&models[i], v_gs, t0, tf, &mut rng, config, probe)
         },
     )?;
     Ok(acc.into_vec())
@@ -232,15 +296,56 @@ pub fn ensemble_occupancy_with(
     seeds: &SeedStream,
     parallelism: Parallelism,
 ) -> Result<Trace, CoreError> {
+    ensemble_occupancy_observed(
+        model,
+        v_gs,
+        t0,
+        dt,
+        n,
+        runs,
+        seeds,
+        parallelism,
+        &mut Recorder::noop(),
+    )
+}
+
+/// [`ensemble_occupancy_with`] reporting per-run event counts and
+/// timings into a telemetry [`Recorder`]; the trace is bit-identical to
+/// the unobserved path.
+///
+/// # Errors
+///
+/// As [`ensemble_occupancy`].
+#[allow(clippy::too_many_arguments)]
+pub fn ensemble_occupancy_observed<S: MetricsSink>(
+    model: &PropensityModel,
+    v_gs: &Pwl,
+    t0: f64,
+    dt: f64,
+    n: usize,
+    runs: usize,
+    seeds: &SeedStream,
+    parallelism: Parallelism,
+    recorder: &mut Recorder<S>,
+) -> Result<Trace, CoreError> {
     assert!(runs > 0, "need at least one run");
     let tf = t0 + dt * n as f64;
-    let acc = run_ensemble(
+    let acc = run_ensemble_observed(
         runs,
         parallelism,
+        recorder,
         || MeanTrace::zeros(n),
-        |run| {
+        |run, probe: &mut JobProbe| {
             let mut rng = seeds.rng(run as u64);
-            let occ = simulate_trap(model, v_gs, t0, tf, &mut rng)?;
+            let occ = simulate_trap_probed(
+                model,
+                v_gs,
+                t0,
+                tf,
+                &mut rng,
+                &UniformisationConfig::default(),
+                probe,
+            )?;
             Ok::<_, CoreError>((0..n).map(|i| occ.eval(t0 + i as f64 * dt)).collect())
         },
     )?;

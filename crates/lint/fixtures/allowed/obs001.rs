@@ -1,0 +1,15 @@
+//! Allowed counterpart: the guarded macros are the sanctioned hot-loop
+//! form, and a reviewed direct call carries an inline allow.
+
+pub fn accumulate<S: MetricsSink>(sink: &mut S, xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    // lint: hot-loop
+    for &x in xs {
+        acc += x;
+        count!(sink, "iters", 1);
+        observe!(sink, "value", x);
+        sink.counter("cold", 1); // lint: allow(OBS001): sink is statically NoopSink here
+    }
+    // lint: end-hot-loop
+    acc
+}

@@ -205,6 +205,19 @@ pub const RULES: &[Rule] = &[
                   lines) by a `// SAFETY:` comment stating why the invariants hold. This \
                   applies everywhere, including tests and tools.",
     },
+    Rule {
+        id: "OBS001",
+        title: "telemetry in hot loops must use the guarded macros",
+        contract: "observability",
+        explain: "Direct MetricsSink calls (`.counter(..)`, `.observe(..)`) inside a \
+                  `// lint: hot-loop` region execute unconditionally — with a recording \
+                  sink they put map lookups and branches on the innermost numeric path. \
+                  The sanctioned form is the `count!`/`observe!` macros from \
+                  samurai-telemetry, which guard on `MetricsSink::live` so the NoopSink \
+                  default compiles to nothing. Better still: bump a plain u64 field on \
+                  the persistent workspace stats and let the sink consume it at the job \
+                  boundary, as the Newton and uniformisation loops do.",
+    },
 ];
 
 /// Looks up a catalog entry by id.
@@ -369,6 +382,16 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
                             "HOT004",
                             t,
                             "`.collect()` materialises a container inside a hot-loop region".into(),
+                        );
+                    }
+                    // --- observability -------------------------------
+                    if matches!(name, "counter" | "observe")
+                        && (prev == "." || (prev == "::" && prev2 == "MetricsSink"))
+                    {
+                        emit(
+                            "OBS001",
+                            t,
+                            format!("unguarded `{name}` sink call inside a hot-loop region; use the `count!`/`observe!` macros or job-boundary stats"),
                         );
                     }
                 }
@@ -540,6 +563,25 @@ mod tests {
         // Carrying or arming a plan is not construction.
         let src = "fn f(p: &FaultPlan) { let a = p.arm(FaultSite::Solve); }\n";
         assert!(findings(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn telemetry_calls_in_hot_regions_must_be_guarded() {
+        let src = "// lint: hot-loop\nfn f() { s.counter(\"n\", 1); s.observe(\"v\", x); }\n// lint: end-hot-loop\n";
+        let f = findings(src, LIB);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "OBS001"));
+
+        // The guarded macros are the sanctioned form.
+        let src = "// lint: hot-loop\nfn f() { count!(s, \"n\", 1); observe!(s, \"v\", x); }\n// lint: end-hot-loop\n";
+        assert!(findings(src, LIB).is_empty());
+
+        // The fully-qualified trait form is still a direct call.
+        let src = "// lint: hot-loop\nfn f() { MetricsSink::counter(&mut s, \"n\", 1); }\n// lint: end-hot-loop\n";
+        assert_eq!(findings(src, LIB)[0].rule, "OBS001");
+
+        // Outside hot regions direct sink calls are fine.
+        assert!(findings("fn f() { s.counter(\"n\", 1); }\n", LIB).is_empty());
     }
 
     #[test]

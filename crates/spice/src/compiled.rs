@@ -31,6 +31,7 @@
 //! valid.
 
 use samurai_core::faults::{FaultArm, FaultKind};
+use samurai_telemetry::SolverStats;
 
 use crate::linalg::DenseMatrix;
 use crate::netlist::{Circuit, Element, ElementId, Source};
@@ -138,13 +139,10 @@ pub struct NewtonWorkspace {
     /// Pre-resolved fault triggers counting transient step attempts
     /// (consulted by the transient loop and the stepper, not here).
     pub(crate) step_arm: FaultArm,
-    /// Newton solves attempted on this workspace (each `newton()`
-    /// entry: homotopy rungs, trial steps, rescue rungs all count).
-    pub(crate) solve_attempts: u64,
-    /// Transient-rescue gmin-ramp rungs that have fired.
-    pub(crate) rescue_gmin_rungs: u64,
-    /// Transient-rescue config-ladder rungs that have fired.
-    pub(crate) rescue_config_rungs: u64,
+    /// Solver telemetry counters (see [`SolverStats`]): bare `u64`
+    /// fields the hot loops bump unconditionally — deterministic,
+    /// branch-free, and consumed only at job boundaries.
+    pub(crate) stats: SolverStats,
 }
 
 impl NewtonWorkspace {
@@ -165,9 +163,7 @@ impl NewtonWorkspace {
             gmin_extra: 0.0,
             solve_arm: FaultArm::disarmed(),
             step_arm: FaultArm::disarmed(),
-            solve_attempts: 0,
-            rescue_gmin_rungs: 0,
-            rescue_config_rungs: 0,
+            stats: SolverStats::default(),
         }
     }
 
@@ -187,18 +183,21 @@ impl NewtonWorkspace {
         self.step_arm = step;
     }
 
-    /// Newton solves attempted since construction — one per
-    /// `newton()` entry, so dcop homotopy rungs, transient trials and
-    /// rescue rungs all count. Rescue-ladder coverage tests and
-    /// failure diagnostics read this.
-    pub fn solve_attempts(&self) -> u64 {
-        self.solve_attempts
+    /// The solver telemetry accumulated on this workspace since
+    /// construction (or the last [`NewtonWorkspace::reset_stats`]):
+    /// Newton solves and iterations, accepted/rejected transient
+    /// steps, rescue-ladder rungs and triggered fault arms. This
+    /// replaces the PR4 `solve_attempts()` / `rescue_rungs_fired()`
+    /// accessors; rescue-ladder coverage tests and failure
+    /// diagnostics read it, and ensemble job probes absorb deltas of
+    /// it ([`SolverStats::delta_since`]).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
-    /// `(gmin_ramp, config_ladder)` transient-rescue rungs that have
-    /// fired on this workspace.
-    pub fn rescue_rungs_fired(&self) -> (u64, u64) {
-        (self.rescue_gmin_rungs, self.rescue_config_rungs)
+    /// Zeroes the telemetry counters (the solver state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
     }
 
     /// Promotes the trial solution without copying.
@@ -741,13 +740,16 @@ impl CompiledCircuit {
     ) -> Result<(), SpiceError> {
         let n_nodes = self.n_nodes;
         debug_assert_eq!(x.len(), self.n_unknowns);
-        ws.solve_attempts += 1;
+        ws.stats.solve_attempts += 1;
         // Fault injection resolves to one pre-armed branch per solve
         // (a counter bump and an integer compare); the per-iteration
         // cost below is untouched. Injected failures are driven
         // through the *real* error paths: a genuinely zeroed LU row, a
         // genuinely poisoned residual, a genuinely exhausted loop.
         let injected = ws.solve_arm.check();
+        if injected.is_some() {
+            ws.stats.faults_injected += 1;
+        }
         let force_nonconvergence = matches!(
             injected,
             Some(FaultKind::NonConvergence | FaultKind::TimestepFloor)
@@ -755,6 +757,7 @@ impl CompiledCircuit {
 
         let mut last_max_dv = f64::NAN;
         for iter in 0..config.max_iterations {
+            ws.stats.newton_iterations += 1;
             self.assemble(x, ws);
             if iter == 0 && injected == Some(FaultKind::NanResidual) {
                 if let Some(r) = ws.res.first_mut() {

@@ -66,5 +66,6 @@ pub use linalg::DenseMatrix;
 pub use mosfet::{MosType, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Source};
 pub use parser::{parse_netlist, ParsedNetlist};
+pub use samurai_telemetry::SolverStats;
 pub use stepper::TransientStepper;
 pub use transient::{run_transient, Integrator, RescueConfig, TransientConfig, TransientResult};

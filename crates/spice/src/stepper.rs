@@ -94,6 +94,7 @@ impl TransientStepper {
         let mode = IntegMode::BackwardEuler { h };
         let t_new = self.t + h;
         if let Some(kind) = self.ws.step_arm.check() {
+            self.ws.stats.faults_injected += 1;
             return Err(match kind {
                 FaultKind::SingularMatrix => SpiceError::SingularMatrix,
                 FaultKind::NanResidual => SpiceError::NumericalBreakdown {
@@ -117,10 +118,17 @@ impl TransientStepper {
             .solve_trial(&mut self.ws, t_new, mode, &self.newton)?;
         self.compiled.refresh_states(&mut self.ws, true);
         self.ws.accept_trial();
+        self.ws.stats.steps_accepted += 1;
         self.t = t_new;
         Ok(())
     }
     // lint: end-hot-loop
+
+    /// The solver telemetry accumulated on this stepper's workspace
+    /// (see [`NewtonWorkspace::stats`]).
+    pub fn stats(&self) -> samurai_telemetry::SolverStats {
+        self.ws.stats()
+    }
 
     /// The voltage of `node` in the current state.
     pub fn voltage(&self, node: NodeId) -> f64 {

@@ -373,6 +373,9 @@ impl CompiledCircuit {
             // they model; `TimestepFloor` instead routes this step
             // straight to the bottomed-out rescue path below.
             let step_fault = ws.step_arm.check();
+            if step_fault.is_some() {
+                ws.stats.faults_injected += 1;
+            }
             let floor_forced = step_fault == Some(FaultKind::TimestepFloor);
             let solved = match step_fault {
                 None => self.solve_trial(ws, t_new, mode, &config.newton),
@@ -404,6 +407,7 @@ impl CompiledCircuit {
             };
 
             if !accepted {
+                ws.stats.timestep_rejections += 1;
                 // Reject: halve the step. When halving bottoms out at
                 // the floor (or an injected fault says it has), climb
                 // the rescue ladder on this failing step before giving
@@ -425,6 +429,7 @@ impl CompiledCircuit {
             }
 
             if accepted {
+                ws.stats.steps_accepted += 1;
                 self.refresh_states(ws, true);
                 ws.accept_trial();
                 t = t_new;
@@ -460,7 +465,7 @@ impl CompiledCircuit {
         let mut warm = false;
         for &gmin in &config.rescue.gmin_ramp {
             rungs += 1;
-            ws.rescue_gmin_rungs += 1;
+            ws.stats.rescue_gmin_rungs += 1;
             if self
                 .solve_trial_with(ws, t_new, mode, gmin, warm, &config.newton)
                 .is_ok()
@@ -482,7 +487,7 @@ impl CompiledCircuit {
         // Stage 2: retry under progressively patient Newton configs.
         for k in 1..=config.rescue.config_rungs {
             rungs += 1;
-            ws.rescue_config_rungs += 1;
+            ws.stats.rescue_config_rungs += 1;
             let cfg = NewtonConfig {
                 max_iterations: config.newton.max_iterations.saturating_mul(1 << k.min(16)),
                 v_step_clamp: config.newton.v_step_clamp / 2f64.powi(k.min(32) as i32),

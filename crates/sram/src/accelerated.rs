@@ -14,7 +14,8 @@
 //! that, re-running the full two-pass methodology at each probed
 //! word-line width.
 
-use samurai_core::ensemble::{run_ensemble, FailurePolicy, IndexedResults, Parallelism};
+use samurai_core::ensemble::{run_ensemble_observed, FailurePolicy, IndexedResults, Parallelism};
+use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
 use samurai_waveform::BitPattern;
 
 use crate::{run_methodology, MethodologyConfig, SramError};
@@ -56,6 +57,7 @@ fn writes_ok(
     window: f64,
     with_rtn: bool,
     rungs: usize,
+    probe: &mut JobProbe,
 ) -> Result<bool, SramError> {
     let mut rung = 0;
     loop {
@@ -67,11 +69,12 @@ fn writes_ok(
         config.timing.wl_off_frac = (config.timing.wl_on_frac + window).min(0.97);
         match run_methodology(pattern, &config) {
             Ok(report) => {
+                probe.record_solver(report.solver);
                 return Ok(if with_rtn {
                     report.outcomes.error_count() == 0
                 } else {
                     report.outcomes_clean.error_count() == 0
-                })
+                });
             }
             Err(e) if rung >= rungs => return Err(e),
             Err(_) => rung += 1,
@@ -122,6 +125,26 @@ pub fn timing_margin_with_policy(
     iterations: usize,
     policy: FailurePolicy,
 ) -> Result<TimingMargin, SramError> {
+    timing_margin_observed(pattern, base, iterations, policy, &mut Recorder::noop())
+}
+
+/// [`timing_margin_with_policy`] reporting each probe's two-pass SPICE
+/// solver effort and timing into a telemetry [`Recorder`].
+///
+/// The bracket-endpoint sanity probes run outside the ensemble and are
+/// not journalled; every multisection probe is. The returned margins
+/// are bit-identical to the unobserved search.
+///
+/// # Errors
+///
+/// As [`timing_margin`], once the rescue ladder is exhausted.
+pub fn timing_margin_observed<S: MetricsSink>(
+    pattern: &BitPattern,
+    base: &MethodologyConfig,
+    iterations: usize,
+    policy: FailurePolicy,
+    recorder: &mut Recorder<S>,
+) -> Result<TimingMargin, SramError> {
     let rungs = policy.rungs();
     let window_max = 0.97 - base.timing.wl_on_frac;
     // The narrowest representable strobe: the rise and fall edges must
@@ -140,8 +163,15 @@ pub fn timing_margin_with_policy(
         ..base.clone()
     };
 
-    let search = |with_rtn: bool| -> Result<f64, SramError> {
-        if !writes_ok(pattern, &probe_base, window_max, with_rtn, rungs)? {
+    let search = |with_rtn: bool, recorder: &mut Recorder<S>| -> Result<f64, SramError> {
+        if !writes_ok(
+            pattern,
+            &probe_base,
+            window_max,
+            with_rtn,
+            rungs,
+            &mut JobProbe::disabled(),
+        )? {
             return Err(SramError::InvalidConfig {
                 reason: "cell fails even with the widest word-line window",
             });
@@ -149,22 +179,31 @@ pub fn timing_margin_with_policy(
         let (mut bad, mut good) = (window_min, window_max);
         // Ensure the lower bracket actually fails; if the cell writes
         // with a sliver of a window, report that sliver.
-        if writes_ok(pattern, &probe_base, bad, with_rtn, rungs)? {
+        if writes_ok(
+            pattern,
+            &probe_base,
+            bad,
+            with_rtn,
+            rungs,
+            &mut JobProbe::disabled(),
+        )? {
             return Ok(bad);
         }
         for _ in 0..rounds {
             let step = (good - bad) / shrink;
-            let ok: Vec<bool> = run_ensemble(
+            let ok: Vec<bool> = run_ensemble_observed(
                 PROBES_PER_ROUND,
                 base.parallelism,
+                recorder,
                 IndexedResults::new,
-                |i| {
+                |i, probe: &mut JobProbe| {
                     writes_ok(
                         pattern,
                         &probe_base,
                         bad + (i + 1) as f64 * step,
                         with_rtn,
                         rungs,
+                        probe,
                     )
                 },
             )?
@@ -182,8 +221,9 @@ pub fn timing_margin_with_policy(
         }
         Ok(good)
     };
-    let min_window_clean = search(false)?;
-    let min_window_rtn = search(true)?;
+    let min_window_clean = search(false, recorder)?;
+    let min_window_rtn = search(true, recorder)?;
+    recorder.note("margin.multisection_rounds", u64::from(rounds));
     Ok(TimingMargin {
         min_window_clean,
         min_window_rtn,

@@ -9,11 +9,12 @@
 //! entire SRAM arrays" the authors name as the next step.
 
 use samurai_core::ensemble::{
-    run_ensemble_resilient, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
+    run_ensemble_resilient_observed, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
     Parallelism,
 };
 use samurai_core::faults::FaultPlan;
 use samurai_core::SeedStream;
+use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
 use samurai_trap::standard_normal;
 use samurai_waveform::BitPattern;
 
@@ -138,18 +139,38 @@ impl ArrayStats {
 /// Propagates the per-cell simulation failure with the lowest cell
 /// index once the failure policy is exhausted.
 pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStats, SramError> {
+    run_array_observed(pattern, config, &mut Recorder::noop())
+}
+
+/// [`run_array`] reporting per-cell solver effort, timings, rescues and
+/// quarantines into a telemetry [`Recorder`].
+///
+/// Each finished cell contributes its two-pass SPICE solver counters
+/// (from [`MethodologyReport::solver`](crate::MethodologyReport)) to the
+/// journal and metric sinks; the array statistics themselves are
+/// bit-identical to [`run_array`] for every worker count and sink.
+///
+/// # Errors
+///
+/// As [`run_array`].
+pub fn run_array_observed<S: MetricsSink>(
+    pattern: &BitPattern,
+    config: &ArrayConfig,
+    recorder: &mut Recorder<S>,
+) -> Result<ArrayStats, SramError> {
     let seeds = SeedStream::new(config.seed);
     let policy = ExecutionPolicy {
         failure: config.failure,
         faults: config.faults.clone(),
         seed: config.seed,
     };
-    let outcome = run_ensemble_resilient(
+    let outcome = run_ensemble_resilient_observed(
         config.cells,
         config.base.parallelism,
         &policy,
+        recorder,
         IndexedResults::new,
-        |cell_idx, rung| -> Result<CellResult, SramError> {
+        |cell_idx, rung, probe: &mut JobProbe| -> Result<CellResult, SramError> {
             let cell_seeds = seeds.substream(cell_idx as u64);
             let mut rng = cell_seeds.rng(0);
             let mut cell_params = config.base.cell;
@@ -171,6 +192,7 @@ pub fn run_array(pattern: &BitPattern, config: &ArrayConfig) -> Result<ArrayStat
                 ..config.base.clone()
             };
             let report = run_methodology(pattern, &cell_config)?;
+            probe.record_solver(report.solver);
             Ok(CellResult {
                 cell: cell_idx,
                 errors: report.outcomes.error_count(),

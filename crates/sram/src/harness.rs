@@ -9,6 +9,7 @@ use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState
 use samurai_waveform::{BitPattern, Pwc, Pwl};
 
 use samurai_spice::{CompiledCircuit, NewtonWorkspace, Source, TransientConfig};
+use samurai_telemetry::SolverStats;
 
 use crate::{
     analyze_writes, build_write_waveforms, SramCell, SramCellParams, SramError, Transistor,
@@ -107,6 +108,10 @@ pub struct MethodologyReport {
     pub outcomes_clean: WriteAnalysis,
     /// Write analysis of the RTN-injected pass — the verdict.
     pub outcomes: WriteAnalysis,
+    /// Solver effort across both SPICE passes, read off the shared
+    /// Newton workspace (attempts, iterations, step accept/reject and
+    /// rescue-rung counts).
+    pub solver: SolverStats,
 }
 
 impl MethodologyReport {
@@ -279,6 +284,7 @@ pub fn run_methodology(
         rtn: rtn_data,
         outcomes_clean,
         outcomes,
+        solver: ws.stats(),
     })
 }
 

@@ -15,7 +15,8 @@
 //! retention time follows by integrating the charge decay. A slow trap
 //! yields the characteristic *bimodal* retention-time histogram.
 
-use samurai_core::{simulate_trap_with, CoreError, SeedStream, UniformisationConfig};
+use samurai_core::{simulate_trap_probed, CoreError, SeedStream, UniformisationConfig};
+use samurai_telemetry::{JobProbe, JobRecord, MetricsSink, Recorder, Stopwatch};
 use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
 use samurai_waveform::{Pwc, Pwl};
 
@@ -147,6 +148,23 @@ fn constant_retention(config: &VrtConfig, i_leak: f64) -> f64 {
 /// re-run); it only propagates once a single cycle still blows the
 /// budget.
 pub fn run_vrt(config: &VrtConfig) -> Result<VrtReport, SramError> {
+    run_vrt_observed(config, &mut Recorder::noop())
+}
+
+/// [`run_vrt`] reporting trap event counts, wall time and budget-rescue
+/// halvings into a telemetry [`Recorder`].
+///
+/// The report is bit-identical to [`run_vrt`]. Each halving of the
+/// cycle count is journalled as a `vrt.budget_halvings` note, so
+/// silently-truncated experiments are visible in the artifact trail.
+///
+/// # Errors
+///
+/// As [`run_vrt`].
+pub fn run_vrt_observed<S: MetricsSink>(
+    config: &VrtConfig,
+    recorder: &mut Recorder<S>,
+) -> Result<VrtReport, SramError> {
     let t_good = constant_retention(config, config.i_leak_base);
     let t_bad = constant_retention(config, config.i_leak_base * (1.0 + config.leak_contrast));
 
@@ -159,23 +177,40 @@ pub fn run_vrt(config: &VrtConfig) -> Result<VrtReport, SramError> {
     // Simulate the trap over the whole experiment horizon (generously
     // bounded by all-good retention), halving the horizon while the
     // event budget does not suffice.
+    let watch = recorder.live().then(Stopwatch::start);
+    let mut probe = JobProbe::new(recorder.live());
+    let mut halvings = 0usize;
     let mut cycles = config.cycles;
     let occupancy = loop {
         let horizon = (cycles + 1) as f64 * t_good;
         let mut rng = SeedStream::new(config.seed).rng(0);
-        match simulate_trap_with(
+        match simulate_trap_probed(
             &model,
             &Pwl::constant(config.v_hold),
             0.0,
             horizon,
             &mut rng,
             &uniformisation,
+            &mut probe,
         ) {
             Ok(occ) => break occ,
-            Err(CoreError::EventBudgetExceeded { .. }) if cycles > 1 => cycles /= 2,
+            Err(CoreError::EventBudgetExceeded { .. }) if cycles > 1 => {
+                cycles /= 2;
+                halvings += 1;
+            }
             Err(e) => return Err(e.into()),
         }
     };
+    if recorder.live() {
+        recorder.note("vrt.budget_halvings", halvings as u64);
+        recorder.absorb_job(&JobRecord {
+            job: 0,
+            seconds: watch.map_or(0.0, |w| w.elapsed_seconds()),
+            rescued: (halvings > 0).then_some(halvings),
+            solver: probe.solver(),
+            trap: probe.trap(),
+        });
+    }
 
     // Walk refresh cycles: integrate charge decay with the piecewise
     // constant leakage until the sense threshold.

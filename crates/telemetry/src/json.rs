@@ -1,0 +1,390 @@
+//! A hand-rolled JSON value, writer and minimal parser.
+//!
+//! The workspace builds hermetically against vendored dependency
+//! stubs; the vendored `serde` is an API placeholder that serialises
+//! nothing. Telemetry output (journal lines, `BENCH_*.json`
+//! summaries) and the CI schema validator therefore use this small
+//! self-contained implementation instead.
+//!
+//! Determinism notes: object members are emitted in insertion order
+//! (callers insert in a fixed order), integers are carried exactly as
+//! `u64`, and floats are written with Rust's shortest-roundtrip
+//! formatting — the same input value always serialises to the same
+//! bytes. Non-finite floats serialise as `null` (JSON has no NaN),
+//! which the schema validator rejects as a missing finite number.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer (counters, counts).
+    U64(u64),
+    /// A double-precision number (times, rates).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered members.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> Self {
+        Self::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Looks up a member of an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            Self::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::U64(n) => Some(*n as f64),
+            Self::F64(x) if x.is_finite() => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialises the tree to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out)
+            .expect("writing into a String cannot fail"); // lint: allow(HYG002): fmt::Write on String is infallible
+        out
+    }
+
+    fn write(&self, out: &mut String) -> fmt::Result {
+        match self {
+            Self::Null => out.write_str("null"),
+            Self::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Self::U64(n) => write!(out, "{n}"),
+            Self::F64(x) if x.is_finite() => {
+                // Guarantee a number token that parses back as f64
+                // (write!("{x}") would print "1" for 1.0).
+                // lint: allow(HYG004): exact integrality test picks the "%.1f" rendering
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(out, "{x:.1}")
+                } else {
+                    write!(out, "{x}")
+                }
+            }
+            Self::F64(_) => out.write_str("null"),
+            Self::Str(s) => write_escaped(out, s),
+            Self::Arr(items) => {
+                out.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    item.write(out)?;
+                }
+                out.write_char(']')
+            }
+            Self::Obj(members) => {
+                out.write_char('{')?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write_escaped(out, k)?;
+                    out.write_char(':')?;
+                    v.write(out)?;
+                }
+                out.write_char('}')
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+/// Parses a JSON document. Minimal but strict enough for schema
+/// validation: the full value grammar with string escapes, no
+/// trailing garbage.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error,
+/// with its byte offset.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| format!("truncated \\u at byte {}", self.pos))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| format!("invalid \\u at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u at byte {}", self.pos))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u at byte {}", self.pos))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_summary_like_document() {
+        let doc = JsonValue::obj(vec![
+            ("name", JsonValue::Str("fig7".into())),
+            ("jobs", JsonValue::U64(2700)),
+            ("wall_seconds", JsonValue::F64(1.25)),
+            (
+                "latency",
+                JsonValue::obj(vec![("p50_s", JsonValue::F64(4.5e-4))]),
+            ),
+            ("flags", JsonValue::Arr(vec![JsonValue::Bool(true)])),
+        ]);
+        let text = doc.to_json();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("jobs").and_then(JsonValue::as_f64), Some(2700.0));
+        assert_eq!(back.get("name").and_then(JsonValue::as_str), Some("fig7"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(JsonValue::F64(2.0).to_json(), "2.0");
+        assert_eq!(JsonValue::U64(2).to_json(), "2");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped_and_unescaped() {
+        let doc = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        let text = doc.to_json();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"x"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_negative_and_exponent_numbers() {
+        assert_eq!(parse("-1.5e3").unwrap(), JsonValue::F64(-1500.0));
+        assert_eq!(parse("42").unwrap(), JsonValue::U64(42));
+    }
+}

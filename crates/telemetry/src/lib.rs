@@ -1,0 +1,63 @@
+//! Deterministic observability for the SAMURAI stack.
+//!
+//! The paper's practicality claim (§V: SAMURAI-driven Monte-Carlo over
+//! large SRAM arrays) is a *throughput* claim, and every future
+//! performance PR needs a measured baseline to argue against. This
+//! crate is that baseline's substrate: counters, fixed-bucket
+//! histograms, lightweight spans and a job-ordered event journal —
+//! all dependency-free and, crucially, **deterministic by
+//! construction**.
+//!
+//! # The determinism contract
+//!
+//! Observability must never perturb what it observes:
+//!
+//! 1. **Zero-cost when off.** The [`MetricsSink`] trait carries an
+//!    associated `const ENABLED`; the default [`NoopSink`] sets it to
+//!    `false`, so every telemetry branch guarded by
+//!    [`MetricsSink::live`] (or the [`count!`]/[`observe!`] macros)
+//!    is dead code the optimiser removes. Hot loops stay on the
+//!    PR2 allocation-free contract.
+//! 2. **Counts, not clocks, in the journal.** The [`Journal`] records
+//!    only deterministic quantities (iteration counts, rescue rungs,
+//!    accept/reject tallies). Wall-clock durations live exclusively
+//!    in metric sinks and bench summaries, which are never
+//!    byte-compared. The journal is therefore byte-identical at every
+//!    worker count.
+//! 3. **Wall-clock containment.** [`std::time::Instant`] is touched
+//!    only inside this crate ([`Stopwatch`]), behind an explicit
+//!    `samurai-lint` allowance. Simulation crates consume the
+//!    [`Stopwatch`] API and can never feed time back into numeric
+//!    state.
+//!
+//! # Layout
+//!
+//! - [`sink`]: the [`MetricsSink`] trait, [`NoopSink`], the recording
+//!   [`MemorySink`], and the guarded [`count!`]/[`observe!`] macros.
+//! - [`hist`]: [`FixedHistogram`] with caller-fixed bucket bounds.
+//! - [`span`]: [`Stopwatch`] and [`Span`] monotonic timing.
+//! - [`stats`]: plain-counter bundles ([`SolverStats`], [`TrapStats`])
+//!   incremented as bare `u64` fields in hot loops.
+//! - [`journal`]: the job-ordered [`Journal`] of [`JournalEvent`]s
+//!   with JSON-Lines serialisation.
+//! - [`json`]: a hand-rolled JSON value type, writer and minimal
+//!   parser (the vendored `serde` is an API stub and serialises
+//!   nothing).
+//! - [`recorder`]: [`Recorder`], the single handle the ensemble
+//!   engine and bench bins thread through a run.
+
+pub mod hist;
+pub mod journal;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+pub mod span;
+pub mod stats;
+
+pub use hist::{percentile, FixedHistogram};
+pub use journal::{Journal, JournalEvent};
+pub use json::JsonValue;
+pub use recorder::{JobProbe, JobRecord, MemoryRecorder, NoopRecorder, Recorder};
+pub use sink::{MemorySink, MetricsSink, NoopSink};
+pub use span::{Span, Stopwatch};
+pub use stats::{SolverStats, TrapStats};

@@ -1,0 +1,408 @@
+//! The [`Recorder`]: one handle threading metrics + journal through a
+//! run, and the [`JobProbe`]/[`JobRecord`] plumbing the ensemble
+//! engine uses to carry per-job statistics across threads.
+//!
+//! Flow: worker threads fill a [`JobProbe`] per job (plain counter
+//! copies, no locks, no clocks in shared state); the engine bundles
+//! each finished job into a [`JobRecord`] inside its shard outcome;
+//! after the deterministic shard merge the single-threaded
+//! [`Recorder`] absorbs the records **in job order** — journal lines,
+//! sink counters and the latency sample all come from that ordered
+//! pass, which is why they are worker-count independent.
+
+use crate::hist::percentile;
+use crate::journal::{Journal, JournalEvent};
+use crate::json::JsonValue;
+use crate::sink::{MemorySink, MetricsSink, NoopSink};
+use crate::stats::{SolverStats, TrapStats};
+
+/// Per-job statistics collection point handed to job closures.
+///
+/// A dead probe (from a [`NoopRecorder`] run) ignores everything, so
+/// instrumented closures cost two predictable branches when telemetry
+/// is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobProbe {
+    live: bool,
+    solver: SolverStats,
+    trap: TrapStats,
+}
+
+impl JobProbe {
+    /// A probe that records iff `live`.
+    #[must_use]
+    pub fn new(live: bool) -> Self {
+        Self {
+            live,
+            ..Self::default()
+        }
+    }
+
+    /// A probe that ignores everything.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether this probe records.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Adds a solver-counter bundle (typically a workspace delta).
+    pub fn record_solver(&mut self, stats: SolverStats) {
+        if self.live {
+            self.solver.add(stats);
+        }
+    }
+
+    /// Adds a uniformisation accept/reject bundle.
+    pub fn record_trap(&mut self, stats: TrapStats) {
+        if self.live {
+            self.trap.add(stats);
+        }
+    }
+
+    /// The solver counters recorded so far.
+    #[must_use]
+    pub fn solver(&self) -> SolverStats {
+        self.solver
+    }
+
+    /// The trap counters recorded so far.
+    #[must_use]
+    pub fn trap(&self) -> TrapStats {
+        self.trap
+    }
+}
+
+/// One finished job's statistics, as carried home by a worker.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The stable job index.
+    pub job: usize,
+    /// Wall-clock seconds the job took (metrics only — never
+    /// journalled).
+    pub seconds: f64,
+    /// The rescue rung it succeeded on (`None` = nominal attempt).
+    pub rescued: Option<usize>,
+    /// Solver counters from the job's probe.
+    pub solver: SolverStats,
+    /// Trap counters from the job's probe.
+    pub trap: TrapStats,
+}
+
+/// The single-threaded collection handle for one observed run.
+///
+/// Generic over the sink so a [`NoopRecorder`] is compile-time dead:
+/// [`Recorder::live`] is `Sink::ENABLED`, and the ensemble engine
+/// skips probe/record work entirely when it is `false`.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder<S: MetricsSink> {
+    sink: S,
+    journal: Journal,
+    job_seconds: Vec<f64>,
+    solver_totals: SolverStats,
+    trap_totals: TrapStats,
+}
+
+/// A recorder that observes nothing, at zero cost.
+pub type NoopRecorder = Recorder<NoopSink>;
+
+/// A recorder over an in-memory sink.
+pub type MemoryRecorder = Recorder<MemorySink>;
+
+impl Recorder<NoopSink> {
+    /// The do-nothing recorder.
+    #[must_use]
+    pub fn noop() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder<MemorySink> {
+    /// A recording recorder over a fresh [`MemorySink`].
+    #[must_use]
+    pub fn recording() -> Self {
+        Self::default()
+    }
+}
+
+impl<S: MetricsSink> Recorder<S> {
+    /// A recorder over an explicit sink.
+    #[must_use]
+    pub fn with_sink(sink: S) -> Self {
+        Self {
+            sink,
+            journal: Journal::new(),
+            job_seconds: Vec::new(),
+            solver_totals: SolverStats::default(),
+            trap_totals: TrapStats::default(),
+        }
+    }
+
+    /// Whether anything is recorded at all.
+    #[must_use]
+    pub fn live(&self) -> bool {
+        self.sink.live()
+    }
+
+    /// Absorbs one finished job: a journal line (counts only), sink
+    /// counters, and the latency sample. Call in job order.
+    pub fn absorb_job(&mut self, rec: &JobRecord) {
+        if !self.live() {
+            return;
+        }
+        self.journal.push(JournalEvent::Job {
+            job: rec.job,
+            rescued_rung: rec.rescued,
+            solver: rec.solver,
+            trap: rec.trap,
+        });
+        self.solver_totals.add(rec.solver);
+        self.trap_totals.add(rec.trap);
+        self.job_seconds.push(rec.seconds);
+        self.sink.counter("jobs.completed", 1);
+        if rec.rescued.is_some() {
+            self.sink.counter("jobs.rescued", 1);
+        }
+        self.sink
+            .counter("solver.solve_attempts", rec.solver.solve_attempts);
+        self.sink
+            .counter("solver.newton_iterations", rec.solver.newton_iterations);
+        self.sink
+            .counter("solver.steps_accepted", rec.solver.steps_accepted);
+        self.sink
+            .counter("solver.timestep_rejections", rec.solver.timestep_rejections);
+        self.sink
+            .counter("solver.rescue_gmin_rungs", rec.solver.rescue_gmin_rungs);
+        self.sink
+            .counter("solver.rescue_config_rungs", rec.solver.rescue_config_rungs);
+        self.sink
+            .counter("solver.faults_injected", rec.solver.faults_injected);
+        self.sink.counter("trap.candidates", rec.trap.candidates);
+        self.sink.counter("trap.accepted", rec.trap.accepted);
+        self.sink.observe("job.seconds", rec.seconds);
+    }
+
+    /// Journals a rescue outcome (summary line, after the job lines).
+    pub fn record_rescue(&mut self, job: usize, rung: usize) {
+        if self.live() {
+            self.journal.push(JournalEvent::Rescued { job, rung });
+        }
+    }
+
+    /// Journals a quarantine decision.
+    pub fn record_quarantine(
+        &mut self,
+        job: usize,
+        seed: u64,
+        rungs_attempted: usize,
+        error: &str,
+    ) {
+        if self.live() {
+            self.journal.push(JournalEvent::Quarantined {
+                job,
+                seed,
+                rungs_attempted,
+                error: error.to_owned(),
+            });
+            self.sink.counter("jobs.quarantined", 1);
+        }
+    }
+
+    /// Journals a labelled count from outside the per-job flow.
+    pub fn note(&mut self, label: &str, value: u64) {
+        if self.live() {
+            self.journal.push(JournalEvent::Note {
+                label: label.to_owned(),
+                value,
+            });
+        }
+    }
+
+    /// The journal accumulated so far.
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The sink, for direct reads.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The sink, for direct instrumentation.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Per-job wall-clock samples, in job order.
+    #[must_use]
+    pub fn job_seconds(&self) -> &[f64] {
+        &self.job_seconds
+    }
+
+    /// Solver counters summed over all absorbed jobs.
+    #[must_use]
+    pub fn solver_totals(&self) -> SolverStats {
+        self.solver_totals
+    }
+
+    /// Trap counters summed over all absorbed jobs.
+    #[must_use]
+    pub fn trap_totals(&self) -> TrapStats {
+        self.trap_totals
+    }
+
+    /// The `BENCH_<name>.json` summary document: identity, wall-clock
+    /// throughput, per-job latency percentiles, solver/sampler totals
+    /// and journal size.
+    #[must_use]
+    pub fn summary(&self, name: &str, jobs: usize, wall_seconds: f64) -> JsonValue {
+        let mut sorted = self.job_seconds.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        let throughput = if wall_seconds > 0.0 {
+            jobs as f64 / wall_seconds
+        } else {
+            0.0
+        };
+        let s = self.solver_totals;
+        let t = self.trap_totals;
+        JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_owned())),
+            ("jobs", JsonValue::U64(jobs as u64)),
+            ("wall_seconds", JsonValue::F64(wall_seconds)),
+            ("throughput_jobs_per_s", JsonValue::F64(throughput)),
+            (
+                "latency",
+                JsonValue::obj(vec![
+                    ("mean_s", JsonValue::F64(mean)),
+                    ("p50_s", JsonValue::F64(percentile(&sorted, 0.50))),
+                    ("p95_s", JsonValue::F64(percentile(&sorted, 0.95))),
+                    ("p99_s", JsonValue::F64(percentile(&sorted, 0.99))),
+                ]),
+            ),
+            (
+                "solver",
+                JsonValue::obj(vec![
+                    ("solve_attempts", JsonValue::U64(s.solve_attempts)),
+                    ("newton_iterations", JsonValue::U64(s.newton_iterations)),
+                    ("steps_accepted", JsonValue::U64(s.steps_accepted)),
+                    ("timestep_rejections", JsonValue::U64(s.timestep_rejections)),
+                    ("rescue_gmin_rungs", JsonValue::U64(s.rescue_gmin_rungs)),
+                    ("rescue_config_rungs", JsonValue::U64(s.rescue_config_rungs)),
+                    ("faults_injected", JsonValue::U64(s.faults_injected)),
+                ]),
+            ),
+            (
+                "trap",
+                JsonValue::obj(vec![
+                    ("candidates", JsonValue::U64(t.candidates)),
+                    ("accepted", JsonValue::U64(t.accepted)),
+                ]),
+            ),
+            ("journal_events", JsonValue::U64(self.journal.len() as u64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job: usize) -> JobRecord {
+        JobRecord {
+            job,
+            seconds: 0.25 * (job + 1) as f64,
+            rescued: (job == 1).then_some(2),
+            solver: SolverStats {
+                solve_attempts: 1,
+                newton_iterations: 5,
+                ..SolverStats::default()
+            },
+            trap: TrapStats {
+                candidates: 10,
+                accepted: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn noop_recorder_stays_empty() {
+        let mut r = Recorder::noop();
+        assert!(!r.live());
+        r.absorb_job(&record(0));
+        r.record_rescue(0, 1);
+        r.record_quarantine(1, 7, 2, "boom");
+        r.note("x", 1);
+        assert!(r.journal().is_empty());
+        assert!(r.job_seconds().is_empty());
+        assert!(r.solver_totals().is_empty());
+    }
+
+    #[test]
+    fn memory_recorder_accumulates_in_order() {
+        let mut r = Recorder::recording();
+        assert!(r.live());
+        for j in 0..3 {
+            r.absorb_job(&record(j));
+        }
+        r.record_rescue(1, 2);
+        r.record_quarantine(5, 99, 3, "NonConvergence");
+        r.note("vrt.budget_halvings", 1);
+        assert_eq!(r.journal().len(), 6);
+        assert_eq!(r.sink().counter_value("jobs.completed"), 3);
+        assert_eq!(r.sink().counter_value("jobs.rescued"), 1);
+        assert_eq!(r.sink().counter_value("jobs.quarantined"), 1);
+        assert_eq!(r.sink().counter_value("solver.newton_iterations"), 15);
+        assert_eq!(r.solver_totals().newton_iterations, 15);
+        assert_eq!(r.trap_totals().candidates, 30);
+        assert_eq!(r.job_seconds(), &[0.25, 0.5, 0.75]);
+
+        let summary = r.summary("unit", 3, 1.5);
+        assert_eq!(summary.get("jobs").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(
+            summary
+                .get("throughput_jobs_per_s")
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let latency = summary.get("latency").unwrap();
+        assert_eq!(latency.get("p50_s").and_then(JsonValue::as_f64), Some(0.5));
+        assert_eq!(
+            summary.get("journal_events").and_then(JsonValue::as_f64),
+            Some(6.0)
+        );
+    }
+
+    #[test]
+    fn probe_records_only_when_live() {
+        let mut dead = JobProbe::disabled();
+        dead.record_solver(SolverStats {
+            solve_attempts: 1,
+            ..SolverStats::default()
+        });
+        assert!(dead.solver().is_empty());
+        assert!(!dead.is_live());
+
+        let mut live = JobProbe::new(true);
+        live.record_solver(SolverStats {
+            solve_attempts: 1,
+            ..SolverStats::default()
+        });
+        live.record_trap(TrapStats {
+            candidates: 2,
+            accepted: 1,
+        });
+        assert_eq!(live.solver().solve_attempts, 1);
+        assert_eq!(live.trap().accepted, 1);
+    }
+}

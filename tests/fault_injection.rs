@@ -57,7 +57,11 @@ fn dcop_gmin_ladder_is_reached_and_agrees_with_plain_newton() {
     compiled
         .dc_operating_point(&mut ws, 0.0, &dc)
         .expect("unassisted solve");
-    assert_eq!(ws.solve_attempts(), 1, "plain Newton should do it alone");
+    assert_eq!(
+        ws.stats().solve_attempts,
+        1,
+        "plain Newton should do it alone"
+    );
     let reference = ws.solution().to_vec();
 
     // Failing the plain attempt forces the gmin ladder: every homotopy
@@ -67,7 +71,10 @@ fn dcop_gmin_ladder_is_reached_and_agrees_with_plain_newton() {
     compiled
         .dc_operating_point(&mut ws, 0.0, &dc)
         .expect("gmin ladder rescues");
-    assert_eq!(ws.solve_attempts(), 1 + dc.gmin_steps.len() as u64 + 1);
+    assert_eq!(
+        ws.stats().solve_attempts,
+        1 + dc.gmin_steps.len() as u64 + 1
+    );
     for (got, want) in ws.solution().iter().zip(&reference) {
         assert!(
             (got - want).abs() < 1e-9,
@@ -97,7 +104,7 @@ fn dcop_source_stepping_is_reached_when_gmin_also_fails() {
     compiled
         .dc_operating_point(&mut ws, 0.0, &dc)
         .expect("source stepping rescues");
-    assert_eq!(ws.solve_attempts(), 2 + dc.source_steps.len() as u64);
+    assert_eq!(ws.stats().solve_attempts, 2 + dc.source_steps.len() as u64);
     for (got, want) in ws.solution().iter().zip(&reference) {
         assert!(
             (got - want).abs() < 1e-9,
@@ -118,7 +125,10 @@ fn injected_singular_matrix_drives_the_real_lu_error_path() {
     compiled
         .dc_operating_point(&mut ws, 0.0, &dc)
         .expect("gmin ladder rescues a singular first attempt");
-    assert_eq!(ws.solve_attempts(), 1 + dc.gmin_steps.len() as u64 + 1);
+    assert_eq!(
+        ws.stats().solve_attempts,
+        1 + dc.gmin_steps.len() as u64 + 1
+    );
 }
 
 #[test]
@@ -194,7 +204,7 @@ fn transient_gmin_ramp_rescues_a_forced_timestep_floor() {
         .run_transient(&mut ws, 0.0, 4e-9, &config)
         .expect("gmin ramp rescues the step");
     assert_eq!(
-        ws.rescue_rungs_fired(),
+        ws.stats().rescue_rungs(),
         (config.rescue.gmin_ramp.len() as u64, 0)
     );
 
@@ -221,7 +231,7 @@ fn transient_config_ladder_is_reached_when_the_ramp_is_disabled() {
         .run_transient(&mut ws, 0.0, 4e-9, &config)
         .expect("config ladder rescues the step");
     // No gmin rungs exist; the first patient-Newton rung converges.
-    assert_eq!(ws.rescue_rungs_fired(), (0, 1));
+    assert_eq!(ws.stats().rescue_rungs(), (0, 1));
 }
 
 #[test]
@@ -250,7 +260,7 @@ fn exhausted_rescue_reports_every_rung_attempted() {
         }
         other => panic!("expected StepUnderflow, got {other:?}"),
     }
-    assert_eq!(ws.rescue_rungs_fired(), (1, 2));
+    assert_eq!(ws.stats().rescue_rungs(), (1, 2));
 }
 
 #[test]
