@@ -16,6 +16,11 @@ cargo test -q -p samurai-core --test properties
 # journal byte-identical across worker counts (pinned for the same
 # reason as the fault-injection suite).
 cargo test -q -p samurai --test telemetry
+# Dense↔sparse equivalence suite: the sparse solver backend has no
+# hand-derived goldens of its own — this suite pins it to the
+# bit-exact dense path (pinned here so it can never silently drop
+# out of the gate).
+cargo test -q -p samurai --test solver_equivalence
 cargo clippy --workspace --all-targets -- -D warnings
 # Project invariants (determinism / hot-loop purity / hygiene / unsafe
 # audit): any finding fails the build, and the fixture self-check
@@ -31,6 +36,13 @@ cargo run -q --release -p samurai-bench --bin fig7_validation -- \
     --smoke --metrics target/metrics
 cargo run -q --release -p samurai-bench --bin validate_metrics -- \
     target/metrics/BENCH_fig7.json metrics/BENCH_fig7.json
+# Solver-scaling artifact gate: the x6_column bin exercises both LU
+# backends on generated columns; validate the fresh smoke artifact
+# and the committed golden the same way.
+cargo run -q --release -p samurai-bench --bin x6_column -- \
+    --smoke --metrics target/metrics
+cargo run -q --release -p samurai-bench --bin validate_metrics -- \
+    target/metrics/BENCH_x6_column.json metrics/BENCH_x6_column.json
 # Doc lint wall over the first-party crates (vendored stubs excluded).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p samurai-units -p samurai-telemetry -p samurai-waveform \

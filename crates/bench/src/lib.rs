@@ -235,10 +235,32 @@ impl BenchSession {
     /// Panics on I/O errors, like the CSV writers: losing the artifact
     /// of a long run silently would be worse.
     pub fn finish(self, jobs: usize) -> Option<PathBuf> {
+        self.finish_with_extras(jobs, Vec::new())
+    }
+
+    /// [`BenchSession::finish`] with extra top-level members appended
+    /// to the summary object — a binary's headline figures (speedups,
+    /// sweep parameters) ride along in `BENCH_<name>.json`.
+    ///
+    /// [`validate_bench_summary`] checks required keys only, so extras
+    /// never break the schema gate; insertion order is preserved, so
+    /// the extras land after the standard keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like [`BenchSession::finish`].
+    pub fn finish_with_extras(
+        self,
+        jobs: usize,
+        extras: Vec<(&str, JsonValue)>,
+    ) -> Option<PathBuf> {
         let dir = self.dir?;
         fs::create_dir_all(&dir).expect("cannot create the metrics directory");
         let wall = self.watch.elapsed().as_secs_f64();
-        let summary = self.recorder.summary(&self.name, jobs, wall);
+        let mut summary = self.recorder.summary(&self.name, jobs, wall);
+        if let JsonValue::Obj(pairs) = &mut summary {
+            pairs.extend(extras.into_iter().map(|(k, v)| (k.to_owned(), v)));
+        }
         let bench_path = dir.join(format!("BENCH_{}.json", self.name));
         fs::write(&bench_path, summary.to_json() + "\n").expect("cannot write the bench summary");
         let journal_path = dir.join(format!("JOURNAL_{}.jsonl", self.name));

@@ -261,7 +261,11 @@ impl CompiledCircuit {
             }
             rhs[..n].copy_from_slice(&b);
             rhs[n..].iter_mut().for_each(|v| *v = 0.0);
-            m.solve_in_place(&mut rhs)?;
+            // The 2n×2n real block system interleaves the real and
+            // imaginary halves, so a failing column maps back to
+            // unknown `col % n` of the circuit.
+            m.solve_in_place_indexed(&mut rhs)
+                .map_err(|col| self.singular_at(col % n))?;
             phasors.push(
                 (0..n)
                     .map(|i| Phasor {

@@ -29,12 +29,21 @@
 //! copy of the Jacobian (`solve_in_place` destroys its matrix), which
 //! is what keeps fill-pattern clearing of the assembled Jacobian
 //! valid.
+//!
+//! Two linear-solver backends sit behind one dispatch point
+//! ([`SolverSystem`]): the dense LU of [`DenseMatrix`] and the sparse
+//! Gilbert–Peierls LU of [`crate::SparseLu`]. The backend is fixed at
+//! compile time ([`SolverChoice`], automatic by unknown count), so the
+//! whole analysis stack — DC, AC operating points, transient, the
+//! stepper, the rescue ladder — gains the sparse path without
+//! changing a line.
 
 use samurai_core::faults::{FaultArm, FaultKind};
 use samurai_telemetry::SolverStats;
 
 use crate::linalg::DenseMatrix;
 use crate::netlist::{Circuit, Element, ElementId, Source};
+use crate::sparse::{CscMatrix, SparseLu, SparsityPattern};
 use crate::{MosfetParams, SpiceError};
 
 /// Per-capacitor integration state (voltage across and current through
@@ -98,6 +107,155 @@ impl Default for NewtonConfig {
     }
 }
 
+/// Requested linear-solver backend for [`CompiledCircuit::compile_with_solver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Pick by system size: dense below [`SPARSE_AUTO_THRESHOLD`]
+    /// unknowns, sparse at or above it.
+    #[default]
+    Auto,
+    /// Force the dense LU regardless of size.
+    Dense,
+    /// Force the sparse LU regardless of size.
+    Sparse,
+}
+
+/// The linear-solver backend a circuit was actually compiled for (the
+/// resolution of a [`SolverChoice`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Dense LU with partial pivoting ([`DenseMatrix`]).
+    Dense,
+    /// Sparse Gilbert–Peierls LU over the compile-time sparsity
+    /// pattern ([`SparseLu`]).
+    Sparse,
+}
+
+/// Unknown count at which [`SolverChoice::Auto`] switches to the
+/// sparse backend. Every hand-built cell circuit in this repository
+/// sits well below this (a 6T cell has 10 unknowns), so their
+/// bit-exact dense goldens are untouched; generated column arrays sit
+/// well above it.
+pub const SPARSE_AUTO_THRESHOLD: usize = 48;
+
+/// The assembled system matrix plus its factorisation scratch, as one
+/// matched pair per backend.
+///
+/// Holding the pair in a single enum (rather than separate
+/// matrix/factor fields) makes a dense-matrix-with-sparse-factors
+/// state unrepresentable — the dispatch below has no impossible arm.
+// One workspace holds exactly one SolverSystem — never collections of
+// them — so the size skew between the two arms costs nothing, while
+// boxing the large arm would put an indirection in the Newton loop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum SolverSystem {
+    /// Dense Jacobian + dense LU scratch.
+    Dense {
+        /// The assembled Jacobian.
+        jac: DenseMatrix,
+        /// LU scratch (`solve_in_place` destroys the matrix it
+        /// factors, so the factorisation runs in this copy and `jac`
+        /// survives for the next fill-pattern clear).
+        lu: DenseMatrix,
+    },
+    /// CSC Jacobian + sparse LU factors.
+    Sparse {
+        /// The assembled Jacobian over the compiled sparsity pattern.
+        jac: CscMatrix,
+        /// Reusable Gilbert–Peierls factor workspace (factors into its
+        /// own L/U storage; `jac` is read-only during factorisation).
+        lu: SparseLu,
+    },
+}
+
+impl SolverSystem {
+    /// Allocates the backend `compiled` was compiled for.
+    fn for_circuit(compiled: &CompiledCircuit) -> Self {
+        let n = compiled.n_unknowns;
+        match compiled.solver {
+            SolverKind::Dense => Self::Dense {
+                jac: DenseMatrix::zeros(n, n),
+                lu: DenseMatrix::zeros(n, n),
+            },
+            SolverKind::Sparse => Self::Sparse {
+                jac: CscMatrix::zeros(&compiled.pattern),
+                lu: SparseLu::with_column_order(&compiled.order),
+            },
+        }
+    }
+
+    // lint: hot-loop
+    //
+    // `add`, `clear_fill` and `factor_solve` are the per-iteration
+    // matrix operations of the Newton loop; both arms are
+    // allocation-free on reuse.
+
+    /// Adds `v` to assembled entry `(r, c)` — the MNA stamp.
+    #[inline]
+    pub(crate) fn add(&mut self, r: usize, c: usize, v: f64) {
+        match self {
+            Self::Dense { jac, .. } => jac.add(r, c, v),
+            Self::Sparse { jac, .. } => jac.add(r, c, v),
+        }
+    }
+
+    /// Clears the assembled matrix for re-stamping: dense zeroes
+    /// exactly the fill entries (everything else is zero forever),
+    /// sparse memsets its value array (its storage *is* the fill
+    /// pattern).
+    fn clear_fill(&mut self, fill: &[(usize, usize)]) {
+        match self {
+            Self::Dense { jac, .. } => {
+                for &(r, c) in fill {
+                    jac.set(r, c, 0.0);
+                }
+            }
+            Self::Sparse { jac, .. } => jac.clear(),
+        }
+    }
+
+    /// Factors the assembled matrix and solves for `delta` in place,
+    /// reporting the failing unknown index on singularity.
+    fn factor_solve(&mut self, delta: &mut [f64]) -> Result<(), usize> {
+        match self {
+            Self::Dense { jac, lu } => {
+                lu.copy_from(jac);
+                lu.solve_in_place_indexed(delta)
+            }
+            Self::Sparse { jac, lu } => {
+                lu.factor(jac)?;
+                lu.solve(delta);
+                Ok(())
+            }
+        }
+    }
+    // lint: end-hot-loop
+
+    /// Reads an assembled entry (cold path: in-crate tests only).
+    #[cfg(test)]
+    pub(crate) fn get(&self, r: usize, c: usize) -> f64 {
+        match self {
+            Self::Dense { jac, .. } => jac.get(r, c),
+            Self::Sparse { jac, .. } => jac.get(r, c),
+        }
+    }
+
+    /// Zeroes row `r` of the `n`-unknown assembled matrix — the
+    /// deterministic `SingularMatrix` fault, expressed on the matrix
+    /// both backends actually factor.
+    fn zero_row(&mut self, r: usize, n: usize) {
+        match self {
+            Self::Dense { jac, .. } => {
+                for c in 0..n {
+                    jac.set(r, c, 0.0);
+                }
+            }
+            Self::Sparse { jac, .. } => jac.zero_row(r),
+        }
+    }
+}
+
 /// Persistent solver state: every buffer the Newton iteration and the
 /// transient loop need, allocated once per compiled circuit and reused
 /// across solves.
@@ -108,14 +266,11 @@ impl Default for NewtonConfig {
 /// every analysis fully re-seeds the state it reads.
 #[derive(Debug, Clone)]
 pub struct NewtonWorkspace {
-    /// The assembled Jacobian. Entries outside the fill pattern are
-    /// zero forever; entries inside it are cleared before each
-    /// assembly.
-    pub(crate) jac: DenseMatrix,
-    /// LU scratch: `solve_in_place` overwrites its matrix with the
-    /// factors, so the factorisation runs in this copy and `jac`
-    /// survives for the next fill-pattern clear.
-    pub(crate) lu: DenseMatrix,
+    /// The assembled Jacobian with its factorisation scratch, dense or
+    /// sparse per the compiled circuit's [`SolverKind`]. Entries
+    /// outside the fill pattern are zero forever; entries inside it
+    /// are cleared before each assembly.
+    pub(crate) sys: SolverSystem,
     /// KCL/branch residual.
     pub(crate) res: Vec<f64>,
     /// Newton update `δ` (the negated residual before the LU solve).
@@ -150,8 +305,7 @@ impl NewtonWorkspace {
     pub fn new(compiled: &CompiledCircuit) -> Self {
         let n = compiled.n_unknowns;
         Self {
-            jac: DenseMatrix::zeros(n, n),
-            lu: DenseMatrix::zeros(n, n),
+            sys: SolverSystem::for_circuit(compiled),
             res: vec![0.0; n],
             delta: Vec::with_capacity(n),
             x: vec![0.0; n],
@@ -233,16 +387,16 @@ fn add_res(res: &mut [f64], n: Option<usize>, value: f64) {
 
 /// Adds `value` to the Jacobian entry (∂r[row] / ∂x[col]).
 #[inline]
-fn add_jac(jac: &mut DenseMatrix, row: Option<usize>, col: Option<usize>, value: f64) {
+fn add_jac(sys: &mut SolverSystem, row: Option<usize>, col: Option<usize>, value: f64) {
     if let (Some(r), Some(c)) = (row, col) {
-        jac.add(r, c, value);
+        sys.add(r, c, value);
     }
 }
 
 /// A two-terminal conductance + current stamp: current `i = g·(va−vb) +
 /// i0` flows from `a` to `b`.
 fn stamp_branch(
-    jac: &mut DenseMatrix,
+    sys: &mut SolverSystem,
     res: &mut [f64],
     x: &[f64],
     a: Option<usize>,
@@ -254,10 +408,10 @@ fn stamp_branch(
     let i = g * v + i0;
     add_res(res, a, i);
     add_res(res, b, -i);
-    add_jac(jac, a, a, g);
-    add_jac(jac, a, b, -g);
-    add_jac(jac, b, a, -g);
-    add_jac(jac, b, b, g);
+    add_jac(sys, a, a, g);
+    add_jac(sys, a, b, -g);
+    add_jac(sys, b, a, -g);
+    add_jac(sys, b, b, g);
 }
 
 /// Records the fill positions a two-terminal branch stamp can write.
@@ -304,7 +458,7 @@ pub(crate) struct ResistorStamp {
 
 impl Stamp for ResistorStamp {
     fn stamp(&self, x: &[f64], ws: &mut NewtonWorkspace) {
-        stamp_branch(&mut ws.jac, &mut ws.res, x, self.a, self.b, self.g, 0.0);
+        stamp_branch(&mut ws.sys, &mut ws.res, x, self.a, self.b, self.g, 0.0);
     }
 
     fn register_fill(&self, fill: &mut Vec<(usize, usize)>) {
@@ -326,7 +480,7 @@ impl Stamp for CapacitorStamp {
         let (g, i0) = ws.mode.companion(self.c, ws.cap_states[self.state]);
         // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g != 0.0 || i0 != 0.0 {
-            stamp_branch(&mut ws.jac, &mut ws.res, x, self.a, self.b, g, i0);
+            stamp_branch(&mut ws.sys, &mut ws.res, x, self.a, self.b, g, i0);
         }
     }
 
@@ -359,16 +513,16 @@ impl Stamp for VsourceStamp {
         // Branch current leaves the + node through the source.
         add_res(&mut ws.res, self.plus, i_branch);
         add_res(&mut ws.res, self.minus, -i_branch);
-        add_jac(&mut ws.jac, self.plus, Some(self.row), 1.0);
-        add_jac(&mut ws.jac, self.minus, Some(self.row), -1.0);
+        add_jac(&mut ws.sys, self.plus, Some(self.row), 1.0);
+        add_jac(&mut ws.sys, self.minus, Some(self.row), -1.0);
         // Branch equation.
         ws.res[self.row] =
             v_at(x, self.plus) - v_at(x, self.minus) - ws.source_scale * self.source.eval(ws.t);
         if let Some(i) = self.plus {
-            ws.jac.add(self.row, i, 1.0);
+            ws.sys.add(self.row, i, 1.0);
         }
         if let Some(i) = self.minus {
-            ws.jac.add(self.row, i, -1.0);
+            ws.sys.add(self.row, i, -1.0);
         }
     }
 
@@ -425,33 +579,33 @@ impl Stamp for MosfetStamp {
             .eval(v_at(x, self.d), v_at(x, self.g), v_at(x, self.s));
         add_res(&mut ws.res, self.d, id);
         add_res(&mut ws.res, self.s, -id);
-        add_jac(&mut ws.jac, self.d, self.d, dd);
-        add_jac(&mut ws.jac, self.d, self.g, dg);
-        add_jac(&mut ws.jac, self.d, self.s, ds);
-        add_jac(&mut ws.jac, self.s, self.d, -dd);
-        add_jac(&mut ws.jac, self.s, self.g, -dg);
-        add_jac(&mut ws.jac, self.s, self.s, -ds);
+        add_jac(&mut ws.sys, self.d, self.d, dd);
+        add_jac(&mut ws.sys, self.d, self.g, dg);
+        add_jac(&mut ws.sys, self.d, self.s, ds);
+        add_jac(&mut ws.sys, self.s, self.d, -dd);
+        add_jac(&mut ws.sys, self.s, self.g, -dg);
+        add_jac(&mut ws.sys, self.s, self.s, -ds);
         // Charge model: Cgs, Cgd, Cdb.
         let (g_gs, i_gs) = ws
             .mode
             .companion(self.params.cgs, ws.cap_states[self.caps[0]]);
         // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_gs != 0.0 || i_gs != 0.0 {
-            stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.s, g_gs, i_gs);
+            stamp_branch(&mut ws.sys, &mut ws.res, x, self.g, self.s, g_gs, i_gs);
         }
         let (g_gd, i_gd) = ws
             .mode
             .companion(self.params.cgd, ws.cap_states[self.caps[1]]);
         // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_gd != 0.0 || i_gd != 0.0 {
-            stamp_branch(&mut ws.jac, &mut ws.res, x, self.g, self.d, g_gd, i_gd);
+            stamp_branch(&mut ws.sys, &mut ws.res, x, self.g, self.d, g_gd, i_gd);
         }
         let (g_db, i_db) = ws
             .mode
             .companion(self.params.cdb, ws.cap_states[self.caps[2]]);
         // lint: allow(HYG004): exact-zero sentinel skips unstamped entries
         if g_db != 0.0 || i_db != 0.0 {
-            stamp_branch(&mut ws.jac, &mut ws.res, x, self.d, None, g_db, i_db);
+            stamp_branch(&mut ws.sys, &mut ws.res, x, self.d, None, g_db, i_db);
         }
     }
 
@@ -618,12 +772,35 @@ pub struct CompiledCircuit {
     /// Sorted, deduplicated Jacobian entries any stamp (or the gmin
     /// leak) can write.
     pub(crate) fill: Vec<(usize, usize)>,
+    /// CSC image of `fill` — the sparse backend's symbolic analysis,
+    /// computed once here and shared by every workspace.
+    pub(crate) pattern: SparsityPattern,
+    /// Fill-reducing column elimination order for the sparse backend
+    /// (empty on the dense backend, where it is meaningless). Part of
+    /// the compile-time symbolic analysis: computed once, shared by
+    /// every workspace.
+    pub(crate) order: Vec<usize>,
+    /// The linear-solver backend this circuit was compiled for.
+    pub(crate) solver: SolverKind,
+    /// Names of the MNA unknowns (node names, then `i(v<branch>)`),
+    /// for singular-pivot diagnostics.
+    pub(crate) unknown_names: Vec<String>,
 }
 
 impl CompiledCircuit {
-    /// Lowers `ckt` into its compiled form.
+    /// Lowers `ckt` into its compiled form, selecting the linear
+    /// solver automatically by unknown count
+    /// ([`SolverChoice::Auto`]).
     pub fn compile(ckt: &Circuit) -> Self {
+        Self::compile_with_solver(ckt, SolverChoice::Auto)
+    }
+
+    /// [`compile`](Self::compile) with an explicit linear-solver
+    /// choice (forcing the sparse backend at small sizes is what the
+    /// dense↔sparse equivalence suite does).
+    pub fn compile_with_solver(ckt: &Circuit, choice: SolverChoice) -> Self {
         let n_nodes = ckt.node_count();
+        let n_unknowns = ckt.unknown_count();
         let stamps: Vec<DeviceStamp> = ckt
             .elements
             .iter()
@@ -635,13 +812,33 @@ impl CompiledCircuit {
         }
         fill.sort_unstable();
         fill.dedup();
+        let pattern = SparsityPattern::new(n_unknowns, &fill);
+        let solver = match choice {
+            SolverChoice::Dense => SolverKind::Dense,
+            SolverChoice::Sparse => SolverKind::Sparse,
+            SolverChoice::Auto => {
+                if n_unknowns >= SPARSE_AUTO_THRESHOLD {
+                    SolverKind::Sparse
+                } else {
+                    SolverKind::Dense
+                }
+            }
+        };
+        let order = match solver {
+            SolverKind::Sparse => pattern.min_degree_ordering(),
+            SolverKind::Dense => Vec::new(),
+        };
         Self {
             n_nodes,
-            n_unknowns: ckt.unknown_count(),
+            n_unknowns,
             cap_state_count: ckt.cap_state_count,
             gmin: ckt.gmin,
             stamps,
             fill,
+            pattern,
+            order,
+            solver,
+            unknown_names: ckt.unknown_names(),
         }
     }
 
@@ -653,6 +850,34 @@ impl CompiledCircuit {
     /// System size: node voltages plus voltage-source branch currents.
     pub fn unknown_count(&self) -> usize {
         self.n_unknowns
+    }
+
+    /// The linear-solver backend selected at compile time.
+    pub fn solver_kind(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// Number of structural nonzeros in the Jacobian fill pattern.
+    pub fn nnz(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// Name of MNA unknown `i` (a node name, or `i(v<branch>)` for a
+    /// voltage-source branch current).
+    pub fn unknown_name(&self, i: usize) -> Option<&str> {
+        self.unknown_names.get(i).map(String::as_str)
+    }
+
+    /// The [`SpiceError::SingularMatrix`] for a pivot failure at
+    /// unknown `col`, carrying the unknown's name.
+    pub(crate) fn singular_at(&self, col: usize) -> SpiceError {
+        SpiceError::SingularMatrix {
+            node: self
+                .unknown_names
+                .get(col)
+                .cloned()
+                .unwrap_or_else(|| format!("#{col}")),
+        }
     }
 
     /// Rewrites the waveform of voltage/current source `id` (the
@@ -710,9 +935,7 @@ impl CompiledCircuit {
     /// Assembles the residual and Jacobian at solution `x`, under the
     /// workspace's stamp context (`t`, mode, homotopy scales).
     pub(crate) fn assemble(&self, x: &[f64], ws: &mut NewtonWorkspace) {
-        for &(r, c) in &self.fill {
-            ws.jac.set(r, c, 0.0);
-        }
+        ws.sys.clear_fill(&self.fill);
         ws.res.iter_mut().for_each(|r| *r = 0.0);
 
         // gmin to ground from every node.
@@ -720,7 +943,7 @@ impl CompiledCircuit {
         if g_leak > 0.0 {
             for (i, &v) in x.iter().enumerate().take(self.n_nodes) {
                 ws.res[i] += g_leak * v;
-                ws.jac.add(i, i, g_leak);
+                ws.sys.add(i, i, g_leak);
             }
         }
 
@@ -765,16 +988,16 @@ impl CompiledCircuit {
                 }
             }
 
-            // Solve J delta = -res; the LU runs in the scratch copy.
+            // Solve J delta = -res; the factorisation runs in the
+            // backend's scratch, so the assembled matrix survives.
             ws.delta.clear();
             ws.delta.extend(ws.res.iter().map(|r| -r));
-            ws.lu.copy_from(&ws.jac);
             if iter == 0 && injected == Some(FaultKind::SingularMatrix) {
-                for c in 0..self.n_unknowns {
-                    ws.lu.set(0, c, 0.0);
-                }
+                ws.sys.zero_row(0, self.n_unknowns);
             }
-            ws.lu.solve_in_place(&mut ws.delta)?;
+            ws.sys
+                .factor_solve(&mut ws.delta)
+                .map_err(|col| self.singular_at(col))?;
 
             // A non-finite update poisons every later iterate, and —
             // because `f64::max` ignores NaN — would otherwise slip
@@ -1005,7 +1228,7 @@ mod tests {
         compiled.assemble(&x, &mut ws);
         for r in 0..compiled.unknown_count() {
             for c in 0..compiled.unknown_count() {
-                if ws.jac.get(r, c) != 0.0 {
+                if ws.sys.get(r, c) != 0.0 {
                     assert!(
                         compiled.fill.binary_search(&(r, c)).is_ok(),
                         "({r}, {c}) written outside the fill pattern"
@@ -1089,6 +1312,94 @@ mod tests {
                 &NewtonConfig::default(),
             )
             .unwrap_err();
-        assert!(matches!(err, SpiceError::SingularMatrix));
+        assert!(
+            matches!(&err, SpiceError::SingularMatrix { node } if node == "b"),
+            "the rank collapse surfaces at node b: {err:?}"
+        );
+    }
+
+    #[test]
+    fn forced_sparse_backend_matches_dense_on_a_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Source::Dc(3.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 2e3);
+        let dense = CompiledCircuit::compile(&ckt);
+        assert_eq!(dense.solver_kind(), SolverKind::Dense, "auto picks dense");
+        let sparse = CompiledCircuit::compile_with_solver(&ckt, SolverChoice::Sparse);
+        assert_eq!(sparse.solver_kind(), SolverKind::Sparse);
+        assert_eq!(sparse.nnz(), dense.nnz(), "one fill pattern, two images");
+        let mut ws = NewtonWorkspace::new(&sparse);
+        sparse
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap();
+        let x = ws.solution();
+        let reference = solve_dc(&ckt);
+        for (s, d) in x.iter().zip(&reference) {
+            assert!((s - d).abs() < 1e-9, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn sparse_singular_circuit_names_the_offending_unknown() {
+        let mut ckt = Circuit::new();
+        ckt.gmin = 0.0;
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, 1e3);
+        let compiled = CompiledCircuit::compile_with_solver(&ckt, SolverChoice::Sparse);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        let err = compiled
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, SpiceError::SingularMatrix { node } if node == "b"),
+            "sparse backend must agree with dense on the failing unknown: {err:?}"
+        );
+    }
+
+    #[test]
+    fn auto_threshold_switches_to_sparse_on_large_circuits() {
+        let mut ckt = Circuit::new();
+        let mut prev = Circuit::GROUND;
+        for i in 0..SPARSE_AUTO_THRESHOLD {
+            let n = ckt.node(&format!("n{i}"));
+            ckt.resistor(prev, n, 1e3);
+            prev = n;
+        }
+        ckt.isource(Circuit::GROUND, prev, Source::Dc(1e-6));
+        let compiled = CompiledCircuit::compile(&ckt);
+        assert_eq!(compiled.solver_kind(), SolverKind::Sparse);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        compiled
+            .solve(
+                &mut ws,
+                0.0,
+                IntegMode::Dc,
+                1.0,
+                0.0,
+                &NewtonConfig::default(),
+            )
+            .unwrap();
+        // 1 µA through a 48-resistor ladder: the far node sits at
+        // 48 kΩ · 1 µA plus the gmin leak's tiny correction.
+        let far = ws.solution()[SPARSE_AUTO_THRESHOLD - 1];
+        assert!((far - 48e-3).abs() < 1e-4, "far node {far}");
     }
 }

@@ -10,7 +10,13 @@ use samurai_waveform::WaveformError;
 pub enum SpiceError {
     /// The system matrix is singular (typically a floating subcircuit
     /// with gmin disabled, or a voltage-source loop).
-    SingularMatrix,
+    SingularMatrix {
+        /// Name of the MNA unknown whose pivot collapsed — a node name
+        /// for voltage unknowns, `i(v<branch>)` for voltage-source
+        /// branch currents, or `#<index>` when the failing system has
+        /// no circuit attached (raw linear-algebra callers).
+        node: String,
+    },
     /// Newton–Raphson failed to converge.
     NonConvergence {
         /// Simulation time at which convergence failed (NaN for DC).
@@ -67,7 +73,9 @@ pub enum SpiceError {
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::SingularMatrix => write!(f, "singular system matrix"),
+            Self::SingularMatrix { node } => {
+                write!(f, "singular system matrix (pivot lost at unknown `{node}`)")
+            }
             Self::NonConvergence {
                 time,
                 iterations,
@@ -119,7 +127,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
+        let msg = SpiceError::SingularMatrix { node: "qb".into() }.to_string();
+        assert!(msg.contains("singular"), "{msg}");
+        assert!(msg.contains("`qb`"), "{msg}");
         let e = SpiceError::NonConvergence {
             time: 1e-9,
             iterations: 100,

@@ -18,6 +18,11 @@
 //!   [`Stamp`]s, Jacobian fill pattern precomputed, and every solver
 //!   buffer owned by a persistent workspace so the Newton/timestep
 //!   loop allocates nothing;
+//! * [`SparsityPattern`] / [`CscMatrix`] / [`SparseLu`] — the sparse
+//!   linear-solve path for generated arrays: a Gilbert–Peierls LU over
+//!   a compile-time symbolic analysis, selected automatically above
+//!   [`SPARSE_AUTO_THRESHOLD`] unknowns (or forced via
+//!   [`SolverChoice`]);
 //! * [`dc_operating_point`] — Newton–Raphson with per-step damping and
 //!   gmin stepping;
 //! * [`run_transient`] — backward-Euler or trapezoidal integration with
@@ -56,10 +61,14 @@ mod linalg;
 mod mosfet;
 mod netlist;
 pub mod parser;
+mod sparse;
 mod stepper;
 mod transient;
 
-pub use compiled::{CompiledCircuit, NewtonConfig, NewtonWorkspace, Stamp};
+pub use compiled::{
+    CompiledCircuit, NewtonConfig, NewtonWorkspace, SolverChoice, SolverKind, Stamp,
+    SPARSE_AUTO_THRESHOLD,
+};
 pub use dcop::{dc_operating_point, DcConfig};
 pub use error::SpiceError;
 pub use linalg::DenseMatrix;
@@ -67,5 +76,6 @@ pub use mosfet::{MosType, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Source};
 pub use parser::{parse_netlist, ParsedNetlist};
 pub use samurai_telemetry::SolverStats;
+pub use sparse::{CscMatrix, SparseLu, SparsityPattern};
 pub use stepper::TransientStepper;
 pub use transient::{run_transient, Integrator, RescueConfig, TransientConfig, TransientResult};

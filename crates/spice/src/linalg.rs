@@ -112,6 +112,20 @@ impl DenseMatrix {
     ///
     /// Panics if the matrix is not square or `b.len() != rows`.
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        self.solve_in_place_indexed(b)
+            .map_err(|col| SpiceError::SingularMatrix {
+                node: format!("#{col}"),
+            })
+    }
+
+    /// [`solve_in_place`](Self::solve_in_place) returning the failing
+    /// column index (= MNA unknown index) on singularity, so callers
+    /// that know the circuit can attach the unknown's *name*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub(crate) fn solve_in_place_indexed(&mut self, b: &mut [f64]) -> Result<(), usize> {
         assert_eq!(self.rows, self.cols, "solve requires a square matrix");
         assert_eq!(b.len(), self.rows);
         let n = self.rows;
@@ -128,7 +142,7 @@ impl DenseMatrix {
                 }
             }
             if pivot_mag < 1e-300 {
-                return Err(SpiceError::SingularMatrix);
+                return Err(col);
             }
             if pivot_row != col {
                 for c in 0..n {
@@ -206,7 +220,11 @@ mod tests {
         a.set(1, 0, 2.0);
         a.set(1, 1, 4.0);
         let mut b = vec![1.0, 2.0];
-        assert_eq!(a.solve_in_place(&mut b), Err(SpiceError::SingularMatrix));
+        assert_eq!(
+            a.solve_in_place(&mut b),
+            Err(SpiceError::SingularMatrix { node: "#1".into() }),
+            "the rank collapse is first visible at the second pivot"
+        );
     }
 
     #[test]

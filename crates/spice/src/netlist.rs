@@ -193,6 +193,26 @@ impl Circuit {
         self.elements.len()
     }
 
+    /// Human-readable names of the MNA unknowns, in unknown order:
+    /// node voltages first (by [`NodeId::unknown_index`]), then one
+    /// `i(v<branch>)` label per voltage-source branch current. Used by
+    /// the solvers to name the offending unknown in
+    /// [`SpiceError::SingularMatrix`] reports.
+    pub fn unknown_names(&self) -> Vec<String> {
+        let mut names = vec![String::new(); self.unknown_count()];
+        for (name, &id) in &self.names {
+            if let Some(i) = id.unknown_index() {
+                names[i].clone_from(name);
+            }
+        }
+        for e in &self.elements {
+            if let Element::Vsource { branch, .. } = e {
+                names[self.node_count + branch] = format!("i(v{branch})");
+            }
+        }
+        names
+    }
+
     /// Adds a resistor of `ohms` between `a` and `b`.
     ///
     /// # Panics

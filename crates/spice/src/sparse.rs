@@ -1,0 +1,790 @@
+//! Sparse linear algebra: CSC storage and a left-looking LU.
+//!
+//! The dense solver in [`crate::DenseMatrix`] is O(n³) per Newton
+//! iteration — fine for a 6T cell (10 unknowns), hopeless for a
+//! generated SRAM column (hundreds of unknowns, a handful of nonzeros
+//! per row). This module adds the sparse path:
+//!
+//! * [`SparsityPattern`] — the *symbolic analysis*, computed once at
+//!   circuit-compile time from the same fill list the dense path
+//!   clears. It lives on the [`CompiledCircuit`](crate::CompiledCircuit)
+//!   next to the dense fill pattern and is immutable thereafter.
+//! * [`CscMatrix`] — compressed-sparse-column values over a fixed
+//!   pattern; stamping is a binary search within one column
+//!   (columns are short: MNA rows couple a node to its few
+//!   neighbours), clearing is one `memset` of the value array.
+//! * [`SparseLu`] — a Gilbert–Peierls left-looking LU with partial
+//!   pivoting (the CSparse `cs_lu` algorithm): each column solves
+//!   `x = L \ A(:,k)` by a depth-first reach over the graph of the
+//!   partially built `L`, then picks the largest-magnitude
+//!   not-yet-pivotal row as pivot. Pivoting is mandatory here —
+//!   voltage-source branch rows have structurally zero diagonals.
+//!
+//! All factor storage is owned by the [`SparseLu`] workspace and
+//! reused across factorizations. Because the Newton loop factors the
+//! *same* pattern every time, the L/U arrays stop growing after the
+//! first factorization and the transient hot loop stays
+//! allocation-free, matching the compile-once contract of the dense
+//! engine.
+
+/// Sentinel for "no pivot assigned yet" in the row permutation.
+const NONE: usize = usize::MAX;
+
+/// Smallest pivot magnitude accepted before the matrix is declared
+/// singular — the same threshold the dense LU uses.
+const PIVOT_FLOOR: f64 = 1e-300;
+
+/// The fixed nonzero structure of a compiled system matrix, in
+/// compressed-sparse-column form.
+///
+/// Built once per [`CompiledCircuit`](crate::CompiledCircuit) from the
+/// sorted, deduplicated Jacobian fill list (the symbolic analysis of
+/// the compile-once contract); every [`CscMatrix`] assembled for that
+/// circuit shares this structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    /// `col_ptr[c]..col_ptr[c + 1]` indexes column `c`'s rows.
+    col_ptr: Vec<usize>,
+    /// Row indices, ascending within each column.
+    row_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Builds the pattern of an `n × n` matrix from a list of `(row,
+    /// col)` entries. Entries may be unsorted and may repeat; they are
+    /// sorted and deduplicated internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is out of range.
+    pub fn new(n: usize, entries: &[(usize, usize)]) -> Self {
+        let mut fill: Vec<(usize, usize)> = entries.to_vec();
+        fill.sort_unstable();
+        fill.dedup();
+        assert!(
+            fill.iter().all(|&(r, c)| r < n && c < n),
+            "pattern entry out of range"
+        );
+        let mut col_ptr = vec![0usize; n + 1];
+        for &(_, c) in &fill {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0usize; fill.len()];
+        // `fill` is sorted by (row, col), so appending per column keeps
+        // each column's rows ascending.
+        for &(r, c) in &fill {
+            row_idx[cursor[c]] = r;
+            cursor[c] += 1;
+        }
+        Self {
+            n,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// A fill-reducing column elimination order: greedy minimum degree
+    /// on the symmetrized pattern, ties broken to the smallest index
+    /// so the order (and therefore every downstream factorization) is
+    /// fully deterministic.
+    ///
+    /// MNA matrices put their highest-degree unknowns wherever the
+    /// netlist builder happened to create them — a generated SRAM
+    /// column creates the shared vdd/bl/blb rails *first*, the worst
+    /// possible elimination position. Factoring in minimum-degree
+    /// order instead keeps the Gilbert–Peierls fill near the
+    /// structural nonzero count. This runs once per circuit compile
+    /// (symbolic analysis), never in the Newton loop.
+    pub fn min_degree_ordering(&self) -> Vec<usize> {
+        let n = self.n;
+        let mut adj: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); n];
+        for c in 0..n {
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let r = self.row_idx[p];
+                if r != c {
+                    adj[r].insert(c);
+                    adj[c].insert(r);
+                }
+            }
+        }
+        let mut eliminated = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut best = NONE;
+            let mut best_deg = usize::MAX;
+            for (v, nbrs) in adj.iter().enumerate() {
+                if !eliminated[v] && nbrs.len() < best_deg {
+                    best_deg = nbrs.len();
+                    best = v;
+                }
+            }
+            order.push(best);
+            eliminated[best] = true;
+            // Eliminate: the neighbours of the chosen node become a
+            // clique in the quotient graph.
+            let nbrs: Vec<usize> = adj[best].iter().copied().collect();
+            for &u in &nbrs {
+                adj[u].remove(&best);
+            }
+            adj[best].clear();
+            for (i, &u) in nbrs.iter().enumerate() {
+                for &w in &nbrs[i + 1..] {
+                    adj[u].insert(w);
+                    adj[w].insert(u);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// A compressed-sparse-column matrix over a fixed [`SparsityPattern`].
+///
+/// The index arrays are copied from the pattern at construction and
+/// never change; only the value array is written during assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// A zero matrix over `pattern`.
+    pub fn zeros(pattern: &SparsityPattern) -> Self {
+        Self {
+            n: pattern.n,
+            col_ptr: pattern.col_ptr.clone(),
+            row_idx: pattern.row_idx.clone(),
+            values: vec![0.0; pattern.row_idx.len()],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    // lint: hot-loop
+    //
+    // `add` and `clear` run inside the Newton assembly loop — once per
+    // stamped Jacobian entry per iteration. Columns hold only a node's
+    // direct neighbours, so the binary search is over a handful of
+    // rows.
+
+    /// Adds `v` to entry `(r, c)` — the MNA stamping operation.
+    ///
+    /// Entries outside the pattern are ignored (the compiled fill
+    /// pattern covers every stamp by construction; a miss is a compile
+    /// bug caught by the debug assertion).
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        match self.row_idx[lo..hi].binary_search(&r) {
+            Ok(k) => self.values[lo + k] += v,
+            Err(_) => debug_assert!(false, "({r}, {c}) is outside the sparsity pattern"),
+        }
+    }
+
+    /// Resets every value to zero, keeping the structure.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+    // lint: end-hot-loop
+
+    /// Reads entry `(r, c)` (zero outside the pattern).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        match self.row_idx[lo..hi].binary_search(&r) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Zeroes every stored entry of row `r` (an O(nnz) scan — cold
+    /// path, used only by deterministic fault injection to make a
+    /// factorization genuinely singular).
+    pub fn zero_row(&mut self, r: usize) {
+        for (ri, v) in self.row_idx.iter().zip(self.values.iter_mut()) {
+            if *ri == r {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Matrix–vector product `A·x`, for tests and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (c, &xc) in x.iter().enumerate() {
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[p]] += self.values[p] * xc;
+            }
+        }
+        y
+    }
+}
+
+/// A reusable Gilbert–Peierls LU workspace: numeric L/U factors, the
+/// dense accumulator and DFS stacks, and the pivoting permutation.
+///
+/// One `SparseLu` serves one system size for its whole life; calling
+/// [`factor`](Self::factor) repeatedly on matrices with the same
+/// pattern performs no heap allocation after the first call (the L/U
+/// arrays are cleared and refilled to identical lengths, so their
+/// capacity never grows again).
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    l_colptr: Vec<usize>,
+    l_rowidx: Vec<usize>,
+    l_values: Vec<f64>,
+    u_colptr: Vec<usize>,
+    u_rowidx: Vec<usize>,
+    u_values: Vec<f64>,
+    /// Dense accumulator for the current column.
+    x: Vec<f64>,
+    /// Shared stack: DFS recursion grows from the front, the
+    /// topological output grows from the back (they never collide —
+    /// their combined size is bounded by the number of reached nodes).
+    xi: Vec<usize>,
+    /// Per-frame resume positions of the paused DFS.
+    pstack: Vec<usize>,
+    /// Visit marks, keyed by a per-column generation counter.
+    flag: Vec<usize>,
+    /// `pinv[row] = kk` once `row` was chosen as the pivot of factor
+    /// position `kk`; [`NONE`] while the row is still available.
+    pinv: Vec<usize>,
+    /// Column elimination order: `q[kk]` is the original column
+    /// factored at position `kk`. Identity unless the workspace was
+    /// built with [`with_column_order`](Self::with_column_order).
+    q: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Allocates a workspace for `n × n` systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "system dimension must be positive");
+        Self {
+            n,
+            l_colptr: vec![0; n + 1],
+            l_rowidx: Vec::new(),
+            l_values: Vec::new(),
+            u_colptr: vec![0; n + 1],
+            u_rowidx: Vec::new(),
+            u_values: Vec::new(),
+            x: vec![0.0; n],
+            xi: vec![0; n],
+            pstack: vec![0; n],
+            flag: vec![0; n],
+            pinv: vec![NONE; n],
+            q: (0..n).collect(),
+        }
+    }
+
+    /// Allocates a workspace that eliminates columns in the given
+    /// order — typically [`SparsityPattern::min_degree_ordering`].
+    /// With the identity order this is exactly [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or not a permutation of `0..n`.
+    pub fn with_column_order(order: &[usize]) -> Self {
+        let n = order.len();
+        let mut lu = Self::new(n);
+        let mut seen = vec![false; n];
+        for &c in order {
+            assert!(
+                c < n && !seen[c],
+                "column order must be a permutation of 0..n"
+            );
+            seen[c] = true;
+        }
+        lu.q.copy_from_slice(order);
+        lu
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    // lint: hot-loop
+    //
+    // `factor` and `solve` run once per Newton iteration per timestep
+    // on the sparse path — the innermost engine loop for generated
+    // column arrays. After the first factorization of a pattern every
+    // push lands in reserved capacity, so the loop is allocation-free.
+
+    /// Depth-first search from row `start` over the graph of the
+    /// partially built `L`, appending finished nodes to the
+    /// topological output stack growing down from `top`. Returns the
+    /// new `top`.
+    fn dfs(&mut self, start: usize, mark: usize, mut top: usize) -> usize {
+        let mut head: usize = 0;
+        self.xi[0] = start;
+        loop {
+            let j = self.xi[head];
+            let jcol = self.pinv[j];
+            if self.flag[j] != mark {
+                self.flag[j] = mark;
+                self.pstack[head] = if jcol == NONE { 0 } else { self.l_colptr[jcol] };
+            }
+            let p_end = if jcol == NONE {
+                0
+            } else {
+                self.l_colptr[jcol + 1]
+            };
+            let mut done = true;
+            let mut p = self.pstack[head];
+            while p < p_end {
+                let child = self.l_rowidx[p];
+                if self.flag[child] != mark {
+                    // Pause this frame, descend into the child.
+                    self.pstack[head] = p;
+                    head += 1;
+                    self.xi[head] = child;
+                    done = false;
+                    break;
+                }
+                p += 1;
+            }
+            if done {
+                top -= 1;
+                self.xi[top] = j;
+                if head == 0 {
+                    break;
+                }
+                head -= 1;
+            }
+        }
+        top
+    }
+
+    /// Factors `a` in place of the previous factors.
+    ///
+    /// Left-looking Gilbert–Peierls with partial pivoting: per column,
+    /// the reach of `A(:,k)` over `L` gives the nonzero pattern of
+    /// `x = L \ A(:,k)` in topological order; the sparse triangular
+    /// update fills in the values; the largest-magnitude row not yet
+    /// chosen as a pivot becomes this column's pivot (ties break to
+    /// the smallest row index, keeping the factorization fully
+    /// deterministic). Columns are eliminated in the workspace's
+    /// column order (`P·A·Q = L·U`); [`solve`](Self::solve) undoes
+    /// both permutations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing column index (= the MNA unknown index) if
+    /// no acceptable pivot exists — the sparse analogue of the dense
+    /// solver's singular-matrix report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not `n × n`.
+    pub fn factor(&mut self, a: &CscMatrix) -> Result<(), usize> {
+        assert_eq!(a.n, self.n, "dimension mismatch");
+        let n = self.n;
+        self.l_rowidx.clear();
+        self.l_values.clear();
+        self.u_rowidx.clear();
+        self.u_values.clear();
+        self.pinv.iter_mut().for_each(|p| *p = NONE);
+        self.flag.iter_mut().for_each(|f| *f = 0);
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+
+        for kk in 0..n {
+            let k = self.q[kk];
+            self.l_colptr[kk] = self.l_values.len();
+            self.u_colptr[kk] = self.u_values.len();
+
+            // Symbolic: reach of A(:,k) over L, in topological order.
+            let mark = kk + 1;
+            let mut top = n;
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                let i = a.row_idx[p];
+                if self.flag[i] != mark {
+                    top = self.dfs(i, mark, top);
+                }
+            }
+
+            // Numeric: clear the pattern, scatter A(:,k), then apply
+            // the pending L columns in topological order.
+            for p in top..n {
+                let i = self.xi[p];
+                self.x[i] = 0.0;
+            }
+            for p in a.col_ptr[k]..a.col_ptr[k + 1] {
+                self.x[a.row_idx[p]] = a.values[p];
+            }
+            for p in top..n {
+                let j = self.xi[p];
+                let jcol = self.pinv[j];
+                if jcol == NONE {
+                    continue;
+                }
+                // L's unit diagonal is stored first in each column, so
+                // the division by it is a no-op; apply the strictly
+                // sub-diagonal entries.
+                let xj = self.x[j];
+                for q in self.l_colptr[jcol] + 1..self.l_colptr[jcol + 1] {
+                    self.x[self.l_rowidx[q]] -= self.l_values[q] * xj;
+                }
+            }
+
+            // Pivot: strict max |x| over not-yet-pivotal rows, ties to
+            // the smallest row index. Rows already pivotal are entries
+            // of U(:,k).
+            let mut ipiv = NONE;
+            let mut best = -1.0f64;
+            for p in top..n {
+                let i = self.xi[p];
+                if self.pinv[i] == NONE {
+                    let t = self.x[i].abs();
+                    // lint: allow(HYG004): exact tie-break keeps the pivot order deterministic
+                    if t > best || (t == best && i < ipiv) {
+                        best = t;
+                        ipiv = i;
+                    }
+                } else {
+                    // lint: allow(HOT003): bounded by the column's U fill; capacity persists across factorizations
+                    self.u_rowidx.push(self.pinv[i]);
+                    self.u_values.push(self.x[i]); // lint: allow(HOT003): same bound as the index push above
+                }
+            }
+            if ipiv == NONE || best < PIVOT_FLOOR {
+                // Reset the pattern before reporting: a later factor
+                // call must start from a clean accumulator.
+                for p in top..n {
+                    self.x[self.xi[p]] = 0.0;
+                }
+                return Err(k);
+            }
+            let pivot = self.x[ipiv];
+            // lint: allow(HOT003): one pivot entry per column; capacity persists across factorizations
+            self.u_rowidx.push(kk);
+            self.u_values.push(pivot); // lint: allow(HOT003): one pivot entry per column
+            self.pinv[ipiv] = kk;
+            // lint: allow(HOT003): one unit-diagonal entry per column; capacity persists across factorizations
+            self.l_rowidx.push(ipiv);
+            self.l_values.push(1.0); // lint: allow(HOT003): one unit-diagonal entry per column
+            for p in top..n {
+                let i = self.xi[p];
+                if self.pinv[i] == NONE {
+                    // lint: allow(HOT003): bounded by the column's L fill; capacity persists across factorizations
+                    self.l_rowidx.push(i);
+                    self.l_values.push(self.x[i] / pivot); // lint: allow(HOT003): same bound as the index push above
+                }
+                self.x[i] = 0.0;
+            }
+        }
+        self.l_colptr[n] = self.l_values.len();
+        self.u_colptr[n] = self.u_values.len();
+        // Rewrite L's row indices into pivotal numbering so the solve
+        // is a straight unit-lower / upper sweep.
+        for idx in self.l_rowidx.iter_mut() {
+            *idx = self.pinv[*idx];
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the factors of the last successful
+    /// [`factor`](Self::factor), overwriting `b` with `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&mut self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Apply the row permutation: x[pinv[i]] = b[i].
+        for (i, &bi) in b.iter().enumerate() {
+            self.x[self.pinv[i]] = bi;
+        }
+        // Unit-lower sweep (diagonal first in each column).
+        for j in 0..n {
+            let xj = self.x[j];
+            for p in self.l_colptr[j] + 1..self.l_colptr[j + 1] {
+                self.x[self.l_rowidx[p]] -= self.l_values[p] * xj;
+            }
+        }
+        // Upper sweep (diagonal last in each column).
+        for j in (0..n).rev() {
+            let lo = self.u_colptr[j];
+            let hi = self.u_colptr[j + 1];
+            self.x[j] /= self.u_values[hi - 1];
+            let xj = self.x[j];
+            for p in lo..hi - 1 {
+                self.x[self.u_rowidx[p]] -= self.u_values[p] * xj;
+            }
+        }
+        // Undo the column permutation: x[q[kk]] = y[kk].
+        for kk in 0..n {
+            b[self.q[kk]] = self.x[kk];
+        }
+        // Leave the accumulator clean for the next factorization.
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+    }
+    // lint: end-hot-loop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::DenseMatrix;
+
+    fn dense_pattern(n: usize) -> SparsityPattern {
+        let mut entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                entries.push((r, c));
+            }
+        }
+        SparsityPattern::new(n, &entries)
+    }
+
+    #[test]
+    fn pattern_is_csc_with_ascending_rows() {
+        let p = SparsityPattern::new(3, &[(2, 0), (0, 0), (1, 2), (0, 0), (0, 1)]);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.nnz(), 4, "duplicates must collapse");
+        assert_eq!(p.col_ptr, vec![0, 2, 3, 4]);
+        assert_eq!(p.row_idx, vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn add_get_clear_round_trip() {
+        let p = SparsityPattern::new(2, &[(0, 0), (1, 0), (1, 1)]);
+        let mut m = CscMatrix::zeros(&p);
+        m.add(0, 0, 1.5);
+        m.add(1, 0, 2.0);
+        m.add(1, 0, 0.5);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 0), 2.5);
+        assert_eq!(m.get(0, 1), 0.0, "outside the pattern reads zero");
+        m.clear();
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn min_degree_orders_hub_nodes_last_and_avoids_fill() {
+        // Arrow matrix: node 0 couples to every other node (the shape
+        // a shared bit line stamps into the MNA system). Natural order
+        // eliminates the hub first and fills the trailing block dense;
+        // minimum degree pushes the hub to the end and, with pivots on
+        // the dominant diagonal, creates no fill at all.
+        let n = 8;
+        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for i in 1..n {
+            entries.push((0, i));
+            entries.push((i, 0));
+        }
+        let pattern = SparsityPattern::new(n, &entries);
+        let order = pattern.min_degree_ordering();
+        // Leaves go first (ties by index); the hub only becomes
+        // eligible once its degree has shrunk to match a leaf's.
+        assert_eq!(order[..n - 2], (1..n - 1).collect::<Vec<_>>()[..]);
+        assert!(
+            order.iter().position(|&v| v == 0).expect("hub is ordered") >= n - 2,
+            "the hub must be eliminated after the leaves"
+        );
+
+        let mut a = CscMatrix::zeros(&pattern);
+        for i in 0..n {
+            a.add(i, i, (i + 4) as f64);
+        }
+        for i in 1..n {
+            a.add(0, i, 1.0);
+            a.add(i, 0, 0.5);
+        }
+        let mut lu = SparseLu::with_column_order(&order);
+        lu.factor(&a).expect("ordered factorization succeeds");
+        // Zero fill: L's unit diagonals and U's pivots are the only
+        // entries beyond the structural nonzeros.
+        assert_eq!(lu.l_values.len() + lu.u_values.len(), pattern.nnz() + n);
+
+        // The permuted solve still answers in original coordinates.
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let mut x = b.clone();
+        lu.solve(&mut x);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10, "residual too large");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column order must be a permutation")]
+    fn rejects_a_non_permutation_column_order() {
+        let _ = SparseLu::with_column_order(&[0, 0, 2]);
+    }
+
+    #[test]
+    fn solves_a_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let p = dense_pattern(2);
+        let mut a = CscMatrix::zeros(&p);
+        a.add(0, 0, 2.0);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        a.add(1, 1, 3.0);
+        let mut lu = SparseLu::new(2);
+        lu.factor(&a).unwrap();
+        let mut b = vec![5.0, 10.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_structurally_zero_diagonals() {
+        // The MNA shape that makes pivoting mandatory: a voltage-source
+        // branch row [0 1; 1 0].
+        let p = SparsityPattern::new(2, &[(0, 1), (1, 0)]);
+        let mut a = CscMatrix::zeros(&p);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        let mut lu = SparseLu::new(2);
+        lu.factor(&a).unwrap();
+        let mut b = vec![2.0, 3.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reports_the_failing_column() {
+        // Rank-1 2x2: the second pivot collapses.
+        let p = dense_pattern(2);
+        let mut a = CscMatrix::zeros(&p);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 4.0);
+        let mut lu = SparseLu::new(2);
+        assert_eq!(lu.factor(&a), Err(1));
+
+        // An empty column fails immediately at that column.
+        let p = SparsityPattern::new(2, &[(0, 0)]);
+        let a = CscMatrix::zeros(&p);
+        let mut lu = SparseLu::new(2);
+        let err = lu.factor(&a);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn refactorization_reuses_the_workspace_and_matches_dense() {
+        // Factor twice with different values on one pattern; both
+        // solves must match the dense reference exactly-ish.
+        let n = 5;
+        let entries = [
+            (0, 0),
+            (0, 2),
+            (1, 1),
+            (1, 3),
+            (2, 0),
+            (2, 2),
+            (2, 4),
+            (3, 1),
+            (3, 3),
+            (4, 2),
+            (4, 4),
+        ];
+        let p = SparsityPattern::new(n, &entries);
+        let mut lu = SparseLu::new(n);
+        for scale in [1.0f64, 3.5] {
+            let mut a = CscMatrix::zeros(&p);
+            let mut d = DenseMatrix::zeros(n, n);
+            for (k, &(r, c)) in entries.iter().enumerate() {
+                let v = scale * (k as f64 + 1.0) * if r == c { 3.0 } else { 0.5 };
+                a.add(r, c, v);
+                d.add(r, c, v);
+            }
+            lu.factor(&a).unwrap();
+            let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+            let mut xs = rhs.clone();
+            lu.solve(&mut xs);
+            let mut xd = rhs.clone();
+            d.solve_in_place(&mut xd).unwrap();
+            for (s, dd) in xs.iter().zip(&xd) {
+                assert!((s - dd).abs() < 1e-10, "sparse {s} vs dense {dd}");
+            }
+            // Residual check through the sparse matvec.
+            let back = {
+                let mut a2 = CscMatrix::zeros(&p);
+                for (k, &(r, c)) in entries.iter().enumerate() {
+                    let v = scale * (k as f64 + 1.0) * if r == c { 3.0 } else { 0.5 };
+                    a2.add(r, c, v);
+                }
+                a2.matvec(&xs)
+            };
+            for (orig, b) in rhs.iter().zip(&back) {
+                assert!((orig - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_makes_the_factorization_singular() {
+        let p = dense_pattern(3);
+        let mut a = CscMatrix::zeros(&p);
+        for i in 0..3 {
+            a.add(i, i, 2.0);
+        }
+        a.add(0, 1, 1.0);
+        a.add(2, 1, 1.0);
+        let mut lu = SparseLu::new(3);
+        lu.factor(&a).unwrap();
+        a.zero_row(0);
+        assert!(lu.factor(&a).is_err());
+    }
+
+    #[test]
+    fn factor_after_a_singular_failure_recovers() {
+        let p = dense_pattern(2);
+        let mut lu = SparseLu::new(2);
+        let singular = CscMatrix::zeros(&p);
+        assert!(lu.factor(&singular).is_err());
+        let mut a = CscMatrix::zeros(&p);
+        a.add(0, 0, 4.0);
+        a.add(1, 1, 2.0);
+        lu.factor(&a).unwrap();
+        let mut b = vec![8.0, 8.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 4.0).abs() < 1e-12);
+    }
+}

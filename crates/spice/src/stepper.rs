@@ -96,7 +96,7 @@ impl TransientStepper {
         if let Some(kind) = self.ws.step_arm.check() {
             self.ws.stats.faults_injected += 1;
             return Err(match kind {
-                FaultKind::SingularMatrix => SpiceError::SingularMatrix,
+                FaultKind::SingularMatrix => self.compiled.singular_at(0),
                 FaultKind::NanResidual => SpiceError::NumericalBreakdown {
                     time: t_new,
                     iteration: 0,

@@ -379,7 +379,7 @@ impl CompiledCircuit {
             let floor_forced = step_fault == Some(FaultKind::TimestepFloor);
             let solved = match step_fault {
                 None => self.solve_trial(ws, t_new, mode, &config.newton),
-                Some(FaultKind::SingularMatrix) => Err(SpiceError::SingularMatrix),
+                Some(FaultKind::SingularMatrix) => Err(self.singular_at(0)),
                 Some(FaultKind::NanResidual) => Err(SpiceError::NumericalBreakdown {
                     time: t_new,
                     iteration: 0,
@@ -402,7 +402,7 @@ impl CompiledCircuit {
                         .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
                     max_dv <= config.dv_max || h <= config.dt_min * 4.0
                 }
-                Err(SpiceError::SingularMatrix) => return Err(SpiceError::SingularMatrix),
+                Err(e @ SpiceError::SingularMatrix { .. }) => return Err(e),
                 Err(_) => false,
             };
 

@@ -160,3 +160,158 @@ fn kcl_holds_at_every_internal_node_of_a_bridge() {
     assert!(kcl_r.abs() < 1e-9, "KCL at r: {kcl_r}");
     assert!((vt - 2.0).abs() < 1e-9);
 }
+
+// ---------------------------------------------------------------------
+// Sparse-kernel properties: the CSC LU against the dense reference.
+// ---------------------------------------------------------------------
+
+use samurai_spice::{CscMatrix, DenseMatrix, SparseLu, SparsityPattern};
+
+/// splitmix64: a tiny deterministic generator so the property tests
+/// can derive arbitrary sparse systems from a single proptest seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[-1, 1)` from the splitmix stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+/// Builds a random strictly diagonally dominant system: the sparsity
+/// pattern (diagonal always present), the per-entry values, and a
+/// right-hand side.
+#[allow(clippy::type_complexity)]
+fn random_dominant_system(
+    n: usize,
+    fill_per_row: usize,
+    seed: u64,
+) -> (Vec<(usize, usize)>, Vec<((usize, usize), f64)>, Vec<f64>) {
+    let mut state = seed;
+    let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+    for r in 0..n {
+        for _ in 0..fill_per_row {
+            let c = (splitmix(&mut state) % n as u64) as usize;
+            entries.push((r, c));
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    let mut values = Vec::with_capacity(entries.len());
+    let mut row_sum = vec![0.0f64; n];
+    for &(r, c) in &entries {
+        if r != c {
+            let v = unit(&mut state);
+            row_sum[r] += v.abs();
+            values.push(((r, c), v));
+        }
+    }
+    for (r, sum) in row_sum.iter().enumerate() {
+        // Strict dominance keeps the system well-conditioned for the
+        // 1e-9 dense/sparse comparison.
+        let diag = sum + 1.0 + 0.5 * (unit(&mut state) + 1.0);
+        values.push(((r, r), diag));
+    }
+    let b: Vec<f64> = (0..n).map(|_| unit(&mut state)).collect();
+    (entries, values, b)
+}
+
+/// Loads the same values into both backends and solves the same
+/// right-hand side; returns `(dense_x, sparse_x)`.
+fn solve_both(
+    n: usize,
+    entries: &[(usize, usize)],
+    values: &[((usize, usize), f64)],
+    b: &[f64],
+    csc: &mut CscMatrix,
+    lu: &mut SparseLu,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut dense = DenseMatrix::zeros(n, n);
+    csc.clear();
+    for &((r, c), v) in values {
+        dense.set(r, c, dense.get(r, c) + v);
+        csc.add(r, c, v);
+    }
+    let _ = entries;
+    let mut xd = b.to_vec();
+    dense
+        .solve_in_place(&mut xd)
+        .expect("dominant system solves");
+    lu.factor(csc).expect("dominant system factors");
+    let mut xs = b.to_vec();
+    lu.solve(&mut xs);
+    (xd, xs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random strictly diagonally dominant CSC systems the sparse
+    /// LU agrees with the dense reference to 1e-9, including when the
+    /// factor objects are reused across systems that share a pattern
+    /// (the compiled-circuit lifetime).
+    #[test]
+    fn sparse_lu_matches_the_dense_reference(
+        n in 2usize..12,
+        fill_per_row in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (entries, values, b) = random_dominant_system(n, fill_per_row, seed);
+        let pattern = SparsityPattern::new(n, &entries);
+        let mut csc = CscMatrix::zeros(&pattern);
+        let mut lu = SparseLu::new(n);
+        let (xd, xs) = solve_both(n, &entries, &values, &b, &mut csc, &mut lu);
+        for (i, (d, s)) in xd.iter().zip(&xs).enumerate() {
+            prop_assert!(
+                (d - s).abs() <= 1e-9 * (1.0 + d.abs()),
+                "x[{i}]: dense {d} vs sparse {s}"
+            );
+        }
+
+        // Refactorization on the same pattern with fresh values — the
+        // hot-loop path — must stay in agreement.
+        let (_, values2, b2) = random_dominant_system(n, fill_per_row, seed ^ 0x5eed);
+        let values2: Vec<_> = values2
+            .into_iter()
+            .filter(|(rc, _)| entries.binary_search(rc).is_ok())
+            .collect();
+        let (xd2, xs2) = solve_both(n, &entries, &values2, &b2, &mut csc, &mut lu);
+        for (i, (d, s)) in xd2.iter().zip(&xs2).enumerate() {
+            prop_assert!(
+                (d - s).abs() <= 1e-9 * (1.0 + d.abs()),
+                "refactor x[{i}]: dense {d} vs sparse {s}"
+            );
+        }
+    }
+
+    /// `matvec` of the assembled CSC matrix reproduces `b` when fed
+    /// the solved `x` (a residual check independent of the dense
+    /// path).
+    #[test]
+    fn sparse_solutions_satisfy_the_original_system(
+        n in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let (entries, values, b) = random_dominant_system(n, 2, seed);
+        let pattern = SparsityPattern::new(n, &entries);
+        let mut csc = CscMatrix::zeros(&pattern);
+        for &((r, c), v) in &values {
+            csc.add(r, c, v);
+        }
+        let mut lu = SparseLu::new(n);
+        lu.factor(&csc).expect("dominant system factors");
+        let mut x = b.clone();
+        lu.solve(&mut x);
+        let ax = csc.matvec(&x);
+        for (i, (lhs, rhs)) in ax.iter().zip(&b).enumerate() {
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()),
+                "residual at {i}: {lhs} vs {rhs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,1153 @@
+//! Generated SRAM column arrays (paper future work, items 2 and 3,
+//! at circuit rather than Monte-Carlo granularity).
+//!
+//! A column is the natural unit above the single 6T cell: `N` cells
+//! share one bit-line pair, loaded by the periphery that a real array
+//! hangs off the column — precharge/equalise devices, a column mux, a
+//! latch-type sense amplifier and a write driver. This module
+//! generates that netlist from a [`ColumnConfig`], with every stage
+//! individually optional, and exposes closed-form node/element counts
+//! so tests can pin the generator's structure.
+//!
+//! The generated circuit reuses the exact per-cell topology of
+//! [`SramCell`](crate::SramCell) — transistor order, node capacitors
+//! and the six per-transistor RTN current-source hooks — so the
+//! two-pass SAMURAI methodology applies unchanged: pass 1 simulates
+//! the clean write, per-transistor biases are extracted from it, RTN
+//! currents are generated trap-by-trap, and pass 2 re-simulates with
+//! the RTN injected ([`run_column_ensemble`]).
+//!
+//! Columns are where the sparse MNA path earns its keep: a 64-row
+//! column with full periphery is ~275 unknowns, far past
+//! [`SPARSE_AUTO_THRESHOLD`](samurai_spice::SPARSE_AUTO_THRESHOLD), so
+//! [`SramColumn::compile`] picks the sparse LU automatically (or
+//! honours an explicit [`SolverChoice`] override for equivalence
+//! testing).
+
+use rand::Rng;
+
+use samurai_core::ensemble::{
+    run_ensemble_resilient_observed, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
+    Parallelism,
+};
+use samurai_core::faults::{FaultPlan, FaultSite};
+use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
+use samurai_spice::{
+    Circuit, CompiledCircuit, DcConfig, ElementId, MosfetParams, NewtonWorkspace, NodeId,
+    SolverChoice, Source, TransientConfig,
+};
+use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
+use samurai_trap::{
+    standard_normal, DeviceParams, PropensityModel, Technology, TrapProfiler, TrapState,
+};
+use samurai_waveform::Pwl;
+
+use crate::harness::pwc_to_source;
+use crate::{SramCellParams, SramError};
+
+/// Width of the precharge/equalise PMOS devices (µm-normalised, like
+/// the cell widths).
+const PRECHARGE_W: f64 = 2.0;
+/// Width of the column-mux pass NMOS devices.
+const MUX_W: f64 = 2.0;
+/// Width of the sense-amplifier cross-coupled PMOS devices.
+const SENSE_PMOS_W: f64 = 1.5;
+/// Width of the sense-amplifier cross-coupled NMOS devices.
+const SENSE_NMOS_W: f64 = 2.0;
+/// Width of the sense-amplifier foot (enable) NMOS.
+const SENSE_FOOT_W: f64 = 4.0;
+/// Width of the write-driver pass NMOS devices.
+const WRITE_W: f64 = 4.0;
+/// Data-line capacitance behind the column mux, as a fraction of the
+/// bit-line capacitance.
+const DATALINE_CAP_RATIO: f64 = 0.25;
+
+/// Configuration of a generated SRAM column.
+#[derive(Debug, Clone)]
+pub struct ColumnConfig {
+    /// Number of 6T cells sharing the bit-line pair.
+    pub rows: usize,
+    /// Sizing and supply of every cell (per-row threshold shifts are
+    /// applied on top via [`SramColumn::build_with_shifts`]).
+    pub cell: SramCellParams,
+    /// Capacitance of each shared bit line to ground, farads.
+    pub bitline_cap: f64,
+    /// Generate the precharge/equalise stage (one gate node, three
+    /// PMOS devices).
+    pub precharge: bool,
+    /// Generate the column mux (select node, data-line pair, two pass
+    /// NMOS devices).
+    pub column_mux: bool,
+    /// Generate the latch-type sense amplifier (enable node, tail
+    /// node, five transistors). Senses the data lines when the mux is
+    /// present, the bit lines otherwise.
+    pub sense_amp: bool,
+    /// Generate the write driver (enable and data nodes, two pass
+    /// NMOS devices).
+    pub write_driver: bool,
+    /// The row targeted by [`SramColumn::drive_write`].
+    pub selected_row: usize,
+    /// Linear-solver backend for [`SramColumn::compile`].
+    pub solver: SolverChoice,
+}
+
+impl Default for ColumnConfig {
+    fn default() -> Self {
+        Self {
+            rows: 8,
+            cell: SramCellParams::default(),
+            bitline_cap: 4e-15,
+            precharge: true,
+            column_mux: true,
+            sense_amp: true,
+            write_driver: true,
+            selected_row: 0,
+            solver: SolverChoice::Auto,
+        }
+    }
+}
+
+impl ColumnConfig {
+    /// Closed-form count of non-ground nodes the generator creates:
+    /// `vdd`/`bl`/`blb` plus three per row (`wl`, `q`, `qb`) plus the
+    /// enabled periphery stages.
+    pub fn expected_nodes(&self) -> usize {
+        3 + 3 * self.rows
+            + usize::from(self.precharge)
+            + 3 * usize::from(self.column_mux)
+            + 2 * usize::from(self.sense_amp)
+            + 3 * usize::from(self.write_driver)
+    }
+
+    /// Closed-form count of voltage sources (each adds one MNA branch
+    /// unknown): supply, one word line per row, and one gate/control
+    /// source per periphery stage (three for the write driver).
+    pub fn expected_vsources(&self) -> usize {
+        1 + self.rows
+            + usize::from(self.precharge)
+            + usize::from(self.column_mux)
+            + usize::from(self.sense_amp)
+            + 3 * usize::from(self.write_driver)
+    }
+
+    /// Closed-form count of circuit elements: the supply source and
+    /// two bit-line capacitors, 15 per row (word-line source, six
+    /// transistors, two node capacitors, six RTN hooks), plus the
+    /// enabled periphery stages.
+    pub fn expected_elements(&self) -> usize {
+        3 + 15 * self.rows
+            + 4 * usize::from(self.precharge)
+            + 5 * usize::from(self.column_mux)
+            + 6 * usize::from(self.sense_amp)
+            + 5 * usize::from(self.write_driver)
+    }
+
+    /// Closed-form count of MNA unknowns: node voltages plus voltage-
+    /// source branch currents.
+    pub fn expected_unknowns(&self) -> usize {
+        self.expected_nodes() + self.expected_vsources()
+    }
+}
+
+/// Handles of one generated row: its word line, storage nodes and the
+/// per-transistor element ids.
+#[derive(Debug, Clone)]
+pub struct ColumnRow {
+    /// Word-line node of this row.
+    pub wl: NodeId,
+    /// Storage node `Q`.
+    pub q: NodeId,
+    /// Storage node `Q̄`.
+    pub qb: NodeId,
+    wl_source: ElementId,
+    transistors: [ElementId; 6],
+    rtn_sources: [ElementId; 6],
+}
+
+#[derive(Debug, Clone)]
+struct MuxHandles {
+    dl: NodeId,
+    dlb: NodeId,
+    csel_source: ElementId,
+}
+
+#[derive(Debug, Clone)]
+struct SenseHandles {
+    sae_source: ElementId,
+}
+
+#[derive(Debug, Clone)]
+struct WriteHandles {
+    we_source: ElementId,
+    d_source: ElementId,
+    db_source: ElementId,
+}
+
+/// A generated SRAM column: `rows` 6T cells on a shared bit-line pair
+/// with optional precharge, column-mux, sense-amp and write-driver
+/// periphery.
+#[derive(Debug, Clone)]
+pub struct SramColumn {
+    /// The generated netlist.
+    pub circuit: Circuit,
+    /// The configuration the column was generated from.
+    pub config: ColumnConfig,
+    /// Supply node.
+    pub vdd_node: NodeId,
+    /// Shared bit line.
+    pub bl: NodeId,
+    /// Shared complementary bit line.
+    pub blb: NodeId,
+    rows: Vec<ColumnRow>,
+    precharge_source: Option<ElementId>,
+    mux: Option<MuxHandles>,
+    sense: Option<SenseHandles>,
+    write: Option<WriteHandles>,
+}
+
+impl SramColumn {
+    /// Generates the column with every row at the configuration's base
+    /// threshold shifts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] for a zero-row column, an
+    /// out-of-range `selected_row` or a non-positive `bitline_cap`.
+    pub fn build(config: &ColumnConfig) -> Result<Self, SramError> {
+        let shifts = vec![config.cell.vth_shift; config.rows];
+        Self::build_with_shifts(config, &shifts)
+    }
+
+    /// Generates the column with explicit per-row threshold-shift
+    /// sextets (local-variation Monte-Carlo uses this).
+    ///
+    /// # Errors
+    ///
+    /// As [`SramColumn::build`], plus [`SramError::InvalidConfig`] if
+    /// `shifts` does not provide exactly one sextet per row.
+    pub fn build_with_shifts(
+        config: &ColumnConfig,
+        shifts: &[[f64; 6]],
+    ) -> Result<Self, SramError> {
+        if config.rows == 0 {
+            return Err(SramError::InvalidConfig {
+                reason: "column needs at least one row",
+            });
+        }
+        if config.selected_row >= config.rows {
+            return Err(SramError::InvalidConfig {
+                reason: "selected_row must index an existing row",
+            });
+        }
+        if shifts.len() != config.rows {
+            return Err(SramError::InvalidConfig {
+                reason: "one vth-shift sextet per row is required",
+            });
+        }
+        if !config.bitline_cap.is_finite() || config.bitline_cap <= 0.0 {
+            return Err(SramError::InvalidConfig {
+                reason: "bitline_cap must be positive",
+            });
+        }
+
+        let p = config.cell;
+        let nmos = |w: f64, dv: f64| MosfetParams::nmos_90nm(w).with_vth_shift(dv);
+        let pmos = |w: f64, dv: f64| MosfetParams::pmos_90nm(w).with_vth_shift(dv);
+
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let bl = ckt.node("bl");
+        let blb = ckt.node("blb");
+        ckt.vsource(vdd, Circuit::GROUND, Source::Dc(p.vdd));
+        ckt.capacitor(bl, Circuit::GROUND, config.bitline_cap);
+        ckt.capacitor(blb, Circuit::GROUND, config.bitline_cap);
+
+        // Rows: the exact SramCell topology, with bl/blb shared.
+        let mut rows = Vec::with_capacity(config.rows);
+        for (r, shift) in shifts.iter().enumerate() {
+            let wl = ckt.node(&format!("wl{r}"));
+            let q = ckt.node(&format!("q{r}"));
+            let qb = ckt.node(&format!("qb{r}"));
+            let wl_source = ckt.vsource(wl, Circuit::GROUND, Source::Dc(0.0));
+            let m1 = ckt.mosfet(bl, wl, q, nmos(p.pass_w, shift[0]));
+            let m2 = ckt.mosfet(blb, wl, qb, nmos(p.pass_w, shift[1]));
+            let m3 = ckt.mosfet(q, qb, vdd, pmos(p.pullup_w, shift[2]));
+            let m4 = ckt.mosfet(qb, q, vdd, pmos(p.pullup_w, shift[3]));
+            let m5 = ckt.mosfet(qb, q, Circuit::GROUND, nmos(p.pulldown_w, shift[4]));
+            let m6 = ckt.mosfet(q, qb, Circuit::GROUND, nmos(p.pulldown_w, shift[5]));
+            ckt.capacitor(q, Circuit::GROUND, p.node_cap);
+            ckt.capacitor(qb, Circuit::GROUND, p.node_cap);
+            let terminal_pairs = [
+                (q, bl),
+                (qb, blb),
+                (vdd, q),
+                (vdd, qb),
+                (Circuit::GROUND, qb),
+                (Circuit::GROUND, q),
+            ];
+            let rtn_sources = terminal_pairs.map(|(s, d)| ckt.isource(s, d, Source::Dc(0.0)));
+            rows.push(ColumnRow {
+                wl,
+                q,
+                qb,
+                wl_source,
+                transistors: [m1, m2, m3, m4, m5, m6],
+                rtn_sources,
+            });
+        }
+
+        // Precharge/equalise: active-low gate, three PMOS devices.
+        let precharge_source = config.precharge.then(|| {
+            let pc = ckt.node("pc");
+            let src = ckt.vsource(pc, Circuit::GROUND, Source::Dc(0.0));
+            ckt.mosfet(bl, pc, vdd, pmos(PRECHARGE_W, 0.0));
+            ckt.mosfet(blb, pc, vdd, pmos(PRECHARGE_W, 0.0));
+            ckt.mosfet(bl, pc, blb, pmos(PRECHARGE_W, 0.0));
+            src
+        });
+
+        // Column mux: NMOS pass pair onto a capacitive data-line pair.
+        let mux = config.column_mux.then(|| {
+            let csel = ckt.node("csel");
+            let dl = ckt.node("dl");
+            let dlb = ckt.node("dlb");
+            let csel_source = ckt.vsource(csel, Circuit::GROUND, Source::Dc(p.vdd));
+            ckt.mosfet(dl, csel, bl, nmos(MUX_W, 0.0));
+            ckt.mosfet(dlb, csel, blb, nmos(MUX_W, 0.0));
+            let dl_cap = DATALINE_CAP_RATIO * config.bitline_cap;
+            ckt.capacitor(dl, Circuit::GROUND, dl_cap);
+            ckt.capacitor(dlb, Circuit::GROUND, dl_cap);
+            MuxHandles {
+                dl,
+                dlb,
+                csel_source,
+            }
+        });
+
+        // Latch-type sense amplifier on the data lines (bit lines when
+        // no mux is generated), footed by an enable NMOS.
+        let sense = config.sense_amp.then(|| {
+            let (sl, sr) = match &mux {
+                Some(m) => (m.dl, m.dlb),
+                None => (bl, blb),
+            };
+            let sae = ckt.node("sae");
+            let satail = ckt.node("satail");
+            let sae_source = ckt.vsource(sae, Circuit::GROUND, Source::Dc(0.0));
+            ckt.mosfet(sl, sr, vdd, pmos(SENSE_PMOS_W, 0.0));
+            ckt.mosfet(sr, sl, vdd, pmos(SENSE_PMOS_W, 0.0));
+            ckt.mosfet(sl, sr, satail, nmos(SENSE_NMOS_W, 0.0));
+            ckt.mosfet(sr, sl, satail, nmos(SENSE_NMOS_W, 0.0));
+            ckt.mosfet(satail, sae, Circuit::GROUND, nmos(SENSE_FOOT_W, 0.0));
+            SenseHandles { sae_source }
+        });
+
+        // Write driver: data sources passed onto the bit lines through
+        // enable NMOS devices (the low side does the writing).
+        let write = config.write_driver.then(|| {
+            let we = ckt.node("we");
+            let d = ckt.node("d");
+            let db = ckt.node("db");
+            let we_source = ckt.vsource(we, Circuit::GROUND, Source::Dc(0.0));
+            let d_source = ckt.vsource(d, Circuit::GROUND, Source::Dc(0.0));
+            let db_source = ckt.vsource(db, Circuit::GROUND, Source::Dc(0.0));
+            ckt.mosfet(bl, we, d, nmos(WRITE_W, 0.0));
+            ckt.mosfet(blb, we, db, nmos(WRITE_W, 0.0));
+            WriteHandles {
+                we_source,
+                d_source,
+                db_source,
+            }
+        });
+
+        debug_assert_eq!(ckt.node_count(), config.expected_nodes());
+        debug_assert_eq!(ckt.element_count(), config.expected_elements());
+        debug_assert_eq!(ckt.unknown_count(), config.expected_unknowns());
+
+        Ok(Self {
+            circuit: ckt,
+            config: config.clone(),
+            vdd_node: vdd,
+            bl,
+            blb,
+            rows,
+            precharge_source,
+            mux,
+            sense,
+            write,
+        })
+    }
+
+    /// Compiles the column under the configured [`SolverChoice`].
+    pub fn compile(&self) -> CompiledCircuit {
+        CompiledCircuit::compile_with_solver(&self.circuit, self.config.solver)
+    }
+
+    /// Handles of row `r` (word line, storage nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &ColumnRow {
+        &self.rows[r]
+    }
+
+    /// Number of generated rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The element id of transistor `t` (cell order `M1..M6`) of row
+    /// `r` — the target for bias extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `t` is out of range.
+    pub fn transistor(&self, r: usize, t: usize) -> ElementId {
+        self.rows[r].transistors[t]
+    }
+
+    /// The RTN current-source hook paired with transistor `t` of row
+    /// `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `t` is out of range.
+    pub fn rtn_source(&self, r: usize, t: usize) -> ElementId {
+        self.rows[r].rtn_sources[t]
+    }
+
+    /// Drives the word line of row `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if `r` is out of range.
+    pub fn set_wl(&mut self, r: usize, source: Source) -> Result<(), SramError> {
+        let row = self.rows.get(r).ok_or(SramError::InvalidConfig {
+            reason: "word-line row index out of range",
+        })?;
+        self.circuit
+            .set_source(row.wl_source, source)
+            .expect("word-line source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+        Ok(())
+    }
+
+    /// Drives the (active-low) precharge gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if the precharge stage was
+    /// not generated.
+    pub fn set_precharge(&mut self, source: Source) -> Result<(), SramError> {
+        let id = self.precharge_source.ok_or(SramError::InvalidConfig {
+            reason: "precharge stage not generated",
+        })?;
+        self.circuit
+            .set_source(id, source)
+            .expect("precharge source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+        Ok(())
+    }
+
+    /// Drives the column-select gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if the column mux was not
+    /// generated.
+    pub fn set_mux_select(&mut self, source: Source) -> Result<(), SramError> {
+        let id = self
+            .mux
+            .as_ref()
+            .map(|m| m.csel_source)
+            .ok_or(SramError::InvalidConfig {
+                reason: "column mux not generated",
+            })?;
+        self.circuit
+            .set_source(id, source)
+            .expect("mux source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+        Ok(())
+    }
+
+    /// Drives the sense-amplifier enable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if the sense amplifier was
+    /// not generated.
+    pub fn set_sense_enable(&mut self, source: Source) -> Result<(), SramError> {
+        let id = self
+            .sense
+            .as_ref()
+            .map(|s| s.sae_source)
+            .ok_or(SramError::InvalidConfig {
+                reason: "sense amplifier not generated",
+            })?;
+        self.circuit
+            .set_source(id, source)
+            .expect("sense source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+        Ok(())
+    }
+
+    /// Drives the write-driver enable and data inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if the write driver was
+    /// not generated.
+    pub fn set_write_data(&mut self, we: Source, d: Source, db: Source) -> Result<(), SramError> {
+        let w = self.write.as_ref().ok_or(SramError::InvalidConfig {
+            reason: "write driver not generated",
+        })?;
+        let (we_id, d_id, db_id) = (w.we_source, w.d_source, w.db_source);
+        for (id, src) in [(we_id, we), (d_id, d), (db_id, db)] {
+            self.circuit
+                .set_source(id, src)
+                .expect("write-driver source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+        }
+        Ok(())
+    }
+
+    /// Programs a full precharge-then-write cycle of `bit` into the
+    /// configured `selected_row`: the precharge gate releases at the
+    /// end of the precharge phase, the write driver and the selected
+    /// word line strobe during the write phase, every other word line
+    /// stays low.
+    ///
+    /// Requires the write driver; the precharge stage is driven when
+    /// present and the sense amplifier (if any) is held disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidConfig`] if the write driver was
+    /// not generated, or a waveform error for degenerate timings.
+    pub fn drive_write(&mut self, timing: &ColumnTiming, bit: bool) -> Result<(), SramError> {
+        if self.write.is_none() {
+            return Err(SramError::InvalidConfig {
+                reason: "drive_write needs the write driver stage",
+            });
+        }
+        let vdd = self.config.cell.vdd;
+        let e = timing.edge;
+        let t_pc = timing.precharge;
+        let wl_on = t_pc + 2.0 * e;
+        let wl_off = wl_on + timing.write;
+
+        if self.config.precharge {
+            self.set_precharge(Source::Pwl(Pwl::step(0.0, vdd, t_pc, e)?))?;
+        }
+        if self.config.sense_amp {
+            self.set_sense_enable(Source::Dc(0.0))?;
+        }
+        let (d_level, db_level) = if bit { (vdd, 0.0) } else { (0.0, vdd) };
+        self.set_write_data(
+            Source::Pwl(Pwl::pulse(0.0, vdd, t_pc + e, wl_off + e, e, e)?),
+            Source::Dc(d_level),
+            Source::Dc(db_level),
+        )?;
+        let selected = self.config.selected_row;
+        for r in 0..self.rows.len() {
+            let src = if r == selected {
+                Source::Pwl(Pwl::pulse(0.0, vdd, wl_on, wl_off, e, e)?)
+            } else {
+                Source::Dc(0.0)
+            };
+            self.set_wl(r, src)?;
+        }
+        Ok(())
+    }
+
+    /// A DC initial guess for the pre-write state: supply, precharged
+    /// bit/data lines and every `Q̄` high (all cells storing 0), the
+    /// written data level on the driver inputs.
+    pub fn initial_guess(&self, bit: bool) -> Vec<f64> {
+        let vdd = self.config.cell.vdd;
+        let mut guess = vec![0.0; self.circuit.node_count()];
+        let mut set = |node: NodeId, v: f64| {
+            if let Some(i) = node.unknown_index() {
+                guess[i] = v;
+            }
+        };
+        set(self.vdd_node, vdd);
+        set(self.bl, vdd);
+        set(self.blb, vdd);
+        for row in &self.rows {
+            set(row.qb, vdd);
+        }
+        if let Some(m) = &self.mux {
+            set(m.dl, vdd);
+            set(m.dlb, vdd);
+        }
+        if self.write.is_some() {
+            // The `d`/`db` nodes sit right after `we` in creation
+            // order; their sources pin them, the guess just matches.
+            let d_level = if bit { vdd } else { 0.0 };
+            let n = self.circuit.node_count();
+            guess[n - 2] = d_level;
+            guess[n - 1] = vdd - d_level;
+        }
+        guess
+    }
+}
+
+/// Timing of the generated precharge-then-write cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnTiming {
+    /// Duration of the precharge phase, seconds.
+    pub precharge: f64,
+    /// Duration of the word-line strobe, seconds.
+    pub write: f64,
+    /// Post-strobe settling time, seconds.
+    pub settle: f64,
+    /// Rise/fall time of every generated edge, seconds.
+    pub edge: f64,
+}
+
+impl Default for ColumnTiming {
+    fn default() -> Self {
+        Self {
+            precharge: 0.3e-9,
+            write: 1.2e-9,
+            settle: 0.5e-9,
+            edge: 0.05e-9,
+        }
+    }
+}
+
+impl ColumnTiming {
+    /// Total simulated horizon of one write cycle.
+    pub fn duration(&self) -> f64 {
+        self.precharge + self.write + self.settle
+    }
+}
+
+/// Configuration of a column-level Monte-Carlo ensemble: `members`
+/// independently varied columns, each written once through the full
+/// two-pass (clean → RTN-injected) methodology.
+#[derive(Debug, Clone)]
+pub struct ColumnEnsembleConfig {
+    /// Column topology and sizing (its `solver` choice carries through
+    /// to every member's compile).
+    pub column: ColumnConfig,
+    /// Write-cycle timing.
+    pub timing: ColumnTiming,
+    /// The bit written into the selected row (cells start storing 0,
+    /// so `true` exercises a real flip).
+    pub bit: bool,
+    /// Number of column instances to simulate.
+    pub members: usize,
+    /// Standard deviation of the per-transistor threshold shift,
+    /// volts, applied independently to every transistor of every row.
+    pub vth_sigma: f64,
+    /// Technology whose trap statistics profile each cell transistor.
+    pub technology: Technology,
+    /// Multiplier on the sampled trap density (0 disables RTN).
+    pub density_scale: f64,
+    /// The paper's accelerated-RTN scale factor.
+    pub rtn_scale: f64,
+    /// Uniform refinement of the Eq (3) current between trap events.
+    pub current_oversample: usize,
+    /// Master random seed (threshold shifts and trap physics).
+    pub seed: u64,
+    /// Worker pool over members; results are bit-identical at every
+    /// setting.
+    pub parallelism: Parallelism,
+    /// SPICE solver configuration for both transient passes.
+    pub spice: TransientConfig,
+    /// What to do when a member's simulation fails.
+    pub failure: FailurePolicy,
+    /// Deterministic fault plan for the sweep. Empty in production.
+    pub faults: FaultPlan,
+}
+
+impl Default for ColumnEnsembleConfig {
+    fn default() -> Self {
+        Self {
+            column: ColumnConfig::default(),
+            timing: ColumnTiming::default(),
+            bit: true,
+            members: 4,
+            vth_sigma: 0.02,
+            technology: Technology::node_90nm(),
+            density_scale: 1.0,
+            rtn_scale: 1.0,
+            current_oversample: 16,
+            seed: 0,
+            parallelism: Parallelism::Auto,
+            spice: TransientConfig::default(),
+            failure: FailurePolicy::FailFast,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Outcome of one ensemble member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMemberResult {
+    /// Member index.
+    pub member: usize,
+    /// Did the clean (RTN-free) pass write the selected row correctly?
+    pub write_ok_clean: bool,
+    /// Did the RTN-injected pass write the selected row correctly?
+    pub write_ok: bool,
+    /// Half-selected rows flipped in the clean pass (variation alone).
+    pub disturbed_clean: usize,
+    /// Half-selected rows flipped in the RTN pass.
+    pub disturbed: usize,
+    /// Total capture/emission events across all row transistors.
+    pub rtn_events: usize,
+    /// Final `Q` voltage of the selected row in the RTN pass.
+    pub q_selected: f64,
+}
+
+/// Aggregated ensemble statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Per-member outcomes, in member order. Under `Quarantine` this
+    /// holds only the members that completed.
+    pub members: Vec<ColumnMemberResult>,
+    /// Rows per column.
+    pub rows: usize,
+    /// Rescue/quarantine accounting; clean runs carry an empty report.
+    pub report: FailureReport<SramError>,
+}
+
+impl ColumnStats {
+    /// Members whose RTN pass failed the write.
+    pub fn write_failures(&self) -> usize {
+        self.members.iter().filter(|m| !m.write_ok).count()
+    }
+
+    /// Total disturbed half-selected rows across the ensemble (RTN
+    /// pass).
+    pub fn total_disturbs(&self) -> usize {
+        self.members.iter().map(|m| m.disturbed).sum()
+    }
+
+    /// Total RTN events across the ensemble.
+    pub fn total_rtn_events(&self) -> usize {
+        self.members.iter().map(|m| m.rtn_events).sum()
+    }
+
+    /// Members that contributed statistics.
+    pub fn effective_members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Builds the trap-physics device description for one column
+/// transistor (the column-generator counterpart of the cell-level
+/// helper in the harness).
+fn column_trap_device(ckt: &Circuit, id: ElementId, tech: &Technology) -> DeviceParams {
+    let params = ckt
+        .mosfet_params(id)
+        .expect("row transistor ids are minted by the builder"); // lint: allow(HYG002): transistor ids minted by the builder
+    DeviceParams {
+        width: samurai_units::Length::from_metres(params.width),
+        length: samurai_units::Length::from_metres(params.length),
+        t_ox: tech.device.t_ox,
+        v_th: samurai_units::Voltage::from_volts(params.vth),
+        v_fb: tech.device.v_fb,
+        doping: tech.device.doping,
+        temperature: tech.device.temperature,
+    }
+}
+
+/// Runs the column Monte-Carlo ensemble.
+///
+/// Members are sharded over the ensemble engine; each member's seeds
+/// derive from the master seed by member index, so the statistics are
+/// bit-identical at every worker count. Each member runs the full
+/// two-pass methodology on its own column instance: a clean write, a
+/// per-transistor bias extraction over every row, trap-by-trap RTN
+/// generation, and an RTN-injected re-simulation on the same compiled
+/// circuit and workspace.
+///
+/// # Errors
+///
+/// Propagates the per-member simulation failure with the lowest index
+/// once the failure policy is exhausted.
+pub fn run_column_ensemble(config: &ColumnEnsembleConfig) -> Result<ColumnStats, SramError> {
+    run_column_ensemble_observed(config, &mut Recorder::noop())
+}
+
+/// [`run_column_ensemble`] reporting per-member solver effort into a
+/// telemetry [`Recorder`]. The statistics are bit-identical to
+/// [`run_column_ensemble`] for every worker count and sink.
+///
+/// # Errors
+///
+/// As [`run_column_ensemble`].
+pub fn run_column_ensemble_observed<S: MetricsSink>(
+    config: &ColumnEnsembleConfig,
+    recorder: &mut Recorder<S>,
+) -> Result<ColumnStats, SramError> {
+    let seeds = SeedStream::new(config.seed);
+    let policy = ExecutionPolicy {
+        failure: config.failure,
+        faults: config.faults.clone(),
+        seed: config.seed,
+    };
+    let outcome = run_ensemble_resilient_observed(
+        config.members,
+        config.parallelism,
+        &policy,
+        recorder,
+        IndexedResults::new,
+        |member, rung, probe: &mut JobProbe| -> Result<ColumnMemberResult, SramError> {
+            let member_seeds = seeds.substream(member as u64);
+            let mut rng = member_seeds.rng(0);
+            let mut shifts = vec![config.column.cell.vth_shift; config.column.rows];
+            for sextet in shifts.iter_mut() {
+                for slot in sextet.iter_mut() {
+                    *slot += config.vth_sigma * standard_normal(&mut rng);
+                }
+            }
+            let mut column = SramColumn::build_with_shifts(&config.column, &shifts)?;
+            column.drive_write(&config.timing, config.bit)?;
+
+            let t0 = 0.0;
+            let tf = config.timing.duration();
+            let spice = if rung == 0 {
+                config.spice.clone()
+            } else {
+                config.spice.rescue_rung(rung)
+            };
+            let spice = TransientConfig {
+                dc: DcConfig {
+                    initial_guess: Some(column.initial_guess(config.bit)),
+                    ..spice.dc
+                },
+                ..spice
+            };
+
+            let mut compiled = column.compile();
+            let mut ws = NewtonWorkspace::new(&compiled);
+            let plan = config.faults.for_job(member, rung);
+            ws.arm_faults(plan.arm(FaultSite::Solve), plan.arm(FaultSite::Step));
+
+            // Pass 1: RTN-free.
+            let pass1 = compiled.run_transient(&mut ws, t0, tf, &spice)?;
+
+            // SAMURAI per transistor of every row, biased by pass 1.
+            let mut rtn_events = 0;
+            for r in 0..column.rows() {
+                for t in 0..6 {
+                    let element = column.transistor(r, t);
+                    let v_gs = pass1.mosfet_gate_drive(&column.circuit, element)?;
+                    let i_d = pass1.mosfet_current(&column.circuit, element)?;
+                    let bias = BiasWaveforms::new(v_gs, i_d);
+
+                    let device = column_trap_device(&column.circuit, element, &config.technology);
+                    let mut tech = config.technology.clone();
+                    tech.device = device;
+                    tech.trap_density *= config.density_scale;
+                    let profile_seeds = member_seeds.substream(1 + (r * 6 + t) as u64);
+                    let mut traps = TrapProfiler::new(tech).sample(&mut profile_seeds.rng(0));
+
+                    // Equilibrate initial occupancies at the t0 bias.
+                    let mut eq_rng = profile_seeds.rng(1);
+                    let v0 = bias.v_gs.eval(t0);
+                    for trap in traps.iter_mut() {
+                        let model = PropensityModel::new(device, *trap);
+                        if eq_rng.gen::<f64>() < model.stationary_occupancy(v0) {
+                            trap.initial_state = TrapState::Filled;
+                        }
+                    }
+
+                    let generator = RtnGenerator::new(device, traps)
+                        .with_seed(profile_seeds.substream(7).seed())
+                        .with_current_oversample(config.current_oversample)
+                        .with_parallelism(Parallelism::Fixed(1));
+                    let rtn = generator.generate(&bias, t0, tf)?;
+                    rtn_events += rtn.event_count();
+                    compiled
+                        .set_source(
+                            column.rtn_source(r, t),
+                            pwc_to_source(&rtn.i_rtn, config.rtn_scale),
+                        )
+                        .expect("rtn source id minted by the builder"); // lint: allow(HYG002): source id minted by the builder
+                }
+            }
+
+            // Pass 2: RTN-injected, same compiled circuit + workspace.
+            let pass2 = compiled.run_transient(&mut ws, t0, tf, &spice)?;
+
+            let vdd = config.column.cell.vdd;
+            let half = 0.5 * vdd;
+            let selected = config.column.selected_row;
+            let q_final =
+                |pass: &samurai_spice::TransientResult, r: usize| -> Result<f64, SramError> {
+                    let q = pass.voltage(&column.circuit, &format!("q{r}"))?;
+                    Ok(q.eval(tf))
+                };
+            let target_high = config.bit;
+            let written = |q: f64| (q > half) == target_high;
+            let mut disturbed_clean = 0;
+            let mut disturbed = 0;
+            for r in 0..column.rows() {
+                if r == selected {
+                    continue;
+                }
+                // All cells start storing 0: a high Q is a disturb.
+                if q_final(&pass1, r)? > half {
+                    disturbed_clean += 1;
+                }
+                if q_final(&pass2, r)? > half {
+                    disturbed += 1;
+                }
+            }
+            let q_sel_clean = q_final(&pass1, selected)?;
+            let q_sel = q_final(&pass2, selected)?;
+            probe.record_solver(ws.stats());
+            Ok(ColumnMemberResult {
+                member,
+                write_ok_clean: written(q_sel_clean),
+                write_ok: written(q_sel),
+                disturbed_clean,
+                disturbed,
+                rtn_events,
+                q_selected: q_sel,
+            })
+        },
+    )?;
+    Ok(ColumnStats {
+        members: outcome.acc.into_vec(),
+        rows: config.column.rows,
+        report: outcome.report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samurai_spice::SolverKind;
+
+    fn configs_under_test() -> Vec<ColumnConfig> {
+        let base = ColumnConfig {
+            rows: 3,
+            precharge: false,
+            column_mux: false,
+            sense_amp: false,
+            write_driver: false,
+            ..ColumnConfig::default()
+        };
+        vec![
+            ColumnConfig {
+                rows: 1,
+                ..base.clone()
+            },
+            base.clone(),
+            ColumnConfig {
+                precharge: true,
+                ..base.clone()
+            },
+            ColumnConfig {
+                column_mux: true,
+                ..base.clone()
+            },
+            ColumnConfig {
+                sense_amp: true,
+                ..base.clone()
+            },
+            ColumnConfig {
+                write_driver: true,
+                ..base.clone()
+            },
+            ColumnConfig {
+                sense_amp: true,
+                column_mux: true,
+                ..base
+            },
+            ColumnConfig {
+                rows: 4,
+                ..ColumnConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn generated_structure_matches_the_closed_form() {
+        for config in configs_under_test() {
+            let column = SramColumn::build(&config).unwrap();
+            assert_eq!(
+                column.circuit.node_count(),
+                config.expected_nodes(),
+                "node count drifted for {config:?}"
+            );
+            assert_eq!(
+                column.circuit.element_count(),
+                config.expected_elements(),
+                "element count drifted for {config:?}"
+            );
+            assert_eq!(
+                column.circuit.unknown_count(),
+                config.expected_unknowns(),
+                "unknown count drifted for {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let zero = ColumnConfig {
+            rows: 0,
+            ..ColumnConfig::default()
+        };
+        assert!(matches!(
+            SramColumn::build(&zero),
+            Err(SramError::InvalidConfig { .. })
+        ));
+        let out_of_range = ColumnConfig {
+            rows: 2,
+            selected_row: 2,
+            ..ColumnConfig::default()
+        };
+        assert!(matches!(
+            SramColumn::build(&out_of_range),
+            Err(SramError::InvalidConfig { .. })
+        ));
+        let config = ColumnConfig::default();
+        assert!(matches!(
+            SramColumn::build_with_shifts(&config, &[[0.0; 6]]),
+            Err(SramError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn dcop_agrees_between_dense_and_sparse_backends() {
+        let config = ColumnConfig {
+            rows: 4,
+            ..ColumnConfig::default()
+        };
+        let column = SramColumn::build(&config).unwrap();
+        let dc = DcConfig {
+            initial_guess: Some(column.initial_guess(true)),
+            ..DcConfig::default()
+        };
+        let mut solutions = Vec::new();
+        for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+            let compiled = CompiledCircuit::compile_with_solver(&column.circuit, choice);
+            let mut ws = NewtonWorkspace::new(&compiled);
+            compiled.dc_operating_point(&mut ws, 0.0, &dc).unwrap();
+            solutions.push(ws.solution().to_vec());
+        }
+        for (a, b) in solutions[0].iter().zip(&solutions[1]) {
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "dense/sparse dcop disagree: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_columns_compile_to_the_sparse_backend() {
+        let config = ColumnConfig {
+            rows: 16,
+            ..ColumnConfig::default()
+        };
+        assert!(config.expected_unknowns() >= samurai_spice::SPARSE_AUTO_THRESHOLD);
+        let column = SramColumn::build(&config).unwrap();
+        let compiled = column.compile();
+        assert_eq!(compiled.solver_kind(), SolverKind::Sparse);
+        assert!(compiled.nnz() > 0);
+    }
+
+    #[test]
+    fn clean_write_flips_the_selected_row_only() {
+        let config = ColumnEnsembleConfig {
+            column: ColumnConfig {
+                rows: 2,
+                ..ColumnConfig::default()
+            },
+            members: 1,
+            vth_sigma: 0.0,
+            density_scale: 0.0, // RTN off: both passes identical.
+            seed: 5,
+            ..ColumnEnsembleConfig::default()
+        };
+        let stats = run_column_ensemble(&config).unwrap();
+        assert_eq!(stats.effective_members(), 1);
+        let m = &stats.members[0];
+        assert!(m.write_ok_clean, "clean write failed: Q = {}", m.q_selected);
+        assert!(m.write_ok);
+        assert_eq!(m.disturbed, 0, "half-selected row flipped");
+        assert_eq!(m.rtn_events, 0);
+    }
+
+    #[test]
+    fn ensemble_is_worker_count_independent() {
+        let base = ColumnEnsembleConfig {
+            column: ColumnConfig {
+                rows: 2,
+                ..ColumnConfig::default()
+            },
+            members: 3,
+            density_scale: 0.5,
+            seed: 9,
+            ..ColumnEnsembleConfig::default()
+        };
+        let runs: Vec<ColumnStats> = [1, 2, 8]
+            .into_iter()
+            .map(|w| {
+                let config = ColumnEnsembleConfig {
+                    parallelism: Parallelism::Fixed(w),
+                    ..base.clone()
+                };
+                run_column_ensemble(&config).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].members, runs[1].members, "1 vs 2 workers drifted");
+        assert_eq!(runs[0].members, runs[2].members, "1 vs 8 workers drifted");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use samurai_spice::SolverKind;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every generated column matches the closed-form structure
+        /// counts, compiles without panicking under both backends, and
+        /// has a solvable DC operating point (a structurally sound,
+        /// connected netlist).
+        #[test]
+        fn generated_columns_are_well_formed(
+            rows in 1usize..5,
+            stages in 0usize..16,
+            selected in any::<usize>(),
+        ) {
+            let config = ColumnConfig {
+                rows,
+                precharge: stages & 1 != 0,
+                column_mux: stages & 2 != 0,
+                sense_amp: stages & 4 != 0,
+                write_driver: stages & 8 != 0,
+                selected_row: selected % rows,
+                ..ColumnConfig::default()
+            };
+            let column = SramColumn::build(&config).unwrap();
+            prop_assert_eq!(column.circuit.node_count(), config.expected_nodes());
+            prop_assert_eq!(column.circuit.element_count(), config.expected_elements());
+            prop_assert_eq!(column.circuit.unknown_count(), config.expected_unknowns());
+
+            let dc = DcConfig {
+                initial_guess: Some(column.initial_guess(true)),
+                ..DcConfig::default()
+            };
+            for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+                let compiled = CompiledCircuit::compile_with_solver(&column.circuit, choice);
+                let expected = match choice {
+                    SolverChoice::Dense => SolverKind::Dense,
+                    _ => SolverKind::Sparse,
+                };
+                prop_assert_eq!(compiled.solver_kind(), expected);
+                let mut ws = NewtonWorkspace::new(&compiled);
+                compiled.dc_operating_point(&mut ws, 0.0, &dc).unwrap();
+            }
+        }
+    }
+}

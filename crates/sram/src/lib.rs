@@ -17,7 +17,8 @@
 //! * extensions from the paper's future-work list: bi-directionally
 //!   [`coupled`] RTN+circuit simulation (item 1), Monte-Carlo
 //!   [`array`](mod@array)-level bit-error analysis with `V_T` variation (items 2
-//!   and 3), [`read`]-disturb analysis (footnote 2) and a
+//!   and 3), generated SRAM [`column`](mod@column) arrays with shared bit lines
+//!   and periphery, [`read`]-disturb analysis (footnote 2) and a
 //!   ring-oscillator RTN study ([`ringosc`], item 4);
 //! * [`margin`] — the parameterised design-margin model behind the
 //!   Fig 2 reproduction.
@@ -41,6 +42,7 @@
 pub mod accelerated;
 pub mod array;
 mod cell;
+pub mod column;
 pub mod coupled;
 mod detect;
 pub mod drv;
@@ -55,6 +57,10 @@ pub mod snm;
 pub mod vrt;
 
 pub use cell::{SramCell, SramCellParams, Transistor};
+pub use column::{
+    run_column_ensemble, run_column_ensemble_observed, ColumnConfig, ColumnEnsembleConfig,
+    ColumnMemberResult, ColumnStats, ColumnTiming, SramColumn,
+};
 pub use detect::{analyze_writes, CycleOutcome, WriteAnalysis};
 pub use error::SramError;
 pub use harness::{run_methodology, MethodologyConfig, MethodologyReport, TransistorRtn};

@@ -160,7 +160,7 @@ fn step_site_faults_surface_as_the_errors_they_model() {
 
     assert!(matches!(
         stepper.step(1e-12),
-        Err(SpiceError::SingularMatrix)
+        Err(SpiceError::SingularMatrix { .. })
     ));
     assert!(matches!(
         stepper.step(1e-12),
@@ -353,5 +353,153 @@ fn retry_rescues_a_scoped_fault_and_leaves_other_cells_untouched() {
         if got.cell != 1 {
             assert_eq!(got, want);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The same fault machinery through the sparse backend: the injections
+// drive the real sparse factorization error paths, and every rescue
+// and quarantine behaviour is identical to the dense backend's.
+// ---------------------------------------------------------------------
+
+use samurai::spice::SolverChoice;
+use samurai::sram::{run_column_ensemble, ColumnConfig, ColumnEnsembleConfig};
+
+#[test]
+fn sparse_backend_rescues_injected_faults_like_the_dense_one() {
+    let ckt = divider();
+    let dc = DcConfig::default();
+    let mut solutions = Vec::new();
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let compiled = CompiledCircuit::compile_with_solver(&ckt, choice);
+
+        // A singular first attempt is rescued by the gmin ladder with
+        // the exact same attempt count on both backends.
+        let plan = FaultPlan::none().fail_nth_solve(1, FaultKind::SingularMatrix);
+        let mut ws = armed_ws(&compiled, &plan);
+        compiled
+            .dc_operating_point(&mut ws, 0.0, &dc)
+            .expect("gmin ladder rescues a singular first attempt");
+        assert_eq!(
+            ws.stats().solve_attempts,
+            1 + dc.gmin_steps.len() as u64 + 1,
+            "{choice:?}"
+        );
+        solutions.push(ws.solution().to_vec());
+    }
+    for (d, s) in solutions[0].iter().zip(&solutions[1]) {
+        assert!((d - s).abs() < 1e-9, "rescued solutions diverged");
+    }
+}
+
+#[test]
+fn sparse_factorization_failure_names_the_offending_unknown() {
+    // Sabotage every homotopy attempt: the ladder exhausts and the
+    // real factorization error surfaces. The injection zeroes row 0,
+    // so both backends must blame unknown `a` — the node-name carry
+    // through CompiledCircuit works for either factorization.
+    let ckt = divider();
+    let dc = DcConfig::default();
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let compiled = CompiledCircuit::compile_with_solver(&ckt, choice);
+        let mut plan = FaultPlan::none();
+        for n in 1..=(2 + dc.gmin_steps.len() + dc.source_steps.len()) as u64 {
+            plan = plan.fail_nth_solve(n, FaultKind::SingularMatrix);
+        }
+        let mut ws = armed_ws(&compiled, &plan);
+        let err = compiled
+            .dc_operating_point(&mut ws, 0.0, &dc)
+            .expect_err("every attempt sabotaged");
+        // Partial pivoting defers the rank deficiency of the zeroed
+        // row to the branch-current column — and both factorizations
+        // agree on the unknown they blame.
+        assert_eq!(
+            err,
+            SpiceError::SingularMatrix {
+                node: "i(v0)".into()
+            },
+            "{choice:?} must name the unknown where the pivot was lost"
+        );
+    }
+}
+
+#[test]
+fn sparse_nan_residual_is_rescued_with_dense_identical_effort() {
+    // A poisoned first attempt surfaces as NumericalBreakdown inside
+    // the homotopy, which retries down the gmin ladder — on both
+    // backends, with the same attempt count and the same answer.
+    let ckt = divider();
+    let dc = DcConfig::default();
+    let mut attempts = Vec::new();
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let compiled = CompiledCircuit::compile_with_solver(&ckt, choice);
+        let plan = FaultPlan::none().fail_nth_solve(1, FaultKind::NanResidual);
+        let mut ws = armed_ws(&compiled, &plan);
+        compiled
+            .dc_operating_point(&mut ws, 0.0, &dc)
+            .expect("ladder rescues the poisoned attempt");
+        attempts.push(ws.stats().solve_attempts);
+    }
+    assert_eq!(attempts[0], attempts[1], "rescue effort differs");
+}
+
+#[test]
+fn sparse_transient_step_faults_surface_as_typed_errors() {
+    let ckt = rc_step();
+    let compiled = CompiledCircuit::compile_with_solver(&ckt, SolverChoice::Sparse);
+    let plan = FaultPlan::none().fail_nth_step(2, FaultKind::SingularMatrix);
+    let mut ws = armed_ws(&compiled, &plan);
+    let err = compiled
+        .run_transient(&mut ws, 0.0, 4e-9, &TransientConfig::default())
+        .expect_err("step-site singular matrix is fatal");
+    assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+
+    // The rescue ladder still catches a forced floor on the sparse
+    // backend, with the same rung accounting as the dense one.
+    let config = TransientConfig::default();
+    let plan = FaultPlan::none().fail_nth_step(3, FaultKind::TimestepFloor);
+    let mut ws = armed_ws(&compiled, &plan);
+    compiled
+        .run_transient(&mut ws, 0.0, 4e-9, &config)
+        .expect("gmin ramp rescues the step");
+    assert_eq!(
+        ws.stats().rescue_rungs(),
+        (config.rescue.gmin_ramp.len() as u64, 0)
+    );
+}
+
+#[test]
+fn sparse_column_quarantine_is_bit_identical_at_any_worker_count() {
+    // The full stack — generated column, forced-sparse compile, fault
+    // plan, quarantine policy — must shard deterministically.
+    let run = |workers: usize| {
+        let config = ColumnEnsembleConfig {
+            column: ColumnConfig {
+                rows: 2,
+                solver: SolverChoice::Sparse,
+                ..ColumnConfig::default()
+            },
+            members: 4,
+            vth_sigma: 0.01,
+            density_scale: 0.0,
+            seed: 13,
+            parallelism: Parallelism::Fixed(workers),
+            failure: FailurePolicy::Quarantine {
+                rungs: 1,
+                max_failures: 1,
+            },
+            faults: FaultPlan::none().fail_job(1, FaultKind::NonConvergence),
+            ..ColumnEnsembleConfig::default()
+        };
+        run_column_ensemble(&config).expect("quarantine absorbs the loss")
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.effective_members(), 3);
+    assert_eq!(reference.report.quarantined.len(), 1);
+    assert_eq!(reference.report.quarantined[0].job, 1);
+    for workers in [2, 8] {
+        let stats = run(workers);
+        assert_eq!(stats.members, reference.members, "{workers} workers");
     }
 }

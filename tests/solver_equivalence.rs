@@ -1,0 +1,219 @@
+//! Dense↔sparse equivalence suite: every golden circuit runs through
+//! both linear-solver backends and must agree — solutions to 1e-9 and
+//! Newton effort exactly. This is the gate that lets the sparse path
+//! ship without its own hand-derived goldens: the dense path is pinned
+//! bit-exactly by `spice_golden.rs`, and this suite pins the sparse
+//! path to the dense one.
+
+use samurai::spice::Circuit;
+use samurai::spice::{
+    CompiledCircuit, DcConfig, MosfetParams, NewtonWorkspace, NodeId, SolverChoice, SolverKind,
+    Source, TransientConfig,
+};
+use samurai::sram::{ColumnConfig, SramCell, SramCellParams, SramColumn};
+use samurai::waveform::Pwl;
+
+/// Runs one circuit's DC operating point through both backends.
+fn dcop_both(ckt: &Circuit, dc: &DcConfig) -> (Vec<f64>, Vec<f64>, u64, u64) {
+    let mut out = Vec::new();
+    let mut iters = Vec::new();
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let compiled = CompiledCircuit::compile_with_solver(ckt, choice);
+        let mut ws = NewtonWorkspace::new(&compiled);
+        compiled
+            .dc_operating_point(&mut ws, 0.0, dc)
+            .expect("dcop solves");
+        out.push(ws.solution().to_vec());
+        iters.push(ws.stats().newton_iterations);
+    }
+    let sparse = out.pop().expect("two runs");
+    let dense = out.pop().expect("two runs");
+    (dense, sparse, iters[0], iters[1])
+}
+
+/// Asserts two unknown vectors agree to 1e-9 (absolute + relative).
+fn assert_close(dense: &[f64], sparse: &[f64], what: &str) {
+    assert_eq!(dense.len(), sparse.len(), "{what}: length mismatch");
+    for (i, (d, s)) in dense.iter().zip(sparse).enumerate() {
+        assert!(
+            (d - s).abs() <= 1e-9 * (1.0 + d.abs()),
+            "{what}: unknown {i} diverged: dense {d} vs sparse {s}"
+        );
+    }
+}
+
+/// Runs one circuit's transient through both backends and compares
+/// step counts, Newton effort and every node waveform sample.
+fn transient_both(ckt: &Circuit, tf: f64, config: &TransientConfig, nodes: &[&str], what: &str) {
+    let mut results = Vec::new();
+    let mut stats = Vec::new();
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let compiled = CompiledCircuit::compile_with_solver(ckt, choice);
+        assert_eq!(
+            compiled.solver_kind(),
+            match choice {
+                SolverChoice::Dense => SolverKind::Dense,
+                _ => SolverKind::Sparse,
+            }
+        );
+        let mut ws = NewtonWorkspace::new(&compiled);
+        let res = compiled
+            .run_transient(&mut ws, 0.0, tf, config)
+            .expect("transient solves");
+        results.push(res);
+        stats.push(ws.stats());
+    }
+    let (dense, sparse) = (&results[0], &results[1]);
+    assert_eq!(dense.len(), sparse.len(), "{what}: step counts differ");
+    assert_eq!(
+        stats[0].newton_iterations, stats[1].newton_iterations,
+        "{what}: Newton effort differs between backends"
+    );
+    assert_eq!(
+        stats[0].steps_accepted, stats[1].steps_accepted,
+        "{what}: accepted-step counts differ"
+    );
+    assert_close(dense.times(), sparse.times(), &format!("{what} times"));
+    for name in nodes {
+        let vd = dense.voltage(ckt, name).expect("node exists");
+        let vs = sparse.voltage(ckt, name).expect("node exists");
+        let dense_samples: Vec<f64> = vd.points().iter().map(|&(_, v)| v).collect();
+        let sparse_samples: Vec<f64> = vs.points().iter().map(|&(_, v)| v).collect();
+        assert_close(&dense_samples, &sparse_samples, &format!("{what} {name}"));
+    }
+}
+
+/// The 6T cell holding a 1 (the `spice_golden.rs` dcop fixture).
+fn holding_cell() -> (SramCell, DcConfig) {
+    let vdd = SramCellParams::default().vdd;
+    let cell = SramCell::new(SramCellParams::default());
+    let mut guess = vec![0.0; cell.circuit.node_count()];
+    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+    guess[cell.q.unknown_index().expect("q is not ground")] = vdd;
+    let dc = DcConfig {
+        initial_guess: Some(guess),
+        ..DcConfig::default()
+    };
+    (cell, dc)
+}
+
+/// The 6T cell set up for a "write 1 into a stored 0" transient (the
+/// `spice_golden.rs` write fixture).
+fn write_cell() -> (SramCell, TransientConfig) {
+    let vdd = SramCellParams::default().vdd;
+    let mut cell = SramCell::new(SramCellParams::default());
+    cell.set_wl(Source::Pwl(
+        Pwl::pulse(0.0, vdd, 0.2e-9, 1.2e-9, 0.05e-9, 0.05e-9).expect("static pulse"),
+    ));
+    cell.set_bl(Source::Dc(vdd));
+    cell.set_blb(Source::Dc(0.0));
+    let mut guess = vec![0.0; cell.circuit.node_count()];
+    guess[cell.vdd_node.unknown_index().expect("vdd is not ground")] = vdd;
+    guess[cell.qb.unknown_index().expect("qb is not ground")] = vdd;
+    let config = TransientConfig {
+        dc: DcConfig {
+            initial_guess: Some(guess),
+            ..DcConfig::default()
+        },
+        ..TransientConfig::default()
+    };
+    (cell, config)
+}
+
+/// A 3-stage ring oscillator with a kick-start current pulse (the
+/// `spice_golden.rs` ring fixture).
+fn ring_oscillator() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource(vdd, Circuit::GROUND, Source::Dc(1.1));
+    let nodes: Vec<NodeId> = (0..3).map(|i| ckt.node(&format!("n{i}"))).collect();
+    for i in 0..3 {
+        let input = nodes[(i + 2) % 3];
+        let output = nodes[i];
+        ckt.mosfet(output, input, Circuit::GROUND, MosfetParams::nmos_90nm(2.0));
+        ckt.mosfet(output, input, vdd, MosfetParams::pmos_90nm(4.0));
+        ckt.capacitor(output, Circuit::GROUND, 2e-15);
+    }
+    ckt.isource(
+        Circuit::GROUND,
+        nodes[0],
+        Source::Pwl(Pwl::pulse(0.0, 50e-6, 0.1e-9, 0.3e-9, 0.02e-9, 0.02e-9).expect("kick")),
+    );
+    ckt
+}
+
+/// A pair of 6T cells coupled through shared bit lines, mid-write: the
+/// column generator's minimal instance.
+fn coupled_cells() -> (SramColumn, TransientConfig, f64) {
+    let config = ColumnConfig {
+        rows: 2,
+        ..ColumnConfig::default()
+    };
+    let mut column = SramColumn::build(&config).expect("column builds");
+    let timing = samurai::sram::ColumnTiming::default();
+    column.drive_write(&timing, true).expect("waveforms build");
+    let transient = TransientConfig {
+        dc: DcConfig {
+            initial_guess: Some(column.initial_guess(true)),
+            ..DcConfig::default()
+        },
+        ..TransientConfig::default()
+    };
+    (column, transient, timing.duration())
+}
+
+#[test]
+fn holding_cell_dcop_is_solver_equivalent() {
+    let (cell, dc) = holding_cell();
+    let (dense, sparse, dense_iters, sparse_iters) = dcop_both(&cell.circuit, &dc);
+    assert_close(&dense, &sparse, "6T hold dcop");
+    assert_eq!(dense_iters, sparse_iters, "Newton effort differs");
+}
+
+#[test]
+fn write_transient_is_solver_equivalent() {
+    let (cell, config) = write_cell();
+    transient_both(
+        &cell.circuit,
+        2e-9,
+        &config,
+        &["vdd", "wl", "bl", "blb", "q", "qb"],
+        "6T write",
+    );
+}
+
+#[test]
+fn ring_transient_is_solver_equivalent() {
+    let ring = ring_oscillator();
+    transient_both(
+        &ring,
+        5e-9,
+        &TransientConfig::default(),
+        &["vdd", "n0", "n1", "n2"],
+        "ring oscillator",
+    );
+}
+
+#[test]
+fn coupled_cells_write_is_solver_equivalent() {
+    let (column, config, tf) = coupled_cells();
+    transient_both(
+        &column.circuit,
+        tf,
+        &config,
+        &["bl", "blb", "q0", "qb0", "q1", "qb1"],
+        "coupled 2-row column",
+    );
+}
+
+#[test]
+fn dense_path_is_untouched_by_the_solver_refactor() {
+    // The automatic choice must still resolve to dense for every
+    // golden circuit (all far below the threshold), so the bit-exact
+    // goldens in `spice_golden.rs` keep covering the production path.
+    let (cell, _) = holding_cell();
+    for ckt in [&cell.circuit, &ring_oscillator()] {
+        let compiled = CompiledCircuit::compile(ckt);
+        assert_eq!(compiled.solver_kind(), SolverKind::Dense);
+    }
+}

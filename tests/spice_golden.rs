@@ -190,6 +190,50 @@ fn compiled_transients_on_a_reused_workspace_match_the_wrapper() {
 }
 
 #[test]
+fn sparse_backend_matches_its_pinned_goldens() {
+    // The forced-sparse path gets its own fingerprints, pinned next to
+    // the dense ones. On the 6T dcop the sparse LU happens to produce
+    // bit-identical numbers (same pivot sequence, 10 unknowns), so the
+    // hash matches the dense golden exactly; the write transient
+    // agrees on the step sequence and the final Q bit-for-bit and
+    // differs from the dense waveform hash only through last-bit
+    // rounding inside the elimination.
+    use samurai::spice::SolverChoice;
+
+    let (cell, dc) = holding_cell();
+    let compiled = CompiledCircuit::compile_with_solver(&cell.circuit, SolverChoice::Sparse);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    compiled.dc_operating_point(&mut ws, 0.0, &dc).unwrap();
+    assert_eq!(
+        hash_vec(ws.solution()),
+        0x0a7e_7c8d_f9d7_5441,
+        "sparse 6T hold dcop drifted"
+    );
+
+    let (cell, config) = write_cell();
+    let compiled = CompiledCircuit::compile_with_solver(&cell.circuit, SolverChoice::Sparse);
+    let mut ws = NewtonWorkspace::new(&compiled);
+    let res = compiled.run_transient(&mut ws, 0.0, 2e-9, &config).unwrap();
+    assert_eq!(res.len(), 94, "sparse accepted-step count changed");
+    let q = res.voltage(&cell.circuit, "q").expect("q exists");
+    assert_eq!(
+        q.eval(2e-9).to_bits(),
+        0x3ff1_9999_0f25_86b7,
+        "sparse final Q voltage drifted"
+    );
+    assert_eq!(
+        fnv1a(res.times().iter().map(|t| t.to_bits())),
+        0x7b31_3015_203c_e760,
+        "sparse time base drifted"
+    );
+    assert_eq!(
+        hash_voltages(&res, &cell.circuit, &WRITE_NODES),
+        0xb0a7_960d_99f9_41eb,
+        "sparse node waveforms drifted"
+    );
+}
+
+#[test]
 fn singular_lu_reports_singular_matrix() {
     // A rank-deficient 2x2 system must be rejected by the LU kernel.
     let mut m = DenseMatrix::zeros(2, 2);
@@ -198,7 +242,11 @@ fn singular_lu_reports_singular_matrix() {
     m.set(1, 0, 2.0);
     m.set(1, 1, 4.0);
     let mut rhs = [1.0, 0.0];
-    assert_eq!(m.solve_in_place(&mut rhs), Err(SpiceError::SingularMatrix));
+    assert_eq!(
+        m.solve_in_place(&mut rhs),
+        Err(SpiceError::SingularMatrix { node: "#1".into() }),
+        "raw LU callers get the failing column index as the unknown label"
+    );
 }
 
 #[test]
@@ -212,10 +260,21 @@ fn structurally_singular_circuit_reports_singular_matrix() {
     ckt.vsource(a, Circuit::GROUND, Source::Dc(1.0));
     ckt.vsource(a, Circuit::GROUND, Source::Dc(2.0));
     let err = dc_operating_point(&ckt, 0.0, &DcConfig::default()).unwrap_err();
-    assert_eq!(err, SpiceError::SingularMatrix);
+    assert_eq!(
+        err,
+        SpiceError::SingularMatrix {
+            node: "i(v1)".into()
+        },
+        "the error names the duplicate branch-current unknown"
+    );
 
     // The transient path initialises through the same dcop and must
     // propagate the same error.
     let err = run_transient(&ckt, 0.0, 1e-9, &TransientConfig::default()).unwrap_err();
-    assert_eq!(err, SpiceError::SingularMatrix);
+    assert_eq!(
+        err,
+        SpiceError::SingularMatrix {
+            node: "i(v1)".into()
+        }
+    );
 }
