@@ -43,6 +43,13 @@ cargo run -q --release -p samurai-bench --bin x6_column -- \
     --smoke --metrics target/metrics
 cargo run -q --release -p samurai-bench --bin validate_metrics -- \
     target/metrics/BENCH_x6_column.json metrics/BENCH_x6_column.json
+# Scenario-layer artifact gate: the x7_corners bin sweeps a supply ×
+# aging grid through ScenarioConfig and journals a scenario hash per
+# job; validate the fresh smoke artifact and the committed golden.
+cargo run -q --release -p samurai-bench --bin x7_corners -- \
+    --smoke --metrics target/metrics
+cargo run -q --release -p samurai-bench --bin validate_metrics -- \
+    target/metrics/BENCH_x7_corners.json metrics/BENCH_x7_corners.json
 # Doc lint wall over the first-party crates (vendored stubs excluded).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p samurai-units -p samurai-telemetry -p samurai-waveform \

@@ -125,6 +125,7 @@ fn main() {
                 rescued: None,
                 solver: probe.solver(),
                 trap: probe.trap(),
+                scenario: None,
             });
             jobs += 1;
             // Keep a decimated copy of the spectrum for the CSV.

@@ -25,6 +25,7 @@ fn absorb(session: &mut BenchSession, job: usize, seconds: f64, solver: SolverSt
         rescued: None,
         solver,
         trap: TrapStats::default(),
+        scenario: None,
     });
 }
 

@@ -40,6 +40,7 @@ fn main() {
         rescued: None,
         solver: two_pass.solver,
         trap: TrapStats::default(),
+        scenario: None,
     });
     let watch = Stopwatch::start();
     let coupled = run_coupled(
@@ -58,6 +59,7 @@ fn main() {
         rescued: None,
         solver: SolverStats::default(),
         trap: TrapStats::default(),
+        scenario: None,
     });
 
     println!("two-pass outcomes: {:?}", two_pass.outcomes.outcomes);

@@ -44,6 +44,7 @@ fn main() {
                 rescued: None,
                 solver: SolverStats::default(),
                 trap: TrapStats::default(),
+                scenario: None,
             });
             jobs += 1;
             clean_mean = report.mean_period_clean();

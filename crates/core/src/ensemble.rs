@@ -417,6 +417,7 @@ where
                             rescued,
                             solver: probe.solver(),
                             trap: probe.trap(),
+                            scenario: probe.scenario(),
                         });
                     }
                 }

@@ -58,6 +58,7 @@ mod generator;
 pub mod gillespie;
 mod rng;
 mod rtn_current;
+pub mod scenario;
 mod uniformisation;
 pub mod ye;
 
@@ -73,6 +74,7 @@ pub use generator::{DeviceRtn, RtnGenerator, TraceMethod};
 pub use rng::{exp_rand, trap_rng, SeedStream};
 pub use rtn_current::{rtn_current, single_trap_amplitude, AmplitudeModel};
 pub use samurai_telemetry as telemetry;
+pub use scenario::{DeviceGeometry, DeviceVariation, ScenarioConfig, ScenarioSample};
 pub use uniformisation::{
     ensemble_occupancy, ensemble_occupancy_observed, ensemble_occupancy_with, simulate_device,
     simulate_device_observed, simulate_device_with, simulate_trap, simulate_trap_probed,

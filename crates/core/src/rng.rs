@@ -25,7 +25,7 @@ pub fn exp_rand<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 }
 
 /// SplitMix64 finaliser — a high-quality 64-bit mixing function.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

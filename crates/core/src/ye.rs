@@ -70,12 +70,12 @@ pub fn generate<R: Rng + ?Sized>(
     let a = (-lambda * dt).exp();
     let noise_gain = (1.0 - a * a).sqrt();
 
-    let mut x = standard_normal(rng);
+    let mut x = standard_normal(rng); // lint: allow(DET006): AR(1) process noise, not a device parameter
     let mut level = if x > theta { 1.0 } else { 0.0 };
     let mut steps = vec![(t0, level)];
     let n = ((tf - t0) / dt).ceil() as usize;
     for i in 1..=n {
-        x = a * x + noise_gain * standard_normal(rng);
+        x = a * x + noise_gain * standard_normal(rng); // lint: allow(DET006): AR(1) process noise, not a device parameter
         let new_level = if x > theta { 1.0 } else { 0.0 };
         if new_level != level {
             level = new_level;

@@ -1,0 +1,11 @@
+//! Allowed counterpart: DET006 suppressed with a justified escape.
+
+use samurai_trap::{poisson, standard_normal};
+
+pub fn process_noise(rng: &mut impl Rng) -> f64 {
+    standard_normal(rng) // lint: allow(DET006): AR(1) process noise, not a device parameter
+}
+
+pub fn candidate_count(rng: &mut impl Rng, mean: f64) -> u64 {
+    poisson(rng, mean) // lint: allow(DET006): uniformisation candidate count, not device statistics
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: DET006 — direct device-parameter sampling outside
+//! the scenario layer.
+
+use samurai_trap::{poisson, standard_normal};
+
+pub fn sabotaged_mismatch(rng: &mut impl Rng, sigma: f64) -> f64 {
+    sigma * standard_normal(rng) //~ DET006
+}
+
+pub fn sabotaged_trap_count(rng: &mut impl Rng, mean: f64) -> u64 {
+    poisson(rng, mean) //~ DET006
+}

@@ -118,6 +118,20 @@ pub const RULES: &[Rule] = &[
                   configuration (carrying and arming plans is always allowed).",
     },
     Rule {
+        id: "DET006",
+        title: "no direct device-parameter sampling outside the scenario layer",
+        contract: "determinism",
+        explain: "standard_normal/poisson draws scattered through library code are how \
+                  per-job parameter sampling drifts away from the ScenarioConfig surface: \
+                  a consumer that rolls its own mismatch or trap-count draws changes the \
+                  per-job stream layout and silently breaks bit-identical replay across \
+                  worker counts. Device statistics must be expanded in core::scenario (or \
+                  the defining trap profile module) and flow to consumers as concrete \
+                  ScenarioSample/TrapParams values. Fix: accept a sampled input, or \
+                  justify a non-parameter draw (e.g. process noise) with \
+                  `// lint: allow(DET006): reason`.",
+    },
+    Rule {
         id: "HOT001",
         title: "no heap construction in hot loops",
         contract: "no-alloc",
@@ -250,6 +264,10 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// FaultPlan builder methods that schedule injected failures (DET005).
 const FAULT_PLAN_BUILDERS: &[&str] = &["fail_nth_solve", "fail_nth_step", "fail_job"];
 
+/// Statistical sampling primitives reserved for the scenario layer
+/// (DET006).
+const SCENARIO_SAMPLERS: &[&str] = &["standard_normal", "poisson"];
+
 /// Runs every applicable rule over one file's tokens.
 pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContext) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -260,6 +278,12 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
     let is_faults_module = std::path::Path::new(path)
         .file_name()
         .is_some_and(|f| f == "faults.rs");
+    // The scenario layer expands per-job parameters and the trap
+    // profile module defines the primitives; those are the sanctioned
+    // draw sites.
+    let is_sampling_module = std::path::Path::new(path)
+        .file_name()
+        .is_some_and(|f| f == "scenario.rs" || f == "profile.rs");
 
     let mut emit = |rule: &'static str, tok: &Tok, message: String| {
         // UNS001 applies even in test code; everything else is exempt
@@ -334,6 +358,18 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
                         "DET005",
                         t,
                         format!("`.{name}()` builds a fault plan in production code; construct plans only in tests"),
+                    );
+                }
+                if is_library
+                    && !is_sampling_module
+                    && next == "("
+                    && prev != "fn"
+                    && SCENARIO_SAMPLERS.contains(&name)
+                {
+                    emit(
+                        "DET006",
+                        t,
+                        format!("`{name}(..)` draws device statistics outside the scenario layer; expand parameters through core::scenario"),
                     );
                 }
 
@@ -562,6 +598,31 @@ mod tests {
 
         // Carrying or arming a plan is not construction.
         let src = "fn f(p: &FaultPlan) { let a = p.arm(FaultSite::Solve); }\n";
+        assert!(findings(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn parameter_sampling_fires_outside_the_scenario_layer() {
+        let src = "fn f(rng: &mut R, sigma: f64) -> f64 { sigma * standard_normal(rng) }\n";
+        let f = findings(src, LIB);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "DET006");
+
+        // Test modules may draw freely.
+        let src = "#[cfg(test)]\nmod tests { fn g(rng: &mut R) { let n = poisson(rng, 1.5); } }\n";
+        assert!(findings(src, LIB).is_empty());
+
+        // The scenario layer is the sanctioned expansion site, and the
+        // trap profile module defines the primitives.
+        let src = "fn f(rng: &mut R) -> f64 { standard_normal(rng) }\n";
+        let (toks, comments) = tokenize(src);
+        let ctx = FileContext::build(&toks, &comments);
+        assert!(check_tokens("crates/core/src/scenario.rs", LIB, &toks, &ctx).is_empty());
+        assert!(check_tokens("crates/trap/src/profile.rs", LIB, &toks, &ctx).is_empty());
+
+        // Definitions and bare re-exports are not draws.
+        let src = "fn standard_normal(rng: &mut R) -> f64 { rng.gen() }\n\
+                   pub use profile::{poisson, standard_normal};\n";
         assert!(findings(src, LIB).is_empty());
     }
 

@@ -61,6 +61,7 @@ mod linalg;
 mod mosfet;
 mod netlist;
 pub mod parser;
+mod patch;
 mod sparse;
 mod stepper;
 mod transient;
@@ -75,6 +76,7 @@ pub use linalg::DenseMatrix;
 pub use mosfet::{MosType, MosfetParams};
 pub use netlist::{Circuit, ElementId, NodeId, Source};
 pub use parser::{parse_netlist, ParsedNetlist};
+pub use patch::{MosfetAdjust, ParamPatch, PatchUndo};
 pub use samurai_telemetry::SolverStats;
 pub use sparse::{CscMatrix, SparseLu, SparsityPattern};
 pub use stepper::TransientStepper;

@@ -13,11 +13,15 @@ use samurai_core::ensemble::{
     Parallelism,
 };
 use samurai_core::faults::FaultPlan;
+use samurai_core::scenario::{DeviceGeometry, ScenarioConfig, NOMINAL_TEMPERATURE};
 use samurai_core::SeedStream;
+use samurai_spice::MosfetAdjust;
 use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
-use samurai_trap::standard_normal;
+use samurai_trap::{aging_vth_shift, TrapParams, TrapProfiler};
 use samurai_waveform::BitPattern;
 
+use crate::cell::cell_mosfet_params;
+use crate::harness::trap_device_from_params;
 use crate::{run_methodology, MethodologyConfig, SramError};
 
 /// Configuration of the Monte-Carlo sweep.
@@ -30,7 +34,15 @@ pub struct ArrayConfig {
     /// Number of cells to simulate.
     pub cells: usize,
     /// Standard deviation of the per-transistor threshold shift, volts.
+    /// Ignored when `scenario` is set.
     pub vth_sigma: f64,
+    /// Unified per-cell scenario distribution (mismatch with Pelgrom
+    /// scaling, beta/geometry spread, supply/temperature corners,
+    /// NBTI stress and trap-density dispersion). `None` routes the
+    /// legacy `vth_sigma` knob through
+    /// [`ScenarioConfig::fixed_vth_sigma`], reproducing the historical
+    /// draw sequence bit-for-bit.
+    pub scenario: Option<ScenarioConfig>,
     /// Master seed for the sweep.
     pub seed: u64,
     /// What to do when a cell's simulation fails (see
@@ -49,6 +61,7 @@ impl Default for ArrayConfig {
             base: MethodologyConfig::default(),
             cells: 16,
             vth_sigma: 0.02,
+            scenario: None,
             seed: 0,
             failure: FailurePolicy::FailFast,
             faults: FaultPlan::none(),
@@ -172,27 +185,101 @@ pub fn run_array_observed<S: MetricsSink>(
         IndexedResults::new,
         |cell_idx, rung, probe: &mut JobProbe| -> Result<CellResult, SramError> {
             let cell_seeds = seeds.substream(cell_idx as u64);
-            let mut rng = cell_seeds.rng(0);
+            // One deterministic sampling surface for every variation
+            // axis: the legacy fixed-sigma knob routes through the
+            // same layer and reproduces its historical draw sequence
+            // bit-for-bit.
+            let scenario = config
+                .scenario
+                .unwrap_or_else(|| ScenarioConfig::fixed_vth_sigma(config.vth_sigma));
+            let geometries: Vec<DeviceGeometry> = (0..6)
+                .map(|t| {
+                    let p = cell_mosfet_params(&config.base.cell, t);
+                    DeviceGeometry {
+                        width: p.width,
+                        length: p.length,
+                    }
+                })
+                .collect();
+            let sample = scenario.sample(&mut cell_seeds.rng(0), &geometries);
+
             let mut cell_params = config.base.cell;
-            for slot in cell_params.vth_shift.iter_mut() {
-                *slot += config.vth_sigma * standard_normal(&mut rng);
+            cell_params.vdd *= sample.vdd_scale;
+            for (t, slot) in cell_params.vth_shift.iter_mut().enumerate() {
+                *slot += sample.device(t).vth_delta;
             }
+            let mut timing = config.base.timing;
+            timing.vdd *= sample.vdd_scale;
+            let mut technology = config.base.technology.clone();
+            technology.device.temperature =
+                samurai_units::Temperature::from_kelvin(sample.temperature);
+            let density_scale = config.base.density_scale * sample.density_scale;
+            let methodology_seed = cell_seeds.rng(1).seed_u64();
+
+            // Scenario path: pre-sample each transistor's trap
+            // profile from the exact substream the methodology would
+            // use (trap sampling reads only the device geometry), age
+            // the pull-up PMOS pair from those same traps — the
+            // common-root-cause correlation of paper §I-B — and hand
+            // both to the methodology.
+            let mut traps = None;
+            let mut adjust = [MosfetAdjust::nominal(); 6];
+            if config.scenario.is_some() {
+                let inner_seeds = SeedStream::new(methodology_seed);
+                let mut profiles: [Vec<TrapParams>; 6] = Default::default();
+                for (t, profile) in profiles.iter_mut().enumerate() {
+                    let d = sample.device(t);
+                    adjust[t] = MosfetAdjust {
+                        vth_delta: 0.0,
+                        beta_scale: d.beta_scale,
+                        geom_scale: d.geom_scale,
+                    };
+                    let mut params = cell_mosfet_params(&cell_params, t)
+                        .with_vth_shift(cell_params.vth_shift[t]);
+                    // lint: allow(HYG004): exact-unit sentinel keeps nominal devices bit-identical
+                    if d.geom_scale != 1.0 {
+                        params.width *= d.geom_scale;
+                    }
+                    let device = trap_device_from_params(&params, &technology);
+                    let mut tech = technology.clone();
+                    tech.device = device;
+                    tech.trap_density *= density_scale;
+                    *profile =
+                        TrapProfiler::new(tech).sample(&mut inner_seeds.substream(t as u64).rng(0));
+                    if matches!(t, 2 | 3) {
+                        cell_params.vth_shift[t] +=
+                            aging_vth_shift(&device, profile, cell_params.vdd, sample.stress_time);
+                    }
+                }
+                traps = Some(profiles);
+            }
+
             let spice = if rung == 0 {
                 config.base.spice.clone()
             } else {
                 config.base.spice.rescue_rung(rung)
             };
-            let cell_config = MethodologyConfig {
+            let mut cell_config = MethodologyConfig {
                 cell: cell_params,
-                seed: cell_seeds.rng(1).seed_u64(),
-                traps: None,
+                timing,
+                technology,
+                density_scale,
+                seed: methodology_seed,
+                traps,
                 parallelism: Parallelism::Fixed(1),
                 spice,
                 faults: config.faults.for_job(cell_idx, rung),
                 ..config.base.clone()
             };
+            if config.scenario.is_some() {
+                cell_config.adjust = adjust;
+                cell_config.phi_t_scale = sample.temperature / NOMINAL_TEMPERATURE;
+            }
             let report = run_methodology(pattern, &cell_config)?;
             probe.record_solver(report.solver);
+            if config.scenario.is_some() {
+                probe.record_scenario(sample.stamp());
+            }
             Ok(CellResult {
                 cell: cell_idx,
                 errors: report.outcomes.error_count(),

@@ -98,6 +98,18 @@ impl Default for SramCellParams {
     }
 }
 
+/// The nominal (shift-free) parameters of cell transistor `t`, in
+/// [`Transistor::index`] order — the single source of truth for cell
+/// device sizing, shared by the cell and column generators and the
+/// scenario layer's geometry inputs.
+pub(crate) fn cell_mosfet_params(params: &SramCellParams, t: usize) -> MosfetParams {
+    match t {
+        0 | 1 => MosfetParams::nmos_90nm(params.pass_w),
+        2 | 3 => MosfetParams::pmos_90nm(params.pullup_w),
+        _ => MosfetParams::nmos_90nm(params.pulldown_w),
+    }
+}
+
 /// A built 6T cell: the circuit plus handles to every node and element
 /// the methodology needs.
 #[derive(Debug, Clone)]

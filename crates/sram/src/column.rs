@@ -31,18 +31,20 @@ use samurai_core::ensemble::{
     Parallelism,
 };
 use samurai_core::faults::{FaultPlan, FaultSite};
+use samurai_core::scenario::{DeviceGeometry, ScenarioConfig, NOMINAL_TEMPERATURE};
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
 use samurai_spice::{
-    Circuit, CompiledCircuit, DcConfig, ElementId, MosfetParams, NewtonWorkspace, NodeId,
-    SolverChoice, Source, TransientConfig,
+    Circuit, CompiledCircuit, DcConfig, ElementId, MosfetAdjust, MosfetParams, NewtonWorkspace,
+    NodeId, ParamPatch, PatchUndo, SolverChoice, Source, TransientConfig,
 };
 use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
 use samurai_trap::{
-    standard_normal, DeviceParams, PropensityModel, Technology, TrapProfiler, TrapState,
+    aging_vth_shift, DeviceParams, PropensityModel, Technology, TrapParams, TrapProfiler, TrapState,
 };
 use samurai_waveform::Pwl;
 
-use crate::harness::pwc_to_source;
+use crate::cell::cell_mosfet_params;
+use crate::harness::{pwc_to_source, trap_device_from_params};
 use crate::{SramCellParams, SramError};
 
 /// Width of the precharge/equalise PMOS devices (µm-normalised, like
@@ -221,6 +223,12 @@ impl SramColumn {
     /// Generates the column with explicit per-row threshold-shift
     /// sextets (local-variation Monte-Carlo uses this).
     ///
+    /// Since the scenario layer landed this is a thin wrapper: the
+    /// nominal netlist is generated once and the shifts are applied as
+    /// a circuit-level [`ParamPatch`], which is bit-identical to
+    /// baking them into the builder (a threshold shift is one `+=` on
+    /// the device either way).
+    ///
     /// # Errors
     ///
     /// As [`SramColumn::build`], plus [`SramError::InvalidConfig`] if
@@ -229,6 +237,28 @@ impl SramColumn {
         config: &ColumnConfig,
         shifts: &[[f64; 6]],
     ) -> Result<Self, SramError> {
+        if shifts.len() != config.rows {
+            return Err(SramError::InvalidConfig {
+                reason: "one vth-shift sextet per row is required",
+            });
+        }
+        let mut column = Self::build_nominal(config)?;
+        let mut patch = ParamPatch::nominal();
+        for (r, sextet) in shifts.iter().enumerate() {
+            for (t, &dv) in sextet.iter().enumerate() {
+                patch
+                    .devices
+                    .push((column.transistor(r, t), MosfetAdjust::vth_shift(dv)));
+            }
+        }
+        patch.apply_to_circuit(&mut column.circuit)?;
+        Ok(column)
+    }
+
+    /// Generates the column netlist with every device at its nominal
+    /// threshold; per-device variation is layered on afterwards as a
+    /// [`ParamPatch`].
+    fn build_nominal(config: &ColumnConfig) -> Result<Self, SramError> {
         if config.rows == 0 {
             return Err(SramError::InvalidConfig {
                 reason: "column needs at least one row",
@@ -239,11 +269,6 @@ impl SramColumn {
                 reason: "selected_row must index an existing row",
             });
         }
-        if shifts.len() != config.rows {
-            return Err(SramError::InvalidConfig {
-                reason: "one vth-shift sextet per row is required",
-            });
-        }
         if !config.bitline_cap.is_finite() || config.bitline_cap <= 0.0 {
             return Err(SramError::InvalidConfig {
                 reason: "bitline_cap must be positive",
@@ -251,8 +276,8 @@ impl SramColumn {
         }
 
         let p = config.cell;
-        let nmos = |w: f64, dv: f64| MosfetParams::nmos_90nm(w).with_vth_shift(dv);
-        let pmos = |w: f64, dv: f64| MosfetParams::pmos_90nm(w).with_vth_shift(dv);
+        let nmos = |w: f64| MosfetParams::nmos_90nm(w);
+        let pmos = |w: f64| MosfetParams::pmos_90nm(w);
 
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
@@ -264,17 +289,17 @@ impl SramColumn {
 
         // Rows: the exact SramCell topology, with bl/blb shared.
         let mut rows = Vec::with_capacity(config.rows);
-        for (r, shift) in shifts.iter().enumerate() {
+        for r in 0..config.rows {
             let wl = ckt.node(&format!("wl{r}"));
             let q = ckt.node(&format!("q{r}"));
             let qb = ckt.node(&format!("qb{r}"));
             let wl_source = ckt.vsource(wl, Circuit::GROUND, Source::Dc(0.0));
-            let m1 = ckt.mosfet(bl, wl, q, nmos(p.pass_w, shift[0]));
-            let m2 = ckt.mosfet(blb, wl, qb, nmos(p.pass_w, shift[1]));
-            let m3 = ckt.mosfet(q, qb, vdd, pmos(p.pullup_w, shift[2]));
-            let m4 = ckt.mosfet(qb, q, vdd, pmos(p.pullup_w, shift[3]));
-            let m5 = ckt.mosfet(qb, q, Circuit::GROUND, nmos(p.pulldown_w, shift[4]));
-            let m6 = ckt.mosfet(q, qb, Circuit::GROUND, nmos(p.pulldown_w, shift[5]));
+            let m1 = ckt.mosfet(bl, wl, q, cell_mosfet_params(&p, 0));
+            let m2 = ckt.mosfet(blb, wl, qb, cell_mosfet_params(&p, 1));
+            let m3 = ckt.mosfet(q, qb, vdd, cell_mosfet_params(&p, 2));
+            let m4 = ckt.mosfet(qb, q, vdd, cell_mosfet_params(&p, 3));
+            let m5 = ckt.mosfet(qb, q, Circuit::GROUND, cell_mosfet_params(&p, 4));
+            let m6 = ckt.mosfet(q, qb, Circuit::GROUND, cell_mosfet_params(&p, 5));
             ckt.capacitor(q, Circuit::GROUND, p.node_cap);
             ckt.capacitor(qb, Circuit::GROUND, p.node_cap);
             let terminal_pairs = [
@@ -300,9 +325,9 @@ impl SramColumn {
         let precharge_source = config.precharge.then(|| {
             let pc = ckt.node("pc");
             let src = ckt.vsource(pc, Circuit::GROUND, Source::Dc(0.0));
-            ckt.mosfet(bl, pc, vdd, pmos(PRECHARGE_W, 0.0));
-            ckt.mosfet(blb, pc, vdd, pmos(PRECHARGE_W, 0.0));
-            ckt.mosfet(bl, pc, blb, pmos(PRECHARGE_W, 0.0));
+            ckt.mosfet(bl, pc, vdd, pmos(PRECHARGE_W));
+            ckt.mosfet(blb, pc, vdd, pmos(PRECHARGE_W));
+            ckt.mosfet(bl, pc, blb, pmos(PRECHARGE_W));
             src
         });
 
@@ -312,8 +337,8 @@ impl SramColumn {
             let dl = ckt.node("dl");
             let dlb = ckt.node("dlb");
             let csel_source = ckt.vsource(csel, Circuit::GROUND, Source::Dc(p.vdd));
-            ckt.mosfet(dl, csel, bl, nmos(MUX_W, 0.0));
-            ckt.mosfet(dlb, csel, blb, nmos(MUX_W, 0.0));
+            ckt.mosfet(dl, csel, bl, nmos(MUX_W));
+            ckt.mosfet(dlb, csel, blb, nmos(MUX_W));
             let dl_cap = DATALINE_CAP_RATIO * config.bitline_cap;
             ckt.capacitor(dl, Circuit::GROUND, dl_cap);
             ckt.capacitor(dlb, Circuit::GROUND, dl_cap);
@@ -334,11 +359,11 @@ impl SramColumn {
             let sae = ckt.node("sae");
             let satail = ckt.node("satail");
             let sae_source = ckt.vsource(sae, Circuit::GROUND, Source::Dc(0.0));
-            ckt.mosfet(sl, sr, vdd, pmos(SENSE_PMOS_W, 0.0));
-            ckt.mosfet(sr, sl, vdd, pmos(SENSE_PMOS_W, 0.0));
-            ckt.mosfet(sl, sr, satail, nmos(SENSE_NMOS_W, 0.0));
-            ckt.mosfet(sr, sl, satail, nmos(SENSE_NMOS_W, 0.0));
-            ckt.mosfet(satail, sae, Circuit::GROUND, nmos(SENSE_FOOT_W, 0.0));
+            ckt.mosfet(sl, sr, vdd, pmos(SENSE_PMOS_W));
+            ckt.mosfet(sr, sl, vdd, pmos(SENSE_PMOS_W));
+            ckt.mosfet(sl, sr, satail, nmos(SENSE_NMOS_W));
+            ckt.mosfet(sr, sl, satail, nmos(SENSE_NMOS_W));
+            ckt.mosfet(satail, sae, Circuit::GROUND, nmos(SENSE_FOOT_W));
             SenseHandles { sae_source }
         });
 
@@ -351,8 +376,8 @@ impl SramColumn {
             let we_source = ckt.vsource(we, Circuit::GROUND, Source::Dc(0.0));
             let d_source = ckt.vsource(d, Circuit::GROUND, Source::Dc(0.0));
             let db_source = ckt.vsource(db, Circuit::GROUND, Source::Dc(0.0));
-            ckt.mosfet(bl, we, d, nmos(WRITE_W, 0.0));
-            ckt.mosfet(blb, we, db, nmos(WRITE_W, 0.0));
+            ckt.mosfet(bl, we, d, nmos(WRITE_W));
+            ckt.mosfet(blb, we, db, nmos(WRITE_W));
             WriteHandles {
                 we_source,
                 d_source,
@@ -637,7 +662,16 @@ pub struct ColumnEnsembleConfig {
     pub members: usize,
     /// Standard deviation of the per-transistor threshold shift,
     /// volts, applied independently to every transistor of every row.
+    /// Ignored when `scenario` is set.
     pub vth_sigma: f64,
+    /// Unified per-member scenario distribution: mismatch (with
+    /// Pelgrom area scaling), beta/geometry spread, supply and
+    /// temperature corners, NBTI stress time and trap-density
+    /// dispersion, expanded deterministically from the master seed.
+    /// `None` routes the legacy `vth_sigma` knob through
+    /// [`ScenarioConfig::fixed_vth_sigma`], reproducing the historical
+    /// draw sequence bit-for-bit.
+    pub scenario: Option<ScenarioConfig>,
     /// Technology whose trap statistics profile each cell transistor.
     pub technology: Technology,
     /// Multiplier on the sampled trap density (0 disables RTN).
@@ -667,6 +701,7 @@ impl Default for ColumnEnsembleConfig {
             bit: true,
             members: 4,
             vth_sigma: 0.02,
+            scenario: None,
             technology: Technology::node_90nm(),
             density_scale: 1.0,
             rtn_scale: 1.0,
@@ -741,15 +776,24 @@ fn column_trap_device(ckt: &Circuit, id: ElementId, tech: &Technology) -> Device
     let params = ckt
         .mosfet_params(id)
         .expect("row transistor ids are minted by the builder"); // lint: allow(HYG002): transistor ids minted by the builder
-    DeviceParams {
-        width: samurai_units::Length::from_metres(params.width),
-        length: samurai_units::Length::from_metres(params.length),
-        t_ox: tech.device.t_ox,
-        v_th: samurai_units::Voltage::from_volts(params.vth),
-        v_fb: tech.device.v_fb,
-        doping: tech.device.doping,
-        temperature: tech.device.temperature,
-    }
+    trap_device_from_params(params, tech)
+}
+
+/// Geometry of every row transistor, in scenario device order
+/// (`r * 6 + t`) — the Pelgrom-area input of the scenario sampler.
+fn column_geometries(config: &ColumnConfig) -> Vec<DeviceGeometry> {
+    let sextet: Vec<DeviceGeometry> = (0..6)
+        .map(|t| {
+            let p = cell_mosfet_params(&config.cell, t);
+            DeviceGeometry {
+                width: p.width,
+                length: p.length,
+            }
+        })
+        .collect();
+    (0..config.rows)
+        .flat_map(|_| sextet.iter().copied())
+        .collect()
 }
 
 /// Runs the column Monte-Carlo ensemble.
@@ -795,14 +839,87 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
         IndexedResults::new,
         |member, rung, probe: &mut JobProbe| -> Result<ColumnMemberResult, SramError> {
             let member_seeds = seeds.substream(member as u64);
-            let mut rng = member_seeds.rng(0);
+            // One deterministic sampling surface for every variation
+            // axis: the legacy fixed-sigma knob routes through the
+            // same layer and reproduces its historical draw sequence
+            // bit-for-bit.
+            let scenario = config
+                .scenario
+                .unwrap_or_else(|| ScenarioConfig::fixed_vth_sigma(config.vth_sigma));
+            let geometries = column_geometries(&config.column);
+            let sample = scenario.sample(&mut member_seeds.rng(0), &geometries);
+
+            // Corner-scaled supply goes into the config *before* the
+            // drive waveforms are built, so the PWL drives track it.
+            let mut column_config = config.column.clone();
+            column_config.cell.vdd *= sample.vdd_scale;
+
+            // Base technology under this scenario: corner temperature
+            // plus dispersed trap density.
+            let mut base_tech = config.technology.clone();
+            base_tech.device.temperature =
+                samurai_units::Temperature::from_kelvin(sample.temperature);
+            base_tech.trap_density *= config.density_scale;
+            base_tech.trap_density *= sample.density_scale;
+
+            // Mismatch shifts, then trap profiles. Profiles are
+            // pre-sampled from the same per-transistor substreams the
+            // RTN loop always used — trap sampling reads only the
+            // device geometry, never its threshold — so NBTI aging
+            // and RTN generation share one trap population per
+            // device: the common-root-cause correlation of paper
+            // §I-B. Aging deepens the pull-up PMOS |Vt| before the
+            // column is built.
             let mut shifts = vec![config.column.cell.vth_shift; config.column.rows];
-            for sextet in shifts.iter_mut() {
-                for slot in sextet.iter_mut() {
-                    *slot += config.vth_sigma * standard_normal(&mut rng);
+            for (idx, slot) in shifts.iter_mut().flatten().enumerate() {
+                *slot += sample.device(idx).vth_delta;
+            }
+            let mut trap_profiles: Vec<Vec<TrapParams>> =
+                Vec::with_capacity(6 * config.column.rows);
+            for (r, row_shifts) in shifts.iter_mut().enumerate() {
+                for (t, slot) in row_shifts.iter_mut().enumerate() {
+                    let adj = sample.device(r * 6 + t);
+                    let mut params =
+                        cell_mosfet_params(&column_config.cell, t).with_vth_shift(*slot);
+                    // lint: allow(HYG004): exact-unit sentinel keeps nominal devices bit-identical
+                    if adj.geom_scale != 1.0 {
+                        params.width *= adj.geom_scale;
+                    }
+                    let device = trap_device_from_params(&params, &base_tech);
+                    let mut tech = base_tech.clone();
+                    tech.device = device;
+                    let profile_seeds = member_seeds.substream(1 + (r * 6 + t) as u64);
+                    let traps = TrapProfiler::new(tech).sample(&mut profile_seeds.rng(0));
+                    if matches!(t, 2 | 3) {
+                        *slot += aging_vth_shift(
+                            &device,
+                            &traps,
+                            column_config.cell.vdd,
+                            sample.stress_time,
+                        );
+                    }
+                    trap_profiles.push(traps);
                 }
             }
-            let mut column = SramColumn::build_with_shifts(&config.column, &shifts)?;
+
+            let mut column = SramColumn::build_with_shifts(&column_config, &shifts)?;
+            // Beta/geometry spread rides on the same patch layer the
+            // threshold shifts went through (identity at nominal).
+            let mut variation = ParamPatch::nominal();
+            for r in 0..column.rows() {
+                for t in 0..6 {
+                    let adj = sample.device(r * 6 + t);
+                    variation.devices.push((
+                        column.transistor(r, t),
+                        MosfetAdjust {
+                            vth_delta: 0.0,
+                            beta_scale: adj.beta_scale,
+                            geom_scale: adj.geom_scale,
+                        },
+                    ));
+                }
+            }
+            variation.apply_to_circuit(&mut column.circuit)?;
             column.drive_write(&config.timing, config.bit)?;
 
             let t0 = 0.0;
@@ -821,6 +938,18 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
             };
 
             let mut compiled = column.compile();
+            // Thermal corner: the temperature enters the electrical
+            // model through the thermal voltage, patched on the
+            // compiled workspace (identity at the nominal corner, so
+            // the guard keeps the legacy path untouched).
+            let thermal = ParamPatch {
+                phi_t_scale: sample.temperature / NOMINAL_TEMPERATURE,
+                ..ParamPatch::nominal()
+            };
+            if !thermal.is_nominal() {
+                let mut undo = PatchUndo::new();
+                compiled.apply_patch(&thermal, &mut undo)?;
+            }
             let mut ws = NewtonWorkspace::new(&compiled);
             let plan = config.faults.for_job(member, rung);
             ws.arm_faults(plan.arm(FaultSite::Solve), plan.arm(FaultSite::Step));
@@ -837,12 +966,9 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
                     let i_d = pass1.mosfet_current(&column.circuit, element)?;
                     let bias = BiasWaveforms::new(v_gs, i_d);
 
-                    let device = column_trap_device(&column.circuit, element, &config.technology);
-                    let mut tech = config.technology.clone();
-                    tech.device = device;
-                    tech.trap_density *= config.density_scale;
+                    let device = column_trap_device(&column.circuit, element, &base_tech);
                     let profile_seeds = member_seeds.substream(1 + (r * 6 + t) as u64);
-                    let mut traps = TrapProfiler::new(tech).sample(&mut profile_seeds.rng(0));
+                    let mut traps = std::mem::take(&mut trap_profiles[r * 6 + t]);
 
                     // Equilibrate initial occupancies at the t0 bias.
                     let mut eq_rng = profile_seeds.rng(1);
@@ -872,7 +998,7 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
             // Pass 2: RTN-injected, same compiled circuit + workspace.
             let pass2 = compiled.run_transient(&mut ws, t0, tf, &spice)?;
 
-            let vdd = config.column.cell.vdd;
+            let vdd = column_config.cell.vdd;
             let half = 0.5 * vdd;
             let selected = config.column.selected_row;
             let q_final =
@@ -899,6 +1025,11 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
             let q_sel_clean = q_final(&pass1, selected)?;
             let q_sel = q_final(&pass2, selected)?;
             probe.record_solver(ws.stats());
+            // Stamp the job's scenario only when one was configured:
+            // the legacy journal schema stays byte-identical.
+            if config.scenario.is_some() {
+                probe.record_scenario(sample.stamp());
+            }
             Ok(ColumnMemberResult {
                 member,
                 write_ok_clean: written(q_sel_clean),
@@ -1072,6 +1203,69 @@ mod tests {
         assert!(m.write_ok);
         assert_eq!(m.disturbed, 0, "half-selected row flipped");
         assert_eq!(m.rtn_events, 0);
+    }
+
+    #[test]
+    fn shifted_build_is_bitwise_identical_to_inline_shifts() {
+        // The ParamPatch-backed wrapper must reproduce the devices the
+        // retired inline builder produced: nominal params plus one
+        // unconditional `vth +=` per transistor.
+        let config = ColumnConfig {
+            rows: 2,
+            ..ColumnConfig::default()
+        };
+        let shifts = [
+            [0.011, -0.007, 0.003, 0.0, -0.021, 0.014],
+            [-0.002, 0.009, -0.013, 0.024, 0.0, -0.006],
+        ];
+        let column = SramColumn::build_with_shifts(&config, &shifts).unwrap();
+        for (r, sextet) in shifts.iter().enumerate() {
+            for (t, &dv) in sextet.iter().enumerate() {
+                let got = column
+                    .circuit
+                    .mosfet_params(column.transistor(r, t))
+                    .unwrap();
+                let want = cell_mosfet_params(&config.cell, t).with_vth_shift(dv);
+                assert_eq!(got.vth.to_bits(), want.vth.to_bits(), "row {r} t {t}");
+                assert_eq!(got.width.to_bits(), want.width.to_bits(), "row {r} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_routing_is_bit_identical_to_the_legacy_knobs() {
+        let base = ColumnEnsembleConfig {
+            column: ColumnConfig {
+                rows: 2,
+                ..ColumnConfig::default()
+            },
+            members: 2,
+            density_scale: 0.5,
+            seed: 9,
+            ..ColumnEnsembleConfig::default()
+        };
+        // `Some(fixed_vth_sigma)` is the explicit form of the legacy
+        // `vth_sigma` knob.
+        let legacy = run_column_ensemble(&base).unwrap();
+        let routed = run_column_ensemble(&ColumnEnsembleConfig {
+            scenario: Some(ScenarioConfig::fixed_vth_sigma(base.vth_sigma)),
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(legacy.members, routed.members);
+        // `Some(nominal)` equals no variation at all.
+        let plain = run_column_ensemble(&ColumnEnsembleConfig {
+            vth_sigma: 0.0,
+            ..base.clone()
+        })
+        .unwrap();
+        let nominal = run_column_ensemble(&ColumnEnsembleConfig {
+            vth_sigma: 0.0,
+            scenario: Some(ScenarioConfig::nominal()),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(plain.members, nominal.members);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use samurai_core::{BiasWaveforms, Parallelism, RtnGenerator, SeedStream};
 use samurai_trap::{DeviceParams, Technology, TrapParams, TrapProfiler, TrapState};
 use samurai_waveform::{BitPattern, Pwc, Pwl};
 
-use samurai_spice::{CompiledCircuit, NewtonWorkspace, Source, TransientConfig};
+use samurai_spice::{
+    CompiledCircuit, MosfetAdjust, MosfetParams, NewtonWorkspace, ParamPatch, PatchUndo, Source,
+    TransientConfig,
+};
 use samurai_telemetry::SolverStats;
 
 use crate::{
@@ -51,6 +54,15 @@ pub struct MethodologyConfig {
     /// Deterministic fault plan armed on the shared SPICE workspace
     /// (solve- and step-site triggers). Empty in production.
     pub faults: FaultPlan,
+    /// Per-transistor scenario adjustments (beta/geometry spread),
+    /// indexed by [`Transistor::index`] and applied to the compiled
+    /// cell as a [`ParamPatch`] before either pass. Identity by
+    /// default.
+    pub adjust: [MosfetAdjust; 6],
+    /// Thermal-corner scale on every device's thermal voltage
+    /// (`φ_t ∝ T / T_room`), applied with the same patch. `1.0` is the
+    /// nominal corner.
+    pub phi_t_scale: f64,
 }
 
 impl Default for MethodologyConfig {
@@ -68,6 +80,8 @@ impl Default for MethodologyConfig {
             parallelism: Parallelism::Auto,
             spice: TransientConfig::default(),
             faults: FaultPlan::none(),
+            adjust: [MosfetAdjust::nominal(); 6],
+            phi_t_scale: 1.0,
         }
     }
 }
@@ -139,6 +153,15 @@ pub(crate) fn trap_device(cell: &SramCell, t: Transistor, tech: &Technology) -> 
         .circuit
         .mosfet_params(cell.transistor(t))
         .expect("cell transistor ids are valid"); // lint: allow(HYG002): transistor ids come from the same cell
+    trap_device_from_params(params, tech)
+}
+
+/// Builds the trap-physics device description from explicit MOSFET
+/// parameters: electrical sizing and threshold from the netlist
+/// device, oxide/doping/temperature from the technology. Shared by
+/// the cell harness, the column generator and the scenario layer's
+/// trap pre-sampling.
+pub(crate) fn trap_device_from_params(params: &MosfetParams, tech: &Technology) -> DeviceParams {
     DeviceParams {
         width: samurai_units::Length::from_metres(params.width),
         length: samurai_units::Length::from_metres(params.length),
@@ -197,6 +220,22 @@ pub fn run_methodology(
     // the whole two-pass run: solve/step counters carry from pass 1
     // into pass 2.
     let mut compiled = CompiledCircuit::compile(&cell.circuit);
+    // Scenario overlay: beta/geometry spread and the thermal corner
+    // ride on the compiled workspace as a ParamPatch, so per-job
+    // variation never recompiles. The nominal guard keeps the legacy
+    // path bit-identical (nothing is touched at identity).
+    let patch = ParamPatch {
+        devices: Transistor::ALL
+            .iter()
+            .map(|&t| (cell.transistor(t), config.adjust[t.index()]))
+            .collect(),
+        vdd_scale: 1.0,
+        phi_t_scale: config.phi_t_scale,
+    };
+    if !patch.is_nominal() {
+        let mut undo = PatchUndo::new();
+        compiled.apply_patch(&patch, &mut undo)?;
+    }
     let mut ws = NewtonWorkspace::new(&compiled);
     ws.arm_faults(
         config.faults.arm(FaultSite::Solve),

@@ -23,6 +23,15 @@
 //! * [`margin`] — the parameterised design-margin model behind the
 //!   Fig 2 reproduction.
 //!
+//! Per-job variability, supply/temperature corners, NBTI aging and
+//! trap-count dispersion all flow through one deterministic sampling
+//! surface: a [`samurai_core::scenario::ScenarioConfig`] attached to
+//! the ensemble configurations ([`ColumnEnsembleConfig::scenario`],
+//! [`array::ArrayConfig::scenario`], [`vrt::VrtConfig::scenario`]),
+//! expanded per job from the master seed and applied to the compiled
+//! circuits as allocation-free
+//! [`ParamPatch`](samurai_spice::ParamPatch)es.
+//!
 //! # Example: is this cell compromised by RTN?
 //!
 //! ```no_run

@@ -20,8 +20,13 @@
 //! while variation grows only as `1/√A`, the RTN share of the margin
 //! rises with scaling — exactly the paper's point.
 
+use samurai_core::scenario::ScenarioConfig;
 use samurai_trap::Technology;
 use samurai_units::constants::ELEMENTARY_CHARGE;
+
+/// Ten-year end-of-life stress horizon the default NBTI margin
+/// coefficient is calibrated to, seconds.
+pub const EOL_STRESS_SECONDS: f64 = 3.2e8;
 
 /// One stacked bar of the Fig 2 reproduction.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +112,26 @@ impl Default for MarginModel {
 }
 
 impl MarginModel {
+    /// Derives margin coefficients from a scenario distribution, so
+    /// the Fig 2 stack and the Monte-Carlo ensembles share one
+    /// parameter surface: the scenario's Pelgrom coefficient (when
+    /// set) replaces the default `A_VT`, and the NBTI increment is
+    /// rescaled from the default ten-year end-of-life calibration to
+    /// the scenario's stress time with the standard `t^(1/6)` power
+    /// law (zero stress zeroes the increment).
+    pub fn from_scenario(scenario: &ScenarioConfig) -> Self {
+        let mut model = Self::default();
+        if scenario.a_vt > 0.0 {
+            model.a_vt = scenario.a_vt;
+        }
+        model.nbti_180 = if scenario.stress_time > 0.0 {
+            model.nbti_180 * (scenario.stress_time / EOL_STRESS_SECONDS).powf(1.0 / 6.0)
+        } else {
+            0.0
+        };
+        model
+    }
+
     /// Evaluates the model for one technology (`step` = how many node
     /// generations past 180 nm, for the NBTI growth).
     pub fn row(&self, tech: &Technology, step: usize) -> MarginRow {
@@ -211,6 +236,36 @@ mod tests {
         let fine = row.rtn_uncertainty(65);
         assert!(fine < coarse);
         assert!((coarse / fine - 2.0).abs() < 1e-12, "{coarse} vs {fine}");
+    }
+
+    #[test]
+    fn scenario_derived_margins_track_stress_and_pelgrom() {
+        // Zero stress: no NBTI increment at all.
+        let fresh = MarginModel::from_scenario(&ScenarioConfig::nominal());
+        assert_eq!(fresh.nbti_180, 0.0);
+        // End-of-life stress recovers the default calibration exactly.
+        let eol = MarginModel::from_scenario(&ScenarioConfig {
+            stress_time: EOL_STRESS_SECONDS,
+            ..ScenarioConfig::nominal()
+        });
+        assert_eq!(eol.nbti_180, MarginModel::default().nbti_180);
+        // Intermediate stress follows the t^(1/6) power law.
+        let mid = MarginModel::from_scenario(&ScenarioConfig {
+            stress_time: EOL_STRESS_SECONDS / 64.0,
+            ..ScenarioConfig::nominal()
+        });
+        let expected = MarginModel::default().nbti_180 * (1.0f64 / 64.0).powf(1.0 / 6.0);
+        assert!((mid.nbti_180 - expected).abs() < 1e-15);
+        // A configured Pelgrom coefficient replaces the default.
+        let pelgrom = MarginModel::from_scenario(&ScenarioConfig {
+            a_vt: 2.5e-9,
+            ..ScenarioConfig::nominal()
+        });
+        assert_eq!(pelgrom.a_vt, 2.5e-9);
+        assert_eq!(
+            MarginModel::from_scenario(&ScenarioConfig::nominal()).a_vt,
+            MarginModel::default().a_vt
+        );
     }
 
     #[test]

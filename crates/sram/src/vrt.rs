@@ -15,9 +15,10 @@
 //! retention time follows by integrating the charge decay. A slow trap
 //! yields the characteristic *bimodal* retention-time histogram.
 
+use samurai_core::scenario::{DeviceGeometry, ScenarioConfig};
 use samurai_core::{simulate_trap_probed, CoreError, SeedStream, UniformisationConfig};
 use samurai_telemetry::{JobProbe, JobRecord, MetricsSink, Recorder, Stopwatch};
-use samurai_trap::{DeviceParams, PropensityModel, TrapParams};
+use samurai_trap::{aging_vth_shift, DeviceParams, PropensityModel, TrapParams};
 use samurai_waveform::{Pwc, Pwl};
 
 use crate::SramError;
@@ -46,6 +47,13 @@ pub struct VrtConfig {
     pub cycles: usize,
     /// Random seed.
     pub seed: u64,
+    /// Unified scenario distribution: threshold mismatch, supply
+    /// corner (scales the stored/sense/hold levels), temperature
+    /// corner and NBTI stress of the access transistor, sampled from
+    /// `substream(1)` of the seed so the legacy trap stream is
+    /// untouched. `None` is the historical fixed configuration,
+    /// bit-for-bit.
+    pub scenario: Option<ScenarioConfig>,
     /// Cap on candidate trap events for the whole experiment; `None`
     /// uses the [`UniformisationConfig`] default. When the trap is too
     /// fast for the requested horizon, the experiment rescues itself by
@@ -70,6 +78,7 @@ impl Default for VrtConfig {
             v_hold: 0.35,
             cycles: 200,
             seed: 0,
+            scenario: None,
             event_budget: None,
         }
     }
@@ -165,6 +174,38 @@ pub fn run_vrt_observed<S: MetricsSink>(
     config: &VrtConfig,
     recorder: &mut Recorder<S>,
 ) -> Result<VrtReport, SramError> {
+    // Expand the scenario (when configured) into an effective
+    // experiment: corner-scaled levels, mismatch plus NBTI aging on
+    // the access transistor's threshold, corner temperature. The
+    // sample draws from `substream(1)`, so the trap-trajectory stream
+    // below is exactly the legacy one.
+    let mut effective = config.clone();
+    let mut stamp = None;
+    if let Some(scenario) = &config.scenario {
+        let geometry = DeviceGeometry {
+            width: config.device.width.metres(),
+            length: config.device.length.metres(),
+        };
+        let sample = scenario.sample(
+            &mut SeedStream::new(config.seed).substream(1).rng(0),
+            &[geometry],
+        );
+        effective.v_stored *= sample.vdd_scale;
+        effective.v_sense *= sample.vdd_scale;
+        effective.v_hold *= sample.vdd_scale;
+        let aging = aging_vth_shift(
+            &effective.device,
+            &[effective.trap],
+            effective.v_hold,
+            sample.stress_time,
+        );
+        effective.device.v_th = samurai_units::Voltage::from_volts(
+            effective.device.v_th.volts() + sample.device(0).vth_delta + aging,
+        );
+        effective.device.temperature = samurai_units::Temperature::from_kelvin(sample.temperature);
+        stamp = Some(sample.stamp());
+    }
+    let config = &effective;
     let t_good = constant_retention(config, config.i_leak_base);
     let t_bad = constant_retention(config, config.i_leak_base * (1.0 + config.leak_contrast));
 
@@ -209,6 +250,7 @@ pub fn run_vrt_observed<S: MetricsSink>(
             rescued: (halvings > 0).then_some(halvings),
             solver: probe.solver(),
             trap: probe.trap(),
+            scenario: stamp,
         });
     }
 

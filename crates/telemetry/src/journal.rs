@@ -15,7 +15,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use crate::json::JsonValue;
-use crate::stats::{SolverStats, TrapStats};
+use crate::stats::{ScenarioStamp, SolverStats, TrapStats};
 
 /// One journal entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,10 @@ pub enum JournalEvent {
         solver: SolverStats,
         /// Uniformisation accept/reject counters the job accumulated.
         trap: TrapStats,
+        /// The job's scenario ticket (hash + aging time). `None` for
+        /// jobs outside a scenario sweep, whose serialised lines stay
+        /// byte-identical to the pre-scenario schema.
+        scenario: Option<ScenarioStamp>,
     },
     /// A job that needed the rescue ladder and survived.
     Rescued {
@@ -69,35 +73,43 @@ impl JournalEvent {
                 rescued_rung,
                 solver,
                 trap,
-            } => JsonValue::obj(vec![
-                ("event", JsonValue::Str("job".into())),
-                ("job", JsonValue::U64(*job as u64)),
-                (
-                    "rescued_rung",
-                    rescued_rung.map_or(JsonValue::Null, |r| JsonValue::U64(r as u64)),
-                ),
-                ("solve_attempts", JsonValue::U64(solver.solve_attempts)),
-                (
-                    "newton_iterations",
-                    JsonValue::U64(solver.newton_iterations),
-                ),
-                ("steps_accepted", JsonValue::U64(solver.steps_accepted)),
-                (
-                    "timestep_rejections",
-                    JsonValue::U64(solver.timestep_rejections),
-                ),
-                (
-                    "rescue_gmin_rungs",
-                    JsonValue::U64(solver.rescue_gmin_rungs),
-                ),
-                (
-                    "rescue_config_rungs",
-                    JsonValue::U64(solver.rescue_config_rungs),
-                ),
-                ("faults_injected", JsonValue::U64(solver.faults_injected)),
-                ("trap_candidates", JsonValue::U64(trap.candidates)),
-                ("trap_accepted", JsonValue::U64(trap.accepted)),
-            ]),
+                scenario,
+            } => {
+                let mut fields = vec![
+                    ("event", JsonValue::Str("job".into())),
+                    ("job", JsonValue::U64(*job as u64)),
+                    (
+                        "rescued_rung",
+                        rescued_rung.map_or(JsonValue::Null, |r| JsonValue::U64(r as u64)),
+                    ),
+                    ("solve_attempts", JsonValue::U64(solver.solve_attempts)),
+                    (
+                        "newton_iterations",
+                        JsonValue::U64(solver.newton_iterations),
+                    ),
+                    ("steps_accepted", JsonValue::U64(solver.steps_accepted)),
+                    (
+                        "timestep_rejections",
+                        JsonValue::U64(solver.timestep_rejections),
+                    ),
+                    (
+                        "rescue_gmin_rungs",
+                        JsonValue::U64(solver.rescue_gmin_rungs),
+                    ),
+                    (
+                        "rescue_config_rungs",
+                        JsonValue::U64(solver.rescue_config_rungs),
+                    ),
+                    ("faults_injected", JsonValue::U64(solver.faults_injected)),
+                    ("trap_candidates", JsonValue::U64(trap.candidates)),
+                    ("trap_accepted", JsonValue::U64(trap.accepted)),
+                ];
+                if let Some(stamp) = scenario {
+                    fields.push(("scenario_hash", JsonValue::U64(stamp.hash)));
+                    fields.push(("aging_seconds", JsonValue::F64(stamp.aging_seconds)));
+                }
+                JsonValue::obj(fields)
+            }
             Self::Rescued { job, rung } => JsonValue::obj(vec![
                 ("event", JsonValue::Str("rescued".into())),
                 ("job", JsonValue::U64(*job as u64)),
@@ -208,6 +220,7 @@ mod tests {
                 candidates: 40,
                 accepted: 12,
             },
+            scenario: None,
         });
         j.push(JournalEvent::Quarantined {
             job: 9,
@@ -235,6 +248,43 @@ mod tests {
         assert_eq!(
             first.get("rescued_rung").and_then(JsonValue::as_f64),
             Some(1.0)
+        );
+    }
+
+    #[test]
+    fn scenario_stamp_appends_after_the_legacy_keys() {
+        let legacy = JournalEvent::Job {
+            job: 0,
+            rescued_rung: None,
+            solver: SolverStats::default(),
+            trap: TrapStats::default(),
+            scenario: None,
+        };
+        let legacy_line = legacy.to_json().to_json();
+        assert!(!legacy_line.contains("scenario_hash"));
+        assert!(!legacy_line.contains("aging_seconds"));
+
+        let stamped = JournalEvent::Job {
+            job: 0,
+            rescued_rung: None,
+            solver: SolverStats::default(),
+            trap: TrapStats::default(),
+            scenario: Some(ScenarioStamp {
+                hash: 0xABCD,
+                aging_seconds: 1e8,
+            }),
+        };
+        let line = stamped.to_json().to_json();
+        // The legacy prefix is untouched; the stamp keys follow it.
+        assert!(line.starts_with(legacy_line.trim_end_matches('}')));
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("scenario_hash").and_then(JsonValue::as_f64),
+            Some(0xABCD as f64)
+        );
+        assert_eq!(
+            doc.get("aging_seconds").and_then(JsonValue::as_f64),
+            Some(1e8)
         );
     }
 

@@ -60,4 +60,4 @@ pub use json::JsonValue;
 pub use recorder::{JobProbe, JobRecord, MemoryRecorder, NoopRecorder, Recorder};
 pub use sink::{MemorySink, MetricsSink, NoopSink};
 pub use span::{Span, Stopwatch};
-pub use stats::{SolverStats, TrapStats};
+pub use stats::{ScenarioStamp, SolverStats, TrapStats};

@@ -14,7 +14,7 @@ use crate::hist::percentile;
 use crate::journal::{Journal, JournalEvent};
 use crate::json::JsonValue;
 use crate::sink::{MemorySink, MetricsSink, NoopSink};
-use crate::stats::{SolverStats, TrapStats};
+use crate::stats::{ScenarioStamp, SolverStats, TrapStats};
 
 /// Per-job statistics collection point handed to job closures.
 ///
@@ -26,6 +26,7 @@ pub struct JobProbe {
     live: bool,
     solver: SolverStats,
     trap: TrapStats,
+    scenario: Option<ScenarioStamp>,
 }
 
 impl JobProbe {
@@ -75,6 +76,21 @@ impl JobProbe {
     pub fn trap(&self) -> TrapStats {
         self.trap
     }
+
+    /// Stamps the job's scenario ticket (hash + aging time). Jobs
+    /// outside a scenario sweep never call this, so their journal
+    /// lines keep the legacy schema.
+    pub fn record_scenario(&mut self, stamp: ScenarioStamp) {
+        if self.live {
+            self.scenario = Some(stamp);
+        }
+    }
+
+    /// The scenario ticket recorded for this job, if any.
+    #[must_use]
+    pub fn scenario(&self) -> Option<ScenarioStamp> {
+        self.scenario
+    }
 }
 
 /// One finished job's statistics, as carried home by a worker.
@@ -91,6 +107,9 @@ pub struct JobRecord {
     pub solver: SolverStats,
     /// Trap counters from the job's probe.
     pub trap: TrapStats,
+    /// Scenario ticket from the job's probe (`None` outside scenario
+    /// sweeps, keeping legacy journal lines byte-identical).
+    pub scenario: Option<ScenarioStamp>,
 }
 
 /// The single-threaded collection handle for one observed run.
@@ -159,6 +178,7 @@ impl<S: MetricsSink> Recorder<S> {
             rescued_rung: rec.rescued,
             solver: rec.solver,
             trap: rec.trap,
+            scenario: rec.scenario,
         });
         self.solver_totals.add(rec.solver);
         self.trap_totals.add(rec.trap);
@@ -332,6 +352,7 @@ mod tests {
                 candidates: 10,
                 accepted: 4,
             },
+            scenario: None,
         }
     }
 

@@ -79,6 +79,22 @@ impl SolverStats {
     }
 }
 
+/// The per-job scenario ticket: the sampled-scenario hash plus the
+/// aging stress time, journalled with every job so a quarantined or
+/// rescued cell is attributable to its exact process/voltage/
+/// temperature/aging corner.
+///
+/// Copied (not computed) at the job boundary: the scenario layer
+/// stamps it once when the sample is drawn, so carrying it costs two
+/// plain stores in the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScenarioStamp {
+    /// SplitMix64 fold over every value the scenario sampler drew.
+    pub hash: u64,
+    /// NBTI stress time of the scenario, seconds.
+    pub aging_seconds: f64,
+}
+
 /// Counters the uniformisation sampler accumulates per trap
 /// simulation: the Markov-uniformisation candidate loop's
 /// accept/reject tally.

@@ -68,6 +68,28 @@ pub fn rtn_sigma(device: &DeviceParams, traps: &[TrapParams], v_read: f64) -> f6
     dv * var.sqrt()
 }
 
+/// The scenario-driven aging shift: the NBTI threshold delta of one
+/// device after a scenario's stress time at the scenario's
+/// (corner-scaled) stress bias, computed from the **same** trap
+/// population that generates the device's RTN — the common-root-cause
+/// co-simulation of paper §I-B, driven from one `ScenarioSample`
+/// instead of module-local knobs.
+///
+/// A non-positive stress time (the nominal scenario) is an exact
+/// no-op: it returns `0.0` without evaluating the master equation, so
+/// unaged jobs stay bit-identical to the pre-scenario path.
+pub fn aging_vth_shift(
+    device: &DeviceParams,
+    traps: &[TrapParams],
+    v_stress: f64,
+    stress_time: f64,
+) -> f64 {
+    if stress_time <= 0.0 || traps.is_empty() {
+        return 0.0;
+    }
+    nbti_shift(device, traps, v_stress, stress_time)
+}
+
 /// Result of the population correlation study.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CorrelationStudy {
@@ -258,6 +280,17 @@ mod tests {
             (analytic - stochastic).abs() < 0.05 * analytic.max(1e-9),
             "analytic {analytic} vs stochastic {stochastic}"
         );
+    }
+
+    #[test]
+    fn aging_shift_is_an_exact_noop_at_zero_stress() {
+        let d = device();
+        let traps = test_traps();
+        assert_eq!(aging_vth_shift(&d, &traps, 1.1, 0.0), 0.0);
+        assert_eq!(aging_vth_shift(&d, &[], 1.1, 1e6), 0.0);
+        let aged = aging_vth_shift(&d, &traps, 1.1, 1e3);
+        assert_eq!(aged, nbti_shift(&d, &traps, 1.1, 1e3));
+        assert!(aged > 0.0);
     }
 
     #[test]

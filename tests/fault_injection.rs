@@ -294,6 +294,7 @@ fn quarantined_array_sweeps_are_bit_identical_at_any_worker_count() {
                 parallelism: Parallelism::Fixed(workers),
                 ..MethodologyConfig::default()
             },
+            ..ArrayConfig::default()
         };
         run_array(&pattern, &config).expect("quarantine absorbs the loss")
     };
@@ -326,6 +327,7 @@ fn retry_rescues_a_scoped_fault_and_leaves_other_cells_untouched() {
             failure,
             faults,
             base: MethodologyConfig::default(),
+            ..ArrayConfig::default()
         };
         run_array(&pattern, &config)
     };

@@ -41,6 +41,7 @@ fn faulted_config(workers: usize) -> ArrayConfig {
             parallelism: Parallelism::Fixed(workers),
             ..MethodologyConfig::default()
         },
+        ..ArrayConfig::default()
     }
 }
 
