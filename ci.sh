@@ -22,11 +22,29 @@ cargo test -q -p samurai --test telemetry
 # out of the gate).
 cargo test -q -p samurai --test solver_equivalence
 cargo clippy --workspace --all-targets -- -D warnings
-# Project invariants (determinism / hot-loop purity / hygiene / unsafe
-# audit): any finding fails the build, and the fixture self-check
-# proves the analyzer itself still trips on every rule.
+# Project invariants (determinism / hot-loop purity incl. call-graph
+# reachability / draw order / layering / hygiene / unsafe audit): any
+# finding fails the build, and the fixture self-check proves the
+# analyzer itself still trips on every rule. The timed cold/warm pair
+# also proves the pass-1 content-hash cache helps rather than hurts
+# (25 % slack absorbs scheduler jitter).
+rm -f target/lint-cache.json
+cold_start=$(date +%s%N)
+cargo run -q -p samurai-lint --release -- --deny --no-cache
+cold_ns=$(( $(date +%s%N) - cold_start ))
+# First cached run populates target/lint-cache.json; the second must
+# not be slower than the cold baseline.
 cargo run -q -p samurai-lint --release -- --deny
+warm_start=$(date +%s%N)
+cargo run -q -p samurai-lint --release -- --deny
+warm_ns=$(( $(date +%s%N) - warm_start ))
+test "$warm_ns" -le $(( cold_ns + cold_ns / 4 ))
 cargo run -q -p samurai-lint --release -- --self-check
+# Call-graph artifact gate: dump the workspace graph and
+# schema-validate it like the bench metrics artifacts.
+cargo run -q -p samurai-lint --release -- --graph target/lint-graph.json
+cargo run -q --release -p samurai-bench --bin validate_graph -- \
+    target/lint-graph.json
 cargo fmt --check
 cargo bench --workspace --no-run
 # Telemetry artifact gate: regenerate the fig7 metrics in smoke mode

@@ -1,0 +1,49 @@
+//! CI gate for the lint call-graph artifact: parse a
+//! `samurai-lint --graph` dump and reject schema drift, non-dense node
+//! ids and out-of-range edge or root targets.
+//!
+//! Run with
+//! `cargo run -p samurai-bench --bin validate_graph -- <path>...`;
+//! exits non-zero listing every violation, mirroring
+//! `validate_metrics`.
+
+use samurai_bench::validate_call_graph;
+use samurai_core::telemetry::json;
+use std::process::ExitCode;
+
+fn validate_file(path: &str) -> Result<(), Vec<String>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+    let doc = json::parse(&text).map_err(|e| vec![format!("invalid JSON in {path}: {e}")])?;
+    let errors = validate_call_graph(&doc);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_graph <graph.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(errors) => {
+                failed = true;
+                for error in errors {
+                    eprintln!("{path}: {error}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -328,6 +328,112 @@ pub fn validate_bench_summary(doc: &JsonValue) -> Vec<String> {
     errors
 }
 
+/// Validates a `samurai-lint --graph` dump: schema tag, node records
+/// with dense sequential ids and boolean reachability flags, edges and
+/// roots whose targets stay in range. Returns the error list (empty =
+/// valid). Used by `ci.sh` via the `validate_graph` binary.
+#[allow(clippy::too_many_lines)]
+pub fn validate_call_graph(doc: &JsonValue) -> Vec<String> {
+    fn as_index(v: Option<&JsonValue>) -> Option<u64> {
+        match v {
+            Some(JsonValue::U64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+    fn check_bool(errors: &mut Vec<String>, v: Option<&JsonValue>, path: &str) {
+        if !matches!(v, Some(JsonValue::Bool(_))) {
+            errors.push(format!("missing bool: {path}"));
+        }
+    }
+    let mut errors = Vec::new();
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("samurai-lint-graph-v1") {
+        errors.push("schema is not samurai-lint-graph-v1".to_owned());
+    }
+
+    let Some(JsonValue::Arr(nodes)) = doc.get("nodes") else {
+        errors.push("missing array: nodes".to_owned());
+        return errors;
+    };
+    if nodes.is_empty() {
+        errors.push("graph has no nodes — the workspace walk found nothing".to_owned());
+    }
+    let n = nodes.len() as u64;
+    for (i, node) in nodes.iter().enumerate() {
+        let at = |field: &str| format!("nodes[{i}].{field}");
+        if as_index(node.get("id")) != Some(i as u64) {
+            errors.push(format!("{} is not the dense index {i}", at("id")));
+        }
+        for key in ["name", "path"] {
+            if node.get(key).and_then(JsonValue::as_str).is_none() {
+                errors.push(format!("missing string: {}", at(key)));
+            }
+        }
+        if as_index(node.get("line")).is_none() {
+            errors.push(format!("missing integer: {}", at("line")));
+        }
+        if !matches!(node.get("crate"), Some(JsonValue::Str(_) | JsonValue::Null)) {
+            errors.push(format!("missing string-or-null: {}", at("crate")));
+        }
+        for key in ["hot_fn", "hot_reachable", "ensemble_reachable"] {
+            check_bool(&mut errors, node.get(key), &at(key));
+        }
+    }
+
+    match doc.get("edges") {
+        Some(JsonValue::Arr(edges)) => {
+            for (i, edge) in edges.iter().enumerate() {
+                for key in ["from", "to"] {
+                    match as_index(edge.get(key)) {
+                        Some(id) if id < n => {}
+                        _ => errors.push(format!("edges[{i}].{key} is not a node id below {n}")),
+                    }
+                }
+                if as_index(edge.get("line")).is_none() {
+                    errors.push(format!("missing integer: edges[{i}].line"));
+                }
+            }
+        }
+        _ => errors.push("missing array: edges".to_owned()),
+    }
+
+    match doc.get("hot_roots") {
+        Some(JsonValue::Arr(roots)) => {
+            for (i, root) in roots.iter().enumerate() {
+                match root.get("kind").and_then(JsonValue::as_str) {
+                    Some("hot-loop") => {
+                        if root.get("path").and_then(JsonValue::as_str).is_none() {
+                            errors.push(format!("missing string: hot_roots[{i}].path"));
+                        }
+                        if as_index(root.get("line")).is_none() {
+                            errors.push(format!("missing integer: hot_roots[{i}].line"));
+                        }
+                    }
+                    Some("hot-fn") => {}
+                    _ => errors.push(format!("hot_roots[{i}].kind is not hot-loop/hot-fn")),
+                }
+                match as_index(root.get("target")) {
+                    Some(id) if id < n => {}
+                    _ => errors.push(format!("hot_roots[{i}].target is not a node id below {n}")),
+                }
+            }
+        }
+        _ => errors.push("missing array: hot_roots".to_owned()),
+    }
+
+    match doc.get("ensemble_roots") {
+        Some(JsonValue::Arr(roots)) => {
+            for (i, root) in roots.iter().enumerate() {
+                match root {
+                    JsonValue::U64(id) if *id < n => {}
+                    _ => errors.push(format!("ensemble_roots[{i}] is not a node id below {n}")),
+                }
+            }
+        }
+        _ => errors.push("missing array: ensemble_roots".to_owned()),
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +498,39 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("jobs")));
         assert!(errors.iter().any(|e| e.contains("latency")));
         assert!(errors.iter().any(|e| e.contains("solver")));
+    }
+
+    #[test]
+    fn call_graph_dumps_validate_and_reject_gaps() {
+        let good = samurai_core::telemetry::json::parse(
+            r#"{"schema": "samurai-lint-graph-v1",
+                "nodes": [
+                  {"id": 0, "name": "a", "path": "crates/core/src/l.rs",
+                   "line": 1, "crate": "core", "hot_fn": true,
+                   "hot_reachable": true, "ensemble_reachable": false},
+                  {"id": 1, "name": "b", "path": "crates/core/src/l.rs",
+                   "line": 2, "crate": null, "hot_fn": false,
+                   "hot_reachable": true, "ensemble_reachable": false}],
+                "edges": [{"from": 0, "to": 1, "line": 1}],
+                "hot_roots": [{"kind": "hot-fn", "target": 0}],
+                "ensemble_roots": []}"#,
+        )
+        .unwrap();
+        assert!(validate_call_graph(&good).is_empty());
+
+        let bad = samurai_core::telemetry::json::parse(
+            r#"{"schema": "wrong",
+                "nodes": [{"id": 7, "name": "a"}],
+                "edges": [{"from": 0, "to": 9, "line": 1}],
+                "hot_roots": [{"kind": "mystery", "target": 0}]}"#,
+        )
+        .unwrap();
+        let errors = validate_call_graph(&bad);
+        assert!(errors.iter().any(|e| e.contains("schema")));
+        assert!(errors.iter().any(|e| e.contains("dense index")));
+        assert!(errors.iter().any(|e| e.contains("edges[0].to")));
+        assert!(errors.iter().any(|e| e.contains("hot_roots[0].kind")));
+        assert!(errors.iter().any(|e| e.contains("ensemble_roots")));
     }
 
     #[test]

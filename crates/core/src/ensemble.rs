@@ -839,6 +839,7 @@ impl<T: Send> EnsembleAccumulator for IndexedResults<T> {
     type Item = T;
 
     fn absorb(&mut self, job: usize, item: T) {
+        // lint: allow(HOT103): job-ordered output accumulation; amortised growth is the contract
         self.slots.push((job, item));
     }
 

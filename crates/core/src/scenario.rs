@@ -155,16 +155,19 @@ impl ScenarioConfig {
         for &geometry in geometries {
             let sigma = self.vth_sigma_for(geometry);
             let vth_delta = if sigma > 0.0 {
+                // lint: fixed-draw: guard is ensemble-constant config; every job branches alike
                 sigma * standard_normal(rng)
             } else {
                 0.0
             };
             let beta_scale = if self.sigma_beta > 0.0 {
+                // lint: fixed-draw: guard is ensemble-constant config; every job branches alike
                 scale_floor(1.0 + self.sigma_beta * standard_normal(rng))
             } else {
                 1.0
             };
             let geom_scale = if self.sigma_geometry > 0.0 {
+                // lint: fixed-draw: guard is ensemble-constant config; every job branches alike
                 scale_floor(1.0 + self.sigma_geometry * standard_normal(rng))
             } else {
                 1.0
@@ -181,6 +184,7 @@ impl ScenarioConfig {
         let vdd_scale = sample_uniform(rng, self.vdd_range);
         let temperature = sample_uniform(rng, self.temperature_range);
         let density_scale = if self.sigma_density > 0.0 {
+            // lint: fixed-draw: guard is ensemble-constant config; every job branches alike
             (self.sigma_density * standard_normal(rng)).exp()
         } else {
             1.0
@@ -207,6 +211,7 @@ fn sample_uniform(rng: &mut ChaCha8Rng, range: (f64, f64)) -> f64 {
         return lo;
     }
     use rand::Rng;
+    // lint: fixed-draw: point-range guard is ensemble-constant config; every job branches alike
     lo + rng.gen::<f64>() * (hi - lo)
 }
 

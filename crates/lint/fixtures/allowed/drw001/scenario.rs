@@ -1,0 +1,10 @@
+//! Allowed counterpart: DRW001 silenced by a fixed-draw annotation.
+
+pub fn sample_shift(rng: &mut JobRng, enabled: bool) -> f64 {
+    if enabled {
+        // lint: fixed-draw: guard is ensemble-constant config; every job branches alike
+        rng.standard_normal()
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,7 @@
+//! Allowed counterpart: DRW002 suppressed with a justified escape.
+
+// lint: allow(DRW002): compat shim for the scripted demos; new code threads the job RNG
+pub fn sample_shift(job: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(job); // lint: allow(DRW002): see fn-level note
+    rng.standard_normal()
+}

@@ -1,0 +1,15 @@
+//! Allowed counterpart: HOT101 suppressed with a justified escape.
+
+// lint: hot-fn
+pub fn kernel(x: f64) -> f64 {
+    stage(x)
+}
+
+fn stage(x: f64) -> f64 {
+    deep(x)
+}
+
+fn deep(x: f64) -> f64 {
+    let v = vec![x; 4]; // lint: allow(HOT101): scratch hoisted by the caller next refactor
+    v[0]
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: DRW001 — guarded RNG draw in a sampling module.
+//!
+//! DRW scope keys on the file name (`scenario.rs` / `profile.rs`), so
+//! this fixture lives in a directory named after the rule.
+
+pub fn sample_shift(rng: &mut JobRng, enabled: bool) -> f64 {
+    if enabled {
+        rng.standard_normal() //~ DRW001
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: DRW002 — public sampling fn hides its RNG stream.
+
+pub fn sample_shift(job: u64) -> f64 { //~ DRW002 (no RNG parameter)
+    let mut rng = ChaCha8Rng::seed_from_u64(job); //~ DRW002 (constructs its own RNG)
+    rng.standard_normal()
+}

@@ -1,0 +1,18 @@
+//! Seeded violation: HOT101 — transitive allocation on a hot path.
+//!
+//! The allocation is two calls away from the annotated kernel; only
+//! the reachability pass can see it.
+
+// lint: hot-fn
+pub fn kernel(x: f64) -> f64 {
+    stage(x)
+}
+
+fn stage(x: f64) -> f64 {
+    deep(x)
+}
+
+fn deep(x: f64) -> f64 {
+    let v = vec![x; 4]; //~ HOT101
+    v[0]
+}

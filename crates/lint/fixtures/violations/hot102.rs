@@ -1,0 +1,11 @@
+//! Seeded violation: HOT102 — clone/copy-out reachable from a hot fn.
+
+// lint: hot-fn
+pub fn kernel(v: &[f64]) -> f64 {
+    stage(v)
+}
+
+fn stage(v: &[f64]) -> f64 {
+    let w = v.to_vec(); //~ HOT102
+    w[0]
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: HOT103 — container growth reachable from a hot fn.
+
+// lint: hot-fn
+pub fn kernel(out: &mut Vec<usize>, n: usize) -> usize {
+    stage(out, n)
+}
+
+fn stage(out: &mut Vec<usize>, n: usize) -> usize {
+    out.push(n); //~ HOT103
+    out.len()
+}

@@ -1,0 +1,624 @@
+//! The incremental-analysis cache (`target/lint-cache.json`).
+//!
+//! Pass 1 is a pure function of a file's bytes and classification, so
+//! its output — the parsed item index *and* the token-level findings —
+//! can be keyed on a content hash and reused. A warm run therefore
+//! skips both tokenization and rule matching for unchanged files and
+//! goes straight to pass 2, which keeps the two-pass analyzer under
+//! the old single-pass wall time in CI.
+//!
+//! The format is hand-rolled JSON (schema `samurai-lint-cache-v1`) so
+//! the crate stays dependency-free. Robustness policy: the cache is an
+//! accelerator, never a source of truth — any parse error, schema
+//! mismatch, hash mismatch or unknown rule id silently degrades to a
+//! cold analysis of the affected file. Corrupting the cache can cost
+//! time, never correctness.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::parser::{Call, Draw, Effect, FileRecord, Item, Recv};
+use crate::report::escape;
+use crate::rules::{rule_by_id, FileClass, Finding};
+
+/// Schema tag; bump on any layout change to invalidate old caches.
+const SCHEMA: &str = "samurai-lint-cache-v1";
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached analysis: content hash plus the full pass-1 output.
+pub type Entries = BTreeMap<String, (u64, FileRecord)>;
+
+/// Loads a cache file; any failure yields an empty cache.
+pub fn load(path: &Path) -> Entries {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Entries::new();
+    };
+    parse_cache(&text).unwrap_or_default()
+}
+
+/// Writes the cache file (creating parent directories).
+pub fn store(path: &Path, entries: &Entries) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_cache(entries))
+}
+
+// --- serialization ---------------------------------------------------
+
+fn render_cache(entries: &Entries) -> String {
+    let mut out = format!("{{\"schema\": \"{SCHEMA}\", \"files\": {{");
+    for (i, (path, (hash, rec))) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n\"{}\": {{\"hash\": \"{hash:016x}\", {}}}",
+            escape(path),
+            render_record(rec)
+        ));
+    }
+    out.push_str("\n}}\n");
+    out
+}
+
+fn render_record(rec: &FileRecord) -> String {
+    let class = match rec.class {
+        FileClass::Library { numeric: true } => "numeric",
+        FileClass::Library { numeric: false } => "library",
+        FileClass::Tool => "tool",
+    };
+    let items: Vec<String> = rec.items.iter().map(render_item).collect();
+    let hot_calls: Vec<String> = rec.hot_calls.iter().map(render_call).collect();
+    let allows: Vec<String> = rec
+        .allows
+        .iter()
+        .map(|(r, l)| format!("[\"{}\", {l}]", escape(r)))
+        .collect();
+    let fixed: Vec<String> = rec.fixed_draw_lines.iter().map(usize::to_string).collect();
+    let findings: Vec<String> = rec
+        .token_findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.rule,
+                f.line,
+                escape(&f.message)
+            )
+        })
+        .collect();
+    format!(
+        "\"class\": \"{class}\", \"items\": [{}], \"hot_calls\": [{}], \
+         \"allows\": [{}], \"fixed_draw\": [{}], \"findings\": [{}]",
+        items.join(", "),
+        hot_calls.join(", "),
+        allows.join(", "),
+        fixed.join(", "),
+        findings.join(", ")
+    )
+}
+
+fn render_item(item: &Item) -> String {
+    let impl_ty = item
+        .impl_type
+        .as_ref()
+        .map_or("null".to_string(), |t| format!("\"{}\"", escape(t)));
+    let calls: Vec<String> = item.calls.iter().map(render_call).collect();
+    let effects: Vec<String> = item
+        .effects
+        .iter()
+        .map(|e| format!("[\"{}\", {}, \"{}\"]", e.rule, e.line, escape(&e.what)))
+        .collect();
+    let draws: Vec<String> = item
+        .draws
+        .iter()
+        .map(|d| format!("[\"{}\", {}, {}]", escape(&d.name), d.line, d.guarded))
+        .collect();
+    let ctors: Vec<String> = item.rng_ctor_lines.iter().map(usize::to_string).collect();
+    format!(
+        "{{\"name\": \"{}\", \"impl\": {impl_ty}, \"pub\": {}, \"rng\": {}, \
+         \"hot_fn\": {}, \"line\": {}, \"end\": {}, \"calls\": [{}], \
+         \"effects\": [{}], \"draws\": [{}], \"rng_ctors\": [{}]}}",
+        escape(&item.name),
+        item.is_pub,
+        item.has_rng_param,
+        item.hot_fn,
+        item.line,
+        item.end_line,
+        calls.join(", "),
+        effects.join(", "),
+        draws.join(", "),
+        ctors.join(", ")
+    )
+}
+
+fn render_call(call: &Call) -> String {
+    let recv = match &call.recv {
+        Recv::Method => "\"method\"".to_string(),
+        Recv::Bare => "\"bare\"".to_string(),
+        Recv::Path(segs) => {
+            let segs: Vec<String> = segs.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+            format!("[{}]", segs.join(", "))
+        }
+    };
+    format!(
+        "{{\"name\": \"{}\", \"line\": {}, \"recv\": {recv}}}",
+        escape(&call.name),
+        call.line
+    )
+}
+
+// --- deserialization -------------------------------------------------
+
+/// Minimal JSON value for the reader side.
+#[derive(Debug, Clone)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+    fn bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn parse_cache(text: &str) -> Option<Entries> {
+    let root = Parser::new(text).parse()?;
+    if root.get("schema")?.str()? != SCHEMA {
+        return None;
+    }
+    let Value::Obj(files) = root.get("files")? else {
+        return None;
+    };
+    let mut entries = Entries::new();
+    for (path, v) in files {
+        let hash = u64::from_str_radix(v.get("hash")?.str()?, 16).ok()?;
+        let rec = parse_record(path, v)?;
+        entries.insert(path.clone(), (hash, rec));
+    }
+    Some(entries)
+}
+
+fn parse_record(path: &str, v: &Value) -> Option<FileRecord> {
+    let class = match v.get("class")?.str()? {
+        "numeric" => FileClass::Library { numeric: true },
+        "library" => FileClass::Library { numeric: false },
+        "tool" => FileClass::Tool,
+        _ => return None,
+    };
+    let mut items = Vec::new();
+    for iv in v.get("items")?.arr()? {
+        items.push(parse_item(iv)?);
+    }
+    let mut hot_calls = Vec::new();
+    for cv in v.get("hot_calls")?.arr()? {
+        hot_calls.push(parse_call(cv)?);
+    }
+    let mut allows = Vec::new();
+    for av in v.get("allows")?.arr()? {
+        let pair = av.arr()?;
+        allows.push((pair.first()?.str()?.to_string(), pair.get(1)?.usize()?));
+    }
+    let mut fixed_draw_lines = Vec::new();
+    for fv in v.get("fixed_draw")?.arr()? {
+        fixed_draw_lines.push(fv.usize()?);
+    }
+    let mut token_findings = Vec::new();
+    for fv in v.get("findings")?.arr()? {
+        // Rule ids intern back to the static catalog; an id the
+        // current binary no longer knows invalidates the entry.
+        let rule = rule_by_id(fv.get("rule")?.str()?)?.id;
+        token_findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: fv.get("line")?.usize()?,
+            message: fv.get("message")?.str()?.to_string(),
+        });
+    }
+    Some(FileRecord {
+        path: path.to_string(),
+        class,
+        items,
+        hot_calls,
+        allows,
+        fixed_draw_lines,
+        token_findings,
+    })
+}
+
+fn parse_item(v: &Value) -> Option<Item> {
+    let impl_type = match v.get("impl")? {
+        Value::Null => None,
+        Value::Str(s) => Some(s.clone()),
+        _ => return None,
+    };
+    let mut calls = Vec::new();
+    for cv in v.get("calls")?.arr()? {
+        calls.push(parse_call(cv)?);
+    }
+    let mut effects = Vec::new();
+    for ev in v.get("effects")?.arr()? {
+        let t = ev.arr()?;
+        let rule = match t.first()?.str()? {
+            "HOT101" => "HOT101",
+            "HOT102" => "HOT102",
+            "HOT103" => "HOT103",
+            _ => return None,
+        };
+        effects.push(Effect {
+            rule,
+            line: t.get(1)?.usize()?,
+            what: t.get(2)?.str()?.to_string(),
+        });
+    }
+    let mut draws = Vec::new();
+    for dv in v.get("draws")?.arr()? {
+        let t = dv.arr()?;
+        draws.push(Draw {
+            name: t.first()?.str()?.to_string(),
+            line: t.get(1)?.usize()?,
+            guarded: t.get(2)?.bool()?,
+        });
+    }
+    let mut rng_ctor_lines = Vec::new();
+    for rv in v.get("rng_ctors")?.arr()? {
+        rng_ctor_lines.push(rv.usize()?);
+    }
+    Some(Item {
+        name: v.get("name")?.str()?.to_string(),
+        impl_type,
+        is_pub: v.get("pub")?.bool()?,
+        has_rng_param: v.get("rng")?.bool()?,
+        hot_fn: v.get("hot_fn")?.bool()?,
+        line: v.get("line")?.usize()?,
+        end_line: v.get("end")?.usize()?,
+        calls,
+        effects,
+        draws,
+        rng_ctor_lines,
+    })
+}
+
+fn parse_call(v: &Value) -> Option<Call> {
+    let recv = match v.get("recv")? {
+        Value::Str(s) if s == "method" => Recv::Method,
+        Value::Str(s) if s == "bare" => Recv::Bare,
+        Value::Arr(segs) => {
+            let mut out = Vec::new();
+            for s in segs {
+                out.push(s.str()?.to_string());
+            }
+            Recv::Path(out)
+        }
+        _ => return None,
+    };
+    Some(Call {
+        name: v.get("name")?.str()?.to_string(),
+        line: v.get("line")?.usize()?,
+        recv,
+    })
+}
+
+/// Recursive-descent JSON reader — just enough for the cache schema
+/// (and strict enough to reject anything else into a cold run).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Option<Value> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::Str),
+            b't' => self.literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.literal("false").map(|()| Value::Bool(false)),
+            b'n' => self.literal("null").map(|()| Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Some(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Value::Obj(map));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Value> {
+        self.eat(b'[')?;
+        let mut arr = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Some(Value::Arr(arr));
+        }
+        loop {
+            arr.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Value::Arr(arr));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                &b if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: validate a bounded window only
+                    // (validating the whole remaining input here made
+                    // the parse quadratic in the cache size).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let s = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A 4-byte window can cut the *next* scalar in
+                        // half; the first one is still whole.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).ok()?
+                        }
+                        Err(_) => return None,
+                    };
+                    let c = s.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Value::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::parser::parse_file;
+    use crate::tokenizer::tokenize;
+
+    fn sample_record() -> FileRecord {
+        let src = "// lint: hot-fn\n\
+                   pub fn kernel(rng: &mut R, on: bool) -> f64 {\n\
+                   // lint: hot-loop\n\
+                   stage(1.0);\n\
+                   // lint: end-hot-loop\n\
+                   let s = x.to_string(); // lint: allow(HOT101): boundary\n\
+                   // lint: fixed-draw: contract\n\
+                   if on { standard_normal(rng) } else { 0.0 }\n\
+                   }\n\
+                   impl W {\n    fn helper(&self) { Self::go(); v.to_vec(); }\n    fn go() {}\n}\n";
+        let (toks, comments) = tokenize(src);
+        let ctx = FileContext::build(&toks, &comments);
+        let mut rec = parse_file(
+            "crates/core/src/scenario.rs",
+            FileClass::Library { numeric: true },
+            &toks,
+            &ctx,
+        );
+        rec.token_findings.push(Finding {
+            rule: "HYG001",
+            path: rec.path.clone(),
+            line: 6,
+            message: "quoted \"msg\" with\nnewline".into(),
+        });
+        rec
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let rec = sample_record();
+        let mut entries = Entries::new();
+        entries.insert(rec.path.clone(), (fnv1a(b"content"), rec.clone()));
+        let parsed = parse_cache(&render_cache(&entries)).expect("cache parses");
+        let (hash, back) = &parsed["crates/core/src/scenario.rs"];
+        assert_eq!(*hash, fnv1a(b"content"));
+        assert_eq!(back.class, rec.class);
+        assert_eq!(back.items.len(), rec.items.len());
+        for (a, b) in back.items.iter().zip(&rec.items) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.impl_type, b.impl_type);
+            assert_eq!(a.is_pub, b.is_pub);
+            assert_eq!(a.has_rng_param, b.has_rng_param);
+            assert_eq!(a.hot_fn, b.hot_fn);
+            assert_eq!(a.calls, b.calls);
+            assert_eq!(a.effects.len(), b.effects.len());
+            assert_eq!(a.draws.len(), b.draws.len());
+            assert_eq!(a.rng_ctor_lines, b.rng_ctor_lines);
+        }
+        assert_eq!(back.hot_calls, rec.hot_calls);
+        assert_eq!(back.allows, rec.allows);
+        assert_eq!(back.fixed_draw_lines, rec.fixed_draw_lines);
+        assert_eq!(back.token_findings, rec.token_findings);
+    }
+
+    #[test]
+    fn schema_mismatch_and_garbage_degrade_to_empty() {
+        assert!(parse_cache("not json at all").is_none());
+        assert!(parse_cache("{\"schema\": \"other-v9\", \"files\": {}}").is_none());
+        let ok = format!("{{\"schema\": \"{SCHEMA}\", \"files\": {{}}}}");
+        assert_eq!(parse_cache(&ok).map(|e| e.len()), Some(0));
+    }
+
+    #[test]
+    fn unknown_rule_ids_invalidate_the_entry() {
+        let rec = sample_record();
+        let mut entries = Entries::new();
+        entries.insert(rec.path.clone(), (1, rec));
+        let text = render_cache(&entries).replace("HYG001", "ZZZ999");
+        assert!(parse_cache(&text).is_none());
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"same"), fnv1a(b"same"));
+    }
+}

@@ -1,18 +1,26 @@
 //! Per-file lint context: directives, test regions, hot-loop regions.
 //!
-//! Three comment-borne mechanisms parameterise the rule engine:
+//! Five comment-borne mechanisms parameterise the rule engine:
 //!
 //! * **Allow escapes** — `// lint: allow(RULE1, RULE2): reason`
-//!   suppresses the named rules on exactly one line: a trailing
-//!   directive covers the code on its own line, a standalone comment
-//!   line covers the line immediately after it. The reason after the
-//!   colon is free text but strongly encouraged; the catalog treats an
-//!   allow as a reviewed, justified exception.
+//!   suppresses the named rules: a trailing directive covers the
+//!   statement it ends (every line from the statement's first token to
+//!   the comment's line, so rustfmt-wrapped statements stay covered), a
+//!   standalone comment line covers the next code line. The reason
+//!   after the colon is free text but strongly encouraged; the catalog
+//!   treats an allow as a reviewed, justified exception.
 //! * **Hot-loop regions** — `// lint: hot-loop` opens a region in
 //!   which the allocation-freedom rules (`HOT…`) apply;
 //!   `// lint: end-hot-loop` closes it. An unclosed region extends to
 //!   the end of the file (which makes the mistake self-revealing: the
 //!   rest of the file starts tripping HOT rules).
+//! * **Hot functions** — `// lint: hot-fn` above (or trailing on) a
+//!   `fn` item marks it as a hot-path root for the workspace
+//!   reachability pass (HOT101–HOT103): the function and everything it
+//!   transitively calls must stay allocation-free.
+//! * **Fixed draws** — `// lint: fixed-draw: reason` records that a
+//!   conditionally-guarded RNG draw in the scenario layer has been
+//!   reviewed against the fixed-draw-order contract (DRW001).
 //! * **SAFETY comments** — any comment containing `SAFETY` (or a
 //!   `# Safety` doc section) within three lines above an `unsafe`
 //!   token satisfies the unsafe-audit rule.
@@ -37,6 +45,10 @@ pub struct FileContext {
     allows: BTreeMap<String, BTreeSet<usize>>,
     /// Lines bearing a SAFETY (or `# Safety`) comment.
     safety_lines: BTreeSet<usize>,
+    /// Lines covered by a `// lint: hot-fn` annotation.
+    hot_fn_lines: BTreeSet<usize>,
+    /// Lines covered by a `// lint: fixed-draw: reason` annotation.
+    fixed_draw_lines: BTreeSet<usize>,
 }
 
 impl FileContext {
@@ -44,7 +56,8 @@ impl FileContext {
     pub fn build(toks: &[Tok], comments: &[Comment]) -> Self {
         let mut ctx = Self::default();
         let code_lines: BTreeSet<usize> = toks.iter().map(|t| t.line).collect();
-        ctx.scan_comments(comments, &code_lines);
+        let stmt_starts = statement_starts(toks);
+        ctx.scan_comments(comments, &code_lines, &stmt_starts);
         ctx.scan_test_regions(toks);
         ctx
     }
@@ -62,12 +75,38 @@ impl FileContext {
     }
 
     /// `true` if an allow directive for `rule` covers `line`: a
-    /// trailing directive covers its own line, a standalone comment
-    /// line covers the next line.
+    /// trailing directive covers the statement it ends, a standalone
+    /// comment line covers the next code line.
     pub fn allowed(&self, line: usize, rule: &str) -> bool {
         self.allows
             .get(rule)
             .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// The full allow map (rule id → covered lines), for serialization
+    /// into the workspace analysis cache.
+    pub fn allow_map(&self) -> &BTreeMap<String, BTreeSet<usize>> {
+        &self.allows
+    }
+
+    /// `true` if a `// lint: hot-fn` annotation covers `line`.
+    pub fn hot_fn_covers(&self, line: usize) -> bool {
+        self.hot_fn_lines.contains(&line)
+    }
+
+    /// `true` if a `// lint: fixed-draw` annotation covers `line`.
+    pub fn fixed_draw_covers(&self, line: usize) -> bool {
+        self.fixed_draw_lines.contains(&line)
+    }
+
+    /// The lines covered by `// lint: fixed-draw` annotations.
+    pub fn fixed_draw_lines(&self) -> &BTreeSet<usize> {
+        &self.fixed_draw_lines
+    }
+
+    /// The declared hot-loop regions, as inclusive line ranges.
+    pub fn hot_ranges(&self) -> &[(usize, usize)] {
+        &self.hot_ranges
     }
 
     /// `true` if a SAFETY comment sits on `line` or up to three lines
@@ -81,7 +120,30 @@ impl FileContext {
         !self.hot_ranges.is_empty()
     }
 
-    fn scan_comments(&mut self, comments: &[Comment], code_lines: &BTreeSet<usize>) {
+    fn scan_comments(
+        &mut self,
+        comments: &[Comment],
+        code_lines: &BTreeSet<usize>,
+        stmt_starts: &BTreeMap<usize, usize>,
+    ) {
+        // A trailing directive covers the statement it ends: every
+        // line from the statement's first token to the comment's line.
+        // This honours same-line allows regardless of where on the
+        // statement the violating token sits — including the rustfmt
+        // shape where a wrapped statement leaves the trailing comment
+        // on a later line than the violation. A standalone comment
+        // line covers the next code line (skipping blank lines).
+        let covered_lines = |line: usize| -> Vec<usize> {
+            if code_lines.contains(&line) {
+                let start = stmt_starts.get(&line).copied().unwrap_or(line);
+                (start..=line).collect()
+            } else {
+                match code_lines.range(line + 1..).next() {
+                    Some(&next) => vec![next],
+                    None => vec![line + 1],
+                }
+            }
+        };
         let mut open_hot: Option<usize> = None;
         for c in comments {
             let text = c.text.trim();
@@ -100,23 +162,21 @@ impl FileContext {
                 if let Some(start) = open_hot.take() {
                     self.hot_ranges.push((start, c.line));
                 }
+            } else if directive == "hot-fn" || directive.starts_with("hot-fn:") {
+                self.hot_fn_lines.extend(covered_lines(c.line));
+            } else if directive.starts_with("fixed-draw") {
+                self.fixed_draw_lines.extend(covered_lines(c.line));
             } else if let Some(args) = directive.strip_prefix("allow") {
                 let args = args.trim_start();
                 if let Some(inner) = args.strip_prefix('(').and_then(|a| a.split(')').next()) {
-                    // Trailing directive: covers the code on its own
-                    // line. Standalone comment line: covers the next.
-                    let covered = if code_lines.contains(&c.line) {
-                        c.line
-                    } else {
-                        c.line + 1
-                    };
+                    let covered = covered_lines(c.line);
                     for rule in inner.split(',') {
                         let rule = rule.trim();
                         if !rule.is_empty() {
                             self.allows
                                 .entry(rule.to_string())
                                 .or_default()
-                                .insert(covered);
+                                .extend(covered.iter().copied());
                         }
                     }
                 }
@@ -170,6 +230,23 @@ impl FileContext {
             k = end + 1;
         }
     }
+}
+
+/// For each line bearing code, the starting line of the last statement
+/// open (or ending) on that line. Statements are delimited lexically by
+/// `;`, `{` and `}` — an approximation that errs toward covering more
+/// of a wrapped statement, which is the safe direction for an allow.
+fn statement_starts(toks: &[Tok]) -> BTreeMap<usize, usize> {
+    let mut starts = BTreeMap::new();
+    let mut cur: Option<usize> = None;
+    for t in toks {
+        let start = *cur.get_or_insert(t.line);
+        starts.insert(t.line, start);
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            cur = None;
+        }
+    }
+    starts
 }
 
 /// `true` for `#[test]`, `#[cfg(test)]` and `#[cfg(all(test, …))]` —
@@ -241,6 +318,42 @@ mod tests {
         assert!(ctx.allowed(3, "HYG001"));
         assert!(!ctx.allowed(4, "HYG001"));
         assert!(!ctx.allowed(2, "HYG002"));
+    }
+
+    #[test]
+    fn trailing_allow_covers_the_whole_statement() {
+        // Regression: a trailing same-line allow must cover the
+        // violation even when rustfmt wraps the statement so that the
+        // comment lands on a later line than the violating token.
+        let src =
+            "let y = x.unwrap(\n); // lint: allow(HYG001): proven non-empty\nlet z = q.unwrap();\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.allowed(1, "HYG001"), "first statement line uncovered");
+        assert!(ctx.allowed(2, "HYG001"));
+        assert!(!ctx.allowed(3, "HYG001"), "next statement leaked");
+    }
+
+    #[test]
+    fn standalone_allow_skips_blank_lines_to_the_next_code_line() {
+        let ctx = ctx_of("// lint: allow(HYG001): below\n\nlet a = x.unwrap();\n");
+        assert!(ctx.allowed(3, "HYG001"));
+    }
+
+    #[test]
+    fn hot_fn_annotation_covers_the_item_line() {
+        let src = "// lint: hot-fn\nfn fast() {}\nfn slow() {}\n// lint: hot-fn: trailing form\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.hot_fn_covers(2));
+        assert!(!ctx.hot_fn_covers(3));
+    }
+
+    #[test]
+    fn fixed_draw_annotation_covers_its_statement() {
+        let src =
+            "let d = draw(rng); // lint: fixed-draw: config-level guard\nlet e = draw(rng);\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.fixed_draw_covers(1));
+        assert!(!ctx.fixed_draw_covers(2));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Workspace discovery, file classification and the analysis driver.
+//! Workspace discovery, file classification and the two-pass driver.
 //!
 //! The analyzer walks the *first-party* crates only (`crates/*/src`),
 //! never `vendor/` (offline API stubs we do not own) and never
@@ -6,9 +6,18 @@
 //!
 //! | crates        | class                 | rule families            |
 //! |---------------|-----------------------|--------------------------|
-//! | core, spice, sram, trap | numeric library | DET (incl. DET004), HOT, HYG, UNS |
-//! | units, waveform, analysis, samurai, (new crates) | library | DET, HOT, HYG, UNS |
-//! | bench, lint, any `src/bin/` file | tool   | HOT, UNS                 |
+//! | core, spice, sram, trap | numeric library | DET (incl. DET004), HOT, HYG, UNS, HOTPATH, DRAW, CG |
+//! | units, waveform, analysis, samurai, (new crates) | library | DET, HOT, HYG, UNS, HOTPATH, DRAW |
+//! | bench, lint, any `src/bin/` file | tool   | HOT, UNS, HOTPATH        |
+//!
+//! Analysis is two-pass. Pass 1 is per-file and embarrassingly
+//! cacheable: tokenize, run the token-level rules, and parse the item
+//! index ([`crate::parser`]). Pass 2 is whole-workspace: build the
+//! call graph over all item indexes, pruned by the first-party crate
+//! dependency graph read from the `Cargo.toml`s, and run the
+//! HOTPATH/DRAW/CALLGRAPH families ([`crate::callgraph`]). The
+//! optional content-hash cache ([`crate::cache`]) lets warm runs skip
+//! pass 1 entirely for unchanged files.
 //!
 //! Integration tests (`tests/`), benches and examples are not scanned:
 //! panicking and ad-hoc comparison are legitimate there, and the
@@ -16,11 +25,15 @@
 //! Unknown new crates default to the (non-numeric) library class, so a
 //! freshly added crate is linted strictly from its first commit.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::cache;
+use crate::callgraph::{CallGraph, DepMap};
 use crate::context::FileContext;
+use crate::parser::{parse_file, FileRecord};
 use crate::rules::{check_tokens, FileClass, Finding};
 use crate::tokenizer::tokenize;
 
@@ -30,17 +43,56 @@ const NUMERIC_CRATES: &[&str] = &["core", "spice", "sram", "trap"];
 /// Developer tooling: only hot-loop and unsafe rules apply.
 const TOOL_CRATES: &[&str] = &["bench", "lint"];
 
-/// Analyzes one source string under an explicit classification.
+/// The result of a full two-pass workspace analysis.
+pub struct WorkspaceAnalysis {
+    /// All findings (token-level and semantic), sorted.
+    pub findings: Vec<Finding>,
+    /// Per-file pass-1 output, in analysis order — build a
+    /// [`CallGraph`] over it for `--graph`.
+    pub records: Vec<FileRecord>,
+    /// The first-party crate dependency closure used for pruning.
+    pub deps: DepMap,
+    /// Files whose pass-1 output came from the cache.
+    pub cache_hits: usize,
+    /// Files analyzed cold.
+    pub cache_misses: usize,
+}
+
+/// Analyzes one source string under an explicit classification —
+/// token rules only (the historical single-pass surface, still used
+/// by unit tests).
 pub fn analyze_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
     let (toks, comments) = tokenize(src);
     let ctx = FileContext::build(&toks, &comments);
     check_tokens(path, class, &toks, &ctx)
 }
 
-/// Analyzes one file on disk under an explicit classification.
+/// Analyzes one source string with both passes: token rules plus the
+/// semantic families over a single-file call graph (no dependency
+/// pruning). This is what fixtures and explicit-path mode run.
+pub fn analyze_source_full(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
+    let rec = pass1(path, src, class);
+    let mut findings = rec.token_findings.clone();
+    let records = [rec];
+    findings.extend(CallGraph::build(&records, None).semantic_findings());
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Analyzes one file on disk under an explicit classification
+/// (token rules only).
 pub fn analyze_file(path: &Path, class: FileClass) -> io::Result<Vec<Finding>> {
     let src = fs::read_to_string(path)?;
     Ok(analyze_source(&path.display().to_string(), &src, class))
+}
+
+/// Pass 1 for one file: token findings plus the parsed item index.
+fn pass1(path: &str, src: &str, class: FileClass) -> FileRecord {
+    let (toks, comments) = tokenize(src);
+    let ctx = FileContext::build(&toks, &comments);
+    let mut rec = parse_file(path, class, &toks, &ctx);
+    rec.token_findings = check_tokens(path, class, &toks, &ctx);
+    rec
 }
 
 /// The classification of crate `name`.
@@ -54,10 +106,97 @@ pub fn classify_crate(name: &str) -> FileClass {
     }
 }
 
-/// Walks `root/crates/*/src` and analyzes every `.rs` file, in
-/// deterministic (sorted) order — the analyzer holds itself to the
-/// determinism contract it enforces.
+/// Walks `root/crates/*/src` and runs both passes; returns findings
+/// only. Kept as the stable entry point for callers that do not need
+/// the graph (`analyze_workspace_full` for the rest).
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace_full(root, None)?.findings)
+}
+
+/// The full two-pass workspace analysis. `cache_path`, when given,
+/// names the content-hash cache file (`target/lint-cache.json` by
+/// convention); it is read best-effort and rewritten after pass 1.
+pub fn analyze_workspace_full(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> io::Result<WorkspaceAnalysis> {
+    let old = cache_path.map(cache::load).unwrap_or_default();
+    let mut new_entries = cache::Entries::new();
+    let mut records = Vec::new();
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+
+    for (file, src_dir, crate_class) in workspace_files(root)? {
+        // Binary targets are tooling even inside library crates.
+        let class = if file
+            .strip_prefix(&src_dir)
+            .ok()
+            .is_some_and(|rel| rel.starts_with("bin"))
+        {
+            FileClass::Tool
+        } else {
+            crate_class
+        };
+        let src = fs::read_to_string(&file)?;
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        let hash = cache::fnv1a(src.as_bytes());
+        let rec = match old.get(&label) {
+            Some((h, cached)) if *h == hash && cached.class == class => {
+                cache_hits += 1;
+                cached.clone()
+            }
+            _ => {
+                cache_misses += 1;
+                pass1(&label, &src, class)
+            }
+        };
+        if cache_path.is_some() {
+            new_entries.insert(label, (hash, rec.clone()));
+        }
+        records.push(rec);
+    }
+    if let Some(p) = cache_path {
+        // Best-effort: a read-only target/ dir costs speed, not
+        // correctness.
+        let _ = cache::store(p, &new_entries);
+    }
+
+    let deps = crate_deps(root)?;
+    let mut findings: Vec<Finding> = records
+        .iter()
+        .flat_map(|r| r.token_findings.iter().cloned())
+        .collect();
+    findings.extend(CallGraph::build(&records, Some(&deps)).semantic_findings());
+    sort_findings(&mut findings);
+    Ok(WorkspaceAnalysis {
+        findings,
+        records,
+        deps,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Enumerates the workspace's first-party `.rs` files in
+/// deterministic (sorted) order — the analyzer holds itself to the
+/// determinism contract it enforces. Yields
+/// `(file, crate_src_dir, crate_class)`.
+fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, PathBuf, FileClass)>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -66,7 +205,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         .collect();
     crate_dirs.sort();
 
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for dir in crate_dirs {
         let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
             continue;
@@ -80,28 +219,69 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         collect_rs_files(&src_dir, &mut files)?;
         files.sort();
         for file in files {
-            // Binary targets are tooling even inside library crates.
-            let class = if file
-                .strip_prefix(&src_dir)
-                .ok()
-                .is_some_and(|rel| rel.starts_with("bin"))
-            {
-                FileClass::Tool
-            } else {
-                crate_class
-            };
-            let src = fs::read_to_string(&file)?;
-            let label = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            findings.extend(analyze_source(&label, &src, class));
+            out.push((file, src_dir.clone(), crate_class));
         }
     }
-    findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(findings)
+    Ok(out)
+}
+
+/// Reads the first-party dependency graph out of the crate manifests
+/// and closes it transitively. Keys and values are crate directory
+/// names (`core`, not `samurai-core`); every crate sees itself.
+pub fn crate_deps(root: &Path) -> io::Result<DepMap> {
+    let crates_dir = root.join("crates");
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let dir = entry?.path();
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let mut deps = BTreeSet::new();
+        deps.insert(name.clone());
+        for line in manifest.lines() {
+            // `samurai-core = { workspace = true }` (or a path dep) —
+            // the left-hand side names the first-party crate.
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("samurai-") {
+                if let Some(dep) = rest.split(['=', ' ', '.']).next() {
+                    if rest[dep.len()..].trim_start().starts_with('=') && !dep.is_empty() {
+                        deps.insert(dep.to_string());
+                    }
+                }
+            }
+        }
+        direct.insert(name, deps);
+    }
+
+    // Transitive closure (the graph is tiny; fixpoint iteration).
+    let mut closed = direct.clone();
+    loop {
+        let mut changed = false;
+        for name in direct.keys() {
+            let current: Vec<String> = closed[name].iter().cloned().collect();
+            let mut add = BTreeSet::new();
+            for dep in &current {
+                if let Some(next) = closed.get(dep) {
+                    for d in next {
+                        if !closed[name].contains(d) {
+                            add.insert(d.clone());
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                closed.get_mut(name).map(|s| s.extend(add)).unwrap_or(());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(closed)
 }
 
 /// Recursively collects `.rs` files under `dir`.
@@ -165,5 +345,17 @@ mod tests {
         let b = analyze_source("f.rs", src, class);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn full_analysis_adds_semantic_findings() {
+        let src = "// lint: hot-fn\npub fn kernel() { helper(); }\n\
+                   fn helper() { let v = Vec::new(); drop(v); }\n";
+        let class = FileClass::Library { numeric: true };
+        let token_only = analyze_source("k.rs", src, class);
+        assert!(token_only.is_empty(), "no token-level violation here");
+        let full = analyze_source_full("k.rs", src, class);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].rule, "HOT101");
     }
 }

@@ -167,6 +167,72 @@ pub const RULES: &[Rule] = &[
                   pre-allocated workspace buffer instead.",
     },
     Rule {
+        id: "HOT101",
+        title: "no allocation in hot-reachable functions",
+        contract: "no-alloc",
+        explain: "The call-graph pass extends the hot-loop contract transitively: any \
+                  function reachable from a `// lint: hot-loop` region or a \
+                  `// lint: hot-fn` annotation runs per iteration, so allocating \
+                  constructors (Vec::new, Box::new, String::from, format!, vec![], \
+                  to_string, to_owned, with_capacity) inside it are as bad as in the \
+                  loop body itself. The diagnostic renders the full call chain from \
+                  the hot root. Fix at the allocation site (workspace buffers, \
+                  preformatted data), or record a boundary-only path with \
+                  `// lint: allow(HOT101): reason`.",
+    },
+    Rule {
+        id: "HOT102",
+        title: "no clone/copy in hot-reachable functions",
+        contract: "no-alloc",
+        explain: ".clone()/.cloned()/.to_vec() in a function on a hot call chain copies \
+                  a buffer per iteration even though the loop body itself looks clean. \
+                  Restructure to borrow, reuse workspace storage, or justify a cold \
+                  error-path copy with `// lint: allow(HOT102): reason`.",
+    },
+    Rule {
+        id: "HOT103",
+        title: "no container growth in hot-reachable functions",
+        contract: "no-alloc",
+        explain: ".push()/.collect() in a hot-reachable function may reallocate per \
+                  iteration. Pre-size buffers at the hot boundary, or record \
+                  amortised-growth contracts with `// lint: allow(HOT103): reason`.",
+    },
+    Rule {
+        id: "DRW001",
+        title: "no guarded RNG draws in sampling modules",
+        contract: "determinism",
+        explain: "In scenario.rs/profile.rs every job must consume the same number of \
+                  draws in the same order, or per-job streams shift and results stop \
+                  being bit-identical across worker counts and config toggles. A draw \
+                  under `if`/`match` or after a conditional early `return` executes \
+                  for some jobs and not others. Fix: draw unconditionally and discard \
+                  (burn the slot), or annotate a deliberate stream-layout branch with \
+                  `// lint: fixed-draw: reason` on the draw's statement.",
+    },
+    Rule {
+        id: "DRW002",
+        title: "public sampling fns consume a threaded RNG",
+        contract: "determinism",
+        explain: "A public sampling fn that draws without taking an RNG parameter, or \
+                  that constructs its own (seed_from_u64/from_seed/from_rng), hides a \
+                  stream from the job-indexed seeding discipline: its draws cannot be \
+                  replayed or sharded deterministically. Thread the job-indexed RNG \
+                  through the signature; construction belongs to SeedStream alone \
+                  (`// lint: allow(DRW002): reason` for the defining site).",
+    },
+    Rule {
+        id: "CG001",
+        title: "no tool-crate calls on the ensemble path",
+        contract: "layering",
+        explain: "Functions in numeric crates reachable from `run_ensemble*` are the \
+                  reproducibility kernel; calling into tool-class crates \
+                  (samurai_bench::, samurai_lint::) from there would couple numeric \
+                  results to tooling that is free to read clocks and environments. \
+                  The call-graph pass reports the chain from the ensemble root. Fix: \
+                  invert the dependency (have the tool observe via telemetry), or \
+                  move the helper into a library crate.",
+    },
+    Rule {
         id: "HYG001",
         title: "no unwrap in library code",
         contract: "hygiene",
@@ -516,7 +582,18 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate rule id");
         for r in RULES {
-            assert_eq!(r.id.len(), 6, "{} must be FAMnnn", r.id);
+            // `FAMnnn` with a 2–3 letter family prefix (CG001, HYG001).
+            let (fam, num) = r.id.split_at(r.id.len() - 3);
+            assert!(
+                (2..=3).contains(&fam.len()) && fam.chars().all(|c| c.is_ascii_uppercase()),
+                "{} must be FAMnnn",
+                r.id
+            );
+            assert!(
+                num.chars().all(|c| c.is_ascii_digit()),
+                "{} must end in 3 digits",
+                r.id
+            );
             assert!(!r.explain.is_empty() && !r.title.is_empty());
         }
     }

@@ -1,12 +1,16 @@
 //! Fixture-corpus integration tests: every rule fires where the
 //! `//~ RULE` markers say it does, every rule is suppressible with an
 //! inline allow, and the clean counterparts are silent.
+//!
+//! Fixtures are analysed with the full two-pass pipeline (token rules
+//! plus the single-file call-graph pass), so the semantic families
+//! (HOT10x, DRW, CG) are exercised exactly like `--self-check` does.
 
 use std::collections::BTreeSet;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use samurai_lint::{analyze_file, analyze_source, FileClass, RULES};
+use samurai_lint::{analyze_source, analyze_source_full, FileClass, Finding, RULES};
 
 const STRICT: FileClass = FileClass::Library { numeric: true };
 
@@ -16,16 +20,31 @@ fn fixture_dir(sub: &str) -> PathBuf {
         .join(sub)
 }
 
+/// All `.rs` files under a fixture subtree, recursively — the DRW
+/// fixtures live in per-rule directories because their scope keys on
+/// the file name (`scenario.rs`).
 fn fixture_files(sub: &str) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        for entry in fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+            let p = entry.unwrap().path();
+            if p.is_dir() {
+                walk(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
     let dir = fixture_dir(sub);
-    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
-        .collect();
+    let mut files = Vec::new();
+    walk(&dir, &mut files);
     files.sort();
     assert!(!files.is_empty(), "no fixtures in {}", dir.display());
     files
+}
+
+fn analyze_fixture(path: &Path) -> Vec<Finding> {
+    let src = fs::read_to_string(path).unwrap();
+    analyze_source_full(&path.display().to_string(), &src, STRICT)
 }
 
 /// Parses the `//~ RULE` markers of a fixture into the expected
@@ -56,8 +75,7 @@ fn violation_fixtures_fire_exactly_the_marked_findings() {
             "{}: violation fixture carries no //~ markers",
             path.display()
         );
-        let mut got: Vec<(usize, String)> = analyze_file(&path, STRICT)
-            .unwrap()
+        let mut got: Vec<(usize, String)> = analyze_fixture(&path)
             .into_iter()
             .map(|f| (f.line, f.rule.to_string()))
             .collect();
@@ -75,7 +93,7 @@ fn violation_fixtures_fire_exactly_the_marked_findings() {
 fn every_rule_in_the_catalog_has_a_firing_fixture() {
     let mut fired = BTreeSet::new();
     for path in fixture_files("violations") {
-        for f in analyze_file(&path, STRICT).unwrap() {
+        for f in analyze_fixture(&path) {
             fired.insert(f.rule);
         }
     }
@@ -91,7 +109,7 @@ fn every_rule_in_the_catalog_has_a_firing_fixture() {
 #[test]
 fn allowed_fixtures_are_fully_suppressed() {
     for path in fixture_files("allowed") {
-        let findings = analyze_file(&path, STRICT).unwrap();
+        let findings = analyze_fixture(&path);
         assert!(
             findings.is_empty(),
             "{}: allow directives failed to suppress {:?}",
@@ -104,7 +122,7 @@ fn allowed_fixtures_are_fully_suppressed() {
 #[test]
 fn clean_fixtures_are_silent() {
     for path in fixture_files("clean") {
-        let findings = analyze_file(&path, STRICT).unwrap();
+        let findings = analyze_fixture(&path);
         assert!(
             findings.is_empty(),
             "{}: clean fixture is not clean: {:?}",
@@ -137,7 +155,7 @@ fn inserting_allows_suppresses_each_violation_fixture() {
                 }
             })
             .collect();
-        let findings = analyze_source("fixture.rs", &suppressed, STRICT);
+        let findings = analyze_source_full(&path.display().to_string(), &suppressed, STRICT);
         assert!(
             findings.is_empty(),
             "{}: inserted allows left {:?}",

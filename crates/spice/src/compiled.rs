@@ -869,15 +869,11 @@ impl CompiledCircuit {
     }
 
     /// The [`SpiceError::SingularMatrix`] for a pivot failure at
-    /// unknown `col`, carrying the unknown's name.
+    /// unknown `col`. Built on the Newton hot path, so it is
+    /// allocation-free: the error carries the index, and reporting
+    /// boundaries resolve it with [`Self::unknown_name`].
     pub(crate) fn singular_at(&self, col: usize) -> SpiceError {
-        SpiceError::SingularMatrix {
-            node: self
-                .unknown_names
-                .get(col)
-                .cloned()
-                .unwrap_or_else(|| format!("#{col}")),
-        }
+        SpiceError::SingularMatrix { col }
     }
 
     /// Rewrites the waveform of voltage/current source `id` (the
@@ -1313,7 +1309,7 @@ mod tests {
             )
             .unwrap_err();
         assert!(
-            matches!(&err, SpiceError::SingularMatrix { node } if node == "b"),
+            matches!(&err, SpiceError::SingularMatrix { col } if compiled.unknown_name(*col) == Some("b")),
             "the rank collapse surfaces at node b: {err:?}"
         );
     }
@@ -1369,7 +1365,7 @@ mod tests {
             )
             .unwrap_err();
         assert!(
-            matches!(&err, SpiceError::SingularMatrix { node } if node == "b"),
+            matches!(&err, SpiceError::SingularMatrix { col } if compiled.unknown_name(*col) == Some("b")),
             "sparse backend must agree with dense on the failing unknown: {err:?}"
         );
     }

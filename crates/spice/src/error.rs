@@ -11,11 +11,13 @@ pub enum SpiceError {
     /// The system matrix is singular (typically a floating subcircuit
     /// with gmin disabled, or a voltage-source loop).
     SingularMatrix {
-        /// Name of the MNA unknown whose pivot collapsed — a node name
-        /// for voltage unknowns, `i(v<branch>)` for voltage-source
-        /// branch currents, or `#<index>` when the failing system has
-        /// no circuit attached (raw linear-algebra callers).
-        node: String,
+        /// Index of the MNA unknown whose pivot collapsed. The error
+        /// is built on the Newton hot path, so it carries the plain
+        /// index (no allocation); resolve it to a node name with
+        /// [`CompiledCircuit::unknown_name`] at a reporting boundary.
+        ///
+        /// [`CompiledCircuit::unknown_name`]: crate::CompiledCircuit::unknown_name
+        col: usize,
     },
     /// Newton–Raphson failed to converge.
     NonConvergence {
@@ -73,8 +75,8 @@ pub enum SpiceError {
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::SingularMatrix { node } => {
-                write!(f, "singular system matrix (pivot lost at unknown `{node}`)")
+            Self::SingularMatrix { col } => {
+                write!(f, "singular system matrix (pivot lost at unknown #{col})")
             }
             Self::NonConvergence {
                 time,
@@ -127,9 +129,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let msg = SpiceError::SingularMatrix { node: "qb".into() }.to_string();
+        let msg = SpiceError::SingularMatrix { col: 3 }.to_string();
         assert!(msg.contains("singular"), "{msg}");
-        assert!(msg.contains("`qb`"), "{msg}");
+        assert!(msg.contains("#3"), "{msg}");
         let e = SpiceError::NonConvergence {
             time: 1e-9,
             iterations: 100,

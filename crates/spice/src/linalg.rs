@@ -54,6 +54,7 @@ impl DenseMatrix {
     }
 
     /// Adds `v` to entry `(r, c)` — the natural MNA stamping operation.
+    // lint: hot-fn
     #[inline]
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
@@ -113,9 +114,7 @@ impl DenseMatrix {
     /// Panics if the matrix is not square or `b.len() != rows`.
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
         self.solve_in_place_indexed(b)
-            .map_err(|col| SpiceError::SingularMatrix {
-                node: format!("#{col}"),
-            })
+            .map_err(|col| SpiceError::SingularMatrix { col })
     }
 
     /// [`solve_in_place`](Self::solve_in_place) returning the failing
@@ -222,7 +221,7 @@ mod tests {
         let mut b = vec![1.0, 2.0];
         assert_eq!(
             a.solve_in_place(&mut b),
-            Err(SpiceError::SingularMatrix { node: "#1".into() }),
+            Err(SpiceError::SingularMatrix { col: 1 }),
             "the rank collapse is first visible at the second pivot"
         );
     }

@@ -195,9 +195,9 @@ impl Circuit {
 
     /// Human-readable names of the MNA unknowns, in unknown order:
     /// node voltages first (by [`NodeId::unknown_index`]), then one
-    /// `i(v<branch>)` label per voltage-source branch current. Used by
-    /// the solvers to name the offending unknown in
-    /// [`SpiceError::SingularMatrix`] reports.
+    /// `i(v<branch>)` label per voltage-source branch current. Used at
+    /// reporting boundaries to resolve the unknown *index* carried by
+    /// [`SpiceError::SingularMatrix`] into a name.
     pub fn unknown_names(&self) -> Vec<String> {
         let mut names = vec![String::new(); self.unknown_count()];
         for (name, &id) in &self.names {

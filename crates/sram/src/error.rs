@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn conversions_and_sources() {
-        let e: SramError = SpiceError::SingularMatrix { node: "q".into() }.into();
+        let e: SramError = SpiceError::SingularMatrix { col: 1 }.into();
         assert!(e.to_string().contains("singular"));
         assert!(e.source().is_some());
         let e: SramError = CoreError::EmptyHorizon { t0: 0.0, tf: 0.0 }.into();

@@ -41,6 +41,7 @@ pub struct TransferCurve {
 
 impl TransferCurve {
     /// Linear interpolation of the output at `x` (clamped).
+    // lint: hot-fn
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.input.len();
         if x <= self.input[0] {

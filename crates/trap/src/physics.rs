@@ -104,6 +104,7 @@ impl PropensityModel {
     /// overflow. Each rate uses its own stable sigmoid evaluation so a
     /// rate ~1e-15 of `λΣ` still carries full relative precision (no
     /// `1 − p` cancellation).
+    // lint: hot-fn
     pub fn propensities(&self, v_gs: f64) -> (f64, f64) {
         let lb = self.ln_beta(v_gs);
         let sum = self.rate_sum();

@@ -215,15 +215,18 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     }
     if mean > 200.0 {
         // Normal approximation N(mean, mean).
+        // lint: fixed-draw: mean-dependent consumption is the sampler's documented contract
         let z = standard_normal(rng);
         let x = mean + mean.sqrt() * z;
         return x.round().max(0.0) as usize;
     }
     let limit = (-mean).exp();
     let mut count = 0usize;
+    // lint: fixed-draw: Knuth's method consumes a data-dependent number of uniforms by design
     let mut prod: f64 = rng.gen();
     while prod > limit {
         count += 1;
+        // lint: fixed-draw: Knuth's method consumes a data-dependent number of uniforms by design
         prod *= rng.gen::<f64>();
     }
     count

@@ -415,13 +415,14 @@ fn sparse_factorization_failure_names_the_offending_unknown() {
         // Partial pivoting defers the rank deficiency of the zeroed
         // row to the branch-current column — and both factorizations
         // agree on the unknown they blame.
-        assert_eq!(
-            err,
-            SpiceError::SingularMatrix {
-                node: "i(v0)".into()
-            },
-            "{choice:?} must name the unknown where the pivot was lost"
-        );
+        match &err {
+            SpiceError::SingularMatrix { col } => assert_eq!(
+                compiled.unknown_name(*col),
+                Some("i(v0)"),
+                "{choice:?} must index the unknown where the pivot was lost"
+            ),
+            other => panic!("{choice:?}: expected SingularMatrix, got {other:?}"),
+        }
     }
 }
 
