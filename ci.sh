@@ -54,6 +54,26 @@ cargo run -q --release -p samurai-bench --bin fig7_validation -- \
     --smoke --metrics target/metrics
 cargo run -q --release -p samurai-bench --bin validate_metrics -- \
     target/metrics/BENCH_fig7.json metrics/BENCH_fig7.json
+# Crash-safety gate: kill the fig7 smoke mid-ensemble with the
+# deterministic crash drill (exit 86, snapshot left behind),
+# schema-validate the snapshot, resume from it, and require the
+# resumed journal to be byte-identical to the uninterrupted run's
+# journal written by the fig7 gate above.
+rm -f target/metrics/fig7.ckpt
+set +e
+cargo run -q --release -p samurai-bench --bin fig7_validation -- \
+    --smoke --metrics target/metrics/crash \
+    --checkpoint target/metrics/fig7.ckpt --checkpoint-every 2 \
+    --kill-at-job 5
+kill_status=$?
+set -e
+test "$kill_status" -eq 86
+cargo run -q --release -p samurai-bench --bin validate_checkpoint -- \
+    target/metrics/fig7.ckpt
+cargo run -q --release -p samurai-bench --bin fig7_validation -- \
+    --smoke --metrics target/metrics/crash \
+    --checkpoint target/metrics/fig7.ckpt --resume
+cmp target/metrics/crash/JOURNAL_fig7.jsonl target/metrics/JOURNAL_fig7.jsonl
 # Solver-scaling artifact gate: the x6_column bin exercises both LU
 # backends on generated columns; validate the fresh smoke artifact
 # and the committed golden the same way.

@@ -13,12 +13,13 @@
 
 use samurai_analysis::{analytical, autocorr, psd, stats};
 use samurai_bench::{
-    banner, failure_policy_from_args, parallelism_from_args, smoke_from_args, write_tagged_csv,
-    BenchSession,
+    banner, failure_policy_from_args, parallelism_from_args, run_controls_from_args,
+    smoke_from_args, write_tagged_csv, BenchSession,
 };
-use samurai_core::ensemble::{run_ensemble_resilient_observed, ExecutionPolicy, IndexedResults};
+use samurai_core::checkpoint::{run_ensemble_checkpointed, RunControls, Snapshot};
+use samurai_core::ensemble::{Completion, ExecutionPolicy, IndexedResults};
 use samurai_core::faults::FaultPlan;
-use samurai_core::telemetry::JobProbe;
+use samurai_core::telemetry::{JobProbe, JsonValue};
 use samurai_core::{
     simulate_trap_probed, single_trap_amplitude, CoreError, SeedStream, UniformisationConfig,
 };
@@ -33,6 +34,90 @@ struct Config {
     v_gs: f64,
     e_tr_ev: f64,
     y_tr_nm: f64,
+}
+
+/// One panel's full output, carried through the ensemble engine (and,
+/// under `--checkpoint`, through the snapshot file).
+struct PanelResult {
+    autocorr_rows: Vec<(String, Vec<f64>)>,
+    psd_rows: Vec<(String, Vec<f64>)>,
+    summary: (String, f64, f64, f64),
+    report: String,
+}
+
+/// Tagged CSV rows as a snapshot member; floats travel as IEEE-754 bit
+/// patterns so a resumed run regenerates byte-identical CSVs.
+fn rows_to_snapshot(rows: &[(String, Vec<f64>)]) -> JsonValue {
+    JsonValue::Arr(
+        rows.iter()
+            .map(|(tag, nums)| {
+                JsonValue::Arr(vec![
+                    JsonValue::Str(tag.clone()),
+                    JsonValue::Arr(nums.iter().map(|v| JsonValue::U64(v.to_bits())).collect()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn rows_from_snapshot(v: &JsonValue) -> Option<Vec<(String, Vec<f64>)>> {
+    let JsonValue::Arr(rows) = v else {
+        return None;
+    };
+    rows.iter()
+        .map(|row| {
+            let JsonValue::Arr(pair) = row else {
+                return None;
+            };
+            let [JsonValue::Str(tag), JsonValue::Arr(nums)] = pair.as_slice() else {
+                return None;
+            };
+            let nums = nums
+                .iter()
+                .map(|n| Some(f64::from_bits(n.as_u64()?)))
+                .collect::<Option<Vec<f64>>>()?;
+            Some((tag.clone(), nums))
+        })
+        .collect()
+}
+
+impl Snapshot for PanelResult {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("autocorr", rows_to_snapshot(&self.autocorr_rows)),
+            ("psd", rows_to_snapshot(&self.psd_rows)),
+            (
+                "summary",
+                JsonValue::Arr(vec![
+                    JsonValue::Str(self.summary.0.clone()),
+                    JsonValue::U64(self.summary.1.to_bits()),
+                    JsonValue::U64(self.summary.2.to_bits()),
+                    JsonValue::U64(self.summary.3.to_bits()),
+                ]),
+            ),
+            ("report", JsonValue::Str(self.report.clone())),
+        ])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(summary) = v.get("summary")? else {
+            return None;
+        };
+        let [JsonValue::Str(label), a, b, c] = summary.as_slice() else {
+            return None;
+        };
+        Some(Self {
+            autocorr_rows: rows_from_snapshot(v.get("autocorr")?)?,
+            psd_rows: rows_from_snapshot(v.get("psd")?)?,
+            summary: (
+                label.clone(),
+                f64::from_bits(a.as_u64()?),
+                f64::from_bits(b.as_u64()?),
+                f64::from_bits(c.as_u64()?),
+            ),
+            report: v.get("report")?.as_str()?.to_owned(),
+        })
+    }
 }
 
 fn main() {
@@ -75,10 +160,17 @@ fn main() {
     // at every worker count.
     let parallelism = parallelism_from_args();
     let smoke = smoke_from_args();
+    let control_args = run_controls_from_args();
     let mut session = BenchSession::from_args("fig7");
+    let faults = match control_args.kill_at_job {
+        // The crash drill: exit hard just before job N, leaving the
+        // latest snapshot on disk for a `--resume` run to pick up.
+        Some(n) => FaultPlan::none().kill_at_job(n),
+        None => FaultPlan::none(),
+    };
     let policy = ExecutionPolicy {
         failure: failure_policy_from_args(),
-        faults: FaultPlan::none(),
+        faults,
         seed: 1000,
     };
     println!(
@@ -89,19 +181,34 @@ fn main() {
         "failure policy: {:?} (--failure-policy fail-fast|retry[:R]|quarantine[:M[:R]])",
         policy.failure
     );
+    if let Some(path) = &control_args.checkpoint.path {
+        println!(
+            "checkpoint: {} every {} jobs{} (--checkpoint PATH / --checkpoint-every N / --resume)",
+            path.display(),
+            control_args.checkpoint.every_jobs,
+            if control_args.checkpoint.resume {
+                ", resuming"
+            } else {
+                ""
+            },
+        );
+    }
+    if let Some(max) = control_args.budget.max_jobs {
+        println!("budget: at most {max} jobs (--max-jobs N)");
+    }
     if smoke {
         println!("smoke mode: traces shortened to the validation minimum");
     }
-    struct PanelResult {
-        autocorr_rows: Vec<(String, Vec<f64>)>,
-        psd_rows: Vec<(String, Vec<f64>)>,
-        summary: (String, f64, f64, f64),
-        report: String,
-    }
-    let outcome = run_ensemble_resilient_observed(
+    let controls = RunControls {
+        checkpoint: control_args.checkpoint,
+        budget: control_args.budget,
+        deadline: None,
+    };
+    let outcome = run_ensemble_checkpointed(
         configs.len(),
         parallelism,
         &policy,
+        &controls,
         session.recorder_mut(),
         IndexedResults::new,
         |idx, rung, probe: &mut JobProbe| -> Result<PanelResult, CoreError> {
@@ -206,6 +313,20 @@ fn main() {
         );
         print!("{}", outcome.report.journal().to_jsonl());
     }
+    let completed_jobs = match outcome.completion {
+        Completion::Complete => configs.len(),
+        Completion::Truncated {
+            completed,
+            remaining,
+        } => {
+            println!(
+                "budget exhausted: {completed} of {} panels done, {remaining} remaining \
+                 (rerun with --resume to continue)",
+                configs.len(),
+            );
+            completed
+        }
+    };
     let panels: Vec<PanelResult> = outcome.acc.into_vec();
 
     let mut autocorr_rows: Vec<(String, Vec<f64>)> = Vec::new();
@@ -243,5 +364,5 @@ fn main() {
         }
     );
     println!("csv: {} and {}", ac_path.display(), psd_path.display());
-    session.finish(configs.len());
+    session.finish(completed_jobs);
 }

@@ -1,0 +1,49 @@
+//! CI gate for crash-safety snapshots: parse a `samurai-checkpoint-v1`
+//! file, recompute its content hash over the canonical payload
+//! serialisation and reject schema gaps.
+//!
+//! Run with
+//! `cargo run -p samurai-bench --bin validate_checkpoint -- <path>...`;
+//! exits non-zero listing every violation, so `ci.sh` can validate the
+//! snapshot a kill-and-resume drill leaves behind.
+
+use samurai_bench::validate_checkpoint_snapshot;
+use samurai_core::telemetry::json;
+use std::process::ExitCode;
+
+fn validate_file(path: &str) -> Result<(), Vec<String>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+    let doc = json::parse(&text).map_err(|e| vec![format!("invalid JSON in {path}: {e}")])?;
+    let errors = validate_checkpoint_snapshot(&doc);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_checkpoint <snapshot.ckpt>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(errors) => {
+                failed = true;
+                for error in errors {
+                    eprintln!("{path}: {error}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

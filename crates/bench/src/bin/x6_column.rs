@@ -14,9 +14,11 @@
 //! `--metrics DIR` writes `BENCH_x6_column.json` + journal.
 
 use samurai_bench::{
-    banner, failure_policy_from_args, parallelism_from_args, smoke_from_args, timed, write_csv,
-    BenchSession,
+    banner, failure_policy_from_args, parallelism_from_args, run_controls_from_args,
+    smoke_from_args, timed, write_csv, BenchSession,
 };
+use samurai_core::ensemble::Completion;
+use samurai_core::faults::FaultPlan;
 use samurai_core::telemetry::JsonValue;
 use samurai_spice::{DcConfig, NewtonWorkspace, SolverChoice, SolverKind, TransientConfig};
 use samurai_sram::{
@@ -117,6 +119,19 @@ fn main() {
 
     banner("X6-column part B: column RTN ensemble (8 rows, auto backend)");
     let members = if smoke { 2 } else { 6 };
+    let controls = run_controls_from_args();
+    if let Some(path) = &controls.checkpoint.path {
+        println!(
+            "checkpoint: {} every {} jobs{}",
+            path.display(),
+            controls.checkpoint.every_jobs,
+            if controls.checkpoint.resume {
+                ", resuming"
+            } else {
+                ""
+            },
+        );
+    }
     let config = ColumnEnsembleConfig {
         column: ColumnConfig {
             rows: 8,
@@ -128,6 +143,13 @@ fn main() {
         seed: 42,
         parallelism,
         failure,
+        faults: match controls.kill_at_job {
+            // Crash drill: exit hard before member N, snapshot intact.
+            Some(n) => FaultPlan::none().kill_at_job(n),
+            None => FaultPlan::none(),
+        },
+        checkpoint: controls.checkpoint,
+        budget: controls.budget,
         ..ColumnEnsembleConfig::default()
     };
     let auto = SramColumn::build(&config.column)
@@ -152,6 +174,16 @@ fn main() {
         stats.total_disturbs(),
         stats.total_rtn_events(),
     );
+    if let Completion::Truncated {
+        completed,
+        remaining,
+    } = stats.completion
+    {
+        println!(
+            "budget exhausted: {completed} of {members} members done, {remaining} remaining \
+             (rerun with --resume to continue)"
+        );
+    }
 
     banner("X6-column verdict");
     println!(
@@ -174,7 +206,7 @@ fn main() {
             ("nnz_64", JsonValue::U64(nnz_64 as u64)),
         ]),
     )];
-    if let Some(path) = session.finish_with_extras(members, extras) {
+    if let Some(path) = session.finish_with_extras(stats.effective_members(), extras) {
         println!("metrics: {}", path.display());
     }
 }

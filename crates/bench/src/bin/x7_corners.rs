@@ -16,9 +16,10 @@
 use std::collections::BTreeSet;
 
 use samurai_bench::{
-    banner, failure_policy_from_args, parallelism_from_args, smoke_from_args, timed, write_csv,
-    BenchSession,
+    banner, failure_policy_from_args, parallelism_from_args, run_controls_from_args,
+    smoke_from_args, timed, write_csv, BenchSession,
 };
+use samurai_core::faults::FaultPlan;
 use samurai_core::scenario::{ScenarioConfig, NOMINAL_TEMPERATURE};
 use samurai_core::telemetry::{JournalEvent, JsonValue};
 use samurai_sram::margin::EOL_STRESS_SECONDS;
@@ -45,7 +46,20 @@ fn main() {
     let smoke = smoke_from_args();
     let parallelism = parallelism_from_args();
     let failure = failure_policy_from_args();
+    let controls = run_controls_from_args();
     let mut session = BenchSession::from_args("x7_corners");
+    if let Some(path) = &controls.checkpoint.path {
+        println!(
+            "checkpoint: {}.<corner> every {} jobs{} (one snapshot per grid point)",
+            path.display(),
+            controls.checkpoint.every_jobs,
+            if controls.checkpoint.resume {
+                ", resuming"
+            } else {
+                ""
+            },
+        );
+    }
 
     let vdd_corners: &[f64] = if smoke { &[0.9, 1.1] } else { &[0.9, 1.0, 1.1] };
     let stress_times: &[f64] = if smoke {
@@ -72,6 +86,15 @@ fn main() {
     let mut total_wall = 0.0;
     for (i, &vdd) in vdd_corners.iter().enumerate() {
         for (j, &stress) in stress_times.iter().enumerate() {
+            // Each grid point is its own ensemble, so each gets its
+            // own snapshot file (suffix = corner index); the budget
+            // and the kill drill apply per point.
+            let mut checkpoint = controls.checkpoint.clone();
+            if let Some(path) = &mut checkpoint.path {
+                let mut name = path.clone().into_os_string();
+                name.push(format!(".{i}_{j}"));
+                *path = name.into();
+            }
             let config = ColumnEnsembleConfig {
                 column: ColumnConfig {
                     rows,
@@ -84,6 +107,12 @@ fn main() {
                 seed: 100 + (i * stress_times.len() + j) as u64,
                 parallelism,
                 failure,
+                faults: match controls.kill_at_job {
+                    Some(n) => FaultPlan::none().kill_at_job(n),
+                    None => FaultPlan::none(),
+                },
+                checkpoint,
+                budget: controls.budget,
                 ..ColumnEnsembleConfig::default()
             };
             let (stats, wall) = timed(|| {

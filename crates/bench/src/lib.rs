@@ -11,8 +11,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use samurai_core::checkpoint::{CheckpointConfig, RunBudget};
 use samurai_core::telemetry::{JsonValue, MemoryRecorder};
-use samurai_core::{FailurePolicy, Parallelism};
+use samurai_core::{fnv1a64, FailurePolicy, Parallelism, CHECKPOINT_SCHEMA};
 
 /// Parses `--threads N` from the binary's command line: `N = 0` (or an
 /// absent flag with `SAMURAI_THREADS` unset) means all available cores,
@@ -87,6 +88,103 @@ pub fn parse_failure_policy(spec: &str) -> FailurePolicy {
             max_failures: first.unwrap_or(1),
         },
         _ => FailurePolicy::FailFast,
+    }
+}
+
+/// Crash-safety knobs parsed from a binary's command line by
+/// [`run_controls_from_args`].
+#[derive(Debug, Clone, Default)]
+pub struct RunControlArgs {
+    /// Snapshot configuration assembled from `--checkpoint PATH`,
+    /// `--checkpoint-every N` and `--resume`.
+    pub checkpoint: CheckpointConfig,
+    /// Deterministic work ceiling from `--max-jobs N`.
+    pub budget: RunBudget,
+    /// Crash drill: `--kill-at-job N` makes the run exit with
+    /// [`samurai_core::KILL_EXIT`] just before job `N` starts, after
+    /// the latest checkpoint is on disk. Route it into the fault plan
+    /// with [`samurai_core::FaultPlan::kill_at_job`].
+    pub kill_at_job: Option<usize>,
+}
+
+/// Parses the crash-safety flags shared by the ensemble binaries:
+///
+/// * `--checkpoint PATH` — snapshot ensemble progress into `PATH`
+///   (atomically, after every completed segment);
+/// * `--checkpoint-every N` — snapshot cadence in jobs (default 64);
+/// * `--resume` — restore a matching snapshot at `PATH` before
+///   running; an invalid or foreign snapshot degrades to a cold start
+///   with a journaled note;
+/// * `--max-jobs N` — stop cleanly after at most `N` jobs and report a
+///   `Truncated` completion;
+/// * `--kill-at-job N` — the crash drill used by `ci.sh`.
+///
+/// Environment fallbacks mirror the other parsers: `SAMURAI_CHECKPOINT`,
+/// `SAMURAI_CHECKPOINT_EVERY`, `SAMURAI_RESUME`, `SAMURAI_MAX_JOBS`,
+/// `SAMURAI_KILL_AT_JOB`.
+pub fn run_controls_from_args() -> RunControlArgs {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<PathBuf> = None;
+    let mut every: Option<usize> = None;
+    let mut resume = false;
+    let mut max_jobs: Option<usize> = None;
+    let mut kill_at_job: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => path = args.next().map(PathBuf::from),
+            "--checkpoint-every" => every = args.next().and_then(|v| v.parse().ok()),
+            "--resume" => resume = true,
+            "--max-jobs" => max_jobs = args.next().and_then(|v| v.parse().ok()),
+            "--kill-at-job" => kill_at_job = args.next().and_then(|v| v.parse().ok()),
+            _ => {
+                if let Some(v) = arg.strip_prefix("--checkpoint=") {
+                    path = Some(PathBuf::from(v));
+                } else if let Some(v) = arg.strip_prefix("--checkpoint-every=") {
+                    every = v.parse().ok();
+                } else if let Some(v) = arg.strip_prefix("--max-jobs=") {
+                    max_jobs = v.parse().ok();
+                } else if let Some(v) = arg.strip_prefix("--kill-at-job=") {
+                    kill_at_job = v.parse().ok();
+                }
+            }
+        }
+    }
+    let path = path.or_else(|| std::env::var_os("SAMURAI_CHECKPOINT").map(PathBuf::from));
+    let every = every.or_else(|| {
+        std::env::var("SAMURAI_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    let resume = resume || std::env::var_os("SAMURAI_RESUME").is_some();
+    let max_jobs = max_jobs.or_else(|| {
+        std::env::var("SAMURAI_MAX_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    let kill_at_job = kill_at_job.or_else(|| {
+        std::env::var("SAMURAI_KILL_AT_JOB")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+
+    let mut checkpoint = match path {
+        Some(p) => CheckpointConfig::to_file(p),
+        None => CheckpointConfig::default(),
+    };
+    if let Some(n) = every {
+        checkpoint = checkpoint.every(n);
+    }
+    if resume {
+        checkpoint = checkpoint.resuming();
+    }
+    let mut budget = RunBudget::unlimited();
+    if let Some(n) = max_jobs {
+        budget = budget.jobs(n);
+    }
+    RunControlArgs {
+        checkpoint,
+        budget,
+        kill_at_job,
     }
 }
 
@@ -328,6 +426,102 @@ pub fn validate_bench_summary(doc: &JsonValue) -> Vec<String> {
     errors
 }
 
+/// Validates a `samurai-checkpoint-v1` snapshot document: schema tag,
+/// content hash recomputed over the canonical payload serialisation,
+/// and the payload fields the resume path depends on. Returns the
+/// error list (empty = valid). Used by `ci.sh` via the
+/// `validate_checkpoint` binary.
+pub fn validate_checkpoint_snapshot(doc: &JsonValue) -> Vec<String> {
+    fn check_u64(errors: &mut Vec<String>, v: Option<&JsonValue>, path: &str) {
+        if v.and_then(JsonValue::as_u64).is_none() {
+            errors.push(format!("missing integer: {path}"));
+        }
+    }
+    let mut errors = Vec::new();
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(CHECKPOINT_SCHEMA) {
+        errors.push(format!("schema is not {CHECKPOINT_SCHEMA}"));
+    }
+    let hash = doc.get("hash").and_then(JsonValue::as_u64);
+    if hash.is_none() {
+        errors.push("missing integer: hash".to_owned());
+    }
+    let Some(payload) = doc.get("payload") else {
+        errors.push("missing object: payload".to_owned());
+        return errors;
+    };
+    if let Some(expected) = hash {
+        // The writer hashes the payload's canonical serialisation, and
+        // every payload number is an integer (floats travel as IEEE-754
+        // bit patterns), so parse → re-serialise is the identity and
+        // the hash is recomputable from the parsed tree.
+        let actual = fnv1a64(payload.to_json().as_bytes());
+        if actual != expected {
+            errors.push(format!(
+                "content hash mismatch: document says {expected}, payload hashes to {actual}"
+            ));
+        }
+    }
+    for key in ["jobs", "seed", "shards_done"] {
+        check_u64(&mut errors, payload.get(key), key);
+    }
+    match payload.get("failure") {
+        Some(failure) => {
+            if failure.get("kind").and_then(JsonValue::as_str).is_none() {
+                errors.push("missing string: failure.kind".to_owned());
+            }
+        }
+        None => errors.push("missing object: failure".to_owned()),
+    }
+    if payload.get("acc").is_none() {
+        errors.push("missing member: acc".to_owned());
+    }
+    match payload.get("rescued") {
+        Some(JsonValue::Arr(rescued)) => {
+            for (i, entry) in rescued.iter().enumerate() {
+                match entry {
+                    JsonValue::Arr(pair) if pair.len() == 2 => {
+                        for (j, v) in pair.iter().enumerate() {
+                            if v.as_u64().is_none() {
+                                errors.push(format!("missing integer: rescued[{i}][{j}]"));
+                            }
+                        }
+                    }
+                    _ => errors.push(format!("rescued[{i}] is not a [job, rung] pair")),
+                }
+            }
+        }
+        _ => errors.push("missing array: rescued".to_owned()),
+    }
+    match payload.get("quarantined") {
+        Some(JsonValue::Arr(quarantined)) => {
+            for (i, entry) in quarantined.iter().enumerate() {
+                for key in ["job", "seed", "rungs_attempted"] {
+                    check_u64(
+                        &mut errors,
+                        entry.get(key),
+                        &format!("quarantined[{i}].{key}"),
+                    );
+                }
+                if entry.get("error").is_none() {
+                    errors.push(format!("missing member: quarantined[{i}].error"));
+                }
+            }
+        }
+        _ => errors.push("missing array: quarantined".to_owned()),
+    }
+    match payload.get("records") {
+        Some(JsonValue::Arr(records)) => {
+            for (i, record) in records.iter().enumerate() {
+                for key in ["job", "seconds_bits"] {
+                    check_u64(&mut errors, record.get(key), &format!("records[{i}].{key}"));
+                }
+            }
+        }
+        _ => errors.push("missing array: records".to_owned()),
+    }
+    errors
+}
+
 /// Validates a `samurai-lint --graph` dump: schema tag, node records
 /// with dense sequential ids and boolean reachability flags, edges and
 /// roots whose targets stay in range. Returns the error list (empty =
@@ -531,6 +725,97 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("edges[0].to")));
         assert!(errors.iter().any(|e| e.contains("hot_roots[0].kind")));
         assert!(errors.iter().any(|e| e.contains("ensemble_roots")));
+    }
+
+    #[test]
+    fn default_run_controls_are_passive() {
+        // No crash-safety flags and a clean environment: the parsed
+        // controls must leave the legacy single-segment path intact.
+        for var in [
+            "SAMURAI_CHECKPOINT",
+            "SAMURAI_CHECKPOINT_EVERY",
+            "SAMURAI_RESUME",
+            "SAMURAI_MAX_JOBS",
+            "SAMURAI_KILL_AT_JOB",
+        ] {
+            std::env::remove_var(var);
+        }
+        let controls = run_controls_from_args();
+        assert_eq!(controls.checkpoint, CheckpointConfig::default());
+        assert!(controls.budget.is_unlimited());
+        assert_eq!(controls.kill_at_job, None);
+    }
+
+    #[test]
+    fn checkpoint_snapshots_validate_and_reject_gaps() {
+        let payload = JsonValue::obj(vec![
+            ("jobs", JsonValue::U64(8)),
+            ("seed", JsonValue::U64(17)),
+            (
+                "failure",
+                JsonValue::obj(vec![("kind", JsonValue::Str("fail_fast".into()))]),
+            ),
+            ("shards_done", JsonValue::U64(3)),
+            (
+                "acc",
+                JsonValue::obj(vec![("slots", JsonValue::Arr(vec![]))]),
+            ),
+            (
+                "rescued",
+                JsonValue::Arr(vec![JsonValue::Arr(vec![
+                    JsonValue::U64(2),
+                    JsonValue::U64(1),
+                ])]),
+            ),
+            (
+                "quarantined",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("job", JsonValue::U64(5)),
+                    ("seed", JsonValue::U64(9)),
+                    ("rungs_attempted", JsonValue::U64(2)),
+                    ("error", JsonValue::obj(vec![])),
+                ])]),
+            ),
+            (
+                "records",
+                JsonValue::Arr(vec![JsonValue::obj(vec![
+                    ("job", JsonValue::U64(0)),
+                    ("seconds_bits", JsonValue::U64(0)),
+                ])]),
+            ),
+        ]);
+        let hash = fnv1a64(payload.to_json().as_bytes());
+        let good = JsonValue::obj(vec![
+            ("schema", JsonValue::Str(CHECKPOINT_SCHEMA.into())),
+            ("hash", JsonValue::U64(hash)),
+            ("payload", payload.clone()),
+        ]);
+        assert!(validate_checkpoint_snapshot(&good).is_empty());
+
+        // A flipped hash must be called out as corruption.
+        let torn = JsonValue::obj(vec![
+            ("schema", JsonValue::Str(CHECKPOINT_SCHEMA.into())),
+            ("hash", JsonValue::U64(hash ^ 1)),
+            ("payload", payload),
+        ]);
+        let errors = validate_checkpoint_snapshot(&torn);
+        assert!(errors.iter().any(|e| e.contains("hash mismatch")));
+
+        let bad = JsonValue::obj(vec![
+            ("schema", JsonValue::Str("wrong".into())),
+            (
+                "payload",
+                JsonValue::obj(vec![("rescued", JsonValue::Arr(vec![JsonValue::U64(3)]))]),
+            ),
+        ]);
+        let errors = validate_checkpoint_snapshot(&bad);
+        assert!(errors.iter().any(|e| e.contains("schema")));
+        assert!(errors.iter().any(|e| e.contains("missing integer: hash")));
+        assert!(errors.iter().any(|e| e.contains("jobs")));
+        assert!(errors.iter().any(|e| e.contains("failure")));
+        assert!(errors.iter().any(|e| e.contains("rescued[0]")));
+        assert!(errors.iter().any(|e| e.contains("quarantined")));
+        assert!(errors.iter().any(|e| e.contains("records")));
     }
 
     #[test]

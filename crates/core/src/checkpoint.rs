@@ -1,0 +1,1351 @@
+//! Crash-safe checkpointed ensembles: deterministic checkpoint/resume,
+//! run budgets with graceful degradation, and the process-kill drill.
+//!
+//! Long Monte-Carlo campaigns (the §V array sweeps run for hours) die
+//! for boring reasons — preemption, OOM killers, power loss — and a
+//! deterministic engine makes *exact* recovery possible: because the
+//! shard structure and merge tree of [`crate::ensemble::run_ensemble`]
+//! depend only on the job count, a run can be sliced at any shard
+//! boundary, its running state serialised, and continued later with
+//! **bit-identical** results. This module implements that slicing:
+//!
+//! * [`CheckpointConfig`] — where and how often to snapshot. Snapshots
+//!   are written atomically (temp-file sibling + rename), so a crash
+//!   mid-write leaves the previous snapshot intact; a torn, corrupted
+//!   or version-mismatched snapshot is detected on load (FNV-1a
+//!   content hash + schema/fingerprint checks) and degrades to a cold
+//!   start with a journaled note — never an error.
+//! * [`RunBudget`] — deterministic job-count and solver-effort
+//!   ceilings, plus an injectable wall-clock
+//!   [`Deadline`] (kept behind a trait so
+//!   `std::time` stays confined to `samurai-telemetry`, lint rule
+//!   `DET001`). An exhausted budget stops the run cleanly at a shard
+//!   boundary and tags the partial outcome
+//!   [`Completion::Truncated`]; the completed prefix is bit-identical
+//!   to the same prefix of an unbudgeted run.
+//! * [`run_ensemble_checkpointed`] — the resilient observed entry
+//!   point with both of the above plus the crash drill: a
+//!   [`FaultPlan::kill_at_job`](crate::FaultPlan::kill_at_job)
+//!   trigger terminates the process (exit code [`KILL_EXIT`]) right
+//!   before the segment containing that job, which is how the test
+//!   suite proves kill-then-resume reproduces an uninterrupted run
+//!   byte-for-byte (accumulator, outcome *and* journal).
+//!
+//! # Why checkpoints cut at shard boundaries
+//!
+//! Floating-point addition is not associative, so the engine's merge
+//! tree `((s₀ ⊕ s₁) ⊕ s₂) ⊕ …` must be reproduced exactly. A snapshot
+//! therefore stores the running merged accumulator *after an integer
+//! number of shards* and the resumed run continues the same left
+//! fold — partial shards would change the tree shape and break bit
+//! identity. The configured cadence ([`CheckpointConfig::every_jobs`])
+//! is rounded up to whole shards accordingly.
+//!
+//! # Snapshot format
+//!
+//! One JSON document: `{"schema":"samurai-checkpoint-v1","hash":H,
+//! "payload":{…}}` where `H` is the FNV-1a-64 hash of the payload's
+//! serialised text. Every number in the payload is an exact `u64`
+//! (floats travel as IEEE-754 bit patterns), so parse → re-serialise
+//! is canonical and the validator can recompute `H` from the parsed
+//! tree. The payload fingerprint (`jobs`, `seed`, failure policy) must
+//! match the resuming run; the fault plan is deliberately *excluded*
+//! so a crash-drill run's snapshot is resumable by a plain run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process;
+
+use samurai_telemetry::json::{self, JsonValue};
+use samurai_telemetry::{Deadline, JobProbe, JobRecord, MetricsSink, Recorder};
+use samurai_waveform::WaveformError;
+
+use crate::ensemble::{
+    absorb_outcome, check_quarantine_budget, resilient_job_runner, resilient_seed_of,
+    run_engine_segment, shard_size, Completion, EnsembleAccumulator, EnsembleOutcome,
+    ExecutionPolicy, FailurePolicy, FailureReport, JobFailure, JobPanic, Parallelism, RescuedJob,
+};
+use crate::error::CoreError;
+use crate::faults::{FaultKind, FaultSite, InjectedFault};
+
+/// The exit code of a [`FaultPlan::kill_at_job`](crate::FaultPlan::kill_at_job)
+/// crash drill: distinctive enough that harnesses can tell a planned
+/// kill from a genuine abort.
+pub const KILL_EXIT: i32 = 86;
+
+/// The schema tag of the snapshot format this module reads and writes.
+pub const CHECKPOINT_SCHEMA: &str = "samurai-checkpoint-v1";
+
+/// Where and how often a checkpointed run snapshots its progress.
+///
+/// The derived default disables checkpointing entirely (`path: None`);
+/// carrying one in a config is free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Snapshot file. `None` disables checkpointing (budgets and the
+    /// crash drill still work — they need no file).
+    pub path: Option<PathBuf>,
+    /// Snapshot cadence in jobs, rounded *up* to a whole number of
+    /// shards (see the module docs). `0` snapshots every shard.
+    pub every_jobs: usize,
+    /// Attempt to resume from `path` before running. A missing or
+    /// invalid snapshot degrades to a cold start with a journaled
+    /// `checkpoint.cold_start.<reason>` note.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing to `path` at the default cadence (64 jobs).
+    #[must_use]
+    pub fn to_file(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: Some(path.into()),
+            every_jobs: 64,
+            resume: false,
+        }
+    }
+
+    /// Sets the snapshot cadence in jobs.
+    #[must_use]
+    pub fn every(mut self, jobs: usize) -> Self {
+        self.every_jobs = jobs;
+        self
+    }
+
+    /// Requests resume-from-snapshot before running.
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+}
+
+/// Deterministic ceilings on how much work a run may do.
+///
+/// Both ceilings are checked only at shard-segment boundaries, so an
+/// exhausted budget truncates at a deterministic job boundary and the
+/// completed prefix stays bit-identical to an unbudgeted run's prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Run at most this many jobs, rounded *down* to a whole number of
+    /// shards (the budget is a ceiling, never exceeded).
+    pub max_jobs: Option<usize>,
+    /// Stop once the run's accumulated Newton-iteration count reaches
+    /// this ceiling (solver effort, a deterministic proxy for compute
+    /// time). Forces per-job observation even under a noop recorder.
+    pub max_newton_iterations: Option<u64>,
+}
+
+impl RunBudget {
+    /// No ceilings at all — the default.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no ceiling is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Caps the job count.
+    #[must_use]
+    pub fn jobs(mut self, max: usize) -> Self {
+        self.max_jobs = Some(max);
+        self
+    }
+
+    /// Caps the accumulated Newton-iteration count.
+    #[must_use]
+    pub fn newton_iterations(mut self, max: u64) -> Self {
+        self.max_newton_iterations = Some(max);
+        self
+    }
+}
+
+/// The crash-safety bundle threaded into
+/// [`run_ensemble_checkpointed`]: checkpointing, budgets and an
+/// optional injected deadline.
+#[derive(Default)]
+pub struct RunControls<'a> {
+    /// Snapshot placement and cadence.
+    pub checkpoint: CheckpointConfig,
+    /// Deterministic work ceilings.
+    pub budget: RunBudget,
+    /// Wall-clock cutoff, polled at segment boundaries only. `None`
+    /// never expires.
+    pub deadline: Option<&'a dyn Deadline>,
+}
+
+impl std::fmt::Debug for RunControls<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControls")
+            .field("checkpoint", &self.checkpoint)
+            .field("budget", &self.budget)
+            .field("deadline", &self.deadline.is_some())
+            .finish()
+    }
+}
+
+impl RunControls<'_> {
+    /// True when nothing here (nor a kill drill) requires slicing the
+    /// run into segments — the runner then executes one segment, which
+    /// is exactly the legacy engine invocation.
+    fn is_passive(&self) -> bool {
+        self.checkpoint.path.is_none()
+            && !self.checkpoint.resume
+            && self.budget.is_unlimited()
+            && self.deadline.is_none()
+    }
+}
+
+/// Lossless JSON serialisation for accumulator state.
+///
+/// Implementations must round-trip **bit patterns**: floats are
+/// carried as `u64` IEEE-754 bits, never as decimal text, so a
+/// restored accumulator continues the merge fold bit-identically.
+pub trait Snapshot: Sized {
+    /// The accumulator's state as a canonical JSON tree (all numbers
+    /// `u64`).
+    fn to_snapshot(&self) -> JsonValue;
+
+    /// Rebuilds the state; `None` on any structural mismatch (the
+    /// loader treats that as corruption and cold-starts).
+    fn from_snapshot(v: &JsonValue) -> Option<Self>;
+}
+
+/// Lossless JSON serialisation for quarantined-job errors.
+///
+/// Checkpoint snapshots must carry the full [`FailureReport`],
+/// including each quarantined job's error, bit-exactly: the resumed
+/// run re-renders those errors into the journal via `Debug`, and byte
+/// identity with an uninterrupted run demands an exact round-trip.
+pub trait CheckpointCodec: Sized {
+    /// The error as a canonical JSON tree (numbers as `u64`, floats as
+    /// bit patterns).
+    fn encode(&self) -> JsonValue;
+
+    /// Rebuilds the error; `None` on any structural mismatch.
+    fn decode(v: &JsonValue) -> Option<Self>;
+}
+
+/// FNV-1a 64-bit — the snapshot content hash. Stable, dependency-free
+/// and fast; this is an integrity check against torn writes and bit
+/// rot, not a cryptographic seal.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes a snapshot (or any small artifact) atomically: the contents
+/// go to a `<path>.tmp` sibling first and are renamed into place, so a
+/// crash mid-write can never leave a half-written file at `path`. All
+/// checkpoint writes must go through here (lint rule `RSM001`).
+///
+/// # Errors
+///
+/// Any I/O error from the write or the rename.
+pub fn write_checkpoint_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+// --- Snapshot impls for the built-in accumulators -------------------
+
+impl Snapshot for u64 {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::U64(*self)
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        v.as_u64()
+    }
+}
+
+impl Snapshot for f64 {
+    // Bit pattern, not value: the canonical-number rule of the
+    // checkpoint format (see the module docs), and NaN-safe.
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::U64(self.to_bits())
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        v.as_u64().map(f64::from_bits)
+    }
+}
+
+impl Snapshot for crate::ensemble::MeanTrace {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            (
+                "sums_bits",
+                JsonValue::Arr(
+                    self.sums()
+                        .iter()
+                        .map(|s| JsonValue::U64(s.to_bits()))
+                        .collect(),
+                ),
+            ),
+            ("count", JsonValue::U64(self.count() as u64)),
+        ])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(bits) = v.get("sums_bits")? else {
+            return None;
+        };
+        let sums = bits
+            .iter()
+            .map(|b| b.as_u64().map(f64::from_bits))
+            .collect::<Option<Vec<f64>>>()?;
+        let count = usize::try_from(v.get("count")?.as_u64()?).ok()?;
+        Some(Self::from_parts(sums, count))
+    }
+}
+
+impl Snapshot for crate::ensemble::CountHistogram {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::obj(vec![(
+            "bins",
+            JsonValue::Arr(self.bins().iter().map(|&n| JsonValue::U64(n)).collect()),
+        )])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(bins) = v.get("bins")? else {
+            return None;
+        };
+        let bins = bins
+            .iter()
+            .map(JsonValue::as_u64)
+            .collect::<Option<Vec<u64>>>()?;
+        Some(Self::from_bins(bins))
+    }
+}
+
+impl<T: Snapshot + Send> Snapshot for crate::ensemble::IndexedResults<T> {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::obj(vec![(
+            "slots",
+            JsonValue::Arr(
+                self.slots()
+                    .iter()
+                    .map(|(job, item)| {
+                        JsonValue::Arr(vec![JsonValue::U64(*job as u64), item.to_snapshot()])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(slots) = v.get("slots")? else {
+            return None;
+        };
+        let slots = slots
+            .iter()
+            .map(|pair| {
+                let JsonValue::Arr(kv) = pair else {
+                    return None;
+                };
+                if kv.len() != 2 {
+                    return None;
+                }
+                let job = usize::try_from(kv[0].as_u64()?).ok()?;
+                Some((job, T::from_snapshot(&kv[1])?))
+            })
+            .collect::<Option<Vec<(usize, T)>>>()?;
+        Some(Self::from_slots(slots))
+    }
+}
+
+// --- Error codecs ---------------------------------------------------
+
+fn fault_kind_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::SingularMatrix => "singular_matrix",
+        FaultKind::NonConvergence => "non_convergence",
+        FaultKind::NanResidual => "nan_residual",
+        FaultKind::TimestepFloor => "timestep_floor",
+    }
+}
+
+fn fault_kind_from_name(name: &str) -> Option<FaultKind> {
+    Some(match name {
+        "singular_matrix" => FaultKind::SingularMatrix,
+        "non_convergence" => FaultKind::NonConvergence,
+        "nan_residual" => FaultKind::NanResidual,
+        "timestep_floor" => FaultKind::TimestepFloor,
+        _ => return None,
+    })
+}
+
+fn fault_site_name(site: FaultSite) -> &'static str {
+    match site {
+        FaultSite::Solve => "solve",
+        FaultSite::Step => "step",
+        FaultSite::Job => "job",
+    }
+}
+
+fn fault_site_from_name(name: &str) -> Option<FaultSite> {
+    Some(match name {
+        "solve" => FaultSite::Solve,
+        "step" => FaultSite::Step,
+        "job" => FaultSite::Job,
+        _ => return None,
+    })
+}
+
+impl CheckpointCodec for InjectedFault {
+    fn encode(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            (
+                "kind",
+                JsonValue::Str(fault_kind_name(self.kind).to_owned()),
+            ),
+            (
+                "site",
+                JsonValue::Str(fault_site_name(self.site).to_owned()),
+            ),
+        ])
+    }
+
+    fn decode(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            kind: fault_kind_from_name(v.get("kind")?.as_str()?)?,
+            site: fault_site_from_name(v.get("site")?.as_str()?)?,
+        })
+    }
+}
+
+impl CheckpointCodec for WaveformError {
+    fn encode(&self) -> JsonValue {
+        match self {
+            Self::NonMonotonicTime {
+                index,
+                previous,
+                current,
+            } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("non_monotonic_time".to_owned())),
+                ("index", JsonValue::U64(*index as u64)),
+                ("previous", JsonValue::U64(previous.to_bits())),
+                ("current", JsonValue::U64(current.to_bits())),
+            ]),
+            Self::Empty => JsonValue::obj(vec![("v", JsonValue::Str("empty".to_owned()))]),
+            Self::NonFinite { index } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("non_finite".to_owned())),
+                ("index", JsonValue::U64(*index as u64)),
+            ]),
+            Self::InvalidDuration { name, value } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("invalid_duration".to_owned())),
+                ("name", JsonValue::Str((*name).to_owned())),
+                ("value", JsonValue::U64(value.to_bits())),
+            ]),
+            // `WaveformError` is non-exhaustive; a future variant this
+            // codec does not know decodes to `None`, which the loader
+            // treats as corruption (cold start), never silent data loss.
+            other => JsonValue::obj(vec![
+                ("v", JsonValue::Str("unknown".to_owned())),
+                ("debug", JsonValue::Str(format!("{other:?}"))),
+            ]),
+        }
+    }
+
+    fn decode(v: &JsonValue) -> Option<Self> {
+        let f64_field = |key: &str| Some(f64::from_bits(v.get(key)?.as_u64()?));
+        let usize_field =
+            |key: &str| usize::try_from(v.get(key)?.as_u64().unwrap_or(u64::MAX)).ok();
+        Some(match v.get("v")?.as_str()? {
+            "non_monotonic_time" => Self::NonMonotonicTime {
+                index: usize_field("index")?,
+                previous: f64_field("previous")?,
+                current: f64_field("current")?,
+            },
+            "empty" => Self::Empty,
+            "non_finite" => Self::NonFinite {
+                index: usize_field("index")?,
+            },
+            "invalid_duration" => Self::InvalidDuration {
+                // The variant carries a `&'static str` diagnostic name;
+                // a resumed run restores it by leaking the decoded
+                // string — bounded by the (tiny) quarantine list.
+                name: Box::leak(v.get("name")?.as_str()?.to_owned().into_boxed_str()),
+                value: f64_field("value")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl CheckpointCodec for CoreError {
+    fn encode(&self) -> JsonValue {
+        match self {
+            Self::EmptyHorizon { t0, tf } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("empty_horizon".to_owned())),
+                ("t0", JsonValue::U64(t0.to_bits())),
+                ("tf", JsonValue::U64(tf.to_bits())),
+            ]),
+            Self::EventBudgetExceeded { budget, rate } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("event_budget_exceeded".to_owned())),
+                ("budget", JsonValue::U64(*budget as u64)),
+                ("rate", JsonValue::U64(rate.to_bits())),
+            ]),
+            Self::NonFinitePropensity { time } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("non_finite_propensity".to_owned())),
+                ("time", JsonValue::U64(time.to_bits())),
+            ]),
+            Self::Waveform(e) => JsonValue::obj(vec![
+                ("v", JsonValue::Str("waveform".to_owned())),
+                ("e", e.encode()),
+            ]),
+            Self::Injected(fault) => JsonValue::obj(vec![
+                ("v", JsonValue::Str("injected".to_owned())),
+                ("e", fault.encode()),
+            ]),
+            Self::Panicked { message } => JsonValue::obj(vec![
+                ("v", JsonValue::Str("panicked".to_owned())),
+                ("message", JsonValue::Str(message.clone())),
+            ]),
+        }
+    }
+
+    fn decode(v: &JsonValue) -> Option<Self> {
+        let f64_field = |key: &str| Some(f64::from_bits(v.get(key)?.as_u64()?));
+        Some(match v.get("v")?.as_str()? {
+            "empty_horizon" => Self::EmptyHorizon {
+                t0: f64_field("t0")?,
+                tf: f64_field("tf")?,
+            },
+            "event_budget_exceeded" => Self::EventBudgetExceeded {
+                budget: usize::try_from(v.get("budget")?.as_u64()?).ok()?,
+                rate: f64_field("rate")?,
+            },
+            "non_finite_propensity" => Self::NonFinitePropensity {
+                time: f64_field("time")?,
+            },
+            "waveform" => Self::Waveform(WaveformError::decode(v.get("e")?)?),
+            "injected" => Self::Injected(InjectedFault::decode(v.get("e")?)?),
+            "panicked" => Self::Panicked {
+                message: v.get("message")?.as_str()?.to_owned(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+// --- Snapshot encode / decode ---------------------------------------
+
+fn failure_policy_json(policy: FailurePolicy) -> JsonValue {
+    match policy {
+        FailurePolicy::FailFast => {
+            JsonValue::obj(vec![("kind", JsonValue::Str("fail_fast".to_owned()))])
+        }
+        FailurePolicy::Retry { rungs } => JsonValue::obj(vec![
+            ("kind", JsonValue::Str("retry".to_owned())),
+            ("rungs", JsonValue::U64(rungs as u64)),
+        ]),
+        FailurePolicy::Quarantine {
+            rungs,
+            max_failures,
+        } => JsonValue::obj(vec![
+            ("kind", JsonValue::Str("quarantine".to_owned())),
+            ("rungs", JsonValue::U64(rungs as u64)),
+            ("max_failures", JsonValue::U64(max_failures as u64)),
+        ]),
+    }
+}
+
+fn snapshot_payload<A: Snapshot, E: CheckpointCodec>(
+    jobs: usize,
+    policy: &ExecutionPolicy,
+    shards_done: usize,
+    acc: &A,
+    rescued: &[RescuedJob],
+    quarantined: &[JobFailure<E>],
+    records: &[JobRecord],
+) -> JsonValue {
+    JsonValue::obj(vec![
+        ("jobs", JsonValue::U64(jobs as u64)),
+        ("seed", JsonValue::U64(policy.seed)),
+        ("failure", failure_policy_json(policy.failure)),
+        ("shards_done", JsonValue::U64(shards_done as u64)),
+        ("acc", acc.to_snapshot()),
+        (
+            "rescued",
+            JsonValue::Arr(
+                rescued
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Arr(vec![
+                            JsonValue::U64(r.job as u64),
+                            JsonValue::U64(r.rung as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "quarantined",
+            JsonValue::Arr(
+                quarantined
+                    .iter()
+                    .map(|q| {
+                        JsonValue::obj(vec![
+                            ("job", JsonValue::U64(q.job as u64)),
+                            ("seed", JsonValue::U64(q.seed)),
+                            ("rungs_attempted", JsonValue::U64(q.rungs_attempted as u64)),
+                            ("error", q.error.encode()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "records",
+            JsonValue::Arr(records.iter().map(JobRecord::to_checkpoint_json).collect()),
+        ),
+    ])
+}
+
+/// Wraps a payload in the hashed snapshot envelope and serialises it.
+fn checkpoint_document(payload: JsonValue) -> String {
+    let hash = fnv1a64(payload.to_json().as_bytes());
+    JsonValue::obj(vec![
+        ("schema", JsonValue::Str(CHECKPOINT_SCHEMA.to_owned())),
+        ("hash", JsonValue::U64(hash)),
+        ("payload", payload),
+    ])
+    .to_json()
+}
+
+/// The state a valid snapshot restores.
+struct ResumeState<A, E> {
+    shards_done: usize,
+    acc: Option<A>,
+    rescued: Vec<RescuedJob>,
+    quarantined: Vec<JobFailure<E>>,
+    records: Vec<JobRecord>,
+}
+
+/// Validates and decodes a snapshot. The `Err` is the one-word cold
+/// start reason journaled as `checkpoint.cold_start.<reason>`.
+fn load_checkpoint<A: Snapshot, E: CheckpointCodec>(
+    path: &Path,
+    jobs: usize,
+    policy: &ExecutionPolicy,
+) -> Result<ResumeState<A, E>, &'static str> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err("missing"),
+        Err(_) => return Err("unreadable"),
+    };
+    let doc = json::parse(&text).map_err(|_| "parse")?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(CHECKPOINT_SCHEMA) {
+        return Err("schema");
+    }
+    let hash = doc
+        .get("hash")
+        .and_then(JsonValue::as_u64)
+        .ok_or("schema")?;
+    let payload = doc.get("payload").ok_or("schema")?;
+    if fnv1a64(payload.to_json().as_bytes()) != hash {
+        return Err("hash");
+    }
+    let fingerprint_matches = payload.get("jobs").and_then(JsonValue::as_u64) == Some(jobs as u64)
+        && payload.get("seed").and_then(JsonValue::as_u64) == Some(policy.seed)
+        && payload.get("failure") == Some(&failure_policy_json(policy.failure));
+    if !fingerprint_matches {
+        return Err("fingerprint");
+    }
+
+    let shards_done = usize::try_from(
+        payload
+            .get("shards_done")
+            .and_then(JsonValue::as_u64)
+            .ok_or("decode")?,
+    )
+    .map_err(|_| "decode")?;
+    if shards_done > jobs.div_ceil(shard_size(jobs)) {
+        return Err("decode");
+    }
+    let acc = if shards_done == 0 {
+        // Never written in practice; `None` keeps the cold-start merge
+        // tree (the fold seeds from the first shard, not an empty acc).
+        None
+    } else {
+        Some(A::from_snapshot(payload.get("acc").ok_or("decode")?).ok_or("decode")?)
+    };
+
+    let JsonValue::Arr(rescued_items) = payload.get("rescued").ok_or("decode")? else {
+        return Err("decode");
+    };
+    let rescued = rescued_items
+        .iter()
+        .map(|pair| {
+            let JsonValue::Arr(kv) = pair else {
+                return None;
+            };
+            if kv.len() != 2 {
+                return None;
+            }
+            Some(RescuedJob {
+                job: usize::try_from(kv[0].as_u64()?).ok()?,
+                rung: usize::try_from(kv[1].as_u64()?).ok()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("decode")?;
+
+    let JsonValue::Arr(quarantined_items) = payload.get("quarantined").ok_or("decode")? else {
+        return Err("decode");
+    };
+    let quarantined = quarantined_items
+        .iter()
+        .map(|q| {
+            Some(JobFailure {
+                job: usize::try_from(q.get("job")?.as_u64()?).ok()?,
+                seed: q.get("seed")?.as_u64()?,
+                rungs_attempted: usize::try_from(q.get("rungs_attempted")?.as_u64()?).ok()?,
+                error: E::decode(q.get("error")?)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("decode")?;
+
+    let JsonValue::Arr(record_items) = payload.get("records").ok_or("decode")? else {
+        return Err("decode");
+    };
+    let records = record_items
+        .iter()
+        .map(JobRecord::from_checkpoint_json)
+        .collect::<Option<Vec<_>>>()
+        .ok_or("decode")?;
+
+    Ok(ResumeState {
+        shards_done,
+        acc,
+        rescued,
+        quarantined,
+        records,
+    })
+}
+
+// --- The checkpointed runner ----------------------------------------
+
+/// [`crate::run_ensemble_resilient_observed`] with crash safety: the
+/// run is sliced into shard-aligned segments, snapshotting its merged
+/// state after each one, honouring [`RunBudget`]/deadline ceilings
+/// between them, and (under a
+/// [`FaultPlan::kill_at_job`](crate::FaultPlan::kill_at_job) drill)
+/// killing the process before the segment containing the marked job.
+///
+/// Determinism guarantees, all pinned by the test suite:
+///
+/// * With passive [`RunControls`] this is exactly the resilient
+///   observed runner — same accumulator bits, same journal bytes.
+/// * A run killed at any job and resumed from its snapshot produces an
+///   accumulator, outcome and journal identical to an uninterrupted
+///   run, at any worker count, with no extra journal events.
+/// * An invalid snapshot (torn write, corruption, schema or
+///   fingerprint mismatch) degrades to a cold start: the only trace is
+///   a leading `checkpoint.cold_start.<reason>` journal note. A failed
+///   snapshot *write* likewise only notes `checkpoint.write_failed`.
+/// * An exhausted budget returns [`Completion::Truncated`] with the
+///   completed prefix bit-identical to an unbudgeted run's prefix.
+///
+/// # Errors
+///
+/// As [`crate::run_ensemble_resilient_observed`]; crash-safety
+/// machinery never raises errors of its own.
+pub fn run_ensemble_checkpointed<A, F, E, S>(
+    jobs: usize,
+    parallelism: Parallelism,
+    policy: &ExecutionPolicy,
+    controls: &RunControls<'_>,
+    recorder: &mut Recorder<S>,
+    make_acc: impl Fn() -> A + Sync,
+    job: F,
+) -> Result<EnsembleOutcome<A, E>, E>
+where
+    A: EnsembleAccumulator + Snapshot,
+    F: Fn(usize, usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
+    E: Send + std::fmt::Debug + From<InjectedFault> + From<JobPanic> + CheckpointCodec,
+    S: MetricsSink,
+{
+    let width = shard_size(jobs);
+    let shards = jobs.div_ceil(width);
+    let quarantine = matches!(policy.failure, FailurePolicy::Quarantine { .. });
+    // A Newton-effort ceiling needs per-job solver counters even when
+    // nothing else observes the run.
+    let observing = recorder.live() || controls.budget.max_newton_iterations.is_some();
+
+    let mut shard_lo = 0usize;
+    let mut acc: Option<A> = None;
+    let mut rescued: Vec<RescuedJob> = Vec::new();
+    let mut quarantined: Vec<JobFailure<E>> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+
+    if controls.checkpoint.resume {
+        if let Some(path) = &controls.checkpoint.path {
+            match load_checkpoint::<A, E>(path, jobs, policy) {
+                Ok(state) => {
+                    shard_lo = state.shards_done;
+                    acc = state.acc;
+                    rescued = state.rescued;
+                    quarantined = state.quarantined;
+                    records = state.records;
+                }
+                Err(reason) => recorder.note(&format!("checkpoint.cold_start.{reason}"), 1),
+            }
+        }
+    }
+    let mut newton_spent: u64 = records.iter().map(|r| r.solver.newton_iterations).sum();
+
+    // The job budget rounds *down* to whole shards: a ceiling, never
+    // exceeded. Segments are cadence-sized; a passive run is a single
+    // segment (the legacy engine call, bit for bit).
+    let allowed_shards = match controls.budget.max_jobs {
+        Some(max_jobs) => shards.min(max_jobs / width),
+        None => shards,
+    };
+    let segment_shards = if controls.is_passive() && policy.faults.kill_job().is_none() {
+        shards.max(1)
+    } else {
+        controls.checkpoint.every_jobs.div_ceil(width).max(1)
+    };
+
+    let mut truncated = false;
+    while shard_lo < shards {
+        if shard_lo >= allowed_shards {
+            truncated = true;
+            break;
+        }
+        if controls.deadline.is_some_and(Deadline::expired) {
+            truncated = true;
+            break;
+        }
+        if let Some(max_newton) = controls.budget.max_newton_iterations {
+            if newton_spent >= max_newton {
+                truncated = true;
+                break;
+            }
+        }
+        let shard_hi = shard_lo
+            .saturating_add(segment_shards)
+            .min(shards)
+            .min(allowed_shards);
+
+        if let Some(kill) = policy.faults.kill_job() {
+            let segment_jobs = (shard_lo * width)..(shard_hi * width).min(jobs);
+            if segment_jobs.contains(&kill) {
+                // The crash drill: die exactly where a real crash
+                // would, with everything before this segment already
+                // snapshotted.
+                process::exit(KILL_EXIT);
+            }
+        }
+
+        let (segment_acc, segment_report, segment_records) = run_engine_segment(
+            jobs,
+            shard_lo,
+            shard_hi,
+            acc.take(),
+            parallelism,
+            quarantine,
+            observing,
+            &make_acc,
+            resilient_job_runner(policy, &job),
+            resilient_seed_of(policy),
+        )?;
+        acc = Some(segment_acc);
+        rescued.extend(segment_report.rescued);
+        quarantined.extend(segment_report.quarantined);
+        newton_spent += segment_records
+            .iter()
+            .map(|r| r.solver.newton_iterations)
+            .sum::<u64>();
+        records.extend(segment_records);
+        shard_lo = shard_hi;
+
+        if let Some(path) = &controls.checkpoint.path {
+            let payload = snapshot_payload(
+                jobs,
+                policy,
+                shard_lo,
+                acc.as_ref()
+                    .expect("a completed segment leaves an accumulator"), // lint: allow(HYG002): the segment above always sets `acc`
+                &rescued,
+                &quarantined,
+                &records,
+            );
+            if write_checkpoint_atomic(path, &checkpoint_document(payload)).is_err() {
+                // Degrade, don't abort: the run is still correct, it
+                // just lost crash protection for this stretch.
+                recorder.note("checkpoint.write_failed", 1);
+            }
+        }
+    }
+
+    let mut report = FailureReport {
+        jobs,
+        rescued,
+        quarantined,
+    };
+    check_quarantine_budget(policy, &mut report)?;
+    absorb_outcome(recorder, &report, &records);
+
+    let completion = if truncated {
+        let completed = (shard_lo * width).min(jobs);
+        Completion::Truncated {
+            completed,
+            remaining: jobs - completed,
+        }
+    } else {
+        Completion::Complete
+    };
+    Ok(EnsembleOutcome {
+        acc: acc.unwrap_or_else(make_acc),
+        report,
+        completion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{run_ensemble_resilient_observed, MeanTrace};
+    use crate::rng::SeedStream;
+    use rand::Rng;
+    use samurai_telemetry::Recorder;
+
+    /// A scratch path under the system temp dir, removed on drop.
+    struct ScratchFile(PathBuf);
+
+    impl ScratchFile {
+        fn new(name: &str) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("samurai-checkpoint-{}-{name}", std::process::id()));
+            let _ = fs::remove_file(&path);
+            Self(path)
+        }
+    }
+
+    impl Drop for ScratchFile {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestError {
+        Job(usize),
+        Fault(InjectedFault),
+        Panicked(String),
+    }
+
+    impl From<InjectedFault> for TestError {
+        fn from(f: InjectedFault) -> Self {
+            Self::Fault(f)
+        }
+    }
+
+    impl From<JobPanic> for TestError {
+        fn from(p: JobPanic) -> Self {
+            Self::Panicked(p.message)
+        }
+    }
+
+    impl CheckpointCodec for TestError {
+        fn encode(&self) -> JsonValue {
+            match self {
+                Self::Job(j) => JsonValue::obj(vec![
+                    ("v", JsonValue::Str("job".to_owned())),
+                    ("job", JsonValue::U64(*j as u64)),
+                ]),
+                Self::Fault(f) => JsonValue::obj(vec![
+                    ("v", JsonValue::Str("fault".to_owned())),
+                    ("e", f.encode()),
+                ]),
+                Self::Panicked(m) => JsonValue::obj(vec![
+                    ("v", JsonValue::Str("panicked".to_owned())),
+                    ("message", JsonValue::Str(m.clone())),
+                ]),
+            }
+        }
+
+        fn decode(v: &JsonValue) -> Option<Self> {
+            Some(match v.get("v")?.as_str()? {
+                "job" => Self::Job(usize::try_from(v.get("job")?.as_u64()?).ok()?),
+                "fault" => Self::Fault(InjectedFault::decode(v.get("e")?)?),
+                "panicked" => Self::Panicked(v.get("message")?.as_str()?.to_owned()),
+                _ => return None,
+            })
+        }
+    }
+
+    const JOBS: usize = 400;
+
+    fn policy() -> ExecutionPolicy {
+        ExecutionPolicy {
+            failure: FailurePolicy::Quarantine {
+                rungs: 1,
+                max_failures: 50,
+            },
+            faults: crate::FaultPlan::none(),
+            seed: 17,
+        }
+    }
+
+    /// A job with a nontrivial mean trace, occasional rescues and
+    /// occasional quarantines — exercises every report list.
+    fn job(j: usize, rung: usize, _probe: &mut JobProbe) -> Result<Vec<f64>, TestError> {
+        if j % 97 == 13 {
+            return Err(TestError::Job(j));
+        }
+        if j % 41 == 7 && rung == 0 {
+            return Err(TestError::Job(j));
+        }
+        let mut rng = SeedStream::new(17).rng(j as u64);
+        Ok(vec![rng.gen::<f64>(), rng.gen::<f64>() * (rung + 1) as f64])
+    }
+
+    fn uninterrupted(workers: usize) -> (EnsembleOutcome<MeanTrace, TestError>, String) {
+        let mut rec = Recorder::recording();
+        let out = run_ensemble_resilient_observed(
+            JOBS,
+            Parallelism::Fixed(workers),
+            &policy(),
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("within quarantine budget");
+        (out, rec.journal().to_jsonl())
+    }
+
+    #[test]
+    fn passive_controls_match_the_resilient_runner_bit_for_bit() {
+        for workers in [1, 4] {
+            let (base, base_journal) = uninterrupted(workers);
+            let mut rec = Recorder::recording();
+            let out = run_ensemble_checkpointed(
+                JOBS,
+                Parallelism::Fixed(workers),
+                &policy(),
+                &RunControls::default(),
+                &mut rec,
+                || MeanTrace::zeros(2),
+                job,
+            )
+            .expect("within quarantine budget");
+            assert_eq!(out, base);
+            assert_eq!(rec.journal().to_jsonl(), base_journal);
+        }
+    }
+
+    #[test]
+    fn checkpointing_and_resuming_reproduce_an_uninterrupted_run() {
+        let (base, base_journal) = uninterrupted(2);
+        let file = ScratchFile::new("resume");
+
+        // Phase 1: run with a job budget so the run truncates partway,
+        // leaving a snapshot — an in-process stand-in for a crash.
+        let mut rec = Recorder::recording();
+        let partial: EnsembleOutcome<MeanTrace, TestError> = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(2),
+            &policy(),
+            &RunControls {
+                checkpoint: CheckpointConfig::to_file(&file.0).every(30),
+                budget: RunBudget::unlimited().jobs(150),
+                deadline: None,
+            },
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("within quarantine budget");
+        assert_eq!(
+            partial.completion,
+            Completion::Truncated {
+                completed: 150,
+                remaining: JOBS - 150
+            }
+        );
+
+        // Phase 2: resume to completion at a different worker count.
+        let mut rec = Recorder::recording();
+        let resumed = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(8),
+            &policy(),
+            &RunControls {
+                checkpoint: CheckpointConfig::to_file(&file.0).every(30).resuming(),
+                budget: RunBudget::unlimited(),
+                deadline: None,
+            },
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("within quarantine budget");
+        assert_eq!(resumed, base);
+        assert_eq!(
+            rec.journal().to_jsonl(),
+            base_journal,
+            "resume is journal-silent"
+        );
+    }
+
+    #[test]
+    fn a_corrupted_checkpoint_degrades_to_a_cold_start_with_a_note() {
+        let (base, base_journal) = uninterrupted(1);
+        for (name, contents) in [
+            ("garbage", "not json at all"),
+            (
+                "truncated",
+                "{\"schema\":\"samurai-checkpoint-v1\",\"hash\":1,\"pa",
+            ),
+            (
+                "wrong-schema",
+                "{\"schema\":\"samurai-checkpoint-v99\",\"hash\":1,\"payload\":{}}",
+            ),
+            (
+                "bad-hash",
+                "{\"schema\":\"samurai-checkpoint-v1\",\"hash\":1,\"payload\":{}}",
+            ),
+        ] {
+            let file = ScratchFile::new(name);
+            fs::write(&file.0, contents).expect("scratch write");
+            let mut rec = Recorder::recording();
+            let out = run_ensemble_checkpointed(
+                JOBS,
+                Parallelism::Fixed(2),
+                &policy(),
+                &RunControls {
+                    checkpoint: CheckpointConfig::to_file(&file.0).every(64).resuming(),
+                    budget: RunBudget::unlimited(),
+                    deadline: None,
+                },
+                &mut rec,
+                || MeanTrace::zeros(2),
+                job,
+            )
+            .expect("cold start, not an error");
+            assert_eq!(out, base, "{name}");
+            let journal = rec.journal().to_jsonl();
+            let first = journal.lines().next().expect("nonempty journal");
+            assert!(first.contains("checkpoint.cold_start."), "{name}: {first}");
+            // Everything after the note is the uninterrupted journal.
+            let (_, rest) = journal.split_once('\n').expect("more than one line");
+            assert_eq!(rest, base_journal, "{name}");
+        }
+    }
+
+    #[test]
+    fn a_fingerprint_mismatch_cold_starts_instead_of_mixing_runs() {
+        let file = ScratchFile::new("fingerprint");
+        // Write a valid snapshot under a different master seed.
+        let mut other = policy();
+        other.seed = 999;
+        let mut rec = Recorder::recording();
+        let _: EnsembleOutcome<MeanTrace, TestError> = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(1),
+            &other,
+            &RunControls {
+                checkpoint: CheckpointConfig::to_file(&file.0).every(64),
+                budget: RunBudget::unlimited(),
+                deadline: None,
+            },
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("within quarantine budget");
+
+        let (base, _) = uninterrupted(1);
+        let mut rec = Recorder::recording();
+        let out = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(1),
+            &policy(),
+            &RunControls {
+                checkpoint: CheckpointConfig::to_file(&file.0).every(64).resuming(),
+                budget: RunBudget::unlimited(),
+                deadline: None,
+            },
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("cold start, not an error");
+        assert_eq!(out, base);
+        assert!(rec
+            .journal()
+            .to_jsonl()
+            .contains("checkpoint.cold_start.fingerprint"));
+    }
+
+    #[test]
+    fn an_expired_deadline_truncates_at_a_shard_boundary() {
+        struct AlreadyExpired;
+        impl Deadline for AlreadyExpired {
+            fn expired(&self) -> bool {
+                true
+            }
+        }
+        let mut rec = Recorder::recording();
+        let out: EnsembleOutcome<MeanTrace, TestError> = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(2),
+            &policy(),
+            &RunControls {
+                checkpoint: CheckpointConfig::default(),
+                budget: RunBudget::unlimited(),
+                deadline: Some(&AlreadyExpired),
+            },
+            &mut rec,
+            || MeanTrace::zeros(2),
+            job,
+        )
+        .expect("truncation is not an error");
+        assert_eq!(
+            out.completion,
+            Completion::Truncated {
+                completed: 0,
+                remaining: JOBS
+            }
+        );
+        assert_eq!(out.acc.count(), 0);
+    }
+
+    #[test]
+    fn a_newton_budget_truncates_once_effort_is_spent() {
+        // Each job books 3 Newton iterations; the ceiling lands
+        // mid-run at a segment boundary.
+        let effortful = |j: usize, _rung: usize, probe: &mut JobProbe| {
+            probe.record_solver(samurai_telemetry::SolverStats {
+                newton_iterations: 3,
+                ..Default::default()
+            });
+            let mut rng = SeedStream::new(17).rng(j as u64);
+            Ok::<_, TestError>(vec![rng.gen::<f64>()])
+        };
+        let mut rec = Recorder::recording();
+        let out = run_ensemble_checkpointed(
+            JOBS,
+            Parallelism::Fixed(1),
+            &policy(),
+            &RunControls {
+                checkpoint: CheckpointConfig::default().every(10),
+                budget: RunBudget::unlimited().newton_iterations(300),
+                deadline: None,
+            },
+            &mut rec,
+            || MeanTrace::zeros(1),
+            effortful,
+        )
+        .expect("within quarantine budget");
+        let Completion::Truncated {
+            completed,
+            remaining,
+        } = out.completion
+        else {
+            panic!("expected truncation, got {:?}", out.completion);
+        };
+        assert_eq!(completed + remaining, JOBS);
+        // 300 iterations / 3 per job = 100 jobs, plus at most one
+        // 10-job segment of overshoot (the ceiling is polled between
+        // segments).
+        assert!((100..=110).contains(&completed), "{completed}");
+        assert_eq!(out.acc.count(), completed);
+    }
+
+    #[test]
+    fn snapshot_documents_validate_and_round_trip() {
+        let acc = MeanTrace::from_parts(vec![1.5, -0.0, f64::NAN], 3);
+        let payload = snapshot_payload::<MeanTrace, TestError>(
+            7,
+            &policy(),
+            2,
+            &acc,
+            &[RescuedJob { job: 1, rung: 2 }],
+            &[JobFailure {
+                job: 3,
+                seed: 42,
+                rungs_attempted: 2,
+                error: TestError::Job(3),
+            }],
+            &[],
+        );
+        let text = checkpoint_document(payload);
+        let doc = json::parse(&text).expect("valid json");
+        let payload = doc.get("payload").expect("payload");
+        assert_eq!(
+            doc.get("hash").and_then(JsonValue::as_u64),
+            Some(fnv1a64(payload.to_json().as_bytes())),
+            "hash is recomputable from the parsed tree"
+        );
+        let back = MeanTrace::from_snapshot(payload.get("acc").expect("acc")).expect("decodes");
+        assert_eq!(back.count(), 3);
+        assert_eq!(back.sums()[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(back.sums()[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back.sums()[2].is_nan(), "NaN bit pattern survives");
+    }
+
+    #[test]
+    fn atomic_writes_never_leave_a_torn_file_behind() {
+        let file = ScratchFile::new("atomic");
+        write_checkpoint_atomic(&file.0, "first").expect("write");
+        write_checkpoint_atomic(&file.0, "second").expect("overwrite");
+        assert_eq!(fs::read_to_string(&file.0).expect("read"), "second");
+        let mut tmp = file.0.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists(), "temp sibling is renamed away");
+    }
+
+    #[test]
+    fn core_error_codec_round_trips_every_variant() {
+        let errors = [
+            CoreError::EmptyHorizon { t0: 1.0, tf: -0.0 },
+            CoreError::EventBudgetExceeded {
+                budget: 1000,
+                rate: 1e10,
+            },
+            CoreError::NonFinitePropensity { time: 0.25 },
+            CoreError::Waveform(WaveformError::NonMonotonicTime {
+                index: 3,
+                previous: 2.0,
+                current: 1.0,
+            }),
+            CoreError::Waveform(WaveformError::Empty),
+            CoreError::Waveform(WaveformError::NonFinite { index: 9 }),
+            CoreError::Waveform(WaveformError::InvalidDuration {
+                name: "t_rise",
+                value: -1.0,
+            }),
+            CoreError::Injected(InjectedFault {
+                kind: FaultKind::NanResidual,
+                site: FaultSite::Job,
+            }),
+            CoreError::Panicked {
+                message: "poisoned sample".to_owned(),
+            },
+        ];
+        for e in errors {
+            let decoded = CoreError::decode(&e.encode()).expect("decodes");
+            assert_eq!(format!("{decoded:?}"), format!("{e:?}"), "debug-exact");
+        }
+    }
+}

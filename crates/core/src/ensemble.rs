@@ -78,6 +78,7 @@
 //! assert!((sequential - 0.5).abs() < 0.02);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 
@@ -305,6 +306,67 @@ impl<E: std::fmt::Debug> FailureReport<E> {
     }
 }
 
+/// Whether an ensemble ran every job it was asked to, or stopped
+/// early at a job boundary because a [`crate::checkpoint::RunBudget`]
+/// or deadline was exhausted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Completion {
+    /// Every requested job ran (the only value the non-budgeted entry
+    /// points ever produce).
+    #[default]
+    Complete,
+    /// The run stopped cleanly after `completed` jobs with `remaining`
+    /// still unprocessed. The accumulator and report cover exactly the
+    /// completed prefix, bit-identical to the same prefix of an
+    /// uninterrupted run.
+    Truncated {
+        /// Jobs whose results are reflected in the outcome.
+        completed: usize,
+        /// Jobs never attempted (`completed + remaining == jobs`).
+        remaining: usize,
+    },
+}
+
+impl Completion {
+    /// `true` when every requested job ran.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete)
+    }
+}
+
+/// A captured per-job panic, converted into the consumer's error type
+/// via `From<JobPanic>` so one poisoned sample flows through the same
+/// retry/quarantine machinery as an ordinary solver failure instead of
+/// tearing down the whole ensemble.
+///
+/// The message is the panic payload when it was a string (the common
+/// `panic!`/`assert!` case — deterministic for deterministic jobs) and
+/// a fixed placeholder otherwise, so [`FailureReport`]s containing
+/// panics remain worker-count independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, when it was a `&str` or `String`.
+    pub message: String,
+}
+
+impl JobPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
 /// A resilient ensemble's result: the accumulator over the surviving
 /// jobs plus the failure accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -314,10 +376,12 @@ pub struct EnsembleOutcome<A, E> {
     pub acc: A,
     /// Rescue and quarantine accounting.
     pub report: FailureReport<E>,
+    /// Whether the run covered every job or was budget-truncated.
+    pub completion: Completion,
 }
 
 /// How one job ended, as seen by the shard fold.
-enum JobRun<T, E> {
+pub(crate) enum JobRun<T, E> {
     /// The job produced an item (possibly after rescue rungs).
     Done { item: T, rescued: Option<usize> },
     /// The job failed on every permitted attempt.
@@ -367,17 +431,66 @@ where
     S: Fn(usize) -> u64 + Sync,
     E: Send,
 {
+    let shards = jobs.div_ceil(shard_size(jobs));
+    run_engine_segment(
+        jobs,
+        0,
+        shards,
+        None,
+        parallelism,
+        quarantine,
+        observing,
+        make_acc,
+        run_job,
+        seed_of,
+    )
+}
+
+/// [`run_engine`] restricted to the shard range `[shard_lo, shard_hi)`
+/// of a `jobs`-job ensemble — the substrate of checkpointed execution.
+///
+/// The shard width is always computed from the **total** job count, so
+/// a run sliced into segments reproduces the exact shard structure —
+/// and therefore the exact merge tree — of an unsliced run. `init`
+/// carries the running merged accumulator between segments: with
+/// `Some(acc)`, this segment's shards are folded into it strictly in
+/// shard order (`((init ⊕ s_lo) ⊕ s_lo+1) ⊕ …`), which is precisely
+/// the shape an unsliced left fold would have produced by the time it
+/// passed `shard_hi`. With `None` the fold starts from the first
+/// shard's accumulator, exactly as the legacy single-segment path.
+///
+/// The returned report's `rescued`/`quarantined` lists and the records
+/// cover only this segment; callers accumulate across segments.
+#[allow(clippy::too_many_arguments)] // an internal engine seam; the public wrappers bundle these
+pub(crate) fn run_engine_segment<A, E, R, S>(
+    jobs: usize,
+    shard_lo: usize,
+    shard_hi: usize,
+    init: Option<A>,
+    parallelism: Parallelism,
+    quarantine: bool,
+    observing: bool,
+    make_acc: impl Fn() -> A + Sync,
+    run_job: R,
+    seed_of: S,
+) -> Result<(A, FailureReport<E>, Vec<JobRecord>), E>
+where
+    A: EnsembleAccumulator,
+    R: Fn(usize, &mut JobProbe) -> JobRun<A::Item, E> + Sync,
+    S: Fn(usize) -> u64 + Sync,
+    E: Send,
+{
     let mut report = FailureReport {
         jobs,
         rescued: Vec::new(),
         quarantined: Vec::new(),
     };
-    if jobs == 0 {
-        return Ok((make_acc(), report, Vec::new()));
+    if shard_lo >= shard_hi {
+        return Ok((init.unwrap_or_else(make_acc), report, Vec::new()));
     }
     let width = shard_size(jobs);
-    let shards = jobs.div_ceil(width);
-    let workers = parallelism.workers().min(shards);
+    let shards = shard_hi;
+    let workers = parallelism.workers().min(shard_hi - shard_lo);
 
     // One shard's fold: jobs [shard*width, ...) in index order.
     // lint: hot-loop
@@ -442,18 +555,18 @@ where
     };
     // lint: end-hot-loop
 
-    let mut completed: Vec<ShardOutcome<A, E>> = Vec::with_capacity(shards);
+    let mut completed: Vec<ShardOutcome<A, E>> = Vec::with_capacity(shard_hi - shard_lo);
     if workers <= 1 {
         // Legacy sequential path: same shard structure and merge order
         // as the threaded path, so the two agree bit-for-bit.
-        for shard in 0..shards {
+        for shard in shard_lo..shard_hi {
             completed.push(fold_shard(shard)?);
         }
     } else {
         // Threaded path: workers race for shard indices on an atomic
         // queue; each returns its shard outcomes for the ordered
         // merge below.
-        let next = AtomicUsize::new(0);
+        let next = AtomicUsize::new(shard_lo);
         let failed = AtomicBool::new(false);
         let outcome: Vec<WorkerOutcome<A, E>> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -498,22 +611,34 @@ where
         if let Some((_, e)) = first_error {
             return Err(e);
         }
-        debug_assert_eq!(completed.len(), shards, "every shard reduced exactly once");
+        debug_assert_eq!(
+            completed.len(),
+            shard_hi - shard_lo,
+            "every shard reduced exactly once"
+        );
         completed.sort_by_key(|out| out.shard);
     }
 
-    let mut iter = completed.into_iter();
-    let first = iter.next().expect("jobs > 0 implies at least one shard"); // lint: allow(HYG002): jobs > 0 implies at least one shard
-    let mut total = first.acc;
-    report.rescued = first.rescued;
-    report.quarantined = first.quarantined;
-    let mut records = first.records;
-    for out in iter {
-        total.merge(out.acc);
+    // The ordered left fold. Starting from `init` (the running total
+    // of earlier segments) or, without one, from the first shard's
+    // accumulator — both give the identical `((s₀ ⊕ s₁) ⊕ s₂) ⊕ …`
+    // tree an unsliced run builds, because each shard merges into the
+    // running total one at a time in shard order.
+    let mut total: Option<A> = init;
+    let mut records: Vec<JobRecord> = Vec::new();
+    for out in completed {
+        total = Some(match total {
+            Some(mut t) => {
+                t.merge(out.acc);
+                t
+            }
+            None => out.acc,
+        });
         report.rescued.extend(out.rescued);
         report.quarantined.extend(out.quarantined);
         records.extend(out.records);
     }
+    let total = total.expect("a non-empty segment produced at least one shard"); // lint: allow(HYG002): shard_lo < shard_hi implies at least one shard
     Ok((total, report, records))
 }
 
@@ -631,7 +756,7 @@ pub fn run_ensemble_resilient<A, F, E>(
 where
     A: EnsembleAccumulator,
     F: Fn(usize, usize) -> Result<A::Item, E> + Sync,
-    E: Send + From<InjectedFault>,
+    E: Send + From<InjectedFault> + From<JobPanic>,
 {
     resilient_impl(
         jobs,
@@ -641,7 +766,11 @@ where
         make_acc,
         |j, rung, _probe: &mut JobProbe| job(j, rung),
     )
-    .map(|(acc, report, _)| EnsembleOutcome { acc, report })
+    .map(|(acc, report, _)| EnsembleOutcome {
+        acc,
+        report,
+        completion: Completion::Complete,
+    })
 }
 
 /// [`run_ensemble_resilient`] with telemetry: the job closure gains a
@@ -667,23 +796,42 @@ pub fn run_ensemble_resilient_observed<A, F, E, S>(
 where
     A: EnsembleAccumulator,
     F: Fn(usize, usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
-    E: Send + std::fmt::Debug + From<InjectedFault>,
+    E: Send + std::fmt::Debug + From<InjectedFault> + From<JobPanic>,
     S: MetricsSink,
 {
     let (acc, report, records) =
         resilient_impl(jobs, parallelism, policy, recorder.live(), make_acc, job)?;
-    if recorder.live() {
-        for rec in &records {
-            recorder.absorb_job(rec);
-        }
-        for r in &report.rescued {
-            recorder.record_rescue(r.job, r.rung);
-        }
-        for q in &report.quarantined {
-            recorder.record_quarantine(q.job, q.seed, q.rungs_attempted, &format!("{:?}", q.error));
-        }
+    absorb_outcome(recorder, &report, &records);
+    Ok(EnsembleOutcome {
+        acc,
+        report,
+        completion: Completion::Complete,
+    })
+}
+
+/// Feeds a finished run's records and failure accounting into the
+/// recorder in the canonical order — all job records (job order), then
+/// rescue summaries, then quarantine summaries — which is what makes
+/// the journal byte-identical at every worker count *and* across
+/// checkpoint/resume boundaries (the checkpointed runner accumulates
+/// across segments and absorbs exactly once, here).
+pub(crate) fn absorb_outcome<E: std::fmt::Debug, S: MetricsSink>(
+    recorder: &mut Recorder<S>,
+    report: &FailureReport<E>,
+    records: &[JobRecord],
+) {
+    if !recorder.live() {
+        return;
     }
-    Ok(EnsembleOutcome { acc, report })
+    for rec in records {
+        recorder.absorb_job(rec);
+    }
+    for r in &report.rescued {
+        recorder.record_rescue(r.job, r.rung);
+    }
+    for q in &report.quarantined {
+        recorder.record_quarantine(q.job, q.seed, q.rungs_attempted, &format!("{:?}", q.error));
+    }
 }
 
 /// The shared body of the resilient entry points: the rescue-rung
@@ -700,11 +848,45 @@ fn resilient_impl<A, F, E>(
 where
     A: EnsembleAccumulator,
     F: Fn(usize, usize, &mut JobProbe) -> Result<A::Item, E> + Sync,
-    E: Send + From<InjectedFault>,
+    E: Send + From<InjectedFault> + From<JobPanic>,
+{
+    let quarantine = matches!(policy.failure, FailurePolicy::Quarantine { .. });
+    let (acc, mut report, records) = run_engine(
+        jobs,
+        parallelism,
+        quarantine,
+        observing,
+        make_acc,
+        resilient_job_runner(policy, &job),
+        resilient_seed_of(policy),
+    )?;
+    check_quarantine_budget(policy, &mut report)?;
+    Ok((acc, report, records))
+}
+
+/// The per-job decision procedure shared by the resilient and
+/// checkpointed runners: job-site fault injection, the rescue-rung
+/// retry ladder, and panic containment.
+///
+/// Each attempt runs under [`catch_unwind`], so a panicking job — a
+/// poisoned netlist hitting an `assert!`, an out-of-bounds index deep
+/// in a model — is converted into `E::from(JobPanic)` and flows down
+/// the same retry/quarantine path as an ordinary error instead of
+/// aborting the whole ensemble. Panic messages from deterministic
+/// jobs are themselves deterministic, so the resulting
+/// [`FailureReport`] stays bit-identical at every worker count. (The
+/// process-global panic hook still prints to stderr; containment is
+/// about control flow, not log silence.)
+pub(crate) fn resilient_job_runner<'a, T, E, F>(
+    policy: &'a ExecutionPolicy,
+    job: &'a F,
+) -> impl Fn(usize, &mut JobProbe) -> JobRun<T, E> + Sync + 'a
+where
+    F: Fn(usize, usize, &mut JobProbe) -> Result<T, E> + Sync,
+    E: From<InjectedFault> + From<JobPanic>,
 {
     let rungs = policy.failure.rungs();
-    let quarantine = matches!(policy.failure, FailurePolicy::Quarantine { .. });
-    let run_job = |j: usize, probe: &mut JobProbe| -> JobRun<A::Item, E> {
+    move |j: usize, probe: &mut JobProbe| -> JobRun<T, E> {
         if let Some(fault) = policy.faults.job_fault(j) {
             // Job-site faults model irrecoverable samples: they fire
             // on every rung, so no attempt is even made.
@@ -715,7 +897,9 @@ where
         }
         let mut rung = 0;
         loop {
-            match job(j, rung, probe) {
+            let attempt = catch_unwind(AssertUnwindSafe(|| job(j, rung, &mut *probe)))
+                .unwrap_or_else(|payload| Err(E::from(JobPanic::from_payload(payload.as_ref()))));
+            match attempt {
                 Ok(item) => {
                     return JobRun::Done {
                         item,
@@ -731,17 +915,20 @@ where
                 Err(_) => rung += 1,
             }
         }
-    };
-    let seed_of = |j: usize| SeedStream::new(policy.seed).substream(j as u64).seed();
-    let (acc, mut report, records) = run_engine(
-        jobs,
-        parallelism,
-        quarantine,
-        observing,
-        make_acc,
-        run_job,
-        seed_of,
-    )?;
+    }
+}
+
+/// The documented reproduction-seed derivation for failure reports.
+pub(crate) fn resilient_seed_of(policy: &ExecutionPolicy) -> impl Fn(usize) -> u64 + Sync + '_ {
+    move |j: usize| SeedStream::new(policy.seed).substream(j as u64).seed()
+}
+
+/// The post-merge quarantine-budget check: deterministic because it
+/// runs on the job-ordered merged list, never inside workers.
+pub(crate) fn check_quarantine_budget<E>(
+    policy: &ExecutionPolicy,
+    report: &mut FailureReport<E>,
+) -> Result<(), E> {
     if let FailurePolicy::Quarantine { max_failures, .. } = policy.failure {
         if report.quarantined.len() > max_failures {
             // The budget is checked after the ordered merge so the
@@ -750,7 +937,7 @@ where
             return Err(over.error);
         }
     }
-    Ok((acc, report, records))
+    Ok(())
 }
 
 /// Accumulates a per-grid-point running sum — the parallel form of an
@@ -773,6 +960,18 @@ impl MeanTrace {
     /// Number of absorbed traces.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// The raw per-point sums (checkpoint serialization reads these).
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Rebuilds an accumulator from checkpointed state. The bit
+    /// patterns of `sums` are preserved exactly, so a restored
+    /// accumulator continues the fold bit-identically.
+    pub fn from_parts(sums: Vec<f64>, count: usize) -> Self {
+        Self { sums, count }
     }
 
     /// The per-point mean (empty accumulator ⇒ zeros).
@@ -825,6 +1024,17 @@ impl<T> IndexedResults<T> {
         Self::default()
     }
 
+    /// The `(job, result)` slots in absorption order (checkpoint
+    /// serialization reads these).
+    pub fn slots(&self) -> &[(usize, T)] {
+        &self.slots
+    }
+
+    /// Rebuilds a collection from checkpointed `(job, result)` slots.
+    pub fn from_slots(slots: Vec<(usize, T)>) -> Self {
+        Self { slots }
+    }
+
     /// The results in job order.
     pub fn into_vec(self) -> Vec<T> {
         debug_assert!(
@@ -867,6 +1077,12 @@ impl CountHistogram {
     /// The counts, overflow bin last.
     pub fn bins(&self) -> &[u64] {
         &self.bins
+    }
+
+    /// Rebuilds a histogram from checkpointed counts (overflow bin
+    /// last, as returned by [`CountHistogram::bins`]).
+    pub fn from_bins(bins: Vec<u64>) -> Self {
+        Self { bins }
     }
 
     /// Total absorbed outcomes.
@@ -1017,11 +1233,18 @@ mod tests {
     enum TestError {
         Job(usize),
         Injected(InjectedFault),
+        Panicked(String),
     }
 
     impl From<InjectedFault> for TestError {
         fn from(f: InjectedFault) -> Self {
             TestError::Injected(f)
+        }
+    }
+
+    impl From<JobPanic> for TestError {
+        fn from(p: JobPanic) -> Self {
+            TestError::Panicked(p.message)
         }
     }
 
@@ -1213,6 +1436,55 @@ mod tests {
                 site: FaultSite::Job,
             })
         );
+    }
+
+    #[test]
+    fn a_panicking_job_is_quarantined_not_fatal() {
+        let policy = ExecutionPolicy {
+            failure: FailurePolicy::Quarantine {
+                rungs: 0,
+                max_failures: 2,
+            },
+            faults: FaultPlan::none(),
+            seed: 5,
+        };
+        for workers in [1, 4] {
+            let outcome = run_ensemble_resilient::<CountHistogram, _, TestError>(
+                30,
+                Parallelism::Fixed(workers),
+                &policy,
+                || CountHistogram::with_bins(2),
+                |j, _rung| {
+                    assert!(j != 13, "poisoned sample");
+                    Ok(0)
+                },
+            )
+            .unwrap();
+            assert_eq!(outcome.acc.total(), 29, "workers = {workers}");
+            assert_eq!(outcome.report.quarantined.len(), 1);
+            let q = &outcome.report.quarantined[0];
+            assert_eq!(q.job, 13);
+            assert_eq!(q.error, TestError::Panicked("poisoned sample".into()));
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_aborts_cleanly_under_failfast() {
+        let policy = ExecutionPolicy::default();
+        let err = run_ensemble_resilient::<CountHistogram, _, TestError>(
+            10,
+            Parallelism::Fixed(1),
+            &policy,
+            || CountHistogram::with_bins(2),
+            |j, _rung| {
+                if j == 4 {
+                    panic!("boom at {j}");
+                }
+                Ok(0)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TestError::Panicked("boom at 4".into()));
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub enum CoreError {
     /// A planned fault from a [`crate::FaultPlan`] fired (tests and
     /// rescue-path drills only; never raised in unfaulted runs).
     Injected(InjectedFault),
+    /// A per-job panic caught by the ensemble engine's containment
+    /// layer ([`crate::JobPanic`]): the job's panic payload, carried
+    /// so the sample can be quarantined instead of aborting the run.
+    Panicked {
+        /// The panic message (payload when it was a string).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +62,7 @@ impl fmt::Display for CoreError {
             }
             Self::Waveform(e) => write!(f, "generated trace is not a valid waveform: {e}"),
             Self::Injected(fault) => write!(f, "{fault}"),
+            Self::Panicked { message } => write!(f, "job panicked: {message}"),
         }
     }
 }
@@ -68,6 +76,12 @@ impl From<WaveformError> for CoreError {
 impl From<InjectedFault> for CoreError {
     fn from(fault: InjectedFault) -> Self {
         Self::Injected(fault)
+    }
+}
+
+impl From<crate::ensemble::JobPanic> for CoreError {
+    fn from(p: crate::ensemble::JobPanic) -> Self {
+        Self::Panicked { message: p.message }
     }
 }
 

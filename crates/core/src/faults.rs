@@ -102,6 +102,9 @@ struct Trigger {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     triggers: Vec<Trigger>,
+    /// Job index before which a checkpointed run kills its own
+    /// process (crash drill for the resume path). `None` = never.
+    kill_at: Option<usize>,
 }
 
 impl FaultPlan {
@@ -114,7 +117,7 @@ impl FaultPlan {
     /// True when the plan holds no triggers at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.triggers.is_empty()
+        self.triggers.is_empty() && self.kill_at.is_none()
     }
 
     /// Fails the `n`-th Newton solve (1-based) with `kind`.
@@ -152,6 +155,24 @@ impl FaultPlan {
             job: Some(job),
         });
         self
+    }
+
+    /// Schedules a *process kill*: a checkpointed ensemble runner
+    /// aborts the whole process (exit code [`crate::KILL_EXIT`])
+    /// immediately before executing job `job`. This is the crash
+    /// drill for checkpoint/resume — unlike every other trigger it
+    /// never surfaces as an error, because the process does not
+    /// survive to observe one. Ignored by non-checkpointed runners.
+    #[must_use]
+    pub fn kill_at_job(mut self, job: usize) -> Self {
+        self.kill_at = Some(job);
+        self
+    }
+
+    /// The job index scheduled for a process kill, if any.
+    #[must_use]
+    pub fn kill_job(&self) -> Option<usize> {
+        self.kill_at
     }
 
     /// Restricts the most recently added Solve/Step trigger to fire
@@ -206,6 +227,8 @@ impl FaultPlan {
                 .filter(|t| t.site != FaultSite::Job && (t.job.is_none() || t.job == Some(job)))
                 .map(|t| Trigger { job: None, ..*t })
                 .collect(),
+            // A nested runner must never re-kill the process.
+            kill_at: None,
         }
     }
 

@@ -51,6 +51,7 @@
 //! ```
 
 mod bias;
+pub mod checkpoint;
 pub mod ensemble;
 mod error;
 pub mod faults;
@@ -63,10 +64,14 @@ mod uniformisation;
 pub mod ye;
 
 pub use bias::BiasWaveforms;
+pub use checkpoint::{
+    fnv1a64, run_ensemble_checkpointed, write_checkpoint_atomic, CheckpointCodec, CheckpointConfig,
+    RunBudget, RunControls, Snapshot, CHECKPOINT_SCHEMA, KILL_EXIT,
+};
 pub use ensemble::{
     run_ensemble, run_ensemble_observed, run_ensemble_resilient, run_ensemble_resilient_observed,
-    EnsembleAccumulator, EnsembleOutcome, ExecutionPolicy, FailurePolicy, FailureReport,
-    JobFailure, Parallelism, RescuedJob,
+    Completion, EnsembleAccumulator, EnsembleOutcome, ExecutionPolicy, FailurePolicy,
+    FailureReport, JobFailure, JobPanic, Parallelism, RescuedJob,
 };
 pub use error::CoreError;
 pub use faults::{FaultArm, FaultKind, FaultPlan, FaultSite, InjectedFault};

@@ -4,10 +4,12 @@
 
 use proptest::prelude::*;
 
+use samurai_core::checkpoint::{run_ensemble_checkpointed, RunBudget, RunControls};
 use samurai_core::ensemble::{
-    run_ensemble_resilient, ExecutionPolicy, FailurePolicy, IndexedResults, Parallelism,
+    run_ensemble_resilient, Completion, ExecutionPolicy, FailurePolicy, IndexedResults, Parallelism,
 };
 use samurai_core::faults::{FaultKind, FaultPlan};
+use samurai_core::telemetry::Recorder;
 use samurai_core::{
     simulate_trap, simulate_trap_with, CoreError, SeedStream, UniformisationConfig,
 };
@@ -302,5 +304,78 @@ proptest! {
         prop_assert_eq!(outcome.report.rescued[0].job, bad);
         prop_assert_eq!(outcome.report.rescued[0].rung, 1);
         prop_assert!(outcome.report.quarantined.is_empty());
+    }
+
+    /// An exhausted job budget truncates at a deterministic boundary:
+    /// `completed + remaining == jobs`, and the truncated accumulator
+    /// and quarantine report are bit-identical to the uninterrupted
+    /// run's prefix, at any worker count.
+    #[test]
+    fn a_truncated_budget_is_an_exact_prefix(
+        jobs in 4usize..96,
+        max in 0usize..120,
+        bad in 0usize..96,
+        workers_ix in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let bad = bad % jobs;
+        let workers = [1usize, 2, 8][workers_ix];
+        let policy = ExecutionPolicy {
+            failure: FailurePolicy::Quarantine { rungs: 1, max_failures: 1 },
+            faults: FaultPlan::none().fail_job(bad, FaultKind::NonConvergence),
+            seed,
+        };
+        let run = |budget: RunBudget| {
+            run_ensemble_checkpointed::<IndexedResults<u64>, _, CoreError, _>(
+                jobs,
+                Parallelism::Fixed(workers),
+                &policy,
+                &RunControls { budget, ..RunControls::default() },
+                &mut Recorder::noop(),
+                IndexedResults::new,
+                |job, rung, _probe| Ok((job as u64) * 1000 + rung as u64),
+            )
+            .expect("quarantine absorbs the planned failure")
+        };
+
+        let full = run(RunBudget::unlimited());
+        prop_assert_eq!(full.completion, Completion::Complete);
+
+        let truncated = run(RunBudget::unlimited().jobs(max));
+        // Sub-1024-job ensembles have shard width 1, so the
+        // rounded-down job budget is exact.
+        let completed = max.min(jobs);
+        if completed == jobs {
+            prop_assert_eq!(truncated.completion, Completion::Complete);
+        } else {
+            prop_assert_eq!(
+                truncated.completion,
+                Completion::Truncated { completed, remaining: jobs - completed }
+            );
+        }
+
+        let want_items: Vec<(usize, u64)> = full
+            .acc
+            .slots()
+            .iter()
+            .filter(|(job, _)| *job < completed)
+            .copied()
+            .collect();
+        prop_assert_eq!(truncated.acc.slots().to_vec(), want_items);
+
+        let want_bad: Vec<(usize, u64, usize)> = full
+            .report
+            .quarantined
+            .iter()
+            .filter(|f| f.job < completed)
+            .map(|f| (f.job, f.seed, f.rungs_attempted))
+            .collect();
+        let got_bad: Vec<(usize, u64, usize)> = truncated
+            .report
+            .quarantined
+            .iter()
+            .map(|f| (f.job, f.seed, f.rungs_attempted))
+            .collect();
+        prop_assert_eq!(got_bad, want_bad);
     }
 }

@@ -1,0 +1,17 @@
+//! Allowed counterpart: RSM001 suppressed with a justified escape, and
+//! the sanctioned shapes that never fire.
+
+use std::fs;
+use std::path::Path;
+
+pub fn deliberately_torn(dir: &Path, doc: &str) -> std::io::Result<()> {
+    // A corruption drill needs a torn file on purpose.
+    fs::write(dir.join("torn.ckpt"), &doc[..doc.len() / 2]) // lint: allow(RSM001): corruption drill writes a torn snapshot on purpose
+}
+
+pub fn atomic_staging(tmp: &Path, target: &Path, doc: &str) -> std::io::Result<()> {
+    // The helper's own shape: stage in a temp sibling, then rename.
+    // No `.ckpt` literal near the raw write, so the rule is silent.
+    fs::write(tmp, doc)?;
+    fs::rename(tmp, target)
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: RSM001 — checkpoint files written without the
+//! atomic temp-and-rename helper.
+
+use std::fs;
+use std::fs::File;
+use std::path::Path;
+
+pub fn torn_snapshot(dir: &Path, doc: &str) -> std::io::Result<()> {
+    fs::write(dir.join("ensemble.ckpt"), doc) //~ RSM001
+}
+
+pub fn torn_handle(dir: &Path) -> std::io::Result<File> {
+    File::create(dir.join("column.ckpt")) //~ RSM001
+}

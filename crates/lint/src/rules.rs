@@ -110,12 +110,13 @@ pub const RULES: &[Rule] = &[
         id: "DET005",
         title: "no fault-plan construction in production code",
         contract: "determinism",
-        explain: "FaultPlan builder calls (fail_nth_solve, fail_nth_step, fail_job) schedule \
-                  deliberate solver failures. They belong in #[cfg(test)] modules, the \
-                  fault-injection suite and the faults module itself; a plan built in \
-                  production library code would silently corrupt ensemble results. Fix: move \
-                  the construction into a test, or thread a plan in from the caller's \
-                  configuration (carrying and arming plans is always allowed).",
+        explain: "FaultPlan builder calls (fail_nth_solve, fail_nth_step, fail_job, \
+                  kill_at_job) schedule deliberate solver failures or a hard process kill. \
+                  They belong in #[cfg(test)] modules, the fault-injection suite and the \
+                  faults module itself; a plan built in production library code would \
+                  silently corrupt ensemble results. Fix: move the construction into a \
+                  test, or thread a plan in from the caller's configuration (carrying and \
+                  arming plans is always allowed).",
     },
     Rule {
         id: "DET006",
@@ -286,6 +287,20 @@ pub const RULES: &[Rule] = &[
                   applies everywhere, including tests and tools.",
     },
     Rule {
+        id: "RSM001",
+        title: "checkpoint files are written only through the atomic helper",
+        contract: "crash-safety",
+        explain: "A snapshot written with a bare File::create or fs::write can be torn by \
+                  a crash mid-write, and a torn `.ckpt` file silently costs a resume its \
+                  whole saved prefix. The one sanctioned writer is \
+                  samurai_core::checkpoint::write_checkpoint_atomic, which stages the \
+                  document in a temp sibling and renames it into place (rename is atomic \
+                  on POSIX filesystems). The lexical rule fires on File::create/fs::write \
+                  with a `.ckpt` string literal nearby; route the write through the \
+                  helper, or justify a deliberately-torn test artifact with \
+                  `// lint: allow(RSM001): reason`.",
+    },
+    Rule {
         id: "OBS001",
         title: "telemetry in hot loops must use the guarded macros",
         contract: "observability",
@@ -328,7 +343,13 @@ const AMBIENT_RNG: &[&str] = &["thread_rng", "ThreadRng", "OsRng", "from_entropy
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// FaultPlan builder methods that schedule injected failures (DET005).
-const FAULT_PLAN_BUILDERS: &[&str] = &["fail_nth_solve", "fail_nth_step", "fail_job"];
+const FAULT_PLAN_BUILDERS: &[&str] =
+    &["fail_nth_solve", "fail_nth_step", "fail_job", "kill_at_job"];
+
+/// How many tokens past a raw write call the RSM001 scan looks for a
+/// `.ckpt` literal — generous enough to cover a path expression
+/// argument, small enough not to leak into the next statement.
+const RSM_SCAN_WINDOW: usize = 16;
 
 /// Statistical sampling primitives reserved for the scenario layer
 /// (DET006).
@@ -531,6 +552,30 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
                     );
                 }
 
+                // --- crash safety ------------------------------------
+                // A raw write aimed at a checkpoint file (`.ckpt`
+                // literal in the argument window) bypasses the atomic
+                // temp-and-rename helper. Applies to tools too: a torn
+                // snapshot is torn no matter who wrote it.
+                if (name == "create" && prev == "::" && prev2 == "File")
+                    || (name == "write" && prev == "::" && prev2 == "fs")
+                {
+                    let near_ckpt = toks[k + 1..]
+                        .iter()
+                        .take(RSM_SCAN_WINDOW)
+                        .any(|a| a.kind == TokKind::Str && a.text.contains(".ckpt"));
+                    if near_ckpt {
+                        emit(
+                            "RSM001",
+                            t,
+                            format!(
+                                "`{prev2}::{name}` writes a checkpoint file directly; \
+                                 use checkpoint::write_checkpoint_atomic"
+                            ),
+                        );
+                    }
+                }
+
                 // --- unsafe audit ------------------------------------
                 if name == "unsafe" && !ctx.has_safety_near(t.line) {
                     emit(
@@ -676,6 +721,33 @@ mod tests {
         // Carrying or arming a plan is not construction.
         let src = "fn f(p: &FaultPlan) { let a = p.arm(FaultSite::Solve); }\n";
         assert!(findings(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn raw_checkpoint_writes_fire_in_every_class() {
+        let src = "fn f() { fs::write(dir.join(\"run.ckpt\"), doc); }\n";
+        for class in [LIB, FileClass::Tool] {
+            let (toks, comments) = tokenize(src);
+            let ctx = FileContext::build(&toks, &comments);
+            let f = check_tokens("mem.rs", class, &toks, &ctx);
+            assert_eq!(f.len(), 1, "{class:?}");
+            assert_eq!(f[0].rule, "RSM001");
+        }
+        let src = "fn f() { let h = File::create(\"col.ckpt\")?; }\n";
+        assert_eq!(findings(src, LIB)[0].rule, "RSM001");
+
+        // Writes with no checkpoint literal in range are untouched,
+        // as is the atomic helper's own temp-file staging.
+        assert!(findings("fn f() { fs::write(path, doc); }\n", LIB).is_empty());
+        assert!(findings(
+            "fn f() { fs::write(&tmp, contents)?; fs::rename(&tmp, path) }\n",
+            LIB
+        )
+        .is_empty());
+
+        // The kill drill is a DET005 builder like the others.
+        let src = "fn f(p: FaultPlan) -> FaultPlan { p.kill_at_job(7) }\n";
+        assert_eq!(findings(src, LIB)[0].rule, "DET005");
     }
 
     #[test]

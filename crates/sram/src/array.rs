@@ -8,12 +8,15 @@
 //! aggregates write-error statistics — the "bit-error impact of RTN on
 //! entire SRAM arrays" the authors name as the next step.
 
+use samurai_core::checkpoint::{
+    run_ensemble_checkpointed, CheckpointConfig, RunBudget, RunControls, Snapshot,
+};
 use samurai_core::ensemble::{
-    run_ensemble_resilient_observed, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
-    Parallelism,
+    Completion, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults, Parallelism,
 };
 use samurai_core::faults::FaultPlan;
 use samurai_core::scenario::{DeviceGeometry, ScenarioConfig, NOMINAL_TEMPERATURE};
+use samurai_core::telemetry::JsonValue;
 use samurai_core::SeedStream;
 use samurai_spice::MosfetAdjust;
 use samurai_telemetry::{JobProbe, MetricsSink, Recorder};
@@ -53,6 +56,13 @@ pub struct ArrayConfig {
     /// cells, `in_job`-scoped solve/step triggers reach into one cell's
     /// SPICE passes. Overrides `base.faults`. Empty in production.
     pub faults: FaultPlan,
+    /// Crash-safe snapshotting of the sweep (see
+    /// [`samurai_core::checkpoint`]). Off by default.
+    pub checkpoint: CheckpointConfig,
+    /// Deterministic work ceilings; an exhausted budget truncates the
+    /// sweep cleanly ([`ArrayStats::completion`]). Unlimited by
+    /// default.
+    pub budget: RunBudget,
 }
 
 impl Default for ArrayConfig {
@@ -65,6 +75,8 @@ impl Default for ArrayConfig {
             seed: 0,
             failure: FailurePolicy::FailFast,
             faults: FaultPlan::none(),
+            checkpoint: CheckpointConfig::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -84,6 +96,42 @@ pub struct CellResult {
     pub rtn_events: usize,
 }
 
+impl Snapshot for CellResult {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::Arr(
+            [
+                self.cell,
+                self.errors,
+                self.slow,
+                self.baseline_errors,
+                self.rtn_events,
+            ]
+            .iter()
+            .map(|&n| JsonValue::U64(n as u64))
+            .collect(),
+        )
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(items) = v else {
+            return None;
+        };
+        if items.len() != 5 {
+            return None;
+        }
+        let mut n = items
+            .iter()
+            .map(|item| usize::try_from(item.as_u64()?).ok());
+        Some(Self {
+            cell: n.next()??,
+            errors: n.next()??,
+            slow: n.next()??,
+            baseline_errors: n.next()??,
+            rtn_events: n.next()??,
+        })
+    }
+}
+
 /// Aggregated statistics of the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayStats {
@@ -95,6 +143,9 @@ pub struct ArrayStats {
     /// Rescue/quarantine accounting for the sweep; clean runs carry an
     /// empty report.
     pub report: FailureReport<SramError>,
+    /// Whether the sweep covered every cell or was budget-truncated at
+    /// a deterministic boundary.
+    pub completion: Completion,
 }
 
 impl ArrayStats {
@@ -177,10 +228,16 @@ pub fn run_array_observed<S: MetricsSink>(
         faults: config.faults.clone(),
         seed: config.seed,
     };
-    let outcome = run_ensemble_resilient_observed(
+    let controls = RunControls {
+        checkpoint: config.checkpoint.clone(),
+        budget: config.budget,
+        deadline: None,
+    };
+    let outcome = run_ensemble_checkpointed(
         config.cells,
         config.base.parallelism,
         &policy,
+        &controls,
         recorder,
         IndexedResults::new,
         |cell_idx, rung, probe: &mut JobProbe| -> Result<CellResult, SramError> {
@@ -293,6 +350,7 @@ pub fn run_array_observed<S: MetricsSink>(
         cells: outcome.acc.into_vec(),
         writes_per_cell: pattern.len(),
         report: outcome.report,
+        completion: outcome.completion,
     })
 }
 

@@ -26,12 +26,15 @@
 
 use rand::Rng;
 
+use samurai_core::checkpoint::{
+    run_ensemble_checkpointed, CheckpointConfig, RunBudget, RunControls, Snapshot,
+};
 use samurai_core::ensemble::{
-    run_ensemble_resilient_observed, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults,
-    Parallelism,
+    Completion, ExecutionPolicy, FailurePolicy, FailureReport, IndexedResults, Parallelism,
 };
 use samurai_core::faults::{FaultPlan, FaultSite};
 use samurai_core::scenario::{DeviceGeometry, ScenarioConfig, NOMINAL_TEMPERATURE};
+use samurai_core::telemetry::JsonValue;
 use samurai_core::{BiasWaveforms, RtnGenerator, SeedStream};
 use samurai_spice::{
     Circuit, CompiledCircuit, DcConfig, ElementId, MosfetAdjust, MosfetParams, NewtonWorkspace,
@@ -691,6 +694,13 @@ pub struct ColumnEnsembleConfig {
     pub failure: FailurePolicy,
     /// Deterministic fault plan for the sweep. Empty in production.
     pub faults: FaultPlan,
+    /// Crash-safe snapshotting of the ensemble (see
+    /// [`samurai_core::checkpoint`]). Off by default.
+    pub checkpoint: CheckpointConfig,
+    /// Deterministic work ceilings; an exhausted budget truncates the
+    /// ensemble cleanly ([`ColumnStats::completion`]). Unlimited by
+    /// default.
+    pub budget: RunBudget,
 }
 
 impl Default for ColumnEnsembleConfig {
@@ -711,6 +721,8 @@ impl Default for ColumnEnsembleConfig {
             spice: TransientConfig::default(),
             failure: FailurePolicy::FailFast,
             faults: FaultPlan::none(),
+            checkpoint: CheckpointConfig::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -734,6 +746,44 @@ pub struct ColumnMemberResult {
     pub q_selected: f64,
 }
 
+impl Snapshot for ColumnMemberResult {
+    fn to_snapshot(&self) -> JsonValue {
+        JsonValue::Arr(vec![
+            JsonValue::U64(self.member as u64),
+            JsonValue::Bool(self.write_ok_clean),
+            JsonValue::Bool(self.write_ok),
+            JsonValue::U64(self.disturbed_clean as u64),
+            JsonValue::U64(self.disturbed as u64),
+            JsonValue::U64(self.rtn_events as u64),
+            // IEEE-754 bit pattern: the resumed run is bit-identical.
+            JsonValue::U64(self.q_selected.to_bits()),
+        ])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        let JsonValue::Arr(items) = v else {
+            return None;
+        };
+        if items.len() != 7 {
+            return None;
+        }
+        let usize_at = |i: usize| usize::try_from(items[i].as_u64()?).ok();
+        let bool_at = |i: usize| match items[i] {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        };
+        Some(Self {
+            member: usize_at(0)?,
+            write_ok_clean: bool_at(1)?,
+            write_ok: bool_at(2)?,
+            disturbed_clean: usize_at(3)?,
+            disturbed: usize_at(4)?,
+            rtn_events: usize_at(5)?,
+            q_selected: f64::from_bits(items[6].as_u64()?),
+        })
+    }
+}
+
 /// Aggregated ensemble statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
@@ -744,6 +794,9 @@ pub struct ColumnStats {
     pub rows: usize,
     /// Rescue/quarantine accounting; clean runs carry an empty report.
     pub report: FailureReport<SramError>,
+    /// Whether the ensemble ran to completion or a budget/deadline
+    /// truncated it at a job boundary.
+    pub completion: Completion,
 }
 
 impl ColumnStats {
@@ -831,10 +884,16 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
         faults: config.faults.clone(),
         seed: config.seed,
     };
-    let outcome = run_ensemble_resilient_observed(
+    let controls = RunControls {
+        checkpoint: config.checkpoint.clone(),
+        budget: config.budget,
+        deadline: None,
+    };
+    let outcome = run_ensemble_checkpointed(
         config.members,
         config.parallelism,
         &policy,
+        &controls,
         recorder,
         IndexedResults::new,
         |member, rung, probe: &mut JobProbe| -> Result<ColumnMemberResult, SramError> {
@@ -1045,6 +1104,7 @@ pub fn run_column_ensemble_observed<S: MetricsSink>(
         members: outcome.acc.into_vec(),
         rows: config.column.rows,
         report: outcome.report,
+        completion: outcome.completion,
     })
 }
 

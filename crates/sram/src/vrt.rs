@@ -15,6 +15,7 @@
 //! retention time follows by integrating the charge decay. A slow trap
 //! yields the characteristic *bimodal* retention-time histogram.
 
+use samurai_core::checkpoint::RunBudget;
 use samurai_core::scenario::{DeviceGeometry, ScenarioConfig};
 use samurai_core::{simulate_trap_probed, CoreError, SeedStream, UniformisationConfig};
 use samurai_telemetry::{JobProbe, JobRecord, MetricsSink, Recorder, Stopwatch};
@@ -60,6 +61,11 @@ pub struct VrtConfig {
     /// halving the cycle count until the budget suffices (see
     /// [`VrtReport::effective_cycles`]).
     pub event_budget: Option<usize>,
+    /// Deterministic run budget: `max_jobs` caps the refresh-cycle
+    /// count *before* the experiment starts (each cycle is one job of
+    /// the retention sweep), so a capped run measures an exact prefix
+    /// of the uncapped one. Unlimited by default.
+    pub budget: RunBudget,
 }
 
 impl Default for VrtConfig {
@@ -80,6 +86,7 @@ impl Default for VrtConfig {
             seed: 0,
             scenario: None,
             event_budget: None,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -221,7 +228,13 @@ pub fn run_vrt_observed<S: MetricsSink>(
     let watch = recorder.live().then(Stopwatch::start);
     let mut probe = JobProbe::new(recorder.live());
     let mut halvings = 0usize;
-    let mut cycles = config.cycles;
+    // The run budget truncates up front: a capped experiment simulates
+    // the exact trajectory prefix of the uncapped one, so the first
+    // `max_jobs` retention times agree bit-for-bit.
+    let mut cycles = match config.budget.max_jobs {
+        Some(max) => config.cycles.min(max),
+        None => config.cycles,
+    };
     let occupancy = loop {
         let horizon = (cycles + 1) as f64 * t_good;
         let mut rng = SeedStream::new(config.seed).rng(0);
@@ -380,6 +393,38 @@ mod tests {
             run_vrt(&hopeless),
             Err(SramError::Rtn(CoreError::EventBudgetExceeded { .. }))
         ));
+    }
+
+    #[test]
+    fn a_job_budget_truncates_to_an_exact_prefix() {
+        let full = VrtConfig {
+            cycles: 60,
+            seed: 3,
+            ..VrtConfig::default()
+        };
+        let capped = VrtConfig {
+            budget: RunBudget::unlimited().jobs(25),
+            ..full.clone()
+        };
+        let full_report = run_vrt(&full).unwrap();
+        let capped_report = run_vrt(&capped).unwrap();
+        assert!(capped_report.was_truncated());
+        assert_eq!(capped_report.effective_cycles(), 25);
+        assert_eq!(capped_report.requested_cycles, 60);
+        // Prefix-deterministic: the capped run measures exactly the
+        // first 25 cycles of the uncapped one.
+        assert_eq!(
+            capped_report.retention_times,
+            full_report.retention_times[..25]
+        );
+        // A budget looser than the experiment changes nothing.
+        let loose = VrtConfig {
+            budget: RunBudget::unlimited().jobs(600),
+            ..full
+        };
+        let loose_report = run_vrt(&loose).unwrap();
+        assert!(!loose_report.was_truncated());
+        assert_eq!(loose_report.retention_times, full_report.retention_times);
     }
 
     #[test]

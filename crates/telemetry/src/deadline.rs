@@ -1,0 +1,90 @@
+//! Injectable deadlines for budgeted ensemble runs.
+//!
+//! The ensemble engine must never read the clock itself — wall-clock
+//! access is confined to this crate (lint rule `DET001`), and time fed
+//! into control flow would make results scheduling-dependent. The
+//! [`Deadline`] trait squares that circle: the engine consults an
+//! injected `expired()` predicate **only at job-segment boundaries**
+//! (never inside a shard), so a tripped deadline truncates the run at
+//! a deterministic job boundary and every completed prefix is still
+//! bit-identical to the same prefix of an uninterrupted run. *When*
+//! the deadline trips is of course as nondeterministic as the clock
+//! behind it; what was computed up to that point is not.
+//!
+//! [`NoDeadline`] is the zero-cost default; [`WallClockDeadline`] is
+//! the real one, built on [`Stopwatch`] so `std::time::Instant` stays
+//! inside this crate.
+
+use crate::span::Stopwatch;
+
+/// A predicate the ensemble engine polls between job segments to
+/// decide whether to keep going.
+pub trait Deadline {
+    /// `true` once the run should stop claiming new work.
+    fn expired(&self) -> bool;
+}
+
+/// The never-expiring deadline: the default for unbudgeted runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDeadline;
+
+impl Deadline for NoDeadline {
+    fn expired(&self) -> bool {
+        false
+    }
+}
+
+/// A wall-clock deadline: expires `limit_seconds` after construction.
+#[derive(Debug, Clone)]
+pub struct WallClockDeadline {
+    watch: Stopwatch,
+    limit_seconds: f64,
+}
+
+impl WallClockDeadline {
+    /// Starts the clock now; the deadline expires after
+    /// `limit_seconds` of wall time.
+    #[must_use]
+    pub fn after_seconds(limit_seconds: f64) -> Self {
+        Self {
+            watch: Stopwatch::start(),
+            limit_seconds,
+        }
+    }
+
+    /// Seconds left before expiry (clamped at zero).
+    #[must_use]
+    pub fn remaining_seconds(&self) -> f64 {
+        (self.limit_seconds - self.watch.elapsed_seconds()).max(0.0)
+    }
+}
+
+impl Deadline for WallClockDeadline {
+    fn expired(&self) -> bool {
+        self.watch.elapsed_seconds() >= self.limit_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_never_expires() {
+        assert!(!NoDeadline.expired());
+    }
+
+    #[test]
+    fn generous_wall_clock_deadline_is_not_yet_expired() {
+        let d = WallClockDeadline::after_seconds(3600.0);
+        assert!(!d.expired());
+        assert!(d.remaining_seconds() > 3500.0);
+    }
+
+    #[test]
+    fn zero_wall_clock_deadline_expires_immediately() {
+        let d = WallClockDeadline::after_seconds(0.0);
+        assert!(d.expired());
+        assert_eq!(d.remaining_seconds(), 0.0);
+    }
+}

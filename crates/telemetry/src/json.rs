@@ -60,6 +60,17 @@ impl JsonValue {
         }
     }
 
+    /// The value as an exact `u64`, if it is an unsigned integer.
+    /// Unlike [`JsonValue::as_f64`] this never widens through floating
+    /// point, so checkpoint bit-patterns round-trip exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

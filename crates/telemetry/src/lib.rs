@@ -36,6 +36,9 @@
 //!   [`MemorySink`], and the guarded [`count!`]/[`observe!`] macros.
 //! - [`hist`]: [`FixedHistogram`] with caller-fixed bucket bounds.
 //! - [`span`]: [`Stopwatch`] and [`Span`] monotonic timing.
+//! - [`deadline`]: the injectable [`Deadline`] trait with
+//!   [`NoDeadline`] and the wall-clock [`WallClockDeadline`] — the
+//!   only clock the checkpointed ensemble runner may observe.
 //! - [`stats`]: plain-counter bundles ([`SolverStats`], [`TrapStats`])
 //!   incremented as bare `u64` fields in hot loops.
 //! - [`journal`]: the job-ordered [`Journal`] of [`JournalEvent`]s
@@ -46,6 +49,7 @@
 //! - [`recorder`]: [`Recorder`], the single handle the ensemble
 //!   engine and bench bins thread through a run.
 
+pub mod deadline;
 pub mod hist;
 pub mod journal;
 pub mod json;
@@ -54,6 +58,7 @@ pub mod sink;
 pub mod span;
 pub mod stats;
 
+pub use deadline::{Deadline, NoDeadline, WallClockDeadline};
 pub use hist::{percentile, FixedHistogram};
 pub use journal::{Journal, JournalEvent};
 pub use json::JsonValue;

@@ -112,6 +112,112 @@ pub struct JobRecord {
     pub scenario: Option<ScenarioStamp>,
 }
 
+impl JobRecord {
+    /// Serialises the record for a checkpoint snapshot. Every number
+    /// is carried as an exact `u64` — floats travel as their IEEE-754
+    /// bit patterns — so a resumed run reproduces the record
+    /// bit-for-bit and the journal it feeds stays byte-identical.
+    #[must_use]
+    pub fn to_checkpoint_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("job", JsonValue::U64(self.job as u64)),
+            ("seconds_bits", JsonValue::U64(self.seconds.to_bits())),
+            (
+                "rescued",
+                match self.rescued {
+                    Some(rung) => JsonValue::U64(rung as u64),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "solver",
+                JsonValue::Arr(
+                    [
+                        self.solver.solve_attempts,
+                        self.solver.newton_iterations,
+                        self.solver.steps_accepted,
+                        self.solver.timestep_rejections,
+                        self.solver.rescue_gmin_rungs,
+                        self.solver.rescue_config_rungs,
+                        self.solver.faults_injected,
+                    ]
+                    .iter()
+                    .map(|&n| JsonValue::U64(n))
+                    .collect(),
+                ),
+            ),
+            (
+                "trap",
+                JsonValue::Arr(vec![
+                    JsonValue::U64(self.trap.candidates),
+                    JsonValue::U64(self.trap.accepted),
+                ]),
+            ),
+            (
+                "scenario",
+                match self.scenario {
+                    Some(stamp) => JsonValue::obj(vec![
+                        ("hash", JsonValue::U64(stamp.hash)),
+                        (
+                            "aging_seconds_bits",
+                            JsonValue::U64(stamp.aging_seconds.to_bits()),
+                        ),
+                    ]),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Rebuilds a record written by [`JobRecord::to_checkpoint_json`].
+    /// Returns `None` on any structural mismatch — checkpoint loaders
+    /// treat that as corruption and degrade to a cold start.
+    #[must_use]
+    pub fn from_checkpoint_json(v: &JsonValue) -> Option<Self> {
+        let solver = match v.get("solver")? {
+            JsonValue::Arr(items) if items.len() == 7 => {
+                let mut n = items.iter().map(JsonValue::as_u64);
+                SolverStats {
+                    solve_attempts: n.next()??,
+                    newton_iterations: n.next()??,
+                    steps_accepted: n.next()??,
+                    timestep_rejections: n.next()??,
+                    rescue_gmin_rungs: n.next()??,
+                    rescue_config_rungs: n.next()??,
+                    faults_injected: n.next()??,
+                }
+            }
+            _ => return None,
+        };
+        let trap = match v.get("trap")? {
+            JsonValue::Arr(items) if items.len() == 2 => TrapStats {
+                candidates: items[0].as_u64()?,
+                accepted: items[1].as_u64()?,
+            },
+            _ => return None,
+        };
+        let scenario = match v.get("scenario")? {
+            JsonValue::Null => None,
+            stamp => Some(ScenarioStamp {
+                hash: stamp.get("hash")?.as_u64()?,
+                aging_seconds: f64::from_bits(stamp.get("aging_seconds_bits")?.as_u64()?),
+            }),
+        };
+        let rescued = match v.get("rescued")? {
+            JsonValue::Null => None,
+            rung => Some(usize::try_from(rung.as_u64()?).ok()?),
+        };
+        Some(Self {
+            job: usize::try_from(v.get("job")?.as_u64()?).ok()?,
+            seconds: f64::from_bits(v.get("seconds_bits")?.as_u64()?),
+            rescued,
+            solver,
+            trap,
+            scenario,
+        })
+    }
+}
+
 /// The single-threaded collection handle for one observed run.
 ///
 /// Generic over the sink so a [`NoopRecorder`] is compile-time dead:
