@@ -88,8 +88,89 @@ cargo run -q --release -p samurai-bench --bin x7_corners -- \
     --smoke --metrics target/metrics
 cargo run -q --release -p samurai-bench --bin validate_metrics -- \
     target/metrics/BENCH_x7_corners.json metrics/BENCH_x7_corners.json
+# Simulation-as-a-service gate (DESIGN.md §15): start the serve daemon
+# on an ephemeral port over a fresh store, run a fig7-smoke-sized spec
+# through the HTTP API, and prove the three service contracts:
+#   1. the submitted job completes and streams a journal;
+#   2. an identical resubmission is answered from the store (cache-hit
+#      counter moves, no new job is accepted or executed);
+#   3. a server killed mid-job by the deterministic exit-86 drill
+#      resumes the ticket on restart and its journal comes out
+#      byte-identical to the uninterrupted run's.
+rm -rf target/serve-store target/serve-store-drill
+target/release/serve --store target/serve-store --workers 2 --threads 2 \
+    > target/serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "^listening on " target/serve.log && break
+    sleep 0.2
+done
+addr=$(sed -n 's/^listening on //p' target/serve.log)
+ticket=$(target/release/samurai-client submit --addr "$addr" \
+    --spec trap:6:1024 --seed 42 | sed -n 's/^ticket=\([0-9a-f]*\).*/\1/p')
+for _ in $(seq 1 300); do
+    target/release/samurai-client status --addr "$addr" --ticket "$ticket" \
+        | grep -q '"phase":"done"' && break
+    sleep 0.2
+done
+target/release/samurai-client status --addr "$addr" --ticket "$ticket" \
+    | grep -q '"phase":"done"'
+target/release/samurai-client journal --addr "$addr" --ticket "$ticket" \
+    > target/serve-journal-plain.jsonl
+test -s target/serve-journal-plain.jsonl
+target/release/samurai-client submit --addr "$addr" --spec trap:6:1024 --seed 42 \
+    | grep -q "status=cached"
+target/release/samurai-client metrics --addr "$addr" > target/serve-metrics.json
+grep -q '"serve.cache_hit":1' target/serve-metrics.json
+grep -q '"serve.jobs_accepted":1' target/serve-metrics.json
+grep -q '"serve.jobs_completed":1' target/serve-metrics.json
+target/release/samurai-client drain --addr "$addr"
+wait $serve_pid
+# Crash drill: the same spec with a kill trigger, on a fresh store.
+# The worker dies with exit 86 mid-ensemble (after at least one
+# checkpointed segment, chunk 2 over 6 jobs); the drill is excluded
+# from the ticket, so the recovered job is the plain run and resumes
+# under the same ticket captured above.
+target/release/serve --store target/serve-store-drill --workers 1 --threads 2 \
+    --chunk 2 > target/serve-drill.log 2>&1 &
+drill_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "^listening on " target/serve-drill.log && break
+    sleep 0.2
+done
+addr=$(sed -n 's/^listening on //p' target/serve-drill.log)
+target/release/samurai-client submit --addr "$addr" \
+    --spec trap:6:1024 --seed 42 --kill-at-job 5 || true
+set +e
+wait $drill_pid
+drill_status=$?
+set -e
+test "$drill_status" -eq 86
+test -f "target/serve-store-drill/$ticket.req.json"
+target/release/serve --store target/serve-store-drill --workers 1 --threads 2 \
+    --chunk 2 > target/serve-resume.log 2>&1 &
+resume_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "^listening on " target/serve-resume.log && break
+    sleep 0.2
+done
+addr=$(sed -n 's/^listening on //p' target/serve-resume.log)
+for _ in $(seq 1 300); do
+    target/release/samurai-client status --addr "$addr" --ticket "$ticket" \
+        | grep -q '"phase":"done"' && break
+    sleep 0.2
+done
+target/release/samurai-client journal --addr "$addr" --ticket "$ticket" \
+    > target/serve-journal-resumed.jsonl
+cmp target/serve-journal-resumed.jsonl target/serve-journal-plain.jsonl
+target/release/samurai-client drain --addr "$addr"
+wait $resume_pid
+# Store audit: every document both gates left behind must carry a
+# valid schema tag and content hash.
+cargo run -q --release -p samurai-bench --bin validate_store -- \
+    target/serve-store/*.json target/serve-store-drill/*.json
 # Doc lint wall over the first-party crates (vendored stubs excluded).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p samurai-units -p samurai-telemetry -p samurai-waveform \
     -p samurai-trap -p samurai-core -p samurai-analysis -p samurai-spice \
-    -p samurai-sram -p samurai-bench -p samurai -p samurai-lint
+    -p samurai-sram -p samurai-serve -p samurai-bench -p samurai -p samurai-lint

@@ -10,6 +10,13 @@ use samurai_sram::margin::{MarginModel, MarginRow};
 use samurai_trap::Technology;
 
 fn main() {
+    if samurai_bench::handle_help(
+        "fig2_margins",
+        "regenerates Fig. 2: design-margin impact of variation, NBTI and RTN across nodes",
+        &[],
+    ) {
+        return;
+    }
     let model = MarginModel::default();
     let parallelism = parallelism_from_args();
     let mut session = BenchSession::from_args("fig2");

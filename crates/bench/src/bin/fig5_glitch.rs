@@ -26,6 +26,13 @@ struct Scenario {
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "fig5_glitch",
+        "regenerates Fig. 5: effect of I_RTN glitch timing on a write",
+        &[],
+    ) {
+        return;
+    }
     let timing = WriteTiming::default();
     // Cycle 0 writes a 0 (establishing the state), cycle 1 writes the 1
     // that the glitch attacks.

@@ -121,6 +121,13 @@ impl Snapshot for PanelResult {
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "fig7_validation",
+        "regenerates Fig. 7: stationary validation against the Machlup expressions",
+        &[],
+    ) {
+        return;
+    }
     let device = DeviceParams::nominal_90nm();
     let i_d = 10e-6;
 

@@ -30,6 +30,13 @@ fn absorb(session: &mut BenchSession, job: usize, seconds: f64, solver: SolverSt
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "fig8_methodology",
+        "regenerates Fig. 8: the full SAMURAI+SPICE methodology on the paper's bit pattern",
+        &[],
+    ) {
+        return;
+    }
     let pattern = BitPattern::paper_fig8();
     println!("bit pattern: {pattern}");
     let parallelism = parallelism_from_args();

@@ -24,6 +24,13 @@ fn validate_file(path: &str) -> Result<(), Vec<String>> {
 }
 
 fn main() -> ExitCode {
+    if samurai_bench::handle_help(
+        "validate_checkpoint",
+        "CI gate: validate samurai-checkpoint-v1 snapshot files",
+        &[("<path>...", "files to validate")],
+    ) {
+        return ExitCode::SUCCESS;
+    }
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
         eprintln!("usage: validate_checkpoint <snapshot.ckpt>...");

@@ -23,6 +23,13 @@ fn validate_file(path: &str) -> Result<(), Vec<String>> {
 }
 
 fn main() -> ExitCode {
+    if samurai_bench::handle_help(
+        "validate_metrics",
+        "CI gate: validate BENCH_*.json telemetry summaries",
+        &[("<path>...", "files to validate")],
+    ) {
+        return ExitCode::SUCCESS;
+    }
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
         eprintln!("usage: validate_metrics <BENCH_*.json>...");

@@ -1,21 +1,22 @@
-//! CI gate for the lint call-graph artifact: parse a
-//! `samurai-lint --graph` dump and reject schema drift, non-dense node
-//! ids and out-of-range edge or root targets.
+//! CI gate for the result store: parse `samurai-request-v1` /
+//! `samurai-store-v1` documents, recompute the FNV-1a content hash
+//! over the canonical payload serialisation and reject schema gaps.
 //!
 //! Run with
-//! `cargo run -p samurai-bench --bin validate_graph -- <path>...`;
-//! exits non-zero listing every violation, mirroring
-//! `validate_metrics`.
+//! `cargo run -p samurai-bench --bin validate_store -- <path>...`
+//! (typically `store/*.json store/*.req.json`); exits non-zero listing
+//! every violation, so `ci.sh` can audit everything the serve daemon
+//! left behind after its smoke gate.
 
-use samurai_bench::validate_call_graph;
 use samurai_core::telemetry::json;
+use samurai_serve::validate_store_document;
 use std::process::ExitCode;
 
 fn validate_file(path: &str) -> Result<(), Vec<String>> {
     let text =
         std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
     let doc = json::parse(&text).map_err(|e| vec![format!("invalid JSON in {path}: {e}")])?;
-    let errors = validate_call_graph(&doc);
+    let errors = validate_store_document(&doc);
     if errors.is_empty() {
         Ok(())
     } else {
@@ -25,15 +26,15 @@ fn validate_file(path: &str) -> Result<(), Vec<String>> {
 
 fn main() -> ExitCode {
     if samurai_bench::handle_help(
-        "validate_graph",
-        "CI gate: validate samurai-lint --graph dumps",
+        "validate_store",
+        "CI gate: validate samurai-request-v1 / samurai-store-v1 documents",
         &[("<path>...", "files to validate")],
     ) {
         return ExitCode::SUCCESS;
     }
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: validate_graph <graph.json>...");
+        eprintln!("usage: validate_store <store-document.json>...");
         return ExitCode::FAILURE;
     }
     let mut failed = false;

@@ -68,6 +68,13 @@ fn balanced_bias(model: &PropensityModel) -> f64 {
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x2_baselines",
+        "X2: uniformisation vs frozen-rate SSA, Bernoulli and two-stage baselines",
+        &[],
+    ) {
+        return;
+    }
     let device = DeviceParams::nominal_90nm();
     let trap = TrapParams::new(Length::from_nanometres(1.8), Energy::from_ev(0.4));
     let model = PropensityModel::new(device, trap);

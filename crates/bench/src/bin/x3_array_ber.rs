@@ -13,6 +13,13 @@ use samurai_sram::MethodologyConfig;
 use samurai_waveform::BitPattern;
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x3_array_ber",
+        "X3: array-level Monte-Carlo bit-error analysis",
+        &[],
+    ) {
+        return;
+    }
     let pattern = BitPattern::parse("1010").expect("static pattern");
     let cells = 24;
     let vth_sigma = 0.04;

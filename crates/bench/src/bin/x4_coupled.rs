@@ -16,6 +16,13 @@ use samurai_sram::{run_methodology, MethodologyConfig, Transistor};
 use samurai_waveform::BitPattern;
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x4_coupled",
+        "X4: bi-directionally coupled RTN+circuit simulation",
+        &[],
+    ) {
+        return;
+    }
     let pattern = BitPattern::paper_fig8();
     let parallelism = parallelism_from_args();
     println!(

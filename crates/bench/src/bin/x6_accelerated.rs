@@ -11,6 +11,13 @@ use samurai_sram::MethodologyConfig;
 use samurai_waveform::BitPattern;
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x6_accelerated",
+        "X6: word-line timing margin vs acceleration factor",
+        &[],
+    ) {
+        return;
+    }
     let pattern = BitPattern::parse("10").expect("static pattern");
     banner("X6: minimum word-line window (fraction of cycle) vs RTN scale");
     let mut session = BenchSession::from_args("x6");

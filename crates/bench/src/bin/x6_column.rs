@@ -73,6 +73,13 @@ fn per_step_seconds(rows: usize, choice: SolverChoice, steps: usize) -> (f64, us
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x6_column",
+        "X6-column: dense-vs-sparse solver scaling on generated SRAM columns",
+        &[],
+    ) {
+        return;
+    }
     let smoke = smoke_from_args();
     let parallelism = parallelism_from_args();
     let failure = failure_policy_from_args();

@@ -43,6 +43,13 @@ fn scenario_at(vdd_scale: f64, stress_time: f64) -> ScenarioConfig {
 }
 
 fn main() {
+    if samurai_bench::handle_help(
+        "x7_corners",
+        "X7-corners: the scenario layer swept over a supply-corner x aging grid",
+        &[],
+    ) {
+        return;
+    }
     let smoke = smoke_from_args();
     let parallelism = parallelism_from_args();
     let failure = failure_policy_from_args();

@@ -15,32 +15,266 @@ use samurai_core::checkpoint::{CheckpointConfig, RunBudget};
 use samurai_core::telemetry::{JsonValue, MemoryRecorder};
 use samurai_core::{fnv1a64, FailurePolicy, Parallelism, CHECKPOINT_SCHEMA};
 
-/// Parses `--threads N` from the binary's command line: `N = 0` (or an
-/// absent flag with `SAMURAI_THREADS` unset) means all available cores,
-/// `N = 1` the legacy sequential path. The environment variable
-/// `SAMURAI_THREADS` is the fallback when the flag is absent.
+/// Every command-line flag the bench binaries share, parsed in one
+/// pass.
 ///
-/// Results are bit-identical at every setting — the ensemble engine
-/// guarantees it — so this knob trades wall-clock only.
-pub fn parallelism_from_args() -> Parallelism {
-    let mut args = std::env::args().skip(1);
-    let mut requested: Option<usize> = None;
-    while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            requested = args.next().and_then(|v| v.parse().ok());
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            requested = v.parse().ok();
+/// Historically each knob rescanned `std::env::args()` on its own
+/// (`parallelism_from_args`, `smoke_from_args`, ...). Those entry
+/// points survive as thin wrappers over a single
+/// [`BenchArgs::from_env`] parse, so existing callers and scripts keep
+/// working; new binaries parse once and ask the struct for everything,
+/// including bin-specific flags via [`BenchArgs::value_of`].
+///
+/// Environment-variable fallbacks (`SAMURAI_THREADS`,
+/// `SAMURAI_FAILURE_POLICY`, `SAMURAI_CHECKPOINT*`, `SAMURAI_MAX_JOBS`,
+/// `SAMURAI_KILL_AT_JOB`, `SAMURAI_METRICS`, `SAMURAI_SMOKE`) are
+/// resolved in the accessors, not at parse time, so a flag always wins
+/// over its variable.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    threads: Option<usize>,
+    failure_policy: Option<String>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
+    max_jobs: Option<usize>,
+    kill_at_job: Option<usize>,
+    metrics: Option<PathBuf>,
+    smoke: bool,
+    help: bool,
+    rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's command line (skipping the binary name).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// The parser behind [`BenchArgs::from_env`], split out for
+    /// testing. Both `--flag VALUE` and `--flag=VALUE` spellings are
+    /// accepted; unrecognised arguments are kept (in order) for
+    /// bin-specific lookup via [`BenchArgs::value_of`].
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |slot: &mut Option<String>| {
+                if let Some((_, v)) = arg.split_once('=') {
+                    *slot = Some(v.to_owned());
+                } else {
+                    *slot = args.next();
+                }
+            };
+            let mut text: Option<String> = None;
+            match arg.split_once('=').map_or(arg.as_str(), |(head, _)| head) {
+                "--threads" => {
+                    take(&mut text);
+                    out.threads = text.take().and_then(|v| v.parse().ok());
+                }
+                "--failure-policy" => {
+                    take(&mut text);
+                    out.failure_policy = text.take();
+                }
+                "--checkpoint" => {
+                    take(&mut text);
+                    out.checkpoint = text.take().map(PathBuf::from);
+                }
+                "--checkpoint-every" => {
+                    take(&mut text);
+                    out.checkpoint_every = text.take().and_then(|v| v.parse().ok());
+                }
+                "--max-jobs" => {
+                    take(&mut text);
+                    out.max_jobs = text.take().and_then(|v| v.parse().ok());
+                }
+                "--kill-at-job" => {
+                    take(&mut text);
+                    out.kill_at_job = text.take().and_then(|v| v.parse().ok());
+                }
+                "--metrics" => {
+                    take(&mut text);
+                    out.metrics = text.take().map(PathBuf::from);
+                }
+                "--resume" => out.resume = true,
+                "--smoke" => out.smoke = true,
+                "--help" | "-h" => out.help = true,
+                _ => out.rest.push(arg),
+            }
+        }
+        out
+    }
+
+    /// The `--threads N` knob: `N = 0` (or an absent flag with
+    /// `SAMURAI_THREADS` unset) means all available cores, `N = 1` the
+    /// legacy sequential path. Results are bit-identical at every
+    /// setting — the ensemble engine guarantees it — so this knob
+    /// trades wall-clock only.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        let requested = self.threads.or_else(|| {
+            std::env::var("SAMURAI_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+        match requested {
+            None | Some(0) => Parallelism::Auto,
+            Some(n) => Parallelism::Fixed(n),
         }
     }
-    let requested = requested.or_else(|| {
-        std::env::var("SAMURAI_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-    });
-    match requested {
-        None | Some(0) => Parallelism::Auto,
-        Some(n) => Parallelism::Fixed(n),
+
+    /// The `--failure-policy SPEC` knob (see [`parse_failure_policy`]
+    /// for the accepted specs), falling back to
+    /// `SAMURAI_FAILURE_POLICY`, then to `fail-fast`.
+    #[must_use]
+    pub fn failure_policy(&self) -> FailurePolicy {
+        let spec = self
+            .failure_policy
+            .clone()
+            .or_else(|| std::env::var("SAMURAI_FAILURE_POLICY").ok());
+        parse_failure_policy(spec.as_deref().unwrap_or("fail-fast"))
     }
+
+    /// The crash-safety knobs (`--checkpoint`, `--checkpoint-every`,
+    /// `--resume`, `--max-jobs`, `--kill-at-job`), assembled exactly as
+    /// [`run_controls_from_args`] documents.
+    #[must_use]
+    pub fn run_controls(&self) -> RunControlArgs {
+        let path = self
+            .checkpoint
+            .clone()
+            .or_else(|| std::env::var_os("SAMURAI_CHECKPOINT").map(PathBuf::from));
+        let every = self.checkpoint_every.or_else(|| {
+            std::env::var("SAMURAI_CHECKPOINT_EVERY")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+        let resume = self.resume || std::env::var_os("SAMURAI_RESUME").is_some();
+        let max_jobs = self.max_jobs.or_else(|| {
+            std::env::var("SAMURAI_MAX_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+        let kill_at_job = self.kill_at_job.or_else(|| {
+            std::env::var("SAMURAI_KILL_AT_JOB")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+
+        let mut checkpoint = match path {
+            Some(p) => CheckpointConfig::to_file(p),
+            None => CheckpointConfig::default(),
+        };
+        if let Some(n) = every {
+            checkpoint = checkpoint.every(n);
+        }
+        if resume {
+            checkpoint = checkpoint.resuming();
+        }
+        let mut budget = RunBudget::unlimited();
+        if let Some(n) = max_jobs {
+            budget = budget.jobs(n);
+        }
+        RunControlArgs {
+            checkpoint,
+            budget,
+            kill_at_job,
+        }
+    }
+
+    /// The `--metrics DIR` knob with the `SAMURAI_METRICS` fallback.
+    /// `None` means telemetry artifacts are not written.
+    #[must_use]
+    pub fn metrics_dir(&self) -> Option<PathBuf> {
+        self.metrics
+            .clone()
+            .or_else(|| std::env::var_os("SAMURAI_METRICS").map(PathBuf::from))
+    }
+
+    /// `true` when `--smoke` was given or `SAMURAI_SMOKE` is set:
+    /// binaries shrink their workloads to a seconds-scale sanity pass.
+    #[must_use]
+    pub fn smoke(&self) -> bool {
+        self.smoke || std::env::var_os("SAMURAI_SMOKE").is_some()
+    }
+
+    /// `true` when `--help` or `-h` was given.
+    #[must_use]
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// Looks up a bin-specific `--flag VALUE` / `--flag=VALUE` among
+    /// the arguments the shared parser did not recognise.
+    #[must_use]
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let mut rest = self.rest.iter();
+        let mut found = None;
+        while let Some(arg) = rest.next() {
+            if arg == flag {
+                found = rest.next().map(String::as_str);
+            } else if let Some(v) = arg.strip_prefix(flag).and_then(|t| t.strip_prefix('=')) {
+                found = Some(v);
+            }
+        }
+        found
+    }
+
+    /// The arguments the shared parser did not recognise, in order.
+    #[must_use]
+    pub fn rest(&self) -> &[String] {
+        &self.rest
+    }
+}
+
+/// Handles `--help`/`-h` for a bench binary: when requested, prints
+/// the shared usage text (plus `extra` bin-specific flag lines) and
+/// returns `true`, in which case the binary should exit immediately.
+pub fn handle_help(bin: &str, about: &str, extra: &[(&str, &str)]) -> bool {
+    if !BenchArgs::from_env().wants_help() {
+        return false;
+    }
+    println!("{bin} — {about}");
+    println!("\nusage: {bin} [flags]\n");
+    for (flag, what) in extra {
+        println!("  {flag:<28} {what}");
+    }
+    for (flag, what) in [
+        ("--threads N", "worker threads (0/absent = all cores)"),
+        (
+            "--failure-policy SPEC",
+            "fail-fast | retry[:RUNGS] | quarantine[:MAX[:RUNGS]]",
+        ),
+        ("--checkpoint PATH", "snapshot ensemble progress into PATH"),
+        (
+            "--checkpoint-every N",
+            "snapshot cadence in jobs (default 64)",
+        ),
+        ("--resume", "restore a matching snapshot before running"),
+        ("--max-jobs N", "stop cleanly after at most N jobs"),
+        ("--kill-at-job N", "crash drill: exit(86) just before job N"),
+        (
+            "--metrics DIR",
+            "write BENCH_*.json / JOURNAL_*.jsonl into DIR",
+        ),
+        (
+            "--smoke",
+            "shrink the workload to a seconds-scale sanity pass",
+        ),
+        ("--help, -h", "this text"),
+    ] {
+        println!("  {flag:<28} {what}");
+    }
+    println!("\nEvery flag has a SAMURAI_* environment fallback; see DESIGN.md.");
+    true
+}
+
+/// Parses `--threads N` from the binary's command line — a thin
+/// wrapper over [`BenchArgs::parallelism`]; see it for semantics.
+#[must_use]
+pub fn parallelism_from_args() -> Parallelism {
+    BenchArgs::from_env().parallelism()
 }
 
 /// Parses `--failure-policy SPEC` from the binary's command line, with
@@ -58,18 +292,9 @@ pub fn parallelism_from_args() -> Parallelism {
 /// Results under every policy are bit-identical at every worker count;
 /// unparsable specs fall back to `fail-fast` rather than aborting a
 /// long run over a typo'd diagnostic knob.
+#[must_use]
 pub fn failure_policy_from_args() -> FailurePolicy {
-    let mut args = std::env::args().skip(1);
-    let mut spec: Option<String> = None;
-    while let Some(arg) = args.next() {
-        if arg == "--failure-policy" {
-            spec = args.next();
-        } else if let Some(v) = arg.strip_prefix("--failure-policy=") {
-            spec = Some(v.to_string());
-        }
-    }
-    let spec = spec.or_else(|| std::env::var("SAMURAI_FAILURE_POLICY").ok());
-    parse_failure_policy(spec.as_deref().unwrap_or("fail-fast"))
+    BenchArgs::from_env().failure_policy()
 }
 
 /// The parser behind [`failure_policy_from_args`], split out for
@@ -121,71 +346,11 @@ pub struct RunControlArgs {
 ///
 /// Environment fallbacks mirror the other parsers: `SAMURAI_CHECKPOINT`,
 /// `SAMURAI_CHECKPOINT_EVERY`, `SAMURAI_RESUME`, `SAMURAI_MAX_JOBS`,
-/// `SAMURAI_KILL_AT_JOB`.
+/// `SAMURAI_KILL_AT_JOB`. A thin wrapper over
+/// [`BenchArgs::run_controls`].
+#[must_use]
 pub fn run_controls_from_args() -> RunControlArgs {
-    let mut args = std::env::args().skip(1);
-    let mut path: Option<PathBuf> = None;
-    let mut every: Option<usize> = None;
-    let mut resume = false;
-    let mut max_jobs: Option<usize> = None;
-    let mut kill_at_job: Option<usize> = None;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--checkpoint" => path = args.next().map(PathBuf::from),
-            "--checkpoint-every" => every = args.next().and_then(|v| v.parse().ok()),
-            "--resume" => resume = true,
-            "--max-jobs" => max_jobs = args.next().and_then(|v| v.parse().ok()),
-            "--kill-at-job" => kill_at_job = args.next().and_then(|v| v.parse().ok()),
-            _ => {
-                if let Some(v) = arg.strip_prefix("--checkpoint=") {
-                    path = Some(PathBuf::from(v));
-                } else if let Some(v) = arg.strip_prefix("--checkpoint-every=") {
-                    every = v.parse().ok();
-                } else if let Some(v) = arg.strip_prefix("--max-jobs=") {
-                    max_jobs = v.parse().ok();
-                } else if let Some(v) = arg.strip_prefix("--kill-at-job=") {
-                    kill_at_job = v.parse().ok();
-                }
-            }
-        }
-    }
-    let path = path.or_else(|| std::env::var_os("SAMURAI_CHECKPOINT").map(PathBuf::from));
-    let every = every.or_else(|| {
-        std::env::var("SAMURAI_CHECKPOINT_EVERY")
-            .ok()
-            .and_then(|v| v.parse().ok())
-    });
-    let resume = resume || std::env::var_os("SAMURAI_RESUME").is_some();
-    let max_jobs = max_jobs.or_else(|| {
-        std::env::var("SAMURAI_MAX_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-    });
-    let kill_at_job = kill_at_job.or_else(|| {
-        std::env::var("SAMURAI_KILL_AT_JOB")
-            .ok()
-            .and_then(|v| v.parse().ok())
-    });
-
-    let mut checkpoint = match path {
-        Some(p) => CheckpointConfig::to_file(p),
-        None => CheckpointConfig::default(),
-    };
-    if let Some(n) = every {
-        checkpoint = checkpoint.every(n);
-    }
-    if resume {
-        checkpoint = checkpoint.resuming();
-    }
-    let mut budget = RunBudget::unlimited();
-    if let Some(n) = max_jobs {
-        budget = budget.jobs(n);
-    }
-    RunControlArgs {
-        checkpoint,
-        budget,
-        kill_at_job,
-    }
+    BenchArgs::from_env().run_controls()
 }
 
 /// Times `f` and returns `(result, seconds)`.
@@ -253,25 +418,20 @@ pub fn banner(title: &str) {
 
 /// Parses `--metrics DIR` from the binary's command line, with the
 /// `SAMURAI_METRICS` environment variable as fallback. `None` means
-/// telemetry artifacts are not written.
+/// telemetry artifacts are not written. A thin wrapper over
+/// [`BenchArgs::metrics_dir`].
+#[must_use]
 pub fn metrics_dir_from_args() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    let mut dir: Option<PathBuf> = None;
-    while let Some(arg) = args.next() {
-        if arg == "--metrics" {
-            dir = args.next().map(PathBuf::from);
-        } else if let Some(v) = arg.strip_prefix("--metrics=") {
-            dir = Some(PathBuf::from(v));
-        }
-    }
-    dir.or_else(|| std::env::var_os("SAMURAI_METRICS").map(PathBuf::from))
+    BenchArgs::from_env().metrics_dir()
 }
 
 /// `true` when `--smoke` is on the command line or `SAMURAI_SMOKE` is
 /// set: binaries shrink their workloads to a seconds-scale sanity pass
 /// (used by `ci.sh` to validate the telemetry pipeline end to end).
+/// A thin wrapper over [`BenchArgs::smoke`].
+#[must_use]
 pub fn smoke_from_args() -> bool {
-    std::env::args().skip(1).any(|a| a == "--smoke") || std::env::var_os("SAMURAI_SMOKE").is_some()
+    BenchArgs::from_env().smoke()
 }
 
 /// One binary's telemetry session: a [`MemoryRecorder`] to thread
@@ -659,6 +819,41 @@ mod tests {
         );
         // Typos degrade to the safe default instead of panicking.
         assert_eq!(parse_failure_policy("retyr"), FailurePolicy::FailFast);
+    }
+
+    #[test]
+    fn bench_args_parse_both_flag_spellings_in_one_pass() {
+        let args = BenchArgs::parse_from(
+            [
+                "--threads=3",
+                "--failure-policy",
+                "retry:4",
+                "--checkpoint",
+                "/tmp/a.ckpt",
+                "--checkpoint-every=8",
+                "--resume",
+                "--max-jobs",
+                "12",
+                "--kill-at-job=5",
+                "--smoke",
+                "--spec",
+                "trap:6",
+                "--port=9",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(args.parallelism(), Parallelism::Fixed(3));
+        assert_eq!(args.failure_policy(), FailurePolicy::Retry { rungs: 4 });
+        assert!(args.smoke());
+        assert!(!args.wants_help());
+        let controls = args.run_controls();
+        assert!(!controls.budget.is_unlimited());
+        assert_eq!(controls.kill_at_job, Some(5));
+        // Bin-specific flags pass through, in both spellings.
+        assert_eq!(args.value_of("--spec"), Some("trap:6"));
+        assert_eq!(args.value_of("--port"), Some("9"));
+        assert_eq!(args.value_of("--absent"), None);
+        assert!(BenchArgs::parse_from(["-h".to_owned()]).wants_help());
     }
 
     #[test]

@@ -332,6 +332,62 @@ impl Snapshot for crate::ensemble::CountHistogram {
     }
 }
 
+impl Snapshot for crate::scenario::ScenarioConfig {
+    // The canonical wire form of a scenario distribution: every knob
+    // as a `u64` IEEE-754 bit pattern in fixed field order. Shared by
+    // checkpoint payloads and the `samurai-serve` request documents,
+    // whose FNV-1a ticket must be a pure function of the knob bits.
+    fn to_snapshot(&self) -> JsonValue {
+        let range = |r: (f64, f64)| {
+            JsonValue::Arr(vec![
+                JsonValue::U64(r.0.to_bits()),
+                JsonValue::U64(r.1.to_bits()),
+            ])
+        };
+        JsonValue::obj(vec![
+            ("sigma_vth", JsonValue::U64(self.sigma_vth.to_bits())),
+            ("a_vt", JsonValue::U64(self.a_vt.to_bits())),
+            ("sigma_beta", JsonValue::U64(self.sigma_beta.to_bits())),
+            (
+                "sigma_geometry",
+                JsonValue::U64(self.sigma_geometry.to_bits()),
+            ),
+            ("vdd_range", range(self.vdd_range)),
+            ("temperature_range", range(self.temperature_range)),
+            ("stress_time", JsonValue::U64(self.stress_time.to_bits())),
+            (
+                "sigma_density",
+                JsonValue::U64(self.sigma_density.to_bits()),
+            ),
+        ])
+    }
+
+    fn from_snapshot(v: &JsonValue) -> Option<Self> {
+        fn bits(v: &JsonValue, key: &str) -> Option<f64> {
+            v.get(key)?.as_u64().map(f64::from_bits)
+        }
+        fn range(v: &JsonValue, key: &str) -> Option<(f64, f64)> {
+            let JsonValue::Arr(pair) = v.get(key)? else {
+                return None;
+            };
+            let [lo, hi] = pair.as_slice() else {
+                return None;
+            };
+            Some((f64::from_bits(lo.as_u64()?), f64::from_bits(hi.as_u64()?)))
+        }
+        Some(Self {
+            sigma_vth: bits(v, "sigma_vth")?,
+            a_vt: bits(v, "a_vt")?,
+            sigma_beta: bits(v, "sigma_beta")?,
+            sigma_geometry: bits(v, "sigma_geometry")?,
+            vdd_range: range(v, "vdd_range")?,
+            temperature_range: range(v, "temperature_range")?,
+            stress_time: bits(v, "stress_time")?,
+            sigma_density: bits(v, "sigma_density")?,
+        })
+    }
+}
+
 impl<T: Snapshot + Send> Snapshot for crate::ensemble::IndexedResults<T> {
     fn to_snapshot(&self) -> JsonValue {
         JsonValue::obj(vec![(

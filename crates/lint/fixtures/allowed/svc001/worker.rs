@@ -1,0 +1,10 @@
+//! Allowed counterpart: SVC001 — the worker module is the sanctioned
+//! engine-call site (matched by file name), and elsewhere a justified
+//! escape silences the rule.
+
+use samurai_core::ensemble::{run_ensemble_resilient, IndexedResults};
+
+pub fn execute_ticket(jobs: usize) -> usize {
+    let report = run_ensemble_resilient(jobs, 1, &Default::default(), IndexedResults::new, job);
+    report.len()
+}

@@ -301,6 +301,22 @@ pub const RULES: &[Rule] = &[
                   `// lint: allow(RSM001): reason`.",
     },
     Rule {
+        id: "SVC001",
+        title: "only the serve worker module may run the ensemble engines",
+        contract: "layering",
+        explain: "Inside crates/serve, calls to the ensemble engines \
+                  (`run_ensemble_resilient*`, `run_ensemble_checkpointed`, \
+                  `run_column_ensemble*`) are reserved for the worker module \
+                  (worker.rs and its workload.rs execution closures). HTTP handler \
+                  threads are spawned per connection and unbounded, so an engine call \
+                  there bypasses the job queue's capacity, backpressure, checkpoint and \
+                  cache discipline — a burst of submissions would fork ensembles without \
+                  limit. Handlers must stay I/O-only: parse, enqueue via \
+                  ServiceState::submit, and read published state. Route simulation \
+                  through a queued ticket instead, or justify a deliberate exception \
+                  with `// lint: allow(SVC001): reason`.",
+    },
+    Rule {
         id: "OBS001",
         title: "telemetry in hot loops must use the guarded macros",
         contract: "observability",
@@ -371,6 +387,16 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
     let is_sampling_module = std::path::Path::new(path)
         .file_name()
         .is_some_and(|f| f == "scenario.rs" || f == "profile.rs");
+    // SVC001 is scoped to the serve crate (and its fixture corpus):
+    // the worker module and its workload execution closures are the
+    // sanctioned engine-call sites; everything else there is I/O-only.
+    let in_serve_crate = std::path::Path::new(path)
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .any(|c| c == "serve" || c == "svc001");
+    let is_serve_worker = std::path::Path::new(path)
+        .file_name()
+        .is_some_and(|f| f == "worker.rs" || f == "workload.rs");
 
     let mut emit = |rule: &'static str, tok: &Tok, message: String| {
         // UNS001 applies even in test code; everything else is exempt
@@ -457,6 +483,20 @@ pub fn check_tokens(path: &str, class: FileClass, toks: &[Tok], ctx: &FileContex
                         "DET006",
                         t,
                         format!("`{name}(..)` draws device statistics outside the scenario layer; expand parameters through core::scenario"),
+                    );
+                }
+
+                // --- service isolation -------------------------------
+                if in_serve_crate
+                    && !is_serve_worker
+                    && next == "("
+                    && prev != "fn"
+                    && (name.starts_with("run_ensemble") || name.starts_with("run_column_ensemble"))
+                {
+                    emit(
+                        "SVC001",
+                        t,
+                        format!("`{name}(..)` runs the ensemble engine outside the serve worker module; handlers must enqueue via ServiceState::submit"),
                     );
                 }
 

@@ -1,0 +1,44 @@
+//! The service error type.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the service layer.
+///
+/// Simulation failures do not appear here: they are absorbed by the
+/// worker into the job's terminal state (`failed` with a message), so
+/// one bad submission can never take the server down.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// A submitted request document did not validate.
+    Spec(String),
+    /// A malformed HTTP request (bad framing, unsupported method,
+    /// oversized body).
+    Http(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Spec(msg) => write!(f, "invalid request document: {msg}"),
+            Self::Http(msg) => write!(f, "malformed http request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Spec(_) | Self::Http(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,166 @@
+//! The worker pool: the only module allowed to invoke the ensemble
+//! engines on behalf of the service (lint rule `SVC001`).
+//!
+//! Each worker thread blocks in [`ServiceState::next_job`] and
+//! executes tickets with the **chunked-resume loop**: the ensemble is
+//! run as a sequence of budget-bounded
+//! [`crate::workload::run_chunk`] slices, each snapshotting
+//! to the ticket's `.ckpt` segment file and publishing the journal
+//! prefix produced so far. That one loop buys three properties at
+//! once:
+//!
+//! * **incremental streaming** — `GET /jobs/<ticket>/journal` tails
+//!   the published prefix while the run is still going;
+//! * **kill-resume** — a server killed mid-job (crash drill or real
+//!   crash) leaves the request document and the latest segment file
+//!   behind; the restarted server re-enqueues the ticket and the next
+//!   chunk resumes from the snapshot, producing a final journal
+//!   byte-identical to an uninterrupted run;
+//! * **bounded memory** — a worker never holds more than one chunk of
+//!   un-checkpointed work.
+
+use samurai_core::checkpoint::{CheckpointConfig, RunBudget};
+use samurai_core::ensemble::shard_size;
+use samurai_core::Parallelism;
+use samurai_telemetry::JsonValue;
+
+use crate::spec::{ticket_hex, JobSpec};
+use crate::state::ServiceState;
+use crate::workload::{run_chunk, ChunkOutcome};
+
+/// Default chunk size (ensemble jobs per checkpointed slice).
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// One worker thread's body: claim tickets until the service drains.
+pub fn worker_loop(state: &ServiceState, parallelism: Parallelism, chunk: usize) {
+    while let Some((ticket, spec)) = state.next_job() {
+        let result = execute(state, ticket, &spec, parallelism, chunk);
+        state.finish(ticket, result.err());
+    }
+}
+
+/// Runs one ticket to completion via the chunked-resume loop and seals
+/// its result document into the store.
+///
+/// # Errors
+///
+/// The rendered simulation or store-write failure, recorded as the
+/// ticket's terminal state.
+pub fn execute(
+    state: &ServiceState,
+    ticket: u64,
+    spec: &JobSpec,
+    parallelism: Parallelism,
+    chunk: usize,
+) -> Result<(), String> {
+    let store = state.store();
+    let ckpt = store.checkpoint_path(ticket);
+    let jobs = spec.jobs();
+    // A budget below one shard would truncate at zero progress and
+    // spin; clamp the chunk to the engine's shard width.
+    let chunk = chunk.max(shard_size(jobs)).max(1);
+    let mut done = 0usize;
+    loop {
+        // Resume only when segments exist: a cold `resuming()` on a
+        // missing file would journal a `checkpoint.cold_start` note
+        // and break byte-identity with the direct run.
+        let mut config = CheckpointConfig::to_file(&ckpt).every(chunk);
+        if ckpt.exists() {
+            config = config.resuming();
+        }
+        let budget = RunBudget::unlimited().jobs(done + chunk);
+        let out = run_chunk(spec, parallelism, config, budget)?;
+        if out.complete {
+            state.publish_progress(ticket, out.journal.clone(), out.jobs_done);
+            store
+                .put_result(ticket, result_payload(spec, ticket, &out))
+                .map_err(|e| format!("result store write failed: {e}"))?;
+            store.clear_checkpoint(ticket);
+            return Ok(());
+        }
+        state.publish_progress(
+            ticket,
+            out.journal[..out.stable_len].to_owned(),
+            out.jobs_done,
+        );
+        done = out.jobs_done.max(done + 1);
+    }
+}
+
+/// The canonical result payload sealed into the store: the request it
+/// answers, per-job results as bit patterns, rescue accounting, and
+/// the full journal.
+fn result_payload(spec: &JobSpec, ticket: u64, out: &ChunkOutcome) -> JsonValue {
+    JsonValue::obj(vec![
+        ("ticket", JsonValue::Str(ticket_hex(ticket))),
+        ("request", spec.canonical_payload()),
+        ("jobs", JsonValue::U64(spec.jobs() as u64)),
+        ("completion", JsonValue::Str("complete".into())),
+        (
+            "results",
+            out.results.clone().unwrap_or(JsonValue::Arr(Vec::new())),
+        ),
+        ("rescued", JsonValue::U64(out.rescued as u64)),
+        ("quarantined", JsonValue::U64(out.quarantined as u64)),
+        ("journal", JsonValue::Str(out.journal.clone())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Workload;
+    use crate::state::SubmitOutcome;
+    use crate::store::ResultStore;
+    use samurai_core::telemetry::Recorder;
+    use samurai_core::FailurePolicy;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            workload: Workload::Trap {
+                panels: 5,
+                samples: 512,
+            },
+            seed: 11,
+            policy: FailurePolicy::FailFast,
+            scenario: None,
+            drill: None,
+        }
+    }
+
+    #[test]
+    fn executing_a_ticket_seals_a_result_matching_the_direct_run() {
+        let dir = std::env::temp_dir().join("samurai-serve-worker-exec");
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ServiceState::open(ResultStore::open(&dir).unwrap(), 4).unwrap();
+        let spec = spec();
+        let SubmitOutcome::Accepted(ticket) = state.submit(spec.clone()).unwrap() else {
+            panic!("fresh store should accept");
+        };
+        let (t, s) = state.next_job().unwrap();
+        assert_eq!(t, ticket);
+        // A 2-job chunk forces several checkpointed slices.
+        execute(&state, t, &s, Parallelism::Fixed(2), 2).unwrap();
+        state.finish(t, None);
+
+        let doc = state.store().load_result(ticket).unwrap();
+        let journal = doc
+            .get("payload")
+            .and_then(|p| p.get("journal"))
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_owned();
+        let mut direct = Recorder::recording();
+        crate::workload::run_direct(&spec, Parallelism::Fixed(1), &mut direct).unwrap();
+        assert_eq!(journal, direct.journal().to_jsonl());
+        assert!(!state.store().checkpoint_path(ticket).exists());
+
+        // Resubmitting now is a pure cache hit.
+        assert_eq!(
+            state.submit(spec).unwrap(),
+            SubmitOutcome::Cached(ticket),
+            "sealed result must satisfy the resubmission"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests of the content-address contract: any single-field
+//! change to a request changes its ticket, and parsing a canonical
+//! document back re-serialises to the identical hash.
+
+use proptest::prelude::*;
+
+use samurai_core::{FailurePolicy, ScenarioConfig};
+use samurai_serve::{parse_ticket, ticket_hex, JobSpec, Workload};
+use samurai_telemetry::json;
+
+fn spec_from(
+    kind: u8,
+    count: usize,
+    rows: usize,
+    samples: usize,
+    seed: u64,
+    rungs: usize,
+    sigma_vth: f64,
+) -> JobSpec {
+    let workload = match kind % 3 {
+        0 => Workload::Trap {
+            panels: count,
+            samples,
+        },
+        1 => Workload::Cell { members: count },
+        _ => Workload::Column {
+            rows,
+            members: count,
+        },
+    };
+    JobSpec {
+        workload,
+        seed,
+        policy: FailurePolicy::Retry { rungs },
+        scenario: Some(ScenarioConfig {
+            sigma_vth,
+            ..ScenarioConfig::nominal()
+        }),
+        drill: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any one field — seed, policy rung, scenario knob,
+    /// workload shape (panel count, sample count, netlist rows) —
+    /// must change the ticket.
+    #[test]
+    fn single_field_changes_change_the_ticket(
+        kind in 0u8..3,
+        count in 1usize..64,
+        rows in 1usize..32,
+        samples in 256usize..8192,
+        seed in 0u64..1_000_000,
+        rungs in 0usize..8,
+        sigma_bits in 1u32..1000,
+    ) {
+        let sigma = f64::from(sigma_bits) * 1e-4;
+        let base = spec_from(kind, count, rows, samples, seed, rungs, sigma);
+        let t0 = base.ticket();
+
+        let reseeded = spec_from(kind, count, rows, samples, seed + 1, rungs, sigma);
+        prop_assert_ne!(reseeded.ticket(), t0, "seed must be hashed");
+
+        let repoled = spec_from(kind, count, rows, samples, seed, rungs + 1, sigma);
+        prop_assert_ne!(repoled.ticket(), t0, "policy rung must be hashed");
+
+        let reknobbed = spec_from(kind, count, rows, samples, seed, rungs, sigma + 1e-4);
+        prop_assert_ne!(reknobbed.ticket(), t0, "scenario knob must be hashed");
+
+        let regrown = spec_from(kind, count + 1, rows, samples, seed, rungs, sigma);
+        prop_assert_ne!(regrown.ticket(), t0, "job count must be hashed");
+
+        match base.workload {
+            Workload::Trap { .. } => {
+                let resampled = spec_from(kind, count, rows, samples + 1, seed, rungs, sigma);
+                prop_assert_ne!(resampled.ticket(), t0, "trace samples must be hashed");
+            }
+            Workload::Column { .. } => {
+                let rerowed = spec_from(kind, count, rows + 1, samples, seed, rungs, sigma);
+                prop_assert_ne!(rerowed.ticket(), t0, "netlist rows must be hashed");
+            }
+            Workload::Cell { .. } => {}
+        }
+
+        // A different workload kind never collides either.
+        let rekinded = spec_from(kind + 1, count, rows, samples, seed, rungs, sigma);
+        prop_assert_ne!(rekinded.ticket(), t0, "workload kind must be hashed");
+    }
+
+    /// Canonical serialisation is a fixed point: parse → re-serialise
+    /// reproduces the same bytes, hash and hex rendering.
+    #[test]
+    fn reserialisation_round_trips_to_the_identical_hash(
+        kind in 0u8..3,
+        count in 1usize..64,
+        rows in 1usize..32,
+        samples in 256usize..8192,
+        seed in 0u64..1_000_000,
+        rungs in 0usize..8,
+        sigma_bits in 1u32..1000,
+    ) {
+        let spec = spec_from(kind, count, rows, samples, seed, rungs, f64::from(sigma_bits) * 1e-4);
+        let text = spec.canonical_payload().to_json();
+        let parsed = JobSpec::from_json(&json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.canonical_payload().to_json(), text);
+        prop_assert_eq!(parsed.ticket(), spec.ticket());
+        prop_assert_eq!(parse_ticket(&ticket_hex(spec.ticket())), Some(spec.ticket()));
+    }
+}

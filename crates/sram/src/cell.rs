@@ -11,6 +11,7 @@
 //! `I_RTN` is injected for the second pass of the methodology — the
 //! `I_RTN` glitch model of Fig 4 (right).
 
+use samurai_core::scenario::DeviceGeometry;
 use samurai_spice::{Circuit, ElementId, MosfetParams, NodeId, Source};
 
 /// The six transistors of the cell, in paper naming.
@@ -108,6 +109,24 @@ pub(crate) fn cell_mosfet_params(params: &SramCellParams, t: usize) -> MosfetPar
         2 | 3 => MosfetParams::pmos_90nm(params.pullup_w),
         _ => MosfetParams::nmos_90nm(params.pulldown_w),
     }
+}
+
+/// Geometry of the six cell transistors, in [`Transistor::index`]
+/// order — the Pelgrom-area input of the scenario sampler for
+/// cell-level workloads. The column generator tiles this sextet once
+/// per row, so cell- and column-level scenario draws agree on device
+/// areas.
+#[must_use]
+pub fn cell_geometries(params: &SramCellParams) -> Vec<DeviceGeometry> {
+    (0..6)
+        .map(|t| {
+            let p = cell_mosfet_params(params, t);
+            DeviceGeometry {
+                width: p.width,
+                length: p.length,
+            }
+        })
+        .collect()
 }
 
 /// A built 6T cell: the circuit plus handles to every node and element

@@ -835,15 +835,7 @@ fn column_trap_device(ckt: &Circuit, id: ElementId, tech: &Technology) -> Device
 /// Geometry of every row transistor, in scenario device order
 /// (`r * 6 + t`) — the Pelgrom-area input of the scenario sampler.
 fn column_geometries(config: &ColumnConfig) -> Vec<DeviceGeometry> {
-    let sextet: Vec<DeviceGeometry> = (0..6)
-        .map(|t| {
-            let p = cell_mosfet_params(&config.cell, t);
-            DeviceGeometry {
-                width: p.width,
-                length: p.length,
-            }
-        })
-        .collect();
+    let sextet = crate::cell::cell_geometries(&config.cell);
     (0..config.rows)
         .flat_map(|_| sextet.iter().copied())
         .collect()

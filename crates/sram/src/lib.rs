@@ -65,7 +65,7 @@ pub mod sensitivity;
 pub mod snm;
 pub mod vrt;
 
-pub use cell::{SramCell, SramCellParams, Transistor};
+pub use cell::{cell_geometries, SramCell, SramCellParams, Transistor};
 pub use column::{
     run_column_ensemble, run_column_ensemble_observed, ColumnConfig, ColumnEnsembleConfig,
     ColumnMemberResult, ColumnStats, ColumnTiming, SramColumn,

@@ -189,6 +189,24 @@ impl Journal {
         out
     }
 
+    /// The JSON-Lines serialisation of events `from..`, for
+    /// incremental tailing: a consumer that remembers how many events
+    /// it has already streamed calls `tail_jsonl(seen)` and appends
+    /// the returned bytes. Because the journal is an append-only
+    /// prefix structure (events are absorbed in job order after the
+    /// ordered merge), concatenating successive tails reproduces
+    /// [`Journal::to_jsonl`] byte for byte. `from` past the end
+    /// yields the empty string.
+    #[must_use]
+    pub fn tail_jsonl(&self, from: usize) -> String {
+        let mut out = String::new();
+        for event in self.events.iter().skip(from) {
+            out.push_str(&event.to_json().to_json());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Writes the journal as a JSON-Lines file.
     ///
     /// # Errors
